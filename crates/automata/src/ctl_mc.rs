@@ -1,0 +1,313 @@
+//! CTL model checking by the standard labeling algorithm.
+//!
+//! Given a [`Kripke`] structure and a CTL [`PFormula`], computes for every
+//! state whether the formula holds. This is the polynomial-time back end
+//! behind Theorem 4.4 (after the exponential Kripke construction of Lemma
+//! A.12), Corollary 4.5 and Theorem 4.6.
+//!
+//! Only the base modalities `EX`, `EU`, `EG` are implemented directly; all
+//! others reduce to them:
+//!
+//! ```text
+//! AXφ      = ¬EX¬φ             EFφ = E(true U φ)     AGφ = ¬EF¬φ
+//! AFφ      = ¬EG¬φ             A(φUψ) = ¬E(¬ψ U (¬φ∧¬ψ)) ∧ ¬EG¬ψ
+//! ```
+
+use std::fmt;
+
+use crate::kripke::Kripke;
+use crate::pformula::PFormula;
+
+/// Error raised when the input formula is not a CTL state formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotCtl(pub String);
+
+impl fmt::Display for NotCtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not a CTL state formula: {}", self.0)
+    }
+}
+
+impl std::error::Error for NotCtl {}
+
+/// Computes the satisfaction set of a CTL formula: `result[s]` is true iff
+/// state `s` satisfies `f`. The structure must be total.
+pub fn check(k: &Kripke, f: &PFormula) -> Result<Vec<bool>, NotCtl> {
+    debug_assert!(k.is_total(), "Kripke structure must be total (Def. A.4)");
+    if !f.is_ctl() {
+        return Err(NotCtl(format!("{f:?}")));
+    }
+    Ok(sat(k, f))
+}
+
+/// True iff every initial state satisfies `f`.
+pub fn check_initial(k: &Kripke, f: &PFormula) -> Result<bool, NotCtl> {
+    let s = check(k, f)?;
+    Ok(k.initial.iter().all(|&i| s[i]))
+}
+
+fn sat(k: &Kripke, f: &PFormula) -> Vec<bool> {
+    let n = k.len();
+    match f {
+        PFormula::True => vec![true; n],
+        PFormula::False => vec![false; n],
+        PFormula::Prop(p) => (0..n).map(|s| k.labels[s].contains(*p)).collect(),
+        PFormula::Not(g) => {
+            let mut t = sat(k, g);
+            t.iter_mut().for_each(|b| *b = !*b);
+            t
+        }
+        PFormula::And(fs) => {
+            let mut acc = vec![true; n];
+            for g in fs {
+                let t = sat(k, g);
+                for i in 0..n {
+                    acc[i] &= t[i];
+                }
+            }
+            acc
+        }
+        PFormula::Or(fs) => {
+            let mut acc = vec![false; n];
+            for g in fs {
+                let t = sat(k, g);
+                for i in 0..n {
+                    acc[i] |= t[i];
+                }
+            }
+            acc
+        }
+        PFormula::E(path) => match path.as_ref() {
+            PFormula::X(g) => ex(k, &sat(k, g)),
+            PFormula::F(g) => eu(k, &vec![true; n], &sat(k, g)),
+            PFormula::G(g) => eg(k, &sat(k, g)),
+            PFormula::U(a, b) => eu(k, &sat(k, a), &sat(k, b)),
+            _ => unreachable!("is_ctl() guarantees the shape"),
+        },
+        PFormula::A(path) => match path.as_ref() {
+            // AXφ = ¬EX¬φ
+            PFormula::X(g) => {
+                let mut ng = sat(k, g);
+                ng.iter_mut().for_each(|b| *b = !*b);
+                let mut t = ex(k, &ng);
+                t.iter_mut().for_each(|b| *b = !*b);
+                t
+            }
+            // AFφ = ¬EG¬φ
+            PFormula::F(g) => {
+                let mut ng = sat(k, g);
+                ng.iter_mut().for_each(|b| *b = !*b);
+                let mut t = eg(k, &ng);
+                t.iter_mut().for_each(|b| *b = !*b);
+                t
+            }
+            // AGφ = ¬EF¬φ
+            PFormula::G(g) => {
+                let mut ng = sat(k, g);
+                ng.iter_mut().for_each(|b| *b = !*b);
+                let mut t = eu(k, &vec![true; n], &ng);
+                t.iter_mut().for_each(|b| *b = !*b);
+                t
+            }
+            // A(aUb) = ¬E(¬b U (¬a∧¬b)) ∧ ¬EG¬b
+            PFormula::U(a, b) => {
+                let sa = sat(k, a);
+                let sb = sat(k, b);
+                let nb: Vec<bool> = sb.iter().map(|x| !x).collect();
+                let nanb: Vec<bool> = (0..n).map(|i| !sa[i] && !sb[i]).collect();
+                let e1 = eu(k, &nb, &nanb);
+                let e2 = eg(k, &nb);
+                (0..n).map(|i| !e1[i] && !e2[i]).collect()
+            }
+            _ => unreachable!("is_ctl() guarantees the shape"),
+        },
+        PFormula::X(_) | PFormula::U(..) | PFormula::F(_) | PFormula::G(_) => {
+            unreachable!("is_ctl() rejects bare temporal operators")
+        }
+    }
+}
+
+/// `EX`: states with a successor in `target`.
+fn ex(k: &Kripke, target: &[bool]) -> Vec<bool> {
+    (0..k.len())
+        .map(|s| k.succ[s].iter().any(|&t| target[t]))
+        .collect()
+}
+
+/// `E(a U b)`: backward least fixpoint from `b` through `a`-states.
+fn eu(k: &Kripke, a: &[bool], b: &[bool]) -> Vec<bool> {
+    let pred = k.predecessors();
+    let mut sat: Vec<bool> = b.to_vec();
+    let mut work: Vec<usize> = (0..k.len()).filter(|&s| sat[s]).collect();
+    while let Some(s) = work.pop() {
+        for &p in &pred[s] {
+            if a[p] && !sat[p] {
+                sat[p] = true;
+                work.push(p);
+            }
+        }
+    }
+    sat
+}
+
+/// `EG a`: greatest fixpoint — states with an infinite `a`-path.
+fn eg(k: &Kripke, a: &[bool]) -> Vec<bool> {
+    let mut sat: Vec<bool> = a.to_vec();
+    // Iteratively remove states with no successor inside the candidate set.
+    loop {
+        let mut changed = false;
+        for s in 0..k.len() {
+            if sat[s] && !k.succ[s].iter().any(|&t| sat[t]) {
+                sat[s] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            return sat;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::PropSet;
+
+    fn ps(ids: &[u32]) -> PropSet {
+        PropSet::from_ids(ids.iter().copied())
+    }
+
+    /// Three-state loop: 0 --> 1 --> 2 --> 0; labels p0@0, p1@1, p2@2; and
+    /// an escape 1 --> 3 where 3 self-loops with no labels.
+    fn k1() -> Kripke {
+        let mut k = Kripke::new();
+        for i in 0..4 {
+            k.add_state(ps(&[i]));
+        }
+        k.labels[3] = ps(&[]);
+        k.add_edge(0, 1);
+        k.add_edge(1, 2);
+        k.add_edge(2, 0);
+        k.add_edge(1, 3);
+        k.add_edge(3, 3);
+        k.add_initial(0);
+        k
+    }
+
+    #[test]
+    fn ex_semantics() {
+        let k = k1();
+        let f = PFormula::exists_path(PFormula::next(PFormula::Prop(2)));
+        let s = check(&k, &f).unwrap();
+        assert_eq!(s, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn ax_semantics() {
+        let k = k1();
+        // AX p2 at 1? successors of 1 are {2, 3}; 3 lacks p2 -> false.
+        let f = PFormula::all_paths(PFormula::next(PFormula::Prop(2)));
+        let s = check(&k, &f).unwrap();
+        assert!(!s[1]);
+        // AX p1 at 0: single successor 1 has p1 -> true.
+        let g = PFormula::all_paths(PFormula::next(PFormula::Prop(1)));
+        assert!(check(&k, &g).unwrap()[0]);
+    }
+
+    #[test]
+    fn ef_and_ag() {
+        let k = k1();
+        // EF p2 from 0,1,2 (via the loop), not from 3.
+        let f = PFormula::exists_path(PFormula::eventually(PFormula::Prop(2)));
+        assert_eq!(check(&k, &f).unwrap(), vec![true, true, true, false]);
+        // AG (p0|p1|p2|nothing) trivially true; AG !p3... use AG !p2 from 3.
+        let g = PFormula::all_paths(PFormula::always(PFormula::not(PFormula::Prop(2))));
+        assert_eq!(check(&k, &g).unwrap(), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn eg_requires_infinite_path() {
+        let k = k1();
+        // EG !p2: stay away from state 2 forever — go to 3.
+        let f = PFormula::exists_path(PFormula::always(PFormula::not(PFormula::Prop(2))));
+        let s = check(&k, &f).unwrap();
+        assert_eq!(s, vec![true, true, false, true]); // from 2 itself p2 holds now
+    }
+
+    #[test]
+    fn af_vs_ef() {
+        let k = k1();
+        // AF p2 at 0: path 0 1 3 3 ... avoids p2 -> false.
+        let af = PFormula::all_paths(PFormula::eventually(PFormula::Prop(2)));
+        assert!(!check(&k, &af).unwrap()[0]);
+        // at 2: p2 holds now -> true.
+        assert!(check(&k, &af).unwrap()[2]);
+    }
+
+    #[test]
+    fn au_semantics() {
+        let mut k = Kripke::new();
+        // 0(p0) -> 1(p0) -> 2(p1), all roads lead to 2; 2 loops.
+        let s0 = k.add_state(ps(&[0]));
+        let s1 = k.add_state(ps(&[0]));
+        let s2 = k.add_state(ps(&[1]));
+        k.add_edge(s0, s1);
+        k.add_edge(s1, s2);
+        k.add_edge(s2, s2);
+        k.add_initial(s0);
+        let f = PFormula::all_paths(PFormula::until(PFormula::Prop(0), PFormula::Prop(1)));
+        assert_eq!(check(&k, &f).unwrap(), vec![true, true, true]);
+        // Add an escape from 1 to a p0-forever loop: A(p0 U p1) fails at 0,1.
+        let s3 = k.add_state(ps(&[0]));
+        k.add_edge(s1, s3);
+        k.add_edge(s3, s3);
+        let s = check(&k, &f).unwrap();
+        assert_eq!(s, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn eu_semantics() {
+        let k = k1();
+        // E(p0 U p1): at 0 (p0 then 1 has p1), at 1 (p1 now).
+        let f = PFormula::exists_path(PFormula::until(PFormula::Prop(0), PFormula::Prop(1)));
+        assert_eq!(check(&k, &f).unwrap(), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn agef_home_page_pattern() {
+        // The paper's navigational property AG EF HP (Example 4.3).
+        let k = k1();
+        // AG EF p0: from 3 you cannot reach 0 -> fails at any state that can
+        // reach 3... i.e. everywhere except... 0 can go 0->1->3.
+        let f = PFormula::all_paths(PFormula::always(PFormula::exists_path(
+            PFormula::eventually(PFormula::Prop(0)),
+        )));
+        let s = check(&k, &f).unwrap();
+        assert_eq!(s, vec![false, false, false, false]);
+        // Remove the escape: now AG EF p0 holds on the loop.
+        let mut k2 = k1();
+        k2.succ[1].retain(|&t| t != 3);
+        let s2 = check(&k2, &f).unwrap();
+        assert!(s2[0]);
+        assert!(s2[1]);
+        assert!(s2[2]);
+    }
+
+    #[test]
+    fn rejects_non_ctl() {
+        let k = k1();
+        let f = PFormula::all_paths(PFormula::eventually(PFormula::always(
+            PFormula::Prop(0),
+        )));
+        assert!(check(&k, &f).is_err());
+    }
+
+    #[test]
+    fn check_initial_conjoins() {
+        let k = k1();
+        let f = PFormula::exists_path(PFormula::eventually(PFormula::Prop(2)));
+        assert!(check_initial(&k, &f).unwrap());
+        let g = PFormula::all_paths(PFormula::eventually(PFormula::Prop(2)));
+        assert!(!check_initial(&k, &g).unwrap());
+    }
+}

@@ -1,0 +1,643 @@
+//! CTL satisfiability — the Emerson–Halpern tableau.
+//!
+//! Theorem 4.9 decides verification of Web services with input-driven
+//! search by reducing `W ⊨ φ` to *unsatisfiability* of `ψ_W ∧ ¬φ`, where
+//! `ψ_W` axiomatizes the Kripke structures consistent with the service's
+//! rules. This module supplies the EXPTIME decision procedure for CTL:
+//!
+//! 1. Bring the formula to a normal form over `EX, AX, EU, AU, ER, AR`
+//!    with negations on literals.
+//! 2. Enumerate *atoms*: truth assignments to the elementary formulas
+//!    (literals and `EX`/`AX` formulas of the closure); membership of
+//!    compound formulas is induced by the fixpoint expansions
+//!    `E(aUb) = b ∨ (a ∧ EX E(aUb))` etc.
+//! 3. Prune atoms that lack `EX` witnesses, successors, or fulfillment of
+//!    `EU`/`AU` eventualities, to a fixpoint.
+//! 4. Satisfiable iff a surviving atom contains the root formula.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::pformula::PFormula;
+use crate::props::PropId;
+
+/// Errors of the satisfiability procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatError {
+    /// The input is not a CTL state formula.
+    NotCtl(String),
+    /// The tableau would exceed the configured atom budget.
+    TooLarge {
+        /// Number of elementary formulas (atom count is `2^this`).
+        elementary: usize,
+    },
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatError::NotCtl(s) => write!(f, "not a CTL formula: {s}"),
+            SatError::TooLarge { elementary } => {
+                write!(f, "tableau too large: 2^{elementary} atoms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SatError {}
+
+/// CTL in tableau normal form.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Nf {
+    True,
+    False,
+    Lit(PropId, bool),
+    And(Vec<Nf>),
+    Or(Vec<Nf>),
+    Ex(Box<Nf>),
+    Ax(Box<Nf>),
+    Eu(Box<Nf>, Box<Nf>),
+    Au(Box<Nf>, Box<Nf>),
+    Er(Box<Nf>, Box<Nf>),
+    Ar(Box<Nf>, Box<Nf>),
+}
+
+fn lower(f: &PFormula, pos: bool) -> Result<Nf, SatError> {
+    let err = || SatError::NotCtl(format!("{f:?}"));
+    Ok(match f {
+        PFormula::True => {
+            if pos {
+                Nf::True
+            } else {
+                Nf::False
+            }
+        }
+        PFormula::False => {
+            if pos {
+                Nf::False
+            } else {
+                Nf::True
+            }
+        }
+        PFormula::Prop(p) => Nf::Lit(*p, pos),
+        PFormula::Not(g) => lower(g, !pos)?,
+        PFormula::And(fs) => {
+            let parts = fs.iter().map(|g| lower(g, pos)).collect::<Result<Vec<_>, _>>()?;
+            if pos {
+                Nf::And(parts)
+            } else {
+                Nf::Or(parts)
+            }
+        }
+        PFormula::Or(fs) => {
+            let parts = fs.iter().map(|g| lower(g, pos)).collect::<Result<Vec<_>, _>>()?;
+            if pos {
+                Nf::Or(parts)
+            } else {
+                Nf::And(parts)
+            }
+        }
+        PFormula::E(path) => lower_path(path, pos, true).ok_or_else(err)?,
+        PFormula::A(path) => lower_path(path, pos, false).ok_or_else(err)?,
+        _ => return Err(err()),
+    })
+}
+
+/// Lowers `E path` (`exists=true`) or `A path` under polarity `pos`.
+/// Negation swaps the quantifier and dualizes the operator:
+/// `¬EXφ=AX¬φ`, `¬E(aUb)=A(¬a R ¬b)`, `¬E(aRb)=A(¬a U ¬b)`.
+fn lower_path(path: &PFormula, pos: bool, exists: bool) -> Option<Nf> {
+    let e = exists == pos; // effective quantifier after polarity
+    match path {
+        PFormula::X(g) => {
+            let inner = lower(g, pos).ok()?;
+            Some(if e { Nf::Ex(Box::new(inner)) } else { Nf::Ax(Box::new(inner)) })
+        }
+        PFormula::F(g) => {
+            // Fφ = true U φ; ¬Fφ = false R ¬φ
+            let inner = lower(g, pos).ok()?;
+            Some(if pos {
+                if e {
+                    Nf::Eu(Box::new(Nf::True), Box::new(inner))
+                } else {
+                    Nf::Au(Box::new(Nf::True), Box::new(inner))
+                }
+            } else if e {
+                Nf::Er(Box::new(Nf::False), Box::new(inner))
+            } else {
+                Nf::Ar(Box::new(Nf::False), Box::new(inner))
+            })
+        }
+        PFormula::G(g) => {
+            // Gφ = false R φ; ¬Gφ = true U ¬φ
+            let inner = lower(g, pos).ok()?;
+            Some(if pos {
+                if e {
+                    Nf::Er(Box::new(Nf::False), Box::new(inner))
+                } else {
+                    Nf::Ar(Box::new(Nf::False), Box::new(inner))
+                }
+            } else if e {
+                Nf::Eu(Box::new(Nf::True), Box::new(inner))
+            } else {
+                Nf::Au(Box::new(Nf::True), Box::new(inner))
+            })
+        }
+        PFormula::U(a, b) => {
+            let la = lower(a, pos).ok()?;
+            let lb = lower(b, pos).ok()?;
+            Some(if pos {
+                if e {
+                    Nf::Eu(Box::new(la), Box::new(lb))
+                } else {
+                    Nf::Au(Box::new(la), Box::new(lb))
+                }
+            } else if e {
+                Nf::Er(Box::new(la), Box::new(lb))
+            } else {
+                Nf::Ar(Box::new(la), Box::new(lb))
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Interned normal-form closure.
+struct Closure {
+    formulas: Vec<Nf>,
+    ids: BTreeMap<Nf, usize>,
+    /// Elementary formulas: props and EX/AX entries, as indices into
+    /// `formulas` (for EX/AX) or prop ids (for literals).
+    props: Vec<PropId>,
+    modal: Vec<usize>, // ids of Ex/Ax formulas
+}
+
+impl Closure {
+    fn intern(&mut self, f: &Nf) -> usize {
+        if let Some(&id) = self.ids.get(f) {
+            return id;
+        }
+        // intern children first
+        match f {
+            Nf::And(fs) | Nf::Or(fs) => {
+                for g in fs {
+                    self.intern(g);
+                }
+            }
+            Nf::Ex(g) | Nf::Ax(g) => {
+                self.intern(g);
+            }
+            Nf::Eu(a, b) | Nf::Au(a, b) | Nf::Er(a, b) | Nf::Ar(a, b) => {
+                self.intern(a);
+                self.intern(b);
+            }
+            Nf::Lit(p, _) if !self.props.contains(p) => self.props.push(*p),
+            _ => {}
+        }
+        let id = self.formulas.len();
+        self.formulas.push(f.clone());
+        self.ids.insert(f.clone(), id);
+        if matches!(f, Nf::Ex(_) | Nf::Ax(_)) {
+            self.modal.push(id);
+        }
+        // Fixpoint formulas induce their modal expansions.
+        match f.clone() {
+            Nf::Eu(..) | Nf::Er(..) => {
+                self.intern(&Nf::Ex(Box::new(f.clone())));
+            }
+            Nf::Au(..) | Nf::Ar(..) => {
+                self.intern(&Nf::Ax(Box::new(f.clone())));
+            }
+            _ => {}
+        }
+        id
+    }
+}
+
+/// An atom: a consistent truth assignment to the closure.
+#[derive(Clone)]
+struct Atom {
+    truth: Vec<bool>, // indexed by formula id
+}
+
+/// The result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; the witness reports tableau statistics.
+    Sat {
+        /// Surviving atoms (a model can be folded from them).
+        atoms: usize,
+    },
+    /// The formula has no model.
+    Unsat,
+}
+
+impl SatResult {
+    /// True when satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat { .. })
+    }
+}
+
+/// Decides satisfiability of a CTL state formula. `max_elementary` bounds
+/// the number of elementary formulas (atom count is exponential in it);
+/// 20 is a generous default.
+pub fn is_satisfiable(f: &PFormula, max_elementary: usize) -> Result<SatResult, SatError> {
+    let nf = lower(f, true)?;
+    let mut cl = Closure {
+        formulas: Vec::new(),
+        ids: BTreeMap::new(),
+        props: Vec::new(),
+        modal: Vec::new(),
+    };
+    let root = cl.intern(&nf);
+    let n_elem = cl.props.len() + cl.modal.len();
+    if n_elem > max_elementary {
+        return Err(SatError::TooLarge { elementary: n_elem });
+    }
+
+    // Enumerate atoms: assignments over elementary formulas.
+    let mut atoms: Vec<Atom> = Vec::new();
+    let combos = 1usize << n_elem;
+    for mask in 0..combos {
+        let prop_val = |p: PropId| -> bool {
+            let i = cl.props.iter().position(|q| *q == p).expect("prop interned");
+            mask & (1 << i) != 0
+        };
+        let modal_val = |id: usize| -> bool {
+            let i = cl.modal.iter().position(|m| *m == id).expect("modal interned");
+            mask & (1 << (cl.props.len() + i)) != 0
+        };
+        // Derive truth of every closure formula bottom-up (ids are in
+        // dependency order except the fixpoint-generated EX/AX, which are
+        // elementary anyway).
+        let mut truth = vec![false; cl.formulas.len()];
+        let mut ok = true;
+        for id in 0..cl.formulas.len() {
+            let v = match &cl.formulas[id] {
+                Nf::True => true,
+                Nf::False => false,
+                Nf::Lit(p, positive) => prop_val(*p) == *positive,
+                Nf::And(fs) => fs.iter().all(|g| truth[cl.ids[g]]),
+                Nf::Or(fs) => fs.iter().any(|g| truth[cl.ids[g]]),
+                Nf::Ex(_) | Nf::Ax(_) => modal_val(id),
+                Nf::Eu(a, b) => {
+                    let ex_id = cl.ids[&Nf::Ex(Box::new(cl.formulas[id].clone()))];
+                    truth[cl.ids[b.as_ref()]]
+                        || (truth[cl.ids[a.as_ref()]] && modal_val(ex_id))
+                }
+                Nf::Au(a, b) => {
+                    let ax_id = cl.ids[&Nf::Ax(Box::new(cl.formulas[id].clone()))];
+                    truth[cl.ids[b.as_ref()]]
+                        || (truth[cl.ids[a.as_ref()]] && modal_val(ax_id))
+                }
+                Nf::Er(a, b) => {
+                    let ex_id = cl.ids[&Nf::Ex(Box::new(cl.formulas[id].clone()))];
+                    truth[cl.ids[b.as_ref()]]
+                        && (truth[cl.ids[a.as_ref()]] || modal_val(ex_id))
+                }
+                Nf::Ar(a, b) => {
+                    let ax_id = cl.ids[&Nf::Ax(Box::new(cl.formulas[id].clone()))];
+                    truth[cl.ids[b.as_ref()]]
+                        && (truth[cl.ids[a.as_ref()]] || modal_val(ax_id))
+                }
+            };
+            truth[id] = v;
+            let _ = &mut ok;
+        }
+        if ok {
+            atoms.push(Atom { truth });
+        }
+    }
+
+    // Wait-free helper views over the closure.
+    let ex_list: Vec<(usize, usize)> = cl
+        .formulas
+        .iter()
+        .enumerate()
+        .filter_map(|(id, f)| match f {
+            Nf::Ex(g) => Some((id, cl.ids[g.as_ref()])),
+            _ => None,
+        })
+        .collect();
+    let ax_list: Vec<(usize, usize)> = cl
+        .formulas
+        .iter()
+        .enumerate()
+        .filter_map(|(id, f)| match f {
+            Nf::Ax(g) => Some((id, cl.ids[g.as_ref()])),
+            _ => None,
+        })
+        .collect();
+    let eu_list: Vec<(usize, usize)> = cl
+        .formulas
+        .iter()
+        .enumerate()
+        .filter_map(|(id, f)| match f {
+            Nf::Eu(_, b) => Some((id, cl.ids[b.as_ref()])),
+            _ => None,
+        })
+        .collect();
+    let au_list: Vec<(usize, usize)> = cl
+        .formulas
+        .iter()
+        .enumerate()
+        .filter_map(|(id, f)| match f {
+            Nf::Au(_, b) => Some((id, cl.ids[b.as_ref()])),
+            _ => None,
+        })
+        .collect();
+
+    // Edge relation: H -> H' iff every AXχ true in H has χ true in H'.
+    let edge = |h: &Atom, h2: &Atom| -> bool {
+        ax_list.iter().all(|&(ax, chi)| !h.truth[ax] || h2.truth[chi])
+    };
+
+    let mut alive: Vec<bool> = vec![true; atoms.len()];
+    loop {
+        let mut changed = false;
+
+        // EX support + totality.
+        for i in 0..atoms.len() {
+            if !alive[i] {
+                continue;
+            }
+            let succs: Vec<usize> = (0..atoms.len())
+                .filter(|&j| alive[j] && edge(&atoms[i], &atoms[j]))
+                .collect();
+            if succs.is_empty() {
+                alive[i] = false;
+                changed = true;
+                continue;
+            }
+            for &(ex, chi) in &ex_list {
+                if atoms[i].truth[ex] && !succs.iter().any(|&j| atoms[j].truth[chi]) {
+                    alive[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        // EU fulfillment: least fixpoint per EU formula.
+        for &(eu, b) in &eu_list {
+            let mut can = vec![false; atoms.len()];
+            loop {
+                let mut grew = false;
+                for i in 0..atoms.len() {
+                    if !alive[i] || can[i] {
+                        continue;
+                    }
+                    if atoms[i].truth[b] {
+                        can[i] = true;
+                        grew = true;
+                        continue;
+                    }
+                    if atoms[i].truth[eu] {
+                        let ok = (0..atoms.len()).any(|j| {
+                            alive[j]
+                                && can[j]
+                                && atoms[j].truth[eu]
+                                && edge(&atoms[i], &atoms[j])
+                        }) || (0..atoms.len()).any(|j| {
+                            alive[j] && can[j] && atoms[j].truth[b] && edge(&atoms[i], &atoms[j])
+                        });
+                        if ok {
+                            can[i] = true;
+                            grew = true;
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            for i in 0..atoms.len() {
+                if alive[i] && atoms[i].truth[eu] && !can[i] {
+                    alive[i] = false;
+                    changed = true;
+                }
+            }
+        }
+
+        // AU fulfillment: least fixpoint per AU formula. H can A-fulfill if
+        // b holds, or every EX obligation has a witness that also
+        // A-fulfills, and at least one successor A-fulfills.
+        for &(au, b) in &au_list {
+            let mut can = vec![false; atoms.len()];
+            loop {
+                let mut grew = false;
+                for i in 0..atoms.len() {
+                    if !alive[i] || can[i] {
+                        continue;
+                    }
+                    if atoms[i].truth[b] {
+                        can[i] = true;
+                        grew = true;
+                        continue;
+                    }
+                    if !atoms[i].truth[au] {
+                        continue;
+                    }
+                    let succs: Vec<usize> = (0..atoms.len())
+                        .filter(|&j| alive[j] && edge(&atoms[i], &atoms[j]))
+                        .collect();
+                    let mut ok = succs.iter().any(|&j| can[j]);
+                    if ok {
+                        for &(ex, chi) in &ex_list {
+                            if atoms[i].truth[ex]
+                                && !succs.iter().any(|&j| can[j] && atoms[j].truth[chi])
+                            {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        can[i] = true;
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            for i in 0..atoms.len() {
+                if alive[i] && atoms[i].truth[au] && !can[i] {
+                    alive[i] = false;
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let survivors = alive.iter().filter(|a| **a).count();
+    let sat = atoms
+        .iter()
+        .zip(alive.iter())
+        .any(|(h, a)| *a && h.truth[root]);
+    Ok(if sat { SatResult::Sat { atoms: survivors } } else { SatResult::Unsat })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: PropId) -> PFormula {
+        PFormula::Prop(i)
+    }
+
+    fn sat(f: &PFormula) -> bool {
+        is_satisfiable(f, 24).unwrap().is_sat()
+    }
+
+    #[test]
+    fn boolean_base_cases() {
+        assert!(sat(&p(0)));
+        assert!(sat(&PFormula::not(p(0))));
+        assert!(!sat(&PFormula::and([p(0), PFormula::not(p(0))])));
+        assert!(sat(&PFormula::or([p(0), PFormula::not(p(0))])));
+        assert!(!sat(&PFormula::False));
+        assert!(sat(&PFormula::True));
+    }
+
+    #[test]
+    fn modal_consistency() {
+        // EX p & AX !p is unsat.
+        let f = PFormula::and([
+            PFormula::exists_path(PFormula::next(p(0))),
+            PFormula::all_paths(PFormula::next(PFormula::not(p(0)))),
+        ]);
+        assert!(!sat(&f));
+        // EX p & EX !p is sat (two successors).
+        let g = PFormula::and([
+            PFormula::exists_path(PFormula::next(p(0))),
+            PFormula::exists_path(PFormula::next(PFormula::not(p(0)))),
+        ]);
+        assert!(sat(&g));
+    }
+
+    #[test]
+    fn eventuality_vs_invariant() {
+        // AG p & EF !p unsat.
+        let f = PFormula::and([
+            PFormula::all_paths(PFormula::always(p(0))),
+            PFormula::exists_path(PFormula::eventually(PFormula::not(p(0)))),
+        ]);
+        assert!(!sat(&f));
+        // AG p & EF p sat.
+        let g = PFormula::and([
+            PFormula::all_paths(PFormula::always(p(0))),
+            PFormula::exists_path(PFormula::eventually(p(0))),
+        ]);
+        assert!(sat(&g));
+    }
+
+    #[test]
+    fn af_eg_conflict() {
+        // AF p & EG !p unsat.
+        let f = PFormula::and([
+            PFormula::all_paths(PFormula::eventually(p(0))),
+            PFormula::exists_path(PFormula::always(PFormula::not(p(0)))),
+        ]);
+        assert!(!sat(&f));
+        // AF p alone sat.
+        assert!(sat(&PFormula::all_paths(PFormula::eventually(p(0)))));
+        // EG !p alone sat.
+        assert!(sat(&PFormula::exists_path(PFormula::always(PFormula::not(p(0))))));
+    }
+
+    #[test]
+    fn until_fulfillment() {
+        // E(p U q) & AG !q unsat — the witness can never appear.
+        let f = PFormula::and([
+            PFormula::exists_path(PFormula::until(p(0), p(1))),
+            PFormula::all_paths(PFormula::always(PFormula::not(p(1)))),
+        ]);
+        assert!(!sat(&f));
+        // E(p U q) sat.
+        assert!(sat(&PFormula::exists_path(PFormula::until(p(0), p(1)))));
+        // A(p U q) & EG !q unsat.
+        let g = PFormula::and([
+            PFormula::all_paths(PFormula::until(p(0), p(1))),
+            PFormula::exists_path(PFormula::always(PFormula::not(p(1)))),
+        ]);
+        assert!(!sat(&g));
+    }
+
+    #[test]
+    fn navigational_patterns() {
+        // AG EF home — always able to return home: sat.
+        let f = PFormula::all_paths(PFormula::always(PFormula::exists_path(
+            PFormula::eventually(p(0)),
+        )));
+        assert!(sat(&f));
+        // p & AG (p -> AX !p) & AG (!p -> AX p): alternation — sat.
+        let alt = PFormula::and([
+            p(0),
+            PFormula::all_paths(PFormula::always(PFormula::implies(
+                p(0),
+                PFormula::all_paths(PFormula::next(PFormula::not(p(0)))),
+            ))),
+            PFormula::all_paths(PFormula::always(PFormula::implies(
+                PFormula::not(p(0)),
+                PFormula::all_paths(PFormula::next(p(0))),
+            ))),
+        ]);
+        assert!(sat(&alt));
+        // ... and together with AG p it is unsat.
+        let bad = PFormula::and([alt, PFormula::all_paths(PFormula::always(p(0)))]);
+        assert!(!sat(&bad));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        // AG (p -> EX E(q U r)) & EF p : sat
+        let f = PFormula::and([
+            PFormula::all_paths(PFormula::always(PFormula::implies(
+                p(0),
+                PFormula::exists_path(PFormula::next(PFormula::exists_path(
+                    PFormula::until(p(1), p(2)),
+                ))),
+            ))),
+            PFormula::exists_path(PFormula::eventually(p(0))),
+        ]);
+        assert!(sat(&f));
+    }
+
+    #[test]
+    fn rejects_ctl_star() {
+        let f = PFormula::all_paths(PFormula::eventually(PFormula::always(p(0))));
+        assert!(is_satisfiable(&f, 24).is_err());
+    }
+
+    #[test]
+    fn too_large_guard() {
+        let mut parts = Vec::new();
+        for i in 0..30 {
+            parts.push(PFormula::exists_path(PFormula::next(p(i))));
+        }
+        let f = PFormula::and(parts);
+        assert!(matches!(
+            is_satisfiable(&f, 10),
+            Err(SatError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn validity_via_unsat_negation() {
+        // AG p -> p is valid: ¬(AGp -> p) = AGp & ¬p unsat.
+        let f = PFormula::and([
+            PFormula::all_paths(PFormula::always(p(0))),
+            PFormula::not(p(0)),
+        ]);
+        assert!(!sat(&f));
+        // EX true is valid (total relation): ¬EXtrue = AX false unsat.
+        let g = PFormula::all_paths(PFormula::next(PFormula::False));
+        assert!(!sat(&g));
+    }
+}

@@ -1,0 +1,497 @@
+//! CTL\* model checking.
+//!
+//! The classical reduction (used in the proof of Theorem 4.4 for CTL\*
+//! formulas): evaluate state subformulas bottom-up; for `E ψ` with `ψ` a
+//! path formula, replace maximal state subformulas of `ψ` by fresh
+//! propositions, translate the remaining LTL formula to a Büchi automaton
+//! and decide, per state, nonemptiness of the product with the structure —
+//! a state satisfies `E ψ` iff some product run from it reaches an
+//! accepting cycle. `A ψ ≡ ¬E ¬ψ`.
+
+use std::fmt;
+
+use crate::kripke::Kripke;
+use crate::ltl2buchi::translate;
+use crate::pformula::PFormula;
+use crate::props::PropId;
+
+/// Error: the top-level formula is not a state formula (a bare temporal
+/// operator outside any path quantifier).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotStateFormula(pub String);
+
+impl fmt::Display for NotStateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not a CTL* state formula: {}", self.0)
+    }
+}
+
+impl std::error::Error for NotStateFormula {}
+
+fn is_state(f: &PFormula) -> bool {
+    match f {
+        PFormula::True | PFormula::False | PFormula::Prop(_) => true,
+        PFormula::Not(g) => is_state(g),
+        PFormula::And(fs) | PFormula::Or(fs) => fs.iter().all(is_state),
+        PFormula::E(_) | PFormula::A(_) => true,
+        _ => false,
+    }
+}
+
+struct Checker {
+    k: Kripke,
+    next_prop: PropId,
+}
+
+/// Computes the satisfaction set of a CTL\* state formula.
+pub fn check(k: &Kripke, f: &PFormula) -> Result<Vec<bool>, NotStateFormula> {
+    debug_assert!(k.is_total(), "Kripke structure must be total (Def. A.4)");
+    if !is_state(f) {
+        return Err(NotStateFormula(format!("{f:?}")));
+    }
+    let mut max_prop = 0;
+    for l in &k.labels {
+        if let Some(m) = l.iter().max() {
+            max_prop = max_prop.max(m + 1);
+        }
+    }
+    collect_props(f, &mut max_prop);
+    let mut c = Checker { k: k.clone(), next_prop: max_prop };
+    Ok(c.sat_state(f))
+}
+
+/// True iff every initial state satisfies `f`.
+pub fn check_initial(k: &Kripke, f: &PFormula) -> Result<bool, NotStateFormula> {
+    let s = check(k, f)?;
+    Ok(k.initial.iter().all(|&i| s[i]))
+}
+
+/// True iff every run from every initial state satisfies the *path*
+/// formula `f` (i.e. the structure satisfies `A f`).
+pub fn check_path_all(k: &Kripke, f: &PFormula) -> Result<bool, NotStateFormula> {
+    check_initial(k, &PFormula::all_paths(f.clone()))
+}
+
+fn collect_props(f: &PFormula, max: &mut PropId) {
+    match f {
+        PFormula::Prop(p) => *max = (*max).max(p + 1),
+        PFormula::Not(g)
+        | PFormula::X(g)
+        | PFormula::F(g)
+        | PFormula::G(g)
+        | PFormula::E(g)
+        | PFormula::A(g) => collect_props(g, max),
+        PFormula::And(fs) | PFormula::Or(fs) => fs.iter().for_each(|g| collect_props(g, max)),
+        PFormula::U(a, b) => {
+            collect_props(a, max);
+            collect_props(b, max);
+        }
+        _ => {}
+    }
+}
+
+impl Checker {
+    fn sat_state(&mut self, f: &PFormula) -> Vec<bool> {
+        let n = self.k.len();
+        match f {
+            PFormula::True => vec![true; n],
+            PFormula::False => vec![false; n],
+            PFormula::Prop(p) => (0..n).map(|s| self.k.labels[s].contains(*p)).collect(),
+            PFormula::Not(g) => {
+                let mut t = self.sat_state(g);
+                t.iter_mut().for_each(|b| *b = !*b);
+                t
+            }
+            PFormula::And(fs) => {
+                let mut acc = vec![true; n];
+                for g in fs {
+                    let t = self.sat_state(g);
+                    for i in 0..n {
+                        acc[i] &= t[i];
+                    }
+                }
+                acc
+            }
+            PFormula::Or(fs) => {
+                let mut acc = vec![false; n];
+                for g in fs {
+                    let t = self.sat_state(g);
+                    for i in 0..n {
+                        acc[i] |= t[i];
+                    }
+                }
+                acc
+            }
+            PFormula::E(path) => self.sat_e_path(path),
+            PFormula::A(path) => {
+                // Aψ = ¬E¬ψ
+                let mut t = self.sat_e_path(&PFormula::not(path.as_ref().clone()));
+                t.iter_mut().for_each(|b| *b = !*b);
+                t
+            }
+            _ => unreachable!("is_state() guarantees no bare temporal operator"),
+        }
+    }
+
+    /// States satisfying `E path`.
+    fn sat_e_path(&mut self, path: &PFormula) -> Vec<bool> {
+        // 1. Abstract maximal state subformulas to fresh propositions.
+        let abstracted = self.abstract_state_subformulas(path);
+        // 2. LTL → Büchi.
+        let pnf = abstracted
+            .to_pnf()
+            .expect("abstraction leaves a pure path formula");
+        let aut = translate(&pnf);
+        // 3. Product emptiness per state, via SCC analysis.
+        let n = self.k.len();
+        let m = aut.len();
+        if m == 0 {
+            return vec![false; n];
+        }
+        let idx = |s: usize, q: usize| s * m + q;
+        // adjacency on demand is fine; the product is built explicitly.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n * m];
+        let mut exists: Vec<bool> = vec![false; n * m];
+        for s in 0..n {
+            for q in 0..m {
+                if !aut.guard[q].accepts(&self.k.labels[s]) {
+                    continue;
+                }
+                exists[idx(s, q)] = true;
+                for &s2 in &self.k.succ[s] {
+                    for &q2 in &aut.succ[q] {
+                        if aut.guard[q2].accepts(&self.k.labels[s2]) {
+                            adj[idx(s, q)].push(idx(s2, q2));
+                        }
+                    }
+                }
+            }
+        }
+        // SCCs containing an accepting product node and a cycle.
+        let scc = tarjan(&adj, &exists);
+        let mut good_scc = vec![false; scc.count];
+        // nontrivial: size >= 2 or self-loop
+        let mut size = vec![0usize; scc.count];
+        for v in 0..n * m {
+            if exists[v] {
+                size[scc.comp[v]] += 1;
+            }
+        }
+        for v in 0..n * m {
+            if !exists[v] {
+                continue;
+            }
+            let c = scc.comp[v];
+            let nontrivial = size[c] >= 2 || adj[v].contains(&v);
+            if nontrivial && aut.accepting[v % m] {
+                good_scc[c] = true;
+            }
+        }
+        // Backward reachability to good SCCs == forward search: node is
+        // productive if it can reach a good SCC. Compute by reverse DFS.
+        let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n * m];
+        for (v, outs) in adj.iter().enumerate() {
+            for &w in outs {
+                radj[w].push(v);
+            }
+        }
+        let mut productive = vec![false; n * m];
+        let mut stack: Vec<usize> = Vec::new();
+        for v in 0..n * m {
+            if exists[v] && good_scc[scc.comp[v]] {
+                productive[v] = true;
+                stack.push(v);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &u in &radj[v] {
+                if exists[u] && !productive[u] {
+                    productive[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        (0..n)
+            .map(|s| {
+                aut.initial
+                    .iter()
+                    .any(|&q| exists[idx(s, q)] && productive[idx(s, q)])
+            })
+            .collect()
+    }
+
+    /// Replaces every maximal state subformula occurring in a path context
+    /// by a fresh proposition whose truth set is computed recursively and
+    /// recorded in the structure's labels.
+    fn abstract_state_subformulas(&mut self, f: &PFormula) -> PFormula {
+        // Note: Prop/True/False are state formulas but already fine as
+        // path atoms — leave them in place.
+        match f {
+            PFormula::True | PFormula::False | PFormula::Prop(_) => f.clone(),
+            PFormula::E(_) | PFormula::A(_) => self.introduce_prop(f),
+            PFormula::Not(g) => PFormula::not(self.abstract_state_subformulas(g)),
+            PFormula::And(fs) => PFormula::and(
+                fs.iter()
+                    .map(|g| self.abstract_state_subformulas(g))
+                    .collect::<Vec<_>>(),
+            ),
+            PFormula::Or(fs) => PFormula::or(
+                fs.iter()
+                    .map(|g| self.abstract_state_subformulas(g))
+                    .collect::<Vec<_>>(),
+            ),
+            PFormula::X(g) => PFormula::next(self.abstract_state_subformulas(g)),
+            PFormula::F(g) => PFormula::eventually(self.abstract_state_subformulas(g)),
+            PFormula::G(g) => PFormula::always(self.abstract_state_subformulas(g)),
+            PFormula::U(a, b) => PFormula::until(
+                self.abstract_state_subformulas(a),
+                self.abstract_state_subformulas(b),
+            ),
+        }
+    }
+
+    fn introduce_prop(&mut self, f: &PFormula) -> PFormula {
+        let sats = self.sat_state(f);
+        let p = self.next_prop;
+        self.next_prop += 1;
+        for (s, ok) in sats.iter().enumerate() {
+            if *ok {
+                self.k.labels[s].insert(p);
+            }
+        }
+        PFormula::Prop(p)
+    }
+}
+
+struct SccResult {
+    comp: Vec<usize>,
+    count: usize,
+}
+
+/// Iterative Tarjan over the nodes where `exists` holds.
+fn tarjan(adj: &[Vec<usize>], exists: &[bool]) -> SccResult {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    enum Action {
+        Visit(usize),
+        Post(usize, usize), // (node, child)
+    }
+
+    for start in 0..n {
+        if !exists[start] || index[start] != usize::MAX {
+            continue;
+        }
+        let mut work = vec![Action::Visit(start)];
+        while let Some(act) = work.pop() {
+            match act {
+                Action::Visit(v) => {
+                    if index[v] != usize::MAX {
+                        continue;
+                    }
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    // schedule completion after children
+                    work.push(Action::Post(v, usize::MAX));
+                    for &w in adj[v].iter().rev() {
+                        if !exists[w] {
+                            continue;
+                        }
+                        if index[w] == usize::MAX {
+                            work.push(Action::Post(v, w));
+                            work.push(Action::Visit(w));
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                }
+                Action::Post(v, child) => {
+                    if child != usize::MAX {
+                        low[v] = low[v].min(low[child]);
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack nonempty");
+                            on_stack[w] = false;
+                            comp[w] = count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    SccResult { comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl_mc;
+    use crate::props::PropSet;
+
+    fn ps(ids: &[u32]) -> PropSet {
+        PropSet::from_ids(ids.iter().copied())
+    }
+
+    fn k1() -> Kripke {
+        // 0(p0) -> 1(p1) -> 2(p2) -> 0 ; 1 -> 3(∅) -> 3
+        let mut k = Kripke::new();
+        for i in 0..4 {
+            k.add_state(ps(&[i]));
+        }
+        k.labels[3] = ps(&[]);
+        k.add_edge(0, 1);
+        k.add_edge(1, 2);
+        k.add_edge(2, 0);
+        k.add_edge(1, 3);
+        k.add_edge(3, 3);
+        k.add_initial(0);
+        k
+    }
+
+    #[test]
+    fn agrees_with_ctl_on_ctl_formulas() {
+        let k = k1();
+        let formulas = [
+            PFormula::exists_path(PFormula::eventually(PFormula::Prop(2))),
+            PFormula::all_paths(PFormula::eventually(PFormula::Prop(2))),
+            PFormula::all_paths(PFormula::always(PFormula::not(PFormula::Prop(2)))),
+            PFormula::exists_path(PFormula::until(PFormula::Prop(0), PFormula::Prop(1))),
+            PFormula::all_paths(PFormula::until(PFormula::Prop(0), PFormula::Prop(1))),
+            PFormula::exists_path(PFormula::next(PFormula::Prop(1))),
+            PFormula::all_paths(PFormula::always(PFormula::exists_path(
+                PFormula::eventually(PFormula::Prop(0)),
+            ))),
+        ];
+        for f in &formulas {
+            let a = ctl_mc::check(&k, f).unwrap();
+            let b = check(&k, f).unwrap();
+            assert_eq!(a, b, "disagreement on {f:?}");
+        }
+    }
+
+    #[test]
+    fn genuine_ctl_star_efg() {
+        let k = k1();
+        // E FG !p2 : go to state 3 and stay — true from 0,1,3; from 2 also
+        // true (2 -> 0 -> 1 -> 3).
+        let f = PFormula::exists_path(PFormula::eventually(PFormula::always(
+            PFormula::not(PFormula::Prop(2)),
+        )));
+        assert_eq!(check(&k, &f).unwrap(), vec![true, true, true, true]);
+        // A FG !p2 : the loop 0→1→2→0 visits p2 forever — false on loop.
+        let g = PFormula::all_paths(PFormula::eventually(PFormula::always(
+            PFormula::not(PFormula::Prop(2)),
+        )));
+        assert_eq!(check(&k, &g).unwrap(), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn a_gf_fairness() {
+        // A GF p2 on the pure loop (no escape): true.
+        let mut k = k1();
+        k.succ[1].retain(|&t| t != 3);
+        let f = PFormula::all_paths(PFormula::always(PFormula::eventually(
+            PFormula::Prop(2),
+        )));
+        let s = check(&k, &f).unwrap();
+        assert!(s[0] && s[1] && s[2]);
+        assert!(!s[3]); // 3 self-loops without p2
+    }
+
+    #[test]
+    fn nested_path_and_state() {
+        let k = k1();
+        // E X (E G !p2) — from 0: next is 1, and from 1 E G !p2 holds (go 3).
+        let f = PFormula::exists_path(PFormula::next(PFormula::exists_path(
+            PFormula::always(PFormula::not(PFormula::Prop(2))),
+        )));
+        assert!(check(&k, &f).unwrap()[0]);
+    }
+
+    #[test]
+    fn check_path_all_ltl() {
+        let mut k = k1();
+        k.succ[1].retain(|&t| t != 3);
+        // GF p0 holds on all paths of the pure loop from 0.
+        let f = PFormula::always(PFormula::eventually(PFormula::Prop(0)));
+        assert!(check_path_all(&k, &f).unwrap());
+        // G p0 does not.
+        let g = PFormula::always(PFormula::Prop(0));
+        assert!(!check_path_all(&k, &g).unwrap());
+    }
+
+    #[test]
+    fn rejects_bare_path_formula() {
+        let k = k1();
+        let f = PFormula::eventually(PFormula::Prop(0));
+        assert!(check(&k, &f).is_err());
+    }
+
+    #[test]
+    fn randomized_agreement_with_ctl() {
+        let mut seed = 0xDEADBEEFu64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..25 {
+            // random total Kripke with 5 states over 3 props
+            let mut k = Kripke::new();
+            for _ in 0..5 {
+                let label = PropSet::from_ids((0..3).filter(|_| rnd() % 2 == 0));
+                k.add_state(label);
+            }
+            for s in 0..5 {
+                let deg = 1 + rnd() % 3;
+                for _ in 0..deg {
+                    k.add_edge(s, (rnd() % 5) as usize);
+                }
+                if k.succ[s].is_empty() {
+                    k.add_edge(s, s);
+                }
+            }
+            k.close_with_self_loops();
+            k.add_initial(0);
+            fn gen_ctl(rnd: &mut impl FnMut() -> u32, depth: u32) -> PFormula {
+                if depth == 0 {
+                    return PFormula::Prop(rnd() % 3);
+                }
+                match rnd() % 8 {
+                    0 => PFormula::not(gen_ctl(rnd, depth - 1)),
+                    1 => PFormula::and([gen_ctl(rnd, depth - 1), gen_ctl(rnd, depth - 1)]),
+                    2 => PFormula::or([gen_ctl(rnd, depth - 1), gen_ctl(rnd, depth - 1)]),
+                    3 => PFormula::exists_path(PFormula::next(gen_ctl(rnd, depth - 1))),
+                    4 => PFormula::all_paths(PFormula::eventually(gen_ctl(rnd, depth - 1))),
+                    5 => PFormula::exists_path(PFormula::always(gen_ctl(rnd, depth - 1))),
+                    6 => PFormula::all_paths(PFormula::until(
+                        gen_ctl(rnd, depth - 1),
+                        gen_ctl(rnd, depth - 1),
+                    )),
+                    _ => PFormula::exists_path(PFormula::until(
+                        gen_ctl(rnd, depth - 1),
+                        gen_ctl(rnd, depth - 1),
+                    )),
+                }
+            }
+            let f = gen_ctl(&mut rnd, 2);
+            let a = ctl_mc::check(&k, &f).unwrap();
+            let b = check(&k, &f).unwrap();
+            assert_eq!(a, b, "disagreement on {f:?}");
+        }
+    }
+}

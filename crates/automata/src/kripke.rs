@@ -1,0 +1,153 @@
+//! Kripke structures (Definition A.4).
+//!
+//! A Kripke structure over a set `AP` of atomic propositions is a finite
+//! set of states with a **total** transition relation and a labeling
+//! `L : S → 2^AP`. The propositional verifiers build these from Web
+//! services: Lemma A.12 constructs one per database for a propositional
+//! input-bounded service; Theorem 4.6 does so for fully propositional
+//! services; Theorem 4.9 interprets satisfying structures of a CTL formula
+//! as services with input-driven search.
+
+use crate::props::PropSet;
+
+/// An explicit Kripke structure.
+#[derive(Clone, Debug, Default)]
+pub struct Kripke {
+    /// Per-state proposition labels.
+    pub labels: Vec<PropSet>,
+    /// Per-state successor lists.
+    pub succ: Vec<Vec<usize>>,
+    /// Initial states.
+    pub initial: Vec<usize>,
+}
+
+impl Kripke {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state with the given label; returns its id.
+    pub fn add_state(&mut self, label: PropSet) -> usize {
+        self.labels.push(label);
+        self.succ.push(Vec::new());
+        self.labels.len() - 1
+    }
+
+    /// Adds an edge (duplicates are tolerated but skipped).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        if !self.succ[from].contains(&to) {
+            self.succ[from].push(to);
+        }
+    }
+
+    /// Marks a state initial.
+    pub fn add_initial(&mut self, s: usize) {
+        if !self.initial.contains(&s) {
+            self.initial.push(s);
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the structure has no states.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total edge count.
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the transition relation is total (every state has a
+    /// successor), as Definition A.4 requires.
+    pub fn is_total(&self) -> bool {
+        self.succ.iter().all(|s| !s.is_empty())
+    }
+
+    /// Makes the relation total by adding self-loops to dead ends —
+    /// the paper's "fake loops" device for representing finite runs as
+    /// infinite ones (Section 2).
+    pub fn close_with_self_loops(&mut self) {
+        for (i, s) in self.succ.iter_mut().enumerate() {
+            if s.is_empty() {
+                s.push(i);
+            }
+        }
+    }
+
+    /// Predecessor lists (computed on demand).
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut pred = vec![Vec::new(); self.len()];
+        for (u, vs) in self.succ.iter().enumerate() {
+            for &v in vs {
+                pred[v].push(u);
+            }
+        }
+        pred
+    }
+
+    /// States reachable from the initial states.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = self.initial.clone();
+        for &s in &self.initial {
+            seen[s] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &self.succ[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(ids: &[u32]) -> PropSet {
+        PropSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut k = Kripke::new();
+        let a = k.add_state(ps(&[0]));
+        let b = k.add_state(ps(&[1]));
+        k.add_edge(a, b);
+        k.add_edge(a, b); // duplicate ignored
+        k.add_initial(a);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.num_edges(), 1);
+        assert!(!k.is_total());
+        k.close_with_self_loops();
+        assert!(k.is_total());
+        assert_eq!(k.succ[b], vec![b]);
+    }
+
+    #[test]
+    fn predecessors_and_reachability() {
+        let mut k = Kripke::new();
+        let a = k.add_state(ps(&[]));
+        let b = k.add_state(ps(&[]));
+        let c = k.add_state(ps(&[]));
+        k.add_edge(a, b);
+        k.add_edge(b, a);
+        k.add_edge(c, a);
+        k.add_initial(a);
+        let pred = k.predecessors();
+        assert_eq!(pred[a], vec![b, c]);
+        let reach = k.reachable();
+        assert!(reach[a] && reach[b]);
+        assert!(!reach[c]);
+    }
+}

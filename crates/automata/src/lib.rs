@@ -1,0 +1,41 @@
+//! # wave-automata
+//!
+//! Propositional temporal machinery shared by every decision procedure in
+//! the `wave` verifier:
+//!
+//! * [`props`] — proposition registries and compact bit-set labels.
+//! * [`pltl`] — propositional LTL in positive normal form, with semantics
+//!   on ultimately-periodic (lasso) words.
+//! * [`ltl2buchi`] — the GPVW tableau translation from LTL to generalized
+//!   Büchi automata, plus degeneralization.
+//! * [`buchi`] — Büchi automata and guarded transitions.
+//! * [`search`] — generic nested-DFS accepting-lasso search over implicit
+//!   product graphs (the engine behind Theorem 3.5's periodic-run check).
+//! * [`kripke`] — explicit Kripke structures (Definition A.4).
+//! * [`pformula`] — propositional CTL\* syntax.
+//! * [`ctl_mc`] — the standard CTL labeling model checker (Lemma A.12 /
+//!   Theorem 4.4 back end).
+//! * [`ctlstar_mc`] — CTL\* model checking by recursive elimination of
+//!   path subformulas through Büchi products.
+//! * [`ctl_sat`] — CTL satisfiability via the Emerson–Halpern tableau
+//!   (the decision procedure behind Theorem 4.9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buchi;
+pub mod ctl_mc;
+pub mod ctl_sat;
+pub mod ctlstar_mc;
+pub mod kripke;
+pub mod ltl2buchi;
+pub mod pformula;
+pub mod pltl;
+pub mod props;
+pub mod search;
+
+pub use buchi::Buchi;
+pub use kripke::Kripke;
+pub use pformula::PFormula;
+pub use pltl::Pnf;
+pub use props::{PropRegistry, PropSet};

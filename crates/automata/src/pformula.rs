@@ -1,0 +1,301 @@
+//! Propositional CTL\* syntax.
+//!
+//! The verifiers lower `wave-logic`'s [`TFormula`](wave_logic::TFormula) —
+//! whose atoms are FO formulas — into this purely propositional form by
+//! abstracting each FO component to a proposition (exactly the abstraction
+//! step of Example 4.3 / Theorem 4.4). `PFormula` keeps the CTL\* shape;
+//! conversion to [`Pnf`] is available for pure path (LTL) formulas.
+
+use std::fmt;
+
+use crate::pltl::Pnf;
+use crate::props::PropId;
+
+/// A propositional CTL\* formula.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PFormula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Atomic proposition.
+    Prop(PropId),
+    /// Negation.
+    Not(Box<PFormula>),
+    /// N-ary conjunction.
+    And(Vec<PFormula>),
+    /// N-ary disjunction.
+    Or(Vec<PFormula>),
+    /// Next.
+    X(Box<PFormula>),
+    /// Until.
+    U(Box<PFormula>, Box<PFormula>),
+    /// Eventually.
+    F(Box<PFormula>),
+    /// Always.
+    G(Box<PFormula>),
+    /// Exists path.
+    E(Box<PFormula>),
+    /// All paths.
+    A(Box<PFormula>),
+}
+
+impl PFormula {
+    /// Smart negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: PFormula) -> Self {
+        match f {
+            PFormula::Not(g) => *g,
+            PFormula::True => PFormula::False,
+            PFormula::False => PFormula::True,
+            other => PFormula::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart conjunction.
+    pub fn and(fs: impl IntoIterator<Item = PFormula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                PFormula::True => {}
+                PFormula::False => return PFormula::False,
+                PFormula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PFormula::True,
+            1 => out.pop().expect("len checked"),
+            _ => PFormula::And(out),
+        }
+    }
+
+    /// Smart disjunction.
+    pub fn or(fs: impl IntoIterator<Item = PFormula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                PFormula::False => {}
+                PFormula::True => return PFormula::True,
+                PFormula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PFormula::False,
+            1 => out.pop().expect("len checked"),
+            _ => PFormula::Or(out),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(a: PFormula, b: PFormula) -> Self {
+        PFormula::or([PFormula::not(a), b])
+    }
+
+    /// `Xφ`.
+    pub fn next(f: PFormula) -> Self {
+        PFormula::X(Box::new(f))
+    }
+
+    /// `φ U ψ`.
+    pub fn until(a: PFormula, b: PFormula) -> Self {
+        PFormula::U(Box::new(a), Box::new(b))
+    }
+
+    /// `Fφ`.
+    pub fn eventually(f: PFormula) -> Self {
+        PFormula::F(Box::new(f))
+    }
+
+    /// `Gφ`.
+    pub fn always(f: PFormula) -> Self {
+        PFormula::G(Box::new(f))
+    }
+
+    /// `Eφ`.
+    pub fn exists_path(f: PFormula) -> Self {
+        PFormula::E(Box::new(f))
+    }
+
+    /// `Aφ`.
+    pub fn all_paths(f: PFormula) -> Self {
+        PFormula::A(Box::new(f))
+    }
+
+    /// True if no path quantifier occurs.
+    pub fn is_path_only(&self) -> bool {
+        match self {
+            PFormula::True | PFormula::False | PFormula::Prop(_) => true,
+            PFormula::Not(f) | PFormula::X(f) | PFormula::F(f) | PFormula::G(f) => {
+                f.is_path_only()
+            }
+            PFormula::And(fs) | PFormula::Or(fs) => fs.iter().all(|f| f.is_path_only()),
+            PFormula::U(a, b) => a.is_path_only() && b.is_path_only(),
+            PFormula::E(_) | PFormula::A(_) => false,
+        }
+    }
+
+    /// True if this is a CTL *state* formula: every temporal operator is
+    /// immediately under a path quantifier.
+    pub fn is_ctl(&self) -> bool {
+        match self {
+            PFormula::True | PFormula::False | PFormula::Prop(_) => true,
+            PFormula::Not(f) => f.is_ctl(),
+            PFormula::And(fs) | PFormula::Or(fs) => fs.iter().all(|f| f.is_ctl()),
+            PFormula::X(_) | PFormula::U(..) | PFormula::F(_) | PFormula::G(_) => false,
+            PFormula::E(f) | PFormula::A(f) => match f.as_ref() {
+                PFormula::X(g) | PFormula::F(g) | PFormula::G(g) => g.is_ctl(),
+                PFormula::U(a, b) => a.is_ctl() && b.is_ctl(),
+                _ => false,
+            },
+        }
+    }
+
+    /// Converts a pure path (LTL) formula to positive normal form.
+    /// Returns `None` if a path quantifier occurs.
+    pub fn to_pnf(&self) -> Option<Pnf> {
+        self.pnf_with_polarity(true)
+    }
+
+    fn pnf_with_polarity(&self, positive: bool) -> Option<Pnf> {
+        Some(match (self, positive) {
+            (PFormula::True, true) | (PFormula::False, false) => Pnf::True,
+            (PFormula::True, false) | (PFormula::False, true) => Pnf::False,
+            (PFormula::Prop(p), pos) => Pnf::Lit { prop: *p, positive: pos },
+            (PFormula::Not(f), pos) => f.pnf_with_polarity(!pos)?,
+            (PFormula::And(fs), true) | (PFormula::Or(fs), false) => Pnf::and(
+                fs.iter()
+                    .map(|f| f.pnf_with_polarity(positive))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            (PFormula::Or(fs), true) | (PFormula::And(fs), false) => Pnf::or(
+                fs.iter()
+                    .map(|f| f.pnf_with_polarity(positive))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            (PFormula::X(f), pos) => Pnf::next(f.pnf_with_polarity(pos)?),
+            (PFormula::U(a, b), true) => {
+                Pnf::until(a.pnf_with_polarity(true)?, b.pnf_with_polarity(true)?)
+            }
+            (PFormula::U(a, b), false) => {
+                Pnf::release(a.pnf_with_polarity(false)?, b.pnf_with_polarity(false)?)
+            }
+            (PFormula::F(f), true) => Pnf::eventually(f.pnf_with_polarity(true)?),
+            (PFormula::F(f), false) => Pnf::always(f.pnf_with_polarity(false)?),
+            (PFormula::G(f), true) => Pnf::always(f.pnf_with_polarity(true)?),
+            (PFormula::G(f), false) => Pnf::eventually(f.pnf_with_polarity(false)?),
+            (PFormula::E(_), _) | (PFormula::A(_), _) => return None,
+        })
+    }
+
+    /// Node count.
+    pub fn size(&self) -> usize {
+        let mut n = 1;
+        match self {
+            PFormula::Not(f)
+            | PFormula::X(f)
+            | PFormula::F(f)
+            | PFormula::G(f)
+            | PFormula::E(f)
+            | PFormula::A(f) => n += f.size(),
+            PFormula::And(fs) | PFormula::Or(fs) => {
+                n += fs.iter().map(PFormula::size).sum::<usize>()
+            }
+            PFormula::U(a, b) => n += a.size() + b.size(),
+            _ => {}
+        }
+        n
+    }
+}
+
+impl fmt::Debug for PFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PFormula::True => write!(f, "true"),
+            PFormula::False => write!(f, "false"),
+            PFormula::Prop(p) => write!(f, "p{p}"),
+            PFormula::Not(g) => write!(f, "!{g:?}"),
+            PFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            PFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            PFormula::X(g) => write!(f, "X {g:?}"),
+            PFormula::U(a, b) => write!(f, "({a:?} U {b:?})"),
+            PFormula::F(g) => write!(f, "F {g:?}"),
+            PFormula::G(g) => write!(f, "G {g:?}"),
+            PFormula::E(g) => write!(f, "E {g:?}"),
+            PFormula::A(g) => write!(f, "A {g:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let ctl = PFormula::all_paths(PFormula::always(PFormula::exists_path(
+            PFormula::eventually(PFormula::Prop(0)),
+        )));
+        assert!(ctl.is_ctl());
+        assert!(!ctl.is_path_only());
+
+        let ltl = PFormula::always(PFormula::eventually(PFormula::Prop(0)));
+        assert!(ltl.is_path_only());
+        assert!(!ltl.is_ctl());
+
+        let star = PFormula::all_paths(PFormula::eventually(PFormula::always(
+            PFormula::Prop(0),
+        )));
+        assert!(!star.is_ctl());
+        assert!(!star.is_path_only());
+    }
+
+    #[test]
+    fn pnf_conversion_duals() {
+        // !(p U q) -> (!p R !q)
+        let f = PFormula::not(PFormula::until(PFormula::Prop(0), PFormula::Prop(1)));
+        assert_eq!(
+            f.to_pnf().unwrap(),
+            Pnf::release(Pnf::nprop(0), Pnf::nprop(1))
+        );
+        // !G p -> F !p
+        let g = PFormula::not(PFormula::always(PFormula::Prop(2)));
+        assert_eq!(g.to_pnf().unwrap(), Pnf::eventually(Pnf::nprop(2)));
+    }
+
+    #[test]
+    fn pnf_rejects_path_quantifiers() {
+        let f = PFormula::exists_path(PFormula::eventually(PFormula::Prop(0)));
+        assert!(f.to_pnf().is_none());
+    }
+
+    #[test]
+    fn smart_constructors() {
+        assert_eq!(PFormula::not(PFormula::not(PFormula::Prop(1))), PFormula::Prop(1));
+        assert_eq!(PFormula::and([]), PFormula::True);
+        assert_eq!(
+            PFormula::or([PFormula::False, PFormula::Prop(0)]),
+            PFormula::Prop(0)
+        );
+        assert!(PFormula::implies(PFormula::Prop(0), PFormula::Prop(1)).size() >= 3);
+    }
+}

@@ -1,0 +1,421 @@
+//! Propositional LTL in positive normal form, with reference semantics on
+//! ultimately-periodic words.
+//!
+//! The symbolic LTL-FO verifier abstracts the maximal FO components of a
+//! property into propositions and hands the resulting *propositional* LTL
+//! formula to the GPVW translation ([`crate::ltl2buchi`]). Positive normal
+//! form (negations on literals only, `R` dual to `U`) is the shape GPVW
+//! wants.
+//!
+//! [`Pnf::eval_lasso`] gives an independent, fixpoint-based semantics on
+//! lasso words `stem · loop^ω`; the test suite cross-validates the Büchi
+//! translation against it on random formulas and words.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::props::{PropId, PropSet};
+
+/// An LTL formula in positive normal form.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pnf {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Literal: a proposition or its negation.
+    Lit {
+        /// Proposition id.
+        prop: PropId,
+        /// `false` for a negated literal.
+        positive: bool,
+    },
+    /// Conjunction.
+    And(Vec<Pnf>),
+    /// Disjunction.
+    Or(Vec<Pnf>),
+    /// Next.
+    X(Box<Pnf>),
+    /// Until (least fixpoint).
+    U(Box<Pnf>, Box<Pnf>),
+    /// Release (greatest fixpoint, dual of until).
+    R(Box<Pnf>, Box<Pnf>),
+}
+
+impl Pnf {
+    /// Positive literal.
+    pub fn prop(p: PropId) -> Self {
+        Pnf::Lit { prop: p, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn nprop(p: PropId) -> Self {
+        Pnf::Lit { prop: p, positive: false }
+    }
+
+    /// Smart conjunction.
+    pub fn and(fs: impl IntoIterator<Item = Pnf>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Pnf::True => {}
+                Pnf::False => return Pnf::False,
+                Pnf::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Pnf::True,
+            1 => out.pop().expect("len checked"),
+            _ => Pnf::And(out),
+        }
+    }
+
+    /// Smart disjunction.
+    pub fn or(fs: impl IntoIterator<Item = Pnf>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Pnf::False => {}
+                Pnf::True => return Pnf::True,
+                Pnf::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Pnf::False,
+            1 => out.pop().expect("len checked"),
+            _ => Pnf::Or(out),
+        }
+    }
+
+    /// `Xφ`.
+    pub fn next(f: Pnf) -> Self {
+        Pnf::X(Box::new(f))
+    }
+
+    /// `φ U ψ`.
+    pub fn until(a: Pnf, b: Pnf) -> Self {
+        Pnf::U(Box::new(a), Box::new(b))
+    }
+
+    /// `φ R ψ`.
+    pub fn release(a: Pnf, b: Pnf) -> Self {
+        Pnf::R(Box::new(a), Box::new(b))
+    }
+
+    /// `Fφ ≡ true U φ`.
+    pub fn eventually(f: Pnf) -> Self {
+        Pnf::until(Pnf::True, f)
+    }
+
+    /// `Gφ ≡ false R φ`.
+    pub fn always(f: Pnf) -> Self {
+        Pnf::release(Pnf::False, f)
+    }
+
+    /// Dual (negation stays in positive normal form).
+    pub fn negate(&self) -> Pnf {
+        match self {
+            Pnf::True => Pnf::False,
+            Pnf::False => Pnf::True,
+            Pnf::Lit { prop, positive } => Pnf::Lit { prop: *prop, positive: !positive },
+            Pnf::And(fs) => Pnf::Or(fs.iter().map(Pnf::negate).collect()),
+            Pnf::Or(fs) => Pnf::And(fs.iter().map(Pnf::negate).collect()),
+            Pnf::X(f) => Pnf::X(Box::new(f.negate())),
+            Pnf::U(a, b) => Pnf::R(Box::new(a.negate()), Box::new(b.negate())),
+            Pnf::R(a, b) => Pnf::U(Box::new(a.negate()), Box::new(b.negate())),
+        }
+    }
+
+    /// All propositions mentioned.
+    pub fn props(&self) -> BTreeSet<PropId> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            if let Pnf::Lit { prop, .. } = f {
+                out.insert(*prop);
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn walk(&self, visit: &mut impl FnMut(&Pnf)) {
+        visit(self);
+        match self {
+            Pnf::And(fs) | Pnf::Or(fs) => fs.iter().for_each(|f| f.walk(visit)),
+            Pnf::X(f) => f.walk(visit),
+            Pnf::U(a, b) | Pnf::R(a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            _ => {}
+        }
+    }
+
+    /// Node count.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// Reference semantics on the lasso word `stem · lasso^ω`.
+    ///
+    /// Computed by fixpoint iteration over the finite position set
+    /// (`U` from below, `R` from above), which is exact on ultimately
+    /// periodic words. `lasso` must be nonempty.
+    pub fn eval_lasso(&self, stem: &[PropSet], lasso: &[PropSet]) -> bool {
+        assert!(!lasso.is_empty(), "lasso period must be nonempty");
+        let n = stem.len() + lasso.len();
+        let label = |i: usize| -> &PropSet {
+            if i < stem.len() {
+                &stem[i]
+            } else {
+                &lasso[i - stem.len()]
+            }
+        };
+        let next = |i: usize| -> usize {
+            if i + 1 < n {
+                i + 1
+            } else {
+                stem.len()
+            }
+        };
+        self.table(&label, &next, n)[0]
+    }
+
+    fn table<'a>(
+        &self,
+        label: &dyn Fn(usize) -> &'a PropSet,
+        next: &dyn Fn(usize) -> usize,
+        n: usize,
+    ) -> Vec<bool> {
+        match self {
+            Pnf::True => vec![true; n],
+            Pnf::False => vec![false; n],
+            Pnf::Lit { prop, positive } => {
+                (0..n).map(|i| label(i).contains(*prop) == *positive).collect()
+            }
+            Pnf::And(fs) => {
+                let mut acc = vec![true; n];
+                for f in fs {
+                    let t = f.table(label, next, n);
+                    for i in 0..n {
+                        acc[i] &= t[i];
+                    }
+                }
+                acc
+            }
+            Pnf::Or(fs) => {
+                let mut acc = vec![false; n];
+                for f in fs {
+                    let t = f.table(label, next, n);
+                    for i in 0..n {
+                        acc[i] |= t[i];
+                    }
+                }
+                acc
+            }
+            Pnf::X(f) => {
+                let t = f.table(label, next, n);
+                (0..n).map(|i| t[next(i)]).collect()
+            }
+            Pnf::U(a, b) => {
+                let ta = a.table(label, next, n);
+                let tb = b.table(label, next, n);
+                let mut sat = tb.clone();
+                // Least fixpoint: at most n rounds to converge.
+                for _ in 0..n {
+                    let mut changed = false;
+                    for i in (0..n).rev() {
+                        let v = tb[i] || (ta[i] && sat[next(i)]);
+                        if v != sat[i] {
+                            sat[i] = v;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                sat
+            }
+            Pnf::R(a, b) => {
+                let ta = a.table(label, next, n);
+                let tb = b.table(label, next, n);
+                let mut sat = tb.clone();
+                // Greatest fixpoint from above.
+                for _ in 0..n {
+                    let mut changed = false;
+                    for i in (0..n).rev() {
+                        let v = tb[i] && (ta[i] || sat[next(i)]);
+                        if v != sat[i] {
+                            sat[i] = v;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                sat
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Pnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pnf::True => write!(f, "true"),
+            Pnf::False => write!(f, "false"),
+            Pnf::Lit { prop, positive: true } => write!(f, "p{prop}"),
+            Pnf::Lit { prop, positive: false } => write!(f, "!p{prop}"),
+            Pnf::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            Pnf::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            Pnf::X(g) => write!(f, "X {g:?}"),
+            Pnf::U(a, b) => write!(f, "({a:?} U {b:?})"),
+            Pnf::R(a, b) => write!(f, "({a:?} R {b:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(sets: &[&[PropId]]) -> Vec<PropSet> {
+        sets.iter().map(|ids| PropSet::from_ids(ids.iter().copied())).collect()
+    }
+
+    #[test]
+    fn literal_semantics() {
+        let stem = w(&[&[0]]);
+        let lasso = w(&[&[1]]);
+        assert!(Pnf::prop(0).eval_lasso(&stem, &lasso));
+        assert!(!Pnf::prop(1).eval_lasso(&stem, &lasso));
+        assert!(Pnf::nprop(1).eval_lasso(&stem, &lasso));
+    }
+
+    #[test]
+    fn next_wraps_into_loop() {
+        let stem = w(&[&[0]]);
+        let lasso = w(&[&[1], &[2]]);
+        // X p1 at position 0
+        assert!(Pnf::next(Pnf::prop(1)).eval_lasso(&stem, &lasso));
+        // XXX: positions 0(stem) 1 2 then wrap to 1 -> labels p1
+        assert!(Pnf::next(Pnf::next(Pnf::next(Pnf::prop(1)))).eval_lasso(&stem, &lasso));
+    }
+
+    #[test]
+    fn eventually_and_always() {
+        let stem = w(&[&[], &[]]);
+        let lasso = w(&[&[3]]);
+        assert!(Pnf::eventually(Pnf::prop(3)).eval_lasso(&stem, &lasso));
+        assert!(!Pnf::always(Pnf::prop(3)).eval_lasso(&stem, &lasso));
+        // in the loop p3 always holds, so FG p3:
+        let fg = Pnf::eventually(Pnf::always(Pnf::prop(3)));
+        assert!(fg.eval_lasso(&stem, &lasso));
+        // GF p3 too
+        let gf = Pnf::always(Pnf::eventually(Pnf::prop(3)));
+        assert!(gf.eval_lasso(&stem, &lasso));
+    }
+
+    #[test]
+    fn until_requires_witness() {
+        // p0 U p1 on p0 p0 (p1)^ω — true
+        let stem = w(&[&[0], &[0]]);
+        let lasso = w(&[&[1]]);
+        assert!(Pnf::until(Pnf::prop(0), Pnf::prop(1)).eval_lasso(&stem, &lasso));
+        // p0 U p1 on p0 (p0)^ω — false (no witness ever)
+        let lasso2 = w(&[&[0]]);
+        assert!(!Pnf::until(Pnf::prop(0), Pnf::prop(1)).eval_lasso(&stem, &lasso2));
+        // gap in p0 before p1: p0 [] (p1)^ω — false
+        let stem3 = w(&[&[0], &[]]);
+        assert!(!Pnf::until(Pnf::prop(0), Pnf::prop(1)).eval_lasso(&stem3, &w(&[&[0]])));
+        // but the U fires immediately if p1 now
+        assert!(Pnf::until(Pnf::prop(0), Pnf::prop(1)).eval_lasso(&w(&[&[1]]), &w(&[&[]])));
+    }
+
+    #[test]
+    fn release_is_dual_of_until() {
+        let stem = w(&[&[0], &[1]]);
+        let lasso = w(&[&[0, 1], &[]]);
+        let u = Pnf::until(Pnf::prop(0), Pnf::prop(1));
+        let r = u.negate();
+        assert!(matches!(r, Pnf::R(..)));
+        assert_ne!(
+            u.eval_lasso(&stem, &lasso),
+            r.eval_lasso(&stem, &lasso),
+            "φ and ¬φ must disagree"
+        );
+    }
+
+    #[test]
+    fn negate_involutive_semantics() {
+        // sample a few formulas/words and check ¬¬φ ≡ φ and φ xor ¬φ
+        let words = [
+            (w(&[&[0]]), w(&[&[1]])),
+            (w(&[]), w(&[&[0], &[1], &[2]])),
+            (w(&[&[0, 1]]), w(&[&[], &[2]])),
+        ];
+        let fs = [
+            Pnf::until(Pnf::prop(0), Pnf::prop(1)),
+            Pnf::release(Pnf::prop(2), Pnf::prop(1)),
+            Pnf::and([Pnf::prop(0), Pnf::next(Pnf::prop(2))]),
+            Pnf::always(Pnf::eventually(Pnf::prop(1))),
+        ];
+        for (stem, lasso) in &words {
+            for f in &fs {
+                let v = f.eval_lasso(stem, lasso);
+                assert_eq!(f.negate().eval_lasso(stem, lasso), !v);
+                assert_eq!(f.negate().negate().eval_lasso(stem, lasso), v);
+            }
+        }
+    }
+
+    #[test]
+    fn smart_constructors() {
+        assert_eq!(Pnf::and([Pnf::True, Pnf::prop(1)]), Pnf::prop(1));
+        assert_eq!(Pnf::or([]), Pnf::False);
+        assert_eq!(Pnf::and([Pnf::False, Pnf::prop(1)]), Pnf::False);
+    }
+
+    #[test]
+    fn props_and_size() {
+        let f = Pnf::until(Pnf::prop(3), Pnf::and([Pnf::nprop(5), Pnf::True]));
+        assert_eq!(f.props(), BTreeSet::from([3, 5]));
+        assert!(f.size() >= 3);
+    }
+
+    #[test]
+    fn empty_stem_allowed() {
+        let lasso = w(&[&[7]]);
+        assert!(Pnf::always(Pnf::prop(7)).eval_lasso(&[], &lasso));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_lasso_panics() {
+        Pnf::True.eval_lasso(&[], &[]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Proposition registries and compact bit-set labels.
+//!
+//! The propositional verifiers (Theorems 4.4–4.6) work over the vocabulary
+//! `Σ_W` of a Web service — pages, state propositions, inputs and actions
+//! viewed as propositional symbols. States of the constructed Kripke
+//! structures are *sets* of those symbols (Lemma A.12 labels nodes of the
+//! run tree by the set of propositions true there), so a compact set
+//! representation pays off: [`PropSet`] is a word-packed bitset keyed by
+//! the `u32` ids a [`PropRegistry`] assigns to names.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A proposition identifier.
+pub type PropId = u32;
+
+/// Bidirectional mapping between proposition names and dense ids.
+#[derive(Clone, Default, Debug)]
+pub struct PropRegistry {
+    by_name: BTreeMap<String, PropId>,
+    by_id: Vec<String>,
+}
+
+impl PropRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, allocating one if new.
+    pub fn intern(&mut self, name: impl AsRef<str>) -> PropId {
+        let name = name.as_ref();
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = self.by_id.len() as PropId;
+        self.by_name.insert(name.to_string(), id);
+        self.by_id.push(name.to_string());
+        id
+    }
+
+    /// Looks up an existing id.
+    pub fn id(&self, name: &str) -> Option<PropId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for an id.
+    pub fn name(&self, id: PropId) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of registered propositions.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Renders a [`PropSet`] with names, for diagnostics.
+    pub fn render(&self, set: &PropSet) -> String {
+        let names: Vec<&str> =
+            set.iter().filter_map(|id| self.name(id)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+/// A set of propositions, packed 64 per word.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PropSet {
+    words: Vec<u64>,
+}
+
+impl PropSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from ids.
+    pub fn from_ids(ids: impl IntoIterator<Item = PropId>) -> Self {
+        let mut s = Self::new();
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Inserts `id`; returns whether it was new.
+    pub fn insert(&mut self, id: PropId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `id`; returns whether it was present.
+    pub fn remove(&mut self, id: PropId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        if had {
+            self.normalize();
+        }
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: PropId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words.get(w).map(|x| x & (1 << b) != 0).unwrap_or(false)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset(&self, other: &PropSet) -> bool {
+        for (i, w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            if w & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the sets share no member.
+    pub fn is_disjoint(&self, other: &PropSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &PropSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// Iterates over member ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = PropId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some((wi * 64) as PropId + b)
+                }
+            })
+        })
+    }
+
+    /// Drops trailing zero words so equal sets compare equal.
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl FromIterator<PropId> for PropSet {
+    fn from_iter<I: IntoIterator<Item = PropId>>(iter: I) -> Self {
+        Self::from_ids(iter)
+    }
+}
+
+impl fmt::Debug for PropSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = PropRegistry::new();
+        let a = r.intern("HP");
+        let b = r.intern("logged_in");
+        assert_eq!(r.intern("HP"), a);
+        assert_eq!(r.id("logged_in"), Some(b));
+        assert_eq!(r.name(a), Some("HP"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn propset_insert_remove_contains() {
+        let mut s = PropSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(99));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(100));
+        assert!(!s.remove(100));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn normalization_preserves_equality() {
+        let mut a = PropSet::new();
+        a.insert(200);
+        a.remove(200);
+        assert_eq!(a, PropSet::new());
+        a.insert(1);
+        let b = PropSet::from_ids([1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = PropSet::from_ids([1, 2]);
+        let b = PropSet::from_ids([1, 2, 3]);
+        let c = PropSet::from_ids([64, 65]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        // trailing-word asymmetry
+        assert!(PropSet::from_ids([1]).is_subset(&PropSet::from_ids([1, 300])));
+        assert!(!PropSet::from_ids([300]).is_subset(&PropSet::from_ids([1])));
+    }
+
+    #[test]
+    fn union_and_iter_order() {
+        let mut a = PropSet::from_ids([5, 1]);
+        a.union_with(&PropSet::from_ids([70, 5]));
+        let ids: Vec<_> = a.iter().collect();
+        assert_eq!(ids, vec![1, 5, 70]);
+    }
+
+    #[test]
+    fn render_with_names() {
+        let mut r = PropRegistry::new();
+        let hp = r.intern("HP");
+        let cp = r.intern("CP");
+        let s = PropSet::from_ids([hp, cp]);
+        assert_eq!(r.render(&s), "{HP, CP}");
+    }
+
+    #[test]
+    fn large_ids() {
+        let mut s = PropSet::new();
+        s.insert(1000);
+        assert!(s.contains(1000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1000]);
+    }
+}

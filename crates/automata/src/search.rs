@@ -1,0 +1,324 @@
+//! Generic accepting-lasso search over implicit graphs.
+//!
+//! The Periodic-Run Lemma (Appendix A.1) reduces "some run violates φ" to
+//! "some *periodic* run violates φ": an accepting cycle reachable from an
+//! initial node in the product of the system with the Büchi automaton for
+//! ¬φ. This module provides that search as a reusable nested DFS
+//! (Courcoubetis–Vardi–Wolper–Yannakakis) over *implicit* graphs — the
+//! symbolic verifier never materializes its state space up front.
+
+use std::collections::BTreeSet;
+
+/// Result of the lasso search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchResult<N> {
+    /// No accepting lasso exists (the product language is empty).
+    Empty {
+        /// Number of distinct nodes explored.
+        explored: usize,
+    },
+    /// An accepting lasso was found: `stem` leads from an initial node to
+    /// the cycle entry; `cycle` returns to the first node of itself and
+    /// contains an accepting node.
+    Lasso {
+        /// Path from an initial node to the start of the cycle (inclusive).
+        stem: Vec<N>,
+        /// The cycle, starting and "ending" at `stem.last()` (the closing
+        /// edge back to `cycle[0] == stem.last()` is implicit).
+        cycle: Vec<N>,
+    },
+    /// The node budget was exhausted before the search finished.
+    LimitReached {
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl<N> SearchResult<N> {
+    /// True when a counterexample lasso was found.
+    pub fn is_lasso(&self) -> bool {
+        matches!(self, SearchResult::Lasso { .. })
+    }
+}
+
+/// Nested depth-first search for an accepting lasso.
+///
+/// * `inits` — the initial nodes.
+/// * `succ` — successor function (the implicit edge relation).
+/// * `accepting` — Büchi acceptance predicate on nodes.
+/// * `limit` — optional cap on distinct explored nodes.
+pub fn find_accepting_lasso<N, FS, FA>(
+    inits: Vec<N>,
+    mut succ: FS,
+    accepting: FA,
+    limit: Option<usize>,
+) -> SearchResult<N>
+where
+    N: Clone + Ord + std::fmt::Debug,
+    FS: FnMut(&N) -> Vec<N>,
+    FA: Fn(&N) -> bool,
+{
+    let mut blue: BTreeSet<N> = BTreeSet::new();
+    let mut red: BTreeSet<N> = BTreeSet::new();
+
+    // Outer DFS, iterative with explicit frames so deep graphs are safe.
+    struct Frame<N> {
+        node: N,
+        children: Vec<N>,
+        next_child: usize,
+    }
+
+    for init in inits {
+        if blue.contains(&init) {
+            continue;
+        }
+        if let Some(l) = limit {
+            if blue.len() >= l {
+                return SearchResult::LimitReached { limit: l };
+            }
+        }
+        blue.insert(init.clone());
+        let mut stack: Vec<Frame<N>> = vec![Frame {
+            children: succ(&init),
+            node: init,
+            next_child: 0,
+        }];
+        let mut on_stack: BTreeSet<N> = BTreeSet::new();
+        on_stack.insert(stack[0].node.clone());
+
+        while let Some(top) = stack.last_mut() {
+            if top.next_child < top.children.len() {
+                let child = top.children[top.next_child].clone();
+                top.next_child += 1;
+                if !blue.contains(&child) {
+                    if let Some(l) = limit {
+                        if blue.len() >= l {
+                            return SearchResult::LimitReached { limit: l };
+                        }
+                    }
+                    blue.insert(child.clone());
+                    on_stack.insert(child.clone());
+                    let kids = succ(&child);
+                    stack.push(Frame { node: child, children: kids, next_child: 0 });
+                }
+            } else {
+                // Post-order: if accepting, run the inner (red) DFS.
+                let node = top.node.clone();
+                if accepting(&node) && !red.contains(&node) {
+                    if let Some(cycle) =
+                        red_dfs(&node, &mut succ, &mut red, &on_stack, limit, blue.len())
+                    {
+                        // Reconstruct the stem from the outer stack.
+                        let mut stem: Vec<N> =
+                            stack.iter().map(|f| f.node.clone()).collect();
+                        // `cycle` closes at some node t on the outer stack;
+                        // rotate so it starts and ends at the seed node.
+                        let seed = node.clone();
+                        // stem currently ends at `seed` (it is the top).
+                        debug_assert_eq!(stem.last(), Some(&seed));
+                        // cycle = seed -> ... -> t; complete it along the
+                        // outer stack from t back down to seed.
+                        let t = cycle.last().expect("nonempty").clone();
+                        let mut full_cycle = cycle;
+                        if t != seed {
+                            let pos = stack
+                                .iter()
+                                .position(|f| f.node == t)
+                                .expect("closing node is on the outer stack");
+                            for f in &stack[pos + 1..] {
+                                full_cycle.push(f.node.clone());
+                            }
+                            debug_assert_eq!(full_cycle.last(), Some(&seed));
+                        }
+                        // Drop the duplicated seed at the end.
+                        full_cycle.pop();
+                        stem.pop();
+                        return SearchResult::Lasso {
+                            stem,
+                            cycle: {
+                                let mut c = vec![seed];
+                                c.extend(full_cycle.into_iter().skip(1));
+                                c
+                            },
+                        };
+                    }
+                }
+                on_stack.remove(&node);
+                stack.pop();
+            }
+        }
+    }
+    SearchResult::Empty { explored: blue.len() }
+}
+
+/// Inner DFS from an accepting seed; returns a path `seed -> … -> t` where
+/// `t` is on the outer stack (so a cycle through the seed exists), or
+/// `None`.
+fn red_dfs<N, FS>(
+    seed: &N,
+    succ: &mut FS,
+    red: &mut BTreeSet<N>,
+    on_outer_stack: &BTreeSet<N>,
+    limit: Option<usize>,
+    blue_count: usize,
+) -> Option<Vec<N>>
+where
+    N: Clone + Ord,
+    FS: FnMut(&N) -> Vec<N>,
+{
+    struct Frame<N> {
+        node: N,
+        children: Vec<N>,
+        next_child: usize,
+    }
+    red.insert(seed.clone());
+    let mut stack = vec![Frame { children: succ(seed), node: seed.clone(), next_child: 0 }];
+    while let Some(top) = stack.last_mut() {
+        if top.next_child < top.children.len() {
+            let child = top.children[top.next_child].clone();
+            top.next_child += 1;
+            if on_outer_stack.contains(&child) {
+                // Found the closing edge: path is the red stack + child.
+                let mut path: Vec<N> = stack.iter().map(|f| f.node.clone()).collect();
+                path.push(child);
+                return Some(path);
+            }
+            if !red.contains(&child) {
+                if let Some(l) = limit {
+                    if red.len() + blue_count >= l.saturating_mul(2) {
+                        return None; // red exploration budget tied to limit
+                    }
+                }
+                red.insert(child.clone());
+                let kids = succ(&child);
+                stack.push(Frame { node: child, children: kids, next_child: 0 });
+            }
+        } else {
+            stack.pop();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Explicit little graphs for testing: adjacency lists.
+    fn run(
+        n: usize,
+        edges: &[(usize, usize)],
+        inits: &[usize],
+        acc: &[usize],
+    ) -> SearchResult<usize> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+        }
+        let accset: BTreeSet<usize> = acc.iter().copied().collect();
+        find_accepting_lasso(
+            inits.to_vec(),
+            |u| adj[*u].clone(),
+            |u| accset.contains(u),
+            None,
+        )
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = run(3, &[(0, 1)], &[0], &[2]);
+        assert_eq!(r, SearchResult::Empty { explored: 2 });
+    }
+
+    #[test]
+    fn self_loop_on_accepting() {
+        let r = run(2, &[(0, 1), (1, 1)], &[0], &[1]);
+        match r {
+            SearchResult::Lasso { stem, cycle } => {
+                assert_eq!(stem, vec![0]);
+                assert_eq!(cycle, vec![1]);
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_through_accepting() {
+        // 0 -> 1 -> 2 -> 1, accepting 2
+        let r = run(3, &[(0, 1), (1, 2), (2, 1)], &[0], &[2]);
+        match r {
+            SearchResult::Lasso { stem, cycle } => {
+                // cycle starts at the accepting seed 2 and returns via 1
+                assert_eq!(cycle[0], 2);
+                assert!(cycle.contains(&1));
+                assert!(!stem.contains(&2));
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepting_not_on_cycle_rejected() {
+        // 0 -> 1(acc) -> 2 -> 2 : the only cycle avoids the accepting node
+        let r = run(3, &[(0, 1), (1, 2), (2, 2)], &[0], &[1]);
+        assert!(matches!(r, SearchResult::Empty { .. }));
+    }
+
+    #[test]
+    fn cycle_without_accepting_rejected() {
+        let r = run(3, &[(0, 1), (1, 0)], &[0], &[2]);
+        assert!(matches!(r, SearchResult::Empty { .. }));
+    }
+
+    #[test]
+    fn multiple_inits() {
+        let r = run(4, &[(0, 0), (1, 2), (2, 3), (3, 2)], &[0, 1], &[3]);
+        assert!(r.is_lasso());
+    }
+
+    #[test]
+    fn limit_stops_search() {
+        // infinite-ish wide graph via counter nodes
+        let r = find_accepting_lasso(
+            vec![0usize],
+            |u| vec![u + 1],
+            |_| false,
+            Some(100),
+        );
+        assert_eq!(r, SearchResult::LimitReached { limit: 100 });
+    }
+
+    #[test]
+    fn lasso_validity_invariant() {
+        // For any found lasso: consecutive stem/cycle nodes are edges and
+        // cycle closes.
+        let n = 6;
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 2), (2, 5), (5, 5)];
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+        }
+        let acc = BTreeSet::from([4]);
+        let r = find_accepting_lasso(
+            vec![0usize],
+            |u| adj[*u].clone(),
+            |u| acc.contains(u),
+            None,
+        );
+        match r {
+            SearchResult::Lasso { stem, cycle } => {
+                let edge = |a: usize, b: usize| adj[a].contains(&b);
+                let mut prev: Option<usize> = None;
+                for &s in stem.iter().chain(cycle.iter()) {
+                    if let Some(p) = prev {
+                        assert!(edge(p, s), "missing edge {p}->{s}");
+                    }
+                    prev = Some(s);
+                }
+                assert!(edge(*cycle.last().unwrap(), cycle[0]), "cycle must close");
+                assert!(cycle.iter().any(|u| acc.contains(u)));
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! EXP-A1 / EXP-A2 — ablations around the symbolic verifier.
+//!
+//! * A1: symbolic vs the enumerative baseline as the concrete database
+//!   grows. The symbolic cost is database-independent; the baseline pays
+//!   per database *and* per database size — the crossover that motivates
+//!   the paper.
+//! * A2: cost of the `prev` window — input arity inflates both the
+//!   per-step choice space and the window contents (the reason lossless
+//!   input, Theorem 3.9, is hopeless).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_bench::{arity_service, gated};
+use wave_logic::instance::Instance;
+use wave_logic::parser::parse_property;
+use wave_logic::tuple;
+use wave_verifier::enumerative::{verify_ltl_on_db, EnumOptions};
+use wave_verifier::symbolic::{verify_ltl, SymbolicOptions};
+
+fn a1_symbolic_flat(c: &mut Criterion) {
+    let service = gated();
+    let prop = parse_property("G (P | Q)").unwrap();
+    c.bench_function("A1_symbolic_all_databases", |b| {
+        b.iter(|| {
+            let out = verify_ltl(&service, &prop, &SymbolicOptions::default()).unwrap();
+            assert!(out.holds());
+        })
+    });
+}
+
+fn a1_enumerative_grows(c: &mut Criterion) {
+    let service = gated();
+    let prop = parse_property("G (P | Q)").unwrap();
+    let mut g = c.benchmark_group("A1_enumerative_vs_db_size");
+    g.sample_size(10);
+    for n in [1usize, 4, 16, 64] {
+        let mut db = Instance::new();
+        for i in 0..n {
+            db.insert("open", tuple![i as i64]);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out =
+                    verify_ltl_on_db(&service, &db, &prop, &EnumOptions::default())
+                        .unwrap();
+                assert!(out.holds());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn a2_prev_window_vs_arity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A2_symbolic_vs_input_arity");
+    g.sample_size(10);
+    for arity in [1usize, 2] {
+        let service = arity_service(arity);
+        let prop = parse_property("G P").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, _| {
+            b.iter(|| {
+                let out =
+                    verify_ltl(&service, &prop, &SymbolicOptions::default()).unwrap();
+                assert!(out.holds());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, a1_symbolic_flat, a1_enumerative_grows, a2_prev_window_vs_arity);
+criterion_main!(benches);

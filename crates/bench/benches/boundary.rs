@@ -1,0 +1,62 @@
+//! EXP-U1/U2/U3 — the decidability frontier as workloads.
+//!
+//! * U3 (Lemma A.6): deciding QBF through error-freeness of the encoding;
+//!   PSPACE-hardness shows as steep growth in quantifier count.
+//! * U1 (Theorem 3.7): driving the TM encoding tracks the simulator.
+//! * U2 (Theorem 3.8): the bounded chase on FD/IND families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_reductions::deps::{chase_implies, Dep};
+use wave_reductions::qbf::{encode, random_qbf};
+use wave_reductions::tm::{encode as tm_encode, sample_halting};
+use wave_verifier::symbolic::{is_error_free, SymbolicOptions};
+
+fn qbf_via_errorfreeness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("U3_qbf_vars");
+    g.sample_size(10);
+    for vars in [1usize, 2] {
+        let phi = random_qbf(vars, 3, 11);
+        let truth = phi.truth();
+        let w = encode(&phi);
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| {
+                let out = is_error_free(&w, &SymbolicOptions::default()).unwrap();
+                assert_eq!(!out.holds(), truth);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn tm_simulation(c: &mut Criterion) {
+    let tm = sample_halting();
+    c.bench_function("U1_tm_simulate", |b| b.iter(|| tm.simulate(100)));
+    c.bench_function("U1_tm_encode", |b| {
+        b.iter(|| {
+            let w = tm_encode(&tm);
+            assert_eq!(w.pages.len(), 1);
+            w
+        })
+    });
+}
+
+fn chase_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("U2_chase_fd_chain");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        // FD chain 0→1, 1→2, …, (n-1)→n implies 0→n.
+        let deps: Vec<Dep> =
+            (0..n).map(|i| Dep::Fd { lhs: vec![i], rhs: i + 1 }).collect();
+        let goal = Dep::Fd { lhs: vec![0], rhs: n };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert_eq!(chase_implies(&deps, &goal, n + 1, 200), Some(true));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, qbf_via_errorfreeness, tm_simulation, chase_families);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! EXP-T4 — Corollary 4.5: navigational CTL with fixed state/database
+//! schema. The paper's PSPACE bound for this special case predicts tame
+//! growth in the number of pages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_bench::page_ring;
+use wave_logic::instance::Instance;
+use wave_logic::parser::parse_temporal;
+use wave_verifier::ctl_prop::{verify_ctl_on_db, CtlOptions};
+
+fn nav_vs_pages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T4_agef_home_vs_pages");
+    g.sample_size(10);
+    let db = Instance::new();
+    for n in [4usize, 8, 16, 32] {
+        let service = page_ring(n);
+        let prop = parse_temporal("A G (E F P0)", &[]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default())
+                    .unwrap();
+                assert!(ok, "the ring always returns home");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn nav_abstraction(c: &mut Criterion) {
+    let db = Instance::new();
+    let service = wave_demo::site::navigation_abstraction();
+    let props = [
+        ("AGEF_HP", "A G (E F HP)"),
+        (
+            "login_to_payment",
+            r#"A G ((HP & button("login")) -> E F button("authorize payment"))"#,
+        ),
+    ];
+    for (name, src) in props {
+        let prop = parse_temporal(src, &[]).unwrap();
+        c.bench_function(&format!("T4_nav_{name}"), |b| {
+            b.iter(|| {
+                verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default()).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, nav_vs_pages, nav_abstraction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! EXP-T3 — Theorem 4.4: CTL(\*) on propositional services.
+//!
+//! Reproduced shape: the Kripke structure is exponential in the number of
+//! state propositions (Lemma A.12); model checking is polynomial in the
+//! structure for CTL and heavier for CTL\*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_bench::toggle_bank;
+use wave_logic::instance::Instance;
+use wave_logic::parser::parse_temporal;
+use wave_verifier::ctl_prop::{verify_ctl_on_db, CtlOptions};
+
+fn ctl_vs_props(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T3_ctl_vs_state_props");
+    g.sample_size(10);
+    let db = Instance::new();
+    for k in [2usize, 4, 6] {
+        let service = toggle_bank(k);
+        let prop = parse_temporal("A G (E F (!s0))", &[]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default())
+                    .unwrap();
+                assert!(ok);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ctl_star_vs_props(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T3_ctl_star_vs_state_props");
+    g.sample_size(10);
+    let db = Instance::new();
+    for k in [2usize, 4, 6] {
+        let service = toggle_bank(k);
+        // CTL*: some run eventually keeps s0 forever.
+        let prop = parse_temporal("E F (G s0)", &[]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default())
+                    .unwrap();
+                assert!(ok);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ctl_vs_props, ctl_star_vs_props);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! EXP-T2 — Theorem 3.5(i): error-freeness.
+//!
+//! Measures the native symbolic check on the page-ring family and the
+//! demo checkout core, plus the Lemma A.5 transformation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_bench::page_ring;
+use wave_demo::site;
+use wave_verifier::errorfree::lemma_a5_transform;
+use wave_verifier::symbolic::{is_error_free, SymbolicOptions};
+
+fn errorfree_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2_errorfree_ring");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let service = page_ring(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = is_error_free(&service, &SymbolicOptions::default()).unwrap();
+                assert!(out.holds());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn errorfree_checkout(c: &mut Criterion) {
+    let service = site::checkout_core();
+    c.bench_function("T2_errorfree_checkout_core", |b| {
+        b.iter(|| is_error_free(&service, &SymbolicOptions::default()).unwrap())
+    });
+}
+
+fn a5_transform(c: &mut Criterion) {
+    let service = site::full_site();
+    c.bench_function("T2_lemma_a5_transform_full_site", |b| {
+        b.iter(|| {
+            let t = lemma_a5_transform(&service);
+            assert!(t.pages.len() == service.pages.len() + 1);
+        })
+    });
+}
+
+criterion_group!(benches, errorfree_ring, errorfree_checkout, a5_transform);
+criterion_main!(benches);

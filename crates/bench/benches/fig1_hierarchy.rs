@@ -1,0 +1,64 @@
+//! EXP-F1 — Figure 1: the category-hierarchy navigator (Example 4.8).
+//!
+//! Concrete navigation cost grows with the hierarchy (option evaluation
+//! joins `prev_pick` with `cat_graph`), while Theorem 4.9 verification is
+//! *database-independent* — its cost does not change with hierarchy size,
+//! which is the point of verifying the specification rather than one
+//! instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_core::run::{InputChoice, Runner};
+use wave_demo::hierarchy;
+use wave_logic::parser::parse_temporal;
+use wave_logic::tuple;
+use wave_verifier::input_driven;
+
+fn concrete_walk(c: &mut Criterion) {
+    let nav = hierarchy::navigator();
+    let mut g = c.benchmark_group("F1_concrete_walk");
+    g.sample_size(10);
+    for depth in [2usize, 4, 6] {
+        let (db, nodes) = hierarchy::generate(depth, 2, 1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("depth{depth}_nodes{nodes}")),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let r = Runner::new(&nav, &db);
+                    let mut cfg = r
+                        .initial(&InputChoice::empty().with_tuple("pick", tuple!["n0"]))
+                        .unwrap();
+                    // walk leftmost path
+                    let mut node = 1usize;
+                    for _ in 0..depth {
+                        let name = format!("n{node}");
+                        cfg = r
+                            .step(
+                                &cfg,
+                                &InputChoice::empty()
+                                    .with_tuple("pick", tuple![name.as_str()]),
+                            )
+                            .unwrap();
+                        node = node * 2 + 1;
+                    }
+                    cfg
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn verification_is_db_independent(c: &mut Criterion) {
+    // The Theorem 4.9 reduction never looks at a database: one data point,
+    // contrasted in EXPERIMENTS.md with the growing concrete walks.
+    let nav = hierarchy::navigator();
+    let prop = parse_temporal("A G SP", &[]).unwrap();
+    c.bench_function("F1_verify_any_hierarchy", |b| {
+        b.iter(|| input_driven::verify(&nav, &prop, 24).unwrap())
+    });
+}
+
+criterion_group!(benches, concrete_walk, verification_is_db_independent);
+criterion_main!(benches);

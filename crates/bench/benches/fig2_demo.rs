@@ -1,0 +1,122 @@
+//! EXP-F2 — Figure 2: the full e-commerce demo.
+//!
+//! Measures specification handling (validation/classification), the
+//! purchase scenario on growing catalogs, and the paper's properties on
+//! the tractable fragments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use wave_core::classify;
+use wave_core::run::{InputChoice, Runner};
+use wave_demo::{catalog, site};
+use wave_logic::instance::Instance;
+use wave_logic::parser::{parse_property, parse_temporal};
+use wave_logic::tuple;
+use wave_verifier::ctl_prop::{verify_ctl_on_db, CtlOptions};
+use wave_verifier::symbolic::{verify_ltl, SymbolicOptions};
+
+fn spec_handling(c: &mut Criterion) {
+    c.bench_function("F2_build_and_validate", |b| {
+        b.iter(|| {
+            let s = site::full_site();
+            assert!(s.validate().is_ok());
+            s
+        })
+    });
+    let s = site::full_site();
+    c.bench_function("F2_classify", |b| {
+        b.iter(|| {
+            let v = classify::input_bounded_violations(&s);
+            assert!(v.is_empty());
+        })
+    });
+}
+
+fn purchase_scenario(c: &mut Criterion) {
+    let s = site::full_site();
+    let mut g = c.benchmark_group("F2_purchase_vs_catalog");
+    g.sample_size(10);
+    for laptops in [2usize, 8, 32] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut db = catalog::generate(
+            &catalog::CatalogSpec { laptops, desktops: 2, customers: 2, attr_values: 2 },
+            &mut rng,
+        );
+        // ensure the scripted path exists
+        db.insert("user", tuple!["alice", "pw1"]);
+        db.insert("criteria", tuple!["laptop", "ram", "8gb"]);
+        db.insert("criteria", tuple!["laptop", "hdd", "1tb"]);
+        db.insert("criteria", tuple!["laptop", "display", "13in"]);
+        db.insert("laptop", tuple!["px", "8gb", "1tb", "13in"]);
+        db.insert("prod_prices", tuple!["px", 999]);
+        db.insert("prod_names", tuple!["px", "bench"]);
+        g.bench_with_input(BenchmarkId::from_parameter(laptops), &laptops, |b, _| {
+            b.iter(|| {
+                let r = Runner::new(&s, &db);
+                let c0 = r
+                    .initial(
+                        &InputChoice::empty()
+                            .with_constant("name", "alice")
+                            .with_constant("password", "pw1")
+                            .with_tuple("button", tuple!["login"]),
+                    )
+                    .unwrap();
+                let c1 = r
+                    .step(&c0, &InputChoice::empty().with_tuple("button", tuple!["laptop"]))
+                    .unwrap();
+                let c2 = r
+                    .step(
+                        &c1,
+                        &InputChoice::empty()
+                            .with_tuple("laptopsearch", tuple!["8gb", "1tb", "13in"])
+                            .with_tuple("button", tuple!["search"]),
+                    )
+                    .unwrap();
+                let c3 = r
+                    .step(
+                        &c2,
+                        &InputChoice::empty().with_tuple("pickprod", tuple!["px", 999]),
+                    )
+                    .unwrap();
+                assert_eq!(c3.page, "PIP");
+                c3
+            })
+        });
+    }
+    g.finish();
+}
+
+fn paper_properties(c: &mut Criterion) {
+    // EXP-P2 analogue: payment safety on the checkout core, symbolically.
+    let core = site::checkout_core();
+    let p = parse_property("forall p . G (!ship(p) | paid)").unwrap();
+    c.bench_function("F2_P2_ship_implies_paid_symbolic", |b| {
+        b.iter(|| {
+            let out = verify_ltl(&core, &p, &SymbolicOptions::default()).unwrap();
+            assert!(out.holds());
+        })
+    });
+    // EXP-P3: Example 4.3 navigation on the abstraction.
+    let nav = site::navigation_abstraction();
+    let db = Instance::new();
+    let home = parse_temporal("A G (E F HP)", &[]).unwrap();
+    c.bench_function("F2_P3_agef_home", |b| {
+        b.iter(|| {
+            let ok = verify_ctl_on_db(&nav, &db, &home, &CtlOptions::default()).unwrap();
+            assert!(ok);
+        })
+    });
+    // EXP-P4: Example 4.1 shape (CTL with nested E inside AU).
+    let ex41 = parse_temporal(
+        "A G (paid -> A ((E F HP) U (HP | paid)))",
+        &[],
+    )
+    .unwrap();
+    c.bench_function("F2_P4_cancellable_until", |b| {
+        b.iter(|| verify_ctl_on_db(&nav, &db, &ex41, &CtlOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, spec_handling, purchase_scenario, paper_properties);
+criterion_main!(benches);

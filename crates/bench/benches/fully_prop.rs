@@ -1,0 +1,49 @@
+//! EXP-T5 — Theorem 4.6: fully propositional services.
+//!
+//! Reproduced shape: the reachable Kripke structure doubles with every
+//! added toggle proposition; our explicit construction therefore grows
+//! exponentially (the paper's PSPACE bound avoids materialization via
+//! on-the-fly HAA techniques — ablation note in DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_bench::toggle_bank;
+use wave_logic::parser::parse_temporal;
+use wave_verifier::ctl_prop::CtlOptions;
+use wave_verifier::fully_prop;
+
+fn fully_prop_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T5_fully_prop_vs_props");
+    g.sample_size(10);
+    for k in [2usize, 4, 6] {
+        let service = toggle_bank(k);
+        let prop = parse_temporal("A G (E F (s0 | !s0))", &[]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let ok = fully_prop::verify(&service, &prop, &CtlOptions::default())
+                    .unwrap();
+                assert!(ok);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn kripke_size_report(c: &mut Criterion) {
+    // Record the Kripke sizes (printed once) alongside timing.
+    for k in [2usize, 4, 6] {
+        let service = toggle_bank(k);
+        let prop = parse_temporal("A G s0", &[]).unwrap();
+        let kripke =
+            fully_prop::kripke_of(&service, &prop, &CtlOptions::default()).unwrap();
+        eprintln!("toggle_bank({k}): {} Kripke states", kripke.len());
+    }
+    let service = toggle_bank(4);
+    let prop = parse_temporal("A G (s0 | !s0)", &[]).unwrap();
+    c.bench_function("T5_kripke_build_k4", |b| {
+        b.iter(|| fully_prop::kripke_of(&service, &prop, &CtlOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, fully_prop_sweep, kripke_size_report);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! EXP-T6 — Theorem 4.9: input-driven search via CTL satisfiability.
+//!
+//! Reproduced shape: EXPTIME in the tableau closure — runtime grows
+//! exponentially with the number of elementary formulas in `ψ_W ∧ ¬φ`
+//! (here driven by property size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wave_automata::ctl_sat::is_satisfiable;
+use wave_automata::pformula::PFormula;
+use wave_demo::hierarchy;
+use wave_logic::parser::parse_temporal;
+use wave_verifier::input_driven;
+
+fn verify_navigator(c: &mut Criterion) {
+    let nav = hierarchy::navigator();
+    let props = [
+        ("page_invariant", "A G SP"),
+        (
+            "filter_enforced",
+            "A G ((not_start & exists y . (pick(y) & in_stock(y))) | !(not_start & exists y . pick(y)))",
+        ),
+        ("flip_once", "A X (A G not_start)"),
+    ];
+    let mut g = c.benchmark_group("T6_input_driven_verify");
+    g.sample_size(10);
+    for (name, src) in props {
+        let prop = parse_temporal(src, &[]).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| input_driven::verify(&nav, &prop, 24).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn ctl_sat_scaling(c: &mut Criterion) {
+    // Pure tableau scaling: AG(EX p_i) chains grow the elementary set by
+    // one modal formula each — EXPTIME bites visibly.
+    let mut g = c.benchmark_group("T6_ctl_sat_vs_closure");
+    g.sample_size(10);
+    for k in [2usize, 4, 6, 8] {
+        let parts: Vec<PFormula> = (0..k as u32)
+            .map(|i| PFormula::exists_path(PFormula::next(PFormula::Prop(i))))
+            .collect();
+        let f = PFormula::and(parts);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let r = is_satisfiable(&f, 24).unwrap();
+                assert!(r.is_sat());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, verify_navigator, ctl_sat_scaling);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! # wave-bench
+//!
+//! Shared workload generators for the EXP-* benchmark suite (see
+//! DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-measured record).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::service::Service;
+
+/// A ring of `n` pages connected by a `go` button — the scalable
+/// fixed-arity family behind EXP-T1/T2/T4 (page count grows, schema arity
+/// stays fixed, so Theorem 3.5's PSPACE bound predicts polynomial-ish
+/// growth).
+pub fn page_ring(n: usize) -> Service {
+    assert!(n >= 1);
+    let mut b = ServiceBuilder::new("P0");
+    b.input_relation("go", 0);
+    for i in 0..n {
+        b.page(&format!("P{i}"));
+    }
+    for i in 0..n {
+        let next = format!("P{}", (i + 1) % n);
+        b.page(&format!("P{i}"))
+            .input_prop_on_page("go")
+            .target(&next, "go");
+    }
+    b.build().expect("ring builds")
+}
+
+/// A one-page service with a state relation of the given arity populated
+/// from an input of the same arity — the arity-scaling family of EXP-T1
+/// (Theorem 3.5: PSPACE for fixed arity, EXPSPACE unbounded — the
+/// configuration space is `|C|^arity` per state relation).
+pub fn arity_service(arity: usize) -> Service {
+    assert!((1..=4).contains(&arity));
+    let vars: Vec<String> = (0..arity).map(|i| format!("x{i}")).collect();
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let body = vars
+        .iter()
+        .map(|v| format!("dom({v})"))
+        .collect::<Vec<_>>()
+        .join(" & ");
+    let head_atom = format!("pick({})", vars.join(", "));
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("dom", 1)
+        .database_constant("c0")
+        .database_constant("c1")
+        .input_relation("pick", arity)
+        .state_relation("seen", arity)
+        .page("P")
+        .input_rule("pick", &var_refs, &body)
+        .insert_rule("seen", &var_refs, &head_atom);
+    b.build().expect("arity service builds")
+}
+
+/// A fully propositional service with `k` independent toggle states —
+/// `2^k` reachable state valuations (EXP-T3/T5's exponential Kripke).
+pub fn toggle_bank(k: usize) -> Service {
+    let mut b = ServiceBuilder::new("P");
+    for i in 0..k {
+        b.state_prop(&format!("s{i}"));
+        b.input_relation(&format!("flip{i}"), 0);
+    }
+    b.page("P");
+    for i in 0..k {
+        let flip = format!("flip{i}");
+        let s = format!("s{i}");
+        b.input_prop_on_page(&flip)
+            .insert_rule(&s, &[], &format!("{flip} & !{s}"))
+            .delete_rule(&s, &[], &format!("{flip} & {s}"));
+    }
+    b.build().expect("toggle bank builds")
+}
+
+/// The database-gated service used by the EXP-A1 ablation: the branch to
+/// `Q` depends on a database fact, so the enumerative baseline must sweep
+/// databases while the symbolic verifier pays once.
+pub fn gated() -> Service {
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("open", 1)
+        .input_relation("go", 0)
+        .page("P")
+        .input_prop_on_page("go")
+        .target("Q", r#"go & open("k")"#)
+        .page("Q");
+    b.build().expect("gated builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_build() {
+        assert_eq!(page_ring(5).pages.len(), 5);
+        assert_eq!(arity_service(3).schema.relation("seen").unwrap().arity, 3);
+        assert_eq!(toggle_bank(4).pages.len(), 1);
+        assert!(gated().validate().is_ok());
+    }
+}

@@ -1,0 +1,503 @@
+//! Syntactic classification into the paper's decidable classes.
+//!
+//! * **Input-bounded** services (§3): state/action/target rules use only
+//!   input-bounded quantification; input rules are ∃FO with ground state
+//!   atoms. Verification of input-bounded LTL-FO properties is decidable
+//!   (Theorem 3.5) and PSPACE-complete for fixed arity.
+//! * **Propositional** services (§4, Theorem 4.4): input-bounded, all
+//!   states and actions propositional, and no `prev` atoms. CTL(\*)
+//!   verification decidable.
+//! * **Fully propositional** services (Theorem 4.6): everything
+//!   propositional, no database access. CTL(\*) verification in PSPACE.
+//! * **Input-driven search** services (Definition 4.7): a single unary
+//!   input navigating a database graph `R_I`, filtered by quantifier-free
+//!   conditions; CTL verification in EXPTIME (Theorem 4.9).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wave_logic::bounded::{check_input_bounded, check_input_rule, BoundedError};
+use wave_logic::formula::{Formula, Term};
+use wave_logic::schema::{ConstKind, RelKind};
+
+use crate::service::Service;
+
+/// The decidable class a service falls into (most restrictive first).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceClass {
+    /// Everything propositional, no database (Theorem 4.6).
+    FullyPropositional,
+    /// Propositional states/actions, no prev atoms (Theorem 4.4).
+    Propositional,
+    /// Input-bounded (Theorem 3.5).
+    InputBounded,
+    /// Outside the decidable classes — verification is undecidable in
+    /// general (Theorems 3.7–3.9, 4.2).
+    Unrestricted,
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServiceClass::FullyPropositional => "fully propositional",
+            ServiceClass::Propositional => "propositional",
+            ServiceClass::InputBounded => "input-bounded",
+            ServiceClass::Unrestricted => "unrestricted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full classification report.
+#[derive(Clone, Debug)]
+pub struct ServiceClassification {
+    /// Violations of input-boundedness, tagged `(page, rule)`.
+    pub bounded_violations: Vec<(String, String, BoundedError)>,
+    /// Whether all states and actions are propositional and no rule uses a
+    /// `prev` atom.
+    pub propositional: bool,
+    /// Whether additionally inputs are propositional, no database relation
+    /// or constant is used, and there are no input constants.
+    pub fully_propositional: bool,
+}
+
+impl ServiceClassification {
+    /// The most restrictive class the service belongs to.
+    pub fn class(&self) -> ServiceClass {
+        if !self.bounded_violations.is_empty() {
+            return ServiceClass::Unrestricted;
+        }
+        if self.fully_propositional {
+            ServiceClass::FullyPropositional
+        } else if self.propositional {
+            ServiceClass::Propositional
+        } else {
+            ServiceClass::InputBounded
+        }
+    }
+}
+
+/// Classifies a service.
+pub fn classify(service: &Service) -> ServiceClassification {
+    let bounded_violations = input_bounded_violations(service);
+    let propositional = is_propositional(service);
+    let fully_propositional = propositional && is_fully_propositional(service);
+    ServiceClassification { bounded_violations, propositional, fully_propositional }
+}
+
+/// All input-boundedness violations, tagged with page and rule.
+pub fn input_bounded_violations(service: &Service) -> Vec<(String, String, BoundedError)> {
+    let mut out = Vec::new();
+    for (pname, page) in &service.pages {
+        for r in &page.input_rules {
+            if let Err(e) = check_input_rule(&r.body, &service.schema) {
+                out.push((pname.clone(), format!("Options_{}", r.relation), e));
+            }
+        }
+        for r in &page.state_rules {
+            for (tag, body) in [("+", &r.insert), ("-", &r.delete)] {
+                if let Some(b) = body {
+                    if let Err(e) = check_input_bounded(b, &service.schema) {
+                        out.push((pname.clone(), format!("{}{}", tag, r.relation), e));
+                    }
+                }
+            }
+        }
+        for r in &page.action_rules {
+            if let Err(e) = check_input_bounded(&r.body, &service.schema) {
+                out.push((pname.clone(), r.relation.clone(), e));
+            }
+        }
+        for r in &page.target_rules {
+            if let Err(e) = check_input_bounded(&r.body, &service.schema) {
+                out.push((pname.clone(), format!("target {}", r.target), e));
+            }
+        }
+    }
+    out
+}
+
+/// Propositional (Theorem 4.4): every state and action relation has arity
+/// 0, and no rule mentions a `prev` atom.
+pub fn is_propositional(service: &Service) -> bool {
+    let schema = &service.schema;
+    if schema
+        .relations()
+        .any(|r| r.kind.is_state_or_action() && r.arity > 0)
+    {
+        return false;
+    }
+    for page in service.pages.values() {
+        for (body, _) in page.all_bodies() {
+            for (rel, _) in body.relations_used() {
+                if let Some(r) = schema.relation(&rel) {
+                    if r.kind == RelKind::PrevInput {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Fully propositional (Theorem 4.6): inputs, states and actions all
+/// propositional; rules use no database relation; no constants at all.
+pub fn is_fully_propositional(service: &Service) -> bool {
+    let schema = &service.schema;
+    if schema.relations().any(|r| {
+        matches!(r.kind, RelKind::Input | RelKind::State | RelKind::Action) && r.arity > 0
+    }) {
+        return false;
+    }
+    if schema.constants().next().is_some() {
+        return false;
+    }
+    for page in service.pages.values() {
+        for (body, _) in page.all_bodies() {
+            for (rel, _) in body.relations_used() {
+                if let Some(r) = schema.relation(&rel) {
+                    if matches!(r.kind, RelKind::Database | RelKind::PrevInput) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The recognized shape of a Web service with input-driven search
+/// (Definition 4.7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputDrivenShape {
+    /// The single unary input relation `I`.
+    pub input_rel: String,
+    /// The designated binary database relation `R_I`.
+    pub search_rel: String,
+    /// The seed constant `i0`.
+    pub seed_const: String,
+    /// The `not-start` state proposition.
+    pub not_start: String,
+    /// Per page: the quantifier-free filter `φ(y)` over `D ∪ S`.
+    pub filters: BTreeMap<String, Formula>,
+}
+
+/// Recognizes the Definition 4.7 shape, or explains why it does not match.
+pub fn input_driven_shape(service: &Service) -> Result<InputDrivenShape, String> {
+    let schema = &service.schema;
+    // One unary input relation, no input constants.
+    let inputs: Vec<_> = schema.relations_of(RelKind::Input).collect();
+    let [input] = inputs.as_slice() else {
+        return Err(format!("expected exactly one input relation, found {}", inputs.len()));
+    };
+    if input.arity != 1 {
+        return Err(format!("input `{}` must be unary", input.name));
+    }
+    let input_rel = input.name.clone();
+    if schema.input_constants().next().is_some() {
+        return Err("input constants are not allowed".into());
+    }
+    // States propositional, including not_start.
+    if schema.relations_of(RelKind::State).any(|r| r.arity > 0) {
+        return Err("state relations must be propositional".into());
+    }
+    if schema.relations_of(RelKind::Action).any(|r| r.arity > 0) {
+        return Err("action relations must be propositional".into());
+    }
+    let not_start = "not_start".to_string();
+    if schema.relation(&not_start).map(|r| r.kind) != Some(RelKind::State) {
+        return Err("missing `not_start` state proposition".into());
+    }
+
+    let mut search_rel: Option<String> = None;
+    let mut seed_const: Option<String> = None;
+    let mut filters = BTreeMap::new();
+
+    for (pname, page) in &service.pages {
+        // The not_start flip rule must be present on every page.
+        let flip_ok = page.state_rules.iter().any(|r| {
+            r.relation == not_start
+                && r.vars.is_empty()
+                && r.insert == Some(Formula::not(Formula::prop(&not_start)))
+        });
+        if !flip_ok {
+            return Err(format!("page `{pname}` lacks the not_start ← ¬not_start rule"));
+        }
+        let Some(rule) = page.input_rule(&input_rel) else {
+            return Err(format!("page `{pname}` lacks the Options_{input_rel} rule"));
+        };
+        let y = rule.vars[0].clone();
+        let (rel, cst, filter) = match_option_rule(&rule.body, &y, &input_rel, &not_start)
+            .ok_or_else(|| format!("page `{pname}`: Options rule does not match Def. 4.7"))?;
+        // R_I must be a binary database relation; i0 a database constant.
+        match schema.relation(&rel) {
+            Some(r) if r.kind == RelKind::Database && r.arity == 2 => {}
+            _ => return Err(format!("`{rel}` is not a binary database relation")),
+        }
+        if schema.constant(&cst) != Some(ConstKind::Database) {
+            return Err(format!("`{cst}` is not a database constant"));
+        }
+        if let Some(prev) = &search_rel {
+            if prev != &rel {
+                return Err("pages disagree on the search relation R_I".into());
+            }
+        }
+        if let Some(prev) = &seed_const {
+            if prev != &cst {
+                return Err("pages disagree on the seed constant i0".into());
+            }
+        }
+        // Filter must be quantifier-free over D ∪ S.
+        if !filter.is_quantifier_free() {
+            return Err(format!("page `{pname}`: filter must be quantifier-free"));
+        }
+        for (r, _) in filter.relations_used() {
+            match schema.relation(&r).map(|x| x.kind) {
+                Some(RelKind::Database) | Some(RelKind::State) => {}
+                _ => {
+                    return Err(format!(
+                        "page `{pname}`: filter may only use database/state relations, got `{r}`"
+                    ))
+                }
+            }
+        }
+        filters.insert(pname.clone(), filter);
+        search_rel = Some(rel);
+        seed_const = Some(cst);
+    }
+
+    Ok(InputDrivenShape {
+        input_rel,
+        search_rel: search_rel.ok_or("no pages")?,
+        seed_const: seed_const.ok_or("no pages")?,
+        not_start,
+        filters,
+    })
+}
+
+/// Matches `(¬not_start ∧ y = i0) ∨ (not_start ∧ ∃x(prev_I(x) ∧ R_I(x,y)) ∧ φ(y))`,
+/// tolerating conjunct order. Returns `(R_I, i0, φ)`.
+fn match_option_rule(
+    body: &Formula,
+    y: &str,
+    input_rel: &str,
+    not_start: &str,
+) -> Option<(String, String, Formula)> {
+    let Formula::Or(disjuncts) = body else { return None };
+    let [d1, d2] = disjuncts.as_slice() else { return None };
+
+    // Identify the seed disjunct vs the navigation disjunct.
+    let (seed, nav) = if conjuncts(d1).iter().any(|f| is_neg_prop(f, not_start)) {
+        (d1, d2)
+    } else {
+        (d2, d1)
+    };
+
+    // Seed: ¬not_start ∧ y = i0
+    let seed_parts = conjuncts(seed);
+    let mut i0 = None;
+    let mut saw_neg = false;
+    for p in &seed_parts {
+        if is_neg_prop(p, not_start) {
+            saw_neg = true;
+        } else if let Formula::Eq(a, b) = p {
+            match (a, b) {
+                (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) if v == y => {
+                    i0 = Some(c.clone());
+                }
+                _ => return None,
+            }
+        } else {
+            return None;
+        }
+    }
+    if !saw_neg {
+        return None;
+    }
+    let i0 = i0?;
+
+    // Navigation: not_start ∧ ∃x(prev_I(x) ∧ R_I(x,y)) ∧ φ(y)
+    let nav_parts = conjuncts(nav);
+    let mut saw_pos = false;
+    let mut search = None;
+    let mut filter_parts = Vec::new();
+    let prev_rel = wave_logic::schema::prev_name(input_rel);
+    for p in &nav_parts {
+        if **p == Formula::prop(not_start) {
+            saw_pos = true;
+        } else if let Formula::Exists(vars, inner) = p {
+            let [x] = vars.as_slice() else { return None };
+            let inner_parts = conjuncts(inner);
+            let mut saw_prev = false;
+            let mut rel_name = None;
+            for ip in &inner_parts {
+                if let Formula::Rel { name, args } = ip {
+                    if name == &prev_rel {
+                        if args.len() == 1 && args[0] == Term::Var(x.clone()) {
+                            saw_prev = true;
+                            continue;
+                        }
+                        return None;
+                    }
+                    if args.len() == 2
+                        && args[0] == Term::Var(x.clone())
+                        && args[1] == Term::Var(y.to_string())
+                    {
+                        rel_name = Some(name.clone());
+                        continue;
+                    }
+                }
+                return None;
+            }
+            if !saw_prev {
+                return None;
+            }
+            search = rel_name;
+        } else {
+            filter_parts.push((*p).clone());
+        }
+    }
+    if !saw_pos {
+        return None;
+    }
+    let search = search?;
+    Some((search, i0, Formula::and(filter_parts)))
+}
+
+fn conjuncts(f: &Formula) -> Vec<&Formula> {
+    match f {
+        Formula::And(fs) => fs.iter().collect(),
+        other => vec![other],
+    }
+}
+
+fn is_neg_prop(f: &Formula, name: &str) -> bool {
+    matches!(f, Formula::Not(inner) if **inner == Formula::prop(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ServiceBuilder;
+
+    /// A miniature Example 4.8-style input-driven search service.
+    fn hierarchy_service() -> Service {
+        let mut b = ServiceBuilder::new("SP");
+        b.database_relation("cat_graph", 2)
+            .database_relation("in_stock", 1)
+            .database_constant("i0")
+            .state_prop("not_start")
+            .state_prop("new_mode")
+            .input_relation("pick", 1)
+            .page("SP")
+            .input_rule(
+                "pick",
+                &["y"],
+                "(!not_start & y = i0) | (not_start & (exists x . (prev_pick(x) & cat_graph(x, y))) & in_stock(y))",
+            )
+            .insert_rule("not_start", &[], "!not_start")
+            .target("SP", "exists y . pick(y)");
+        b.build().expect("valid service")
+    }
+
+    #[test]
+    fn classify_input_driven() {
+        let s = hierarchy_service();
+        let shape = input_driven_shape(&s).expect("shape should match");
+        assert_eq!(shape.input_rel, "pick");
+        assert_eq!(shape.search_rel, "cat_graph");
+        assert_eq!(shape.seed_const, "i0");
+        assert_eq!(
+            shape.filters["SP"],
+            Formula::rel("in_stock", vec![Term::var("y")])
+        );
+    }
+
+    #[test]
+    fn input_driven_rejects_without_flip_rule() {
+        let mut s = hierarchy_service();
+        s.pages.get_mut("SP").unwrap().state_rules.clear();
+        assert!(input_driven_shape(&s).is_err());
+    }
+
+    #[test]
+    fn input_driven_rejects_quantified_filter() {
+        let mut b = ServiceBuilder::new("SP");
+        b.database_relation("g", 2)
+            .database_relation("u", 1)
+            .database_constant("i0")
+            .state_prop("not_start")
+            .input_relation("pick", 1)
+            .page("SP")
+            .input_rule(
+                "pick",
+                &["y"],
+                "(!not_start & y = i0) | (not_start & (exists x . (prev_pick(x) & g(x, y))) & (exists z . u(z)))",
+            )
+            .insert_rule("not_start", &[], "!not_start");
+        let s = b.build().unwrap();
+        assert!(input_driven_shape(&s).is_err());
+    }
+
+    #[test]
+    fn propositional_classification() {
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("d", 1)
+            .state_prop("s")
+            .input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .insert_rule("s", &[], r#"go & d("special")"#);
+        let s = b.build().unwrap();
+        let c = classify(&s);
+        assert!(c.propositional);
+        assert!(!c.fully_propositional, "a database atom disqualifies Thm 4.6");
+        assert_eq!(c.class(), ServiceClass::Propositional);
+    }
+
+    #[test]
+    fn fully_propositional_classification() {
+        let mut b = ServiceBuilder::new("P");
+        b.state_prop("s")
+            .input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .insert_rule("s", &[], "go");
+        let s = b.build().unwrap();
+        let c = classify(&s);
+        assert!(c.fully_propositional);
+        assert_eq!(c.class(), ServiceClass::FullyPropositional);
+    }
+
+    #[test]
+    fn unbounded_rule_detected() {
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("d", 1)
+            .state_prop("s")
+            .input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .insert_rule("s", &[], "exists x . d(x)"); // unguarded quantifier
+        let s = b.build().unwrap();
+        let c = classify(&s);
+        assert!(!c.bounded_violations.is_empty());
+        assert_eq!(c.class(), ServiceClass::Unrestricted);
+    }
+
+    #[test]
+    fn prev_atom_breaks_propositionality() {
+        let mut b = ServiceBuilder::new("P");
+        b.state_prop("s")
+            .input_relation("pick", 1)
+            .database_relation("d", 1)
+            .page("P")
+            .input_rule("pick", &["y"], "d(y)")
+            .insert_rule("s", &[], "exists x . (prev_pick(x) & d(x))");
+        let s = b.build().unwrap();
+        let c = classify(&s);
+        assert!(!c.propositional);
+        assert!(c.bounded_violations.is_empty());
+        assert_eq!(c.class(), ServiceClass::InputBounded);
+    }
+}

@@ -1,0 +1,42 @@
+//! # wave-core
+//!
+//! The data-driven Web service model of *Deutsch–Sui–Vianu (PODS 2004)*,
+//! Definitions 2.1–2.3:
+//!
+//! * a **database** schema `D` (fixed through each run),
+//! * **state** relations `S` (updated by insertion/deletion rules),
+//! * **input** relations and *input constants* `I` (user choices),
+//! * **action** relations `A`,
+//! * a set of **Web page schemas** with input-option, state, action and
+//!   target rules; a designated home page and an error page.
+//!
+//! Modules:
+//!
+//! * [`rules`] — the four rule kinds of a page schema.
+//! * [`page`] — Web page schemas.
+//! * [`service`] — the service tuple `⟨D,S,I,A,W,W0,Werr⟩` plus structural
+//!   validation of Definition 2.1's side conditions.
+//! * [`run`] — the run semantics of Definition 2.3: option generation,
+//!   state transition with conflict-no-op semantics, `prev` bookkeeping,
+//!   input-constant provisioning and the three error conditions.
+//! * [`classify`] — syntactic classification into the paper's decidable
+//!   classes: input-bounded (§3), propositional / fully propositional
+//!   (§4), and input-driven search (Definition 4.7).
+//! * [`builder`] — an ergonomic builder with embedded formula parsing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod classify;
+pub mod page;
+pub mod rules;
+pub mod run;
+pub mod service;
+
+pub use builder::ServiceBuilder;
+pub use classify::{ServiceClass, ServiceClassification};
+pub use page::Page;
+pub use rules::{ActionRule, InputRule, StateRule, TargetRule};
+pub use run::{Config, InputChoice, Runner, StepError};
+pub use service::{Service, ValidationError};

@@ -1,0 +1,121 @@
+//! Web page schemas (Definition 2.1).
+//!
+//! A page schema `W = ⟨I_W, A_W, T_W, R_W⟩` lists the inputs the page
+//! solicits (relational inputs plus input constants), the actions it can
+//! take, its possible target pages, and the rules. We keep the rules
+//! grouped by kind; `T_W` is implicit in the target rules.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use wave_logic::formula::Formula;
+
+use crate::rules::{ActionRule, InputRule, StateRule, TargetRule};
+
+/// A Web page schema.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Page {
+    /// The page name (also registered as an arity-0 `Page` relation).
+    pub name: String,
+    /// Relational inputs solicited by this page (`I_W` minus constants).
+    pub inputs: Vec<String>,
+    /// Input constants solicited by this page (e.g. `name`, `password`).
+    pub input_constants: Vec<String>,
+    /// Input-option rules, one per relational input of positive arity.
+    pub input_rules: Vec<InputRule>,
+    /// State update rules.
+    pub state_rules: Vec<StateRule>,
+    /// Action rules.
+    pub action_rules: Vec<ActionRule>,
+    /// Target rules.
+    pub target_rules: Vec<TargetRule>,
+}
+
+impl Page {
+    /// Creates an empty page schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        Page { name: name.into(), ..Default::default() }
+    }
+
+    /// The target set `T_W` (distinct pages named by target rules).
+    pub fn targets(&self) -> BTreeSet<&str> {
+        self.target_rules.iter().map(|r| r.target.as_str()).collect()
+    }
+
+    /// The input rule for a given input relation, if any.
+    pub fn input_rule(&self, relation: &str) -> Option<&InputRule> {
+        self.input_rules.iter().find(|r| r.relation == relation)
+    }
+
+    /// The state rule for a given state relation, if any.
+    pub fn state_rule(&self, relation: &str) -> Option<&StateRule> {
+        self.state_rules.iter().find(|r| r.relation == relation)
+    }
+
+    /// Iterates over every rule body on this page together with the rule's
+    /// head variables (empty for target rules). Used by validation and the
+    /// classifiers.
+    pub fn all_bodies(&self) -> impl Iterator<Item = (&Formula, &[String])> {
+        let inputs = self.input_rules.iter().map(|r| (&r.body, r.vars.as_slice()));
+        let states = self.state_rules.iter().flat_map(|r| {
+            r.insert
+                .iter()
+                .chain(r.delete.iter())
+                .map(move |b| (b, r.vars.as_slice()))
+        });
+        let actions = self.action_rules.iter().map(|r| (&r.body, r.vars.as_slice()));
+        let targets = self.target_rules.iter().map(|r| (&r.body, &[] as &[String]));
+        inputs.chain(states).chain(actions).chain(targets)
+    }
+
+    /// All named constants used by any rule of this page.
+    pub fn constants_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for (body, _) in self.all_bodies() {
+            out.extend(body.constants_used());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_logic::formula::Term;
+
+    #[test]
+    fn targets_and_lookup() {
+        let mut p = Page::new("HP");
+        p.inputs.push("button".into());
+        p.input_rules.push(InputRule {
+            relation: "button".into(),
+            vars: vec!["x".into()],
+            body: Formula::eq(Term::var("x"), Term::lit("login")),
+        });
+        p.target_rules.push(TargetRule { target: "CP".into(), body: Formula::True });
+        p.target_rules.push(TargetRule { target: "CP".into(), body: Formula::False });
+        p.target_rules.push(TargetRule { target: "MP".into(), body: Formula::False });
+        assert_eq!(p.targets(), BTreeSet::from(["CP", "MP"]));
+        assert!(p.input_rule("button").is_some());
+        assert!(p.input_rule("other").is_none());
+        assert_eq!(p.all_bodies().count(), 4);
+    }
+
+    #[test]
+    fn constants_collected_across_rules() {
+        let mut p = Page::new("HP");
+        p.state_rules.push(StateRule::insert_only(
+            "error",
+            vec![],
+            Formula::not(Formula::rel(
+                "user",
+                vec![Term::cst("name"), Term::cst("password")],
+            )),
+        ));
+        assert_eq!(
+            p.constants_used(),
+            BTreeSet::from(["name".to_string(), "password".to_string()])
+        );
+    }
+}

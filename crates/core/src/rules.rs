@@ -1,0 +1,91 @@
+//! The four rule kinds of a Web page schema (Definition 2.1).
+//!
+//! * **Input rules** `Options_I(x̄) ← φ(x̄)` generate the menu of tuples the
+//!   user may pick from for input relation `I`.
+//! * **State rules** — an insertion rule `S(x̄) ← φ⁺(x̄)` and/or a deletion
+//!   rule `¬S(x̄) ← φ⁻(x̄)`; conflicts get no-op semantics (Definition 2.3).
+//! * **Action rules** `A(x̄) ← φ(x̄)` produce the actions taken in response
+//!   to the input.
+//! * **Target rules** `V ← φ` fire transitions to the next Web page; the
+//!   specification is ambiguous (→ error page) if two fire at once.
+
+use serde::{Deserialize, Serialize};
+
+use wave_logic::formula::{Formula, Var};
+
+/// `Options_I(x̄) ← φ(x̄)`: the menu of choices for input relation `I`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputRule {
+    /// The input relation `I` this rule feeds.
+    pub relation: String,
+    /// The head variables `x̄` (length = arity of `I`).
+    pub vars: Vec<Var>,
+    /// The body `φ(x̄)` over `D ∪ S ∪ Prev_I ∪ const(I)`.
+    pub body: Formula,
+}
+
+/// State rules for one state relation: optional insertion and deletion
+/// bodies sharing the head variables.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateRule {
+    /// The state relation `S`.
+    pub relation: String,
+    /// The head variables `x̄` (length = arity of `S`).
+    pub vars: Vec<Var>,
+    /// Insertion body `φ⁺(x̄)`, if an insertion rule is given.
+    pub insert: Option<Formula>,
+    /// Deletion body `φ⁻(x̄)`, if a deletion rule is given.
+    pub delete: Option<Formula>,
+}
+
+/// `A(x̄) ← φ(x̄)`: an action rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionRule {
+    /// The action relation `A`.
+    pub relation: String,
+    /// The head variables `x̄` (length = arity of `A`).
+    pub vars: Vec<Var>,
+    /// The body `φ(x̄)` over `D ∪ S ∪ Prev_I ∪ const(I) ∪ I_W`.
+    pub body: Formula,
+}
+
+/// `V ← φ`: a target rule naming the next Web page.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetRule {
+    /// The target page `V ∈ T_W`.
+    pub target: String,
+    /// The body — an FO *sentence* over `D ∪ S ∪ Prev_I ∪ const(I) ∪ I_W`.
+    pub body: Formula,
+}
+
+impl StateRule {
+    /// An insertion-only rule.
+    pub fn insert_only(relation: impl Into<String>, vars: Vec<Var>, body: Formula) -> Self {
+        StateRule { relation: relation.into(), vars, insert: Some(body), delete: None }
+    }
+
+    /// A deletion-only rule.
+    pub fn delete_only(relation: impl Into<String>, vars: Vec<Var>, body: Formula) -> Self {
+        StateRule { relation: relation.into(), vars, insert: None, delete: Some(body) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_logic::formula::Term;
+
+    #[test]
+    fn constructors() {
+        let r = StateRule::insert_only(
+            "error",
+            vec![],
+            Formula::rel("button", vec![Term::lit("login")]),
+        );
+        assert!(r.insert.is_some());
+        assert!(r.delete.is_none());
+        let d = StateRule::delete_only("cart", vec!["x".into()], Formula::True);
+        assert!(d.insert.is_none());
+        assert!(d.delete.is_some());
+    }
+}

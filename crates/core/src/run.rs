@@ -1,0 +1,823 @@
+//! Run semantics (Definition 2.3): the concrete interpreter.
+//!
+//! A run of a Web service over a fixed database is an infinite sequence of
+//! configurations `σ_i = ⟨V_i, S_i, I_i, P_i, A_i⟩`. The input `I_i` is
+//! the choice made *at page `V_i`*, so one step of the semantics splits
+//! naturally into:
+//!
+//! 1. a **deterministic transition core** from `σ_i` — evaluate `V_i`'s
+//!    target rules (ambiguity = error condition (iii)), compute `S_{i+1}`
+//!    with conflict-no-op semantics, fire `A_{i+1}`, and set
+//!    `P_{i+1} = I_i`;
+//! 2. a **page entry** at `V_{i+1}` — the user provides the page's input
+//!    constants (re-request = condition (ii)) and picks at most one tuple
+//!    per input relation from the options; a rule formula mentioning a
+//!    constant never provided marks condition (i). Conditions (i)/(ii)
+//!    observed at `V_i` redirect the *next* transition to the error page,
+//!    exactly as Definition 2.3 routes `V_{i+1} = W_err`.
+//!
+//! The interpreter is the ground truth the verifiers are tested against,
+//! and the engine of the enumerative baseline verifier.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use wave_logic::eval::{satisfying_tuples, EvalError};
+use wave_logic::formula::Formula;
+use wave_logic::instance::Instance;
+use wave_logic::schema::{ConstKind, RelKind};
+use wave_logic::value::{Tuple, Value};
+
+use crate::page::Page;
+use crate::service::Service;
+
+/// One configuration of a run.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Config {
+    /// The current Web page `V_i` (possibly the error page).
+    pub page: String,
+    /// Current state relations `S_i`.
+    pub state: Instance,
+    /// Current inputs `I_i` — the choice made at this page.
+    pub input: Instance,
+    /// Previous inputs `P_i` (the `prev_I` relations).
+    pub prev: Instance,
+    /// Current actions `A_i` (triggered at the previous step).
+    pub action: Instance,
+    /// Input constants provided so far (`γ_i`).
+    pub provided: BTreeMap<String, Value>,
+    /// Error conditions (i)/(ii) observed at this page: the next
+    /// transition goes to the error page.
+    pub err_pending: bool,
+}
+
+/// The user's move when entering a page.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InputChoice {
+    /// Chosen tuple per relational input (omit a relation = empty input).
+    pub tuples: BTreeMap<String, Tuple>,
+    /// Truth value per propositional input (omit = false).
+    pub props: BTreeMap<String, bool>,
+    /// Values for the input constants this page solicits.
+    pub constants: BTreeMap<String, Value>,
+}
+
+impl InputChoice {
+    /// The empty move (no inputs, no constants).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tuple choice.
+    pub fn with_tuple(mut self, rel: impl Into<String>, t: Tuple) -> Self {
+        self.tuples.insert(rel.into(), t);
+        self
+    }
+
+    /// Adds a propositional choice.
+    pub fn with_prop(mut self, rel: impl Into<String>, b: bool) -> Self {
+        self.props.insert(rel.into(), b);
+        self
+    }
+
+    /// Adds an input-constant value.
+    pub fn with_constant(mut self, c: impl Into<String>, v: impl Into<Value>) -> Self {
+        self.constants.insert(c.into(), v.into());
+        self
+    }
+}
+
+/// Ways a move can be *rejected* (as opposed to routed to the error page,
+/// which is part of the semantics, not a failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepError {
+    /// The chosen tuple is not among the page's options.
+    ChoiceNotInOptions {
+        /// Input relation.
+        relation: String,
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// A chosen input relation is not an input of the page being entered.
+    NotAPageInput(String),
+    /// The page solicits a constant the choice does not provide.
+    MissingConstant(String),
+    /// Formula evaluation failed for a reason other than a missing input
+    /// constant (those are error conditions, not failures).
+    Eval(EvalError),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::ChoiceNotInOptions { relation, tuple } => {
+                write!(f, "tuple {tuple} is not an option for `{relation}`")
+            }
+            StepError::NotAPageInput(r) => write!(f, "`{r}` is not an input of this page"),
+            StepError::MissingConstant(c) => write!(f, "constant `{c}` not provided"),
+            StepError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// The deterministic part of one step: everything computed from `σ_i`
+/// before the user acts at the next page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionCore {
+    /// The next page (possibly the error page).
+    pub page: String,
+    /// `S_{i+1}`.
+    pub state: Instance,
+    /// `P_{i+1}` (= `I_i` for the inputs of `V_i`).
+    pub prev: Instance,
+    /// `A_{i+1}`.
+    pub action: Instance,
+}
+
+/// Interprets a service over a fixed database.
+pub struct Runner<'a> {
+    service: &'a Service,
+    db: &'a Instance,
+}
+
+impl<'a> Runner<'a> {
+    /// Creates a runner for `service` over database `db`.
+    pub fn new(service: &'a Service, db: &'a Instance) -> Self {
+        Runner { service, db }
+    }
+
+    /// The service being interpreted.
+    pub fn service(&self) -> &Service {
+        self.service
+    }
+
+    /// The fixed database.
+    pub fn database(&self) -> &Instance {
+        self.db
+    }
+
+    /// Enters the home page with the user's first move, producing `σ_0`.
+    pub fn initial(&self, choice: &InputChoice) -> Result<Config, StepError> {
+        self.enter(
+            &self.service.home.clone(),
+            Instance::new(),
+            Instance::new(),
+            Instance::new(),
+            BTreeMap::new(),
+            choice,
+        )
+    }
+
+    /// Whether a configuration sits on the error page.
+    pub fn at_error(&self, cfg: &Config) -> bool {
+        cfg.page == self.service.error_page
+    }
+
+    /// Computes the deterministic transition core from `σ_i`.
+    pub fn transition_core(&self, cfg: &Config) -> Result<TransitionCore, StepError> {
+        if self.at_error(cfg) || cfg.err_pending {
+            return Ok(self.error_core());
+        }
+        let page = self
+            .service
+            .page(&cfg.page)
+            .expect("non-error configurations sit on defined pages");
+        let mut inst = self.db.clone();
+        inst.absorb(&cfg.state);
+        inst.absorb(&cfg.input);
+        inst.absorb(&cfg.prev);
+        for (c, v) in &cfg.provided {
+            inst.set_constant(c.clone(), v.clone());
+        }
+        // Active-domain semantics with the database-theory proviso that
+        // literals mentioned by the page's formulas are in the domain.
+        let mut adom = inst.active_domain();
+        for (body, _) in page.all_bodies() {
+            adom.extend(body.literals_used());
+        }
+
+        // Targets — condition (iii) on ambiguity.
+        let mut next_page: Option<String> = None;
+        for rule in &page.target_rules {
+            match wave_logic::eval::eval_closed_with_adom(&rule.body, &inst, &adom) {
+                Ok(true) => {
+                    if let Some(prev) = &next_page {
+                        if prev != &rule.target {
+                            return Ok(self.error_core());
+                        }
+                    } else {
+                        next_page = Some(rule.target.clone());
+                    }
+                }
+                Ok(false) => {}
+                Err(EvalError::UnknownConstant(_)) => return Ok(self.error_core()),
+                Err(e) => return Err(StepError::Eval(e)),
+            }
+        }
+        let next_page = next_page.unwrap_or_else(|| cfg.page.clone());
+
+        // State update with conflict-no-op semantics.
+        let mut state = Instance::new();
+        for rel in self.service.schema.relations_of(RelKind::State) {
+            let rule = page.state_rule(&rel.name);
+            let current: BTreeSet<Tuple> = cfg.state.tuples(&rel.name).cloned().collect();
+            let (ins, del) = match rule {
+                None => (BTreeSet::new(), BTreeSet::new()),
+                Some(r) => {
+                    let ins = match &r.insert {
+                        Some(body) => self.rule_tuples(body, &r.vars, &inst, &adom)?,
+                        None => BTreeSet::new(),
+                    };
+                    let del = match &r.delete {
+                        Some(body) => self.rule_tuples(body, &r.vars, &inst, &adom)?,
+                        None => BTreeSet::new(),
+                    };
+                    (ins, del)
+                }
+            };
+            let mut next: BTreeSet<Tuple> = BTreeSet::new();
+            for t in ins.difference(&del) {
+                next.insert(t.clone());
+            }
+            for t in &current {
+                let i = ins.contains(t);
+                let d = del.contains(t);
+                if (i && d) || (!i && !d) {
+                    next.insert(t.clone());
+                }
+            }
+            if !next.is_empty() {
+                state.set_relation(rel.name.clone(), next);
+            }
+        }
+
+        // Actions triggered at this step, visible at step i+1.
+        let mut action = Instance::new();
+        for r in &page.action_rules {
+            let ts = self.rule_tuples(&r.body, &r.vars, &inst, &adom)?;
+            for t in ts {
+                action.insert(r.relation.clone(), t);
+            }
+        }
+
+        // prev_I := I_i(I) for the inputs of this page.
+        let mut prev = Instance::new();
+        for rel in &page.inputs {
+            if let Some(r) = self.service.schema.relation(rel) {
+                if r.arity > 0 {
+                    for t in cfg.input.tuples(rel) {
+                        prev.insert(wave_logic::schema::prev_name(rel), t.clone());
+                    }
+                }
+            }
+        }
+
+        Ok(TransitionCore { page: next_page, state, prev, action })
+    }
+
+    fn error_core(&self) -> TransitionCore {
+        TransitionCore {
+            page: self.service.error_page.clone(),
+            state: Instance::new(),
+            prev: Instance::new(),
+            action: Instance::new(),
+        }
+    }
+
+    /// Performs one full step: transition core from `σ_i`, then entry at
+    /// the next page with the user's move.
+    pub fn step(&self, cfg: &Config, choice: &InputChoice) -> Result<Config, StepError> {
+        let core = self.transition_core(cfg)?;
+        self.enter(
+            &core.page,
+            core.state,
+            core.prev,
+            core.action,
+            cfg.provided.clone(),
+            choice,
+        )
+    }
+
+    /// The input options a page would present on entry, given the carried
+    /// state/prev and the constants provided *including* this page's new
+    /// ones. A rule needing a still-missing constant yields an empty
+    /// option set (the run is headed to the error page anyway).
+    pub fn entry_options(
+        &self,
+        page: &Page,
+        state: &Instance,
+        prev: &Instance,
+        provided: &BTreeMap<String, Value>,
+    ) -> Result<BTreeMap<String, BTreeSet<Tuple>>, StepError> {
+        let mut inst = self.db.clone();
+        inst.absorb(state);
+        inst.absorb(prev);
+        for (c, v) in provided {
+            inst.set_constant(c.clone(), v.clone());
+        }
+        let mut adom = inst.active_domain();
+        for (body, _) in page.all_bodies() {
+            adom.extend(body.literals_used());
+        }
+        let mut out = BTreeMap::new();
+        for rule in &page.input_rules {
+            match satisfying_tuples(&rule.body, &rule.vars, &inst, &adom) {
+                Ok(tuples) => {
+                    out.insert(rule.relation.clone(), tuples);
+                }
+                Err(EvalError::UnknownConstant(_)) => {
+                    out.insert(rule.relation.clone(), BTreeSet::new());
+                }
+                Err(e) => return Err(StepError::Eval(e)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Public page entry for the search-based verifiers: enumerating user
+    /// moves requires entering a page with explicitly carried data.
+    pub fn enter_page(
+        &self,
+        page_name: &str,
+        state: &Instance,
+        prev: &Instance,
+        action: &Instance,
+        provided: &BTreeMap<String, Value>,
+        choice: &InputChoice,
+    ) -> Result<Config, StepError> {
+        self.enter(
+            page_name,
+            state.clone(),
+            prev.clone(),
+            action.clone(),
+            provided.clone(),
+            choice,
+        )
+    }
+
+    /// Enters `page_name` with the carried data and the user's move.
+    fn enter(
+        &self,
+        page_name: &str,
+        state: Instance,
+        prev: Instance,
+        action: Instance,
+        provided_before: BTreeMap<String, Value>,
+        choice: &InputChoice,
+    ) -> Result<Config, StepError> {
+        if page_name == self.service.error_page {
+            return Ok(Config {
+                page: page_name.to_string(),
+                state: Instance::new(),
+                input: Instance::new(),
+                prev: Instance::new(),
+                action: Instance::new(),
+                provided: provided_before,
+                err_pending: false,
+            });
+        }
+        let page = self
+            .service
+            .page(page_name)
+            .expect("transitions only target defined pages");
+
+        // Condition (ii): the page re-requests a provided constant. The
+        // configuration still exists; the *next* transition errs.
+        let rerequest =
+            page.input_constants.iter().any(|c| provided_before.contains_key(c));
+
+        let mut provided = provided_before;
+        if !rerequest {
+            for c in &page.input_constants {
+                match choice.constants.get(c) {
+                    Some(v) => {
+                        provided.insert(c.clone(), v.clone());
+                    }
+                    None => return Err(StepError::MissingConstant(c.clone())),
+                }
+            }
+        }
+
+        // Condition (i): a rule formula of this page uses an input
+        // constant that is (still) unprovided.
+        let missing = page.constants_used().into_iter().any(|c| {
+            self.service.schema.constant(&c) == Some(ConstKind::Input)
+                && !provided.contains_key(&c)
+        });
+
+        let options = self.entry_options(page, &state, &prev, &provided)?;
+        let mut input = Instance::new();
+        for (rel, tuple) in &choice.tuples {
+            if !page.inputs.contains(rel) {
+                return Err(StepError::NotAPageInput(rel.clone()));
+            }
+            let opts = options.get(rel).cloned().unwrap_or_default();
+            if !opts.contains(tuple) {
+                return Err(StepError::ChoiceNotInOptions {
+                    relation: rel.clone(),
+                    tuple: tuple.clone(),
+                });
+            }
+            input.insert(rel.clone(), tuple.clone());
+        }
+        for (rel, b) in &choice.props {
+            if !page.inputs.contains(rel) {
+                return Err(StepError::NotAPageInput(rel.clone()));
+            }
+            if *b {
+                input.set_prop(rel.clone(), true);
+            }
+        }
+
+        Ok(Config {
+            page: page_name.to_string(),
+            state,
+            input,
+            prev,
+            action,
+            provided,
+            err_pending: rerequest || missing,
+        })
+    }
+
+    fn rule_tuples(
+        &self,
+        body: &Formula,
+        vars: &[String],
+        inst: &Instance,
+        adom: &BTreeSet<Value>,
+    ) -> Result<BTreeSet<Tuple>, StepError> {
+        match satisfying_tuples(body, vars, inst, adom) {
+            Ok(ts) => Ok(ts),
+            // A missing input constant inside a state/action rule: the run
+            // errs via condition (i) (err_pending); the rule contributes
+            // nothing meanwhile.
+            Err(EvalError::UnknownConstant(_)) => Ok(BTreeSet::new()),
+            Err(e) => Err(StepError::Eval(e)),
+        }
+    }
+}
+
+impl Config {
+    /// The *observation* of this configuration: the structure an LTL-FO
+    /// property component is evaluated on — database, state, inputs,
+    /// prev, actions, provided constants, and the current page as a true
+    /// proposition (all other pages false by absence).
+    pub fn observation(&self, db: &Instance) -> Instance {
+        let mut inst = db.clone();
+        inst.absorb(&self.state);
+        inst.absorb(&self.input);
+        inst.absorb(&self.prev);
+        inst.absorb(&self.action);
+        for (c, v) in &self.provided {
+            inst.set_constant(c.clone(), v.clone());
+        }
+        inst.set_prop(self.page.clone(), true);
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Page;
+    use crate::rules::{InputRule, StateRule, TargetRule};
+    use wave_logic::formula::Term;
+    use wave_logic::schema::Schema;
+    use wave_logic::{inst, tuple};
+
+    /// The Example 2.2 home page, miniaturized: login flow with user table.
+    fn login_service() -> Service {
+        let mut schema = Schema::new();
+        schema.add_relation("user", 2, RelKind::Database).unwrap();
+        schema.add_relation("button", 1, RelKind::Input).unwrap();
+        schema.add_relation("error", 1, RelKind::State).unwrap();
+        schema.add_relation("HP", 0, RelKind::Page).unwrap();
+        schema.add_relation("CP", 0, RelKind::Page).unwrap();
+        schema.add_relation("AP", 0, RelKind::Page).unwrap();
+        schema.add_relation("MP", 0, RelKind::Page).unwrap();
+        schema.add_constant("name", ConstKind::Input).unwrap();
+        schema.add_constant("password", ConstKind::Input).unwrap();
+
+        let mut hp = Page::new("HP");
+        hp.inputs.push("button".into());
+        hp.input_constants = vec!["name".into(), "password".into()];
+        hp.input_rules.push(InputRule {
+            relation: "button".into(),
+            vars: vec!["x".into()],
+            body: Formula::or([
+                Formula::eq(Term::var("x"), Term::lit("login")),
+                Formula::eq(Term::var("x"), Term::lit("register")),
+                Formula::eq(Term::var("x"), Term::lit("clear")),
+            ]),
+        });
+        hp.state_rules.push(StateRule::insert_only(
+            "error",
+            vec!["e".into()],
+            Formula::and([
+                Formula::eq(Term::var("e"), Term::lit("failed login")),
+                Formula::not(Formula::rel(
+                    "user",
+                    vec![Term::cst("name"), Term::cst("password")],
+                )),
+                Formula::rel("button", vec![Term::lit("login")]),
+            ]),
+        ));
+        let login_ok = Formula::and([
+            Formula::rel("user", vec![Term::cst("name"), Term::cst("password")]),
+            Formula::rel("button", vec![Term::lit("login")]),
+        ]);
+        hp.target_rules.push(TargetRule {
+            target: "CP".into(),
+            body: Formula::and([
+                login_ok.clone(),
+                Formula::neq(Term::cst("name"), Term::lit("Admin")),
+            ]),
+        });
+        hp.target_rules.push(TargetRule {
+            target: "AP".into(),
+            body: Formula::and([
+                login_ok.clone(),
+                Formula::eq(Term::cst("name"), Term::lit("Admin")),
+            ]),
+        });
+        hp.target_rules.push(TargetRule {
+            target: "MP".into(),
+            body: Formula::and([
+                Formula::not(Formula::rel(
+                    "user",
+                    vec![Term::cst("name"), Term::cst("password")],
+                )),
+                Formula::rel("button", vec![Term::lit("login")]),
+            ]),
+        });
+
+        let mut pages = BTreeMap::new();
+        pages.insert("HP".to_string(), hp);
+        for p in ["CP", "AP", "MP"] {
+            pages.insert(p.to_string(), Page::new(p));
+        }
+        let s = Service {
+            schema,
+            pages,
+            home: "HP".into(),
+            error_page: "ERR".into(),
+        };
+        s.validate().expect("test service must validate");
+        s
+    }
+
+    fn db() -> Instance {
+        inst! {
+            "user" => [tuple!["alice", "pw1"], tuple!["Admin", "root"]],
+        }
+    }
+
+    fn login_as(name: &str, pw: &str) -> InputChoice {
+        InputChoice::empty()
+            .with_constant("name", name)
+            .with_constant("password", pw)
+            .with_tuple("button", tuple!["login"])
+    }
+
+    #[test]
+    fn successful_login_reaches_customer_page() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        assert_eq!(cfg0.page, "HP");
+        assert!(cfg0.input.contains("button", &tuple!["login"]));
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "CP");
+        assert_eq!(cfg1.state.cardinality("error"), 0);
+        // prev_button carries the click into σ_1
+        assert!(cfg1.prev.contains("prev_button", &tuple!["login"]));
+        assert_eq!(cfg1.provided.len(), 2);
+    }
+
+    #[test]
+    fn admin_login_routes_to_admin_page() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("Admin", "root")).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "AP");
+    }
+
+    #[test]
+    fn failed_login_records_error_state_and_goes_to_message_page() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "wrong")).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "MP");
+        assert!(cfg1.state.contains("error", &tuple!["failed login"]));
+    }
+
+    #[test]
+    fn empty_input_stays_on_page() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r
+            .initial(
+                &InputChoice::empty()
+                    .with_constant("name", "alice")
+                    .with_constant("password", "pw1"),
+            )
+            .unwrap();
+        // No button: no target fires; next entry re-requests constants →
+        // condition (ii) at σ_1, which dooms σ_2.
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "HP");
+        assert!(cfg1.err_pending, "re-request of name/password");
+        let cfg2 = r.step(&cfg1, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg2.page, "ERR");
+        // and the error page loops forever
+        let cfg3 = r.step(&cfg2, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg3.page, "ERR");
+    }
+
+    #[test]
+    fn choice_outside_options_rejected() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let err = r
+            .initial(
+                &InputChoice::empty()
+                    .with_constant("name", "a")
+                    .with_constant("password", "b")
+                    .with_tuple("button", tuple!["hack"]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StepError::ChoiceNotInOptions { .. }));
+    }
+
+    #[test]
+    fn missing_constant_rejected() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let err = r.initial(&InputChoice::empty()).unwrap_err();
+        assert!(matches!(err, StepError::MissingConstant(_)));
+    }
+
+    #[test]
+    fn ambiguous_targets_route_to_error_page() {
+        let mut s = login_service();
+        let hp = s.pages.get_mut("HP").unwrap();
+        hp.target_rules[0].body = Formula::rel("button", vec![Term::lit("login")]);
+        hp.target_rules[2].body = Formula::rel("button", vec![Term::lit("login")]);
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "ERR");
+    }
+
+    #[test]
+    fn duplicate_targets_same_page_is_not_ambiguous() {
+        let mut s = login_service();
+        let hp = s.pages.get_mut("HP").unwrap();
+        hp.target_rules.push(TargetRule {
+            target: "CP".into(),
+            body: Formula::rel("user", vec![Term::cst("name"), Term::cst("password")]),
+        });
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "CP");
+    }
+
+    #[test]
+    fn missing_constant_in_rules_marks_condition_i() {
+        // A page whose rules mention a constant it never solicits.
+        let mut s = login_service();
+        s.schema.add_constant("card", ConstKind::Input).unwrap();
+        let cp = s.pages.get_mut("CP").unwrap();
+        cp.target_rules.push(TargetRule {
+            target: "HP".into(),
+            body: Formula::eq(Term::cst("card"), Term::lit("visa")),
+        });
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "CP");
+        assert!(cfg1.err_pending, "condition (i): `card` never provided");
+        let cfg2 = r.step(&cfg1, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg2.page, "ERR");
+    }
+
+    #[test]
+    fn options_depend_on_database_and_constants() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let page = s.page("HP").unwrap();
+        let provided: BTreeMap<String, Value> = [
+            ("name".to_string(), Value::str("x")),
+            ("password".to_string(), Value::str("y")),
+        ]
+        .into();
+        let opts = r
+            .entry_options(page, &Instance::new(), &Instance::new(), &provided)
+            .unwrap();
+        assert_eq!(opts["button"].len(), 3);
+        assert!(opts["button"].contains(&tuple!["login"]));
+    }
+
+    #[test]
+    fn observation_includes_page_input_and_actions() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        let obs = cfg0.observation(&d);
+        assert!(obs.prop("HP"));
+        assert!(!obs.prop("CP"));
+        assert!(obs.contains("button", &tuple!["login"]));
+        assert!(obs.contains("user", &tuple!["alice", "pw1"]));
+    }
+
+    #[test]
+    fn state_persists_without_rules() {
+        let mut schema = Schema::new();
+        schema.add_relation("flag", 0, RelKind::State).unwrap();
+        schema.add_relation("set", 0, RelKind::Input).unwrap();
+        schema.add_relation("P", 0, RelKind::Page).unwrap();
+        schema.add_relation("Q", 0, RelKind::Page).unwrap();
+        let mut p = Page::new("P");
+        p.inputs.push("set".into());
+        p.state_rules.push(StateRule {
+            relation: "flag".into(),
+            vars: vec![],
+            insert: Some(Formula::prop("set")),
+            delete: None,
+        });
+        p.target_rules.push(TargetRule { target: "Q".into(), body: Formula::prop("set") });
+        let q = Page::new("Q"); // no rules: state persists
+        let s = Service {
+            schema,
+            pages: BTreeMap::from([("P".to_string(), p), ("Q".to_string(), q)]),
+            home: "P".into(),
+            error_page: "ERR".into(),
+        };
+        s.validate().unwrap();
+        let d = Instance::new();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&InputChoice::empty().with_prop("set", true)).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert_eq!(cfg1.page, "Q");
+        assert!(cfg1.state.prop("flag"));
+        let cfg2 = r.step(&cfg1, &InputChoice::empty()).unwrap();
+        assert!(cfg2.state.prop("flag"), "unruled state must persist");
+    }
+
+    #[test]
+    fn state_conflict_noop_semantics() {
+        let mut schema = Schema::new();
+        schema.add_relation("flag", 0, RelKind::State).unwrap();
+        schema.add_relation("go", 0, RelKind::Input).unwrap();
+        schema.add_relation("P", 0, RelKind::Page).unwrap();
+        let mut p = Page::new("P");
+        p.inputs.push("go".into());
+        p.state_rules.push(StateRule {
+            relation: "flag".into(),
+            vars: vec![],
+            insert: Some(Formula::prop("go")),
+            delete: Some(Formula::prop("go")),
+        });
+        let s = Service {
+            schema,
+            pages: BTreeMap::from([("P".to_string(), p)]),
+            home: "P".into(),
+            error_page: "ERR".into(),
+        };
+        s.validate().unwrap();
+        let d = Instance::new();
+        let r = Runner::new(&s, &d);
+        // go=true: insert & delete conflict → flag stays false.
+        let cfg0 = r.initial(&InputChoice::empty().with_prop("go", true)).unwrap();
+        let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
+        assert!(!cfg1.state.prop("flag"));
+    }
+
+    #[test]
+    fn transition_core_is_deterministic_view() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let cfg0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        let core = r.transition_core(&cfg0).unwrap();
+        assert_eq!(core.page, "CP");
+        assert!(core.prev.contains("prev_button", &tuple!["login"]));
+    }
+}

@@ -1,0 +1,584 @@
+//! The Web service tuple `⟨D, S, I, A, W, W0, W_err⟩` and its structural
+//! validation (Definition 2.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use wave_logic::formula::{Formula, Term};
+use wave_logic::schema::{ConstKind, RelKind, Schema};
+
+use crate::page::Page;
+
+/// A data-driven Web service specification.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Service {
+    /// The union vocabulary: database, state, input, prev-input, action and
+    /// page relations, plus database and input constants.
+    pub schema: Schema,
+    /// The Web page schemas, keyed by name (`W`).
+    pub pages: BTreeMap<String, Page>,
+    /// The home page `W0 ∈ W`.
+    pub home: String,
+    /// The error page `W_err ∉ W` (a reserved name; its behaviour is fixed:
+    /// loop forever).
+    pub error_page: String,
+}
+
+/// A violation of Definition 2.1's side conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The home page is not among the page schemas.
+    MissingHomePage(String),
+    /// The error page must not be among the page schemas.
+    ErrorPageDefined(String),
+    /// A page name is not registered as an arity-0 `Page` relation.
+    PageNotInSchema(String),
+    /// A page lists an input that is not an `Input` relation.
+    NotAnInputRelation {
+        /// Page name.
+        page: String,
+        /// Offending relation.
+        relation: String,
+    },
+    /// A page lists an input constant that is not declared as one.
+    NotAnInputConstant {
+        /// Page name.
+        page: String,
+        /// Offending constant.
+        constant: String,
+    },
+    /// A relational input of positive arity lacks its input rule.
+    MissingInputRule {
+        /// Page name.
+        page: String,
+        /// The input relation without a rule.
+        relation: String,
+    },
+    /// A rule head's variable list disagrees with the relation's arity, or
+    /// repeats a variable.
+    BadRuleHead {
+        /// Page name.
+        page: String,
+        /// Head relation.
+        relation: String,
+        /// Explanation.
+        why: String,
+    },
+    /// A rule body has free variables beyond the head variables.
+    UnboundBodyVariables {
+        /// Page name.
+        page: String,
+        /// Head relation (or target page for target rules).
+        rule: String,
+        /// The stray variables.
+        vars: Vec<String>,
+    },
+    /// A rule body uses a relation symbol not in the schema, or with the
+    /// wrong arity.
+    BadAtom {
+        /// Page name.
+        page: String,
+        /// The offending relation usage.
+        relation: String,
+        /// Explanation.
+        why: String,
+    },
+    /// A rule body uses a relation kind it may not (e.g. an action atom in
+    /// an input rule, or another page's input).
+    ForbiddenVocabulary {
+        /// Page name.
+        page: String,
+        /// The offending relation.
+        relation: String,
+        /// Where it appeared.
+        context: String,
+    },
+    /// A rule body mentions an undeclared constant.
+    UnknownConstant {
+        /// Page name.
+        page: String,
+        /// The constant.
+        constant: String,
+    },
+    /// A target rule names a page that does not exist.
+    UnknownTargetPage {
+        /// Page name.
+        page: String,
+        /// The missing target.
+        target: String,
+    },
+    /// A target rule body is not a sentence.
+    TargetRuleNotSentence {
+        /// Page name.
+        page: String,
+        /// Target page.
+        target: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingHomePage(h) => write!(f, "home page `{h}` not defined"),
+            ValidationError::ErrorPageDefined(e) => {
+                write!(f, "error page `{e}` must not have a page schema")
+            }
+            ValidationError::PageNotInSchema(p) => {
+                write!(f, "page `{p}` not registered as a Page relation")
+            }
+            ValidationError::NotAnInputRelation { page, relation } => {
+                write!(f, "page `{page}`: `{relation}` is not an input relation")
+            }
+            ValidationError::NotAnInputConstant { page, constant } => {
+                write!(f, "page `{page}`: `{constant}` is not an input constant")
+            }
+            ValidationError::MissingInputRule { page, relation } => {
+                write!(f, "page `{page}`: input `{relation}` lacks an Options rule")
+            }
+            ValidationError::BadRuleHead { page, relation, why } => {
+                write!(f, "page `{page}`: bad head for `{relation}`: {why}")
+            }
+            ValidationError::UnboundBodyVariables { page, rule, vars } => write!(
+                f,
+                "page `{page}`: rule `{rule}` has unbound variables {{{}}}",
+                vars.join(", ")
+            ),
+            ValidationError::BadAtom { page, relation, why } => {
+                write!(f, "page `{page}`: bad atom `{relation}`: {why}")
+            }
+            ValidationError::ForbiddenVocabulary { page, relation, context } => {
+                write!(f, "page `{page}`: `{relation}` may not appear in {context}")
+            }
+            ValidationError::UnknownConstant { page, constant } => {
+                write!(f, "page `{page}`: unknown constant `{constant}`")
+            }
+            ValidationError::UnknownTargetPage { page, target } => {
+                write!(f, "page `{page}`: unknown target page `{target}`")
+            }
+            ValidationError::TargetRuleNotSentence { page, target } => {
+                write!(f, "page `{page}`: target rule for `{target}` has free variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Service {
+    /// Looks up a page schema.
+    pub fn page(&self, name: &str) -> Option<&Page> {
+        self.pages.get(name)
+    }
+
+    /// Page names in deterministic order.
+    pub fn page_names(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+
+    /// Checks every side condition of Definition 2.1 and reports all
+    /// violations (empty vector = valid).
+    pub fn validate(&self) -> Result<(), Vec<ValidationError>> {
+        let mut errs = Vec::new();
+        if !self.pages.contains_key(&self.home) {
+            errs.push(ValidationError::MissingHomePage(self.home.clone()));
+        }
+        if self.pages.contains_key(&self.error_page) {
+            errs.push(ValidationError::ErrorPageDefined(self.error_page.clone()));
+        }
+        for (name, page) in &self.pages {
+            match self.schema.relation(name) {
+                Some(r) if r.kind == RelKind::Page && r.arity == 0 => {}
+                _ => errs.push(ValidationError::PageNotInSchema(name.clone())),
+            }
+            self.validate_page(page, &mut errs);
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    fn validate_page(&self, page: &Page, errs: &mut Vec<ValidationError>) {
+        let pname = &page.name;
+        // Inputs declared and of the right kind.
+        for i in &page.inputs {
+            match self.schema.relation(i) {
+                Some(r) if r.kind == RelKind::Input => {
+                    if r.arity > 0 && page.input_rule(i).is_none() {
+                        errs.push(ValidationError::MissingInputRule {
+                            page: pname.clone(),
+                            relation: i.clone(),
+                        });
+                    }
+                }
+                _ => errs.push(ValidationError::NotAnInputRelation {
+                    page: pname.clone(),
+                    relation: i.clone(),
+                }),
+            }
+        }
+        for c in &page.input_constants {
+            if self.schema.constant(c) != Some(ConstKind::Input) {
+                errs.push(ValidationError::NotAnInputConstant {
+                    page: pname.clone(),
+                    constant: c.clone(),
+                });
+            }
+        }
+        // Rule heads and bodies.
+        for r in &page.input_rules {
+            self.check_head(pname, &r.relation, &r.vars, RelKind::Input, errs);
+            self.check_body(
+                pname,
+                &r.relation,
+                &r.body,
+                &r.vars,
+                page,
+                BodyContext::InputRule,
+                errs,
+            );
+        }
+        for r in &page.state_rules {
+            self.check_head(pname, &r.relation, &r.vars, RelKind::State, errs);
+            for body in r.insert.iter().chain(r.delete.iter()) {
+                self.check_body(
+                    pname,
+                    &r.relation,
+                    body,
+                    &r.vars,
+                    page,
+                    BodyContext::StateOrAction,
+                    errs,
+                );
+            }
+        }
+        for r in &page.action_rules {
+            self.check_head(pname, &r.relation, &r.vars, RelKind::Action, errs);
+            self.check_body(
+                pname,
+                &r.relation,
+                &r.body,
+                &r.vars,
+                page,
+                BodyContext::StateOrAction,
+                errs,
+            );
+        }
+        for r in &page.target_rules {
+            if !self.pages.contains_key(&r.target) {
+                errs.push(ValidationError::UnknownTargetPage {
+                    page: pname.clone(),
+                    target: r.target.clone(),
+                });
+            }
+            if !r.body.free_vars().is_empty() {
+                errs.push(ValidationError::TargetRuleNotSentence {
+                    page: pname.clone(),
+                    target: r.target.clone(),
+                });
+            }
+            self.check_body(
+                pname,
+                &r.target,
+                &r.body,
+                &[],
+                page,
+                BodyContext::StateOrAction,
+                errs,
+            );
+        }
+    }
+
+    fn check_head(
+        &self,
+        pname: &str,
+        relation: &str,
+        vars: &[String],
+        expected: RelKind,
+        errs: &mut Vec<ValidationError>,
+    ) {
+        match self.schema.relation(relation) {
+            None => errs.push(ValidationError::BadAtom {
+                page: pname.to_string(),
+                relation: relation.to_string(),
+                why: "relation not declared".into(),
+            }),
+            Some(r) => {
+                if r.kind != expected {
+                    errs.push(ValidationError::BadRuleHead {
+                        page: pname.to_string(),
+                        relation: relation.to_string(),
+                        why: format!("expected a {expected} relation, found {}", r.kind),
+                    });
+                }
+                if r.arity != vars.len() {
+                    errs.push(ValidationError::BadRuleHead {
+                        page: pname.to_string(),
+                        relation: relation.to_string(),
+                        why: format!("arity {} but {} head variables", r.arity, vars.len()),
+                    });
+                }
+                let mut seen = std::collections::BTreeSet::new();
+                for v in vars {
+                    if !seen.insert(v) {
+                        errs.push(ValidationError::BadRuleHead {
+                            page: pname.to_string(),
+                            relation: relation.to_string(),
+                            why: format!("repeated head variable `{v}`"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_body(
+        &self,
+        pname: &str,
+        rule: &str,
+        body: &Formula,
+        head_vars: &[String],
+        page: &Page,
+        ctx: BodyContext,
+        errs: &mut Vec<ValidationError>,
+    ) {
+        // Free variables ⊆ head variables.
+        let stray: Vec<String> = body
+            .free_vars()
+            .into_iter()
+            .filter(|v| !head_vars.contains(v))
+            .collect();
+        if !stray.is_empty() {
+            errs.push(ValidationError::UnboundBodyVariables {
+                page: pname.to_string(),
+                rule: rule.to_string(),
+                vars: stray,
+            });
+        }
+        // Atoms: declared, right arity, permitted kind.
+        for (rel, arity) in body.relations_used() {
+            match self.schema.relation(&rel) {
+                None => errs.push(ValidationError::BadAtom {
+                    page: pname.to_string(),
+                    relation: rel.clone(),
+                    why: "relation not declared".into(),
+                }),
+                Some(r) => {
+                    if r.arity != arity {
+                        errs.push(ValidationError::BadAtom {
+                            page: pname.to_string(),
+                            relation: rel.clone(),
+                            why: format!("declared arity {} used with {arity}", r.arity),
+                        });
+                    }
+                    let allowed = match (r.kind, ctx) {
+                        (RelKind::Database | RelKind::State | RelKind::PrevInput, _) => true,
+                        // Input rules may not read the page's own inputs
+                        // (Definition 2.1: options are over D∪S∪Prev_I).
+                        (RelKind::Input, BodyContext::InputRule) => false,
+                        (RelKind::Input, BodyContext::StateOrAction) => {
+                            page.inputs.contains(&rel)
+                        }
+                        (RelKind::Action | RelKind::Page, _) => false,
+                    };
+                    if !allowed {
+                        errs.push(ValidationError::ForbiddenVocabulary {
+                            page: pname.to_string(),
+                            relation: rel.clone(),
+                            context: match ctx {
+                                BodyContext::InputRule => "an input-option rule".into(),
+                                BodyContext::StateOrAction => {
+                                    "a state/action/target rule".into()
+                                }
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        // Constants declared.
+        for c in body.constants_used() {
+            if self.schema.constant(&c).is_none() {
+                errs.push(ValidationError::UnknownConstant {
+                    page: pname.to_string(),
+                    constant: c,
+                });
+            }
+        }
+        // No literal terms restrictions — literals are always fine.
+        let _ = Term::lit(0);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BodyContext {
+    InputRule,
+    StateOrAction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{InputRule, StateRule, TargetRule};
+    use wave_logic::formula::Term;
+
+    fn tiny_service() -> Service {
+        let mut schema = Schema::new();
+        schema.add_relation("user", 2, RelKind::Database).unwrap();
+        schema.add_relation("button", 1, RelKind::Input).unwrap();
+        schema.add_relation("logged_in", 0, RelKind::State).unwrap();
+        schema.add_relation("HP", 0, RelKind::Page).unwrap();
+        schema.add_relation("CP", 0, RelKind::Page).unwrap();
+        schema.add_constant("name", ConstKind::Input).unwrap();
+        schema.add_constant("password", ConstKind::Input).unwrap();
+
+        let mut hp = Page::new("HP");
+        hp.inputs.push("button".into());
+        hp.input_constants = vec!["name".into(), "password".into()];
+        hp.input_rules.push(InputRule {
+            relation: "button".into(),
+            vars: vec!["x".into()],
+            body: Formula::or([
+                Formula::eq(Term::var("x"), Term::lit("login")),
+                Formula::eq(Term::var("x"), Term::lit("clear")),
+            ]),
+        });
+        hp.state_rules.push(StateRule::insert_only(
+            "logged_in",
+            vec![],
+            Formula::and([
+                Formula::rel("user", vec![Term::cst("name"), Term::cst("password")]),
+                Formula::rel("button", vec![Term::lit("login")]),
+            ]),
+        ));
+        hp.target_rules.push(TargetRule {
+            target: "CP".into(),
+            body: Formula::and([
+                Formula::rel("user", vec![Term::cst("name"), Term::cst("password")]),
+                Formula::rel("button", vec![Term::lit("login")]),
+            ]),
+        });
+
+        let mut cp = Page::new("CP");
+        cp.target_rules.push(TargetRule { target: "HP".into(), body: Formula::False });
+
+        Service {
+            schema,
+            pages: BTreeMap::from([("HP".into(), hp), ("CP".into(), cp)]),
+            home: "HP".into(),
+            error_page: "ERR".into(),
+        }
+    }
+
+    #[test]
+    fn valid_service_passes() {
+        let s = tiny_service();
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn missing_home_detected() {
+        let mut s = tiny_service();
+        s.home = "NOPE".into();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingHomePage(_))));
+    }
+
+    #[test]
+    fn error_page_must_not_be_defined() {
+        let mut s = tiny_service();
+        s.error_page = "CP".into();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::ErrorPageDefined(_))));
+    }
+
+    #[test]
+    fn missing_input_rule_detected() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().input_rules.clear();
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingInputRule { .. })));
+    }
+
+    #[test]
+    fn stray_variable_detected() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().state_rules[0].insert =
+            Some(Formula::rel("user", vec![Term::var("z"), Term::cst("password")]));
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnboundBodyVariables { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().target_rules[0].body =
+            Formula::rel("user", vec![Term::cst("name")]);
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::BadAtom { why, .. } if why.contains("arity"))
+        ));
+    }
+
+    #[test]
+    fn foreign_input_in_rule_detected() {
+        let mut s = tiny_service();
+        // CP does not list `button` among its inputs but uses it.
+        s.pages.get_mut("CP").unwrap().target_rules[0].body =
+            Formula::rel("button", vec![Term::lit("login")]);
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ForbiddenVocabulary { .. })));
+    }
+
+    #[test]
+    fn input_rule_may_not_read_inputs() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().input_rules[0].body =
+            Formula::rel("button", vec![Term::var("x")]);
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ForbiddenVocabulary { .. })));
+    }
+
+    #[test]
+    fn unknown_target_detected() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().target_rules.push(TargetRule {
+            target: "NOWHERE".into(),
+            body: Formula::False,
+        });
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnknownTargetPage { .. })));
+    }
+
+    #[test]
+    fn unknown_constant_detected() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().target_rules[0].body =
+            Formula::eq(Term::cst("mystery"), Term::lit(1));
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnknownConstant { .. })));
+    }
+
+    #[test]
+    fn prev_input_allowed_in_input_rules() {
+        let mut s = tiny_service();
+        s.pages.get_mut("HP").unwrap().input_rules[0].body = Formula::exists(
+            vec!["y".into()],
+            Formula::and([
+                Formula::rel("prev_button", vec![Term::var("y")]),
+                Formula::eq(Term::var("x"), Term::var("y")),
+            ]),
+        );
+        assert_eq!(s.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,129 @@
+//! Synthetic computer-store databases.
+//!
+//! The demo site's schema, as reconstructed from Examples 2.2/3.3/3.4:
+//!
+//! * `user(name, password)` — registered customers (plus `Admin`),
+//! * `criteria(category, attribute, value)` — legal search parameter
+//!   values (the LSP input rule of Example 2.2 reads these),
+//! * `prod_prices(pid, price)` and `prod_names(pid, pname)` — the catalog
+//!   in the *split* form Example 3.4 introduces to make the payment
+//!   property input-bounded,
+//! * `laptop(pid, ram, hdd, display)` / `desktop(pid, ram, hdd, display)`
+//!   — search indexes by category.
+
+use rand::Rng;
+
+use wave_logic::instance::Instance;
+use wave_logic::value::Value;
+use wave_logic::tuple;
+
+/// Parameters of the generated store.
+#[derive(Clone, Debug)]
+pub struct CatalogSpec {
+    /// Number of laptop products.
+    pub laptops: usize,
+    /// Number of desktop products.
+    pub desktops: usize,
+    /// Number of registered customers (besides `Admin`).
+    pub customers: usize,
+    /// Distinct values per search attribute.
+    pub attr_values: usize,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec { laptops: 3, desktops: 2, customers: 2, attr_values: 2 }
+    }
+}
+
+/// Generates a store database.
+pub fn generate(spec: &CatalogSpec, rng: &mut impl Rng) -> Instance {
+    let mut db = Instance::new();
+    db.insert("user", tuple!["Admin", "root"]);
+    for i in 0..spec.customers {
+        db.insert("user", tuple![format!("cust{i}"), format!("pw{i}")]);
+    }
+    let ram = |k: usize| format!("{}gb", 4 << k);
+    let hdd = |k: usize| format!("{}tb", k + 1);
+    let dsp = |k: usize| format!("{}in", 13 + k);
+    for k in 0..spec.attr_values {
+        for cat in ["laptop", "desktop"] {
+            db.insert("criteria", tuple![cat, "ram", ram(k).as_str()]);
+            db.insert("criteria", tuple![cat, "hdd", hdd(k).as_str()]);
+            db.insert("criteria", tuple![cat, "display", dsp(k).as_str()]);
+        }
+    }
+    let mut pid = 0usize;
+    for (count, cat) in [(spec.laptops, "laptop"), (spec.desktops, "desktop")] {
+        for _ in 0..count {
+            pid += 1;
+            let id = format!("p{pid}");
+            let price = Value::Int(rng.gen_range(300..3000));
+            db.insert("prod_prices", tuple![id.as_str(), price.clone()]);
+            db.insert(
+                "prod_names",
+                tuple![id.as_str(), format!("{cat}-{pid}").as_str()],
+            );
+            let r = ram(rng.gen_range(0..spec.attr_values));
+            let h = hdd(rng.gen_range(0..spec.attr_values));
+            let d = dsp(rng.gen_range(0..spec.attr_values));
+            db.insert(cat, tuple![id.as_str(), r.as_str(), h.as_str(), d.as_str()]);
+        }
+    }
+    db
+}
+
+/// A tiny deterministic store for unit tests: one customer
+/// (`alice`/`pw1`), one laptop `p1` at 999 matching `8gb/1tb/13in`.
+pub fn tiny() -> Instance {
+    let mut db = Instance::new();
+    db.insert("user", tuple!["Admin", "root"]);
+    db.insert("user", tuple!["alice", "pw1"]);
+    db.insert("criteria", tuple!["laptop", "ram", "8gb"]);
+    db.insert("criteria", tuple!["laptop", "hdd", "1tb"]);
+    db.insert("criteria", tuple!["laptop", "display", "13in"]);
+    db.insert("criteria", tuple!["desktop", "ram", "8gb"]);
+    db.insert("criteria", tuple!["desktop", "hdd", "1tb"]);
+    db.insert("criteria", tuple!["desktop", "display", "13in"]);
+    db.insert("prod_prices", tuple!["p1", 999]);
+    db.insert("prod_names", tuple!["p1", "swift-13"]);
+    db.insert("laptop", tuple!["p1", "8gb", "1tb", "13in"]);
+    db.insert("prod_prices", tuple!["p2", 1500]);
+    db.insert("prod_names", tuple!["p2", "tower-x"]);
+    db.insert("desktop", tuple!["p2", "8gb", "1tb", "13in"]);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_catalog_is_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let spec = CatalogSpec { laptops: 4, desktops: 3, customers: 2, attr_values: 2 };
+        let db = generate(&spec, &mut rng);
+        assert_eq!(db.cardinality("user"), 3); // Admin + 2
+        assert_eq!(db.cardinality("prod_prices"), 7);
+        assert_eq!(db.cardinality("prod_names"), 7);
+        assert_eq!(db.cardinality("laptop"), 4);
+        assert_eq!(db.cardinality("desktop"), 3);
+        // criteria values cover both categories and all attributes
+        assert_eq!(db.cardinality("criteria"), 2 * 3 * 2);
+        // every product has a price and a name
+        for t in db.tuples("laptop") {
+            let pid = t[0].clone();
+            assert!(db.tuples("prod_prices").any(|p| p[0] == pid));
+            assert!(db.tuples("prod_names").any(|p| p[0] == pid));
+        }
+    }
+
+    #[test]
+    fn tiny_store_has_the_running_example_rows() {
+        let db = tiny();
+        assert!(db.contains("user", &tuple!["alice", "pw1"]));
+        assert!(db.contains("criteria", &tuple!["laptop", "ram", "8gb"]));
+        assert!(db.contains("prod_prices", &tuple!["p1", 999]));
+    }
+}

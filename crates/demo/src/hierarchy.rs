@@ -1,0 +1,154 @@
+//! The Figure 1 category hierarchy and input-driven search services
+//! (Example 4.8).
+//!
+//! Figure 1's fragment: `products → {new, used}`, `new → {desktops,
+//! laptops}`, `used → {desktops, laptops}` — a user navigates the category
+//! graph `R_I`, seeing only in-stock categories. [`figure1`] builds that
+//! exact graph; [`generate`] scales it to arbitrary depth and branching
+//! for the EXP-F1 benchmarks.
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::service::Service;
+use wave_logic::instance::Instance;
+use wave_logic::tuple;
+use wave_logic::value::Value;
+
+/// Builds the input-driven search navigator service of Example 4.8:
+/// single unary input `pick`, database graph `cat_graph`, seed `i0`,
+/// filter `in_stock(y)`.
+pub fn navigator() -> Service {
+    let mut b = ServiceBuilder::new("SP");
+    b.database_relation("cat_graph", 2)
+        .database_relation("in_stock", 1)
+        .database_constant("i0")
+        .state_prop("not_start")
+        .input_relation("pick", 1)
+        .page("SP")
+        .input_rule(
+            "pick",
+            &["y"],
+            "(!not_start & y = i0) | (not_start & (exists x . (prev_pick(x) & cat_graph(x, y))) & in_stock(y))",
+        )
+        .insert_rule("not_start", &[], "!not_start");
+    b.build().expect("navigator must validate")
+}
+
+/// The exact Figure 1 database: the category fragment, everything in
+/// stock, seeded at `products`.
+pub fn figure1() -> Instance {
+    let mut db = Instance::new();
+    let edges = [
+        ("products", "new"),
+        ("products", "used"),
+        ("new", "desktops"),
+        ("new", "laptops"),
+        ("used", "desktops"),
+        ("used", "laptops"),
+    ];
+    for (a, b) in edges {
+        db.insert("cat_graph", tuple![a, b]);
+    }
+    for n in ["products", "new", "used", "desktops", "laptops"] {
+        db.insert("in_stock", tuple![n]);
+    }
+    db.set_constant("i0", Value::str("products"));
+    db
+}
+
+/// A scalable hierarchy: a `branching`-ary tree of the given `depth`;
+/// every `stock_every`-th node is in stock. Returns the database (seeded
+/// at the root) and the node count.
+pub fn generate(depth: usize, branching: usize, stock_every: usize) -> (Instance, usize) {
+    let mut db = Instance::new();
+    let mut count = 1usize;
+    let mut frontier = vec!["n0".to_string()];
+    db.insert("in_stock", tuple!["n0"]);
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for parent in &frontier {
+            for _ in 0..branching {
+                let child = format!("n{count}");
+                db.insert("cat_graph", tuple![parent.as_str(), child.as_str()]);
+                if count.is_multiple_of(stock_every.max(1)) {
+                    db.insert("in_stock", tuple![child.as_str()]);
+                }
+                next.push(child);
+                count += 1;
+            }
+        }
+        frontier = next;
+    }
+    db.set_constant("i0", Value::str("n0"));
+    (db, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::classify::input_driven_shape;
+    use wave_core::run::{InputChoice, Runner};
+
+    #[test]
+    fn navigator_matches_definition_47() {
+        let s = navigator();
+        let shape = input_driven_shape(&s).expect("Def. 4.7 shape");
+        assert_eq!(shape.input_rel, "pick");
+        assert_eq!(shape.search_rel, "cat_graph");
+        assert_eq!(shape.seed_const, "i0");
+    }
+
+    #[test]
+    fn figure1_navigation() {
+        let s = navigator();
+        let db = figure1();
+        let r = Runner::new(&s, &db);
+        // seed pick: products
+        let c = r
+            .initial(&InputChoice::empty().with_tuple("pick", tuple!["products"]))
+            .unwrap();
+        assert_eq!(c.page, "SP");
+        // navigate products → new
+        let c = r
+            .step(&c, &InputChoice::empty().with_tuple("pick", tuple!["new"]))
+            .unwrap();
+        assert!(c.state.prop("not_start"));
+        // new → laptops
+        let c = r
+            .step(&c, &InputChoice::empty().with_tuple("pick", tuple!["laptops"]))
+            .unwrap();
+        assert!(c.prev.contains("prev_pick", &tuple!["new"]));
+        // laptops is a leaf: only the empty pick remains
+        let core = r.transition_core(&c).unwrap();
+        let opts = r
+            .entry_options(s.page("SP").unwrap(), &core.state, &core.prev, &c.provided)
+            .unwrap();
+        assert!(opts["pick"].is_empty(), "leaves have no successors");
+    }
+
+    #[test]
+    fn out_of_stock_categories_hidden() {
+        let s = navigator();
+        let mut db = figure1();
+        db.remove("in_stock", &tuple!["used"]);
+        let r = Runner::new(&s, &db);
+        let c = r
+            .initial(&InputChoice::empty().with_tuple("pick", tuple!["products"]))
+            .unwrap();
+        let core = r.transition_core(&c).unwrap();
+        let opts = r
+            .entry_options(s.page("SP").unwrap(), &core.state, &core.prev, &c.provided)
+            .unwrap();
+        assert!(opts["pick"].contains(&tuple!["new"]));
+        assert!(!opts["pick"].contains(&tuple!["used"]), "out of stock");
+    }
+
+    #[test]
+    fn generator_counts_nodes() {
+        let (db, n) = generate(3, 2, 1);
+        assert_eq!(n, 1 + 2 + 4 + 8);
+        assert_eq!(db.cardinality("cat_graph"), 14);
+        assert_eq!(db.cardinality("in_stock"), 15);
+        let (_, n2) = generate(2, 3, 2);
+        assert_eq!(n2, 1 + 3 + 9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # wave-demo
+//!
+//! The paper's running example, reconstructed:
+//!
+//! * [`catalog`] — a synthetic computer-store database generator
+//!   (products, search criteria, registered users), standing in for the
+//!   WAVE demo's backing database (the original site is long gone; see
+//!   DESIGN.md's substitution table).
+//! * [`site`] — the **Figure 2** e-commerce Web service: all nineteen
+//!   pages of the demo (HP, NP, RP, MP, CP, AP, DSP, LSP, PIP, PP, CC,
+//!   UPP, COP, POP, VOP, OSP, SCP, CCP, DCP), with the HP and LSP rules
+//!   exactly as printed in Example 2.2, the remaining pages reconstructed
+//!   from the figure's links and buttons. Also: a trimmed input-bounded
+//!   *checkout core* sized for the symbolic verifier, and the
+//!   propositional *navigation abstraction* of Example 4.3.
+//! * [`hierarchy`] — the **Figure 1** category hierarchy as a Web service
+//!   with input-driven search (Example 4.8), with a scalable generator
+//!   for benchmarks.
+//! * [`properties`] — the paper's example properties ((1) of Example 3.2,
+//!   (4) of Example 3.4, the CTL properties of Example 4.3, the CTL\*-FO
+//!   property of Example 4.1) stated against these services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod hierarchy;
+pub mod properties;
+pub mod site;

@@ -1,0 +1,102 @@
+//! The paper's example properties, stated against the demo services.
+
+use wave_logic::parser::{parse_property, parse_temporal};
+use wave_logic::temporal::{Property, TFormula};
+
+/// Property (1), Example 3.2: whenever page `P` is reached, page `Q` is
+/// eventually reached as well — `G(¬P) ∨ F(P ∧ F Q)`.
+pub fn reach_then(p: &str, q: &str) -> Property {
+    parse_property(&format!("G (!{p}) | F ({p} & F {q})")).expect("property parses")
+}
+
+/// Property (4), Example 3.4 — the input-bounded rewriting of "any
+/// shipped product was previously paid for":
+/// `∀pid ∀price [ β'(pid, price) B (conf(name, price) ∧ ship(name, pid)) ]`
+/// where `β'` = `UPP ∧ pay(price) ∧ button("authorize payment") ∧
+/// pick(pid, price) ∧ prod_prices(pid, price)`.
+///
+/// With the paper's `φ B ψ ≡ ¬(¬φ U ψ)` ("ψ cannot happen before φ"),
+/// the confirm-and-ship pair is the *second* operand: it may not occur
+/// before the authorized payment `β'`. (The PODS text's typography places
+/// a negation that would make the sentence vacuously false at step 0
+/// under the stated `B` definition; this is the reading that matches the
+/// prose "any shipped product be previously paid for".)
+pub fn paid_before_ship() -> Property {
+    parse_property(
+        r#"forall pid price .
+            (UPP & (exists a . (pay(a) & a = price))
+                 & (exists x . (button(x) & x = "authorize payment"))
+                 & pick(pid, price) & prod_prices(pid, price))
+            B (conf(name, price) & ship(name, pid))"#,
+    )
+    .expect("property parses")
+}
+
+/// Example 4.3 first property: from any page it is possible to navigate
+/// back to the home page — `AG EF HP`.
+pub fn always_can_go_home() -> TFormula {
+    parse_temporal("A G (E F HP)", &[]).expect("property parses")
+}
+
+/// Example 4.3 second property: after login, the user can reach a page
+/// where payment can be authorized —
+/// `AG((HP ∧ button("login")) → EF button("authorize payment"))`.
+pub fn login_can_reach_payment() -> TFormula {
+    parse_temporal(
+        r#"A G ((HP & button("login")) -> E F button("authorize payment"))"#,
+        &[],
+    )
+    .expect("property parses")
+}
+
+/// Example 4.1 (propositional abstraction): whenever a product is bought,
+/// it eventually ships, and until then the order can still be cancelled —
+/// `AG(bought → A((EF cancel) U ship))`. Stated over the propositions the
+/// abstraction provides.
+pub fn cancellable_until_ship(bought: &str, cancel: &str, ship: &str) -> TFormula {
+    parse_temporal(
+        &format!("A G ({bought} -> A ((E F {cancel}) U {ship}))"),
+        &[],
+    )
+    .expect("property parses")
+}
+
+/// Error-freeness as a navigational LTL property: `G ¬<error page>`.
+pub fn never_errors(error_page: &str) -> Property {
+    parse_property(&format!("G !{error_page}")).expect("property parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_logic::temporal::TemporalClass;
+
+    #[test]
+    fn classifications_match_the_paper() {
+        assert_eq!(reach_then("PP", "CC").classify(), TemporalClass::Ltl);
+        assert_eq!(paid_before_ship().classify(), TemporalClass::Ltl);
+        assert_eq!(always_can_go_home().classify(), TemporalClass::Ctl);
+        assert_eq!(login_can_reach_payment().classify(), TemporalClass::Ctl);
+        assert_eq!(
+            cancellable_until_ship("paid", "cancel", "shipped").classify(),
+            TemporalClass::Ctl
+        );
+    }
+
+    #[test]
+    fn paid_before_ship_is_input_bounded_on_the_site() {
+        let s = crate::site::full_site();
+        let p = paid_before_ship();
+        assert_eq!(p.vars, vec!["pid".to_string(), "price".to_string()]);
+        p.check_input_bounded(&s.schema)
+            .expect("the Example 3.4 rewriting is input-bounded");
+    }
+
+    #[test]
+    fn property_one_is_trivially_input_bounded() {
+        let s = crate::site::full_site();
+        reach_then("PP", "CC")
+            .check_input_bounded(&s.schema)
+            .expect("no quantifiers, trivially bounded");
+    }
+}

@@ -1,0 +1,510 @@
+//! Input-boundedness — the syntactic restriction that buys decidability.
+//!
+//! Section 3 of the paper (following Spielmann's ASM transducers) restricts
+//! quantification in state, action and target rules to *input-bounded*
+//! quantification:
+//!
+//! > if `φ` is a formula, `α` is a current or previous input atom over
+//! > `I ∪ Prev_I`, `x̄ ⊆ free(α)`, and `x̄ ∩ free(γ) = ∅` for every state or
+//! > action atom `γ` in `φ`, then `∃x̄(α ∧ φ)` and `∀x̄(α → φ)` are formulas.
+//!
+//! Input-option rules must additionally be ∃FO with all state atoms ground.
+//! Both checks are implemented here; Theorems 3.7–3.9 show that relaxing
+//! any of them makes verification undecidable, so the checker is the
+//! gatekeeper of the whole decidable fragment.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::formula::{Formula, Term, Var};
+use crate::normalize::{existential_prefix, standardize_apart};
+use crate::schema::Schema;
+
+/// A violation of the input-bounded discipline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundedError {
+    /// An atom uses a relation symbol the schema does not declare.
+    UnknownRelation(String),
+    /// A quantifier is not of the guarded form `∃x̄(α ∧ φ)` / `∀x̄(α → φ)`.
+    UnguardedQuantifier {
+        /// The offending quantified variables.
+        vars: Vec<Var>,
+    },
+    /// The guard atom does not mention every quantified variable
+    /// (`x̄ ⊆ free(α)` fails).
+    GuardMissingVars {
+        /// Guard relation name.
+        guard: String,
+        /// Variables not covered by the guard.
+        missing: Vec<Var>,
+    },
+    /// A state or action atom inside the quantifier body uses a quantified
+    /// variable (`x̄ ∩ free(γ) ≠ ∅` for some state/action atom `γ`).
+    StateAtomUsesBoundVar {
+        /// The state/action relation.
+        rel: String,
+        /// The captured variable.
+        var: Var,
+    },
+    /// An input rule is not an ∃FO formula.
+    InputRuleNotExistential,
+    /// An input rule contains a non-ground state atom.
+    InputRuleStateAtomNotGround {
+        /// The state relation with a variable argument.
+        rel: String,
+    },
+}
+
+impl fmt::Display for BoundedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundedError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            BoundedError::UnguardedQuantifier { vars } => write!(
+                f,
+                "quantifier over {{{}}} is not guarded by an input or prev-input atom",
+                vars.join(", ")
+            ),
+            BoundedError::GuardMissingVars { guard, missing } => write!(
+                f,
+                "guard `{guard}` does not mention quantified variable(s) {{{}}}",
+                missing.join(", ")
+            ),
+            BoundedError::StateAtomUsesBoundVar { rel, var } => write!(
+                f,
+                "state/action atom `{rel}` uses input-bounded variable `{var}`"
+            ),
+            BoundedError::InputRuleNotExistential => {
+                write!(f, "input rule is not an ∃FO formula")
+            }
+            BoundedError::InputRuleStateAtomNotGround { rel } => {
+                write!(f, "input rule uses non-ground state atom `{rel}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundedError {}
+
+fn is_input_like_atom(f: &Formula, schema: &Schema) -> Result<Option<String>, BoundedError> {
+    if let Formula::Rel { name, .. } = f {
+        let rel = schema
+            .relation(name)
+            .ok_or_else(|| BoundedError::UnknownRelation(name.clone()))?;
+        if rel.kind.is_input_like() {
+            return Ok(Some(name.clone()));
+        }
+    }
+    Ok(None)
+}
+
+/// Collects every state/action atom occurring anywhere in `f`.
+fn state_action_atoms(
+    f: &Formula,
+    schema: &Schema,
+    out: &mut Vec<Formula>,
+) -> Result<(), BoundedError> {
+    let mut err = None;
+    f.walk(&mut |g| {
+        if err.is_some() {
+            return;
+        }
+        if let Formula::Rel { name, .. } = g {
+            match schema.relation(name) {
+                None => err = Some(BoundedError::UnknownRelation(name.clone())),
+                Some(r) if r.kind.is_state_or_action() => out.push(g.clone()),
+                Some(_) => {}
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Checks that `f` is input-bounded over `schema` (Section 3).
+///
+/// The formula is standardized apart first, so shadowed binders are handled
+/// correctly. Unknown relations are reported as errors.
+pub fn check_input_bounded(f: &Formula, schema: &Schema) -> Result<(), BoundedError> {
+    let g = standardize_apart(f);
+    check_ib(&g, schema)
+}
+
+fn check_ib(f: &Formula, schema: &Schema) -> Result<(), BoundedError> {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(..) => Ok(()),
+        Formula::Rel { name, .. } => {
+            schema
+                .relation(name)
+                .ok_or_else(|| BoundedError::UnknownRelation(name.clone()))?;
+            Ok(())
+        }
+        Formula::Not(g) => check_ib(g, schema),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                check_ib(g, schema)?;
+            }
+            Ok(())
+        }
+        Formula::Exists(vars, body) => {
+            // Expected shape: α ∧ φ, possibly n-ary after flattening.
+            let conjuncts: Vec<&Formula> = match body.as_ref() {
+                Formula::And(fs) => fs.iter().collect(),
+                other => vec![other],
+            };
+            check_guarded(vars, &conjuncts, /*positive_guard=*/ true, schema)
+        }
+        Formula::Forall(vars, body) => {
+            // Expected shape: α → φ, i.e. ¬α ∨ φ, possibly n-ary.
+            let disjuncts: Vec<&Formula> = match body.as_ref() {
+                Formula::Or(fs) => fs.iter().collect(),
+                other => vec![other],
+            };
+            check_guarded(vars, &disjuncts, /*positive_guard=*/ false, schema)
+        }
+    }
+}
+
+/// Shared guard logic: among `parts`, find an input-like atom (positive for
+/// `∃`, negated for `∀`) whose free variables cover `vars`; the remaining
+/// parts form `φ` and must not mention `vars` in state/action atoms.
+fn check_guarded(
+    vars: &[Var],
+    parts: &[&Formula],
+    positive_guard: bool,
+    schema: &Schema,
+) -> Result<(), BoundedError> {
+    let var_set: BTreeSet<&Var> = vars.iter().collect();
+    let mut best_guard: Option<(usize, String, Vec<Var>)> = None; // (idx, name, missing)
+    for (i, part) in parts.iter().enumerate() {
+        let atom = if positive_guard {
+            (*part).clone()
+        } else {
+            match part {
+                Formula::Not(inner) => (**inner).clone(),
+                _ => continue,
+            }
+        };
+        if let Some(name) = is_input_like_atom(&atom, schema)? {
+            let fv = atom.free_vars();
+            let missing: Vec<Var> =
+                vars.iter().filter(|v| !fv.contains(*v)).cloned().collect();
+            if missing.is_empty() {
+                // Found a complete guard: check φ = the other parts.
+                let mut sa = Vec::new();
+                for (j, other) in parts.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    state_action_atoms(other, schema, &mut sa)?;
+                }
+                for atom in &sa {
+                    if let Formula::Rel { name, args } = atom {
+                        for t in args {
+                            if let Term::Var(v) = t {
+                                if var_set.contains(v) {
+                                    return Err(BoundedError::StateAtomUsesBoundVar {
+                                        rel: name.clone(),
+                                        var: v.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                // Recurse into every part (guards may themselves nest).
+                for part in parts {
+                    check_ib(part, schema)?;
+                }
+                return Ok(());
+            }
+            if best_guard.is_none() {
+                best_guard = Some((i, name, missing));
+            }
+        }
+    }
+    match best_guard {
+        Some((_, name, missing)) => Err(BoundedError::GuardMissingVars { guard: name, missing }),
+        None => Err(BoundedError::UnguardedQuantifier { vars: vars.to_vec() }),
+    }
+}
+
+/// Checks an input-option rule body: must be ∃FO with all state atoms
+/// ground (Section 3: "all input rules use ∃FO formulas in which all state
+/// atoms are ground").
+pub fn check_input_rule(f: &Formula, schema: &Schema) -> Result<(), BoundedError> {
+    let Some((_vars, matrix)) = existential_prefix(f) else {
+        return Err(BoundedError::InputRuleNotExistential);
+    };
+    let mut bad = None;
+    matrix.walk(&mut |g| {
+        if bad.is_some() {
+            return;
+        }
+        if let Formula::Rel { name, args } = g {
+            match schema.relation(name) {
+                None => bad = Some(BoundedError::UnknownRelation(name.clone())),
+                Some(r) if r.kind == crate::schema::RelKind::State => {
+                    if args.iter().any(Term::is_var) {
+                        bad = Some(BoundedError::InputRuleStateAtomNotGround {
+                            rel: name.clone(),
+                        });
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    });
+    match bad {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelKind;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("catalog", 3, RelKind::Database).unwrap();
+        s.add_relation("pick", 2, RelKind::State).unwrap();
+        s.add_relation("cart", 1, RelKind::State).unwrap();
+        s.add_relation("laptopsearch", 3, RelKind::Input).unwrap();
+        s.add_relation("button", 1, RelKind::Input).unwrap();
+        s.add_relation("ship", 2, RelKind::Action).unwrap();
+        s
+    }
+
+    #[test]
+    fn quantifier_free_is_bounded() {
+        let s = schema();
+        let f = Formula::and([
+            Formula::rel("pick", vec![Term::lit(1), Term::lit(2)]),
+            Formula::rel("button", vec![Term::lit("buy")]),
+        ]);
+        assert!(check_input_bounded(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn guarded_exists_is_bounded() {
+        let s = schema();
+        // ∃r h d (laptopsearch(r,h,d) ∧ catalog(r,h,d))
+        let f = Formula::exists(
+            vec!["r".into(), "h".into(), "d".into()],
+            Formula::and([
+                Formula::rel("laptopsearch", vec![v("r"), v("h"), v("d")]),
+                Formula::rel("catalog", vec![v("r"), v("h"), v("d")]),
+            ]),
+        );
+        assert!(check_input_bounded(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn prev_input_guard_accepted() {
+        let s = schema();
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::and([
+                Formula::rel("prev_button", vec![v("x")]),
+                Formula::eq(v("x"), Term::lit("search")),
+            ]),
+        );
+        assert!(check_input_bounded(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn unguarded_exists_rejected() {
+        let s = schema();
+        // ∃x catalog(x, x, x) — database atom is no guard
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::rel("catalog", vec![v("x"), v("x"), v("x")]),
+        );
+        assert!(matches!(
+            check_input_bounded(&f, &s),
+            Err(BoundedError::UnguardedQuantifier { .. })
+        ));
+    }
+
+    #[test]
+    fn guard_must_cover_all_vars() {
+        let s = schema();
+        // ∃x y (button(x) ∧ catalog(x,y,y)) — y not in the guard
+        let f = Formula::exists(
+            vec!["x".into(), "y".into()],
+            Formula::and([
+                Formula::rel("button", vec![v("x")]),
+                Formula::rel("catalog", vec![v("x"), v("y"), v("y")]),
+            ]),
+        );
+        match check_input_bounded(&f, &s) {
+            Err(BoundedError::GuardMissingVars { guard, missing }) => {
+                assert_eq!(guard, "button");
+                assert_eq!(missing, vec!["y".to_string()]);
+            }
+            other => panic!("expected GuardMissingVars, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_atom_with_bound_var_rejected() {
+        let s = schema();
+        // ∃x (button(x) ∧ cart(x)) — x flows into a state atom
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::and([
+                Formula::rel("button", vec![v("x")]),
+                Formula::rel("cart", vec![v("x")]),
+            ]),
+        );
+        assert!(matches!(
+            check_input_bounded(&f, &s),
+            Err(BoundedError::StateAtomUsesBoundVar { .. })
+        ));
+    }
+
+    #[test]
+    fn action_atom_with_bound_var_rejected() {
+        let s = schema();
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::and([
+                Formula::rel("button", vec![v("x")]),
+                Formula::rel("ship", vec![v("x"), Term::lit(1)]),
+            ]),
+        );
+        assert!(matches!(
+            check_input_bounded(&f, &s),
+            Err(BoundedError::StateAtomUsesBoundVar { .. })
+        ));
+    }
+
+    #[test]
+    fn state_atom_with_free_var_allowed() {
+        let s = schema();
+        // pick(pid, price) with FREE pid/price is fine (they are rule-head
+        // variables or property witnesses, not input-bounded quantified).
+        let f = Formula::and([
+            Formula::rel("pick", vec![v("pid"), v("price")]),
+            Formula::exists(
+                vec!["b".into()],
+                Formula::and([
+                    Formula::rel("button", vec![v("b")]),
+                    Formula::eq(v("b"), Term::lit("buy")),
+                ]),
+            ),
+        ]);
+        assert!(check_input_bounded(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn guarded_forall_is_bounded() {
+        let s = schema();
+        // ∀x (button(x) → x = "buy")
+        let f = Formula::forall(
+            vec!["x".into()],
+            Formula::implies(
+                Formula::rel("button", vec![v("x")]),
+                Formula::eq(v("x"), Term::lit("buy")),
+            ),
+        );
+        assert!(check_input_bounded(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn unguarded_forall_rejected() {
+        let s = schema();
+        let f = Formula::forall(
+            vec!["x".into()],
+            Formula::implies(
+                Formula::rel("catalog", vec![v("x"), v("x"), v("x")]),
+                Formula::False,
+            ),
+        );
+        assert!(check_input_bounded(&f, &s).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_reported() {
+        let s = schema();
+        let f = Formula::prop("mystery");
+        assert_eq!(
+            check_input_bounded(&f, &s),
+            Err(BoundedError::UnknownRelation("mystery".into()))
+        );
+    }
+
+    #[test]
+    fn example_22_login_rule_is_bounded() {
+        // error("failed login") ← ¬user(name,password) ∧ button("login")
+        // — quantifier-free, hence bounded.
+        let mut s = schema();
+        s.add_relation("user", 2, RelKind::Database).unwrap();
+        let f = Formula::and([
+            Formula::not(Formula::rel(
+                "user",
+                vec![Term::cst("name"), Term::cst("password")],
+            )),
+            Formula::rel("button", vec![Term::lit("login")]),
+        ]);
+        assert!(check_input_bounded(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn input_rule_efo_with_ground_state_ok() {
+        let s = schema();
+        // Options_button(x) ← x="login" ∨ (x="admin" ∧ cart("special"))
+        let f = Formula::or([
+            Formula::eq(v("x"), Term::lit("login")),
+            Formula::and([
+                Formula::eq(v("x"), Term::lit("admin")),
+                Formula::rel("cart", vec![Term::lit("special")]),
+            ]),
+        ]);
+        assert!(check_input_rule(&f, &s).is_ok());
+    }
+
+    #[test]
+    fn input_rule_nonground_state_rejected() {
+        let s = schema();
+        let f = Formula::rel("cart", vec![v("x")]);
+        assert_eq!(
+            check_input_rule(&f, &s),
+            Err(BoundedError::InputRuleStateAtomNotGround { rel: "cart".into() })
+        );
+    }
+
+    #[test]
+    fn input_rule_universal_rejected() {
+        let s = schema();
+        let f = Formula::forall(
+            vec!["y".into()],
+            Formula::implies(
+                Formula::rel("catalog", vec![v("x"), v("y"), v("y")]),
+                Formula::eq(v("x"), v("y")),
+            ),
+        );
+        assert_eq!(check_input_rule(&f, &s), Err(BoundedError::InputRuleNotExistential));
+    }
+
+    #[test]
+    fn input_rule_existential_db_lookup_ok() {
+        let s = schema();
+        // Options_laptopsearch(r,h,d) ← criteria-style db lookups
+        let f = Formula::and([
+            Formula::rel("catalog", vec![v("r"), v("h"), v("d")]),
+            Formula::exists(
+                vec!["z".into()],
+                Formula::rel("catalog", vec![v("z"), v("h"), v("d")]),
+            ),
+        ]);
+        assert!(check_input_rule(&f, &s).is_ok());
+    }
+}

@@ -1,0 +1,497 @@
+//! Concrete evaluation of FO formulas under active-domain semantics.
+//!
+//! The paper adopts active-domain semantics throughout ("as commonly done
+//! in database theory"): quantified variables range over the active domain
+//! of the structure. Evaluation happens against an [`Instance`] — in the
+//! Web-service setting this is the union of the database, current state,
+//! current and previous inputs, actions and page propositions, with the
+//! constant interpretations provided so far.
+//!
+//! Besides closed evaluation ([`eval_closed`]), rule application needs the
+//! set of satisfying assignments of an open formula ([`satisfying_tuples`]):
+//! we enumerate candidate values per free variable, pruned by the positive
+//! atoms that mention the variable (a poor man's join), and fall back to
+//! the whole active domain otherwise.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::formula::{Formula, Term, Var};
+use crate::instance::Instance;
+use crate::value::{Tuple, Value};
+
+/// A valuation of variables.
+pub type Env = BTreeMap<Var, Value>;
+
+/// Errors surfaced during evaluation.
+///
+/// `UnknownConstant` is load-bearing: the run semantics (Definition 2.3,
+/// error condition (i)) sends a run to the error page when a formula uses
+/// an input constant whose value the user has not yet provided.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A named constant has no interpretation in the instance.
+    UnknownConstant(String),
+    /// A variable is not bound by the environment or a quantifier.
+    UnboundVariable(String),
+    /// An atom's argument count disagrees with the relation's usage.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownConstant(c) => write!(f, "constant `{c}` has no value"),
+            EvalError::UnboundVariable(v) => write!(f, "variable `{v}` is unbound"),
+            EvalError::ArityMismatch { rel, got } => {
+                write!(f, "relation `{rel}` used with {got} arguments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn term_value(t: &Term, inst: &Instance, env: &Env) -> Result<Value, EvalError> {
+    match t {
+        Term::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+        Term::Const(c) => inst
+            .constant(c)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownConstant(c.clone())),
+        Term::Lit(v) => Ok(v.clone()),
+    }
+}
+
+/// Evaluates a formula under `env`; quantifiers range over `adom`.
+pub fn eval(
+    f: &Formula,
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+    env: &mut Env,
+) -> Result<bool, EvalError> {
+    match f {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Rel { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(term_value(a, inst, env)?);
+            }
+            Ok(inst.contains(name, &Tuple(vals)))
+        }
+        Formula::Eq(a, b) => Ok(term_value(a, inst, env)? == term_value(b, inst, env)?),
+        Formula::Not(g) => Ok(!eval(g, inst, adom, env)?),
+        Formula::And(fs) => {
+            for g in fs {
+                if !eval(g, inst, adom, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for g in fs {
+                if eval(g, inst, adom, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Exists(vars, body) => quantify(vars, body, inst, adom, env, true),
+        Formula::Forall(vars, body) => quantify(vars, body, inst, adom, env, false),
+    }
+}
+
+fn quantify(
+    vars: &[Var],
+    body: &Formula,
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+    env: &mut Env,
+    existential: bool,
+) -> Result<bool, EvalError> {
+    // Candidate narrowing, as for rule heads: an ∃-witness must satisfy
+    // the body's positive conjunctive atoms, a ∀-counterexample must
+    // satisfy the body's negation's positives — values outside those
+    // columns cannot matter, which turns the naive `|adom|^k` sweep into
+    // a join-like enumeration. (Sound in both directions; the fallback
+    // for uncovered variables is the full active domain.)
+    let mut cands: Vec<Option<BTreeSet<Value>>> = vec![None; vars.len()];
+    collect_candidates(body, existential, vars, inst, &mut cands)?;
+    let cands: Vec<BTreeSet<Value>> = cands
+        .into_iter()
+        .map(|c| c.unwrap_or_else(|| adom.clone()))
+        .collect();
+
+    fn rec(
+        vars: &[Var],
+        cands: &[BTreeSet<Value>],
+        body: &Formula,
+        inst: &Instance,
+        adom: &BTreeSet<Value>,
+        env: &mut Env,
+        existential: bool,
+    ) -> Result<bool, EvalError> {
+        let Some((v, rest)) = vars.split_first() else {
+            return eval(body, inst, adom, env);
+        };
+        let saved = env.get(v).cloned();
+        for val in &cands[0] {
+            env.insert(v.clone(), val.clone());
+            let r = rec(rest, &cands[1..], body, inst, adom, env, existential)?;
+            if r == existential {
+                restore(env, v, saved);
+                return Ok(existential);
+            }
+        }
+        restore(env, v, saved);
+        Ok(!existential)
+    }
+    fn restore(env: &mut Env, v: &str, saved: Option<Value>) {
+        match saved {
+            Some(val) => {
+                env.insert(v.to_string(), val);
+            }
+            None => {
+                env.remove(v);
+            }
+        }
+    }
+    rec(vars, &cands, body, inst, adom, env, existential)
+}
+
+/// Evaluates a sentence (formula with no free variables).
+pub fn eval_closed(f: &Formula, inst: &Instance) -> Result<bool, EvalError> {
+    let adom = inst.active_domain();
+    eval(f, inst, &adom, &mut Env::new())
+}
+
+/// Evaluates a sentence against an explicit active domain (used when the
+/// caller has already extended the domain, e.g. with provided constants).
+pub fn eval_closed_with_adom(
+    f: &Formula,
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+) -> Result<bool, EvalError> {
+    eval(f, inst, adom, &mut Env::new())
+}
+
+/// Candidate values for each free variable, pruned by positive atoms.
+///
+/// For every positive occurrence of a free variable at position `i` of a
+/// relational atom `R(..)`, the candidates for that variable are narrowed
+/// to the values occurring in column `i` of `R`'s content; for positive
+/// equalities with a ground term they narrow to a single value. Variables
+/// not covered by any positive atom fall back to the full active domain.
+fn candidates(
+    f: &Formula,
+    free: &[Var],
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+) -> Result<Vec<BTreeSet<Value>>, EvalError> {
+    let mut cands: Vec<Option<BTreeSet<Value>>> = vec![None; free.len()];
+    collect_candidates(f, true, free, inst, &mut cands)?;
+    Ok(cands
+        .into_iter()
+        .map(|c| c.unwrap_or_else(|| adom.clone()))
+        .collect())
+}
+
+/// Walks the formula, recording per-variable candidate sets from atoms in
+/// *positive, conjunctive* positions. `positive` tracks negation parity; a
+/// disjunction or quantifier aborts narrowing below it (sound fallback).
+fn collect_candidates(
+    f: &Formula,
+    positive: bool,
+    free: &[Var],
+    inst: &Instance,
+    cands: &mut [Option<BTreeSet<Value>>],
+) -> Result<(), EvalError> {
+    match f {
+        Formula::Rel { name, args } if positive => {
+            for (i, t) in args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if let Some(idx) = free.iter().position(|fv| fv == v) {
+                        let col: BTreeSet<Value> = inst
+                            .tuples(name)
+                            .filter_map(|tu| tu.get(i).cloned())
+                            .collect();
+                        narrow(&mut cands[idx], col);
+                    }
+                }
+            }
+            Ok(())
+        }
+        Formula::Eq(a, b) if positive => {
+            for (x, y) in [(a, b), (b, a)] {
+                if let Term::Var(v) = x {
+                    if let Some(idx) = free.iter().position(|fv| fv == v) {
+                        match y {
+                            Term::Lit(val) => {
+                                narrow(&mut cands[idx], BTreeSet::from([val.clone()]));
+                            }
+                            Term::Const(c) => {
+                                if let Some(val) = inst.constant(c) {
+                                    narrow(&mut cands[idx], BTreeSet::from([val.clone()]));
+                                }
+                            }
+                            Term::Var(_) => {}
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        Formula::Not(g) => collect_candidates(g, !positive, free, inst, cands),
+        Formula::And(fs) if positive => {
+            for g in fs {
+                collect_candidates(g, positive, free, inst, cands)?;
+            }
+            Ok(())
+        }
+        Formula::Or(fs) if !positive => {
+            // ¬(g1 ∨ g2) ≡ ¬g1 ∧ ¬g2: still conjunctive.
+            for g in fs {
+                collect_candidates(g, positive, free, inst, cands)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()), // disjunctive or quantified context: no narrowing
+    }
+}
+
+fn narrow(slot: &mut Option<BTreeSet<Value>>, vals: BTreeSet<Value>) {
+    match slot {
+        Some(cur) => {
+            let inter: BTreeSet<Value> = cur.intersection(&vals).cloned().collect();
+            *cur = inter;
+        }
+        None => *slot = Some(vals),
+    }
+}
+
+/// All assignments of `free` (in the given order) that satisfy `f`.
+///
+/// Used for rule-head evaluation: a state rule `S(x̄) ← φ(x̄)` inserts the
+/// tuples returned by `satisfying_tuples(φ, x̄, ...)`.
+pub fn satisfying_tuples(
+    f: &Formula,
+    free: &[Var],
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+) -> Result<BTreeSet<Tuple>, EvalError> {
+    let cands = candidates(f, free, inst, adom)?;
+    let mut out = BTreeSet::new();
+    let mut env = Env::new();
+    enumerate(f, free, &cands, 0, inst, adom, &mut env, &mut out)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    f: &Formula,
+    free: &[Var],
+    cands: &[BTreeSet<Value>],
+    depth: usize,
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+    env: &mut Env,
+    out: &mut BTreeSet<Tuple>,
+) -> Result<(), EvalError> {
+    if depth == free.len() {
+        if eval(f, inst, adom, env)? {
+            let t: Vec<Value> = free
+                .iter()
+                .map(|v| env.get(v).expect("all free vars bound").clone())
+                .collect();
+            out.insert(Tuple(t));
+        }
+        return Ok(());
+    }
+    for val in &cands[depth] {
+        env.insert(free[depth].clone(), val.clone());
+        enumerate(f, free, cands, depth + 1, inst, adom, env, out)?;
+    }
+    env.remove(&free[depth]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+    use crate::tuple;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    fn demo_inst() -> Instance {
+        let mut i = Instance::new();
+        i.insert("user", tuple!["alice", "pw1"]);
+        i.insert("user", tuple!["Admin", "root"]);
+        i.insert("criteria", tuple!["laptop", "ram", 512]);
+        i.insert("criteria", tuple!["laptop", "ram", 1024]);
+        i.set_constant("min", Value::int(0));
+        i
+    }
+
+    #[test]
+    fn atom_and_equality() {
+        let i = demo_inst();
+        let f = F::rel("user", vec![Term::lit("alice"), Term::lit("pw1")]);
+        assert!(eval_closed(&f, &i).unwrap());
+        let g = F::rel("user", vec![Term::lit("alice"), Term::lit("bad")]);
+        assert!(!eval_closed(&g, &i).unwrap());
+        let e = F::eq(Term::cst("min"), Term::lit(0));
+        assert!(eval_closed(&e, &i).unwrap());
+    }
+
+    #[test]
+    fn unknown_constant_is_an_error() {
+        let i = demo_inst();
+        let f = F::eq(Term::cst("password"), Term::lit("x"));
+        assert_eq!(
+            eval_closed(&f, &i),
+            Err(EvalError::UnknownConstant("password".into()))
+        );
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let i = demo_inst();
+        let f = F::rel("user", vec![v("x"), Term::lit("pw1")]);
+        assert_eq!(eval_closed(&f, &i), Err(EvalError::UnboundVariable("x".into())));
+    }
+
+    #[test]
+    fn existential_over_active_domain() {
+        let i = demo_inst();
+        let f = F::exists(
+            vec!["x".into()],
+            F::rel("user", vec![v("x"), Term::lit("pw1")]),
+        );
+        assert!(eval_closed(&f, &i).unwrap());
+        let g = F::exists(
+            vec!["x".into()],
+            F::rel("user", vec![v("x"), Term::lit("nope")]),
+        );
+        assert!(!eval_closed(&g, &i).unwrap());
+    }
+
+    #[test]
+    fn universal_over_active_domain() {
+        let i = demo_inst();
+        // every user row's first column is a string — vacuous-ish check:
+        // forall x. (user(x, "pw1") -> x = "alice")
+        let f = F::forall(
+            vec!["x".into()],
+            F::implies(
+                F::rel("user", vec![v("x"), Term::lit("pw1")]),
+                F::eq(v("x"), Term::lit("alice")),
+            ),
+        );
+        assert!(eval_closed(&f, &i).unwrap());
+    }
+
+    #[test]
+    fn nested_alternation() {
+        let i = demo_inst();
+        // forall u. exists p. user(u,p) is false: "pw1" occurs in adom as a
+        // password but also as... actually u ranges over ALL adom values,
+        // including 512, which is no user name.
+        let f = F::forall(
+            vec!["u".into()],
+            F::exists(vec!["p".into()], F::rel("user", vec![v("u"), v("p")])),
+        );
+        assert!(!eval_closed(&f, &i).unwrap());
+        // exists u. forall p. !user(u,p): pick u = 512.
+        let g = F::exists(
+            vec!["u".into()],
+            F::forall(vec!["p".into()], F::not(F::rel("user", vec![v("u"), v("p")]))),
+        );
+        assert!(eval_closed(&g, &i).unwrap());
+    }
+
+    #[test]
+    fn satisfying_tuples_basic() {
+        let i = demo_inst();
+        let adom = i.active_domain();
+        let f = F::rel("user", vec![v("u"), v("p")]);
+        let sat = satisfying_tuples(&f, &["u".into(), "p".into()], &i, &adom).unwrap();
+        assert_eq!(sat.len(), 2);
+        assert!(sat.contains(&tuple!["alice", "pw1"]));
+    }
+
+    #[test]
+    fn satisfying_tuples_with_equality_narrowing() {
+        let i = demo_inst();
+        let adom = i.active_domain();
+        // φ(r) = criteria("laptop","ram",r) & r != 512
+        let f = F::and([
+            F::rel(
+                "criteria",
+                vec![Term::lit("laptop"), Term::lit("ram"), v("r")],
+            ),
+            F::neq(v("r"), Term::lit(512)),
+        ]);
+        let sat = satisfying_tuples(&f, &["r".into()], &i, &adom).unwrap();
+        assert_eq!(sat, BTreeSet::from([tuple![1024]]));
+    }
+
+    #[test]
+    fn satisfying_tuples_negated_atom_falls_back_to_adom() {
+        let i = demo_inst();
+        let adom = i.active_domain();
+        let f = F::not(F::rel("user", vec![v("u"), Term::lit("pw1")]));
+        let sat = satisfying_tuples(&f, &["u".into()], &i, &adom).unwrap();
+        // everything in adom except "alice"
+        assert_eq!(sat.len(), adom.len() - 1);
+    }
+
+    #[test]
+    fn candidates_intersect_across_conjuncts() {
+        let mut i = Instance::new();
+        for k in 0..100 {
+            i.insert("a", tuple![k]);
+        }
+        i.insert("b", tuple![7]);
+        let adom = i.active_domain();
+        let f = F::and([F::rel("a", vec![v("x")]), F::rel("b", vec![v("x")])]);
+        let sat = satisfying_tuples(&f, &["x".into()], &i, &adom).unwrap();
+        assert_eq!(sat, BTreeSet::from([tuple![7]]));
+    }
+
+    #[test]
+    fn negated_disjunction_still_narrows() {
+        let mut i = Instance::new();
+        i.insert("a", tuple![1]);
+        i.insert("a", tuple![2]);
+        let adom = i.active_domain();
+        // !(¬a(x) | false) ≡ a(x)
+        let f = F::Not(Box::new(F::Or(vec![
+            F::Not(Box::new(F::rel("a", vec![v("x")]))),
+            F::False,
+        ])));
+        let sat = satisfying_tuples(&f, &["x".into()], &i, &adom).unwrap();
+        assert_eq!(sat.len(), 2);
+    }
+
+    #[test]
+    fn empty_adom_quantifiers() {
+        let i = Instance::new();
+        let f = F::exists(vec!["x".into()], F::eq(v("x"), v("x")));
+        assert!(!eval_closed(&f, &i).unwrap()); // empty domain: exists fails
+        let g = F::forall(vec!["x".into()], F::False);
+        assert!(eval_closed(&g, &i).unwrap()); // and forall holds vacuously
+    }
+}

@@ -1,0 +1,583 @@
+//! First-order formulas over relational vocabularies.
+//!
+//! The paper works with FO with equality under active-domain semantics.
+//! Terms are variables, named constants (database or input constants), or
+//! literal domain elements; formulas are built from relational atoms,
+//! equalities, Boolean connectives and quantifiers.
+//!
+//! `prev_I` atoms are ordinary relational atoms whose symbol has kind
+//! [`crate::schema::RelKind::PrevInput`]; Web-page propositions are arity-0
+//! atoms of kind `Page`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A variable name.
+pub type Var = String;
+
+/// A first-order term.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A named constant (interpreted by the database or provided by the
+    /// user during a run when it is an input constant).
+    Const(String),
+    /// A literal domain element, e.g. `"login"` in `button("login")`.
+    Lit(Value),
+}
+
+impl Term {
+    /// Variable constructor.
+    pub fn var(v: impl Into<String>) -> Self {
+        Term::Var(v.into())
+    }
+
+    /// Named-constant constructor.
+    pub fn cst(c: impl Into<String>) -> Self {
+        Term::Const(c.into())
+    }
+
+    /// Literal constructor.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Term::Lit(v.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "@{c}"),
+            Term::Lit(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "@{c}"),
+            Term::Lit(Value::Str(s)) => write!(f, "{s:?}"),
+            Term::Lit(Value::Int(i)) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A first-order formula.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Relational atom `R(t̄)`.
+    Rel {
+        /// Relation symbol.
+        name: String,
+        /// Argument terms (must match the symbol's arity).
+        args: Vec<Term>,
+    },
+    /// Equality `t1 = t2`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = `True`).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = `False`).
+    Or(Vec<Formula>),
+    /// Existential quantification over one or more variables.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification over one or more variables.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Atom builder: `rel(name, [t1, t2, ...])`.
+    pub fn rel(name: impl Into<String>, args: Vec<Term>) -> Self {
+        Formula::Rel { name: name.into(), args }
+    }
+
+    /// Proposition builder (arity-0 atom).
+    pub fn prop(name: impl Into<String>) -> Self {
+        Formula::Rel { name: name.into(), args: Vec::new() }
+    }
+
+    /// Equality builder.
+    pub fn eq(a: Term, b: Term) -> Self {
+        Formula::Eq(a, b)
+    }
+
+    /// Disequality builder (`!(a = b)`).
+    pub fn neq(a: Term, b: Term) -> Self {
+        Formula::not(Formula::Eq(a, b))
+    }
+
+    /// Smart negation: collapses double negation and flips constants.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Self {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart conjunction: flattens, drops `True`, collapses on `False`.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Smart disjunction: flattens, drops `False`, collapses on `True`.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Implication `a -> b` encoded as `!a | b`.
+    pub fn implies(a: Formula, b: Formula) -> Self {
+        Formula::or([Formula::not(a), b])
+    }
+
+    /// Existential quantification; merges nested quantifiers and drops
+    /// empty variable lists.
+    pub fn exists(vars: Vec<Var>, f: Formula) -> Self {
+        if vars.is_empty() {
+            return f;
+        }
+        match f {
+            Formula::Exists(mut inner_vars, body) => {
+                let mut vs = vars;
+                vs.append(&mut inner_vars);
+                Formula::Exists(vs, body)
+            }
+            other => Formula::Exists(vars, Box::new(other)),
+        }
+    }
+
+    /// Universal quantification; merges nested quantifiers and drops empty
+    /// variable lists.
+    pub fn forall(vars: Vec<Var>, f: Formula) -> Self {
+        if vars.is_empty() {
+            return f;
+        }
+        match f {
+            Formula::Forall(mut inner_vars, body) => {
+                let mut vs = vars;
+                vs.append(&mut inner_vars);
+                Formula::Forall(vs, body)
+            }
+            other => Formula::Forall(vars, Box::new(other)),
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Rel { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                let newly: Vec<Var> =
+                    vars.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                f.collect_free(bound, out);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// All relation symbols used (with a sample arity from usage).
+    pub fn relations_used(&self) -> BTreeSet<(String, usize)> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            if let Formula::Rel { name, args } = f {
+                out.insert((name.clone(), args.len()));
+            }
+        });
+        out
+    }
+
+    /// All named constants used.
+    pub fn constants_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            let mut grab = |t: &Term| {
+                if let Term::Const(c) = t {
+                    out.insert(c.clone());
+                }
+            };
+            match f {
+                Formula::Rel { args, .. } => args.iter().for_each(&mut grab),
+                Formula::Eq(a, b) => {
+                    grab(a);
+                    grab(b);
+                }
+                _ => {}
+            }
+        });
+        out
+    }
+
+    /// All literal values used (contributes to the paper's per-formula
+    /// constant set when building symbolic domains).
+    pub fn literals_used(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            let mut grab = |t: &Term| {
+                if let Term::Lit(v) = t {
+                    out.insert(v.clone());
+                }
+            };
+            match f {
+                Formula::Rel { args, .. } => args.iter().for_each(&mut grab),
+                Formula::Eq(a, b) => {
+                    grab(a);
+                    grab(b);
+                }
+                _ => {}
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal visiting every subformula.
+    pub fn walk(&self, visit: &mut impl FnMut(&Formula)) {
+        visit(self);
+        match self {
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => {
+                f.walk(visit);
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.walk(visit);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Capture-avoiding substitution of free variables by terms.
+    ///
+    /// Panics in debug builds if a substituted term would be captured by a
+    /// quantifier (callers standardize apart first; see
+    /// [`crate::normalize::standardize_apart`]).
+    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Term>) -> Formula {
+        self.subst_inner(subst, &BTreeSet::new())
+    }
+
+    fn subst_inner(
+        &self,
+        subst: &dyn Fn(&str) -> Option<Term>,
+        bound: &BTreeSet<Var>,
+    ) -> Formula {
+        let do_term = |t: &Term| -> Term {
+            if let Term::Var(v) = t {
+                if !bound.contains(v) {
+                    if let Some(nt) = subst(v) {
+                        debug_assert!(
+                            nt.as_var().map(|nv| !bound.contains(nv)).unwrap_or(true),
+                            "substitution would capture variable"
+                        );
+                        return nt;
+                    }
+                }
+            }
+            t.clone()
+        };
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Rel { name, args } => Formula::Rel {
+                name: name.clone(),
+                args: args.iter().map(do_term).collect(),
+            },
+            Formula::Eq(a, b) => Formula::Eq(do_term(a), do_term(b)),
+            Formula::Not(f) => Formula::Not(Box::new(f.subst_inner(subst, bound))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.subst_inner(subst, bound)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|f| f.subst_inner(subst, bound)).collect())
+            }
+            Formula::Exists(vars, f) => {
+                let mut b = bound.clone();
+                b.extend(vars.iter().cloned());
+                Formula::Exists(vars.clone(), Box::new(f.subst_inner(subst, &b)))
+            }
+            Formula::Forall(vars, f) => {
+                let mut b = bound.clone();
+                b.extend(vars.iter().cloned());
+                Formula::Forall(vars.clone(), Box::new(f.subst_inner(subst, &b)))
+            }
+        }
+    }
+
+    /// Substitutes a single variable.
+    pub fn substitute_var(&self, var: &str, term: &Term) -> Formula {
+        self.substitute(&|v| if v == var { Some(term.clone()) } else { None })
+    }
+
+    /// True if the formula contains no quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        let mut qf = true;
+        self.walk(&mut |f| {
+            if matches!(f, Formula::Exists(..) | Formula::Forall(..)) {
+                qf = false;
+            }
+        });
+        qf
+    }
+
+    /// Number of AST nodes — used as a size measure in benchmarks.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Rel { name, args } => {
+                write!(f, "{name}")?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, t) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::Eq(a, b) => write!(f, "{a} != {b}"),
+                other => write!(f, "!({other})"),
+            },
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vars, body) => {
+                write!(f, "exists {} . ({body})", vars.join(" "))
+            }
+            Formula::Forall(vars, body) => {
+                write!(f, "forall {} . ({body})", vars.join(" "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+        assert_eq!(Formula::not(Formula::not(Formula::prop("p"))), Formula::prop("p"));
+        assert_eq!(Formula::and([Formula::True, Formula::prop("p")]), Formula::prop("p"));
+        assert_eq!(Formula::and([Formula::False, Formula::prop("p")]), Formula::False);
+        assert_eq!(Formula::or([Formula::False]), Formula::False);
+        assert_eq!(Formula::or([Formula::True, Formula::prop("p")]), Formula::True);
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+    }
+
+    #[test]
+    fn nested_quantifiers_merge() {
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::exists(vec!["y".into()], Formula::rel("r", vec![v("x"), v("y")])),
+        );
+        match f {
+            Formula::Exists(vars, _) => assert_eq!(vars, vec!["x".to_string(), "y".to_string()]),
+            other => panic!("expected merged Exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::and([
+                Formula::rel("r", vec![v("x"), v("y")]),
+                Formula::eq(v("z"), Term::lit(3)),
+            ]),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains("y"));
+        assert!(fv.contains("z"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn shadowing_inner_binder() {
+        // exists x. (r(x) & exists x. s(x)) — no free variables.
+        let f = Formula::Exists(
+            vec!["x".into()],
+            Box::new(Formula::And(vec![
+                Formula::rel("r", vec![v("x")]),
+                Formula::Exists(vec!["x".into()], Box::new(Formula::rel("s", vec![v("x")]))),
+            ])),
+        );
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn substitution_avoids_bound() {
+        let f = Formula::exists(vec!["x".into()], Formula::rel("r", vec![v("x"), v("y")]));
+        let g = f.substitute_var("y", &Term::lit(7));
+        assert_eq!(
+            g,
+            Formula::exists(
+                vec!["x".into()],
+                Formula::rel("r", vec![v("x"), Term::lit(7)])
+            )
+        );
+        // substituting the bound variable does nothing
+        let h = f.substitute_var("x", &Term::lit(7));
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn relations_and_constants_collected() {
+        let f = Formula::and([
+            Formula::rel("user", vec![Term::cst("name"), Term::cst("password")]),
+            Formula::rel("button", vec![Term::lit("login")]),
+        ]);
+        let rels = f.relations_used();
+        assert!(rels.contains(&("user".into(), 2)));
+        assert!(rels.contains(&("button".into(), 1)));
+        let cs = f.constants_used();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(f.literals_used().len(), 1);
+    }
+
+    #[test]
+    fn quantifier_free_and_size() {
+        let qf = Formula::and([Formula::prop("p"), Formula::prop("q")]);
+        assert!(qf.is_quantifier_free());
+        assert_eq!(qf.size(), 3);
+        let q = Formula::exists(vec!["x".into()], Formula::rel("r", vec![v("x")]));
+        assert!(!q.is_quantifier_free());
+    }
+
+    #[test]
+    fn display_round_shape() {
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::and([
+                Formula::rel("I", vec![v("x")]),
+                Formula::neq(v("x"), Term::cst("min")),
+            ]),
+        );
+        assert_eq!(f.to_string(), "exists x . ((I(x) & x != @min))");
+    }
+}

@@ -1,0 +1,50 @@
+//! # wave-logic
+//!
+//! The relational and logical substrate for the `wave` verifier, reproducing
+//! the formal framework of *Deutsch, Sui, Vianu — "Specification and
+//! Verification of Data-driven Web Services" (PODS 2004)*.
+//!
+//! This crate provides:
+//!
+//! * **Values and relational instances** ([`value`], [`schema`], [`instance`]):
+//!   finite relational structures over an infinite domain `dom∞`, with named
+//!   constants, exactly as in Section 2 of the paper.
+//! * **First-order logic** ([`formula`], [`eval`]): FO with equality under
+//!   *active-domain semantics* (quantifiers range over the active domain of
+//!   the structure), the semantics used throughout the paper.
+//! * **Normal forms** ([`normalize`]): negation normal form, disjunctive
+//!   normal form, bound-variable standardization — used by the symbolic
+//!   verifier and the input-boundedness checker.
+//! * **Input-boundedness** ([`bounded`]): the syntactic restriction of
+//!   Section 3 that makes verification decidable (quantification guarded by
+//!   input/prev-input atoms; quantified variables excluded from state and
+//!   action atoms; ∃FO input rules with ground state atoms).
+//! * **Temporal logics** ([`temporal`]): LTL-FO (Definition 3.1) and
+//!   CTL-FO / CTL\*-FO (Definition A.3) abstract syntax with syntactic
+//!   classification and input-boundedness lifting.
+//! * **A text parser** ([`parser`]) for terms, FO and temporal formulas, so
+//!   examples and tests can state properties the way the paper prints them.
+//!
+//! The Web-service *model* itself (page schemas, rules, runs) lives in
+//! `wave-core`; the decision procedures live in `wave-verifier`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod eval;
+pub mod formula;
+pub mod instance;
+pub mod normalize;
+pub mod parser;
+pub mod schema;
+pub mod temporal;
+pub mod value;
+
+pub use bounded::{check_input_bounded, check_input_rule, BoundedError};
+pub use eval::{eval_closed, satisfying_tuples, Env, EvalError};
+pub use formula::{Formula, Term, Var};
+pub use instance::Instance;
+pub use schema::{RelKind, Relation, Schema};
+pub use temporal::{PathQuant, TFormula, TemporalClass};
+pub use value::{Tuple, Value};

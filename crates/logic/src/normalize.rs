@@ -1,0 +1,361 @@
+//! Normal forms: negation normal form, bound-variable standardization,
+//! disjunctive normal form, and existential-prefix extraction.
+//!
+//! These are the syntactic workhorses behind the appendix constructions:
+//! the quantifier-free rewriting `β^qf` of Lemma A.11 brings formulas to
+//! DNF; the input-boundedness checker and the symbolic verifier standardize
+//! bound variables apart; input-rule validation needs ∃FO recognition.
+
+use std::collections::BTreeSet;
+
+use crate::formula::{Formula, Term, Var};
+
+/// Rewrites to negation normal form: negations pushed to atoms, `→`
+/// eliminated (there is no implication constructor; `implies` builds `∨`).
+pub fn nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Rel { .. } | Formula::Eq(..) => f.clone(),
+        Formula::And(fs) => Formula::and(fs.iter().map(nnf)),
+        Formula::Or(fs) => Formula::or(fs.iter().map(nnf)),
+        Formula::Exists(vs, g) => Formula::exists(vs.clone(), nnf(g)),
+        Formula::Forall(vs, g) => Formula::forall(vs.clone(), nnf(g)),
+        Formula::Not(g) => nnf_neg(g),
+    }
+}
+
+fn nnf_neg(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Rel { .. } | Formula::Eq(..) => Formula::not(f.clone()),
+        Formula::Not(g) => nnf(g),
+        Formula::And(fs) => Formula::or(fs.iter().map(nnf_neg)),
+        Formula::Or(fs) => Formula::and(fs.iter().map(nnf_neg)),
+        Formula::Exists(vs, g) => Formula::forall(vs.clone(), nnf_neg(g)),
+        Formula::Forall(vs, g) => Formula::exists(vs.clone(), nnf_neg(g)),
+    }
+}
+
+/// Renames bound variables so that no variable is bound twice and no bound
+/// variable collides with a free variable. Fresh names are `v_0, v_1, …`
+/// suffixed to the original name for readability.
+pub fn standardize_apart(f: &Formula) -> Formula {
+    let mut used: BTreeSet<Var> = f.free_vars();
+    let mut counter = 0usize;
+    rename(f, &mut used, &mut counter, &Default::default())
+}
+
+fn rename(
+    f: &Formula,
+    used: &mut BTreeSet<Var>,
+    counter: &mut usize,
+    map: &std::collections::BTreeMap<Var, Var>,
+) -> Formula {
+    let do_term = |t: &Term| -> Term {
+        if let Term::Var(v) = t {
+            if let Some(nv) = map.get(v) {
+                return Term::Var(nv.clone());
+            }
+        }
+        t.clone()
+    };
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Rel { name, args } => Formula::Rel {
+            name: name.clone(),
+            args: args.iter().map(do_term).collect(),
+        },
+        Formula::Eq(a, b) => Formula::Eq(do_term(a), do_term(b)),
+        Formula::Not(g) => Formula::Not(Box::new(rename(g, used, counter, map))),
+        Formula::And(fs) => {
+            Formula::And(fs.iter().map(|g| rename(g, used, counter, map)).collect())
+        }
+        Formula::Or(fs) => {
+            Formula::Or(fs.iter().map(|g| rename(g, used, counter, map)).collect())
+        }
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let mut new_map = map.clone();
+            let mut new_vars = Vec::with_capacity(vs.len());
+            for v in vs {
+                let fresh = if used.contains(v) {
+                    loop {
+                        let cand = format!("{v}_{counter}");
+                        *counter += 1;
+                        if !used.contains(&cand) {
+                            break cand;
+                        }
+                    }
+                } else {
+                    v.clone()
+                };
+                used.insert(fresh.clone());
+                new_map.insert(v.clone(), fresh.clone());
+                new_vars.push(fresh);
+            }
+            let body = rename(g, used, counter, &new_map);
+            match f {
+                Formula::Exists(..) => Formula::Exists(new_vars, Box::new(body)),
+                _ => Formula::Forall(new_vars, Box::new(body)),
+            }
+        }
+    }
+}
+
+/// A literal: an atom or its negation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Literal {
+    /// `false` for a negated atom.
+    pub positive: bool,
+    /// The underlying atom (`Rel`, `Eq`, `True` or `False`).
+    pub atom: Formula,
+}
+
+impl Literal {
+    /// Converts back to a formula.
+    pub fn to_formula(&self) -> Formula {
+        if self.positive {
+            self.atom.clone()
+        } else {
+            Formula::not(self.atom.clone())
+        }
+    }
+}
+
+/// Disjunctive normal form of a *quantifier-free* formula: a list of
+/// conjunctions of literals. Returns `None` if the formula contains a
+/// quantifier. The empty disjunction means `false`; an empty conjunct
+/// means `true`.
+pub fn dnf(f: &Formula) -> Option<Vec<Vec<Literal>>> {
+    if !f.is_quantifier_free() {
+        return None;
+    }
+    Some(dnf_nnf(&nnf(f)))
+}
+
+fn dnf_nnf(f: &Formula) -> Vec<Vec<Literal>> {
+    match f {
+        Formula::True => vec![vec![]],
+        Formula::False => vec![],
+        Formula::Rel { .. } | Formula::Eq(..) => {
+            vec![vec![Literal { positive: true, atom: f.clone() }]]
+        }
+        Formula::Not(g) => vec![vec![Literal { positive: false, atom: (**g).clone() }]],
+        Formula::Or(fs) => fs.iter().flat_map(dnf_nnf).collect(),
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Literal>> = vec![vec![]];
+            for g in fs {
+                let d = dnf_nnf(g);
+                let mut next = Vec::with_capacity(acc.len() * d.len().max(1));
+                for a in &acc {
+                    for b in &d {
+                        let mut c = a.clone();
+                        c.extend(b.iter().cloned());
+                        next.push(c);
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        Formula::Exists(..) | Formula::Forall(..) => {
+            unreachable!("dnf() checks quantifier-freeness first")
+        }
+    }
+}
+
+/// If `f` is an ∃FO formula (existential quantifiers only, negations on
+/// atoms — checked after NNF), returns `(prefix_vars, quantifier_free_matrix)`.
+///
+/// This is the shape required of input-option rules in input-bounded
+/// services ("all input rules use ∃FO formulas", Section 3).
+pub fn existential_prefix(f: &Formula) -> Option<(Vec<Var>, Formula)> {
+    let g = standardize_apart(&nnf(f));
+    if contains_forall(&g) {
+        return None;
+    }
+    // After NNF, pull all Exists to the front. Since the formula has no
+    // universal quantifiers and bound names are distinct, extraction is
+    // sound (∃ distributes out of ∧/∨ once names cannot capture).
+    let mut vars = Vec::new();
+    let matrix = pull_exists(&g, &mut vars);
+    if matrix.is_quantifier_free() {
+        Some((vars, matrix))
+    } else {
+        None
+    }
+}
+
+fn contains_forall(f: &Formula) -> bool {
+    let mut found = false;
+    f.walk(&mut |g| {
+        if matches!(g, Formula::Forall(..)) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn pull_exists(f: &Formula, vars: &mut Vec<Var>) -> Formula {
+    match f {
+        Formula::Exists(vs, g) => {
+            vars.extend(vs.iter().cloned());
+            pull_exists(g, vars)
+        }
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| pull_exists(g, vars))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| pull_exists(g, vars))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    fn p(name: &str) -> Formula {
+        Formula::prop(name)
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Formula::Not(Box::new(Formula::And(vec![p("a"), Formula::Not(Box::new(p("b")))])));
+        let g = nnf(&f);
+        assert_eq!(g, Formula::Or(vec![Formula::not(p("a")), p("b")]));
+    }
+
+    #[test]
+    fn nnf_flips_quantifiers() {
+        let f = Formula::Not(Box::new(Formula::Exists(
+            vec!["x".into()],
+            Box::new(Formula::rel("r", vec![v("x")])),
+        )));
+        match nnf(&f) {
+            Formula::Forall(vs, body) => {
+                assert_eq!(vs, vec!["x".to_string()]);
+                assert_eq!(*body, Formula::not(Formula::rel("r", vec![v("x")])));
+            }
+            other => panic!("expected Forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn standardize_apart_renames_collisions() {
+        // exists x. (r(x) & exists x. s(x))
+        let f = Formula::Exists(
+            vec!["x".into()],
+            Box::new(Formula::And(vec![
+                Formula::rel("r", vec![v("x")]),
+                Formula::Exists(vec!["x".into()], Box::new(Formula::rel("s", vec![v("x")]))),
+            ])),
+        );
+        let g = standardize_apart(&f);
+        // collect all binder names; they must be distinct
+        let mut binders = Vec::new();
+        g.walk(&mut |h| {
+            if let Formula::Exists(vs, _) | Formula::Forall(vs, _) = h {
+                binders.extend(vs.iter().cloned());
+            }
+        });
+        let set: BTreeSet<_> = binders.iter().cloned().collect();
+        assert_eq!(set.len(), binders.len(), "binders not distinct: {binders:?}");
+        assert!(g.free_vars().is_empty());
+    }
+
+    #[test]
+    fn standardize_apart_avoids_free_vars() {
+        // free y; binder y must be renamed
+        let f = Formula::And(vec![
+            Formula::rel("r", vec![v("y")]),
+            Formula::Exists(vec!["y".into()], Box::new(Formula::rel("s", vec![v("y")]))),
+        ]);
+        let g = standardize_apart(&f);
+        if let Formula::And(fs) = &g {
+            assert_eq!(fs[0], Formula::rel("r", vec![v("y")]));
+            if let Formula::Exists(vs, _) = &fs[1] {
+                assert_ne!(vs[0], "y");
+            } else {
+                panic!("expected Exists");
+            }
+        } else {
+            panic!("expected And");
+        }
+    }
+
+    #[test]
+    fn dnf_distributes() {
+        // (a | b) & c  ->  (a & c) | (b & c)
+        let f = Formula::And(vec![Formula::Or(vec![p("a"), p("b")]), p("c")]);
+        let d = dnf(&f).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dnf_of_true_false() {
+        assert_eq!(dnf(&Formula::True).unwrap(), vec![Vec::<Literal>::new()]);
+        assert!(dnf(&Formula::False).unwrap().is_empty());
+        // contradiction shape: a & false -> empty disjunction
+        let f = Formula::And(vec![p("a"), Formula::False]);
+        assert!(dnf(&f).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dnf_rejects_quantified() {
+        let f = Formula::exists(vec!["x".into()], Formula::rel("r", vec![v("x")]));
+        assert!(dnf(&f).is_none());
+    }
+
+    #[test]
+    fn literal_round_trip() {
+        let l = Literal { positive: false, atom: p("a") };
+        assert_eq!(l.to_formula(), Formula::not(p("a")));
+    }
+
+    #[test]
+    fn existential_prefix_accepts_efo() {
+        // exists x. (r(x) & exists y. s(x,y) & !t(y)) — ∃FO
+        let f = Formula::Exists(
+            vec!["x".into()],
+            Box::new(Formula::And(vec![
+                Formula::rel("r", vec![v("x")]),
+                Formula::Exists(
+                    vec!["y".into()],
+                    Box::new(Formula::And(vec![
+                        Formula::rel("s", vec![v("x"), v("y")]),
+                        Formula::not(Formula::rel("t", vec![v("y")])),
+                    ])),
+                ),
+            ])),
+        );
+        let (vars, matrix) = existential_prefix(&f).unwrap();
+        assert_eq!(vars.len(), 2);
+        assert!(matrix.is_quantifier_free());
+    }
+
+    #[test]
+    fn existential_prefix_rejects_hidden_forall() {
+        // !(exists x. r(x)) is a universal in disguise
+        let f = Formula::Not(Box::new(Formula::Exists(
+            vec!["x".into()],
+            Box::new(Formula::rel("r", vec![v("x")])),
+        )));
+        assert!(existential_prefix(&f).is_none());
+    }
+
+    #[test]
+    fn existential_prefix_quantifier_free_ok() {
+        let f = Formula::Or(vec![
+            Formula::eq(v("x"), Term::lit("login")),
+            Formula::eq(v("x"), Term::lit("register")),
+        ]);
+        let (vars, matrix) = existential_prefix(&f).unwrap();
+        assert!(vars.is_empty());
+        assert_eq!(matrix, f);
+    }
+}

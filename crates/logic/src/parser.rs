@@ -1,0 +1,797 @@
+//! A text parser for FO and temporal formulas, so tests and examples can
+//! state properties close to how the paper prints them.
+//!
+//! # Grammar (informal)
+//!
+//! ```text
+//! property := ['forall' ident+ '.'] temporal
+//! temporal := iff
+//! iff      := implies ('<->' implies)*
+//! implies  := or ('->' implies)?              (right associative)
+//! or       := and ('|' and)*
+//! and      := until ('&' until)*
+//! until    := unary (('U'|'B') until)?        (right associative)
+//! unary    := '!' unary | 'X' unary | 'F' unary | 'G' unary
+//!           | 'E' unary | 'A' unary
+//!           | ('exists'|'forall') ident+ '.' temporal   (body must be FO)
+//!           | primary
+//! primary  := 'true' | 'false' | '(' temporal ')'
+//!           | ident '(' term (',' term)* ')'   (relational atom)
+//!           | term ('='|'!=') term             (equality)
+//!           | ident                            (proposition)
+//! term     := ident | '"' chars '"' | integer
+//! ```
+//!
+//! An identifier in term position denotes a **variable** when it is bound
+//! by an enclosing quantifier or listed in the caller's free-variable
+//! declaration, and a **named constant** otherwise — matching the paper's
+//! convention (`name`, `password` are constants; `x, y, pid` variables).
+//! The single letters `X F G U B E A` are reserved operator tokens.
+
+use std::fmt;
+
+use crate::formula::{Formula, Term, Var};
+use crate::temporal::{Property, TFormula};
+use crate::value::Value;
+
+/// Parse failure with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const RESERVED_OPS: &[&str] = &["X", "F", "G", "U", "B", "E", "A"];
+const KEYWORDS: &[&str] = &["true", "false", "exists", "forall"];
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Neq,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    DArrow,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    toks: Vec<(usize, Tok)>,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            '&' => {
+                toks.push((i, Tok::Amp));
+                i += 1;
+            }
+            '|' => {
+                toks.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Neq));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Bang));
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((i, Tok::Arrow));
+                    i += 2;
+                } else if bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                        pos: start,
+                        msg: "bad integer".into(),
+                    })?;
+                    toks.push((start, Tok::Int(n)));
+                } else {
+                    return Err(ParseError { pos: i, msg: "unexpected `-`".into() });
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<->") {
+                    toks.push((i, Tok::DArrow));
+                    i += 3;
+                } else {
+                    return Err(ParseError { pos: i, msg: "unexpected `<`".into() });
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError {
+                            pos: start,
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    match bytes[i] as char {
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = bytes.get(i + 1).copied().ok_or(ParseError {
+                                pos: i,
+                                msg: "dangling escape".into(),
+                            })? as char;
+                            s.push(esc);
+                            i += 2;
+                        }
+                        other => {
+                            s.push(other);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push((start, Tok::Str(s)));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    pos: start,
+                    msg: "bad integer".into(),
+                })?;
+                toks.push((start, Tok::Int(n)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError { pos: i, msg: format!("unexpected `{other}`") });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    lx: Lexer<'a>,
+    pos: usize,
+    scope: Vec<Var>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, free: &[&str]) -> Result<Self, ParseError> {
+        let toks = lex(src)?;
+        Ok(Parser {
+            lx: Lexer { src, toks },
+            pos: 0,
+            scope: free.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.lx.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.lx.toks.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.lx
+            .toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.lx.src.len())
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.lx.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError { pos: self.here(), msg }
+    }
+
+    fn parse_temporal(&mut self) -> Result<TFormula, ParseError> {
+        self.parse_iff()
+    }
+
+    fn parse_iff(&mut self) -> Result<TFormula, ParseError> {
+        let mut lhs = self.parse_implies()?;
+        while self.peek() == Some(&Tok::DArrow) {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            lhs = tand(vec![timplies(lhs.clone(), rhs.clone()), timplies(rhs, lhs)]);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<TFormula, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            Ok(timplies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<TFormula, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            parts.push(self.parse_and()?);
+        }
+        Ok(tor(parts))
+    }
+
+    fn parse_and(&mut self) -> Result<TFormula, ParseError> {
+        let mut parts = vec![self.parse_until()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.bump();
+            parts.push(self.parse_until()?);
+        }
+        Ok(tand(parts))
+    }
+
+    fn parse_until(&mut self) -> Result<TFormula, ParseError> {
+        let lhs = self.parse_unary()?;
+        match self.peek() {
+            Some(Tok::Ident(op)) if op == "U" || op == "B" => {
+                let op = op.clone();
+                self.bump();
+                let rhs = self.parse_until()?;
+                Ok(if op == "U" {
+                    TFormula::until(lhs, rhs)
+                } else {
+                    TFormula::before(lhs, rhs)
+                })
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<TFormula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Bang) => {
+                self.bump();
+                let f = self.parse_unary()?;
+                Ok(tnot(f))
+            }
+            Some(Tok::Ident(id)) if RESERVED_OPS.contains(&id.as_str()) => {
+                self.bump();
+                let f = self.parse_unary()?;
+                Ok(match id.as_str() {
+                    "X" => TFormula::next(f),
+                    "F" => TFormula::eventually(f),
+                    "G" => TFormula::always(f),
+                    "E" => TFormula::exists_path(f),
+                    "A" => TFormula::all_paths(f),
+                    other => return Err(self.err(format!("`{other}` is not a prefix operator"))),
+                })
+            }
+            Some(Tok::Ident(id)) if id == "exists" || id == "forall" => {
+                self.bump();
+                let mut vars = Vec::new();
+                while let Some(Tok::Ident(v)) = self.peek() {
+                    if RESERVED_OPS.contains(&v.as_str()) || KEYWORDS.contains(&v.as_str()) {
+                        return Err(self.err(format!("`{v}` cannot be a variable")));
+                    }
+                    vars.push(v.clone());
+                    self.bump();
+                }
+                if vars.is_empty() {
+                    return Err(self.err("expected at least one variable".into()));
+                }
+                self.expect(&Tok::Dot, "`.` after quantified variables")?;
+                let depth = self.scope.len();
+                self.scope.extend(vars.iter().cloned());
+                let body = self.parse_unary()?;
+                self.scope.truncate(depth);
+                let fo = to_fo(&body).ok_or_else(|| {
+                    self.err("FO quantifier body may not contain temporal operators".into())
+                })?;
+                Ok(TFormula::Fo(if id == "exists" {
+                    Formula::exists(vars, fo)
+                } else {
+                    Formula::forall(vars, fo)
+                }))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<TFormula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.parse_temporal()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                // A parenthesized formula may still be an equality LHS?
+                // No: equalities use term syntax, not parens. Done.
+                Ok(f)
+            }
+            Some(Tok::Ident(id)) if id == "true" => {
+                self.bump();
+                Ok(TFormula::Fo(Formula::True))
+            }
+            Some(Tok::Ident(id)) if id == "false" => {
+                self.bump();
+                Ok(TFormula::Fo(Formula::False))
+            }
+            Some(Tok::Ident(id)) => {
+                if RESERVED_OPS.contains(&id.as_str()) {
+                    return Err(self.err(format!("`{id}` is a reserved operator")));
+                }
+                // atom, equality, or proposition — decide by lookahead
+                match self.peek2() {
+                    Some(Tok::LParen) => {
+                        self.bump(); // ident
+                        self.bump(); // (
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Tok::RParen) {
+                            loop {
+                                args.push(self.parse_term()?);
+                                if self.peek() == Some(&Tok::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "`)` after atom arguments")?;
+                        Ok(TFormula::Fo(Formula::rel(id, args)))
+                    }
+                    Some(Tok::Eq) | Some(Tok::Neq) => {
+                        let lhs = self.parse_term()?;
+                        let neq = self.peek() == Some(&Tok::Neq);
+                        self.bump();
+                        let rhs = self.parse_term()?;
+                        Ok(TFormula::Fo(if neq {
+                            Formula::neq(lhs, rhs)
+                        } else {
+                            Formula::eq(lhs, rhs)
+                        }))
+                    }
+                    _ => {
+                        self.bump();
+                        Ok(TFormula::Fo(Formula::prop(id)))
+                    }
+                }
+            }
+            Some(Tok::Str(_)) | Some(Tok::Int(_)) => {
+                // literal must start an equality
+                let lhs = self.parse_term()?;
+                let neq = match self.peek() {
+                    Some(Tok::Eq) => false,
+                    Some(Tok::Neq) => true,
+                    _ => return Err(self.err("expected `=` or `!=` after literal".into())),
+                };
+                self.bump();
+                let rhs = self.parse_term()?;
+                Ok(TFormula::Fo(if neq {
+                    Formula::neq(lhs, rhs)
+                } else {
+                    Formula::eq(lhs, rhs)
+                }))
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(id)) => {
+                if RESERVED_OPS.contains(&id.as_str()) || KEYWORDS.contains(&id.as_str()) {
+                    return Err(self.err(format!("`{id}` cannot be a term")));
+                }
+                if self.scope.contains(&id) {
+                    Ok(Term::Var(id))
+                } else {
+                    Ok(Term::Const(id))
+                }
+            }
+            Some(Tok::Str(s)) => Ok(Term::Lit(Value::str(s))),
+            Some(Tok::Int(n)) => Ok(Term::Lit(Value::Int(n))),
+            other => Err(self.err(format!("expected a term, got {other:?}"))),
+        }
+    }
+}
+
+fn to_fo(f: &TFormula) -> Option<Formula> {
+    match f {
+        TFormula::Fo(g) => Some(g.clone()),
+        TFormula::Not(g) => Some(Formula::not(to_fo(g)?)),
+        TFormula::And(fs) => {
+            let parts: Option<Vec<_>> = fs.iter().map(to_fo).collect();
+            Some(Formula::and(parts?))
+        }
+        TFormula::Or(fs) => {
+            let parts: Option<Vec<_>> = fs.iter().map(to_fo).collect();
+            Some(Formula::or(parts?))
+        }
+        _ => None,
+    }
+}
+
+/// Collapses boolean combinations of pure-FO children into single FO nodes,
+/// maximizing the FO components the verifiers treat atomically.
+fn fuse(f: TFormula) -> TFormula {
+    if let Some(g) = to_fo(&f) {
+        return TFormula::Fo(g);
+    }
+    match f {
+        TFormula::Not(g) => TFormula::not(fuse(*g)),
+        TFormula::And(fs) => TFormula::and(fs.into_iter().map(fuse)),
+        TFormula::Or(fs) => TFormula::or(fs.into_iter().map(fuse)),
+        TFormula::X(g) => TFormula::next(fuse(*g)),
+        TFormula::F(g) => TFormula::eventually(fuse(*g)),
+        TFormula::G(g) => TFormula::always(fuse(*g)),
+        TFormula::U(a, b) => TFormula::until(fuse(*a), fuse(*b)),
+        TFormula::B(a, b) => TFormula::before(fuse(*a), fuse(*b)),
+        TFormula::Path(q, g) => TFormula::Path(q, Box::new(fuse(*g))),
+        TFormula::Fo(g) => TFormula::Fo(g),
+    }
+}
+
+fn tnot(f: TFormula) -> TFormula {
+    TFormula::not(f)
+}
+fn tand(fs: Vec<TFormula>) -> TFormula {
+    TFormula::and(fs)
+}
+fn tor(fs: Vec<TFormula>) -> TFormula {
+    TFormula::or(fs)
+}
+fn timplies(a: TFormula, b: TFormula) -> TFormula {
+    TFormula::implies(a, b)
+}
+
+/// Parses a pure FO formula. Identifiers in `free` (plus quantified names)
+/// are variables; all other identifiers in term position are constants.
+pub fn parse_fo(src: &str, free: &[&str]) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(src, free)?;
+    let f = p.parse_temporal()?;
+    if p.pos != p.lx.toks.len() {
+        return Err(p.err("trailing input".into()));
+    }
+    to_fo(&fuse(f)).ok_or(ParseError {
+        pos: 0,
+        msg: "formula contains temporal operators; use parse_temporal".into(),
+    })
+}
+
+/// Parses a temporal (LTL-FO / CTL(\*)-FO) formula.
+pub fn parse_temporal(src: &str, free: &[&str]) -> Result<TFormula, ParseError> {
+    let mut p = Parser::new(src, free)?;
+    let f = p.parse_temporal()?;
+    if p.pos != p.lx.toks.len() {
+        return Err(p.err("trailing input".into()));
+    }
+    Ok(fuse(f))
+}
+
+/// Parses a property: an optional leading universal closure
+/// `forall x y . <temporal>`. Without the prefix, the closure is taken over
+/// all free variables.
+pub fn parse_property(src: &str) -> Result<Property, ParseError> {
+    let trimmed = src.trim_start();
+    if let Some(rest) = trimmed.strip_prefix("forall") {
+        // Leading closure only if a `.` appears before any other structure:
+        // parse the variable list manually.
+        let mut vars = Vec::new();
+        let mut it = rest.char_indices().peekable();
+        let mut cur = String::new();
+        let mut end = None;
+        while let Some((i, c)) = it.next() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                cur.push(c);
+            } else if c.is_whitespace() {
+                if !cur.is_empty() {
+                    vars.push(std::mem::take(&mut cur));
+                }
+            } else if c == '.' {
+                if !cur.is_empty() {
+                    vars.push(std::mem::take(&mut cur));
+                }
+                end = Some(i + 1);
+                break;
+            } else {
+                break; // not a closure prefix after all
+            }
+            let _ = &it;
+        }
+        if let Some(end) = end {
+            if !vars.is_empty() && vars.iter().all(|v| !KEYWORDS.contains(&v.as_str())) {
+                let refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
+                let body = parse_temporal(&rest[end..], &refs)?;
+                return Property::with_vars(vars, body)
+                    .map_err(|msg| ParseError { pos: 0, msg });
+            }
+        }
+    }
+    let body = parse_temporal(src, &[])?;
+    Ok(Property::close(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::TemporalClass;
+
+    #[test]
+    fn parse_atoms_and_props() {
+        let f = parse_fo("HP", &[]).unwrap();
+        assert_eq!(f, Formula::prop("HP"));
+        let g = parse_fo("user(name, password)", &[]).unwrap();
+        assert_eq!(
+            g,
+            Formula::rel("user", vec![Term::cst("name"), Term::cst("password")])
+        );
+    }
+
+    #[test]
+    fn free_vars_vs_constants() {
+        let f = parse_fo("pick(pid, price)", &["pid", "price"]).unwrap();
+        assert_eq!(f, Formula::rel("pick", vec![Term::var("pid"), Term::var("price")]));
+        let g = parse_fo("pick(pid, price)", &[]).unwrap();
+        assert_eq!(g, Formula::rel("pick", vec![Term::cst("pid"), Term::cst("price")]));
+    }
+
+    #[test]
+    fn literals_and_equality() {
+        let f = parse_fo("button(\"login\")", &[]).unwrap();
+        assert_eq!(f, Formula::rel("button", vec![Term::lit("login")]));
+        let g = parse_fo("x = \"search\" | x = 42", &["x"]).unwrap();
+        assert_eq!(
+            g,
+            Formula::or([
+                Formula::eq(Term::var("x"), Term::lit("search")),
+                Formula::eq(Term::var("x"), Term::lit(42)),
+            ])
+        );
+        let h = parse_fo("x != -3", &["x"]).unwrap();
+        assert_eq!(h, Formula::neq(Term::var("x"), Term::lit(-3)));
+    }
+
+    #[test]
+    fn quantifiers_bind() {
+        let f = parse_fo("exists x . (I(x) & x != min)", &[]).unwrap();
+        assert_eq!(
+            f,
+            Formula::exists(
+                vec!["x".into()],
+                Formula::and([
+                    Formula::rel("I", vec![Term::var("x")]),
+                    Formula::neq(Term::var("x"), Term::cst("min")),
+                ])
+            )
+        );
+    }
+
+    #[test]
+    fn quantifier_scope_is_unary() {
+        // exists binds only the next unary formula: `exists x . p(x) & q`
+        // parses as (exists x. p(x)) & q
+        let f = parse_fo("exists x . p(x) & q", &[]).unwrap();
+        assert_eq!(
+            f,
+            Formula::and([
+                Formula::exists(vec!["x".into()], Formula::rel("p", vec![Term::var("x")])),
+                Formula::prop("q"),
+            ])
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let f = parse_fo("a & b | c", &[]).unwrap();
+        assert_eq!(
+            f,
+            Formula::or([
+                Formula::and([Formula::prop("a"), Formula::prop("b")]),
+                Formula::prop("c"),
+            ])
+        );
+    }
+
+    #[test]
+    fn implication_right_assoc() {
+        let f = parse_fo("a -> b -> c", &[]).unwrap();
+        // a -> (b -> c) = !a | (!b | c)
+        assert_eq!(
+            f,
+            Formula::or([
+                Formula::not(Formula::prop("a")),
+                Formula::not(Formula::prop("b")),
+                Formula::prop("c"),
+            ])
+        );
+    }
+
+    #[test]
+    fn temporal_operators() {
+        let f = parse_temporal("G (!P) | F (P & F Q)", &[]).unwrap();
+        assert_eq!(f.classify(), TemporalClass::Ltl);
+        assert_eq!(f.to_string(), "(G (!(P)) | F ((P & F (Q))))");
+    }
+
+    #[test]
+    fn until_binds_tighter_than_and() {
+        let f = parse_temporal("a & b U c", &[]).unwrap();
+        assert_eq!(
+            f,
+            TFormula::and([
+                TFormula::prop("a"),
+                TFormula::until(TFormula::prop("b"), TFormula::prop("c")),
+            ])
+        );
+    }
+
+    #[test]
+    fn ctl_properties_from_example_43() {
+        let f = parse_temporal("A G (E F HP)", &[]).unwrap();
+        assert_eq!(f.classify(), TemporalClass::Ctl);
+        let g = parse_temporal(
+            "A G ((HP & button(\"login\")) -> E F button(\"authorize payment\"))",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(g.classify(), TemporalClass::Ctl);
+    }
+
+    #[test]
+    fn property_closure() {
+        let p = parse_property(
+            "forall pid price . pick(pid, price) B !(ship(name, pid))",
+        )
+        .unwrap();
+        assert_eq!(p.vars, vec!["pid".to_string(), "price".to_string()]);
+        assert_eq!(p.classify(), TemporalClass::Ltl);
+        // without prefix: closure over free vars (none here — all consts)
+        let q = parse_property("G !(error(\"failed login\"))").unwrap();
+        assert!(q.vars.is_empty());
+    }
+
+    #[test]
+    fn fo_body_required_under_quantifier() {
+        let err = parse_temporal("exists x . F p(x)", &[]).unwrap_err();
+        assert!(err.msg.contains("temporal"));
+    }
+
+    #[test]
+    fn fuse_maximizes_fo_components() {
+        let f = parse_temporal("G (a & b(x))", &["x"]).unwrap();
+        match f {
+            TFormula::G(inner) => match *inner {
+                TFormula::Fo(g) => {
+                    assert_eq!(
+                        g,
+                        Formula::and([
+                            Formula::prop("a"),
+                            Formula::rel("b", vec![Term::var("x")])
+                        ])
+                    );
+                }
+                other => panic!("expected fused FO, got {other}"),
+            },
+            other => panic!("expected G, got {other}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_fo("(", &[]).is_err());
+        assert!(parse_fo("a b", &[]).is_err()); // trailing input
+        assert!(parse_fo("\"unterminated", &[]).is_err());
+        assert!(parse_fo("exists . p", &[]).is_err());
+        assert!(parse_fo("X", &[]).is_err()); // reserved
+        assert!(parse_fo("p(%)", &[]).is_err());
+    }
+
+    #[test]
+    fn reserved_letters_rejected_as_terms() {
+        assert!(parse_fo("r(U)", &[]).is_err());
+        assert!(parse_fo("exists U . p(U)", &[]).is_err());
+    }
+
+    #[test]
+    fn iff_desugars() {
+        let f = parse_fo("a <-> b", &[]).unwrap();
+        assert_eq!(
+            f,
+            Formula::and([
+                Formula::or([Formula::not(Formula::prop("a")), Formula::prop("b")]),
+                Formula::or([Formula::not(Formula::prop("b")), Formula::prop("a")]),
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let f = parse_fo(r#"button("say \"hi\"")"#, &[]).unwrap();
+        assert_eq!(f, Formula::rel("button", vec![Term::lit("say \"hi\"")]));
+    }
+
+    #[test]
+    fn example_22_target_rule_parses() {
+        let f = parse_fo(
+            "user(name, password) & button(\"login\") & name != \"Admin\"",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(f.constants_used().len(), 2);
+        assert_eq!(f.relations_used().len(), 2);
+    }
+}

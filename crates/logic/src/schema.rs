@@ -1,0 +1,347 @@
+//! Relational schemas.
+//!
+//! Definition 2.1 of the paper distinguishes four relational schemas with
+//! disjoint relation symbols — the **database** schema `D`, the **state**
+//! schema `S`, the **input** schema `I` and the **action** schema `A` — plus
+//! the derived vocabulary `Prev_I` of previous-input relations and the set
+//! `W` of Web-page names used as propositions. A [`Schema`] here is the
+//! union vocabulary: every relation symbol carries its [`RelKind`], and the
+//! schema also records the named constants (database constants and the
+//! *input constants* whose interpretation the user supplies during a run).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The role a relation symbol plays in a Web-service specification.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum RelKind {
+    /// Database relation: fixed throughout a run.
+    Database,
+    /// State relation: updated by insertion/deletion rules at each step.
+    State,
+    /// Input relation: holds at most one tuple, the user's current choice.
+    Input,
+    /// `prev_I` relation: the input to `I` at the previous step (Def. 2.1).
+    PrevInput,
+    /// Action relation: produced by action rules, visible to properties.
+    Action,
+    /// Web-page name used as a proposition in temporal properties.
+    Page,
+}
+
+impl RelKind {
+    /// True for the kinds that the input-boundedness check treats as
+    /// "input atoms" (current or previous inputs).
+    pub fn is_input_like(self) -> bool {
+        matches!(self, RelKind::Input | RelKind::PrevInput)
+    }
+
+    /// True for the kinds whose atoms may not contain input-bounded
+    /// quantified variables (state and action atoms, Section 3).
+    pub fn is_state_or_action(self) -> bool {
+        matches!(self, RelKind::State | RelKind::Action)
+    }
+}
+
+impl fmt::Display for RelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelKind::Database => "database",
+            RelKind::State => "state",
+            RelKind::Input => "input",
+            RelKind::PrevInput => "prev-input",
+            RelKind::Action => "action",
+            RelKind::Page => "page",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a named constant gets its interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ConstKind {
+    /// Interpreted by the fixed database instance.
+    Database,
+    /// An *input constant* (`const(I)`): its value is provided by the user
+    /// during the run, at the page that lists it among its inputs.
+    Input,
+}
+
+/// A relation symbol: name, arity and kind.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Relation {
+    /// The symbol (unique across the whole schema).
+    pub name: String,
+    /// Number of columns; 0 makes this a proposition.
+    pub arity: usize,
+    /// The schema this symbol belongs to.
+    pub kind: RelKind,
+}
+
+impl Relation {
+    /// Creates a relation symbol.
+    pub fn new(name: impl Into<String>, arity: usize, kind: RelKind) -> Self {
+        Relation { name: name.into(), arity, kind }
+    }
+}
+
+/// The union vocabulary of a Web-service specification.
+///
+/// Maintains the disjointness invariant of Definition 2.1: a relation name
+/// maps to exactly one `(arity, kind)` pair.
+#[derive(Clone, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    rels: BTreeMap<String, Relation>,
+    consts: BTreeMap<String, ConstKind>,
+}
+
+/// Error raised when schema construction would break an invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A relation symbol was declared twice (possibly with different kinds).
+    DuplicateRelation(String),
+    /// A constant symbol was declared twice with conflicting kinds.
+    ConflictingConstant(String),
+    /// `prev_` names are reserved for auto-derived previous-input relations.
+    ReservedPrevName(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateRelation(n) => {
+                write!(f, "relation symbol `{n}` declared more than once")
+            }
+            SchemaError::ConflictingConstant(n) => {
+                write!(f, "constant symbol `{n}` declared with conflicting kinds")
+            }
+            SchemaError::ReservedPrevName(n) => {
+                write!(f, "relation name `{n}` is reserved (prev_* is auto-derived)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The reserved prefix for previous-input relation names.
+pub const PREV_PREFIX: &str = "prev_";
+
+/// Derives the `prev_I` relation name for input relation `I`.
+pub fn prev_name(input_rel: &str) -> String {
+    format!("{PREV_PREFIX}{input_rel}")
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Declares a relation symbol. For `Input` relations of positive arity a
+    /// matching `prev_I` relation is added automatically (Definition 2.1
+    /// derives `Prev_I` from `I`).
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        kind: RelKind,
+    ) -> Result<(), SchemaError> {
+        let name = name.into();
+        if kind != RelKind::PrevInput && name.starts_with(PREV_PREFIX) {
+            return Err(SchemaError::ReservedPrevName(name));
+        }
+        if self.rels.contains_key(&name) {
+            return Err(SchemaError::DuplicateRelation(name));
+        }
+        if kind == RelKind::Input && arity > 0 {
+            let pname = prev_name(&name);
+            if self.rels.contains_key(&pname) {
+                return Err(SchemaError::DuplicateRelation(pname));
+            }
+            self.rels
+                .insert(pname.clone(), Relation::new(pname, arity, RelKind::PrevInput));
+        }
+        self.rels.insert(name.clone(), Relation::new(name, arity, kind));
+        Ok(())
+    }
+
+    /// Declares a named constant. Redeclaring with the same kind is a no-op
+    /// (schemas may share constant symbols, per Definition 2.1).
+    pub fn add_constant(
+        &mut self,
+        name: impl Into<String>,
+        kind: ConstKind,
+    ) -> Result<(), SchemaError> {
+        let name = name.into();
+        match self.consts.get(&name) {
+            Some(k) if *k != kind => Err(SchemaError::ConflictingConstant(name)),
+            _ => {
+                self.consts.insert(name, kind);
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks up a relation symbol.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.rels.get(name)
+    }
+
+    /// Looks up a constant's kind.
+    pub fn constant(&self, name: &str) -> Option<ConstKind> {
+        self.consts.get(name).copied()
+    }
+
+    /// Iterates over all relation symbols in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.rels.values()
+    }
+
+    /// Iterates over the relation symbols of one kind.
+    pub fn relations_of(&self, kind: RelKind) -> impl Iterator<Item = &Relation> {
+        self.rels.values().filter(move |r| r.kind == kind)
+    }
+
+    /// Iterates over all constants with their kinds.
+    pub fn constants(&self) -> impl Iterator<Item = (&str, ConstKind)> {
+        self.consts.iter().map(|(n, k)| (n.as_str(), *k))
+    }
+
+    /// The input constants `const(I)` in name order.
+    pub fn input_constants(&self) -> impl Iterator<Item = &str> {
+        self.consts
+            .iter()
+            .filter(|(_, k)| **k == ConstKind::Input)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// Maximum arity over all relations (0 for the empty schema). Drives
+    /// the paper's "fixed bound on the arity" complexity distinction.
+    pub fn max_arity(&self) -> usize {
+        self.rels.values().map(|r| r.arity).max().unwrap_or(0)
+    }
+
+    /// Number of declared relation symbols (including derived `prev_*`).
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True when no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Merges another schema into this one, preserving disjointness.
+    pub fn merge(&mut self, other: &Schema) -> Result<(), SchemaError> {
+        for r in other.rels.values() {
+            if let Some(existing) = self.rels.get(&r.name) {
+                if existing != r {
+                    return Err(SchemaError::DuplicateRelation(r.name.clone()));
+                }
+            } else {
+                self.rels.insert(r.name.clone(), r.clone());
+            }
+        }
+        for (n, k) in &other.consts {
+            self.add_constant(n.clone(), *k)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_relation_derives_prev() {
+        let mut s = Schema::new();
+        s.add_relation("laptopsearch", 3, RelKind::Input).unwrap();
+        let prev = s.relation("prev_laptopsearch").unwrap();
+        assert_eq!(prev.arity, 3);
+        assert_eq!(prev.kind, RelKind::PrevInput);
+    }
+
+    #[test]
+    fn propositional_input_has_no_prev() {
+        // Def. 2.1: Prev_I ranges over I minus const(I); arity-0 inputs do
+        // not get a prev relation in our encoding (they carry no data).
+        let mut s = Schema::new();
+        s.add_relation("submit", 0, RelKind::Input).unwrap();
+        assert!(s.relation("prev_submit").is_none());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = Schema::new();
+        s.add_relation("user", 2, RelKind::Database).unwrap();
+        let err = s.add_relation("user", 2, RelKind::State).unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateRelation("user".into()));
+    }
+
+    #[test]
+    fn reserved_prev_prefix_rejected() {
+        let mut s = Schema::new();
+        let err = s.add_relation("prev_thing", 1, RelKind::State).unwrap_err();
+        assert!(matches!(err, SchemaError::ReservedPrevName(_)));
+    }
+
+    #[test]
+    fn constants_shared_but_not_conflicting() {
+        let mut s = Schema::new();
+        s.add_constant("min", ConstKind::Database).unwrap();
+        s.add_constant("min", ConstKind::Database).unwrap(); // idempotent
+        let err = s.add_constant("min", ConstKind::Input).unwrap_err();
+        assert!(matches!(err, SchemaError::ConflictingConstant(_)));
+    }
+
+    #[test]
+    fn kind_queries() {
+        let mut s = Schema::new();
+        s.add_relation("catalog", 3, RelKind::Database).unwrap();
+        s.add_relation("cart", 2, RelKind::State).unwrap();
+        s.add_relation("button", 1, RelKind::Input).unwrap();
+        s.add_relation("ship", 2, RelKind::Action).unwrap();
+        assert_eq!(s.relations_of(RelKind::Database).count(), 1);
+        assert_eq!(s.relations_of(RelKind::PrevInput).count(), 1);
+        assert_eq!(s.max_arity(), 3);
+        assert_eq!(s.len(), 5);
+        assert!(RelKind::PrevInput.is_input_like());
+        assert!(RelKind::Action.is_state_or_action());
+        assert!(!RelKind::Database.is_state_or_action());
+    }
+
+    #[test]
+    fn merge_disjoint_schemas() {
+        let mut a = Schema::new();
+        a.add_relation("r", 1, RelKind::Database).unwrap();
+        let mut b = Schema::new();
+        b.add_relation("s", 1, RelKind::State).unwrap();
+        b.add_constant("c0", ConstKind::Database).unwrap();
+        a.merge(&b).unwrap();
+        assert!(a.relation("s").is_some());
+        assert_eq!(a.constant("c0"), Some(ConstKind::Database));
+    }
+
+    #[test]
+    fn merge_conflict_detected() {
+        let mut a = Schema::new();
+        a.add_relation("r", 1, RelKind::Database).unwrap();
+        let mut b = Schema::new();
+        b.add_relation("r", 2, RelKind::Database).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn input_constants_iterator() {
+        let mut s = Schema::new();
+        s.add_constant("name", ConstKind::Input).unwrap();
+        s.add_constant("password", ConstKind::Input).unwrap();
+        s.add_constant("i0", ConstKind::Database).unwrap();
+        let ic: Vec<_> = s.input_constants().collect();
+        assert_eq!(ic, vec!["name", "password"]);
+    }
+}

@@ -1,0 +1,540 @@
+//! Temporal specification logics: LTL-FO, CTL-FO and CTL\*-FO.
+//!
+//! * **LTL-FO** (Definition 3.1): FO closed under `¬, ∨, X, U`; quantifiers
+//!   apply only by taking the universal closure of the whole formula. The
+//!   derived operators `B` (before), `G`, `F` are provided as first-class
+//!   constructors (`φ B ψ ≡ ¬(¬φ U ψ)`, `Gφ ≡ false B ¬φ… ≡ ¬F¬φ`,
+//!   `Fφ ≡ true U φ`).
+//! * **CTL(\*)-FO** (Definition A.3): adds the path quantifiers `E`/`A`.
+//!   CTL restricts temporal operators to appear immediately under a path
+//!   quantifier.
+//!
+//! One AST, [`TFormula`], covers all three; [`TemporalClass`] classifies a
+//! formula syntactically. A [`Property`] is the universal closure
+//! `∀x̄ φ(x̄)` of a temporal formula — the unit of verification.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bounded::{check_input_bounded, BoundedError};
+use crate::formula::{Formula, Var};
+use crate::schema::Schema;
+
+/// Path quantifier of CTL(\*)-FO.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum PathQuant {
+    /// "There exists a continuation of the current run…"
+    E,
+    /// "Every continuation of the current run…"
+    A,
+}
+
+/// A temporal formula over FO components.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TFormula {
+    /// An embedded first-order formula (evaluated at the current
+    /// configuration of the run).
+    Fo(Formula),
+    /// Negation.
+    Not(Box<TFormula>),
+    /// N-ary conjunction.
+    And(Vec<TFormula>),
+    /// N-ary disjunction.
+    Or(Vec<TFormula>),
+    /// Next.
+    X(Box<TFormula>),
+    /// Until: `φ U ψ`.
+    U(Box<TFormula>, Box<TFormula>),
+    /// Before: `φ B ψ ≡ ¬(¬φ U ψ)` — "ψ cannot happen before φ does".
+    B(Box<TFormula>, Box<TFormula>),
+    /// Eventually: `Fφ ≡ true U φ`.
+    F(Box<TFormula>),
+    /// Always: `Gφ ≡ ¬F¬φ`.
+    G(Box<TFormula>),
+    /// Path quantification (CTL(\*)-FO only).
+    Path(PathQuant, Box<TFormula>),
+}
+
+impl TFormula {
+    /// Embeds an FO formula.
+    pub fn fo(f: Formula) -> Self {
+        TFormula::Fo(f)
+    }
+
+    /// A page/state/input proposition as an FO atom.
+    pub fn prop(name: impl Into<String>) -> Self {
+        TFormula::Fo(Formula::prop(name))
+    }
+
+    /// Smart negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: TFormula) -> Self {
+        match f {
+            TFormula::Not(g) => *g,
+            other => TFormula::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart conjunction (flattens).
+    pub fn and(fs: impl IntoIterator<Item = TFormula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                TFormula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            1 => out.pop().expect("len checked"),
+            _ => TFormula::And(out),
+        }
+    }
+
+    /// Smart disjunction (flattens).
+    pub fn or(fs: impl IntoIterator<Item = TFormula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                TFormula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            1 => out.pop().expect("len checked"),
+            _ => TFormula::Or(out),
+        }
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(a: TFormula, b: TFormula) -> Self {
+        TFormula::or([TFormula::not(a), b])
+    }
+
+    /// `Xφ`.
+    pub fn next(f: TFormula) -> Self {
+        TFormula::X(Box::new(f))
+    }
+
+    /// `φ U ψ`.
+    pub fn until(a: TFormula, b: TFormula) -> Self {
+        TFormula::U(Box::new(a), Box::new(b))
+    }
+
+    /// `φ B ψ` (before).
+    pub fn before(a: TFormula, b: TFormula) -> Self {
+        TFormula::B(Box::new(a), Box::new(b))
+    }
+
+    /// `Fφ`.
+    pub fn eventually(f: TFormula) -> Self {
+        TFormula::F(Box::new(f))
+    }
+
+    /// `Gφ`.
+    pub fn always(f: TFormula) -> Self {
+        TFormula::G(Box::new(f))
+    }
+
+    /// `Eφ`.
+    pub fn exists_path(f: TFormula) -> Self {
+        TFormula::Path(PathQuant::E, Box::new(f))
+    }
+
+    /// `Aφ`.
+    pub fn all_paths(f: TFormula) -> Self {
+        TFormula::Path(PathQuant::A, Box::new(f))
+    }
+
+    /// Pre-order traversal.
+    pub fn walk(&self, visit: &mut impl FnMut(&TFormula)) {
+        visit(self);
+        match self {
+            TFormula::Fo(_) => {}
+            TFormula::Not(f)
+            | TFormula::X(f)
+            | TFormula::F(f)
+            | TFormula::G(f)
+            | TFormula::Path(_, f) => f.walk(visit),
+            TFormula::And(fs) | TFormula::Or(fs) => {
+                for f in fs {
+                    f.walk(visit);
+                }
+            }
+            TFormula::U(a, b) | TFormula::B(a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+        }
+    }
+
+    /// Free (FO) variables across all embedded FO formulas.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            if let TFormula::Fo(g) = f {
+                out.extend(g.free_vars());
+            }
+        });
+        out
+    }
+
+    /// The maximal FO subformulas, in traversal order, deduplicated.
+    pub fn fo_components(&self) -> Vec<Formula> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        self.walk(&mut |f| {
+            if let TFormula::Fo(g) = f {
+                if seen.insert(g.clone()) {
+                    out.push(g.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// All relation symbols used by embedded FO formulas.
+    pub fn relations_used(&self) -> BTreeSet<(String, usize)> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            if let TFormula::Fo(g) = f {
+                out.extend(g.relations_used());
+            }
+        });
+        out
+    }
+
+    /// True if the formula contains a path quantifier.
+    pub fn has_path_quant(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |f| {
+            if matches!(f, TFormula::Path(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the formula contains a temporal operator.
+    pub fn has_temporal(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |f| {
+            if matches!(
+                f,
+                TFormula::X(_)
+                    | TFormula::U(..)
+                    | TFormula::B(..)
+                    | TFormula::F(_)
+                    | TFormula::G(_)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Syntactic classification (see [`TemporalClass`]).
+    pub fn classify(&self) -> TemporalClass {
+        if !self.has_path_quant() {
+            return TemporalClass::Ltl;
+        }
+        if self.is_ctl_state() {
+            TemporalClass::Ctl
+        } else {
+            TemporalClass::CtlStar
+        }
+    }
+
+    /// CTL state-formula check: temporal operators only immediately under a
+    /// path quantifier; path quantifiers wrap exactly one temporal layer.
+    fn is_ctl_state(&self) -> bool {
+        match self {
+            TFormula::Fo(_) => true,
+            TFormula::Not(f) => f.is_ctl_state(),
+            TFormula::And(fs) | TFormula::Or(fs) => fs.iter().all(|f| f.is_ctl_state()),
+            TFormula::X(_)
+            | TFormula::U(..)
+            | TFormula::B(..)
+            | TFormula::F(_)
+            | TFormula::G(_) => false,
+            TFormula::Path(_, f) => match f.as_ref() {
+                TFormula::X(g) | TFormula::F(g) | TFormula::G(g) => g.is_ctl_state(),
+                TFormula::U(a, b) | TFormula::B(a, b) => {
+                    a.is_ctl_state() && b.is_ctl_state()
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Checks that every embedded FO formula is input-bounded over `schema`
+    /// ("an LTL-FO sentence is input-bounded iff all of its FO subformulas
+    /// are input-bounded").
+    pub fn check_input_bounded(&self, schema: &Schema) -> Result<(), BoundedError> {
+        let mut res = Ok(());
+        self.walk(&mut |f| {
+            if res.is_err() {
+                return;
+            }
+            if let TFormula::Fo(g) = f {
+                res = check_input_bounded(g, schema);
+            }
+        });
+        res
+    }
+
+    /// AST size (node count).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |f| {
+            n += match f {
+                TFormula::Fo(g) => g.size(),
+                _ => 1,
+            }
+        });
+        n
+    }
+}
+
+impl fmt::Display for TFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TFormula::Fo(g) => write!(f, "{g}"),
+            TFormula::Not(g) => write!(f, "!({g})"),
+            TFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            TFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            TFormula::X(g) => write!(f, "X ({g})"),
+            TFormula::U(a, b) => write!(f, "(({a}) U ({b}))"),
+            TFormula::B(a, b) => write!(f, "(({a}) B ({b}))"),
+            TFormula::F(g) => write!(f, "F ({g})"),
+            TFormula::G(g) => write!(f, "G ({g})"),
+            TFormula::Path(PathQuant::E, g) => write!(f, "E ({g})"),
+            TFormula::Path(PathQuant::A, g) => write!(f, "A ({g})"),
+        }
+    }
+}
+
+impl fmt::Debug for TFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Syntactic class of a temporal formula.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TemporalClass {
+    /// No path quantifiers: an LTL-FO formula.
+    Ltl,
+    /// CTL-FO: path quantifiers wrap single temporal operators.
+    Ctl,
+    /// CTL\*-FO: path quantifiers present with free temporal nesting.
+    CtlStar,
+}
+
+/// A property is the *universal closure* `∀x̄ φ(x̄)` of a temporal formula
+/// (Definition 3.1 / A.3: "An LTL-FO sentence is the universal closure of
+/// an LTL-FO formula").
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Property {
+    /// The universally quantified (witness) variables, in order.
+    pub vars: Vec<Var>,
+    /// The temporal body.
+    pub body: TFormula,
+}
+
+impl Property {
+    /// Builds the universal closure over exactly the free variables of the
+    /// body (in lexicographic order).
+    pub fn close(body: TFormula) -> Self {
+        let vars: Vec<Var> = body.free_vars().into_iter().collect();
+        Property { vars, body }
+    }
+
+    /// Builds a closure with an explicit variable order. Extra names are
+    /// permitted (vacuous quantification); missing free variables are an
+    /// error.
+    pub fn with_vars(vars: Vec<Var>, body: TFormula) -> Result<Self, String> {
+        let fv = body.free_vars();
+        for v in &fv {
+            if !vars.contains(v) {
+                return Err(format!("free variable `{v}` not closed"));
+            }
+        }
+        Ok(Property { vars, body })
+    }
+
+    /// Classification of the body.
+    pub fn classify(&self) -> TemporalClass {
+        self.body.classify()
+    }
+
+    /// Input-boundedness of every FO component.
+    pub fn check_input_bounded(&self, schema: &Schema) -> Result<(), BoundedError> {
+        self.body.check_input_bounded(schema)
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.vars.is_empty() {
+            write!(f, "forall {} . ", self.vars.join(" "))?;
+        }
+        write!(f, "{}", self.body)
+    }
+}
+
+impl fmt::Debug for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Term;
+    use crate::schema::RelKind;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn property_1_example_32() {
+        // G(!P) | F(P & F Q)
+        let f = TFormula::or([
+            TFormula::always(TFormula::not(TFormula::prop("P"))),
+            TFormula::eventually(TFormula::and([
+                TFormula::prop("P"),
+                TFormula::eventually(TFormula::prop("Q")),
+            ])),
+        ]);
+        assert_eq!(f.classify(), TemporalClass::Ltl);
+        assert!(f.free_vars().is_empty());
+        assert!(!f.has_path_quant());
+        assert!(f.has_temporal());
+    }
+
+    #[test]
+    fn property_2_example_33_shape() {
+        // ∀pid ∀price [ β(pid,price) B ¬(conf ∧ ship) ]
+        let beta = TFormula::fo(Formula::and([
+            Formula::prop("PP"),
+            Formula::rel("pay", vec![v("price")]),
+            Formula::rel("pick", vec![v("pid"), v("price")]),
+        ]));
+        let rhs = TFormula::fo(Formula::not(Formula::and([
+            Formula::rel("conf", vec![Term::cst("name"), v("price")]),
+            Formula::rel("ship", vec![Term::cst("name"), v("pid")]),
+        ])));
+        let p = Property::close(TFormula::before(beta, rhs));
+        assert_eq!(p.vars, vec!["pid".to_string(), "price".to_string()]);
+        assert_eq!(p.classify(), TemporalClass::Ltl);
+    }
+
+    #[test]
+    fn ctl_classification() {
+        // AG EF HP — CTL
+        let f = TFormula::all_paths(TFormula::always(TFormula::exists_path(
+            TFormula::eventually(TFormula::prop("HP")),
+        )));
+        assert_eq!(f.classify(), TemporalClass::Ctl);
+    }
+
+    #[test]
+    fn ctl_star_classification() {
+        // Example 4.1: A((EF cancel) U ship) — the U mixes a state formula
+        // and is fine for CTL; but A(F G p) is CTL*:
+        let f = TFormula::all_paths(TFormula::eventually(TFormula::always(
+            TFormula::prop("p"),
+        )));
+        assert_eq!(f.classify(), TemporalClass::CtlStar);
+        // Example 4.1 itself is CTL (U directly under A, operands state fmls)
+        let ex41 = TFormula::all_paths(TFormula::until(
+            TFormula::exists_path(TFormula::eventually(TFormula::prop("cancel"))),
+            TFormula::prop("ship"),
+        ));
+        assert_eq!(ex41.classify(), TemporalClass::Ctl);
+    }
+
+    #[test]
+    fn fo_components_dedup() {
+        let a = Formula::prop("a");
+        let f = TFormula::and([
+            TFormula::fo(a.clone()),
+            TFormula::eventually(TFormula::fo(a.clone())),
+            TFormula::fo(Formula::prop("b")),
+        ]);
+        assert_eq!(f.fo_components().len(), 2);
+    }
+
+    #[test]
+    fn input_bounded_lifting() {
+        let mut s = Schema::new();
+        s.add_relation("button", 1, RelKind::Input).unwrap();
+        s.add_relation("cart", 1, RelKind::State).unwrap();
+        let good = TFormula::always(TFormula::fo(Formula::exists(
+            vec!["x".into()],
+            Formula::and([
+                Formula::rel("button", vec![v("x")]),
+                Formula::eq(v("x"), Term::lit("buy")),
+            ]),
+        )));
+        assert!(good.check_input_bounded(&s).is_ok());
+        let bad = TFormula::eventually(TFormula::fo(Formula::exists(
+            vec!["x".into()],
+            Formula::rel("cart", vec![v("x")]),
+        )));
+        assert!(bad.check_input_bounded(&s).is_err());
+    }
+
+    #[test]
+    fn with_vars_requires_closure() {
+        let body = TFormula::fo(Formula::rel("r", vec![v("x")]));
+        assert!(Property::with_vars(vec!["x".into()], body.clone()).is_ok());
+        assert!(Property::with_vars(vec!["y".into()], body).is_err());
+    }
+
+    #[test]
+    fn display_shapes() {
+        let f = TFormula::all_paths(TFormula::always(TFormula::prop("HP")));
+        assert_eq!(f.to_string(), "A (G (HP))");
+        let p = Property::close(TFormula::fo(Formula::rel("r", vec![v("x")])));
+        assert_eq!(p.to_string(), "forall x . r(x)");
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        let f = TFormula::and([
+            TFormula::and([TFormula::prop("a"), TFormula::prop("b")]),
+            TFormula::prop("c"),
+        ]);
+        match f {
+            TFormula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flat And, got {other}"),
+        }
+        assert_eq!(
+            TFormula::not(TFormula::not(TFormula::prop("a"))),
+            TFormula::prop("a")
+        );
+    }
+}

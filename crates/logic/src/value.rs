@@ -1,0 +1,238 @@
+//! Domain elements and tuples.
+//!
+//! The paper fixes an infinite set of elements `dom∞`; relational instances
+//! interpret relation symbols over a *finite* subset of it. We realize
+//! `dom∞` as the disjoint union of all 64-bit integers and all strings —
+//! plenty of room for the synthetic databases, Skolem witnesses and fresh
+//! symbolic elements the verifiers manufacture.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A single element of the data domain `dom∞`.
+///
+/// `Value` is cheap to clone (`Str` is reference-counted) and totally
+/// ordered, so it can serve as a key in the ordered containers that back
+/// relational instances and symbolic configurations.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer element.
+    Int(i64),
+    /// A string element (interned per-value via `Arc`).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the string content if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer content if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// A tuple of domain elements — one row of a relation.
+///
+/// Propositions (arity-0 relations) are represented by the empty tuple.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// The empty tuple (the single possible row of a proposition).
+    pub fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Builds a tuple from anything convertible to values.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I, V>(vals: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple(vals.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component access.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Tuple(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+/// Builds a [`Tuple`] from a comma-separated list of value expressions.
+///
+/// ```
+/// use wave_logic::{tuple, value::Value};
+/// let t = tuple!["laptop", 17, "ram"];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], Value::Int(17));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::value::Tuple(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ordering_is_total() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        let c = Value::str("a");
+        let d = Value::str("b");
+        assert!(a < b);
+        assert!(c < d);
+        // Ints sort before strings by enum-variant order; what matters is
+        // that the order is total and stable.
+        assert!(a < c);
+    }
+
+    #[test]
+    fn value_display_and_debug() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(format!("{:?}", Value::str("hi")), "\"hi\"");
+    }
+
+    #[test]
+    fn tuple_macro_and_accessors() {
+        let t = tuple![1, "two", 3];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t[1], Value::str("two"));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.to_string(), "(1, two, 3)");
+    }
+
+    #[test]
+    fn empty_tuple_is_proposition_row() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t, Tuple::default());
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+    }
+
+    #[test]
+    fn tuple_from_iterator() {
+        let t: Tuple = vec![1i64, 2, 3].into_iter().collect();
+        assert_eq!(t.arity(), 3);
+        let u = Tuple::from_iter(["a", "b"]);
+        assert_eq!(u.arity(), 2);
+    }
+}

@@ -1,0 +1,490 @@
+//! Functional and inclusion dependencies, the chase, and the
+//! Theorem 3.8 / Theorem 4.2 encodings.
+//!
+//! The implication problem for FDs + INDs is undecidable (Chandra–Vardi);
+//! Theorem 3.8 transfers that to Web services whose state rules allow
+//! *projections* (`S(x̄) ← ∃ȳ S'(x̄, ȳ)`), and Theorem 4.2's variant uses
+//! parameterized actions. The encoding below builds the Theorem 3.8
+//! service: the user feeds tuples of a relation `S` through an input;
+//! projection rules maintain `π_X(S)` state relations; violation flags go
+//! up when a fed instance breaks a dependency.
+//!
+//! The substrate is a bounded **chase**: sound for implication (a chase
+//! counterexample refutes it) and complete when it terminates within the
+//! budget — enough to test the encoding on decidable instances.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::rules::StateRule;
+use wave_core::service::Service;
+use wave_logic::formula::{Formula, Term};
+use wave_logic::value::{Tuple, Value};
+
+/// A dependency over a single relation of arity `arity` (columns are
+/// 0-based indices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Dep {
+    /// Functional dependency `X → A`.
+    Fd {
+        /// Determinant columns.
+        lhs: Vec<usize>,
+        /// Determined column.
+        rhs: usize,
+    },
+    /// Inclusion dependency `R[X] ⊆ R[Y]` (unary or wider projections).
+    Ind {
+        /// Source columns.
+        lhs: Vec<usize>,
+        /// Target columns (same length).
+        rhs: Vec<usize>,
+    },
+}
+
+impl Dep {
+    /// Whether a set of tuples satisfies this dependency.
+    pub fn holds(&self, tuples: &BTreeSet<Tuple>) -> bool {
+        match self {
+            Dep::Fd { lhs, rhs } => {
+                let mut seen: BTreeMap<Vec<&Value>, &Value> = BTreeMap::new();
+                for t in tuples {
+                    let key: Vec<&Value> = lhs.iter().map(|&i| &t[i]).collect();
+                    if let Some(prev) = seen.insert(key, &t[*rhs]) {
+                        if prev != &t[*rhs] {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Dep::Ind { lhs, rhs } => {
+                let targets: BTreeSet<Vec<&Value>> = tuples
+                    .iter()
+                    .map(|t| rhs.iter().map(|&i| &t[i]).collect())
+                    .collect();
+                tuples.iter().all(|t| {
+                    let key: Vec<&Value> = lhs.iter().map(|&i| &t[i]).collect();
+                    targets.contains(&key)
+                })
+            }
+        }
+    }
+}
+
+/// Bounded chase: does `sigma` follow from `deps` on instances of the
+/// given arity? Starts from the canonical tableau of `sigma` and applies
+/// the dependencies; `Some(true)` = implied, `Some(false)` = a
+/// counterexample instance was found, `None` = budget exhausted
+/// (undecidability showing its teeth).
+pub fn chase_implies(
+    deps: &[Dep],
+    sigma: &Dep,
+    arity: usize,
+    max_steps: usize,
+) -> Option<bool> {
+    // Syntactic membership: σ ∈ Σ is trivially implied (the chase itself
+    // may diverge on such instances — see the divergence test).
+    if deps.contains(sigma) {
+        return Some(true);
+    }
+    // Canonical instance for the premise of sigma.
+    let mut next_null = 0i64;
+    let mut fresh = || {
+        next_null += 1;
+        Value::Int(next_null)
+    };
+    let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
+    match sigma {
+        Dep::Fd { lhs, .. } => {
+            // Two tuples agreeing on lhs, fresh elsewhere.
+            let shared: Vec<Value> = (0..arity).map(|_| fresh()).collect();
+            let mut t1 = Vec::with_capacity(arity);
+            let mut t2 = Vec::with_capacity(arity);
+            for (i, shared_val) in shared.iter().enumerate() {
+                if lhs.contains(&i) {
+                    t1.push(shared_val.clone());
+                    t2.push(shared_val.clone());
+                } else {
+                    t1.push(fresh());
+                    t2.push(fresh());
+                }
+            }
+            tuples.insert(Tuple(t1));
+            tuples.insert(Tuple(t2));
+        }
+        Dep::Ind { .. } => {
+            tuples.insert(Tuple((0..arity).map(|_| fresh()).collect()));
+        }
+    }
+
+    for _ in 0..max_steps {
+        // Check the goal first.
+        if let Dep::Fd { lhs, rhs } = sigma {
+            // σ implied iff the two canonical tuples were equated on rhs.
+            let mut iter = tuples.iter();
+            if let (Some(a), Some(b)) = (iter.next(), iter.next()) {
+                let agree_lhs = lhs.iter().all(|&i| a[i] == b[i]);
+                if agree_lhs && a[*rhs] == b[*rhs] {
+                    return Some(true);
+                }
+            } else {
+                return Some(true); // tuples merged entirely
+            }
+        }
+        if sigma.holds(&tuples) {
+            if let Dep::Ind { .. } = sigma {
+                return Some(true);
+            }
+        }
+        // Apply one violated dependency.
+        let mut changed = false;
+        for d in deps {
+            match d {
+                Dep::Fd { lhs, rhs } => {
+                    let mut merge: Option<(Value, Value)> = None;
+                    'outer: for a in &tuples {
+                        for b in &tuples {
+                            if a != b
+                                && lhs.iter().all(|&i| a[i] == b[i])
+                                && a[*rhs] != b[*rhs]
+                            {
+                                merge = Some((a[*rhs].clone(), b[*rhs].clone()));
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if let Some((x, y)) = merge {
+                        // Equate y := x everywhere.
+                        let old = std::mem::take(&mut tuples);
+                        for t in old {
+                            tuples.insert(Tuple(
+                                t.iter()
+                                    .map(|val| if *val == y { x.clone() } else { val.clone() })
+                                    .collect(),
+                            ));
+                        }
+                        changed = true;
+                        break;
+                    }
+                }
+                Dep::Ind { lhs, rhs } => {
+                    let targets: BTreeSet<Vec<Value>> = tuples
+                        .iter()
+                        .map(|t| rhs.iter().map(|&i| t[i].clone()).collect())
+                        .collect();
+                    let missing: Option<Vec<Value>> = tuples
+                        .iter()
+                        .map(|t| lhs.iter().map(|&i| t[i].clone()).collect::<Vec<_>>())
+                        .find(|key| !targets.contains(key));
+                    if let Some(key) = missing {
+                        let mut t = Vec::with_capacity(arity);
+                        for i in 0..arity {
+                            if let Some(pos) = rhs.iter().position(|&r| r == i) {
+                                t.push(key[pos].clone());
+                            } else {
+                                t.push(fresh());
+                            }
+                        }
+                        tuples.insert(Tuple(t));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            // Chase terminated: sigma holds in the chased instance or not.
+            return Some(match sigma {
+                Dep::Fd { lhs, rhs } => {
+                    let mut iter = tuples.iter();
+                    match (iter.next(), iter.next()) {
+                        (Some(a), Some(b)) => {
+                            !lhs.iter().all(|&i| a[i] == b[i]) || a[*rhs] == b[*rhs]
+                        }
+                        _ => true,
+                    }
+                }
+                Dep::Ind { .. } => sigma.holds(&tuples),
+            });
+        }
+    }
+    None
+}
+
+/// Builds the Theorem 3.8 service: the user feeds `S`-tuples via the
+/// input `feed`; state projections maintain the column projections the
+/// dependency checks need; `viol_k` flags go up when dependency `k` of
+/// `deps` is violated by the accumulated instance, and `goal_viol` when
+/// `sigma` is. Verifying `G(done → (∨_k viol_k) ∨ ¬goal_viol)`-style
+/// properties over the encoding is exactly implication — undecidable, so
+/// the encoding is *not* input-bounded (it uses state projections).
+pub fn encode(deps: &[Dep], sigma: &Dep, arity: usize) -> Service {
+    let vars: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+
+    let mut b = ServiceBuilder::new("Feed");
+    b.database_relation("dom", 1)
+        .state_relation("S", arity)
+        .state_prop("done")
+        .input_relation("feed", arity)
+        .input_relation("stop", 0);
+    // Projection state relations for every dependency's column sets.
+    let mut proj_cols: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for d in deps.iter().chain(std::iter::once(sigma)) {
+        match d {
+            Dep::Fd { lhs, rhs } => {
+                let mut both = lhs.clone();
+                both.push(*rhs);
+                proj_cols.insert(both);
+            }
+            Dep::Ind { lhs, rhs } => {
+                proj_cols.insert(lhs.clone());
+                proj_cols.insert(rhs.clone());
+            }
+        }
+    }
+    for cols in &proj_cols {
+        b.state_relation(&proj_name(cols), cols.len());
+    }
+    for k in 0..deps.len() {
+        b.state_prop(&format!("viol_{k}"));
+    }
+    b.state_prop("goal_viol");
+
+    // Feed page: options are arbitrary domain tuples.
+    let feed_body = (0..arity)
+        .map(|i| format!("dom(c{i})"))
+        .collect::<Vec<_>>()
+        .join(" & ");
+    b.page("Feed")
+        .input_rule("feed", &var_refs, &feed_body)
+        .input_prop_on_page("stop")
+        .insert_rule("done", &[], "stop");
+    let mut service = b.build().expect("scaffold valid");
+    let page = service.pages.get_mut("Feed").expect("page exists");
+
+    // S accumulates fed tuples.
+    page.state_rules.push(StateRule {
+        relation: "S".into(),
+        vars: vars.clone(),
+        insert: Some(Formula::rel(
+            "feed",
+            vars.iter().map(|x| Term::var(x.clone())).collect(),
+        )),
+        delete: None,
+    });
+
+    // Projections: S_cols(x̄) ← ∃ȳ S(...) — the state projections of
+    // Theorem 3.8 (this is what breaks input-boundedness).
+    for cols in &proj_cols {
+        let head: Vec<String> = (0..cols.len()).map(|i| format!("p{i}")).collect();
+        let mut args = Vec::with_capacity(arity);
+        let mut bound = Vec::new();
+        for i in 0..arity {
+            if let Some(pos) = cols.iter().position(|&c| c == i) {
+                args.push(Term::var(head[pos].clone()));
+            } else {
+                let y = format!("y{i}");
+                bound.push(y.clone());
+                args.push(Term::var(y));
+            }
+        }
+        page.state_rules.push(StateRule {
+            relation: proj_name(cols),
+            vars: head,
+            insert: Some(Formula::exists(bound, Formula::rel("S", args))),
+            delete: None,
+        });
+    }
+
+    // Violation flags: quantified checks over S (again projections in
+    // spirit; undecidable fragment).
+    for (k, d) in deps.iter().enumerate() {
+        page.state_rules.push(StateRule {
+            relation: format!("viol_{k}"),
+            vars: vec![],
+            insert: Some(violation_formula(d, arity)),
+            delete: None,
+        });
+    }
+    page.state_rules.push(StateRule {
+        relation: "goal_viol".into(),
+        vars: vec![],
+        insert: Some(violation_formula(sigma, arity)),
+        delete: None,
+    });
+
+    service.validate().expect("encoding is a valid service");
+    service
+}
+
+fn proj_name(cols: &[usize]) -> String {
+    format!(
+        "S_{}",
+        cols.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("_")
+    )
+}
+
+/// `∃ tuples of S violating d` as an FO sentence over `S`.
+fn violation_formula(d: &Dep, arity: usize) -> Formula {
+    let t1: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+    let t2: Vec<String> = (0..arity).map(|i| format!("b{i}")).collect();
+    let s_atom = |vs: &[String]| {
+        Formula::rel("S", vs.iter().map(|x| Term::var(x.clone())).collect())
+    };
+    match d {
+        Dep::Fd { lhs, rhs } => {
+            let mut parts = vec![s_atom(&t1), s_atom(&t2)];
+            for &i in lhs {
+                parts.push(Formula::eq(Term::var(t1[i].clone()), Term::var(t2[i].clone())));
+            }
+            parts.push(Formula::neq(
+                Term::var(t1[*rhs].clone()),
+                Term::var(t2[*rhs].clone()),
+            ));
+            Formula::exists(
+                t1.iter().chain(t2.iter()).cloned().collect(),
+                Formula::and(parts),
+            )
+        }
+        Dep::Ind { lhs, rhs } => {
+            // ∃t1 (S(t1) ∧ ∀t2 (S(t2) → t1[lhs] ≠ t2[rhs]))
+            let mut neq_parts = Vec::new();
+            for (l, r) in lhs.iter().zip(rhs.iter()) {
+                neq_parts.push(Formula::neq(
+                    Term::var(t1[*l].clone()),
+                    Term::var(t2[*r].clone()),
+                ));
+            }
+            Formula::exists(
+                t1.clone(),
+                Formula::and([
+                    s_atom(&t1),
+                    Formula::forall(
+                        t2.clone(),
+                        Formula::implies(s_atom(&t2), Formula::or(neq_parts)),
+                    ),
+                ]),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::classify;
+    use wave_core::run::{InputChoice, Runner};
+    use wave_logic::{inst, tuple};
+
+    #[test]
+    fn dependency_satisfaction() {
+        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let mut ts = BTreeSet::from([tuple![1, 2], tuple![3, 4]]);
+        assert!(fd.holds(&ts));
+        ts.insert(tuple![1, 5]);
+        assert!(!fd.holds(&ts));
+
+        let ind = Dep::Ind { lhs: vec![1], rhs: vec![0] };
+        let ok = BTreeSet::from([tuple![1, 1], tuple![2, 1]]);
+        assert!(ind.holds(&ok));
+        let bad = BTreeSet::from([tuple![1, 2]]);
+        assert!(!bad.is_empty() && !ind.holds(&bad));
+    }
+
+    #[test]
+    fn chase_trivial_implication() {
+        // X→A implies X→A.
+        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+        assert_eq!(chase_implies(std::slice::from_ref(&fd), &fd, 2, 50), Some(true));
+        // ∅ does not imply X→A.
+        assert_eq!(chase_implies(&[], &fd, 2, 50), Some(false));
+    }
+
+    #[test]
+    fn chase_transitivity_via_pseudo() {
+        // {0→1, 1→2} implies 0→2 on arity-3 relations.
+        let d1 = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let d2 = Dep::Fd { lhs: vec![1], rhs: 2 };
+        let goal = Dep::Fd { lhs: vec![0], rhs: 2 };
+        assert_eq!(chase_implies(&[d1, d2], &goal, 3, 50), Some(true));
+        // {0→1} does not imply 0→2.
+        let d1 = Dep::Fd { lhs: vec![0], rhs: 1 };
+        assert_eq!(chase_implies(&[d1], &goal, 3, 50), Some(false));
+    }
+
+    #[test]
+    fn chase_ind_reflexivity() {
+        let ind = Dep::Ind { lhs: vec![0], rhs: vec![0] };
+        assert_eq!(chase_implies(&[], &ind, 2, 50), Some(true));
+        let ind2 = Dep::Ind { lhs: vec![0], rhs: vec![1] };
+        assert_eq!(chase_implies(&[], &ind2, 2, 50), Some(false));
+        // implied by itself
+        assert_eq!(chase_implies(std::slice::from_ref(&ind2), &ind2, 2, 50), Some(true));
+    }
+
+    #[test]
+    fn chase_can_diverge_within_budget() {
+        // R[0] ⊆ R[1] on arity 2 keeps generating fresh tuples from the
+        // canonical seed; the budget runs out (the undecidability omen).
+        let ind = Dep::Ind { lhs: vec![0], rhs: vec![1] };
+        let goal = Dep::Fd { lhs: vec![0], rhs: 1 };
+        assert_eq!(chase_implies(&[ind], &goal, 2, 10), None);
+    }
+
+    #[test]
+    fn encoding_validates_and_uses_projections() {
+        let deps = vec![Dep::Fd { lhs: vec![0], rhs: 1 }];
+        let sigma = Dep::Ind { lhs: vec![1], rhs: vec![0] };
+        let w = encode(&deps, &sigma, 2);
+        assert!(w.validate().is_ok());
+        // State projections break input-boundedness (Theorem 3.8's point).
+        assert!(!classify::input_bounded_violations(&w).is_empty());
+        assert!(w.schema.relation("S_0_1").is_some() || w.schema.relation("S_1").is_some());
+    }
+
+    #[test]
+    fn encoded_violation_flags_track_reference_checks() {
+        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let deps = vec![fd.clone()];
+        let sigma = Dep::Ind { lhs: vec![1], rhs: vec![0] };
+        let w = encode(&deps, &sigma, 2);
+        let db = inst! { "dom" => [tuple![1], tuple![2], tuple![3]] };
+        let runner = Runner::new(&w, &db);
+
+        // Feed (1,2) then (1,3): violates the FD.
+        let c0 = runner
+            .initial(&InputChoice::empty().with_tuple("feed", tuple![1, 2]))
+            .unwrap();
+        let c1 = runner
+            .step(&c0, &InputChoice::empty().with_tuple("feed", tuple![1, 3]))
+            .unwrap();
+        let c2 = runner.step(&c1, &InputChoice::empty()).unwrap();
+        assert!(c2.state.contains("S", &tuple![1, 2]));
+        assert!(c2.state.contains("S", &tuple![1, 3]));
+        // Flags lag one step behind S (rules read the previous state).
+        let c2 = runner.step(&c2, &InputChoice::empty()).unwrap();
+        assert!(c2.state.prop("viol_0"), "FD violation must be flagged");
+        // Reference check agrees.
+        let s: BTreeSet<Tuple> = c2.state.tuples("S").cloned().collect();
+        assert!(!fd.holds(&s));
+        // σ = S[1] ⊆ S[0]: values {2,3} not ⊆ {1}: goal violated too.
+        assert!(c2.state.prop("goal_viol"));
+        assert!(!sigma.holds(&s));
+    }
+
+    #[test]
+    fn clean_instance_raises_no_flags() {
+        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let sigma = Dep::Ind { lhs: vec![0], rhs: vec![0] };
+        let w = encode(&[fd], &sigma, 2);
+        let db = inst! { "dom" => [tuple![1], tuple![2]] };
+        let runner = Runner::new(&w, &db);
+        let c0 = runner
+            .initial(&InputChoice::empty().with_tuple("feed", tuple![1, 2]))
+            .unwrap();
+        let c1 = runner.step(&c0, &InputChoice::empty()).unwrap();
+        assert!(!c1.state.prop("viol_0"));
+        assert!(!c1.state.prop("goal_viol"));
+    }
+}

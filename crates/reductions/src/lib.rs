@@ -1,0 +1,21 @@
+//! # wave-reductions
+//!
+//! The paper's boundary results as *executable* constructions:
+//!
+//! * [`qbf`] — Lemma A.6: QBF → error-freeness of an input-bounded
+//!   service. Shows PSPACE-hardness; doubles as a stress test, since our
+//!   symbolic engine then decides QBF through the encoding.
+//! * [`tm`] — Theorem 3.7: a Turing machine encoded as a Web service
+//!   whose input options use state atoms *with variables* (the minimal
+//!   relaxation of input-boundedness), making verification undecidable.
+//!   The TM simulator substrate cross-checks the encoding step by step.
+//! * [`deps`] — Theorem 3.8 / Theorem 4.2: functional and inclusion
+//!   dependencies, a bounded chase for their (undecidable in general)
+//!   implication problem, and the state-projection service encoding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deps;
+pub mod qbf;
+pub mod tm;

@@ -1,0 +1,494 @@
+//! Turing machines and the Theorem 3.7 encoding.
+//!
+//! Theorem 3.7 shows that relaxing just one requirement — letting input
+//! *options* be defined by quantifier-free formulas over database **and
+//! state** relations (state atoms with variables) — makes verification
+//! undecidable, by simulating a Turing machine:
+//!
+//! * an initialization phase lets the user lay out a tape (a successor
+//!   chain over fresh database elements, tracked by the state relations
+//!   `Cell`/`Max`),
+//! * a simulation phase drives the machine: the 4-ary state relation `T`
+//!   stores `T(x, y, u, v)` — "cell `x` has content `u`, its successor is
+//!   `y`, and `v` is the machine state if the head is on `x` (else `#`)";
+//!   the options of the 4-ary input `H` expose exactly the current head
+//!   tuple, and the state rules apply the machine's move to it.
+//!
+//! The machine halts on the empty input iff some run of the encoded
+//! service reaches `T(·,·,·,h)` — so `∀x y u G ¬T(x,y,u,h)` is violated
+//! iff the machine halts, and verification decides halting.
+//!
+//! The simulator substrate below cross-checks the encoding step by step.
+
+use std::collections::BTreeMap;
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::rules::StateRule;
+use wave_core::service::Service;
+use wave_logic::formula::{Formula, Term};
+
+/// Tape move direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// Left (bounded by the first cell).
+    L,
+    /// Right (the tape is right-infinite).
+    R,
+}
+
+/// A deterministic Turing machine with a left-bounded tape. States and
+/// symbols are short strings; `#` and the relation names of the encoding
+/// are reserved.
+#[derive(Clone, Debug)]
+pub struct Tm {
+    /// Start state.
+    pub start: String,
+    /// Halting state (reaching it stops the machine).
+    pub halt: String,
+    /// Blank symbol.
+    pub blank: String,
+    /// `(state, symbol) → (state', symbol', move)`.
+    pub delta: BTreeMap<(String, String), (String, String, Move)>,
+}
+
+/// Outcome of a bounded simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// The machine reached the halting state.
+    Halted {
+        /// Steps taken.
+        steps: usize,
+        /// Number of tape cells visited.
+        cells: usize,
+    },
+    /// The machine was still running after the step budget.
+    Running,
+    /// No transition was defined (the machine hangs).
+    Stuck,
+}
+
+impl Tm {
+    /// Simulates the machine on the empty input for at most `max_steps`.
+    pub fn simulate(&self, max_steps: usize) -> SimOutcome {
+        let mut tape: Vec<String> = vec![self.blank.clone()];
+        let mut head = 0usize;
+        let mut state = self.start.clone();
+        let mut max_head = 0usize;
+        for step in 0..max_steps {
+            if state == self.halt {
+                return SimOutcome::Halted { steps: step, cells: max_head + 1 };
+            }
+            let key = (state.clone(), tape[head].clone());
+            let Some((q, s, m)) = self.delta.get(&key) else {
+                return SimOutcome::Stuck;
+            };
+            tape[head] = s.clone();
+            state = q.clone();
+            match m {
+                Move::L => {
+                    if head == 0 {
+                        return SimOutcome::Stuck; // falls off the left edge
+                    }
+                    head -= 1;
+                }
+                Move::R => {
+                    head += 1;
+                    if head >= tape.len() {
+                        tape.push(self.blank.clone());
+                    }
+                }
+            }
+            max_head = max_head.max(head);
+        }
+        if state == self.halt {
+            SimOutcome::Halted { steps: max_steps, cells: max_head + 1 }
+        } else {
+            SimOutcome::Running
+        }
+    }
+
+    /// The set of machine states (from `delta` plus start/halt).
+    pub fn states(&self) -> Vec<String> {
+        let mut out = vec![self.start.clone(), self.halt.clone()];
+        for ((p, _), (q, _, _)) in &self.delta {
+            out.push(p.clone());
+            out.push(q.clone());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+const MARK: &str = "#"; // "head is elsewhere" marker
+
+fn v(s: &str) -> Term {
+    Term::var(s)
+}
+
+fn lit(s: &str) -> Term {
+    Term::lit(s)
+}
+
+/// Encodes a machine as the Theorem 3.7 Web service. The result is a
+/// valid Definition 2.1 service but **not** input-bounded: the `Options_I`
+/// rule reads the state relation `Cell` with a variable — exactly the
+/// relaxation the theorem shows undecidable.
+pub fn encode(tm: &Tm) -> Service {
+    let mut b = ServiceBuilder::new("W");
+    b.database_relation("D", 1)
+        .database_constant("min")
+        .state_relation("T", 4)
+        .state_relation("Cell", 1)
+        .state_relation("Max", 1)
+        .state_relation("Head", 1)
+        .state_prop("initialized")
+        .state_prop("simul")
+        .input_relation("I", 1)
+        .input_relation("H", 4)
+        .page("W")
+        // Initialization: pick unused domain elements as new tape cells.
+        .input_rule("I", &["y"], "D(y) & y != min & !Cell(y) & !simul")
+        // Simulation: the head tuple is the only option.
+        .input_rule(
+            "H",
+            &["x", "y", "u", "p"],
+            "simul & Head(x) & T(x, y, u, p)",
+        );
+    let mut service = b.build().expect("scaffold valid");
+    let page = service.pages.get_mut("W").expect("page exists");
+
+    // ---- initialization-phase state rules ----
+    let picked = Formula::exists(vec!["y".into()], Formula::rel("I", vec![v("y")]));
+    let not_init = Formula::not(Formula::prop("initialized"));
+
+    // T(min, y, b, q0) ← I(y) ∧ ¬initialized  — plus the chain extension
+    // T(x, y, b, #) ← I(y) ∧ Max(x); both merge into one insert body on
+    // canonical head variables (v0, v1, v2, v3).
+    let t_init = Formula::and([
+        Formula::eq(v("v0"), Term::cst("min")),
+        Formula::rel("I", vec![v("v1")]),
+        Formula::eq(v("v2"), lit(&tm.blank)),
+        Formula::eq(v("v3"), lit(&tm.start)),
+        not_init.clone(),
+    ]);
+    let t_extend = Formula::and([
+        Formula::rel("I", vec![v("v1")]),
+        Formula::rel("Max", vec![v("v0")]),
+        Formula::eq(v("v2"), lit(&tm.blank)),
+        Formula::eq(v("v3"), lit(MARK)),
+        Formula::prop("initialized"),
+    ]);
+
+    // ---- simulation-phase T updates, one pair of disjuncts per move ----
+    let mut t_inserts = vec![t_init, t_extend];
+    let mut t_deletes = Vec::new();
+    // Deleting the picked head tuple is move-independent:
+    // ¬T(v̄) ← simul ∧ H(v0, v1, v2, v3).
+    t_deletes.push(Formula::and([
+        Formula::prop("simul"),
+        Formula::rel("H", vec![v("v0"), v("v1"), v("v2"), v("v3")]),
+    ]));
+
+    let mut head_inserts = Vec::new();
+    let mut head_deletes = Vec::new();
+
+    for ((p, s), (q, s2, m)) in &tm.delta {
+        // Rewrite the head cell: T(x, y, s', ?) with the state marker
+        // moving according to the move direction.
+        match m {
+            Move::R => {
+                // T(x, y, s2, #) ← H(x, y, s, p)
+                t_inserts.push(Formula::and([
+                    Formula::rel("H", vec![v("v0"), v("v1"), lit(s), lit(p)]),
+                    Formula::eq(v("v2"), lit(s2)),
+                    Formula::eq(v("v3"), lit(MARK)),
+                ]));
+                // T(y, z, u, q) ← H(x, y, s, p) ∧ T(y, z, u, #)
+                t_inserts.push(Formula::and([
+                    Formula::exists(
+                        vec!["a".into()],
+                        Formula::rel("H", vec![v("a"), v("v0"), lit(s), lit(p)]),
+                    ),
+                    Formula::rel("T", vec![v("v0"), v("v1"), v("v2"), lit(MARK)]),
+                    Formula::eq(v("v3"), lit(q)),
+                ]));
+                // ¬T(y, z, u, #) ← same premise
+                t_deletes.push(Formula::and([
+                    Formula::exists(
+                        vec!["a".into()],
+                        Formula::rel("H", vec![v("a"), v("v0"), lit(s), lit(p)]),
+                    ),
+                    Formula::rel("T", vec![v("v0"), v("v1"), v("v2"), v("v3")]),
+                    Formula::eq(v("v3"), lit(MARK)),
+                ]));
+                // Head moves right: ¬Head(x), Head(y).
+                head_deletes.push(Formula::exists(
+                    vec!["y".into()],
+                    Formula::rel("H", vec![v("v0"), v("y"), lit(s), lit(p)]),
+                ));
+                head_inserts.push(Formula::exists(
+                    vec!["a".into()],
+                    Formula::rel("H", vec![v("a"), v("v0"), lit(s), lit(p)]),
+                ));
+            }
+            Move::L => {
+                // T(x, y, s2, #) ← H(x, y, s, p): the head cell is
+                // rewritten and loses the marker...
+                t_inserts.push(Formula::and([
+                    Formula::rel("H", vec![v("v0"), v("v1"), lit(s), lit(p)]),
+                    Formula::eq(v("v2"), lit(s2)),
+                    Formula::eq(v("v3"), lit(MARK)),
+                ]));
+                // ...and the predecessor cell w (T(w, x, u, #)) receives
+                // the state: T(w, x, u, q).
+                t_inserts.push(Formula::and([
+                    Formula::exists(
+                        vec!["b".into()],
+                        Formula::rel("H", vec![v("v1"), v("b"), lit(s), lit(p)]),
+                    ),
+                    Formula::rel("T", vec![v("v0"), v("v1"), v("v2"), lit(MARK)]),
+                    Formula::eq(v("v3"), lit(q)),
+                ]));
+                t_deletes.push(Formula::and([
+                    Formula::exists(
+                        vec!["b".into()],
+                        Formula::rel("H", vec![v("v1"), v("b"), lit(s), lit(p)]),
+                    ),
+                    Formula::rel("T", vec![v("v0"), v("v1"), v("v2"), v("v3")]),
+                    Formula::eq(v("v3"), lit(MARK)),
+                ]));
+                head_deletes.push(Formula::exists(
+                    vec!["y".into()],
+                    Formula::rel("H", vec![v("v0"), v("y"), lit(s), lit(p)]),
+                ));
+                head_inserts.push(Formula::and([
+                    Formula::exists(
+                        vec!["a".into(), "b".into(), "u".into()],
+                        Formula::and([
+                            Formula::rel("H", vec![v("a"), v("b"), lit(s), lit(p)]),
+                            Formula::rel("T", vec![v("v0"), v("a"), v("u"), lit(MARK)]),
+                        ]),
+                    ),
+                ]));
+            }
+        }
+    }
+
+    page.state_rules.push(StateRule {
+        relation: "T".into(),
+        vars: vec!["v0".into(), "v1".into(), "v2".into(), "v3".into()],
+        insert: Some(Formula::or(t_inserts)),
+        delete: Some(Formula::or(t_deletes)),
+    });
+    page.state_rules.push(StateRule {
+        relation: "Cell".into(),
+        vars: vec!["v0".into()],
+        insert: Some(Formula::or([
+            Formula::and([Formula::eq(v("v0"), Term::cst("min")), not_init.clone()]),
+            Formula::rel("I", vec![v("v0")]),
+        ])),
+        delete: None,
+    });
+    page.state_rules.push(StateRule {
+        relation: "Max".into(),
+        vars: vec!["v0".into()],
+        insert: Some(Formula::rel("I", vec![v("v0")])),
+        delete: Some(Formula::and([picked.clone(), Formula::rel("Max", vec![v("v0")])])),
+    });
+    page.state_rules.push(StateRule {
+        relation: "Head".into(),
+        vars: vec!["v0".into()],
+        insert: Some(Formula::or(
+            std::iter::once(Formula::and([
+                Formula::eq(v("v0"), Term::cst("min")),
+                not_init.clone(),
+            ]))
+            .chain(head_inserts)
+            .collect::<Vec<_>>(),
+        )),
+        delete: Some(Formula::or(head_deletes)),
+    });
+    page.state_rules.push(StateRule {
+        relation: "initialized".into(),
+        vars: vec![],
+        insert: Some(Formula::True),
+        delete: None,
+    });
+    page.state_rules.push(StateRule {
+        relation: "simul".into(),
+        vars: vec![],
+        insert: Some(Formula::and([
+            Formula::prop("initialized"),
+            Formula::not(picked),
+        ])),
+        delete: None,
+    });
+
+    service.validate().expect("encoding is a valid service");
+    service
+}
+
+/// The LTL-FO property "the machine never halts":
+/// `∀x y u G ¬T(x, y, u, h)`. (Not input-bounded — by design: Theorem 3.7
+/// is about the undecidable side of the frontier.)
+pub fn never_halts_property(tm: &Tm) -> wave_logic::temporal::Property {
+    use wave_logic::temporal::TFormula;
+    let body = TFormula::always(TFormula::not(TFormula::fo(Formula::exists(
+        vec!["x".into(), "y".into(), "u".into()],
+        Formula::rel("T", vec![v("x"), v("y"), v("u"), lit(&tm.halt)]),
+    ))));
+    wave_logic::temporal::Property::close(body)
+}
+
+/// A tiny halting machine: writes two 1s then halts. Needs 3 tape cells.
+pub fn sample_halting() -> Tm {
+    let mut delta = BTreeMap::new();
+    delta.insert(
+        ("q0".into(), "b".into()),
+        ("q1".into(), "1".into(), Move::R),
+    );
+    delta.insert(
+        ("q1".into(), "b".into()),
+        ("h".into(), "1".into(), Move::R),
+    );
+    Tm { start: "q0".into(), halt: "h".into(), blank: "b".into(), delta }
+}
+
+/// A machine that loops forever in place (never halts): bounces between
+/// two cells.
+pub fn sample_looping() -> Tm {
+    let mut delta = BTreeMap::new();
+    delta.insert(
+        ("q0".into(), "b".into()),
+        ("q1".into(), "b".into(), Move::R),
+    );
+    delta.insert(
+        ("q1".into(), "b".into()),
+        ("q0".into(), "b".into(), Move::L),
+    );
+    Tm { start: "q0".into(), halt: "h".into(), blank: "b".into(), delta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::classify;
+    use wave_core::run::{InputChoice, Runner};
+    use wave_logic::value::Tuple;
+    use wave_logic::{inst, tuple};
+
+    #[test]
+    fn simulator_halting_and_looping() {
+        assert_eq!(
+            sample_halting().simulate(100),
+            SimOutcome::Halted { steps: 2, cells: 3 }
+        );
+        assert_eq!(sample_looping().simulate(100), SimOutcome::Running);
+    }
+
+    #[test]
+    fn encoding_is_valid_but_not_input_bounded() {
+        let w = encode(&sample_halting());
+        assert!(w.validate().is_ok());
+        let violations = classify::input_bounded_violations(&w);
+        assert!(
+            !violations.is_empty(),
+            "Theorem 3.7 encodings sit outside the decidable class"
+        );
+        // specifically, the Options_I rule uses a non-ground state atom
+        assert!(violations.iter().any(|(_, rule, _)| rule.contains("Options")));
+    }
+
+    /// Drives the encoded service: lay out `cells` tape cells, then follow
+    /// the (singleton) head options until the machine halts or `max_steps`
+    /// pass. Returns whether `T(·,·,·,h)` was reached.
+    fn drive(tm: &Tm, cells: usize, max_steps: usize) -> bool {
+        let w = encode(tm);
+        let db = inst! {
+            "D" => [tuple![0], tuple![1], tuple![2], tuple![3], tuple![4]],
+            const "min" => 0,
+        };
+        let runner = Runner::new(&w, &db);
+        // Initialization: first entry picks cell 1, etc.
+        let mut cfg = runner
+            .initial(&InputChoice::empty().with_tuple("I", tuple![1]))
+            .unwrap();
+        for c in 2..=cells as i64 {
+            cfg = runner
+                .step(&cfg, &InputChoice::empty().with_tuple("I", Tuple::from_iter([c])))
+                .unwrap();
+        }
+        // Switch to simulation by picking nothing once; `simul` is set by
+        // the *next* transition (state rules read the previous step).
+        cfg = runner.step(&cfg, &InputChoice::empty()).unwrap();
+        // Follow the head: options at the next entry are computed from the
+        // next state, so peek at the transition core first.
+        for i in 0..max_steps {
+            if cfg
+                .state
+                .tuples("T")
+                .any(|t| t.get(3) == Some(&wave_logic::value::Value::str(&tm.halt)))
+            {
+                return true;
+            }
+            let core = runner.transition_core(&cfg).unwrap();
+            if i == 0 {
+                assert!(core.state.prop("simul"), "empty pick flips to simulation");
+            }
+            let h = {
+                let opts = runner
+                    .entry_options(w.page("W").unwrap(), &core.state, &core.prev, &cfg.provided)
+                    .unwrap();
+                opts.get("H").cloned().unwrap_or_default()
+            };
+            assert!(h.len() <= 1, "deterministic machine: at most one head option");
+            let choice = match h.into_iter().next() {
+                Some(t) => InputChoice::empty().with_tuple("H", t),
+                None => InputChoice::empty(),
+            };
+            cfg = runner.step(&cfg, &choice).unwrap();
+        }
+        let halted = cfg
+            .state
+            .tuples("T")
+            .any(|t| t.get(3) == Some(&wave_logic::value::Value::str(&tm.halt)));
+        halted
+    }
+
+    #[test]
+    fn encoded_halting_machine_reaches_halt_state() {
+        let tm = sample_halting();
+        assert!(drive(&tm, 3, 10), "the encoded run must reach T(·,·,·,h)");
+    }
+
+    #[test]
+    fn encoded_looping_machine_never_halts() {
+        let tm = sample_looping();
+        assert!(!drive(&tm, 3, 30));
+    }
+
+    #[test]
+    fn encoding_tracks_simulator_step_count() {
+        // The simulator says the halting machine needs 2 steps and 3
+        // cells; the encoded service reaches the halt marker after the
+        // same number of simulation steps.
+        let tm = sample_halting();
+        let SimOutcome::Halted { cells, .. } = tm.simulate(100) else {
+            panic!("sample machine halts");
+        };
+        assert!(drive(&tm, cells, 5));
+        // With too little tape the machine cannot finish.
+        assert!(!drive(&tm, 1, 5));
+    }
+
+    #[test]
+    fn never_halts_property_shape() {
+        let p = never_halts_property(&sample_halting());
+        assert!(p.vars.is_empty(), "closed via explicit existential");
+        assert_eq!(
+            p.classify(),
+            wave_logic::temporal::TemporalClass::Ltl
+        );
+    }
+}

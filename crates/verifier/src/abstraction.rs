@@ -1,0 +1,151 @@
+//! Lowering CTL(\*)-FO formulas to propositional form.
+//!
+//! Every verifier in this crate abstracts the *maximal FO components* of a
+//! temporal formula into propositions (the abstraction step the paper uses
+//! in Example 4.3 and inside the Theorem 3.5 reduction), keeping a table
+//! that maps each fresh proposition back to its FO formula so the
+//! underlying engine can evaluate it per configuration.
+
+use wave_logic::formula::Formula;
+use wave_logic::temporal::{PathQuant, TFormula};
+
+use wave_automata::pformula::PFormula;
+use wave_automata::pltl::Pnf;
+
+/// The table from proposition ids to the FO components they stand for.
+#[derive(Clone, Debug, Default)]
+pub struct FoAbstraction {
+    /// `components[i]` is the FO formula behind proposition `i`.
+    pub components: Vec<Formula>,
+}
+
+impl FoAbstraction {
+    fn intern(&mut self, f: &Formula) -> u32 {
+        if let Some(i) = self.components.iter().position(|g| g == f) {
+            return i as u32;
+        }
+        self.components.push(f.clone());
+        (self.components.len() - 1) as u32
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no component was interned.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Lowers a temporal formula to propositional CTL\* ([`PFormula`]),
+/// abstracting FO components to propositions. `B` is desugared via
+/// `φ B ψ ≡ ¬(¬φ U ψ)`.
+pub fn to_pformula(t: &TFormula, table: &mut FoAbstraction) -> PFormula {
+    match t {
+        TFormula::Fo(f) => match f {
+            Formula::True => PFormula::True,
+            Formula::False => PFormula::False,
+            other => PFormula::Prop(table.intern(other)),
+        },
+        TFormula::Not(g) => PFormula::not(to_pformula(g, table)),
+        TFormula::And(fs) => {
+            PFormula::and(fs.iter().map(|g| to_pformula(g, table)).collect::<Vec<_>>())
+        }
+        TFormula::Or(fs) => {
+            PFormula::or(fs.iter().map(|g| to_pformula(g, table)).collect::<Vec<_>>())
+        }
+        TFormula::X(g) => PFormula::next(to_pformula(g, table)),
+        TFormula::U(a, b) => PFormula::until(to_pformula(a, table), to_pformula(b, table)),
+        TFormula::B(a, b) => PFormula::not(PFormula::until(
+            PFormula::not(to_pformula(a, table)),
+            to_pformula(b, table),
+        )),
+        TFormula::F(g) => PFormula::eventually(to_pformula(g, table)),
+        TFormula::G(g) => PFormula::always(to_pformula(g, table)),
+        TFormula::Path(PathQuant::E, g) => PFormula::exists_path(to_pformula(g, table)),
+        TFormula::Path(PathQuant::A, g) => PFormula::all_paths(to_pformula(g, table)),
+    }
+}
+
+/// Lowers an LTL(-FO) formula to positive normal form over FO-component
+/// propositions. `negate = true` lowers the *negation* (the verifier's
+/// "search for a violating run" direction). Returns `None` if the formula
+/// contains a path quantifier.
+pub fn to_pnf(t: &TFormula, negate: bool, table: &mut FoAbstraction) -> Option<Pnf> {
+    let p = to_pformula(t, table);
+    let p = if negate { PFormula::not(p) } else { p };
+    p.to_pnf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_logic::formula::Term;
+
+    #[test]
+    fn components_are_maximal_and_shared() {
+        let atom = Formula::rel("pick", vec![Term::var("x")]);
+        let t = TFormula::and([
+            TFormula::fo(atom.clone()),
+            TFormula::eventually(TFormula::fo(atom.clone())),
+        ]);
+        let mut table = FoAbstraction::default();
+        let p = to_pformula(&t, &mut table);
+        assert_eq!(table.len(), 1);
+        assert_eq!(
+            p,
+            PFormula::and([
+                PFormula::Prop(0),
+                PFormula::eventually(PFormula::Prop(0))
+            ])
+        );
+    }
+
+    #[test]
+    fn before_desugars() {
+        let a = TFormula::prop("paid");
+        let b = TFormula::prop("shipped");
+        let t = TFormula::before(a, b);
+        let mut table = FoAbstraction::default();
+        let p = to_pformula(&t, &mut table);
+        // !( !paid U shipped )
+        assert_eq!(
+            p,
+            PFormula::not(PFormula::until(
+                PFormula::not(PFormula::Prop(0)),
+                PFormula::Prop(1)
+            ))
+        );
+    }
+
+    #[test]
+    fn pnf_negation() {
+        let t = TFormula::always(TFormula::prop("ok"));
+        let mut table = FoAbstraction::default();
+        let pnf = to_pnf(&t, true, &mut table).unwrap();
+        // ¬G ok = F ¬ok
+        assert_eq!(pnf, Pnf::eventually(Pnf::nprop(0)));
+    }
+
+    #[test]
+    fn true_false_do_not_intern() {
+        let t = TFormula::and([TFormula::fo(Formula::True), TFormula::prop("p")]);
+        let mut table = FoAbstraction::default();
+        let p = to_pformula(&t, &mut table);
+        assert_eq!(table.len(), 1);
+        assert_eq!(p, PFormula::Prop(0));
+    }
+
+    #[test]
+    fn path_quantifiers_preserved() {
+        let t = TFormula::all_paths(TFormula::always(TFormula::exists_path(
+            TFormula::eventually(TFormula::prop("HP")),
+        )));
+        let mut table = FoAbstraction::default();
+        let p = to_pformula(&t, &mut table);
+        assert!(p.is_ctl());
+        assert!(to_pnf(&t, false, &mut FoAbstraction::default()).is_none());
+    }
+}

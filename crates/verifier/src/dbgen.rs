@@ -1,0 +1,256 @@
+//! Bounded database enumeration and random database generation.
+//!
+//! Lemma A.11 gives the small-model rationale behind the propositional
+//! CTL verifier: if some database violates the property, one of at most
+//! exponential size does. The enumerator sweeps all databases over a
+//! bounded domain, pruning isomorphic copies (properties of Web services
+//! are generic — invariant under database isomorphism — so one
+//! representative per isomorphism class suffices).
+
+use std::collections::BTreeSet;
+
+use wave_logic::instance::Instance;
+use wave_logic::schema::{ConstKind, RelKind, Schema};
+use wave_logic::value::{Tuple, Value};
+
+/// All tuples over `0..n` of the given arity, in lexicographic order.
+fn all_tuples(n: usize, arity: usize) -> Vec<Tuple> {
+    let mut out = vec![Tuple::empty()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * n);
+        for t in &out {
+            for v in 0..n {
+                let mut w = t.0.clone();
+                w.push(Value::Int(v as i64));
+                next.push(Tuple(w));
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Enumerates every database instance over the schema's `Database`
+/// relations and constants with domain `{0, …, domain-1}`, up to
+/// isomorphism (domain permutations). Stops after `max_instances`
+/// representatives when a bound is given.
+pub fn enumerate(schema: &Schema, domain: usize, max_instances: Option<usize>) -> Vec<Instance> {
+    let rels: Vec<(&str, usize)> = schema
+        .relations_of(RelKind::Database)
+        .map(|r| (r.name.as_str(), r.arity))
+        .collect();
+    let consts: Vec<&str> = schema
+        .constants()
+        .filter(|(_, k)| *k == ConstKind::Database)
+        .map(|(n, _)| n)
+        .collect();
+
+    // Per-relation choice space: subsets of all tuples, driven by bitmasks.
+    let tuple_spaces: Vec<Vec<Tuple>> =
+        rels.iter().map(|(_, a)| all_tuples(domain, *a)).collect();
+
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    let perms = permutations(domain);
+
+    // Odometer over relation subsets × constant assignments.
+    let rel_bits: Vec<usize> = tuple_spaces.iter().map(|s| s.len()).collect();
+    let total_rel_bits: usize = rel_bits.iter().sum();
+    if total_rel_bits > 24 {
+        // Keep the sweep tractable; callers should shrink domain or schema.
+        // (2^24 instances before pruning is already generous.)
+        panic!(
+            "database enumeration space too large: {total_rel_bits} tuple bits; \
+             reduce the domain size"
+        );
+    }
+    let n_masks: u64 = 1u64 << total_rel_bits;
+    let n_const_assignments: usize = domain.max(1).pow(consts.len() as u32);
+
+    'outer: for mask in 0..n_masks {
+        for ca in 0..n_const_assignments {
+            let mut inst = Instance::new();
+            let mut bit = 0;
+            for ((rel, _), space) in rels.iter().zip(&tuple_spaces) {
+                for t in space {
+                    if mask & (1 << bit) != 0 {
+                        inst.insert(*rel, t.clone());
+                    }
+                    bit += 1;
+                }
+            }
+            let mut c = ca;
+            for name in &consts {
+                inst.set_constant(*name, Value::Int((c % domain.max(1)) as i64));
+                c /= domain.max(1);
+            }
+            let canon = canonical_form(&inst, &perms);
+            if seen.insert(canon) {
+                out.push(inst);
+                if let Some(m) = max_instances {
+                    if out.len() >= m {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(acc: &mut Vec<Vec<usize>>, cur: &mut Vec<usize>, used: &mut Vec<bool>, n: usize) {
+        if cur.len() == n {
+            acc.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(acc, cur, used, n);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut acc = Vec::new();
+    rec(&mut acc, &mut Vec::new(), &mut vec![false; n], n);
+    acc
+}
+
+fn apply_perm(inst: &Instance, perm: &[usize]) -> Instance {
+    let map = |v: &Value| -> Value {
+        match v {
+            Value::Int(i) if (*i as usize) < perm.len() && *i >= 0 => {
+                Value::Int(perm[*i as usize] as i64)
+            }
+            other => other.clone(),
+        }
+    };
+    let mut out = Instance::new();
+    for (rel, tuples) in inst.relations() {
+        for t in tuples {
+            out.insert(rel.to_string(), Tuple(t.iter().map(&map).collect()));
+        }
+    }
+    for (c, v) in inst.constants() {
+        out.set_constant(c.to_string(), map(v));
+    }
+    out
+}
+
+/// Canonical representative: the lexicographically smallest permutation
+/// image (via the `Ord` on `Instance`).
+fn canonical_form(inst: &Instance, perms: &[Vec<usize>]) -> Instance {
+    perms
+        .iter()
+        .map(|p| apply_perm(inst, p))
+        .min()
+        .unwrap_or_else(|| inst.clone())
+}
+
+/// A random database over the schema's `Database` relations: each possible
+/// tuple over `{0..domain-1}` is included with probability `density`; each
+/// database constant gets a uniform element.
+pub fn random_db(
+    schema: &Schema,
+    domain: usize,
+    density: f64,
+    rng: &mut impl rand::Rng,
+) -> Instance {
+    let mut inst = Instance::new();
+    for r in schema.relations_of(RelKind::Database) {
+        for t in all_tuples(domain, r.arity) {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                inst.insert(r.name.clone(), t);
+            }
+        }
+    }
+    for (c, k) in schema.constants() {
+        if k == ConstKind::Database && domain > 0 {
+            inst.set_constant(c.to_string(), Value::Int(rng.gen_range(0..domain) as i64));
+        }
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_one_unary() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("r", 1, RelKind::Database).unwrap();
+        s
+    }
+
+    #[test]
+    fn unary_relation_classes() {
+        // One unary relation over domain {0,1}: up to isomorphism the
+        // instances are ∅, {one element}, {both} → 3 classes.
+        let s = schema_one_unary();
+        let dbs = enumerate(&s, 2, None);
+        assert_eq!(dbs.len(), 3);
+    }
+
+    #[test]
+    fn binary_relation_classes_domain1() {
+        let mut s = Schema::new();
+        s.add_relation("e", 2, RelKind::Database).unwrap();
+        // domain {0}: e ⊆ {(0,0)} → 2 instances, both canonical.
+        let dbs = enumerate(&s, 1, None);
+        assert_eq!(dbs.len(), 2);
+    }
+
+    #[test]
+    fn constants_break_symmetry() {
+        let mut s = schema_one_unary();
+        s.add_constant("c", ConstKind::Database).unwrap();
+        // domain {0,1}, unary r, constant c:
+        // classes: (r, c∈r?) — r=∅ (c either elt ≅) = 1;
+        // |r|=1: c ∈ r or c ∉ r = 2; |r|=2: c ∈ r = 1 → total 4.
+        let dbs = enumerate(&s, 2, None);
+        assert_eq!(dbs.len(), 4);
+    }
+
+    #[test]
+    fn max_instances_bound_respected() {
+        let s = schema_one_unary();
+        let dbs = enumerate(&s, 3, Some(2));
+        assert_eq!(dbs.len(), 2);
+    }
+
+    #[test]
+    fn input_constants_are_not_database_constants() {
+        let mut s = schema_one_unary();
+        s.add_constant("name", ConstKind::Input).unwrap();
+        let dbs = enumerate(&s, 1, None);
+        // name gets no interpretation from the enumerator
+        assert!(dbs.iter().all(|d| !d.has_constant("name")));
+    }
+
+    #[test]
+    fn random_db_respects_schema() {
+        let mut s = Schema::new();
+        s.add_relation("e", 2, RelKind::Database).unwrap();
+        s.add_relation("state_thing", 1, RelKind::State).unwrap();
+        s.add_constant("c", ConstKind::Database).unwrap();
+        let mut rng = rand::rngs::mock::StepRng::new(42, 0x9E3779B97F4A7C15);
+        let db = random_db(&s, 3, 0.5, &mut rng);
+        assert_eq!(db.cardinality("state_thing"), 0);
+        assert!(db.has_constant("c"));
+        for t in db.tuples("e") {
+            assert_eq!(t.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn enumerated_instances_are_distinct() {
+        let s = schema_one_unary();
+        let dbs = enumerate(&s, 3, None);
+        let set: BTreeSet<_> = dbs.iter().cloned().collect();
+        assert_eq!(set.len(), dbs.len());
+        assert_eq!(dbs.len(), 4); // |r| ∈ {0,1,2,3}
+    }
+}

@@ -1,0 +1,507 @@
+//! The enumerative baseline: explicit-state LTL-FO verification over one
+//! concrete database.
+//!
+//! This is the "obvious" verifier the paper's symbolic method dominates:
+//! fix a database, enumerate every user behaviour, build the (finite)
+//! concrete transition system, and search its product with the Büchi
+//! automaton of the negated property for an accepting lasso. It is sound
+//! and complete **for the given database** and value pool — not for all
+//! databases, which is exactly the gap Theorem 3.5 closes.
+//!
+//! Two finiteness devices (documented deviations from the unbounded
+//! semantics):
+//!
+//! * input-constant values are drawn from a *pool* — the database's active
+//!   domain, the literals of the specification/property, plus
+//!   `opts.fresh_values` fresh elements (runs only compare constants for
+//!   equality, so a small pool exercises every equality type);
+//! * a node budget guards against state-space blowup.
+//!
+//! Besides its role as baseline, the enumerative verifier is the ground
+//! truth the symbolic verifier is cross-checked against in the test suite.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use wave_core::run::{Config, InputChoice, Runner};
+use wave_core::service::Service;
+use wave_logic::eval::{eval_closed_with_adom, Env, EvalError};
+use wave_logic::formula::Formula;
+use wave_logic::instance::Instance;
+use wave_logic::temporal::Property;
+use wave_logic::value::{Tuple, Value};
+
+use wave_automata::ltl2buchi::translate;
+use wave_automata::props::PropSet;
+use wave_automata::search::{find_accepting_lasso, SearchResult};
+
+use crate::abstraction::{to_pnf, FoAbstraction};
+
+/// Options for the enumerative verifier.
+#[derive(Clone, Debug)]
+pub struct EnumOptions {
+    /// Fresh values added to the input-constant pool.
+    pub fresh_values: usize,
+    /// Budget on distinct product nodes per witness assignment.
+    pub node_limit: usize,
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        EnumOptions { fresh_values: 2, node_limit: 200_000 }
+    }
+}
+
+/// Result of an enumerative check.
+#[derive(Clone, Debug)]
+pub enum EnumOutcome {
+    /// Every run over this database satisfies the property (within the
+    /// pool/limit regime).
+    Holds {
+        /// Distinct product nodes explored, summed over witnesses.
+        explored: usize,
+    },
+    /// A violating run was found.
+    Violated {
+        /// The witness values for the property's universal variables.
+        witness: BTreeMap<String, Value>,
+        /// Configurations leading into the violating cycle.
+        stem: Vec<Config>,
+        /// The repeating cycle of configurations.
+        cycle: Vec<Config>,
+    },
+    /// The node budget was exhausted.
+    LimitReached,
+}
+
+impl EnumOutcome {
+    /// True when the property was verified.
+    pub fn holds(&self) -> bool {
+        matches!(self, EnumOutcome::Holds { .. })
+    }
+}
+
+/// Errors of the enumerative verifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnumError {
+    /// The property contains path quantifiers (use the CTL verifiers).
+    NotLtl,
+    /// Stepping the interpreter failed (malformed service).
+    Step(String),
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::NotLtl => write!(f, "property is not LTL-FO (path quantifiers)"),
+            EnumError::Step(s) => write!(f, "interpreter failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Verifies `property` on every run of `service` over the fixed `db`.
+pub fn verify_ltl_on_db(
+    service: &Service,
+    db: &Instance,
+    property: &Property,
+    opts: &EnumOptions,
+) -> Result<EnumOutcome, EnumError> {
+    // Lower ¬φ to a Büchi automaton over FO-component propositions.
+    let mut table = FoAbstraction::default();
+    let pnf = to_pnf(&property.body, true, &mut table).ok_or(EnumError::NotLtl)?;
+    let aut = translate(&pnf);
+
+    // Value pool for witnesses and input constants.
+    let mut pool: BTreeSet<Value> = db.active_domain();
+    for page in service.pages.values() {
+        for (body, _) in page.all_bodies() {
+            pool.extend(body.literals_used());
+        }
+    }
+    for c in &table.components {
+        pool.extend(c.literals_used());
+    }
+    for i in 0..opts.fresh_values {
+        pool.insert(Value::str(format!("$fresh{i}")));
+    }
+    let pool: Vec<Value> = pool.into_iter().collect();
+
+    let runner = Runner::new(service, db);
+    let mut explored_total = 0usize;
+
+    // Iterate over all witness assignments for the universal closure.
+    let mut witness_envs = vec![BTreeMap::new()];
+    for v in &property.vars {
+        let mut next = Vec::with_capacity(witness_envs.len() * pool.len());
+        for env in &witness_envs {
+            for val in &pool {
+                let mut e = env.clone();
+                e.insert(v.clone(), val.clone());
+                next.push(e);
+            }
+        }
+        witness_envs = next;
+    }
+
+    for witness in witness_envs {
+        let env: Env = witness.clone().into_iter().collect();
+        let letter = |cfg: &Config| -> Result<PropSet, EnumError> {
+            let obs = cfg.observation(db);
+            let mut adom = obs.active_domain();
+            adom.extend(pool.iter().cloned());
+            let mut set = PropSet::new();
+            for (i, comp) in table.components.iter().enumerate() {
+                let holds = eval_component(comp, &obs, &adom, &env)?;
+                if holds {
+                    set.insert(i as u32);
+                }
+            }
+            Ok(set)
+        };
+
+        // Expand the product lazily. σ_0 already includes a user move at
+        // the home page, so there are several initial configurations.
+        let mut inits: Vec<(Config, usize)> = Vec::new();
+        for init_cfg in initial_configs(&runner, &pool)? {
+            let init_letter = letter(&init_cfg)?;
+            for &q in &aut.initial {
+                if aut.guard[q].accepts(&init_letter) {
+                    inits.push((init_cfg.clone(), q));
+                }
+            }
+        }
+
+        let mut step_err: Option<EnumError> = None;
+        let result = find_accepting_lasso(
+            inits,
+            |(cfg, q)| {
+                if step_err.is_some() {
+                    return Vec::new();
+                }
+                let succs = match successors_for_kripke(&runner, cfg, &pool) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        step_err = Some(e);
+                        return Vec::new();
+                    }
+                };
+                let mut out = Vec::new();
+                for c2 in succs {
+                    let l2 = match letter(&c2) {
+                        Ok(l) => l,
+                        Err(e) => {
+                            step_err = Some(e);
+                            return Vec::new();
+                        }
+                    };
+                    for &q2 in &aut.succ[*q] {
+                        if aut.guard[q2].accepts(&l2) {
+                            out.push((c2.clone(), q2));
+                        }
+                    }
+                }
+                out
+            },
+            |(_, q)| aut.accepting[*q],
+            Some(opts.node_limit),
+        );
+        if let Some(e) = step_err {
+            return Err(e);
+        }
+        match result {
+            SearchResult::Empty { explored } => explored_total += explored,
+            SearchResult::Lasso { stem, cycle } => {
+                return Ok(EnumOutcome::Violated {
+                    witness,
+                    stem: stem.into_iter().map(|(c, _)| c).collect(),
+                    cycle: cycle.into_iter().map(|(c, _)| c).collect(),
+                });
+            }
+            SearchResult::LimitReached { .. } => return Ok(EnumOutcome::LimitReached),
+        }
+    }
+    Ok(EnumOutcome::Holds { explored: explored_total })
+}
+
+/// Evaluates one FO component on an observation. Per Definition 3.1's
+/// semantics, a component whose input constants are not yet provided is
+/// simply *not satisfied*.
+fn eval_component(
+    comp: &Formula,
+    obs: &Instance,
+    adom: &BTreeSet<Value>,
+    env: &Env,
+) -> Result<bool, EnumError> {
+    let grounded = comp.substitute(&|v| env.get(v).map(|val| {
+        wave_logic::formula::Term::Lit(val.clone())
+    }));
+    match eval_closed_with_adom(&grounded, obs, adom) {
+        Ok(b) => Ok(b),
+        Err(EvalError::UnknownConstant(_)) => Ok(false),
+        Err(e) => Err(EnumError::Step(e.to_string())),
+    }
+}
+
+/// All initial configurations: every user move at the home page.
+pub(crate) fn initial_configs(
+    runner: &Runner<'_>,
+    pool: &[Value],
+) -> Result<Vec<Config>, EnumError> {
+    let home = runner.service().home.clone();
+    entry_configs(runner, &home, &Instance::new(), &Instance::new(), &Instance::new(), &BTreeMap::new(), pool)
+}
+
+/// All successor configurations of `cfg`: the deterministic transition
+/// core followed by every user move at the next page. Shared with the
+/// propositional CTL verifier's Kripke construction.
+pub(crate) fn successors_for_kripke(
+    runner: &Runner<'_>,
+    cfg: &Config,
+    pool: &[Value],
+) -> Result<Vec<Config>, EnumError> {
+    let core = runner.transition_core(cfg).map_err(|e| EnumError::Step(e.to_string()))?;
+    entry_configs(
+        runner,
+        &core.page,
+        &core.state,
+        &core.prev,
+        &core.action,
+        &cfg.provided,
+        pool,
+    )
+}
+
+/// Enumerates every way the user can enter `page_name` with the carried
+/// data: constant values from the pool, one option (or none) per
+/// relational input, both truth values per propositional input.
+#[allow(clippy::too_many_arguments)]
+fn entry_configs(
+    runner: &Runner<'_>,
+    page_name: &str,
+    state: &Instance,
+    prev: &Instance,
+    action: &Instance,
+    provided: &BTreeMap<String, Value>,
+    pool: &[Value],
+) -> Result<Vec<Config>, EnumError> {
+    let service = runner.service();
+    let enter = |choice: &InputChoice| -> Result<Config, EnumError> {
+        runner
+            .enter_page(page_name, state, prev, action, provided, choice)
+            .map_err(|e| EnumError::Step(e.to_string()))
+    };
+    if page_name == service.error_page {
+        return Ok(vec![enter(&InputChoice::empty())?]);
+    }
+    let page = service.page(page_name).expect("defined page");
+
+    // Constant provisioning (skipped when the page re-requests — the
+    // semantics ignores the choice then).
+    let rerequest = page.input_constants.iter().any(|c| provided.contains_key(c));
+    let mut const_assignments: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new()];
+    if !rerequest {
+        for c in &page.input_constants {
+            let mut next = Vec::with_capacity(const_assignments.len() * pool.len());
+            for a in &const_assignments {
+                for v in pool {
+                    let mut b = a.clone();
+                    b.insert(c.clone(), v.clone());
+                    next.push(b);
+                }
+            }
+            const_assignments = next;
+        }
+    }
+
+    let mut out = Vec::new();
+    for consts in const_assignments {
+        let mut all_provided = provided.clone();
+        all_provided.extend(consts.clone());
+        let options = runner
+            .entry_options(page, state, prev, &all_provided)
+            .map_err(|e| EnumError::Step(e.to_string()))?;
+
+        let mut rel_inputs: Vec<(&str, Vec<Option<Tuple>>)> = Vec::new();
+        let mut prop_inputs: Vec<&str> = Vec::new();
+        for i in &page.inputs {
+            let arity = service.schema.relation(i).map(|r| r.arity).unwrap_or(0);
+            if arity == 0 {
+                prop_inputs.push(i);
+            } else {
+                let mut choices: Vec<Option<Tuple>> = vec![None];
+                if let Some(opts) = options.get(i) {
+                    choices.extend(opts.iter().cloned().map(Some));
+                }
+                rel_inputs.push((i, choices));
+            }
+        }
+
+        let mut partial: Vec<InputChoice> = vec![{
+            let mut c = InputChoice::empty();
+            c.constants = consts.clone();
+            c
+        }];
+        for (rel, choices) in &rel_inputs {
+            let mut next = Vec::with_capacity(partial.len() * choices.len());
+            for p in &partial {
+                for ch in choices {
+                    let mut q = p.clone();
+                    if let Some(t) = ch {
+                        q.tuples.insert(rel.to_string(), t.clone());
+                    }
+                    next.push(q);
+                }
+            }
+            partial = next;
+        }
+        for rel in &prop_inputs {
+            let mut next = Vec::with_capacity(partial.len() * 2);
+            for p in &partial {
+                for b in [false, true] {
+                    let mut q = p.clone();
+                    if b {
+                        q.props.insert(rel.to_string(), true);
+                    }
+                    next.push(q);
+                }
+            }
+            partial = next;
+        }
+
+        for choice in partial {
+            out.push(enter(&choice)?);
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+    use wave_logic::{inst, tuple};
+
+    /// Two-page toggle service: `go` flips between pages P and Q.
+    fn toggle_service() -> Service {
+        let mut b = ServiceBuilder::new("P");
+        b.input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .target("Q", "go")
+            .page("Q")
+            .input_prop_on_page("go")
+            .target("P", "go");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn safety_property_holds() {
+        let s = toggle_service();
+        let db = Instance::new();
+        // G(P | Q): always on one of the two pages (error page unreachable).
+        let p = parse_property("G (P | Q)").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn liveness_property_fails_with_counterexample() {
+        let s = toggle_service();
+        let db = Instance::new();
+        // F Q: fails — the user may never press `go`.
+        let p = parse_property("F Q").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        match out {
+            EnumOutcome::Violated { stem, cycle, .. } => {
+                assert!(cycle.iter().all(|c| c.page == "P"));
+                assert!(stem.iter().all(|c| c.page == "P"));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn until_style_property() {
+        let s = toggle_service();
+        let db = Instance::new();
+        // P holds until Q is reached — true on all runs? P U Q requires Q
+        // eventually, so it fails (user can idle forever).
+        let p = parse_property("P U Q").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(!out.holds());
+        // The weak until P W Q = (P U Q) | G P holds: P persists until the
+        // (optional) switch to Q.
+        let w = parse_property("(P U Q) | G P").unwrap();
+        let out2 = verify_ltl_on_db(&s, &db, &w, &EnumOptions::default()).unwrap();
+        assert!(out2.holds(), "{out2:?}");
+    }
+
+    /// Login service over a user table — data-dependent property.
+    fn login_service() -> Service {
+        let mut b = ServiceBuilder::new("HP");
+        b.database_relation("user", 2)
+            .input_relation("button", 1)
+            .state_prop("logged_in")
+            .input_constant("name")
+            .input_constant("password")
+            .page("HP")
+            .solicit_constant("name")
+            .solicit_constant("password")
+            .input_rule("button", &["x"], r#"x = "login""#)
+            .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+            .target("CP", r#"user(name, password) & button("login")"#)
+            .page("CP");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn customer_page_requires_valid_login() {
+        let s = login_service();
+        let db = inst! { "user" => [tuple!["alice", "pw1"]] };
+        // G(CP -> logged_in): reaching CP implies the state was set.
+        let p = parse_property("G (!CP | logged_in)").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn witnessed_property_with_free_variables() {
+        let s = login_service();
+        let db = inst! { "user" => [tuple!["alice", "pw1"]] };
+        // ∀x: G ¬(button(x) ∧ x ≠ "login") — only the login button exists.
+        let p = parse_property("forall x . G !(button(x) & x != \"login\")").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+        // ∀x: G ¬button(x) — fails: the user can press login.
+        let q = parse_property("forall x . G !button(x)").unwrap();
+        let out2 = verify_ltl_on_db(&s, &db, &q, &EnumOptions::default()).unwrap();
+        assert!(!out2.holds());
+    }
+
+    #[test]
+    fn error_page_reachability_detected() {
+        // Staying on HP re-requests constants → error page reachable.
+        let s = login_service();
+        let db = inst! { "user" => [tuple!["alice", "pw1"]] };
+        let err = s.error_page.clone();
+        let p = parse_property(&format!("G !{err}")).unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(!out.holds(), "error page is reachable by idling on HP");
+    }
+
+    #[test]
+    fn rejects_ctl_property() {
+        let s = toggle_service();
+        let db = Instance::new();
+        let p = parse_property("A G (E F P)").unwrap();
+        assert_eq!(
+            verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap_err(),
+            EnumError::NotLtl
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! CTL(\*) verification of fully propositional services (Theorem 4.6).
+//!
+//! A fully propositional service uses no database at all: inputs, states
+//! and actions are all propositional and the rules mention no database
+//! relation. Its behaviour is a single Kripke structure, built directly
+//! and model checked — the paper obtains PSPACE via on-the-fly hesitant
+//! alternating automata (Kupferman–Vardi–Wolper); we materialize the
+//! reachable states, which answers identically (see DESIGN.md §4 for the
+//! substitution note) and is benchmarked as ablation EXP-A2.
+
+use wave_core::classify;
+use wave_core::service::Service;
+use wave_logic::instance::Instance;
+use wave_logic::temporal::TFormula;
+
+use crate::ctl_prop::{self, CtlError, CtlOptions};
+
+/// Verifies a CTL(\*) property of a fully propositional service.
+pub fn verify(
+    service: &Service,
+    property: &TFormula,
+    opts: &CtlOptions,
+) -> Result<bool, CtlError> {
+    if !classify::is_fully_propositional(service) {
+        return Err(CtlError::NotPropositional);
+    }
+    ctl_prop::verify_ctl_on_db(service, &Instance::new(), property, opts)
+}
+
+/// Builds the service's Kripke structure (exposed for benchmarks).
+pub fn kripke_of(
+    service: &Service,
+    property: &TFormula,
+    opts: &CtlOptions,
+) -> Result<wave_automata::Kripke, CtlError> {
+    let mut table = crate::abstraction::FoAbstraction::default();
+    let _ = crate::abstraction::to_pformula(property, &mut table);
+    ctl_prop::build_kripke(service, &Instance::new(), &table, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_temporal;
+
+    /// A fully propositional mini-workflow: browse → cart → paid, with a
+    /// cancel input clearing the cart.
+    fn shop() -> Service {
+        let mut b = ServiceBuilder::new("Browse");
+        b.state_prop("in_cart")
+            .state_prop("paid")
+            .input_relation("add", 0)
+            .input_relation("pay", 0)
+            .input_relation("cancel", 0)
+            .page("Browse")
+            .input_prop_on_page("add")
+            .insert_rule("in_cart", &[], "add")
+            .target("Cart", "add")
+            .page("Cart")
+            .input_prop_on_page("pay")
+            .input_prop_on_page("cancel")
+            .insert_rule("paid", &[], "pay & in_cart")
+            .delete_rule("in_cart", &[], "cancel")
+            .target("Done", "pay & in_cart")
+            .target("Browse", "cancel & !pay")
+            .page("Done");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn classification_gate() {
+        let s = shop();
+        assert!(classify::is_fully_propositional(&s));
+    }
+
+    #[test]
+    fn payment_requires_cart() {
+        let s = shop();
+        // AG (paid -> in_cart)? paid is set when pay & in_cart — and
+        // in_cart persists unless cancelled, so on Done both hold. What
+        // must hold: AG (Done -> paid).
+        let p = parse_temporal("A G (Done -> paid)", &[]).unwrap();
+        assert!(verify(&s, &p, &CtlOptions::default()).unwrap());
+        // AG (paid -> !Browse): once paid you are never back on Browse —
+        // true because Done has no exits.
+        let q = parse_temporal("A G (paid -> !Browse)", &[]).unwrap();
+        assert!(verify(&s, &q, &CtlOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn navigation_properties() {
+        let s = shop();
+        // From the home page one can always eventually pay: E F Done.
+        let p = parse_temporal("E F Done", &[]).unwrap();
+        assert!(verify(&s, &p, &CtlOptions::default()).unwrap());
+        // AG EF Browse fails: Done is a sink.
+        let q = parse_temporal("A G (E F Browse)", &[]).unwrap();
+        assert!(!verify(&s, &q, &CtlOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn ctl_star_fairness_property() {
+        let s = shop();
+        // A run that eventually stays on Cart forever exists (idle there).
+        let p = parse_temporal("E F (G Cart)", &[]).unwrap();
+        assert!(verify(&s, &p, &CtlOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn rejects_database_service() {
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("d", 1)
+            .input_relation("go", 0)
+            .state_prop("s")
+            .page("P")
+            .input_prop_on_page("go")
+            .insert_rule("s", &[], r#"go & d("k")"#);
+        let s = b.build().unwrap();
+        let p = parse_temporal("A G true", &[]).unwrap();
+        assert_eq!(verify(&s, &p, &CtlOptions::default()), Err(CtlError::NotPropositional));
+    }
+
+    #[test]
+    fn kripke_size_reported() {
+        let s = shop();
+        let p = parse_temporal("A G true", &[]).unwrap();
+        let k = kripke_of(&s, &p, &CtlOptions::default()).unwrap();
+        assert!(k.len() >= 3, "at least one state per page");
+        assert!(k.is_total());
+    }
+}

@@ -1,0 +1,545 @@
+//! Verification of Web services with input-driven search (Theorem 4.9).
+//!
+//! The proof of Theorem 4.9 reduces `W ⊨ φ` to *unsatisfiability* of
+//! `ψ_W ∧ ¬φ` over the propositional alphabet
+//! `Σ_W ∪ {picked} ∪ {in_Q : Q a unary database relation ≠ R_I}`:
+//! a Kripke structure over that alphabet encodes, at each node, which page
+//! the run is on, which propositional states/actions hold, whether an
+//! input was picked, and the *type* of the current input with respect to
+//! the unary database relations. Because inputs are unary, types at
+//! different steps are independent, and any such structure is realizable
+//! by an actual search graph `R_I` and type assignment — so consistency
+//! with the service's rules is all `ψ_W` needs to say.
+//!
+//! `ψ_W` asserts: page exclusivity, the initial configuration, the
+//! propositional state/action/target updates of every page (with the
+//! error page absorbing target ambiguity), and the page filters on picked
+//! inputs in navigation mode. The conjunction with `¬φ` then goes to the
+//! EXPTIME CTL satisfiability tableau ([`wave_automata::ctl_sat`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wave_core::classify::{input_driven_shape, InputDrivenShape};
+use wave_core::service::Service;
+use wave_logic::formula::{Formula, Term};
+use wave_logic::schema::RelKind;
+use wave_logic::temporal::TFormula;
+
+use wave_automata::ctl_sat::{is_satisfiable, SatError};
+use wave_automata::pformula::PFormula;
+use wave_automata::props::{PropId, PropRegistry};
+
+/// Errors of the input-driven verifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InputDrivenError {
+    /// The service does not match Definition 4.7.
+    NotInputDriven(String),
+    /// A rule body falls outside the translatable fragment.
+    Untranslatable(String),
+    /// The property falls outside the supported CTL fragment.
+    BadProperty(String),
+    /// The CTL satisfiability tableau could not be run.
+    Sat(SatError),
+}
+
+impl fmt::Display for InputDrivenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputDrivenError::NotInputDriven(s) => {
+                write!(f, "not an input-driven-search service: {s}")
+            }
+            InputDrivenError::Untranslatable(s) => write!(f, "cannot encode rule: {s}"),
+            InputDrivenError::BadProperty(s) => write!(f, "unsupported property: {s}"),
+            InputDrivenError::Sat(e) => write!(f, "satisfiability: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InputDrivenError {}
+
+/// The encoding context: proposition ids for the alphabet of the proof.
+struct Encoder {
+    registry: PropRegistry,
+    shape: InputDrivenShape,
+    picked: PropId,
+    err: PropId,
+}
+
+impl Encoder {
+    fn page_prop(&mut self, name: &str) -> PropId {
+        self.registry.intern(format!("page:{name}"))
+    }
+
+    fn state_prop(&mut self, name: &str) -> PropId {
+        self.registry.intern(format!("state:{name}"))
+    }
+
+    fn action_prop(&mut self, name: &str) -> PropId {
+        self.registry.intern(format!("action:{name}"))
+    }
+
+    fn type_prop(&mut self, db_rel: &str) -> PropId {
+        self.registry.intern(format!("in:{db_rel}"))
+    }
+
+    /// Translates a rule body over the current configuration into a
+    /// propositional formula. `input_var` maps the navigation variable of
+    /// a guarded quantifier to the current input's type propositions.
+    fn body(&mut self, service: &Service, f: &Formula) -> Result<PFormula, InputDrivenError> {
+        let bad = |s: String| Err(InputDrivenError::Untranslatable(s));
+        match f {
+            Formula::True => Ok(PFormula::True),
+            Formula::False => Ok(PFormula::False),
+            Formula::Not(g) => Ok(PFormula::not(self.body(service, g)?)),
+            Formula::And(fs) => Ok(PFormula::and(
+                fs.iter()
+                    .map(|g| self.body(service, g))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            Formula::Or(fs) => Ok(PFormula::or(
+                fs.iter()
+                    .map(|g| self.body(service, g))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            Formula::Rel { name, args } if args.is_empty() => {
+                match service.schema.relation(name).map(|r| r.kind) {
+                    Some(RelKind::State) => Ok(PFormula::Prop(self.state_prop(name))),
+                    Some(RelKind::Action) => Ok(PFormula::Prop(self.action_prop(name))),
+                    Some(RelKind::Page) => Ok(PFormula::Prop(self.page_prop(name))),
+                    other => bad(format!("proposition `{name}` has kind {other:?}")),
+                }
+            }
+            // ∃x(I(x) ∧ ψ(x)) ≡ picked ∧ ψ[type props]; and the guarded
+            // universal ∀x(I(x) → ψ(x)) ≡ ¬picked ∨ ψ[type props], because
+            // the input holds at most one tuple.
+            Formula::Exists(vars, inner) => {
+                let (var, psi) = split_guard(vars, inner, &self.shape.input_rel, true)
+                    .ok_or_else(|| {
+                        InputDrivenError::Untranslatable(format!(
+                            "quantifier not guarded by the input relation: {f}"
+                        ))
+                    })?;
+                let t = self.typed(service, &psi, &var)?;
+                Ok(PFormula::and([PFormula::Prop(self.picked), t]))
+            }
+            Formula::Forall(vars, inner) => {
+                let (var, psi) = split_guard(vars, inner, &self.shape.input_rel, false)
+                    .ok_or_else(|| {
+                        InputDrivenError::Untranslatable(format!(
+                            "quantifier not guarded by the input relation: {f}"
+                        ))
+                    })?;
+                let t = self.typed(service, &psi, &var)?;
+                Ok(PFormula::or([
+                    PFormula::not(PFormula::Prop(self.picked)),
+                    t,
+                ]))
+            }
+            other => bad(format!("{other}")),
+        }
+    }
+
+    /// Translates a formula whose single free variable `var` denotes the
+    /// current input: atoms `Q(var)` become type propositions.
+    fn typed(
+        &mut self,
+        service: &Service,
+        f: &Formula,
+        var: &str,
+    ) -> Result<PFormula, InputDrivenError> {
+        match f {
+            Formula::True => Ok(PFormula::True),
+            Formula::False => Ok(PFormula::False),
+            Formula::Not(g) => Ok(PFormula::not(self.typed(service, g, var)?)),
+            Formula::And(fs) => Ok(PFormula::and(
+                fs.iter()
+                    .map(|g| self.typed(service, g, var))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            Formula::Or(fs) => Ok(PFormula::or(
+                fs.iter()
+                    .map(|g| self.typed(service, g, var))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            Formula::Rel { name, args } => match args.as_slice() {
+                [] => self.body(service, f),
+                [Term::Var(v)] if v == var => {
+                    match service.schema.relation(name).map(|r| r.kind) {
+                        Some(RelKind::Database) if *name != self.shape.search_rel => {
+                            Ok(PFormula::Prop(self.type_prop(name)))
+                        }
+                        other => Err(InputDrivenError::Untranslatable(format!(
+                            "atom `{name}({var})` has kind {other:?}"
+                        ))),
+                    }
+                }
+                _ => Err(InputDrivenError::Untranslatable(format!("{f}"))),
+            },
+            other => Err(InputDrivenError::Untranslatable(format!("{other}"))),
+        }
+    }
+}
+
+/// Splits `vars/inner` as a guarded quantifier over the input relation:
+/// existential `I(x) ∧ ψ` or universal `I(x) → ψ` (i.e. `¬I(x) ∨ ψ`).
+fn split_guard(
+    vars: &[String],
+    inner: &Formula,
+    input_rel: &str,
+    existential: bool,
+) -> Option<(String, Formula)> {
+    let [x] = vars else { return None };
+    let parts: Vec<&Formula> = match inner {
+        Formula::And(fs) if existential => fs.iter().collect(),
+        Formula::Or(fs) if !existential => fs.iter().collect(),
+        other => vec![other],
+    };
+    let is_guard = |f: &Formula| -> bool {
+        let g = if existential {
+            f.clone()
+        } else {
+            match f {
+                Formula::Not(inner) => (**inner).clone(),
+                _ => return false,
+            }
+        };
+        matches!(&g, Formula::Rel { name, args }
+            if name == input_rel && args.as_slice() == [Term::Var(x.clone())])
+    };
+    let guard_pos = parts.iter().position(|f| is_guard(f))?;
+    let rest: Vec<Formula> =
+        parts.iter().enumerate().filter(|(i, _)| *i != guard_pos).map(|(_, f)| (*f).clone()).collect();
+    let psi = if existential { Formula::and(rest) } else { Formula::or(rest) };
+    Some((x.clone(), psi))
+}
+
+/// Builds `ψ_W`, the CTL axiomatization of the service's rule-consistent
+/// Kripke structures, and the encoder holding the proposition mapping.
+fn axiomatize(service: &Service) -> Result<(PFormula, Encoder), InputDrivenError> {
+    let shape = input_driven_shape(service).map_err(InputDrivenError::NotInputDriven)?;
+    let mut registry = PropRegistry::new();
+    let picked = registry.intern("picked");
+    let err = registry.intern("page:__err__");
+    let mut enc = Encoder { registry, shape, picked, err };
+
+    let page_names: Vec<String> = service.pages.keys().cloned().collect();
+    let state_names: Vec<String> = service
+        .schema
+        .relations_of(RelKind::State)
+        .map(|r| r.name.clone())
+        .collect();
+    let action_names: Vec<String> = service
+        .schema
+        .relations_of(RelKind::Action)
+        .map(|r| r.name.clone())
+        .collect();
+
+    let mut page_props: BTreeMap<String, PropId> = BTreeMap::new();
+    for p in &page_names {
+        let id = enc.page_prop(p);
+        page_props.insert(p.clone(), id);
+    }
+
+    // --- exactly one page (including the error pseudo-page) ---
+    let mut all_pages: Vec<PropId> = page_props.values().copied().collect();
+    all_pages.push(enc.err);
+    let mut exclusivity = vec![PFormula::or(
+        all_pages.iter().map(|&p| PFormula::Prop(p)).collect::<Vec<_>>(),
+    )];
+    for (i, &a) in all_pages.iter().enumerate() {
+        for &b in &all_pages[i + 1..] {
+            exclusivity.push(PFormula::not(PFormula::and([
+                PFormula::Prop(a),
+                PFormula::Prop(b),
+            ])));
+        }
+    }
+
+    // --- transition consistency, one conjunct per page ---
+    let mut trans = exclusivity;
+    trans.push(PFormula::implies(
+        PFormula::Prop(enc.err),
+        PFormula::all_paths(PFormula::next(PFormula::Prop(enc.err))),
+    ));
+    for (pname, page) in &service.pages {
+        let v = page_props[pname];
+        let here = PFormula::Prop(v);
+        let mut conds: Vec<PFormula> = Vec::new();
+
+        // State updates with conflict-no-op semantics.
+        for s in &state_names {
+            let (ins, del) = match page.state_rule(s) {
+                None => (PFormula::False, PFormula::False),
+                Some(r) => {
+                    let ins = match &r.insert {
+                        Some(b) => enc.body(service, b)?,
+                        None => PFormula::False,
+                    };
+                    let del = match &r.delete {
+                        Some(b) => enc.body(service, b)?,
+                        None => PFormula::False,
+                    };
+                    (ins, del)
+                }
+            };
+            let sp = PFormula::Prop(enc.state_prop(s));
+            let nextval = PFormula::or([
+                PFormula::and([ins.clone(), PFormula::not(del.clone())]),
+                PFormula::and([
+                    sp.clone(),
+                    PFormula::or([
+                        PFormula::and([ins.clone(), del.clone()]),
+                        PFormula::and([PFormula::not(ins), PFormula::not(del)]),
+                    ]),
+                ]),
+            ]);
+            conds.push(PFormula::implies(
+                nextval.clone(),
+                PFormula::all_paths(PFormula::next(sp.clone())),
+            ));
+            conds.push(PFormula::implies(
+                PFormula::not(nextval),
+                PFormula::all_paths(PFormula::next(PFormula::not(sp))),
+            ));
+        }
+
+        // Actions fired this step, visible next step.
+        for a in &action_names {
+            let body = page
+                .action_rules
+                .iter()
+                .filter(|r| &r.relation == a)
+                .map(|r| enc.body(service, &r.body))
+                .collect::<Result<Vec<_>, _>>()?;
+            let fired = PFormula::or(body);
+            let ap = PFormula::Prop(enc.action_prop(a));
+            conds.push(PFormula::implies(
+                fired.clone(),
+                PFormula::all_paths(PFormula::next(ap.clone())),
+            ));
+            conds.push(PFormula::implies(
+                PFormula::not(fired),
+                PFormula::all_paths(PFormula::next(PFormula::not(ap))),
+            ));
+        }
+
+        // Targets: ambiguity → error page; unique → that page; none → stay.
+        let bodies: Vec<(String, PFormula)> = page
+            .target_rules
+            .iter()
+            .map(|r| Ok((r.target.clone(), enc.body(service, &r.body)?)))
+            .collect::<Result<Vec<_>, InputDrivenError>>()?;
+        let mut conflict_parts = Vec::new();
+        for (i, (t1, b1)) in bodies.iter().enumerate() {
+            for (t2, b2) in &bodies[i + 1..] {
+                if t1 != t2 {
+                    conflict_parts.push(PFormula::and([b1.clone(), b2.clone()]));
+                }
+            }
+        }
+        let conflict = PFormula::or(conflict_parts);
+        conds.push(PFormula::implies(
+            conflict.clone(),
+            PFormula::all_paths(PFormula::next(PFormula::Prop(enc.err))),
+        ));
+        for (t, b) in &bodies {
+            conds.push(PFormula::implies(
+                PFormula::and([b.clone(), PFormula::not(conflict.clone())]),
+                PFormula::all_paths(PFormula::next(PFormula::Prop(page_props[t]))),
+            ));
+        }
+        let any = PFormula::or(bodies.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>());
+        conds.push(PFormula::implies(
+            PFormula::not(any),
+            PFormula::all_paths(PFormula::next(PFormula::Prop(v))),
+        ));
+
+        // Filter consistency: a picked input in navigation mode satisfies
+        // the page's filter (the seed i0 is unconstrained).
+        let not_start = PFormula::Prop(enc.state_prop(&enc.shape.not_start.clone()));
+        let filter = enc.shape.filters[pname].clone();
+        let y = service
+            .page(pname)
+            .and_then(|p| p.input_rule(&enc.shape.input_rel))
+            .map(|r| r.vars[0].clone())
+            .unwrap_or_else(|| "y".into());
+        let filter_p = enc.typed(service, &filter, &y)?;
+        conds.push(PFormula::implies(
+            PFormula::and([PFormula::Prop(enc.picked), not_start]),
+            filter_p,
+        ));
+
+        trans.push(PFormula::implies(here, PFormula::and(conds)));
+    }
+
+    // --- initial configuration ---
+    let mut init = vec![PFormula::Prop(page_props[&service.home])];
+    for s in &state_names {
+        init.push(PFormula::not(PFormula::Prop(enc.state_prop(s))));
+    }
+    for a in &action_names {
+        init.push(PFormula::not(PFormula::Prop(enc.action_prop(a))));
+    }
+
+    let psi = PFormula::and(
+        init.into_iter()
+            .chain([PFormula::all_paths(PFormula::always(PFormula::and(trans)))])
+            .collect::<Vec<_>>(),
+    );
+    Ok((psi, enc))
+}
+
+/// Translates the user's CTL(-FO) property into the proof's alphabet.
+fn lower_property(
+    enc: &mut Encoder,
+    service: &Service,
+    t: &TFormula,
+) -> Result<PFormula, InputDrivenError> {
+    match t {
+        TFormula::Fo(f) => enc
+            .body(service, f)
+            .map_err(|e| InputDrivenError::BadProperty(e.to_string())),
+        TFormula::Not(g) => Ok(PFormula::not(lower_property(enc, service, g)?)),
+        TFormula::And(fs) => Ok(PFormula::and(
+            fs.iter()
+                .map(|g| lower_property(enc, service, g))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        TFormula::Or(fs) => Ok(PFormula::or(
+            fs.iter()
+                .map(|g| lower_property(enc, service, g))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        TFormula::X(g) => Ok(PFormula::next(lower_property(enc, service, g)?)),
+        TFormula::U(a, b) => Ok(PFormula::until(
+            lower_property(enc, service, a)?,
+            lower_property(enc, service, b)?,
+        )),
+        TFormula::B(a, b) => Ok(PFormula::not(PFormula::until(
+            PFormula::not(lower_property(enc, service, a)?),
+            lower_property(enc, service, b)?,
+        ))),
+        TFormula::F(g) => Ok(PFormula::eventually(lower_property(enc, service, g)?)),
+        TFormula::G(g) => Ok(PFormula::always(lower_property(enc, service, g)?)),
+        TFormula::Path(wave_logic::temporal::PathQuant::E, g) => {
+            Ok(PFormula::exists_path(lower_property(enc, service, g)?))
+        }
+        TFormula::Path(wave_logic::temporal::PathQuant::A, g) => {
+            Ok(PFormula::all_paths(lower_property(enc, service, g)?))
+        }
+    }
+}
+
+/// Decides `W ⊨ φ` for a service with input-driven search and a CTL
+/// property over `Σ_W ∪ {picked, in_Q}` (Theorem 4.9): satisfiability of
+/// `ψ_W ∧ ¬φ` is tested with the tableau; `max_elementary` bounds the
+/// tableau size (the procedure is EXPTIME).
+pub fn verify(
+    service: &Service,
+    property: &TFormula,
+    max_elementary: usize,
+) -> Result<bool, InputDrivenError> {
+    let (psi, mut enc) = axiomatize(service)?;
+    let phi = lower_property(&mut enc, service, property)?;
+    let query = PFormula::and([psi, PFormula::not(phi)]);
+    if !query.is_ctl() {
+        return Err(InputDrivenError::BadProperty(
+            "property must be CTL (Theorem 4.9's CTL* case is 2-EXPTIME and out of \
+             scope; see DESIGN.md)"
+                .into(),
+        ));
+    }
+    match is_satisfiable(&query, max_elementary) {
+        Ok(r) => Ok(!r.is_sat()),
+        Err(e) => Err(InputDrivenError::Sat(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_temporal;
+
+    /// One-page catalog navigator: in-stock filter, Example 4.8 style.
+    fn navigator() -> Service {
+        let mut b = ServiceBuilder::new("SP");
+        b.database_relation("cat_graph", 2)
+            .database_relation("in_stock", 1)
+            .database_constant("i0")
+            .state_prop("not_start")
+            .input_relation("pick", 1)
+            .page("SP")
+            .input_rule(
+                "pick",
+                &["y"],
+                "(!not_start & y = i0) | (not_start & (exists x . (prev_pick(x) & cat_graph(x, y))) & in_stock(y))",
+            )
+            .insert_rule("not_start", &[], "!not_start");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn filter_is_enforced() {
+        let s = navigator();
+        // AG(not_start ∧ picked → in_stock): after the seed step, every
+        // picked input is in stock — follows from ψ_W's filter clause.
+        let p = parse_temporal(
+            "A G ((not_start & exists y . (pick(y) & in_stock(y))) | !(not_start & exists y . pick(y)))",
+            &[],
+        )
+        .unwrap();
+        assert!(verify(&s, &p, 24).unwrap());
+    }
+
+    #[test]
+    fn seed_type_is_unconstrained() {
+        let s = navigator();
+        // AG(picked → in_stock) must FAIL: the seed i0 need not be in stock.
+        let p = parse_temporal(
+            "A G ((exists y . (pick(y) & in_stock(y))) | !(exists y . pick(y)))",
+            &[],
+        )
+        .unwrap();
+        assert!(!verify(&s, &p, 24).unwrap());
+    }
+
+    #[test]
+    fn single_page_invariant() {
+        let s = navigator();
+        // AG SP: the single page never leaves itself (no target rules).
+        let p = parse_temporal("A G SP", &[]).unwrap();
+        assert!(verify(&s, &p, 24).unwrap());
+    }
+
+    #[test]
+    fn not_start_flips_once() {
+        let s = navigator();
+        // AX AG not_start: from the second step on, not_start holds.
+        let p = parse_temporal("A X (A G not_start)", &[]).unwrap();
+        assert!(verify(&s, &p, 24).unwrap());
+        // But not initially.
+        let q = parse_temporal("not_start", &[]).unwrap();
+        assert!(!verify(&s, &q, 24).unwrap());
+    }
+
+    #[test]
+    fn rejects_non_input_driven() {
+        let mut b = ServiceBuilder::new("P");
+        b.input_relation("go", 0).page("P").input_prop_on_page("go");
+        let s = b.build().unwrap();
+        let p = parse_temporal("A G P", &[]).unwrap();
+        assert!(matches!(
+            verify(&s, &p, 24),
+            Err(InputDrivenError::NotInputDriven(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_ctl_star() {
+        let s = navigator();
+        let p = parse_temporal("A F (G not_start)", &[]).unwrap();
+        assert!(matches!(verify(&s, &p, 24), Err(InputDrivenError::BadProperty(_))));
+    }
+}

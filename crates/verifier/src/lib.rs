@@ -1,0 +1,31 @@
+//! # wave-verifier
+//!
+//! The decision procedures of *Deutsch–Sui–Vianu (PODS 2004)*:
+//!
+//! | Module | Paper result | Procedure |
+//! |---|---|---|
+//! | [`symbolic`] | Theorem 3.5 | LTL-FO verification of input-bounded services by symbolic pseudo-run search (Local-Run + Periodic-Run lemmas) with a Büchi product |
+//! | [`errorfree`] | Theorem 3.5(i), Lemma A.5 | error-freeness, both natively and via the Lemma A.5 page transformation |
+//! | [`enumerative`] | baseline | explicit-state verification over one concrete database (the comparator the symbolic method dominates) |
+//! | [`dbgen`] | Lemma A.11 | bounded database enumeration with isomorphism pruning, plus random databases |
+//! | [`ctl_prop`] | Theorem 4.4 / Corollary 4.5 | CTL(\*) verification of propositional input-bounded services via per-database Kripke construction (Lemma A.12) |
+//! | [`fully_prop`] | Theorem 4.6 | CTL(\*) verification of fully propositional services |
+//! | [`input_driven`] | Theorem 4.9 | CTL verification of services with input-driven search by reduction to CTL satisfiability |
+//! | [`abstraction`] | §4 | lowering of CTL(\*)-FO formulas to propositional form over their FO components |
+//! | [`trace`] | §2 ("fake loops") | LTL-FO checking on recorded concrete runs |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod ctl_prop;
+pub mod dbgen;
+pub mod enumerative;
+pub mod errorfree;
+pub mod fully_prop;
+pub mod input_driven;
+pub mod symbolic;
+pub mod trace;
+
+pub use enumerative::{verify_ltl_on_db, EnumOutcome};
+pub use symbolic::{verify_ltl, SymbolicOptions, VerifyOutcome};

@@ -1,0 +1,305 @@
+//! Symbolic configurations.
+//!
+//! A [`SymConfig`] is the Local-Run Lemma's "approximate description" of a
+//! run prefix: exact on the current page, the provided input constants,
+//! the current/previous input tuples and the state/action restrictions to
+//! `C`, and carrying the accumulated database knowledge ([`SymState`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wave_core::service::Service;
+
+
+use super::state::{Assumption, SymState};
+use super::table::{CSym, CTable, Sym};
+
+/// A fact of a state or action relation restricted to `C` (canonical
+/// representatives).
+pub type CFact = (String, Vec<CSym>);
+
+/// A symbolic configuration.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SymConfig {
+    /// Current page (or the error page).
+    pub page: String,
+    /// Input constants provided so far (original symbol ids).
+    pub provided: BTreeSet<CSym>,
+    /// State facts over `C` (canonical).
+    pub state: BTreeSet<CFact>,
+    /// Action facts over `C` (canonical), triggered at the previous step.
+    pub action: BTreeSet<CFact>,
+    /// Current inputs: chosen tuple per input relation (empty vec for a
+    /// true propositional input). Absent = no choice / false.
+    pub inputs: BTreeMap<String, Vec<Sym>>,
+    /// Previous inputs (`prev_I` values).
+    pub prev: BTreeMap<String, Vec<Sym>>,
+    /// Database knowledge accumulated along this path.
+    pub st: SymState,
+    /// Number of live fresh symbols (ids `0..n_fresh`).
+    pub n_fresh: u16,
+    /// Error conditions (i)/(ii) observed at this page: the next
+    /// transition goes to the error page (Definition 2.3).
+    pub err_pending: bool,
+}
+
+impl SymConfig {
+    /// The initial configuration (home page, empty everything).
+    pub fn initial(service: &Service, table: &CTable) -> SymConfig {
+        SymConfig {
+            page: service.home.clone(),
+            provided: BTreeSet::new(),
+            state: BTreeSet::new(),
+            action: BTreeSet::new(),
+            inputs: BTreeMap::new(),
+            prev: BTreeMap::new(),
+            st: SymState::new(table.len()),
+            n_fresh: 0,
+            err_pending: false,
+        }
+    }
+
+    /// The error-page successor: the run loops there forever; database
+    /// knowledge and provided constants are kept so letters stay
+    /// consistent, everything else empties (Definition 2.3).
+    pub fn to_error(&self, service: &Service) -> SymConfig {
+        SymConfig {
+            page: service.error_page.clone(),
+            provided: self.provided.clone(),
+            state: BTreeSet::new(),
+            action: BTreeSet::new(),
+            inputs: BTreeMap::new(),
+            prev: BTreeMap::new(),
+            st: self.st.clone(),
+            n_fresh: 0,
+            err_pending: false,
+        }
+    }
+
+    /// All live symbols: canonical `C` representatives plus live fresh
+    /// symbols.
+    pub fn live_syms(&self) -> Vec<Sym> {
+        let mut out: Vec<Sym> = self.st.reps().into_iter().map(Sym::C).collect();
+        for i in 0..self.n_fresh {
+            out.push(Sym::F(i));
+        }
+        out
+    }
+
+    /// Asserts an assumption with the given truth value; `None` on
+    /// conflict. Equality merges re-canonicalize state/action facts and
+    /// check that the merge does not contradict previously *computed*
+    /// state/action content (two tuples collapsing must have agreed).
+    pub fn assert(
+        &self,
+        table: &CTable,
+        a: &Assumption,
+        val: bool,
+    ) -> Option<SymConfig> {
+        let mut next = self.clone();
+        next.st.assert(table, a, val).ok()?;
+        if let (Assumption::EqC(..), true) = (a, val) {
+            next.state = recanon_facts(&self.state, &self.st, &next.st)?;
+            next.action = recanon_facts(&self.action, &self.st, &next.st)?;
+            next.inputs = self
+                .inputs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.iter().map(|&s| next.st.canon(s)).collect()))
+                .collect();
+            next.prev = self
+                .prev
+                .iter()
+                .map(|(k, v)| (k.clone(), v.iter().map(|&s| next.st.canon(s)).collect()))
+                .collect();
+        }
+        Some(next)
+    }
+
+    /// Whether an input constant has been provided, by *any* symbol of its
+    /// equality class (provision is by name, so identity suffices).
+    pub fn is_provided(&self, c: CSym) -> bool {
+        self.provided.contains(&c)
+    }
+
+    /// Checks the structural precondition of formula evaluation at this
+    /// page: every input constant mentioned by `consts` must be provided.
+    pub fn all_provided(&self, table: &CTable, consts: &BTreeSet<String>) -> bool {
+        consts.iter().all(|name| match table.const_sym(name) {
+            Some(c) if table.is_input_const(c) => self.is_provided(c),
+            _ => true, // database constants are interpreted by the database
+        })
+    }
+
+    /// Renders a short human-readable description.
+    pub fn render(&self, table: &CTable) -> String {
+        let mut parts = vec![format!("page={}", self.page)];
+        if !self.inputs.is_empty() {
+            let ins: Vec<String> = self
+                .inputs
+                .iter()
+                .map(|(rel, t)| {
+                    if t.is_empty() {
+                        rel.clone()
+                    } else {
+                        format!(
+                            "{rel}({})",
+                            t.iter().map(|&s| table.render(s)).collect::<Vec<_>>().join(",")
+                        )
+                    }
+                })
+                .collect();
+            parts.push(format!("in:{}", ins.join(" ")));
+        }
+        if !self.state.is_empty() {
+            let sts: Vec<String> = self
+                .state
+                .iter()
+                .map(|(rel, t)| {
+                    if t.is_empty() {
+                        rel.clone()
+                    } else {
+                        format!(
+                            "{rel}({})",
+                            t.iter()
+                                .map(|&c| table.render(Sym::C(c)))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        )
+                    }
+                })
+                .collect();
+            parts.push(format!("st:{}", sts.join(" ")));
+        }
+        parts.join(" ")
+    }
+}
+
+/// Re-canonicalizes a fact set after a merge in the store, detecting
+/// collapse inconsistencies: if two `C`-tuples become identical under the
+/// new partition, they must have had the same membership before.
+fn recanon_facts(
+    facts: &BTreeSet<CFact>,
+    old: &SymState,
+    new: &SymState,
+) -> Option<BTreeSet<CFact>> {
+    let mut out = BTreeSet::new();
+    for (rel, args) in facts {
+        let canon: Vec<CSym> = args.iter().map(|&c| new.find(c)).collect();
+        // Every old-rep preimage tuple of `canon` must be a member.
+        // Preimage components: old reps that now map to the same new rep.
+        let old_reps = old.reps();
+        let mut preimages: Vec<Vec<CSym>> = vec![Vec::new()];
+        for &target in &canon {
+            let cands: Vec<CSym> =
+                old_reps.iter().copied().filter(|&r| new.find(r) == target).collect();
+            let mut next = Vec::with_capacity(preimages.len() * cands.len());
+            for p in &preimages {
+                for &c in &cands {
+                    let mut q = p.clone();
+                    q.push(c);
+                    next.push(q);
+                }
+            }
+            preimages = next;
+        }
+        for pre in preimages {
+            if !facts.contains(&(rel.clone(), pre)) {
+                return None; // collapse inconsistency
+            }
+        }
+        out.insert((rel.clone(), canon));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+
+    fn setup() -> (Service, CTable) {
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("r", 1)
+            .state_relation("s", 1)
+            .input_relation("i", 1)
+            .input_constant("name")
+            .page("P")
+            .solicit_constant("name")
+            .input_rule("i", &["x"], "r(x)");
+        let s = b.build().unwrap();
+        let p = parse_property("forall w1 w2 . G !ship(w1, w2)").unwrap();
+        let t = CTable::build(&s, &p);
+        (s, t)
+    }
+
+    #[test]
+    fn initial_and_error() {
+        let (s, t) = setup();
+        let c = SymConfig::initial(&s, &t);
+        assert_eq!(c.page, "P");
+        assert!(c.state.is_empty());
+        let e = c.to_error(&s);
+        assert_eq!(e.page, s.error_page);
+        assert!(e.inputs.is_empty());
+    }
+
+    #[test]
+    fn live_syms_counts_reps_and_fresh() {
+        let (s, t) = setup();
+        let mut c = SymConfig::initial(&s, &t);
+        assert_eq!(c.live_syms().len(), t.len());
+        c.n_fresh = 2;
+        assert_eq!(c.live_syms().len(), t.len() + 2);
+    }
+
+    #[test]
+    fn assert_db_fact_branches_consistently() {
+        let (s, t) = setup();
+        let c = SymConfig::initial(&s, &t);
+        let a = Assumption::DbFact { rel: "r".into(), args: vec![Sym::C(0)] };
+        let c_true = c.assert(&t, &a, true).unwrap();
+        let c_false = c.assert(&t, &a, false).unwrap();
+        assert_eq!(c_true.st.fact_status("r", &[Sym::C(0)]), Some(true));
+        assert_eq!(c_false.st.fact_status("r", &[Sym::C(0)]), Some(false));
+        // Re-asserting the opposite conflicts.
+        assert!(c_true.assert(&t, &a, false).is_none());
+    }
+
+    #[test]
+    fn merge_collapse_inconsistency_detected() {
+        let (s, t) = setup();
+        let mut c = SymConfig::initial(&s, &t);
+        let w1 = t.witness_sym("w1").unwrap();
+        let w2 = t.witness_sym("w2").unwrap();
+        // state s holds of w1 but not of w2: merging w1=w2 must fail.
+        c.state.insert(("s".into(), vec![w1]));
+        let merged = c.assert(&t, &Assumption::EqC(w1, w2), true);
+        assert!(merged.is_none(), "collapse inconsistency must be caught");
+        // but if s holds of both, the merge succeeds and dedups.
+        c.state.insert(("s".into(), vec![w2]));
+        let merged2 = c.assert(&t, &Assumption::EqC(w1, w2), true).unwrap();
+        assert_eq!(merged2.state.len(), 1);
+    }
+
+    #[test]
+    fn provided_gate() {
+        let (s, t) = setup();
+        let mut c = SymConfig::initial(&s, &t);
+        let name = t.const_sym("name").unwrap();
+        let consts: BTreeSet<String> = ["name".to_string()].into();
+        assert!(!c.all_provided(&t, &consts));
+        c.provided.insert(name);
+        assert!(c.all_provided(&t, &consts));
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let (s, t) = setup();
+        let mut c = SymConfig::initial(&s, &t);
+        c.inputs.insert("i".into(), vec![Sym::F(0)]);
+        c.state.insert(("s".into(), vec![0]));
+        let r = c.render(&t);
+        assert!(r.contains("page=P"));
+        assert!(r.contains("i(✶0)"));
+    }
+}

@@ -1,0 +1,440 @@
+//! The symbolic product search: Theorem 3.5's decision procedure.
+//!
+//! The negated property is abstracted over its FO components into
+//! propositional LTL, translated to a Büchi automaton, and the product
+//! with the symbolic configuration graph is searched for an accepting
+//! lasso with nested DFS. By the Periodic-Run Lemma a lasso exists iff
+//! some database and user behaviour produce a violating run; by the
+//! freshness discipline of the symbolic semantics the lasso is always
+//! realizable (soundness).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wave_core::classify;
+use wave_core::service::Service;
+use wave_logic::bounded::BoundedError;
+use wave_logic::schema::ConstKind;
+use wave_logic::temporal::{Property, TemporalClass};
+
+use wave_automata::ltl2buchi::translate;
+use wave_automata::props::PropSet;
+use wave_automata::search::{find_accepting_lasso, SearchResult};
+
+use crate::abstraction::{to_pnf, FoAbstraction};
+
+use super::config::SymConfig;
+use super::eval::{eval_branching, Ctx};
+use super::step::{initial_configs, successors};
+use super::table::{CTable, Sym};
+
+/// Options for the symbolic verifier.
+#[derive(Clone, Debug)]
+pub struct SymbolicOptions {
+    /// Budget on distinct product nodes.
+    pub node_limit: usize,
+}
+
+impl Default for SymbolicOptions {
+    fn default() -> Self {
+        SymbolicOptions { node_limit: 500_000 }
+    }
+}
+
+/// Why verification could not start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymbolicError {
+    /// The service is not input-bounded (Theorem 3.5's hypothesis; the
+    /// relaxations are undecidable per Theorems 3.7–3.9).
+    ServiceNotInputBounded(Vec<(String, String, BoundedError)>),
+    /// The property is not input-bounded.
+    PropertyNotInputBounded(BoundedError),
+    /// The property contains path quantifiers (Theorem 4.2 shows the
+    /// combination is undecidable; use the CTL verifiers on the
+    /// propositional classes instead).
+    NotLtl,
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::ServiceNotInputBounded(vs) => {
+                write!(f, "service is not input-bounded ({} violations)", vs.len())
+            }
+            SymbolicError::PropertyNotInputBounded(e) => {
+                write!(f, "property is not input-bounded: {e}")
+            }
+            SymbolicError::NotLtl => write!(f, "property is not LTL-FO"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// The verdict.
+#[derive(Clone, Debug)]
+pub enum VerifyOutcome {
+    /// Every run over every database satisfies the property.
+    Holds {
+        /// Distinct product nodes explored.
+        explored: usize,
+    },
+    /// A violating pseudo-run (realizable by a concrete database and user
+    /// behaviour) was found.
+    Violated {
+        /// Rendered configurations leading into the violating cycle.
+        stem: Vec<String>,
+        /// The repeating cycle.
+        cycle: Vec<String>,
+    },
+    /// The node budget was exhausted before an answer.
+    LimitReached,
+}
+
+impl VerifyOutcome {
+    /// True when the property was verified.
+    pub fn holds(&self) -> bool {
+        matches!(self, VerifyOutcome::Holds { .. })
+    }
+
+    /// True when a counterexample was found.
+    pub fn violated(&self) -> bool {
+        matches!(self, VerifyOutcome::Violated { .. })
+    }
+}
+
+/// Verifies an input-bounded LTL-FO property on an input-bounded service,
+/// over **all** databases and runs (Theorem 3.5).
+pub fn verify_ltl(
+    service: &Service,
+    property: &Property,
+    opts: &SymbolicOptions,
+) -> Result<VerifyOutcome, SymbolicError> {
+    if property.classify() != TemporalClass::Ltl {
+        return Err(SymbolicError::NotLtl);
+    }
+    let violations = classify::input_bounded_violations(service);
+    if !violations.is_empty() {
+        return Err(SymbolicError::ServiceNotInputBounded(violations));
+    }
+    property
+        .check_input_bounded(&service.schema)
+        .map_err(SymbolicError::PropertyNotInputBounded)?;
+
+    // ¬φ as a Büchi automaton over FO components.
+    let mut table = FoAbstraction::default();
+    let pnf = to_pnf(&property.body, true, &mut table).ok_or(SymbolicError::NotLtl)?;
+    let aut = translate(&pnf);
+
+    let ctable = CTable::build(service, property);
+    // Witness environment: each universally quantified variable maps to
+    // its Skolem symbol in C.
+    let env: BTreeMap<String, Sym> = property
+        .vars
+        .iter()
+        .map(|v| {
+            (
+                v.clone(),
+                Sym::C(ctable.witness_sym(v).expect("witnesses are in C")),
+            )
+        })
+        .collect();
+    let ctx = Ctx { service, table: &ctable, ephemeral: Vec::new() };
+
+    // Letter evaluation with branching: every branch yields a (config,
+    // letter) pair. A component mentioning an unprovided input constant is
+    // not satisfied (Definition 3.1's satisfaction condition).
+    let letters = |cfg: &SymConfig| -> Vec<(SymConfig, PropSet)> {
+        let mut acc: Vec<(SymConfig, PropSet)> = vec![(cfg.clone(), PropSet::new())];
+        for (i, comp) in table.components.iter().enumerate() {
+            let mentions_unprovided = comp.constants_used().iter().any(|c| {
+                service.schema.constant(c) == Some(ConstKind::Input)
+                    && ctable
+                        .const_sym(c)
+                        .map(|s| !cfg.is_provided(s))
+                        .unwrap_or(true)
+            });
+            let mut next = Vec::new();
+            for (c, letter) in acc {
+                if mentions_unprovided {
+                    next.push((c, letter));
+                    continue;
+                }
+                let (evals, unprov) = eval_branching(&ctx, &c, &env, comp);
+                debug_assert!(!unprov, "provision pre-checked");
+                for (c2, v) in evals {
+                    let mut l2 = letter.clone();
+                    if v {
+                        l2.insert(i as u32);
+                    }
+                    next.push((c2, l2));
+                }
+            }
+            acc = next;
+        }
+        acc
+    };
+
+    // Initial product nodes.
+    let mut inits: Vec<(SymConfig, usize)> = Vec::new();
+    for c0 in initial_configs(service, &ctable) {
+        for (c1, letter) in letters(&c0) {
+            for &q in &aut.initial {
+                if aut.guard[q].accepts(&letter) {
+                    inits.push((c1.clone(), q));
+                }
+            }
+        }
+    }
+
+    let result = find_accepting_lasso(
+        inits,
+        |(cfg, q)| {
+            let mut out = Vec::new();
+            for s in successors(service, &ctable, cfg) {
+                for (s2, letter) in letters(&s) {
+                    for &q2 in &aut.succ[*q] {
+                        if aut.guard[q2].accepts(&letter) {
+                            out.push((s2.clone(), q2));
+                        }
+                    }
+                }
+            }
+            out
+        },
+        |(_, q)| aut.accepting[*q],
+        Some(opts.node_limit),
+    );
+
+    Ok(match result {
+        SearchResult::Empty { explored } => VerifyOutcome::Holds { explored },
+        SearchResult::Lasso { stem, cycle } => VerifyOutcome::Violated {
+            stem: stem.iter().map(|(c, _)| c.render(&ctable)).collect(),
+            cycle: cycle.iter().map(|(c, _)| c.render(&ctable)).collect(),
+        },
+        SearchResult::LimitReached { .. } => VerifyOutcome::LimitReached,
+    })
+}
+
+/// Diagnostic: breadth-first exploration of the symbolic configuration
+/// graph (no automaton product), returning renders of the first `limit`
+/// configurations. Useful to understand where a search blows up.
+pub fn explore(service: &Service, property: &Property, limit: usize) -> Vec<String> {
+    let ctable = CTable::build(service, property);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    let mut queue: std::collections::VecDeque<SymConfig> =
+        initial_configs(service, &ctable).into_iter().collect();
+    while let Some(c) = queue.pop_front() {
+        if !seen.insert(c.clone()) {
+            continue;
+        }
+        out.push(format!("{} | fresh={} facts={}", c.render(&ctable), c.n_fresh, c.st.persistent_facts()));
+        if out.len() >= limit {
+            break;
+        }
+        for s in successors(service, &ctable, &c) {
+            queue.push_back(s);
+        }
+    }
+    out
+}
+
+/// Decides error-freeness (Theorem 3.5(i)): is the error page unreachable
+/// on every database and run? Implemented as plain reachability over the
+/// symbolic configuration graph (no automaton needed — "error free" is the
+/// safety property `G ¬W_err`).
+pub fn is_error_free(
+    service: &Service,
+    opts: &SymbolicOptions,
+) -> Result<VerifyOutcome, SymbolicError> {
+    let violations = classify::input_bounded_violations(service);
+    if !violations.is_empty() {
+        return Err(SymbolicError::ServiceNotInputBounded(violations));
+    }
+    let property = Property::close(wave_logic::temporal::TFormula::always(
+        wave_logic::temporal::TFormula::fo(wave_logic::formula::Formula::True),
+    ));
+    let ctable = CTable::build(service, &property);
+
+    // DFS for a configuration on the error page.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut parents: BTreeMap<SymConfig, SymConfig> = BTreeMap::new();
+    let mut stack = initial_configs(service, &ctable);
+    for c in &stack {
+        seen.insert(c.clone());
+    }
+    while let Some(c) = stack.pop() {
+        if c.page == service.error_page {
+            // Reconstruct the witness path.
+            let mut path = vec![c.render(&ctable)];
+            let mut cur = c;
+            while let Some(p) = parents.get(&cur) {
+                path.push(p.render(&ctable));
+                cur = p.clone();
+            }
+            path.reverse();
+            return Ok(VerifyOutcome::Violated { stem: path, cycle: Vec::new() });
+        }
+        if seen.len() > opts.node_limit {
+            return Ok(VerifyOutcome::LimitReached);
+        }
+        for s in successors(service, &ctable, &c) {
+            if seen.insert(s.clone()) {
+                parents.insert(s.clone(), c.clone());
+                stack.push(s);
+            }
+        }
+    }
+    Ok(VerifyOutcome::Holds { explored: seen.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+
+    fn toggle() -> Service {
+        let mut b = ServiceBuilder::new("P");
+        b.input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .target("Q", "go")
+            .page("Q")
+            .input_prop_on_page("go")
+            .target("P", "go");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn safety_holds_on_toggle() {
+        let s = toggle();
+        let p = parse_property("G (P | Q)").unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn liveness_fails_on_toggle() {
+        let s = toggle();
+        let p = parse_property("F Q").unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.violated(), "{out:?}");
+    }
+
+    #[test]
+    fn before_operator_holds() {
+        // "Q cannot happen before P": every run starts on P, so P B Q.
+        let s = toggle();
+        let p = parse_property("P B Q").unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+        // Weak until: P persists until the (optional) switch to Q.
+        let w = parse_property("(P U Q) | G P").unwrap();
+        let out2 = verify_ltl(&s, &w, &SymbolicOptions::default()).unwrap();
+        assert!(out2.holds(), "{out2:?}");
+    }
+
+    #[test]
+    fn toggle_is_error_free() {
+        let s = toggle();
+        let out = is_error_free(&s, &SymbolicOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+
+    fn login() -> Service {
+        let mut b = ServiceBuilder::new("HP");
+        b.database_relation("user", 2)
+            .input_relation("button", 1)
+            .state_prop("logged_in")
+            .input_constant("name")
+            .input_constant("password")
+            .page("HP")
+            .solicit_constant("name")
+            .solicit_constant("password")
+            .input_rule("button", &["x"], r#"x = "login""#)
+            .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+            .target("CP", r#"user(name, password) & button("login")"#)
+            .page("CP");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn login_invariant_holds_over_all_databases() {
+        // G(CP → logged_in): for EVERY database — the paper's headline
+        // capability; no enumeration of databases happens.
+        let s = login();
+        let p = parse_property("G (!CP | logged_in)").unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn login_reachability_witnessed_by_some_database() {
+        // G ¬CP must FAIL: some database contains user(name, password).
+        let s = login();
+        let p = parse_property("G !CP").unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.violated(), "{out:?}");
+    }
+
+    #[test]
+    fn login_is_not_error_free() {
+        // Idling on HP forever re-requests name/password: condition (ii).
+        let s = login();
+        let out = is_error_free(&s, &SymbolicOptions::default()).unwrap();
+        assert!(out.violated(), "{out:?}");
+    }
+
+    #[test]
+    fn rejects_non_input_bounded_service() {
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("d", 1)
+            .state_prop("s")
+            .input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .insert_rule("s", &[], "exists x . d(x)");
+        let s = b.build().unwrap();
+        let p = parse_property("G true").unwrap();
+        assert!(matches!(
+            verify_ltl(&s, &p, &SymbolicOptions::default()),
+            Err(SymbolicError::ServiceNotInputBounded(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_ctl_property() {
+        let s = toggle();
+        let p = parse_property("A G (E F P)").unwrap();
+        assert_eq!(
+            verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap_err(),
+            SymbolicError::NotLtl
+        );
+    }
+
+    #[test]
+    fn witnessed_property() {
+        // ∀x G ¬(go-with-arg...) — use a parameterized input instead.
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("item", 1)
+            .input_relation("pick", 1)
+            .state_relation("chosen", 1)
+            .page("P")
+            .input_rule("pick", &["y"], "item(y)")
+            .insert_rule("chosen", &["y"], "pick(y)");
+        let s = b.build().unwrap();
+        // ∀x: G (chosen(x) → item(x)): anything recorded was a db item.
+        let p = parse_property(
+            "forall x . G (!(exists q . (pick(q) & q = x)) | item(x))",
+        )
+        .unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.holds(), "{out:?}");
+        // ∀x: G ¬pick(x) must fail (a pick is possible).
+        let q = parse_property("forall x . G !(exists q . (pick(q) & q = x))").unwrap();
+        let out2 = verify_ltl(&s, &q, &SymbolicOptions::default()).unwrap();
+        assert!(out2.violated(), "{out2:?}");
+    }
+}

@@ -1,0 +1,383 @@
+//! The knowledge store: what the search has assumed about the
+//! existentially quantified database.
+//!
+//! A path through the symbolic search accumulates three kinds of
+//! assumptions, all monotone:
+//!
+//! * an equality partition of `C` (union–find) with recorded
+//!   **disequalities** — the equality type of the constants the paper's
+//!   reduction guesses up front, here guessed lazily;
+//! * **persistent database literals** over `C` (canonicalized);
+//! * **local database literals** mentioning live fresh symbols — dropped
+//!   when the symbols age out of the one-step `prev` window (their
+//!   elements can then be realized as globally fresh, which is the crux of
+//!   why the restriction to one-step `prev` is decidable while lossless
+//!   input is not, Theorem 3.9).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::table::{CSym, CTable, Sym};
+
+/// An assumption the evaluator may need decided.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Assumption {
+    /// Membership of a database tuple (args may include fresh symbols).
+    DbFact {
+        /// Relation name.
+        rel: String,
+        /// Argument symbols.
+        args: Vec<Sym>,
+    },
+    /// Equality of two `C`-symbols.
+    EqC(CSym, CSym),
+}
+
+/// A contradiction with previously recorded knowledge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Conflict;
+
+/// The store of database knowledge.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct SymState {
+    /// Union–find parents over `C` (rep = smallest member).
+    parent: Vec<CSym>,
+    /// Disequalities between canonical representatives.
+    diseq: BTreeSet<(CSym, CSym)>,
+    /// Persistent database literals over canonical `C` tuples.
+    facts: BTreeMap<(String, Vec<CSym>), bool>,
+    /// Local literals involving at least one fresh symbol.
+    local: BTreeMap<(String, Vec<Sym>), bool>,
+}
+
+impl SymState {
+    /// A fresh store over a `C` of the given size.
+    pub fn new(n_csyms: usize) -> Self {
+        SymState {
+            parent: (0..n_csyms as CSym).collect(),
+            diseq: BTreeSet::new(),
+            facts: BTreeMap::new(),
+            local: BTreeMap::new(),
+        }
+    }
+
+    /// Canonical representative of a `C`-symbol.
+    pub fn find(&self, mut c: CSym) -> CSym {
+        while self.parent[c as usize] != c {
+            c = self.parent[c as usize];
+        }
+        c
+    }
+
+    /// Canonicalizes a symbolic value.
+    pub fn canon(&self, s: Sym) -> Sym {
+        match s {
+            Sym::C(c) => Sym::C(self.find(c)),
+            f => f,
+        }
+    }
+
+    /// The current canonical representatives (one per class).
+    pub fn reps(&self) -> Vec<CSym> {
+        (0..self.parent.len() as CSym).filter(|&c| self.find(c) == c).collect()
+    }
+
+    /// Equality status of two symbolic values: `Some(b)` when decided.
+    /// Fresh symbols are equal only to themselves; fresh vs `C` is false
+    /// by the freshness discipline (equality with a `C`-symbol is chosen
+    /// at introduction time, yielding the `C`-symbol itself).
+    pub fn eq_status(&self, table: &CTable, a: Sym, b: Sym) -> Option<bool> {
+        match (self.canon(a), self.canon(b)) {
+            (Sym::F(i), Sym::F(j)) => Some(i == j),
+            (Sym::F(_), Sym::C(_)) | (Sym::C(_), Sym::F(_)) => Some(false),
+            (Sym::C(x), Sym::C(y)) => {
+                if x == y {
+                    return Some(true);
+                }
+                let key = ordered(x, y);
+                if self.diseq.contains(&key) {
+                    return Some(false);
+                }
+                match (self.literal_of(table, x), self.literal_of(table, y)) {
+                    (Some(u), Some(v)) => Some(u == v),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The literal value of a class, if any member is a literal.
+    fn literal_of<'t>(
+        &self,
+        table: &'t CTable,
+        rep: CSym,
+    ) -> Option<&'t wave_logic::value::Value> {
+        (0..self.parent.len() as CSym)
+            .filter(|&c| self.find(c) == rep)
+            .find_map(|c| table.literal(c))
+    }
+
+    /// Status of a database literal: `Some(b)` when recorded.
+    pub fn fact_status(&self, rel: &str, args: &[Sym]) -> Option<bool> {
+        let canon: Vec<Sym> = args.iter().map(|&s| self.canon(s)).collect();
+        if let Some(cs) = all_c(&canon) {
+            self.facts.get(&(rel.to_string(), cs)).copied()
+        } else {
+            self.local.get(&(rel.to_string(), canon)).copied()
+        }
+    }
+
+    /// Records a database literal.
+    pub fn assert_fact(&mut self, rel: &str, args: &[Sym], val: bool) -> Result<(), Conflict> {
+        let canon: Vec<Sym> = args.iter().map(|&s| self.canon(s)).collect();
+        if let Some(cs) = all_c(&canon) {
+            let key = (rel.to_string(), cs);
+            match self.facts.get(&key) {
+                Some(old) if *old != val => Err(Conflict),
+                _ => {
+                    self.facts.insert(key, val);
+                    Ok(())
+                }
+            }
+        } else {
+            let key = (rel.to_string(), canon);
+            match self.local.get(&key) {
+                Some(old) if *old != val => Err(Conflict),
+                _ => {
+                    self.local.insert(key, val);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Records an equality or disequality between `C`-symbols.
+    pub fn assert_eq_c(
+        &mut self,
+        table: &CTable,
+        a: CSym,
+        b: CSym,
+        equal: bool,
+    ) -> Result<(), Conflict> {
+        match self.eq_status(table, Sym::C(a), Sym::C(b)) {
+            Some(v) if v == equal => return Ok(()),
+            Some(_) => return Err(Conflict),
+            None => {}
+        }
+        let (x, y) = (self.find(a), self.find(b));
+        if !equal {
+            self.diseq.insert(ordered(x, y));
+            return Ok(());
+        }
+        // Merge classes: smaller index becomes the representative.
+        let (rep, other) = if x < y { (x, y) } else { (y, x) };
+        self.parent[other as usize] = rep;
+        // Re-canonicalize disequalities; a pair collapsing to one class is
+        // a contradiction (prevented above, but merges can cascade).
+        let old_diseq = std::mem::take(&mut self.diseq);
+        for (p, q) in old_diseq {
+            let (p, q) = (self.find(p), self.find(q));
+            if p == q {
+                return Err(Conflict);
+            }
+            self.diseq.insert(ordered(p, q));
+        }
+        // Re-canonicalize facts; a collision with opposite polarity is a
+        // contradiction.
+        let old_facts = std::mem::take(&mut self.facts);
+        for ((rel, args), v) in old_facts {
+            let canon: Vec<CSym> = args.iter().map(|&c| self.find(c)).collect();
+            match self.facts.insert((rel, canon), v) {
+                Some(old) if old != v => return Err(Conflict),
+                _ => {}
+            }
+        }
+        let old_local = std::mem::take(&mut self.local);
+        for ((rel, args), v) in old_local {
+            let canon: Vec<Sym> = args.iter().map(|&s| self.canon(s)).collect();
+            match self.local.insert((rel, canon), v) {
+                Some(old) if old != v => return Err(Conflict),
+                _ => {}
+            }
+        }
+        // Literal classes must not carry two distinct literal values.
+        let mut values: BTreeMap<CSym, &wave_logic::value::Value> = BTreeMap::new();
+        for c in 0..self.parent.len() as CSym {
+            if let Some(v) = table.literal(c) {
+                let r = self.find(c);
+                if let Some(prev) = values.insert(r, v) {
+                    if prev != v {
+                        return Err(Conflict);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records an assumption with the given truth value.
+    pub fn assert(
+        &mut self,
+        table: &CTable,
+        a: &Assumption,
+        val: bool,
+    ) -> Result<(), Conflict> {
+        match a {
+            Assumption::DbFact { rel, args } => self.assert_fact(rel, args, val),
+            Assumption::EqC(x, y) => self.assert_eq_c(table, *x, *y, val),
+        }
+    }
+
+    /// Drops (and forgets) every local literal mentioning a fresh symbol
+    /// not in `keep`, then renames the surviving fresh symbols via `map`.
+    pub fn retire_fresh(&mut self, keep: &dyn Fn(u16) -> Option<u16>) {
+        let old = std::mem::take(&mut self.local);
+        'fact: for ((rel, args), v) in old {
+            let mut renamed = Vec::with_capacity(args.len());
+            for s in args {
+                match s {
+                    Sym::F(i) => match keep(i) {
+                        Some(j) => renamed.push(Sym::F(j)),
+                        None => continue 'fact, // symbol died: drop the literal
+                    },
+                    c => renamed.push(c),
+                }
+            }
+            self.local.insert((rel, renamed), v);
+        }
+    }
+
+    /// Number of persistent facts (for reporting).
+    pub fn persistent_facts(&self) -> usize {
+        self.facts.len()
+    }
+}
+
+fn ordered(a: CSym, b: CSym) -> (CSym, CSym) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn all_c(args: &[Sym]) -> Option<Vec<CSym>> {
+    args.iter()
+        .map(|s| match s {
+            Sym::C(c) => Some(*c),
+            Sym::F(_) => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+
+    fn table() -> CTable {
+        // literals "a", "b"; db const c0; input const name; witness w
+        let mut b = ServiceBuilder::new("P");
+        b.database_constant("c0")
+            .input_constant("name")
+            .input_relation("i", 1)
+            .page("P")
+            .solicit_constant("name")
+            .input_rule("i", &["x"], r#"x = "a" | x = "b""#);
+        let s = b.build().unwrap();
+        let p = parse_property("forall w . G !r(w)").unwrap();
+        CTable::build(&s, &p)
+    }
+
+    #[test]
+    fn literal_distinctness_is_builtin() {
+        let t = table();
+        let st = SymState::new(t.len());
+        let a = t.literal_sym(&"a".into()).unwrap();
+        let b = t.literal_sym(&"b".into()).unwrap();
+        assert_eq!(st.eq_status(&t, Sym::C(a), Sym::C(b)), Some(false));
+        assert_eq!(st.eq_status(&t, Sym::C(a), Sym::C(a)), Some(true));
+    }
+
+    #[test]
+    fn constant_equalities_are_open_then_decided() {
+        let t = table();
+        let mut st = SymState::new(t.len());
+        let c0 = t.const_sym("c0").unwrap();
+        let a = t.literal_sym(&"a".into()).unwrap();
+        assert_eq!(st.eq_status(&t, Sym::C(c0), Sym::C(a)), None);
+        st.assert_eq_c(&t, c0, a, true).unwrap();
+        assert_eq!(st.eq_status(&t, Sym::C(c0), Sym::C(a)), Some(true));
+        // And now c0 ≠ b by literal propagation through the class.
+        let b = t.literal_sym(&"b".into()).unwrap();
+        assert_eq!(st.eq_status(&t, Sym::C(c0), Sym::C(b)), Some(false));
+        // Merging c0 with b must now conflict.
+        assert_eq!(st.assert_eq_c(&t, c0, b, true), Err(Conflict));
+    }
+
+    #[test]
+    fn diseq_then_eq_conflicts() {
+        let t = table();
+        let mut st = SymState::new(t.len());
+        let name = t.const_sym("name").unwrap();
+        let w = t.witness_sym("w").unwrap();
+        st.assert_eq_c(&t, name, w, false).unwrap();
+        assert_eq!(st.eq_status(&t, Sym::C(name), Sym::C(w)), Some(false));
+        assert_eq!(st.assert_eq_c(&t, name, w, true), Err(Conflict));
+    }
+
+    #[test]
+    fn facts_canonicalize_through_merges() {
+        let t = table();
+        let mut st = SymState::new(t.len());
+        let name = t.const_sym("name").unwrap();
+        let w = t.witness_sym("w").unwrap();
+        st.assert_fact("r", &[Sym::C(name)], true).unwrap();
+        st.assert_fact("r", &[Sym::C(w)], false).unwrap();
+        // Merging the two must now conflict (r holds of one, not the other).
+        assert_eq!(st.assert_eq_c(&t, name, w, true), Err(Conflict));
+    }
+
+    #[test]
+    fn merge_rewrites_fact_keys() {
+        let t = table();
+        let mut st = SymState::new(t.len());
+        let name = t.const_sym("name").unwrap();
+        let w = t.witness_sym("w").unwrap();
+        st.assert_fact("r", &[Sym::C(w)], true).unwrap();
+        st.assert_eq_c(&t, name, w, true).unwrap();
+        // Lookup through either symbol sees the fact.
+        assert_eq!(st.fact_status("r", &[Sym::C(name)]), Some(true));
+        assert_eq!(st.fact_status("r", &[Sym::C(w)]), Some(true));
+    }
+
+    #[test]
+    fn fresh_symbols_equal_only_themselves() {
+        let t = table();
+        let st = SymState::new(t.len());
+        assert_eq!(st.eq_status(&t, Sym::F(0), Sym::F(0)), Some(true));
+        assert_eq!(st.eq_status(&t, Sym::F(0), Sym::F(1)), Some(false));
+        assert_eq!(st.eq_status(&t, Sym::F(0), Sym::C(0)), Some(false));
+    }
+
+    #[test]
+    fn local_facts_retire_with_their_symbols() {
+        let t = table();
+        let mut st = SymState::new(t.len());
+        st.assert_fact("r", &[Sym::F(0), Sym::C(0)], true).unwrap();
+        st.assert_fact("r", &[Sym::F(1), Sym::C(0)], false).unwrap();
+        // Keep only fresh 1, renamed to 0.
+        st.retire_fresh(&|i| if i == 1 { Some(0) } else { None });
+        assert_eq!(st.fact_status("r", &[Sym::F(0), Sym::C(0)]), Some(false));
+        assert_eq!(st.fact_status("r", &[Sym::F(1), Sym::C(0)]), None);
+    }
+
+    #[test]
+    fn conflicting_fact_polarity_detected() {
+        let t = table();
+        let mut st = SymState::new(t.len());
+        st.assert_fact("r", &[Sym::C(0)], true).unwrap();
+        assert_eq!(st.assert_fact("r", &[Sym::C(0)], false), Err(Conflict));
+        assert_eq!(st.fact_status("r", &[Sym::C(0)]), Some(true));
+    }
+}

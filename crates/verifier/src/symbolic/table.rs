@@ -1,0 +1,197 @@
+//! The symbol set `C` of the Local-Run Lemma and the symbolic values.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use wave_core::service::Service;
+use wave_logic::schema::ConstKind;
+use wave_logic::temporal::Property;
+use wave_logic::value::Value;
+
+/// Index into the constant table.
+pub type CSym = u16;
+
+/// A symbolic value: a `C`-symbol or a live fresh symbol (canonically
+/// numbered per configuration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sym {
+    /// A member of the designated symbol set `C`.
+    C(CSym),
+    /// A fresh element introduced by a recent user input (or an ephemeral
+    /// ∃FO witness); distinct from every `C`-symbol and from other fresh
+    /// symbols with different ids.
+    F(u16),
+}
+
+/// What a `C`-symbol denotes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CSymKind {
+    /// A literal of the specification or property — fixed, pairwise
+    /// distinct values.
+    Literal(Value),
+    /// A named database constant (interpretation chosen with the database).
+    DbConst(String),
+    /// An input constant (value provided by the user during the run).
+    InputConst(String),
+    /// A Skolem witness for a universally quantified property variable.
+    Witness(String),
+}
+
+/// The designated symbol set `C`.
+#[derive(Clone, Debug, Default)]
+pub struct CTable {
+    syms: Vec<CSymKind>,
+}
+
+impl CTable {
+    /// Builds `C` from a service and a property: all literals, database
+    /// constants, input constants, and one witness per property variable.
+    pub fn build(service: &Service, property: &Property) -> CTable {
+        let mut literals: BTreeSet<Value> = BTreeSet::new();
+        for page in service.pages.values() {
+            for (body, _) in page.all_bodies() {
+                literals.extend(body.literals_used());
+            }
+        }
+        for comp in property.body.fo_components() {
+            literals.extend(comp.literals_used());
+        }
+        let mut syms = Vec::new();
+        for v in literals {
+            syms.push(CSymKind::Literal(v));
+        }
+        for (name, kind) in service.schema.constants() {
+            match kind {
+                ConstKind::Database => syms.push(CSymKind::DbConst(name.to_string())),
+                ConstKind::Input => syms.push(CSymKind::InputConst(name.to_string())),
+            }
+        }
+        for v in &property.vars {
+            syms.push(CSymKind::Witness(v.clone()));
+        }
+        CTable { syms }
+    }
+
+    /// Number of symbols in `C`.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True when `C` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// The kind of a symbol.
+    pub fn kind(&self, s: CSym) -> &CSymKind {
+        &self.syms[s as usize]
+    }
+
+    /// The literal value of a symbol, if it is a literal.
+    pub fn literal(&self, s: CSym) -> Option<&Value> {
+        match self.kind(s) {
+            CSymKind::Literal(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up the symbol for a literal value.
+    pub fn literal_sym(&self, v: &Value) -> Option<CSym> {
+        self.syms.iter().position(|k| matches!(k, CSymKind::Literal(w) if w == v)).map(|i| i as CSym)
+    }
+
+    /// Looks up the symbol for a named constant (database or input).
+    pub fn const_sym(&self, name: &str) -> Option<CSym> {
+        self.syms
+            .iter()
+            .position(|k| match k {
+                CSymKind::DbConst(n) | CSymKind::InputConst(n) => n == name,
+                _ => false,
+            })
+            .map(|i| i as CSym)
+    }
+
+    /// Looks up the witness symbol for a property variable.
+    pub fn witness_sym(&self, var: &str) -> Option<CSym> {
+        self.syms
+            .iter()
+            .position(|k| matches!(k, CSymKind::Witness(v) if v == var))
+            .map(|i| i as CSym)
+    }
+
+    /// True when the symbol is an input constant.
+    pub fn is_input_const(&self, s: CSym) -> bool {
+        matches!(self.kind(s), CSymKind::InputConst(_))
+    }
+
+    /// Renders a symbol for diagnostics.
+    pub fn render(&self, s: Sym) -> String {
+        match s {
+            Sym::F(i) => format!("✶{i}"),
+            Sym::C(c) => match self.kind(c) {
+                CSymKind::Literal(v) => format!("{v:?}"),
+                CSymKind::DbConst(n) => format!("@{n}"),
+                CSymKind::InputConst(n) => format!("?{n}"),
+                CSymKind::Witness(v) => format!("${v}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for CTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C = {{")?;
+        for i in 0..self.syms.len() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.render(Sym::C(i as CSym)))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+
+    #[test]
+    fn table_collects_all_symbol_sources() {
+        let mut b = ServiceBuilder::new("HP");
+        b.database_relation("user", 2)
+            .database_constant("min")
+            .input_constant("name")
+            .input_relation("button", 1)
+            .page("HP")
+            .solicit_constant("name")
+            .input_rule("button", &["x"], r#"x = "login" | x = "clear""#);
+        let s = b.build().unwrap();
+        let p = parse_property("forall pid . G !ship(pid)").unwrap();
+        let t = CTable::build(&s, &p);
+        assert!(t.literal_sym(&Value::str("login")).is_some());
+        assert!(t.literal_sym(&Value::str("clear")).is_some());
+        assert!(t.const_sym("min").is_some());
+        assert!(t.const_sym("name").is_some());
+        assert!(t.witness_sym("pid").is_some());
+        assert_eq!(t.len(), 5);
+        let name = t.const_sym("name").unwrap();
+        assert!(t.is_input_const(name));
+        assert!(!t.is_input_const(t.const_sym("min").unwrap()));
+    }
+
+    #[test]
+    fn rendering() {
+        let mut b = ServiceBuilder::new("HP");
+        b.input_relation("button", 1)
+            .page("HP")
+            .input_rule("button", &["x"], r#"x = "go""#);
+        let s = b.build().unwrap();
+        let p = parse_property("G true").unwrap();
+        let t = CTable::build(&s, &p);
+        let go = t.literal_sym(&Value::str("go")).unwrap();
+        assert_eq!(t.render(Sym::C(go)), "\"go\"");
+        assert_eq!(t.render(Sym::F(2)), "✶2");
+    }
+}

@@ -1,0 +1,240 @@
+//! LTL-FO checking on recorded runs.
+//!
+//! The paper treats runs as infinite ("finite runs can be easily
+//! represented as infinite runs by fake loops", §2). This module applies
+//! that device to *concrete* executions: a scripted prefix of
+//! configurations, closed into a lasso (by default the final
+//! configuration repeats forever), is checked against an LTL-FO sentence
+//! under the run's active-domain semantics.
+//!
+//! This is the scenario-level complement to the verifiers: it answers
+//! "does *this* interaction satisfy the property?" — e.g. replaying the
+//! Example 2.2 purchase and checking Example 3.4's property (4) on it.
+
+use std::collections::BTreeSet;
+
+use wave_core::run::Config;
+use wave_logic::eval::{eval_closed_with_adom, Env, EvalError};
+use wave_logic::formula::Term;
+use wave_logic::instance::Instance;
+use wave_logic::temporal::{Property, TemporalClass};
+use wave_logic::value::Value;
+
+use wave_automata::props::PropSet;
+
+use crate::abstraction::{to_pnf, FoAbstraction};
+use crate::enumerative::EnumError;
+
+/// Checks an LTL-FO property on the lasso run `configs[..] ·
+/// configs[loop_start..]^ω`.
+///
+/// The property's universally quantified variables range over the run's
+/// active domain (`Dom(ρ)` in Definition 3.1): database elements, values
+/// occurring in the configurations, and the property's own literals.
+/// Returns `Ok(None)` on success or `Ok(Some(witness))` with a violating
+/// witness assignment.
+pub fn check_lasso(
+    db: &Instance,
+    configs: &[Config],
+    loop_start: usize,
+    property: &Property,
+) -> Result<Option<Env>, EnumError> {
+    assert!(!configs.is_empty(), "a run needs at least one configuration");
+    assert!(loop_start < configs.len(), "loop start must index the run");
+    if property.classify() != TemporalClass::Ltl {
+        return Err(EnumError::NotLtl);
+    }
+
+    let mut table = FoAbstraction::default();
+    let pnf = to_pnf(&property.body, false, &mut table).ok_or(EnumError::NotLtl)?;
+
+    // Dom(ρ): the active domain of the whole run.
+    let mut dom: BTreeSet<Value> = db.active_domain();
+    for cfg in configs {
+        dom.extend(cfg.observation(db).active_domain());
+    }
+    for comp in &table.components {
+        dom.extend(comp.literals_used());
+    }
+
+    // Witness assignments over Dom(ρ).
+    let mut envs: Vec<Env> = vec![Env::new()];
+    for v in &property.vars {
+        let mut next = Vec::with_capacity(envs.len() * dom.len());
+        for e in &envs {
+            for val in &dom {
+                let mut e2 = e.clone();
+                e2.insert(v.clone(), val.clone());
+                next.push(e2);
+            }
+        }
+        envs = next;
+    }
+
+    for env in envs {
+        let mut letters = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let obs = cfg.observation(db);
+            let mut adom = obs.active_domain();
+            adom.extend(dom.iter().cloned());
+            let mut set = PropSet::new();
+            for (i, comp) in table.components.iter().enumerate() {
+                let grounded = comp
+                    .substitute(&|v| env.get(v).map(|val| Term::Lit(val.clone())));
+                match eval_closed_with_adom(&grounded, &obs, &adom) {
+                    Ok(true) => {
+                        set.insert(i as u32);
+                    }
+                    Ok(false) => {}
+                    // Unprovided input constant ⇒ component unsatisfied
+                    // (Definition 3.1's satisfaction condition).
+                    Err(EvalError::UnknownConstant(_)) => {}
+                    Err(e) => return Err(EnumError::Step(e.to_string())),
+                }
+            }
+            letters.push(set);
+        }
+        let (stem, lasso) = letters.split_at(loop_start);
+        if !pnf.eval_lasso(stem, lasso) {
+            return Ok(Some(env));
+        }
+    }
+    Ok(None)
+}
+
+/// Convenience: close the run by repeating its final configuration (the
+/// "fake loop" of §2).
+pub fn check_stuttered(
+    db: &Instance,
+    configs: &[Config],
+    property: &Property,
+) -> Result<Option<Env>, EnumError> {
+    check_lasso(db, configs, configs.len() - 1, property)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core::builder::ServiceBuilder;
+    use wave_core::run::{InputChoice, Runner};
+    use wave_logic::parser::parse_property;
+    use wave_logic::tuple;
+
+    fn toggle() -> wave_core::service::Service {
+        let mut b = ServiceBuilder::new("P");
+        b.input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .target("Q", "go")
+            .page("Q")
+            .input_prop_on_page("go")
+            .target("P", "go");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scripted_run_satisfies_safety() {
+        let s = toggle();
+        let db = Instance::new();
+        let r = Runner::new(&s, &db);
+        let c0 = r.initial(&InputChoice::empty().with_prop("go", true)).unwrap();
+        let c1 = r.step(&c0, &InputChoice::empty()).unwrap();
+        let run = [c0, c1];
+        let p = parse_property("G (P | Q)").unwrap();
+        assert_eq!(check_stuttered(&db, &run, &p).unwrap(), None);
+        // F Q holds on THIS run (we pressed go).
+        let q = parse_property("F Q").unwrap();
+        assert_eq!(check_stuttered(&db, &run, &q).unwrap(), None);
+        // G P fails at σ1.
+        let g = parse_property("G P").unwrap();
+        assert!(check_stuttered(&db, &run, &g).unwrap().is_some());
+    }
+
+    #[test]
+    fn lasso_loop_start_matters() {
+        let s = toggle();
+        let db = Instance::new();
+        let r = Runner::new(&s, &db);
+        // P → Q → P, loop over the whole thing: GF Q holds.
+        let c0 = r.initial(&InputChoice::empty().with_prop("go", true)).unwrap();
+        let c1 = r.step(&c0, &InputChoice::empty().with_prop("go", true)).unwrap();
+        let c2 = r.step(&c1, &InputChoice::empty().with_prop("go", true)).unwrap();
+        assert_eq!(c2.page, "P");
+        let run = [c0, c1, c2];
+        let gfq = parse_property("G (F Q)").unwrap();
+        assert_eq!(check_lasso(&db, &run, 0, &gfq).unwrap(), None);
+        // Stuttering on the final P instead: GF Q fails.
+        assert!(check_stuttered(&db, &run, &gfq).unwrap().is_some());
+    }
+
+    #[test]
+    fn witnessed_property_reports_the_witness() {
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("item", 1)
+            .input_relation("pick", 1)
+            .page("P")
+            .input_rule("pick", &["y"], "item(y)");
+        let s = b.build().unwrap();
+        let mut db = Instance::new();
+        db.insert("item", tuple!["apple"]);
+        db.insert("item", tuple!["pear"]);
+        let r = Runner::new(&s, &db);
+        let c0 = r
+            .initial(&InputChoice::empty().with_tuple("pick", tuple!["apple"]))
+            .unwrap();
+        let run = [c0];
+        // ∀x G ¬pick(x) must fail with witness x = "apple".
+        let p = parse_property("forall x . G !(exists q . (pick(q) & q = x))").unwrap();
+        let w = check_stuttered(&db, &run, &p).unwrap().expect("violated");
+        assert_eq!(w.get("x"), Some(&wave_logic::value::Value::str("apple")));
+    }
+
+    #[test]
+    fn property_4_on_the_purchase_scenario() {
+        // Replay the Example 2.2 purchase on the full site and check
+        // Example 3.4's property (4) on the concrete trace.
+        use wave_demo::{catalog, properties, site};
+        let s = site::full_site();
+        let db = catalog::tiny();
+        let r = Runner::new(&s, &db);
+        let mut run = Vec::new();
+        let c = r
+            .initial(
+                &InputChoice::empty()
+                    .with_constant("name", "alice")
+                    .with_constant("password", "pw1")
+                    .with_tuple("button", tuple!["login"]),
+            )
+            .unwrap();
+        run.push(c.clone());
+        let steps: Vec<InputChoice> = vec![
+            InputChoice::empty().with_tuple("button", tuple!["laptop"]),
+            InputChoice::empty()
+                .with_tuple("laptopsearch", tuple!["8gb", "1tb", "13in"])
+                .with_tuple("button", tuple!["search"]),
+            InputChoice::empty().with_tuple("pickprod", tuple!["p1", 999]),
+            InputChoice::empty().with_tuple("button", tuple!["add to cart"]),
+            InputChoice::empty().with_tuple("button", tuple!["buy"]),
+            InputChoice::empty()
+                .with_constant("card", "4242")
+                .with_tuple("pay", tuple![999])
+                .with_tuple("button", tuple!["authorize payment"]),
+            InputChoice::empty(),
+        ];
+        let mut cur = c;
+        for step in &steps {
+            cur = r.step(&cur, step).unwrap();
+            run.push(cur.clone());
+        }
+        assert_eq!(cur.page, "COP");
+        // Property (4): paid-before-ship — holds on this honest purchase.
+        let p4 = properties::paid_before_ship();
+        assert_eq!(check_stuttered(&db, &run, &p4).unwrap(), None);
+        // A deliberately wrong variant: "conf(name, price) never fires" is
+        // violated on this trace (it fired at 999).
+        let never_conf =
+            parse_property("forall price . G !conf(name, price)").unwrap();
+        let w = check_stuttered(&db, &run, &never_conf).unwrap().expect("violated");
+        assert_eq!(w.get("price"), Some(&wave_logic::value::Value::Int(999)));
+    }
+}

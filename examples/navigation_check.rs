@@ -1,0 +1,49 @@
+//! Navigational verification of the Example 4.3 propositional
+//! abstraction: CTL and CTL\* properties over the page graph.
+//!
+//! ```sh
+//! cargo run --example navigation_check
+//! ```
+
+use wave::demo::{properties, site};
+use wave::logic::instance::Instance;
+use wave::logic::parser::parse_temporal;
+use wave::verifier::ctl_prop::{verify_ctl_on_db, CtlOptions};
+
+fn main() {
+    let nav = site::navigation_abstraction();
+    let db = Instance::new();
+    let opts = CtlOptions::default();
+
+    // Example 4.3: AG EF HP — from any page the user can navigate home.
+    let home = properties::always_can_go_home();
+    let ok = verify_ctl_on_db(&nav, &db, &home, &opts).unwrap();
+    println!("AG EF HP: {ok}");
+    assert!(ok, "every page keeps a path home");
+
+    // Example 4.3: after login, payment is reachable.
+    let pay = properties::login_can_reach_payment();
+    let ok = verify_ctl_on_db(&nav, &db, &pay, &opts).unwrap();
+    println!("AG (HP ∧ login → EF authorize-payment): {ok}");
+    assert!(ok);
+
+    // A CTL* property: some run eventually settles on the home page.
+    let settle = parse_temporal("E F (G HP)", &[]).unwrap();
+    let ok = verify_ctl_on_db(&nav, &db, &settle, &opts).unwrap();
+    println!("E FG HP: {ok}");
+    assert!(ok, "idling on HP forever is a run");
+
+    // And a failing one, with the expected verdict: all runs eventually
+    // pay — false, the user may never buy anything.
+    let all_pay = parse_temporal("A F paid", &[]).unwrap();
+    let ok = verify_ctl_on_db(&nav, &db, &all_pay, &opts).unwrap();
+    println!("AF paid: {ok}");
+    assert!(!ok);
+
+    // Example 4.1 (abstracted): bought ⇒ cancellable until shipped. The
+    // abstraction has no ship/cancel propositions on this skeleton, so
+    // state it over paid/logged_in to demonstrate shape checking only.
+    let ex41 = properties::cancellable_until_ship("paid", "logged_in", "HP");
+    let ok = verify_ctl_on_db(&nav, &db, &ex41, &opts).unwrap();
+    println!("Example 4.1 shape over the abstraction: {ok}");
+}

@@ -1,0 +1,47 @@
+//! # wave — verification of data-driven Web services
+//!
+//! A from-scratch Rust reproduction of *Deutsch, Sui, Vianu —
+//! "Specification and Verification of Data-driven Web Services"
+//! (PODS 2004)*: the Web-service specification model, the LTL-FO and
+//! CTL(\*)-FO property languages, and every decision procedure the paper
+//! proves decidable, plus executable versions of the boundary reductions.
+//!
+//! This facade crate re-exports the sub-crates:
+//!
+//! * [`logic`] — relational substrate, FO with active-domain semantics,
+//!   input-boundedness, temporal logics, parser.
+//! * [`automata`] — Büchi automata, LTL→Büchi, Kripke structures,
+//!   CTL/CTL\* model checking, CTL satisfiability.
+//! * [`core`] — the Web-service model (pages, rules, runs, classification).
+//! * [`verifier`] — the decision procedures (Theorems 3.5, 4.4–4.9).
+//! * [`reductions`] — QBF / Turing machine / FD-ID boundary encodings.
+//! * [`demo`] — the paper's running e-commerce example (Figures 1 and 2).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+//!
+//! ```
+//! use wave::core::ServiceBuilder;
+//! use wave::logic::parser::parse_property;
+//! use wave::verifier::symbolic::{verify_ltl, SymbolicOptions};
+//!
+//! let mut b = ServiceBuilder::new("P");
+//! b.input_relation("go", 0)
+//!     .page("P")
+//!     .input_prop_on_page("go")
+//!     .target("Q", "go")
+//!     .page("Q");
+//! let service = b.build().unwrap();
+//!
+//! // Verified over all databases and user behaviours (Theorem 3.5):
+//! let safety = parse_property("G (P | Q)").unwrap();
+//! assert!(verify_ltl(&service, &safety, &SymbolicOptions::default())
+//!     .unwrap()
+//!     .holds());
+//! ```
+
+pub use wave_automata as automata;
+pub use wave_core as core;
+pub use wave_demo as demo;
+pub use wave_logic as logic;
+pub use wave_reductions as reductions;
+pub use wave_verifier as verifier;

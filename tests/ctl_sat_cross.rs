@@ -1,0 +1,140 @@
+//! Cross-validation of the CTL satisfiability tableau (Theorem 4.9's
+//! engine) against the CTL model checker: whatever some structure
+//! satisfies must be satisfiable, and a formula the tableau declares
+//! unsatisfiable must fail at every state of every sampled structure.
+
+use wave::automata::ctl_mc;
+use wave::automata::ctl_sat::is_satisfiable;
+use wave::automata::kripke::Kripke;
+use wave::automata::pformula::PFormula;
+use wave::automata::props::PropSet;
+
+fn lcg(seed: &mut u64) -> u32 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (*seed >> 33) as u32
+}
+
+fn random_kripke(seed: &mut u64, states: usize, props: u32) -> Kripke {
+    let mut k = Kripke::new();
+    for _ in 0..states {
+        let label = PropSet::from_ids((0..props).filter(|_| lcg(seed).is_multiple_of(2)));
+        k.add_state(label);
+    }
+    for s in 0..states {
+        let deg = 1 + lcg(seed) % 2;
+        for _ in 0..deg {
+            let t = (lcg(seed) as usize) % states;
+            k.add_edge(s, t);
+        }
+        if k.succ[s].is_empty() {
+            k.add_edge(s, s);
+        }
+    }
+    k.close_with_self_loops();
+    k.add_initial(0);
+    k
+}
+
+fn random_ctl(seed: &mut u64, depth: u32, props: u32) -> PFormula {
+    if depth == 0 {
+        return PFormula::Prop(lcg(seed) % props);
+    }
+    match lcg(seed) % 9 {
+        0 => PFormula::not(random_ctl(seed, depth - 1, props)),
+        1 => PFormula::and([
+            random_ctl(seed, depth - 1, props),
+            random_ctl(seed, depth - 1, props),
+        ]),
+        2 => PFormula::or([
+            random_ctl(seed, depth - 1, props),
+            random_ctl(seed, depth - 1, props),
+        ]),
+        3 => PFormula::exists_path(PFormula::next(random_ctl(seed, depth - 1, props))),
+        4 => PFormula::all_paths(PFormula::next(random_ctl(seed, depth - 1, props))),
+        5 => PFormula::exists_path(PFormula::eventually(random_ctl(seed, depth - 1, props))),
+        6 => PFormula::all_paths(PFormula::always(random_ctl(seed, depth - 1, props))),
+        7 => PFormula::exists_path(PFormula::until(
+            random_ctl(seed, depth - 1, props),
+            random_ctl(seed, depth - 1, props),
+        )),
+        _ => PFormula::all_paths(PFormula::until(
+            random_ctl(seed, depth - 1, props),
+            random_ctl(seed, depth - 1, props),
+        )),
+    }
+}
+
+#[test]
+fn model_satisfaction_implies_satisfiability() {
+    let mut seed = 0xABCDEF0123u64;
+    let mut sat_hits = 0;
+    for _ in 0..40 {
+        let f = random_ctl(&mut seed, 2, 2);
+        let k = random_kripke(&mut seed, 4, 2);
+        let states = ctl_mc::check(&k, &f).unwrap();
+        if states.iter().any(|&b| b) {
+            let r = is_satisfiable(&f, 24).unwrap();
+            assert!(r.is_sat(), "model-checked true somewhere but tableau says unsat: {f:?}");
+            sat_hits += 1;
+        }
+    }
+    assert!(sat_hits > 10, "the random family should produce satisfiable cases");
+}
+
+#[test]
+fn unsat_formulas_fail_everywhere() {
+    let mut seed = 0x1234u64;
+    let mut unsat_hits = 0;
+    for _ in 0..60 {
+        let f = PFormula::and([
+            random_ctl(&mut seed, 2, 2),
+            random_ctl(&mut seed, 2, 2),
+        ]);
+        let r = match is_satisfiable(&f, 24) {
+            Ok(r) => r,
+            Err(_) => continue, // too large: skip
+        };
+        if !r.is_sat() {
+            unsat_hits += 1;
+            for _ in 0..5 {
+                let k = random_kripke(&mut seed, 5, 2);
+                let states = ctl_mc::check(&k, &f).unwrap();
+                assert!(
+                    states.iter().all(|&b| !b),
+                    "tableau-unsat formula satisfied by a structure: {f:?}"
+                );
+            }
+        }
+    }
+    assert!(unsat_hits > 0, "the conjunction family should produce unsat cases");
+}
+
+#[test]
+fn validities_hold_in_random_structures() {
+    // ¬φ unsat ⟹ φ valid ⟹ every state of every structure satisfies φ.
+    let mut seed = 0xBEEF;
+    let candidates = [
+        // AG p → p
+        PFormula::implies(
+            PFormula::all_paths(PFormula::always(PFormula::Prop(0))),
+            PFormula::Prop(0),
+        ),
+        // EX true
+        PFormula::exists_path(PFormula::next(PFormula::True)),
+        // A(p U q) → EF q
+        PFormula::implies(
+            PFormula::all_paths(PFormula::until(PFormula::Prop(0), PFormula::Prop(1))),
+            PFormula::exists_path(PFormula::eventually(PFormula::Prop(1))),
+        ),
+    ];
+    for f in &candidates {
+        let neg = PFormula::not(f.clone());
+        let r = is_satisfiable(&neg, 24).unwrap();
+        assert!(!r.is_sat(), "expected validity: {f:?}");
+        for _ in 0..10 {
+            let k = random_kripke(&mut seed, 5, 2);
+            let states = ctl_mc::check(&k, f).unwrap();
+            assert!(states.iter().all(|&b| b));
+        }
+    }
+}

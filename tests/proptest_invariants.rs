@@ -1,0 +1,233 @@
+//! Property-based tests on the core data structures and logical
+//! invariants (deliverable (c): proptest coverage).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use wave::automata::pltl::Pnf;
+use wave::automata::props::PropSet;
+use wave::logic::eval::eval_closed_with_adom;
+use wave::logic::formula::{Formula, Term};
+use wave::logic::instance::Instance;
+use wave::logic::normalize::{dnf, nnf, standardize_apart};
+use wave::logic::value::{Tuple, Value};
+
+// ---------- strategies ----------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..5).prop_map(Value::Int),
+        "[a-c]{1,2}".prop_map(Value::str),
+    ]
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0usize..2, arb_value(), arb_value()), 0..8).prop_map(|rows| {
+        let mut i = Instance::new();
+        for (rel, a, b) in rows {
+            let name = ["r", "s"][rel];
+            i.insert(name, Tuple(vec![a, b]));
+        }
+        i
+    })
+}
+
+/// Closed FO formulas over binary relations r, s with nested quantifiers.
+fn arb_sentence() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0usize..2, arb_value(), arb_value()).prop_map(|(rel, a, b)| {
+            Formula::rel(["r", "s"][rel], vec![Term::Lit(a), Term::Lit(b)])
+        }),
+    ];
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
+            (0usize..2, inner.clone()).prop_map(|(rel, f)| {
+                // ∃x (R(x,x) ∧/∨ f) — exercises binding
+                Formula::Exists(
+                    vec!["x".into()],
+                    Box::new(Formula::Or(vec![
+                        Formula::rel(
+                            ["r", "s"][rel],
+                            vec![Term::var("x"), Term::var("x")],
+                        ),
+                        f,
+                    ])),
+                )
+            }),
+            inner.prop_map(|f| Formula::Forall(
+                vec!["x".into()],
+                Box::new(Formula::Or(vec![
+                    Formula::neq(Term::var("x"), Term::var("x")),
+                    f
+                ]))
+            )),
+        ]
+    })
+}
+
+fn adom_of(i: &Instance, f: &Formula) -> BTreeSet<Value> {
+    let mut adom = i.active_domain();
+    adom.extend(f.literals_used());
+    // quantifiers over an empty domain are degenerate; keep one element
+    adom.insert(Value::Int(0));
+    adom
+}
+
+// ---------- logic layer ----------
+
+proptest! {
+    #[test]
+    fn nnf_preserves_semantics(f in arb_sentence(), i in arb_instance()) {
+        let adom = adom_of(&i, &f);
+        let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
+        let b = eval_closed_with_adom(&nnf(&f), &i, &adom).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standardize_apart_preserves_semantics(f in arb_sentence(), i in arb_instance()) {
+        let adom = adom_of(&i, &f);
+        let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
+        let b = eval_closed_with_adom(&standardize_apart(&f), &i, &adom).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dnf_preserves_semantics_of_quantifier_free(
+        f in arb_sentence().prop_filter("qf", |f| f.is_quantifier_free()),
+        i in arb_instance(),
+    ) {
+        let adom = adom_of(&i, &f);
+        let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
+        let d = dnf(&f).unwrap();
+        let g = Formula::or(d.into_iter().map(|conj| {
+            Formula::and(conj.into_iter().map(|l| l.to_formula()))
+        }));
+        let b = eval_closed_with_adom(&g, &i, &adom).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn double_negation_is_identity(f in arb_sentence(), i in arb_instance()) {
+        let adom = adom_of(&i, &f);
+        let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
+        let nn = Formula::not(Formula::not(f));
+        let b = eval_closed_with_adom(&nn, &i, &adom).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------- PropSet vs a reference set model ----------
+
+proptest! {
+    #[test]
+    fn propset_models_btreeset(ops in proptest::collection::vec((0u32..200, any::<bool>()), 0..60)) {
+        let mut ps = PropSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for (id, insert) in ops {
+            if insert {
+                prop_assert_eq!(ps.insert(id), model.insert(id));
+            } else {
+                prop_assert_eq!(ps.remove(id), model.remove(&id));
+            }
+        }
+        prop_assert_eq!(ps.len(), model.len());
+        let collected: Vec<u32> = ps.iter().collect();
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn propset_subset_matches_model(
+        a in proptest::collection::btree_set(0u32..100, 0..20),
+        b in proptest::collection::btree_set(0u32..100, 0..20),
+    ) {
+        let pa = PropSet::from_ids(a.iter().copied());
+        let pb = PropSet::from_ids(b.iter().copied());
+        prop_assert_eq!(pa.is_subset(&pb), a.is_subset(&b));
+        prop_assert_eq!(pa.is_disjoint(&pb), a.is_disjoint(&b));
+    }
+}
+
+// ---------- LTL semantics vs Büchi translation ----------
+
+fn arb_pnf() -> impl Strategy<Value = Pnf> {
+    let atom = prop_oneof![
+        (0u32..3).prop_map(Pnf::prop),
+        (0u32..3).prop_map(Pnf::nprop),
+        Just(Pnf::True),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::and([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::or([a, b])),
+            inner.clone().prop_map(Pnf::next),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::until(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::release(a, b)),
+            inner.clone().prop_map(Pnf::eventually),
+            inner.prop_map(Pnf::always),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = (Vec<PropSet>, Vec<PropSet>)> {
+    let letter = proptest::collection::btree_set(0u32..3, 0..3)
+        .prop_map(PropSet::from_ids);
+    (
+        proptest::collection::vec(letter.clone(), 0..3),
+        proptest::collection::vec(letter, 1..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn buchi_translation_matches_lasso_semantics(
+        f in arb_pnf(),
+        (stem, lasso) in arb_word(),
+    ) {
+        let expected = f.eval_lasso(&stem, &lasso);
+        let aut = wave::automata::ltl2buchi::translate(&f);
+        prop_assert_eq!(aut.accepts_lasso(&stem, &lasso), expected);
+    }
+
+    #[test]
+    fn negation_flips_acceptance(
+        f in arb_pnf(),
+        (stem, lasso) in arb_word(),
+    ) {
+        let v = f.eval_lasso(&stem, &lasso);
+        prop_assert_eq!(f.negate().eval_lasso(&stem, &lasso), !v);
+    }
+}
+
+// ---------- run semantics determinism ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn transition_core_is_deterministic(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        use wave::core::run::{InputChoice, Runner};
+        let s = wave::demo::site::navigation_abstraction();
+        let db = Instance::new();
+        let r = Runner::new(&s, &db);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels = ["login", "register", "clear"];
+        let choice = InputChoice::empty()
+            .with_tuple("button", wave::logic::tuple![labels[rng.gen_range(0..3)]])
+            .with_prop("lookup_ok", rng.gen_bool(0.5))
+            .with_prop("is_admin", rng.gen_bool(0.5));
+        let c0 = r.initial(&choice).unwrap();
+        let a = r.transition_core(&c0).unwrap();
+        let b = r.transition_core(&c0).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

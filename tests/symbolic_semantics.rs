@@ -1,0 +1,179 @@
+//! Fine-grained semantics tests for the symbolic verifier: step timing
+//! (σ_i pairs the page with *its* input), one-step `prev` windows, action
+//! visibility, and input-constant equality reasoning.
+
+use wave::core::{Service, ServiceBuilder};
+use wave::logic::parser::parse_property;
+use wave::verifier::enumerative::{verify_ltl_on_db, EnumOptions};
+use wave::verifier::symbolic::{verify_ltl, SymbolicOptions, VerifyOutcome};
+
+fn sym(service: &Service, prop: &str) -> VerifyOutcome {
+    let p = parse_property(prop).unwrap();
+    verify_ltl(service, &p, &SymbolicOptions::default()).unwrap()
+}
+
+fn toggle() -> Service {
+    let mut b = ServiceBuilder::new("P");
+    b.input_relation("go", 0)
+        .page("P")
+        .input_prop_on_page("go")
+        .target("Q", "go")
+        .page("Q")
+        .input_prop_on_page("go")
+        .target("P", "go");
+    b.build().unwrap()
+}
+
+#[test]
+fn input_is_paired_with_its_page() {
+    // σ_i = ⟨V_i, S_i, I_i, …⟩: pressing `go` on P means the NEXT page is
+    // Q — `G((P ∧ go) → X Q)` holds, while `G(go → Q)` (same step) fails.
+    let s = toggle();
+    assert!(sym(&s, "G (!(P & go) | X Q)").holds());
+    assert!(sym(&s, "G (!go | Q)").violated());
+}
+
+#[test]
+fn actions_visible_one_step_later() {
+    // An action fired at σ_i appears in σ_{i+1} (Definition 2.3: "state
+    // and actions specified at step i+1 are those triggered at step i").
+    let mut b = ServiceBuilder::new("P");
+    b.input_relation("go", 0)
+        .action_prop("beep")
+        .page("P")
+        .input_prop_on_page("go")
+        .action_rule("beep", &[], "go");
+    let s = b.build().unwrap();
+    // Same-step visibility fails…
+    assert!(sym(&s, "G (!go | beep)").violated());
+    // …next-step visibility holds.
+    assert!(sym(&s, "G (!go | X beep)").holds());
+    // And beep never fires without a preceding go… initial beep is empty.
+    assert!(sym(&s, "!beep").holds());
+}
+
+#[test]
+fn prev_window_is_exactly_one_step() {
+    // A state can observe whether the current input equals the previous
+    // one; two steps back is invisible (the decidability crux of §3).
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("item", 1)
+        .input_relation("pick", 1)
+        .state_prop("repeat")
+        .page("P")
+        .input_rule("pick", &["y"], "item(y)")
+        .insert_rule(
+            "repeat",
+            &[],
+            "exists y . (pick(y) & exists z . (prev_pick(z) & z = y))",
+        )
+        .delete_rule(
+            "repeat",
+            &[],
+            "!(exists y . (pick(y) & exists z . (prev_pick(z) & z = y)))",
+        );
+    let s = b.build().unwrap();
+    // `repeat` can become true (user picks the same element twice)…
+    assert!(sym(&s, "G !repeat").violated());
+    // …and can stay false forever (always-fresh picks).
+    assert!(sym(&s, "F repeat").violated());
+    // It is never true at σ_0 or σ_1 (needs a prev).
+    assert!(sym(&s, "!repeat & X !repeat").holds());
+}
+
+#[test]
+fn input_constant_equality_is_symbolic() {
+    // The admin branching of Example 2.2: name = "Admin" is a symbolic
+    // equality guess, so both branches exist without enumerating values.
+    let mut b = ServiceBuilder::new("HP");
+    b.database_relation("user", 2)
+        .input_relation("button", 1)
+        .input_constant("name")
+        .input_constant("password")
+        .page("HP")
+        .solicit_constant("name")
+        .solicit_constant("password")
+        .input_rule("button", &["x"], r#"x = "login""#)
+        .target(
+            "CP",
+            r#"user(name, password) & button("login") & name != "Admin""#,
+        )
+        .target(
+            "AP",
+            r#"user(name, password) & button("login") & name = "Admin""#,
+        )
+        .page("CP")
+        .page("AP");
+    let s = b.build().unwrap();
+    assert!(sym(&s, "G !CP").violated(), "a non-admin login exists");
+    assert!(sym(&s, "G !AP").violated(), "the admin login exists");
+    // Pages are mutually exclusive per step.
+    assert!(sym(&s, "G !(CP & AP)").holds());
+}
+
+#[test]
+fn database_consistency_along_a_run() {
+    // The database is fixed for the whole run: once a run observed
+    // user(name, password) (by entering CP), the same lookup cannot fail
+    // later. Encode: after CP, pressing login again cannot lead to MP.
+    let mut b = ServiceBuilder::new("HP");
+    b.database_relation("user", 2)
+        .input_relation("button", 1)
+        .input_constant("name")
+        .input_constant("password")
+        .page("HP")
+        .solicit_constant("name")
+        .solicit_constant("password")
+        .input_rule("button", &["x"], r#"x = "login""#)
+        .target("CP", r#"user(name, password) & button("login")"#)
+        .target("MP", r#"!user(name, password) & button("login")"#)
+        .page("CP")
+        .input_rule("button", &["x"], r#"x = "retry""#)
+        .target("HP2", r#"button("retry")"#)
+        .page("HP2")
+        .input_rule("button", &["x"], r#"x = "login""#)
+        .target("CP", r#"user(name, password) & button("login")"#)
+        .target("MP", r#"!user(name, password) & button("login")"#)
+        .page("MP");
+    let s = b.build().unwrap();
+    // Once on CP, MP is unreachable (the fact user(name,password) is
+    // committed in the knowledge store).
+    assert!(sym(&s, "G (!CP | G !MP)").holds());
+    // And symmetrically, MP forever excludes CP.
+    assert!(sym(&s, "G (!MP | G !CP)").holds());
+}
+
+#[test]
+fn symbolic_matches_enumerative_on_timing_family() {
+    // The timing-sensitive properties above, cross-checked concretely.
+    let s = toggle();
+    let db = wave::logic::instance::Instance::new();
+    for (prop, expect) in [
+        ("G (!(P & go) | X Q)", true),
+        ("G (!go | Q)", false),
+        ("G (!(Q & go) | X P)", true),
+    ] {
+        let p = parse_property(prop).unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert_eq!(out.holds(), expect, "enumerative on {prop}");
+        assert_eq!(sym(&s, prop).holds(), expect, "symbolic on {prop}");
+    }
+}
+
+#[test]
+fn until_and_next_combinations() {
+    let s = toggle();
+    // P U Q fails (may idle), but pressing go guarantees (P U Q).
+    assert!(sym(&s, "P U Q").violated());
+    assert!(sym(&s, "!go | (P U Q)").holds());
+    // X X-depth: two presses from P land back on P.
+    assert!(sym(&s, "G (!(P & go) | X (!go | X P))").holds());
+}
+
+#[test]
+fn node_limit_is_honored() {
+    let s = toggle();
+    let p = parse_property("G (P | Q)").unwrap();
+    let out = verify_ltl(&s, &p, &SymbolicOptions { node_limit: 1 }).unwrap();
+    assert!(matches!(out, VerifyOutcome::LimitReached));
+}
