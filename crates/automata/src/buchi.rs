@@ -135,12 +135,18 @@ mod tests {
 
     #[test]
     fn guard_semantics() {
-        let g = Guard { pos: ps(&[1]), neg: ps(&[2]) };
+        let g = Guard {
+            pos: ps(&[1]),
+            neg: ps(&[2]),
+        };
         assert!(g.accepts(&ps(&[1, 3])));
         assert!(!g.accepts(&ps(&[1, 2])));
         assert!(!g.accepts(&ps(&[3])));
         assert!(g.consistent());
-        let bad = Guard { pos: ps(&[1]), neg: ps(&[1]) };
+        let bad = Guard {
+            pos: ps(&[1]),
+            neg: ps(&[1]),
+        };
         assert!(!bad.consistent());
         assert!(Guard::top().accepts(&ps(&[])));
     }
@@ -149,7 +155,13 @@ mod tests {
     /// state 1 requires p0; accepting = state 1.
     fn gf_p0() -> Buchi {
         Buchi {
-            guard: vec![Guard::top(), Guard { pos: ps(&[0]), neg: ps(&[]) }],
+            guard: vec![
+                Guard::top(),
+                Guard {
+                    pos: ps(&[0]),
+                    neg: ps(&[]),
+                },
+            ],
             succ: vec![vec![0, 1], vec![0, 1]],
             initial: vec![0, 1],
             accepting: vec![false, true],

@@ -296,9 +296,7 @@ mod tests {
     #[test]
     fn rejects_non_ctl() {
         let k = k1();
-        let f = PFormula::all_paths(PFormula::eventually(PFormula::always(
-            PFormula::Prop(0),
-        )));
+        let f = PFormula::all_paths(PFormula::eventually(PFormula::always(PFormula::Prop(0))));
         assert!(check(&k, &f).is_err());
     }
 

@@ -82,7 +82,10 @@ fn lower(f: &PFormula, pos: bool) -> Result<Nf, SatError> {
         PFormula::Prop(p) => Nf::Lit(*p, pos),
         PFormula::Not(g) => lower(g, !pos)?,
         PFormula::And(fs) => {
-            let parts = fs.iter().map(|g| lower(g, pos)).collect::<Result<Vec<_>, _>>()?;
+            let parts = fs
+                .iter()
+                .map(|g| lower(g, pos))
+                .collect::<Result<Vec<_>, _>>()?;
             if pos {
                 Nf::And(parts)
             } else {
@@ -90,7 +93,10 @@ fn lower(f: &PFormula, pos: bool) -> Result<Nf, SatError> {
             }
         }
         PFormula::Or(fs) => {
-            let parts = fs.iter().map(|g| lower(g, pos)).collect::<Result<Vec<_>, _>>()?;
+            let parts = fs
+                .iter()
+                .map(|g| lower(g, pos))
+                .collect::<Result<Vec<_>, _>>()?;
             if pos {
                 Nf::Or(parts)
             } else {
@@ -111,7 +117,11 @@ fn lower_path(path: &PFormula, pos: bool, exists: bool) -> Option<Nf> {
     match path {
         PFormula::X(g) => {
             let inner = lower(g, pos).ok()?;
-            Some(if e { Nf::Ex(Box::new(inner)) } else { Nf::Ax(Box::new(inner)) })
+            Some(if e {
+                Nf::Ex(Box::new(inner))
+            } else {
+                Nf::Ax(Box::new(inner))
+            })
         }
         PFormula::F(g) => {
             // Fφ = true U φ; ¬Fφ = false R ¬φ
@@ -261,11 +271,19 @@ pub fn is_satisfiable(f: &PFormula, max_elementary: usize) -> Result<SatResult, 
     let combos = 1usize << n_elem;
     for mask in 0..combos {
         let prop_val = |p: PropId| -> bool {
-            let i = cl.props.iter().position(|q| *q == p).expect("prop interned");
+            let i = cl
+                .props
+                .iter()
+                .position(|q| *q == p)
+                .expect("prop interned");
             mask & (1 << i) != 0
         };
         let modal_val = |id: usize| -> bool {
-            let i = cl.modal.iter().position(|m| *m == id).expect("modal interned");
+            let i = cl
+                .modal
+                .iter()
+                .position(|m| *m == id)
+                .expect("modal interned");
             mask & (1 << (cl.props.len() + i)) != 0
         };
         // Derive truth of every closure formula bottom-up (ids are in
@@ -283,23 +301,19 @@ pub fn is_satisfiable(f: &PFormula, max_elementary: usize) -> Result<SatResult, 
                 Nf::Ex(_) | Nf::Ax(_) => modal_val(id),
                 Nf::Eu(a, b) => {
                     let ex_id = cl.ids[&Nf::Ex(Box::new(cl.formulas[id].clone()))];
-                    truth[cl.ids[b.as_ref()]]
-                        || (truth[cl.ids[a.as_ref()]] && modal_val(ex_id))
+                    truth[cl.ids[b.as_ref()]] || (truth[cl.ids[a.as_ref()]] && modal_val(ex_id))
                 }
                 Nf::Au(a, b) => {
                     let ax_id = cl.ids[&Nf::Ax(Box::new(cl.formulas[id].clone()))];
-                    truth[cl.ids[b.as_ref()]]
-                        || (truth[cl.ids[a.as_ref()]] && modal_val(ax_id))
+                    truth[cl.ids[b.as_ref()]] || (truth[cl.ids[a.as_ref()]] && modal_val(ax_id))
                 }
                 Nf::Er(a, b) => {
                     let ex_id = cl.ids[&Nf::Ex(Box::new(cl.formulas[id].clone()))];
-                    truth[cl.ids[b.as_ref()]]
-                        && (truth[cl.ids[a.as_ref()]] || modal_val(ex_id))
+                    truth[cl.ids[b.as_ref()]] && (truth[cl.ids[a.as_ref()]] || modal_val(ex_id))
                 }
                 Nf::Ar(a, b) => {
                     let ax_id = cl.ids[&Nf::Ax(Box::new(cl.formulas[id].clone()))];
-                    truth[cl.ids[b.as_ref()]]
-                        && (truth[cl.ids[a.as_ref()]] || modal_val(ax_id))
+                    truth[cl.ids[b.as_ref()]] && (truth[cl.ids[a.as_ref()]] || modal_val(ax_id))
                 }
             };
             truth[id] = v;
@@ -350,7 +364,9 @@ pub fn is_satisfiable(f: &PFormula, max_elementary: usize) -> Result<SatResult, 
 
     // Edge relation: H -> H' iff every AXχ true in H has χ true in H'.
     let edge = |h: &Atom, h2: &Atom| -> bool {
-        ax_list.iter().all(|&(ax, chi)| !h.truth[ax] || h2.truth[chi])
+        ax_list
+            .iter()
+            .all(|&(ax, chi)| !h.truth[ax] || h2.truth[chi])
     };
 
     let mut alive: Vec<bool> = vec![true; atoms.len()];
@@ -395,10 +411,7 @@ pub fn is_satisfiable(f: &PFormula, max_elementary: usize) -> Result<SatResult, 
                     }
                     if atoms[i].truth[eu] {
                         let ok = (0..atoms.len()).any(|j| {
-                            alive[j]
-                                && can[j]
-                                && atoms[j].truth[eu]
-                                && edge(&atoms[i], &atoms[j])
+                            alive[j] && can[j] && atoms[j].truth[eu] && edge(&atoms[i], &atoms[j])
                         }) || (0..atoms.len()).any(|j| {
                             alive[j] && can[j] && atoms[j].truth[b] && edge(&atoms[i], &atoms[j])
                         });
@@ -480,7 +493,11 @@ pub fn is_satisfiable(f: &PFormula, max_elementary: usize) -> Result<SatResult, 
         .iter()
         .zip(alive.iter())
         .any(|(h, a)| *a && h.truth[root]);
-    Ok(if sat { SatResult::Sat { atoms: survivors } } else { SatResult::Unsat })
+    Ok(if sat {
+        SatResult::Sat { atoms: survivors }
+    } else {
+        SatResult::Unsat
+    })
 }
 
 #[cfg(test)]
@@ -548,7 +565,9 @@ mod tests {
         // AF p alone sat.
         assert!(sat(&PFormula::all_paths(PFormula::eventually(p(0)))));
         // EG !p alone sat.
-        assert!(sat(&PFormula::exists_path(PFormula::always(PFormula::not(p(0))))));
+        assert!(sat(&PFormula::exists_path(PFormula::always(
+            PFormula::not(p(0))
+        ))));
     }
 
     #[test]
@@ -600,9 +619,10 @@ mod tests {
         let f = PFormula::and([
             PFormula::all_paths(PFormula::always(PFormula::implies(
                 p(0),
-                PFormula::exists_path(PFormula::next(PFormula::exists_path(
-                    PFormula::until(p(1), p(2)),
-                ))),
+                PFormula::exists_path(PFormula::next(PFormula::exists_path(PFormula::until(
+                    p(1),
+                    p(2),
+                )))),
             ))),
             PFormula::exists_path(PFormula::eventually(p(0))),
         ]);

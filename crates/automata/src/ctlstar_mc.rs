@@ -56,7 +56,10 @@ pub fn check(k: &Kripke, f: &PFormula) -> Result<Vec<bool>, NotStateFormula> {
         }
     }
     collect_props(f, &mut max_prop);
-    let mut c = Checker { k: k.clone(), next_prop: max_prop };
+    let mut c = Checker {
+        k: k.clone(),
+        next_prop: max_prop,
+    };
     Ok(c.sat_state(f))
 }
 
@@ -389,14 +392,14 @@ mod tests {
         let k = k1();
         // E FG !p2 : go to state 3 and stay — true from 0,1,3; from 2 also
         // true (2 -> 0 -> 1 -> 3).
-        let f = PFormula::exists_path(PFormula::eventually(PFormula::always(
-            PFormula::not(PFormula::Prop(2)),
-        )));
+        let f = PFormula::exists_path(PFormula::eventually(PFormula::always(PFormula::not(
+            PFormula::Prop(2),
+        ))));
         assert_eq!(check(&k, &f).unwrap(), vec![true, true, true, true]);
         // A FG !p2 : the loop 0→1→2→0 visits p2 forever — false on loop.
-        let g = PFormula::all_paths(PFormula::eventually(PFormula::always(
-            PFormula::not(PFormula::Prop(2)),
-        )));
+        let g = PFormula::all_paths(PFormula::eventually(PFormula::always(PFormula::not(
+            PFormula::Prop(2),
+        ))));
         assert_eq!(check(&k, &g).unwrap(), vec![false, false, false, true]);
     }
 
@@ -405,9 +408,7 @@ mod tests {
         // A GF p2 on the pure loop (no escape): true.
         let mut k = k1();
         k.succ[1].retain(|&t| t != 3);
-        let f = PFormula::all_paths(PFormula::always(PFormula::eventually(
-            PFormula::Prop(2),
-        )));
+        let f = PFormula::all_paths(PFormula::always(PFormula::eventually(PFormula::Prop(2))));
         let s = check(&k, &f).unwrap();
         assert!(s[0] && s[1] && s[2]);
         assert!(!s[3]); // 3 self-loops without p2
@@ -417,9 +418,9 @@ mod tests {
     fn nested_path_and_state() {
         let k = k1();
         // E X (E G !p2) — from 0: next is 1, and from 1 E G !p2 holds (go 3).
-        let f = PFormula::exists_path(PFormula::next(PFormula::exists_path(
-            PFormula::always(PFormula::not(PFormula::Prop(2))),
-        )));
+        let f = PFormula::exists_path(PFormula::next(PFormula::exists_path(PFormula::always(
+            PFormula::not(PFormula::Prop(2)),
+        ))));
         assert!(check(&k, &f).unwrap()[0]);
     }
 
@@ -446,7 +447,9 @@ mod tests {
     fn randomized_agreement_with_ctl() {
         let mut seed = 0xDEADBEEFu64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _ in 0..25 {

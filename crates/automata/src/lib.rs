@@ -9,8 +9,11 @@
 //! * [`ltl2buchi`] — the GPVW tableau translation from LTL to generalized
 //!   Büchi automata, plus degeneralization.
 //! * [`buchi`] — Büchi automata and guarded transitions.
-//! * [`search`] — generic nested-DFS accepting-lasso search over implicit
-//!   product graphs (the engine behind Theorem 3.5's periodic-run check).
+//! * [`interner`] — hash-consing node interner mapping large search nodes
+//!   to dense `u32` ids.
+//! * [`search`] — accepting-lasso search over implicit product graphs on
+//!   interned ids, as nested DFS and as Tarjan SCC decomposition (the
+//!   engine behind Theorem 3.5's periodic-run check).
 //! * [`kripke`] — explicit Kripke structures (Definition A.4).
 //! * [`pformula`] — propositional CTL\* syntax.
 //! * [`ctl_mc`] — the standard CTL labeling model checker (Lemma A.12 /
@@ -27,6 +30,7 @@ pub mod buchi;
 pub mod ctl_mc;
 pub mod ctl_sat;
 pub mod ctlstar_mc;
+pub mod interner;
 pub mod kripke;
 pub mod ltl2buchi;
 pub mod pformula;
@@ -35,7 +39,9 @@ pub mod props;
 pub mod search;
 
 pub use buchi::Buchi;
+pub use interner::Interner;
 pub use kripke::Kripke;
 pub use pformula::PFormula;
 pub use pltl::Pnf;
 pub use props::{PropRegistry, PropSet};
+pub use search::SearchStats;

@@ -28,7 +28,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { by_formula: BTreeMap::new(), formulas: Vec::new() }
+        Interner {
+            by_formula: BTreeMap::new(),
+            formulas: Vec::new(),
+        }
     }
 
     fn intern(&mut self, f: &Pnf) -> FId {
@@ -73,7 +76,8 @@ impl Builder {
             }
             let id = self.nodes.len();
             self.by_content.insert(key, id);
-            self.nodes.push((node.old.clone(), node.next.clone(), node.incoming.clone()));
+            self.nodes
+                .push((node.old.clone(), node.next.clone(), node.incoming.clone()));
             // Successor proto-node carries Next as the new obligations.
             let succ = ProtoNode {
                 incoming: BTreeSet::from([id]),
@@ -99,9 +103,10 @@ impl Builder {
                 self.expand(node);
             }
             Pnf::Lit { prop, positive } => {
-                let negid = self
-                    .interner
-                    .intern(&Pnf::Lit { prop, positive: !positive });
+                let negid = self.interner.intern(&Pnf::Lit {
+                    prop,
+                    positive: !positive,
+                });
                 if node.old.contains(&negid) {
                     return; // contradictory literals: discard
                 }
@@ -275,7 +280,12 @@ pub fn translate(f: &Pnf) -> Buchi {
         }
     }
     let dinit: Vec<usize> = initial.iter().map(|&q| idx(q, 0)).collect();
-    Buchi { guard: dguard, succ: dsucc, initial: dinit, accepting: dacc }
+    Buchi {
+        guard: dguard,
+        succ: dsucc,
+        initial: dinit,
+        accepting: dacc,
+    }
 }
 
 #[cfg(test)]
@@ -370,7 +380,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible.
         let mut seed = 0x9E3779B97F4A7C15u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         fn gen(rnd: &mut impl FnMut() -> u32, depth: u32) -> Pnf {

@@ -127,9 +127,7 @@ impl PFormula {
     pub fn is_path_only(&self) -> bool {
         match self {
             PFormula::True | PFormula::False | PFormula::Prop(_) => true,
-            PFormula::Not(f) | PFormula::X(f) | PFormula::F(f) | PFormula::G(f) => {
-                f.is_path_only()
-            }
+            PFormula::Not(f) | PFormula::X(f) | PFormula::F(f) | PFormula::G(f) => f.is_path_only(),
             PFormula::And(fs) | PFormula::Or(fs) => fs.iter().all(|f| f.is_path_only()),
             PFormula::U(a, b) => a.is_path_only() && b.is_path_only(),
             PFormula::E(_) | PFormula::A(_) => false,
@@ -162,7 +160,10 @@ impl PFormula {
         Some(match (self, positive) {
             (PFormula::True, true) | (PFormula::False, false) => Pnf::True,
             (PFormula::True, false) | (PFormula::False, true) => Pnf::False,
-            (PFormula::Prop(p), pos) => Pnf::Lit { prop: *p, positive: pos },
+            (PFormula::Prop(p), pos) => Pnf::Lit {
+                prop: *p,
+                positive: pos,
+            },
             (PFormula::Not(f), pos) => f.pnf_with_polarity(!pos)?,
             (PFormula::And(fs), true) | (PFormula::Or(fs), false) => Pnf::and(
                 fs.iter()
@@ -262,9 +263,7 @@ mod tests {
         assert!(ltl.is_path_only());
         assert!(!ltl.is_ctl());
 
-        let star = PFormula::all_paths(PFormula::eventually(PFormula::always(
-            PFormula::Prop(0),
-        )));
+        let star = PFormula::all_paths(PFormula::eventually(PFormula::always(PFormula::Prop(0))));
         assert!(!star.is_ctl());
         assert!(!star.is_path_only());
     }
@@ -290,7 +289,10 @@ mod tests {
 
     #[test]
     fn smart_constructors() {
-        assert_eq!(PFormula::not(PFormula::not(PFormula::Prop(1))), PFormula::Prop(1));
+        assert_eq!(
+            PFormula::not(PFormula::not(PFormula::Prop(1))),
+            PFormula::Prop(1)
+        );
         assert_eq!(PFormula::and([]), PFormula::True);
         assert_eq!(
             PFormula::or([PFormula::False, PFormula::Prop(0)]),

@@ -45,12 +45,18 @@ pub enum Pnf {
 impl Pnf {
     /// Positive literal.
     pub fn prop(p: PropId) -> Self {
-        Pnf::Lit { prop: p, positive: true }
+        Pnf::Lit {
+            prop: p,
+            positive: true,
+        }
     }
 
     /// Negative literal.
     pub fn nprop(p: PropId) -> Self {
-        Pnf::Lit { prop: p, positive: false }
+        Pnf::Lit {
+            prop: p,
+            positive: false,
+        }
     }
 
     /// Smart conjunction.
@@ -119,7 +125,10 @@ impl Pnf {
         match self {
             Pnf::True => Pnf::False,
             Pnf::False => Pnf::True,
-            Pnf::Lit { prop, positive } => Pnf::Lit { prop: *prop, positive: !positive },
+            Pnf::Lit { prop, positive } => Pnf::Lit {
+                prop: *prop,
+                positive: !positive,
+            },
             Pnf::And(fs) => Pnf::Or(fs.iter().map(Pnf::negate).collect()),
             Pnf::Or(fs) => Pnf::And(fs.iter().map(Pnf::negate).collect()),
             Pnf::X(f) => Pnf::X(Box::new(f.negate())),
@@ -194,9 +203,9 @@ impl Pnf {
         match self {
             Pnf::True => vec![true; n],
             Pnf::False => vec![false; n],
-            Pnf::Lit { prop, positive } => {
-                (0..n).map(|i| label(i).contains(*prop) == *positive).collect()
-            }
+            Pnf::Lit { prop, positive } => (0..n)
+                .map(|i| label(i).contains(*prop) == *positive)
+                .collect(),
             Pnf::And(fs) => {
                 let mut acc = vec![true; n];
                 for f in fs {
@@ -270,8 +279,14 @@ impl fmt::Debug for Pnf {
         match self {
             Pnf::True => write!(f, "true"),
             Pnf::False => write!(f, "false"),
-            Pnf::Lit { prop, positive: true } => write!(f, "p{prop}"),
-            Pnf::Lit { prop, positive: false } => write!(f, "!p{prop}"),
+            Pnf::Lit {
+                prop,
+                positive: true,
+            } => write!(f, "p{prop}"),
+            Pnf::Lit {
+                prop,
+                positive: false,
+            } => write!(f, "!p{prop}"),
             Pnf::And(fs) => {
                 write!(f, "(")?;
                 for (i, g) in fs.iter().enumerate() {
@@ -304,7 +319,9 @@ mod tests {
     use super::*;
 
     fn w(sets: &[&[PropId]]) -> Vec<PropSet> {
-        sets.iter().map(|ids| PropSet::from_ids(ids.iter().copied())).collect()
+        sets.iter()
+            .map(|ids| PropSet::from_ids(ids.iter().copied()))
+            .collect()
     }
 
     #[test]

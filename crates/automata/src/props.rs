@@ -61,8 +61,7 @@ impl PropRegistry {
 
     /// Renders a [`PropSet`] with names, for diagnostics.
     pub fn render(&self, set: &PropSet) -> String {
-        let names: Vec<&str> =
-            set.iter().filter_map(|id| self.name(id)).collect();
+        let names: Vec<&str> = set.iter().filter_map(|id| self.name(id)).collect();
         format!("{{{}}}", names.join(", "))
     }
 }
@@ -116,7 +115,10 @@ impl PropSet {
     /// Membership test.
     pub fn contains(&self, id: PropId) -> bool {
         let (w, b) = (id as usize / 64, id as usize % 64);
-        self.words.get(w).map(|x| x & (1 << b) != 0).unwrap_or(false)
+        self.words
+            .get(w)
+            .map(|x| x & (1 << b) != 0)
+            .unwrap_or(false)
     }
 
     /// Number of members.

@@ -8,7 +8,7 @@
 //!   per-step choice space and the window contents (the reason lossless
 //!   input, Theorem 3.9, is hopeless).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_bench::{arity_service, gated};
 use wave_logic::instance::Instance;
@@ -26,6 +26,8 @@ fn a1_symbolic_flat(c: &mut Criterion) {
             assert!(out.holds());
         })
     });
+    let out = verify_ltl(&service, &prop, &SymbolicOptions::default()).unwrap();
+    println!("  [stats] A1 symbolic: {}", out.stats);
 }
 
 fn a1_enumerative_grows(c: &mut Criterion) {
@@ -40,9 +42,7 @@ fn a1_enumerative_grows(c: &mut Criterion) {
         }
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let out =
-                    verify_ltl_on_db(&service, &db, &prop, &EnumOptions::default())
-                        .unwrap();
+                let out = verify_ltl_on_db(&service, &db, &prop, &EnumOptions::default()).unwrap();
                 assert!(out.holds());
             })
         });
@@ -58,14 +58,20 @@ fn a2_prev_window_vs_arity(c: &mut Criterion) {
         let prop = parse_property("G P").unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, _| {
             b.iter(|| {
-                let out =
-                    verify_ltl(&service, &prop, &SymbolicOptions::default()).unwrap();
+                let out = verify_ltl(&service, &prop, &SymbolicOptions::default()).unwrap();
                 assert!(out.holds());
             })
         });
+        let out = verify_ltl(&service, &prop, &SymbolicOptions::default()).unwrap();
+        println!("  [stats] A2 arity={arity}: {}", out.stats);
     }
     g.finish();
 }
 
-criterion_group!(benches, a1_symbolic_flat, a1_enumerative_grows, a2_prev_window_vs_arity);
+criterion_group!(
+    benches,
+    a1_symbolic_flat,
+    a1_enumerative_grows,
+    a2_prev_window_vs_arity
+);
 criterion_main!(benches);

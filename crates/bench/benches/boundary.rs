@@ -5,7 +5,7 @@
 //! * U1 (Theorem 3.7): driving the TM encoding tracks the simulator.
 //! * U2 (Theorem 3.8): the bounded chase on FD/IND families.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_reductions::deps::{chase_implies, Dep};
 use wave_reductions::qbf::{encode, random_qbf};
@@ -46,9 +46,16 @@ fn chase_families(c: &mut Criterion) {
     g.sample_size(10);
     for n in [2usize, 4, 8] {
         // FD chain 0→1, 1→2, …, (n-1)→n implies 0→n.
-        let deps: Vec<Dep> =
-            (0..n).map(|i| Dep::Fd { lhs: vec![i], rhs: i + 1 }).collect();
-        let goal = Dep::Fd { lhs: vec![0], rhs: n };
+        let deps: Vec<Dep> = (0..n)
+            .map(|i| Dep::Fd {
+                lhs: vec![i],
+                rhs: i + 1,
+            })
+            .collect();
+        let goal = Dep::Fd {
+            lhs: vec![0],
+            rhs: n,
+        };
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 assert_eq!(chase_implies(&deps, &goal, n + 1, 200), Some(true));
@@ -58,5 +65,10 @@ fn chase_families(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, qbf_via_errorfreeness, tm_simulation, chase_families);
+criterion_group!(
+    benches,
+    qbf_via_errorfreeness,
+    tm_simulation,
+    chase_families
+);
 criterion_main!(benches);

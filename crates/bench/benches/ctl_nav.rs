@@ -2,7 +2,7 @@
 //! schema. The paper's PSPACE bound for this special case predicts tame
 //! growth in the number of pages.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_bench::page_ring;
 use wave_logic::instance::Instance;
@@ -18,8 +18,7 @@ fn nav_vs_pages(c: &mut Criterion) {
         let prop = parse_temporal("A G (E F P0)", &[]).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default())
-                    .unwrap();
+                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default()).unwrap();
                 assert!(ok, "the ring always returns home");
             })
         });
@@ -39,10 +38,8 @@ fn nav_abstraction(c: &mut Criterion) {
     ];
     for (name, src) in props {
         let prop = parse_temporal(src, &[]).unwrap();
-        c.bench_function(&format!("T4_nav_{name}"), |b| {
-            b.iter(|| {
-                verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default()).unwrap()
-            })
+        c.bench_function(format!("T4_nav_{name}"), |b| {
+            b.iter(|| verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default()).unwrap())
         });
     }
 }

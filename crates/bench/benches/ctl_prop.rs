@@ -4,7 +4,7 @@
 //! state propositions (Lemma A.12); model checking is polynomial in the
 //! structure for CTL and heavier for CTL\*.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_bench::toggle_bank;
 use wave_logic::instance::Instance;
@@ -20,8 +20,7 @@ fn ctl_vs_props(c: &mut Criterion) {
         let prop = parse_temporal("A G (E F (!s0))", &[]).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default())
-                    .unwrap();
+                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default()).unwrap();
                 assert!(ok);
             })
         });
@@ -39,8 +38,7 @@ fn ctl_star_vs_props(c: &mut Criterion) {
         let prop = parse_temporal("E F (G s0)", &[]).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default())
-                    .unwrap();
+                let ok = verify_ctl_on_db(&service, &db, &prop, &CtlOptions::default()).unwrap();
                 assert!(ok);
             })
         });

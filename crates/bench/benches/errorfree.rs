@@ -3,7 +3,7 @@
 //! Measures the native symbolic check on the page-ring family and the
 //! demo checkout core, plus the Lemma A.5 transformation itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_bench::page_ring;
 use wave_demo::site;

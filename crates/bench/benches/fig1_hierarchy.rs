@@ -6,7 +6,7 @@
 //! which is the point of verifying the specification rather than one
 //! instance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_core::run::{InputChoice, Runner};
 use wave_demo::hierarchy;
@@ -36,8 +36,7 @@ fn concrete_walk(c: &mut Criterion) {
                         cfg = r
                             .step(
                                 &cfg,
-                                &InputChoice::empty()
-                                    .with_tuple("pick", tuple![name.as_str()]),
+                                &InputChoice::empty().with_tuple("pick", tuple![name.as_str()]),
                             )
                             .unwrap();
                         node = node * 2 + 1;

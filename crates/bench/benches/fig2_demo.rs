@@ -4,9 +4,7 @@
 //! purchase scenario on growing catalogs, and the paper's properties on
 //! the tractable fragments.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wave_core::classify;
 use wave_core::run::{InputChoice, Runner};
 use wave_demo::{catalog, site};
@@ -38,9 +36,14 @@ fn purchase_scenario(c: &mut Criterion) {
     let mut g = c.benchmark_group("F2_purchase_vs_catalog");
     g.sample_size(10);
     for laptops in [2usize, 8, 32] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = wave_rng::SplitMix64::seed_from_u64(42);
         let mut db = catalog::generate(
-            &catalog::CatalogSpec { laptops, desktops: 2, customers: 2, attr_values: 2 },
+            &catalog::CatalogSpec {
+                laptops,
+                desktops: 2,
+                customers: 2,
+                attr_values: 2,
+            },
             &mut rng,
         );
         // ensure the scripted path exists
@@ -63,7 +66,10 @@ fn purchase_scenario(c: &mut Criterion) {
                     )
                     .unwrap();
                 let c1 = r
-                    .step(&c0, &InputChoice::empty().with_tuple("button", tuple!["laptop"]))
+                    .step(
+                        &c0,
+                        &InputChoice::empty().with_tuple("button", tuple!["laptop"]),
+                    )
                     .unwrap();
                 let c2 = r
                     .step(
@@ -108,11 +114,7 @@ fn paper_properties(c: &mut Criterion) {
         })
     });
     // EXP-P4: Example 4.1 shape (CTL with nested E inside AU).
-    let ex41 = parse_temporal(
-        "A G (paid -> A ((E F HP) U (HP | paid)))",
-        &[],
-    )
-    .unwrap();
+    let ex41 = parse_temporal("A G (paid -> A ((E F HP) U (HP | paid)))", &[]).unwrap();
     c.bench_function("F2_P4_cancellable_until", |b| {
         b.iter(|| verify_ctl_on_db(&nav, &db, &ex41, &CtlOptions::default()).unwrap())
     });

@@ -5,7 +5,7 @@
 //! exponentially (the paper's PSPACE bound avoids materialization via
 //! on-the-fly HAA techniques — ablation note in DESIGN.md §4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_bench::toggle_bank;
 use wave_logic::parser::parse_temporal;
@@ -20,8 +20,7 @@ fn fully_prop_sweep(c: &mut Criterion) {
         let prop = parse_temporal("A G (E F (s0 | !s0))", &[]).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let ok = fully_prop::verify(&service, &prop, &CtlOptions::default())
-                    .unwrap();
+                let ok = fully_prop::verify(&service, &prop, &CtlOptions::default()).unwrap();
                 assert!(ok);
             })
         });
@@ -34,8 +33,7 @@ fn kripke_size_report(c: &mut Criterion) {
     for k in [2usize, 4, 6] {
         let service = toggle_bank(k);
         let prop = parse_temporal("A G s0", &[]).unwrap();
-        let kripke =
-            fully_prop::kripke_of(&service, &prop, &CtlOptions::default()).unwrap();
+        let kripke = fully_prop::kripke_of(&service, &prop, &CtlOptions::default()).unwrap();
         eprintln!("toggle_bank({k}): {} Kripke states", kripke.len());
     }
     let service = toggle_bank(4);

@@ -4,7 +4,7 @@
 //! exponentially with the number of elementary formulas in `ψ_W ∧ ¬φ`
 //! (here driven by property size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wave_automata::ctl_sat::is_satisfiable;
 use wave_automata::pformula::PFormula;

@@ -1,0 +1,197 @@
+//! A minimal, dependency-free benchmark harness with a `criterion`-
+//! compatible surface.
+//!
+//! The registry is not always reachable from CI, so the workspace cannot
+//! depend on the `criterion` crate; this module re-implements the small
+//! slice of its API the `benches/` suite uses (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`bench_with_input`, `BenchmarkId::from_parameter`) so the
+//! bench files keep their upstream idiom. Timing is wall-clock per
+//! iteration via `std::time::Instant`; each benchmark reports min / median
+//! / mean over the sample set.
+//!
+//! Knobs (environment):
+//! * `WAVE_BENCH_SAMPLES` — override every sample size (e.g. `3` for a
+//!   smoke run in CI).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (parameter sweeps).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying both a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying just the parameter (the common sweep form).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `f` (after one untimed warm-up call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up: fill caches, touch lazy statics
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{label:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        times.len()
+    );
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("WAVE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The top-level harness handle (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: env_samples(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(name.as_ref(), &mut b.times);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("── {name} ──");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A parameter sweep under a shared group name.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = env_samples(n);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &mut b.times);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.as_ref()), &mut b.times);
+        self
+    }
+
+    /// Ends the group (report lines are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+/// Defines a function running a list of benchmark targets
+/// (`criterion_group!(benches, f, g, h);`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Defines `main` to run the given groups
+/// (`criterion_main!(benches);`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};

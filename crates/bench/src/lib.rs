@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use wave_core::builder::ServiceBuilder;
 use wave_core::service::Service;
 

@@ -183,7 +183,9 @@ impl ServiceBuilder {
                 let page = self.pages.get_mut(&p).expect("current page exists");
                 f(page);
             }
-            None => self.errors.push(BuildError::NoCurrentPage { rule: rule.into() }),
+            None => self
+                .errors
+                .push(BuildError::NoCurrentPage { rule: rule.into() }),
         }
         self
     }
@@ -198,7 +200,11 @@ impl ServiceBuilder {
             Ok(f) => Some(f),
             Err(err) => {
                 let page = self.current.clone().unwrap_or_default();
-                self.errors.push(BuildError::Parse { page, rule: rule.into(), err });
+                self.errors.push(BuildError::Parse {
+                    page,
+                    rule: rule.into(),
+                    err,
+                });
                 None
             }
         }
@@ -287,7 +293,10 @@ impl ServiceBuilder {
         let parsed = self.parse(&format!("target {page}"), &[], body);
         self.with_page(page, |p| {
             if let Some(f) = parsed {
-                p.target_rules.push(TargetRule { target: page.to_string(), body: f });
+                p.target_rules.push(TargetRule {
+                    target: page.to_string(),
+                    body: f,
+                });
             }
         })
     }
@@ -331,7 +340,11 @@ mod tests {
             .solicit_constant("name")
             .solicit_constant("password")
             .input_rule("button", &["x"], r#"x = "login" | x = "clear""#)
-            .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            )
             .target("CP", r#"user(name, password) & button("login")"#)
             .page("CP");
         let s = b.build().unwrap();
@@ -354,7 +367,9 @@ mod tests {
         let mut b = ServiceBuilder::new("HP");
         b.state_prop("s").insert_rule("s", &[], "true");
         let errs = b.build().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, BuildError::NoCurrentPage { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, BuildError::NoCurrentPage { .. })));
     }
 
     #[test]

@@ -82,7 +82,11 @@ pub fn classify(service: &Service) -> ServiceClassification {
     let bounded_violations = input_bounded_violations(service);
     let propositional = is_propositional(service);
     let fully_propositional = propositional && is_fully_propositional(service);
-    ServiceClassification { bounded_violations, propositional, fully_propositional }
+    ServiceClassification {
+        bounded_violations,
+        propositional,
+        fully_propositional,
+    }
 }
 
 /// All input-boundedness violations, tagged with page and rule.
@@ -145,9 +149,10 @@ pub fn is_propositional(service: &Service) -> bool {
 /// propositional; rules use no database relation; no constants at all.
 pub fn is_fully_propositional(service: &Service) -> bool {
     let schema = &service.schema;
-    if schema.relations().any(|r| {
-        matches!(r.kind, RelKind::Input | RelKind::State | RelKind::Action) && r.arity > 0
-    }) {
+    if schema
+        .relations()
+        .any(|r| matches!(r.kind, RelKind::Input | RelKind::State | RelKind::Action) && r.arity > 0)
+    {
         return false;
     }
     if schema.constants().next().is_some() {
@@ -189,7 +194,10 @@ pub fn input_driven_shape(service: &Service) -> Result<InputDrivenShape, String>
     // One unary input relation, no input constants.
     let inputs: Vec<_> = schema.relations_of(RelKind::Input).collect();
     let [input] = inputs.as_slice() else {
-        return Err(format!("expected exactly one input relation, found {}", inputs.len()));
+        return Err(format!(
+            "expected exactly one input relation, found {}",
+            inputs.len()
+        ));
     };
     if input.arity != 1 {
         return Err(format!("input `{}` must be unary", input.name));
@@ -222,7 +230,9 @@ pub fn input_driven_shape(service: &Service) -> Result<InputDrivenShape, String>
                 && r.insert == Some(Formula::not(Formula::prop(&not_start)))
         });
         if !flip_ok {
-            return Err(format!("page `{pname}` lacks the not_start ← ¬not_start rule"));
+            return Err(format!(
+                "page `{pname}` lacks the not_start ← ¬not_start rule"
+            ));
         }
         let Some(rule) = page.input_rule(&input_rel) else {
             return Err(format!("page `{pname}` lacks the Options_{input_rel} rule"));
@@ -284,8 +294,12 @@ fn match_option_rule(
     input_rel: &str,
     not_start: &str,
 ) -> Option<(String, String, Formula)> {
-    let Formula::Or(disjuncts) = body else { return None };
-    let [d1, d2] = disjuncts.as_slice() else { return None };
+    let Formula::Or(disjuncts) = body else {
+        return None;
+    };
+    let [d1, d2] = disjuncts.as_slice() else {
+        return None;
+    };
 
     // Identify the seed disjunct vs the navigation disjunct.
     let (seed, nav) = if conjuncts(d1).iter().any(|f| is_neg_prop(f, not_start)) {
@@ -452,7 +466,10 @@ mod tests {
         let s = b.build().unwrap();
         let c = classify(&s);
         assert!(c.propositional);
-        assert!(!c.fully_propositional, "a database atom disqualifies Thm 4.6");
+        assert!(
+            !c.fully_propositional,
+            "a database atom disqualifies Thm 4.6"
+        );
         assert_eq!(c.class(), ServiceClass::Propositional);
     }
 

@@ -7,14 +7,12 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use wave_logic::formula::Formula;
 
 use crate::rules::{ActionRule, InputRule, StateRule, TargetRule};
 
 /// A Web page schema.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Page {
     /// The page name (also registered as an arity-0 `Page` relation).
     pub name: String,
@@ -35,12 +33,18 @@ pub struct Page {
 impl Page {
     /// Creates an empty page schema.
     pub fn new(name: impl Into<String>) -> Self {
-        Page { name: name.into(), ..Default::default() }
+        Page {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The target set `T_W` (distinct pages named by target rules).
     pub fn targets(&self) -> BTreeSet<&str> {
-        self.target_rules.iter().map(|r| r.target.as_str()).collect()
+        self.target_rules
+            .iter()
+            .map(|r| r.target.as_str())
+            .collect()
     }
 
     /// The input rule for a given input relation, if any.
@@ -57,15 +61,24 @@ impl Page {
     /// head variables (empty for target rules). Used by validation and the
     /// classifiers.
     pub fn all_bodies(&self) -> impl Iterator<Item = (&Formula, &[String])> {
-        let inputs = self.input_rules.iter().map(|r| (&r.body, r.vars.as_slice()));
+        let inputs = self
+            .input_rules
+            .iter()
+            .map(|r| (&r.body, r.vars.as_slice()));
         let states = self.state_rules.iter().flat_map(|r| {
             r.insert
                 .iter()
                 .chain(r.delete.iter())
                 .map(move |b| (b, r.vars.as_slice()))
         });
-        let actions = self.action_rules.iter().map(|r| (&r.body, r.vars.as_slice()));
-        let targets = self.target_rules.iter().map(|r| (&r.body, &[] as &[String]));
+        let actions = self
+            .action_rules
+            .iter()
+            .map(|r| (&r.body, r.vars.as_slice()));
+        let targets = self
+            .target_rules
+            .iter()
+            .map(|r| (&r.body, &[] as &[String]));
         inputs.chain(states).chain(actions).chain(targets)
     }
 
@@ -93,9 +106,18 @@ mod tests {
             vars: vec!["x".into()],
             body: Formula::eq(Term::var("x"), Term::lit("login")),
         });
-        p.target_rules.push(TargetRule { target: "CP".into(), body: Formula::True });
-        p.target_rules.push(TargetRule { target: "CP".into(), body: Formula::False });
-        p.target_rules.push(TargetRule { target: "MP".into(), body: Formula::False });
+        p.target_rules.push(TargetRule {
+            target: "CP".into(),
+            body: Formula::True,
+        });
+        p.target_rules.push(TargetRule {
+            target: "CP".into(),
+            body: Formula::False,
+        });
+        p.target_rules.push(TargetRule {
+            target: "MP".into(),
+            body: Formula::False,
+        });
         assert_eq!(p.targets(), BTreeSet::from(["CP", "MP"]));
         assert!(p.input_rule("button").is_some());
         assert!(p.input_rule("other").is_none());

@@ -9,12 +9,10 @@
 //! * **Target rules** `V ← φ` fire transitions to the next Web page; the
 //!   specification is ambiguous (→ error page) if two fire at once.
 
-use serde::{Deserialize, Serialize};
-
 use wave_logic::formula::{Formula, Var};
 
 /// `Options_I(x̄) ← φ(x̄)`: the menu of choices for input relation `I`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InputRule {
     /// The input relation `I` this rule feeds.
     pub relation: String,
@@ -26,7 +24,7 @@ pub struct InputRule {
 
 /// State rules for one state relation: optional insertion and deletion
 /// bodies sharing the head variables.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StateRule {
     /// The state relation `S`.
     pub relation: String,
@@ -39,7 +37,7 @@ pub struct StateRule {
 }
 
 /// `A(x̄) ← φ(x̄)`: an action rule.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ActionRule {
     /// The action relation `A`.
     pub relation: String,
@@ -50,7 +48,7 @@ pub struct ActionRule {
 }
 
 /// `V ← φ`: a target rule naming the next Web page.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TargetRule {
     /// The target page `V ∈ T_W`.
     pub target: String,
@@ -61,12 +59,22 @@ pub struct TargetRule {
 impl StateRule {
     /// An insertion-only rule.
     pub fn insert_only(relation: impl Into<String>, vars: Vec<Var>, body: Formula) -> Self {
-        StateRule { relation: relation.into(), vars, insert: Some(body), delete: None }
+        StateRule {
+            relation: relation.into(),
+            vars,
+            insert: Some(body),
+            delete: None,
+        }
     }
 
     /// A deletion-only rule.
     pub fn delete_only(relation: impl Into<String>, vars: Vec<Var>, body: Formula) -> Self {
-        StateRule { relation: relation.into(), vars, insert: None, delete: Some(body) }
+        StateRule {
+            relation: relation.into(),
+            vars,
+            insert: None,
+            delete: Some(body),
+        }
     }
 }
 

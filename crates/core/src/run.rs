@@ -32,7 +32,7 @@ use crate::page::Page;
 use crate::service::Service;
 
 /// One configuration of a run.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Config {
     /// The current Web page `V_i` (possibly the error page).
     pub page: String,
@@ -274,7 +274,12 @@ impl<'a> Runner<'a> {
             }
         }
 
-        Ok(TransitionCore { page: next_page, state, prev, action })
+        Ok(TransitionCore {
+            page: next_page,
+            state,
+            prev,
+            action,
+        })
     }
 
     fn error_core(&self) -> TransitionCore {
@@ -385,8 +390,10 @@ impl<'a> Runner<'a> {
 
         // Condition (ii): the page re-requests a provided constant. The
         // configuration still exists; the *next* transition errs.
-        let rerequest =
-            page.input_constants.iter().any(|c| provided_before.contains_key(c));
+        let rerequest = page
+            .input_constants
+            .iter()
+            .any(|c| provided_before.contains_key(c));
 
         let mut provided = provided_before;
         if !rerequest {
@@ -403,8 +410,7 @@ impl<'a> Runner<'a> {
         // Condition (i): a rule formula of this page uses an input
         // constant that is (still) unprovided.
         let missing = page.constants_used().into_iter().any(|c| {
-            self.service.schema.constant(&c) == Some(ConstKind::Input)
-                && !provided.contains_key(&c)
+            self.service.schema.constant(&c) == Some(ConstKind::Input) && !provided.contains_key(&c)
         });
 
         let options = self.entry_options(page, &state, &prev, &provided)?;
@@ -762,7 +768,10 @@ mod tests {
             insert: Some(Formula::prop("set")),
             delete: None,
         });
-        p.target_rules.push(TargetRule { target: "Q".into(), body: Formula::prop("set") });
+        p.target_rules.push(TargetRule {
+            target: "Q".into(),
+            body: Formula::prop("set"),
+        });
         let q = Page::new("Q"); // no rules: state persists
         let s = Service {
             schema,
@@ -773,7 +782,9 @@ mod tests {
         s.validate().unwrap();
         let d = Instance::new();
         let r = Runner::new(&s, &d);
-        let cfg0 = r.initial(&InputChoice::empty().with_prop("set", true)).unwrap();
+        let cfg0 = r
+            .initial(&InputChoice::empty().with_prop("set", true))
+            .unwrap();
         let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
         assert_eq!(cfg1.page, "Q");
         assert!(cfg1.state.prop("flag"));
@@ -805,7 +816,9 @@ mod tests {
         let d = Instance::new();
         let r = Runner::new(&s, &d);
         // go=true: insert & delete conflict → flag stays false.
-        let cfg0 = r.initial(&InputChoice::empty().with_prop("go", true)).unwrap();
+        let cfg0 = r
+            .initial(&InputChoice::empty().with_prop("go", true))
+            .unwrap();
         let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
         assert!(!cfg1.state.prop("flag"));
     }

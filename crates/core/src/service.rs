@@ -4,15 +4,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use wave_logic::formula::{Formula, Term};
 use wave_logic::schema::{ConstKind, RelKind, Schema};
 
 use crate::page::Page;
 
 /// A data-driven Web service specification.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Service {
     /// The union vocabulary: database, state, input, prev-input, action and
     /// page relations, plus database and input constants.
@@ -137,7 +135,11 @@ impl fmt::Display for ValidationError {
             ValidationError::MissingInputRule { page, relation } => {
                 write!(f, "page `{page}`: input `{relation}` lacks an Options rule")
             }
-            ValidationError::BadRuleHead { page, relation, why } => {
+            ValidationError::BadRuleHead {
+                page,
+                relation,
+                why,
+            } => {
                 write!(f, "page `{page}`: bad head for `{relation}`: {why}")
             }
             ValidationError::UnboundBodyVariables { page, rule, vars } => write!(
@@ -145,10 +147,18 @@ impl fmt::Display for ValidationError {
                 "page `{page}`: rule `{rule}` has unbound variables {{{}}}",
                 vars.join(", ")
             ),
-            ValidationError::BadAtom { page, relation, why } => {
+            ValidationError::BadAtom {
+                page,
+                relation,
+                why,
+            } => {
                 write!(f, "page `{page}`: bad atom `{relation}`: {why}")
             }
-            ValidationError::ForbiddenVocabulary { page, relation, context } => {
+            ValidationError::ForbiddenVocabulary {
+                page,
+                relation,
+                context,
+            } => {
                 write!(f, "page `{page}`: `{relation}` may not appear in {context}")
             }
             ValidationError::UnknownConstant { page, constant } => {
@@ -158,7 +168,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "page `{page}`: unknown target page `{target}`")
             }
             ValidationError::TargetRuleNotSentence { page, target } => {
-                write!(f, "page `{page}`: target rule for `{target}` has free variables")
+                write!(
+                    f,
+                    "page `{page}`: target rule for `{target}` has free variables"
+                )
             }
         }
     }
@@ -380,9 +393,7 @@ impl Service {
                         // Input rules may not read the page's own inputs
                         // (Definition 2.1: options are over D∪S∪Prev_I).
                         (RelKind::Input, BodyContext::InputRule) => false,
-                        (RelKind::Input, BodyContext::StateOrAction) => {
-                            page.inputs.contains(&rel)
-                        }
+                        (RelKind::Input, BodyContext::StateOrAction) => page.inputs.contains(&rel),
                         (RelKind::Action | RelKind::Page, _) => false,
                     };
                     if !allowed {
@@ -391,9 +402,7 @@ impl Service {
                             relation: rel.clone(),
                             context: match ctx {
                                 BodyContext::InputRule => "an input-option rule".into(),
-                                BodyContext::StateOrAction => {
-                                    "a state/action/target rule".into()
-                                }
+                                BodyContext::StateOrAction => "a state/action/target rule".into(),
                             },
                         });
                     }
@@ -464,7 +473,10 @@ mod tests {
         });
 
         let mut cp = Page::new("CP");
-        cp.target_rules.push(TargetRule { target: "HP".into(), body: Formula::False });
+        cp.target_rules.push(TargetRule {
+            target: "HP".into(),
+            body: Formula::False,
+        });
 
         Service {
             schema,
@@ -485,7 +497,9 @@ mod tests {
         let mut s = tiny_service();
         s.home = "NOPE".into();
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingHomePage(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingHomePage(_))));
     }
 
     #[test]
@@ -493,7 +507,9 @@ mod tests {
         let mut s = tiny_service();
         s.error_page = "CP".into();
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::ErrorPageDefined(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ErrorPageDefined(_))));
     }
 
     #[test]
@@ -501,14 +517,18 @@ mod tests {
         let mut s = tiny_service();
         s.pages.get_mut("HP").unwrap().input_rules.clear();
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingInputRule { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingInputRule { .. })));
     }
 
     #[test]
     fn stray_variable_detected() {
         let mut s = tiny_service();
-        s.pages.get_mut("HP").unwrap().state_rules[0].insert =
-            Some(Formula::rel("user", vec![Term::var("z"), Term::cst("password")]));
+        s.pages.get_mut("HP").unwrap().state_rules[0].insert = Some(Formula::rel(
+            "user",
+            vec![Term::var("z"), Term::cst("password")],
+        ));
         let errs = s.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -521,9 +541,9 @@ mod tests {
         s.pages.get_mut("HP").unwrap().target_rules[0].body =
             Formula::rel("user", vec![Term::cst("name")]);
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(
-            |e| matches!(e, ValidationError::BadAtom { why, .. } if why.contains("arity"))
-        ));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadAtom { why, .. } if why.contains("arity"))));
     }
 
     #[test]
@@ -552,12 +572,18 @@ mod tests {
     #[test]
     fn unknown_target_detected() {
         let mut s = tiny_service();
-        s.pages.get_mut("HP").unwrap().target_rules.push(TargetRule {
-            target: "NOWHERE".into(),
-            body: Formula::False,
-        });
+        s.pages
+            .get_mut("HP")
+            .unwrap()
+            .target_rules
+            .push(TargetRule {
+                target: "NOWHERE".into(),
+                body: Formula::False,
+            });
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnknownTargetPage { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownTargetPage { .. })));
     }
 
     #[test]
@@ -566,7 +592,9 @@ mod tests {
         s.pages.get_mut("HP").unwrap().target_rules[0].body =
             Formula::eq(Term::cst("mystery"), Term::lit(1));
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnknownConstant { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownConstant { .. })));
     }
 
     #[test]

@@ -11,11 +11,11 @@
 //! * `laptop(pid, ram, hdd, display)` / `desktop(pid, ram, hdd, display)`
 //!   — search indexes by category.
 
-use rand::Rng;
+use wave_rng::Rng;
 
 use wave_logic::instance::Instance;
-use wave_logic::value::Value;
 use wave_logic::tuple;
+use wave_logic::value::Value;
 
 /// Parameters of the generated store.
 #[derive(Clone, Debug)]
@@ -32,7 +32,12 @@ pub struct CatalogSpec {
 
 impl Default for CatalogSpec {
     fn default() -> Self {
-        CatalogSpec { laptops: 3, desktops: 2, customers: 2, attr_values: 2 }
+        CatalogSpec {
+            laptops: 3,
+            desktops: 2,
+            customers: 2,
+            attr_values: 2,
+        }
     }
 }
 
@@ -97,12 +102,15 @@ pub fn tiny() -> Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
     #[test]
     fn generated_catalog_is_consistent() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let spec = CatalogSpec { laptops: 4, desktops: 3, customers: 2, attr_values: 2 };
+        let mut rng = wave_rng::SplitMix64::seed_from_u64(7);
+        let spec = CatalogSpec {
+            laptops: 4,
+            desktops: 3,
+            customers: 2,
+            attr_values: 2,
+        };
         let db = generate(&spec, &mut rng);
         assert_eq!(db.cardinality("user"), 3); // Admin + 2
         assert_eq!(db.cardinality("prod_prices"), 7);

@@ -114,7 +114,10 @@ mod tests {
         assert!(c.state.prop("not_start"));
         // new → laptops
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("pick", tuple!["laptops"]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("pick", tuple!["laptops"]),
+            )
             .unwrap();
         assert!(c.prev.contains("prev_pick", &tuple!["new"]));
         // laptops is a leaf: only the empty pick remains

@@ -89,7 +89,11 @@ pub fn full_site() -> Service {
             &["e"],
             r#"e = "failed login" & !user(name, password) & button("login")"#,
         )
-        .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+        .insert_rule(
+            "logged_in",
+            &[],
+            r#"user(name, password) & button("login")"#,
+        )
         .target("HP", r#"button("clear")"#)
         .target("NP", r#"button("register")"#)
         .target(
@@ -208,16 +212,8 @@ pub fn full_site() -> Service {
             r#"x = "view cart" | x = "continue" | x = "logout""#,
         )
         .insert_rule("pick", &["p", "pr"], "pickprod(p, pr)")
-        .insert_rule(
-            "pick_pid",
-            &["p"],
-            "exists pr . pickprod(p, pr)",
-        )
-        .insert_rule(
-            "pick_price",
-            &["pr"],
-            "exists p . pickprod(p, pr)",
-        )
+        .insert_rule("pick_pid", &["p"], "exists pr . pickprod(p, pr)")
+        .insert_rule("pick_price", &["pr"], "exists p . pickprod(p, pr)")
         .target("PP", "exists p pr . pickprod(p, pr)")
         .target("CC", r#"button("view cart")"#)
         .target("CP", r#"button("continue")"#)
@@ -245,7 +241,11 @@ pub fn full_site() -> Service {
             &["x"],
             r#"x = "buy" | x = "empty cart" | x = "continue" | x = "logout""#,
         )
-        .delete_rule("cart", &["p", "pr"], r#"cart(p, pr) & button("empty cart")"#)
+        .delete_rule(
+            "cart",
+            &["p", "pr"],
+            r#"cart(p, pr) & button("empty cart")"#,
+        )
         .target("UPP", r#"button("buy")"#)
         .target("CP", r#"button("continue") | button("empty cart")"#)
         .target("HP", r#"button("logout")"#);
@@ -303,7 +303,11 @@ pub fn full_site() -> Service {
     // ---------------- OSP — order status ----------------
     b.page("OSP")
         .input_rule("button", &["x"], r#"x = "cancel" | x = "back""#)
-        .insert_rule("order_cancelled", &[], r#"order_pending & button("cancel")"#)
+        .insert_rule(
+            "order_cancelled",
+            &[],
+            r#"order_pending & button("cancel")"#,
+        )
         .delete_rule("order_pending", &[], r#"button("cancel")"#)
         .action_rule(
             "cancel",
@@ -453,11 +457,7 @@ pub fn navigation_abstraction() -> Service {
         .target("CP", r#"button("continue")"#);
 
     b.page("UPP")
-        .input_rule(
-            "button",
-            &["x"],
-            r#"x = "authorize payment" | x = "back""#,
-        )
+        .input_rule("button", &["x"], r#"x = "authorize payment" | x = "back""#)
         .insert_rule("paid", &[], r#"button("authorize payment")"#)
         .target("COP", r#"button("authorize payment")"#)
         .target("CC", r#"button("back")"#);
@@ -522,7 +522,10 @@ mod tests {
 
         // σ1: CP; go to laptop search.
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("button", tuple!["laptop"]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("button", tuple!["laptop"]),
+            )
             .unwrap();
         assert_eq!(c.page, "CP");
         assert!(c.state.prop("logged_in"));
@@ -546,10 +549,15 @@ mod tests {
             .unwrap();
         assert!(opts["pickprod"].contains(&tuple!["p1", 999]));
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("pickprod", tuple!["p1", 999]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("pickprod", tuple!["p1", 999]),
+            )
             .unwrap();
         assert_eq!(c.page, "PIP");
-        assert!(c.state.contains("userchoice", &tuple!["8gb", "1tb", "13in"]));
+        assert!(c
+            .state
+            .contains("userchoice", &tuple!["8gb", "1tb", "13in"]));
 
         // σ4: PP; add to cart.
         let c = r
@@ -563,7 +571,10 @@ mod tests {
 
         // σ5: CC; buy.
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("button", tuple!["buy"]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("button", tuple!["buy"]),
+            )
             .unwrap();
         assert_eq!(c.page, "CC");
         assert!(c.state.contains("cart", &tuple!["p1", 999]));
@@ -601,7 +612,12 @@ mod tests {
                     .with_tuple("button", tuple!["login"]),
             )
             .unwrap();
-        let c = r.step(&c, &InputChoice::empty().with_tuple("button", tuple!["back"])).unwrap();
+        let c = r
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("button", tuple!["back"]),
+            )
+            .unwrap();
         assert_eq!(c.page, "MP");
         assert!(c.state.contains("error", &tuple!["failed login"]));
         // back clears the error and returns home
@@ -624,15 +640,24 @@ mod tests {
             )
             .unwrap();
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("button", tuple!["order"]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("button", tuple!["order"]),
+            )
             .unwrap();
         assert_eq!(c.page, "AP");
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("button", tuple!["view"]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("button", tuple!["view"]),
+            )
             .unwrap();
         assert_eq!(c.page, "POP");
         let c = r
-            .step(&c, &InputChoice::empty().with_tuple("button", tuple!["status"]))
+            .step(
+                &c,
+                &InputChoice::empty().with_tuple("button", tuple!["status"]),
+            )
             .unwrap();
         assert_eq!(c.page, "VOP");
         let c = r.step(&c, &InputChoice::empty()).unwrap();
@@ -684,12 +709,18 @@ mod tests {
             )
             .unwrap();
         let mut c1 = r
-            .step(&c0, &InputChoice::empty().with_tuple("button", tuple!["view cart"]))
+            .step(
+                &c0,
+                &InputChoice::empty().with_tuple("button", tuple!["view cart"]),
+            )
             .unwrap();
         assert_eq!(c1.page, "CP");
         c1.state.insert("cart", tuple!["p1", 999]);
         let c2 = r
-            .step(&c1, &InputChoice::empty().with_tuple("button", tuple!["empty cart"]))
+            .step(
+                &c1,
+                &InputChoice::empty().with_tuple("button", tuple!["empty cart"]),
+            )
             .unwrap();
         assert_eq!(c2.page, "CC");
         let c3 = r.step(&c2, &InputChoice::empty()).unwrap();

@@ -188,8 +188,7 @@ fn check_guarded(
         };
         if let Some(name) = is_input_like_atom(&atom, schema)? {
             let fv = atom.free_vars();
-            let missing: Vec<Var> =
-                vars.iter().filter(|v| !fv.contains(*v)).cloned().collect();
+            let missing: Vec<Var> = vars.iter().filter(|v| !fv.contains(*v)).cloned().collect();
             if missing.is_empty() {
                 // Found a complete guard: check φ = the other parts.
                 let mut sa = Vec::new();
@@ -225,8 +224,13 @@ fn check_guarded(
         }
     }
     match best_guard {
-        Some((_, name, missing)) => Err(BoundedError::GuardMissingVars { guard: name, missing }),
-        None => Err(BoundedError::UnguardedQuantifier { vars: vars.to_vec() }),
+        Some((_, name, missing)) => Err(BoundedError::GuardMissingVars {
+            guard: name,
+            missing,
+        }),
+        None => Err(BoundedError::UnguardedQuantifier {
+            vars: vars.to_vec(),
+        }),
     }
 }
 
@@ -247,9 +251,7 @@ pub fn check_input_rule(f: &Formula, schema: &Schema) -> Result<(), BoundedError
                 None => bad = Some(BoundedError::UnknownRelation(name.clone())),
                 Some(r) if r.kind == crate::schema::RelKind::State => {
                     if args.iter().any(Term::is_var) {
-                        bad = Some(BoundedError::InputRuleStateAtomNotGround {
-                            rel: name.clone(),
-                        });
+                        bad = Some(BoundedError::InputRuleStateAtomNotGround { rel: name.clone() });
                     }
                 }
                 Some(_) => {}
@@ -491,7 +493,10 @@ mod tests {
                 Formula::eq(v("x"), v("y")),
             ),
         );
-        assert_eq!(check_input_rule(&f, &s), Err(BoundedError::InputRuleNotExistential));
+        assert_eq!(
+            check_input_rule(&f, &s),
+            Err(BoundedError::InputRuleNotExistential)
+        );
     }
 
     #[test]

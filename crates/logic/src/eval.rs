@@ -370,7 +370,10 @@ mod tests {
     fn unbound_variable_is_an_error() {
         let i = demo_inst();
         let f = F::rel("user", vec![v("x"), Term::lit("pw1")]);
-        assert_eq!(eval_closed(&f, &i), Err(EvalError::UnboundVariable("x".into())));
+        assert_eq!(
+            eval_closed(&f, &i),
+            Err(EvalError::UnboundVariable("x".into()))
+        );
     }
 
     #[test]
@@ -417,7 +420,10 @@ mod tests {
         // exists u. forall p. !user(u,p): pick u = 512.
         let g = F::exists(
             vec!["u".into()],
-            F::forall(vec!["p".into()], F::not(F::rel("user", vec![v("u"), v("p")]))),
+            F::forall(
+                vec!["p".into()],
+                F::not(F::rel("user", vec![v("u"), v("p")])),
+            ),
         );
         assert!(eval_closed(&g, &i).unwrap());
     }

@@ -12,15 +12,13 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// A variable name.
 pub type Var = String;
 
 /// A first-order term.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -83,7 +81,7 @@ impl fmt::Display for Term {
 }
 
 /// A first-order formula.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Formula {
     /// Truth.
     True,
@@ -113,12 +111,18 @@ pub enum Formula {
 impl Formula {
     /// Atom builder: `rel(name, [t1, t2, ...])`.
     pub fn rel(name: impl Into<String>, args: Vec<Term>) -> Self {
-        Formula::Rel { name: name.into(), args }
+        Formula::Rel {
+            name: name.into(),
+            args,
+        }
     }
 
     /// Proposition builder (arity-0 atom).
     pub fn prop(name: impl Into<String>) -> Self {
-        Formula::Rel { name: name.into(), args: Vec::new() }
+        Formula::Rel {
+            name: name.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Equality builder.
@@ -250,8 +254,11 @@ impl Formula {
                 }
             }
             Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
-                let newly: Vec<Var> =
-                    vars.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                let newly: Vec<Var> = vars
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
                 f.collect_free(bound, out);
                 for v in newly {
                     bound.remove(&v);
@@ -339,11 +346,7 @@ impl Formula {
         self.subst_inner(subst, &BTreeSet::new())
     }
 
-    fn subst_inner(
-        &self,
-        subst: &dyn Fn(&str) -> Option<Term>,
-        bound: &BTreeSet<Var>,
-    ) -> Formula {
+    fn subst_inner(&self, subst: &dyn Fn(&str) -> Option<Term>, bound: &BTreeSet<Var>) -> Formula {
         let do_term = |t: &Term| -> Term {
             if let Term::Var(v) = t {
                 if !bound.contains(v) {
@@ -481,11 +484,23 @@ mod tests {
     #[test]
     fn smart_constructors_simplify() {
         assert_eq!(Formula::not(Formula::True), Formula::False);
-        assert_eq!(Formula::not(Formula::not(Formula::prop("p"))), Formula::prop("p"));
-        assert_eq!(Formula::and([Formula::True, Formula::prop("p")]), Formula::prop("p"));
-        assert_eq!(Formula::and([Formula::False, Formula::prop("p")]), Formula::False);
+        assert_eq!(
+            Formula::not(Formula::not(Formula::prop("p"))),
+            Formula::prop("p")
+        );
+        assert_eq!(
+            Formula::and([Formula::True, Formula::prop("p")]),
+            Formula::prop("p")
+        );
+        assert_eq!(
+            Formula::and([Formula::False, Formula::prop("p")]),
+            Formula::False
+        );
         assert_eq!(Formula::or([Formula::False]), Formula::False);
-        assert_eq!(Formula::or([Formula::True, Formula::prop("p")]), Formula::True);
+        assert_eq!(
+            Formula::or([Formula::True, Formula::prop("p")]),
+            Formula::True
+        );
         assert_eq!(Formula::and([]), Formula::True);
         assert_eq!(Formula::or([]), Formula::False);
     }

@@ -9,14 +9,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::{Tuple, Value};
 
 /// A finite relational instance: relation contents plus constant
 /// interpretations. The instance is schema-agnostic; schema conformance is
 /// checked by `wave-core` when a service is validated.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Instance {
     rels: BTreeMap<String, BTreeSet<Tuple>>,
     consts: BTreeMap<String, Value>,
@@ -119,7 +117,10 @@ impl Instance {
     /// Unions another instance into this one (constants from `other` win).
     pub fn absorb(&mut self, other: &Instance) {
         for (rel, tuples) in &other.rels {
-            self.rels.entry(rel.clone()).or_default().extend(tuples.iter().cloned());
+            self.rels
+                .entry(rel.clone())
+                .or_default()
+                .extend(tuples.iter().cloned());
         }
         for (n, v) in &other.consts {
             self.consts.insert(n.clone(), v.clone());

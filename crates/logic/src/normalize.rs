@@ -70,9 +70,7 @@ fn rename(
         Formula::And(fs) => {
             Formula::And(fs.iter().map(|g| rename(g, used, counter, map)).collect())
         }
-        Formula::Or(fs) => {
-            Formula::Or(fs.iter().map(|g| rename(g, used, counter, map)).collect())
-        }
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| rename(g, used, counter, map)).collect()),
         Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
             let mut new_map = map.clone();
             let mut new_vars = Vec::with_capacity(vs.len());
@@ -137,9 +135,15 @@ fn dnf_nnf(f: &Formula) -> Vec<Vec<Literal>> {
         Formula::True => vec![vec![]],
         Formula::False => vec![],
         Formula::Rel { .. } | Formula::Eq(..) => {
-            vec![vec![Literal { positive: true, atom: f.clone() }]]
+            vec![vec![Literal {
+                positive: true,
+                atom: f.clone(),
+            }]]
         }
-        Formula::Not(g) => vec![vec![Literal { positive: false, atom: (**g).clone() }]],
+        Formula::Not(g) => vec![vec![Literal {
+            positive: false,
+            atom: (**g).clone(),
+        }]],
         Formula::Or(fs) => fs.iter().flat_map(dnf_nnf).collect(),
         Formula::And(fs) => {
             let mut acc: Vec<Vec<Literal>> = vec![vec![]];
@@ -224,7 +228,10 @@ mod tests {
 
     #[test]
     fn nnf_pushes_negation() {
-        let f = Formula::Not(Box::new(Formula::And(vec![p("a"), Formula::Not(Box::new(p("b")))])));
+        let f = Formula::Not(Box::new(Formula::And(vec![
+            p("a"),
+            Formula::Not(Box::new(p("b"))),
+        ])));
         let g = nnf(&f);
         assert_eq!(g, Formula::Or(vec![Formula::not(p("a")), p("b")]));
     }
@@ -263,7 +270,11 @@ mod tests {
             }
         });
         let set: BTreeSet<_> = binders.iter().cloned().collect();
-        assert_eq!(set.len(), binders.len(), "binders not distinct: {binders:?}");
+        assert_eq!(
+            set.len(),
+            binders.len(),
+            "binders not distinct: {binders:?}"
+        );
         assert!(g.free_vars().is_empty());
     }
 
@@ -313,7 +324,10 @@ mod tests {
 
     #[test]
     fn literal_round_trip() {
-        let l = Literal { positive: false, atom: p("a") };
+        let l = Literal {
+            positive: false,
+            atom: p("a"),
+        };
         assert_eq!(l.to_formula(), Formula::not(p("a")));
     }
 

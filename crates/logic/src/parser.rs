@@ -126,7 +126,11 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 if bytes.get(i + 1) == Some(&b'>') {
                     toks.push((i, Tok::Arrow));
                     i += 2;
-                } else if bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                } else if bytes
+                    .get(i + 1)
+                    .map(|b| b.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     let start = i;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -138,7 +142,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     })?;
                     toks.push((start, Tok::Int(n)));
                 } else {
-                    return Err(ParseError { pos: i, msg: "unexpected `-`".into() });
+                    return Err(ParseError {
+                        pos: i,
+                        msg: "unexpected `-`".into(),
+                    });
                 }
             }
             '<' => {
@@ -146,7 +153,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     toks.push((i, Tok::DArrow));
                     i += 3;
                 } else {
-                    return Err(ParseError { pos: i, msg: "unexpected `<`".into() });
+                    return Err(ParseError {
+                        pos: i,
+                        msg: "unexpected `<`".into(),
+                    });
                 }
             }
             '"' => {
@@ -202,7 +212,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 toks.push((start, Tok::Ident(src[start..i].to_string())));
             }
             other => {
-                return Err(ParseError { pos: i, msg: format!("unexpected `{other}`") });
+                return Err(ParseError {
+                    pos: i,
+                    msg: format!("unexpected `{other}`"),
+                });
             }
         }
     }
@@ -259,7 +272,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: String) -> ParseError {
-        ParseError { pos: self.here(), msg }
+        ParseError {
+            pos: self.here(),
+            msg,
+        }
     }
 
     fn parse_temporal(&mut self) -> Result<TFormula, ParseError> {
@@ -576,8 +592,7 @@ pub fn parse_property(src: &str) -> Result<Property, ParseError> {
             if !vars.is_empty() && vars.iter().all(|v| !KEYWORDS.contains(&v.as_str())) {
                 let refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
                 let body = parse_temporal(&rest[end..], &refs)?;
-                return Property::with_vars(vars, body)
-                    .map_err(|msg| ParseError { pos: 0, msg });
+                return Property::with_vars(vars, body).map_err(|msg| ParseError { pos: 0, msg });
             }
         }
     }
@@ -604,9 +619,15 @@ mod tests {
     #[test]
     fn free_vars_vs_constants() {
         let f = parse_fo("pick(pid, price)", &["pid", "price"]).unwrap();
-        assert_eq!(f, Formula::rel("pick", vec![Term::var("pid"), Term::var("price")]));
+        assert_eq!(
+            f,
+            Formula::rel("pick", vec![Term::var("pid"), Term::var("price")])
+        );
         let g = parse_fo("pick(pid, price)", &[]).unwrap();
-        assert_eq!(g, Formula::rel("pick", vec![Term::cst("pid"), Term::cst("price")]));
+        assert_eq!(
+            g,
+            Formula::rel("pick", vec![Term::cst("pid"), Term::cst("price")])
+        );
     }
 
     #[test]
@@ -713,10 +734,7 @@ mod tests {
 
     #[test]
     fn property_closure() {
-        let p = parse_property(
-            "forall pid price . pick(pid, price) B !(ship(name, pid))",
-        )
-        .unwrap();
+        let p = parse_property("forall pid price . pick(pid, price) B !(ship(name, pid))").unwrap();
         assert_eq!(p.vars, vec!["pid".to_string(), "price".to_string()]);
         assert_eq!(p.classify(), TemporalClass::Ltl);
         // without prefix: closure over free vars (none here — all consts)
@@ -738,10 +756,7 @@ mod tests {
                 TFormula::Fo(g) => {
                     assert_eq!(
                         g,
-                        Formula::and([
-                            Formula::prop("a"),
-                            Formula::rel("b", vec![Term::var("x")])
-                        ])
+                        Formula::and([Formula::prop("a"), Formula::rel("b", vec![Term::var("x")])])
                     );
                 }
                 other => panic!("expected fused FO, got {other}"),

@@ -12,10 +12,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The role a relation symbol plays in a Web-service specification.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RelKind {
     /// Database relation: fixed throughout a run.
     Database,
@@ -60,7 +58,7 @@ impl fmt::Display for RelKind {
 }
 
 /// How a named constant gets its interpretation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ConstKind {
     /// Interpreted by the fixed database instance.
     Database,
@@ -70,7 +68,7 @@ pub enum ConstKind {
 }
 
 /// A relation symbol: name, arity and kind.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Relation {
     /// The symbol (unique across the whole schema).
     pub name: String,
@@ -83,7 +81,11 @@ pub struct Relation {
 impl Relation {
     /// Creates a relation symbol.
     pub fn new(name: impl Into<String>, arity: usize, kind: RelKind) -> Self {
-        Relation { name: name.into(), arity, kind }
+        Relation {
+            name: name.into(),
+            arity,
+            kind,
+        }
     }
 }
 
@@ -91,7 +93,7 @@ impl Relation {
 ///
 /// Maintains the disjointness invariant of Definition 2.1: a relation name
 /// maps to exactly one `(arity, kind)` pair.
-#[derive(Clone, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct Schema {
     rels: BTreeMap<String, Relation>,
     consts: BTreeMap<String, ConstKind>,
@@ -118,7 +120,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "constant symbol `{n}` declared with conflicting kinds")
             }
             SchemaError::ReservedPrevName(n) => {
-                write!(f, "relation name `{n}` is reserved (prev_* is auto-derived)")
+                write!(
+                    f,
+                    "relation name `{n}` is reserved (prev_* is auto-derived)"
+                )
             }
         }
     }
@@ -161,10 +166,13 @@ impl Schema {
             if self.rels.contains_key(&pname) {
                 return Err(SchemaError::DuplicateRelation(pname));
             }
-            self.rels
-                .insert(pname.clone(), Relation::new(pname, arity, RelKind::PrevInput));
+            self.rels.insert(
+                pname.clone(),
+                Relation::new(pname, arity, RelKind::PrevInput),
+            );
         }
-        self.rels.insert(name.clone(), Relation::new(name, arity, kind));
+        self.rels
+            .insert(name.clone(), Relation::new(name, arity, kind));
         Ok(())
     }
 

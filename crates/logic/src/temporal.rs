@@ -16,14 +16,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bounded::{check_input_bounded, BoundedError};
 use crate::formula::{Formula, Var};
 use crate::schema::Schema;
 
 /// Path quantifier of CTL(\*)-FO.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PathQuant {
     /// "There exists a continuation of the current run…"
     E,
@@ -32,7 +30,7 @@ pub enum PathQuant {
 }
 
 /// A temporal formula over FO components.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TFormula {
     /// An embedded first-order formula (evaluated at the current
     /// configuration of the run).
@@ -260,9 +258,7 @@ impl TFormula {
             | TFormula::G(_) => false,
             TFormula::Path(_, f) => match f.as_ref() {
                 TFormula::X(g) | TFormula::F(g) | TFormula::G(g) => g.is_ctl_state(),
-                TFormula::U(a, b) | TFormula::B(a, b) => {
-                    a.is_ctl_state() && b.is_ctl_state()
-                }
+                TFormula::U(a, b) | TFormula::B(a, b) => a.is_ctl_state() && b.is_ctl_state(),
                 _ => false,
             },
         }
@@ -353,7 +349,7 @@ pub enum TemporalClass {
 /// A property is the *universal closure* `∀x̄ φ(x̄)` of a temporal formula
 /// (Definition 3.1 / A.3: "An LTL-FO sentence is the universal closure of
 /// an LTL-FO formula").
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Property {
     /// The universally quantified (witness) variables, in order.
     pub vars: Vec<Var>,
@@ -464,9 +460,7 @@ mod tests {
     fn ctl_star_classification() {
         // Example 4.1: A((EF cancel) U ship) — the U mixes a state formula
         // and is fine for CTL; but A(F G p) is CTL*:
-        let f = TFormula::all_paths(TFormula::eventually(TFormula::always(
-            TFormula::prop("p"),
-        )));
+        let f = TFormula::all_paths(TFormula::eventually(TFormula::always(TFormula::prop("p"))));
         assert_eq!(f.classify(), TemporalClass::CtlStar);
         // Example 4.1 itself is CTL (U directly under A, operands state fmls)
         let ex41 = TFormula::all_paths(TFormula::until(

@@ -9,14 +9,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// A single element of the data domain `dom∞`.
 ///
 /// `Value` is cheap to clone (`Str` is reference-counted) and totally
 /// ordered, so it can serve as a key in the ordered containers that back
 /// relational instances and symbolic configurations.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An integer element.
     Int(i64),
@@ -91,7 +89,7 @@ impl From<String> for Value {
 /// A tuple of domain elements — one row of a relation.
 ///
 /// Propositions (arity-0 relations) are represented by the empty tuple.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tuple(pub Vec<Value>);
 
 impl Tuple {

@@ -76,12 +76,7 @@ impl Dep {
 /// the dependencies; `Some(true)` = implied, `Some(false)` = a
 /// counterexample instance was found, `None` = budget exhausted
 /// (undecidability showing its teeth).
-pub fn chase_implies(
-    deps: &[Dep],
-    sigma: &Dep,
-    arity: usize,
-    max_steps: usize,
-) -> Option<bool> {
+pub fn chase_implies(deps: &[Dep], sigma: &Dep, arity: usize, max_steps: usize) -> Option<bool> {
     // Syntactic membership: σ ∈ Σ is trivially implied (the chase itself
     // may diverge on such instances — see the divergence test).
     if deps.contains(sigma) {
@@ -144,10 +139,7 @@ pub fn chase_implies(
                     let mut merge: Option<(Value, Value)> = None;
                     'outer: for a in &tuples {
                         for b in &tuples {
-                            if a != b
-                                && lhs.iter().all(|&i| a[i] == b[i])
-                                && a[*rhs] != b[*rhs]
-                            {
+                            if a != b && lhs.iter().all(|&i| a[i] == b[i]) && a[*rhs] != b[*rhs] {
                                 merge = Some((a[*rhs].clone(), b[*rhs].clone()));
                                 break 'outer;
                             }
@@ -321,7 +313,10 @@ pub fn encode(deps: &[Dep], sigma: &Dep, arity: usize) -> Service {
 fn proj_name(cols: &[usize]) -> String {
     format!(
         "S_{}",
-        cols.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("_")
+        cols.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("_")
     )
 }
 
@@ -329,14 +324,16 @@ fn proj_name(cols: &[usize]) -> String {
 fn violation_formula(d: &Dep, arity: usize) -> Formula {
     let t1: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
     let t2: Vec<String> = (0..arity).map(|i| format!("b{i}")).collect();
-    let s_atom = |vs: &[String]| {
-        Formula::rel("S", vs.iter().map(|x| Term::var(x.clone())).collect())
-    };
+    let s_atom =
+        |vs: &[String]| Formula::rel("S", vs.iter().map(|x| Term::var(x.clone())).collect());
     match d {
         Dep::Fd { lhs, rhs } => {
             let mut parts = vec![s_atom(&t1), s_atom(&t2)];
             for &i in lhs {
-                parts.push(Formula::eq(Term::var(t1[i].clone()), Term::var(t2[i].clone())));
+                parts.push(Formula::eq(
+                    Term::var(t1[i].clone()),
+                    Term::var(t2[i].clone()),
+                ));
             }
             parts.push(Formula::neq(
                 Term::var(t1[*rhs].clone()),
@@ -379,13 +376,19 @@ mod tests {
 
     #[test]
     fn dependency_satisfaction() {
-        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let fd = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
         let mut ts = BTreeSet::from([tuple![1, 2], tuple![3, 4]]);
         assert!(fd.holds(&ts));
         ts.insert(tuple![1, 5]);
         assert!(!fd.holds(&ts));
 
-        let ind = Dep::Ind { lhs: vec![1], rhs: vec![0] };
+        let ind = Dep::Ind {
+            lhs: vec![1],
+            rhs: vec![0],
+        };
         let ok = BTreeSet::from([tuple![1, 1], tuple![2, 1]]);
         assert!(ind.holds(&ok));
         let bad = BTreeSet::from([tuple![1, 2]]);
@@ -395,8 +398,14 @@ mod tests {
     #[test]
     fn chase_trivial_implication() {
         // X→A implies X→A.
-        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
-        assert_eq!(chase_implies(std::slice::from_ref(&fd), &fd, 2, 50), Some(true));
+        let fd = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
+        assert_eq!(
+            chase_implies(std::slice::from_ref(&fd), &fd, 2, 50),
+            Some(true)
+        );
         // ∅ does not imply X→A.
         assert_eq!(chase_implies(&[], &fd, 2, 50), Some(false));
     }
@@ -404,38 +413,71 @@ mod tests {
     #[test]
     fn chase_transitivity_via_pseudo() {
         // {0→1, 1→2} implies 0→2 on arity-3 relations.
-        let d1 = Dep::Fd { lhs: vec![0], rhs: 1 };
-        let d2 = Dep::Fd { lhs: vec![1], rhs: 2 };
-        let goal = Dep::Fd { lhs: vec![0], rhs: 2 };
+        let d1 = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
+        let d2 = Dep::Fd {
+            lhs: vec![1],
+            rhs: 2,
+        };
+        let goal = Dep::Fd {
+            lhs: vec![0],
+            rhs: 2,
+        };
         assert_eq!(chase_implies(&[d1, d2], &goal, 3, 50), Some(true));
         // {0→1} does not imply 0→2.
-        let d1 = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let d1 = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
         assert_eq!(chase_implies(&[d1], &goal, 3, 50), Some(false));
     }
 
     #[test]
     fn chase_ind_reflexivity() {
-        let ind = Dep::Ind { lhs: vec![0], rhs: vec![0] };
+        let ind = Dep::Ind {
+            lhs: vec![0],
+            rhs: vec![0],
+        };
         assert_eq!(chase_implies(&[], &ind, 2, 50), Some(true));
-        let ind2 = Dep::Ind { lhs: vec![0], rhs: vec![1] };
+        let ind2 = Dep::Ind {
+            lhs: vec![0],
+            rhs: vec![1],
+        };
         assert_eq!(chase_implies(&[], &ind2, 2, 50), Some(false));
         // implied by itself
-        assert_eq!(chase_implies(std::slice::from_ref(&ind2), &ind2, 2, 50), Some(true));
+        assert_eq!(
+            chase_implies(std::slice::from_ref(&ind2), &ind2, 2, 50),
+            Some(true)
+        );
     }
 
     #[test]
     fn chase_can_diverge_within_budget() {
         // R[0] ⊆ R[1] on arity 2 keeps generating fresh tuples from the
         // canonical seed; the budget runs out (the undecidability omen).
-        let ind = Dep::Ind { lhs: vec![0], rhs: vec![1] };
-        let goal = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let ind = Dep::Ind {
+            lhs: vec![0],
+            rhs: vec![1],
+        };
+        let goal = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
         assert_eq!(chase_implies(&[ind], &goal, 2, 10), None);
     }
 
     #[test]
     fn encoding_validates_and_uses_projections() {
-        let deps = vec![Dep::Fd { lhs: vec![0], rhs: 1 }];
-        let sigma = Dep::Ind { lhs: vec![1], rhs: vec![0] };
+        let deps = vec![Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        }];
+        let sigma = Dep::Ind {
+            lhs: vec![1],
+            rhs: vec![0],
+        };
         let w = encode(&deps, &sigma, 2);
         assert!(w.validate().is_ok());
         // State projections break input-boundedness (Theorem 3.8's point).
@@ -445,9 +487,15 @@ mod tests {
 
     #[test]
     fn encoded_violation_flags_track_reference_checks() {
-        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+        let fd = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
         let deps = vec![fd.clone()];
-        let sigma = Dep::Ind { lhs: vec![1], rhs: vec![0] };
+        let sigma = Dep::Ind {
+            lhs: vec![1],
+            rhs: vec![0],
+        };
         let w = encode(&deps, &sigma, 2);
         let db = inst! { "dom" => [tuple![1], tuple![2], tuple![3]] };
         let runner = Runner::new(&w, &db);
@@ -475,8 +523,14 @@ mod tests {
 
     #[test]
     fn clean_instance_raises_no_flags() {
-        let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
-        let sigma = Dep::Ind { lhs: vec![0], rhs: vec![0] };
+        let fd = Dep::Fd {
+            lhs: vec![0],
+            rhs: 1,
+        };
+        let sigma = Dep::Ind {
+            lhs: vec![0],
+            rhs: vec![0],
+        };
         let w = encode(&[fd], &sigma, 2);
         let db = inst! { "dom" => [tuple![1], tuple![2]] };
         let runner = Runner::new(&w, &db);

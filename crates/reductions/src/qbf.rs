@@ -73,17 +73,11 @@ impl Qbf {
             Qbf::And(a, b) => Formula::and([a.to_fo(), b.to_fo()]),
             Qbf::Exists(i, f) => {
                 let x = format!("x{i}");
-                Formula::exists(
-                    vec![x.clone()],
-                    Formula::and([guard(&x), f.to_fo()]),
-                )
+                Formula::exists(vec![x.clone()], Formula::and([guard(&x), f.to_fo()]))
             }
             Qbf::Forall(i, f) => {
                 let x = format!("x{i}");
-                Formula::forall(
-                    vec![x.clone()],
-                    Formula::implies(guard(&x), f.to_fo()),
-                )
+                Formula::forall(vec![x.clone()], Formula::implies(guard(&x), f.to_fo()))
             }
         }
     }
@@ -109,14 +103,11 @@ fn strictify(f: &Formula) -> Formula {
             };
             if let Formula::And(parts) = body.as_ref() {
                 if let Some(Formula::Or(guards)) = parts.first() {
-                    let rest: Vec<Formula> =
-                        parts[1..].iter().map(strictify).collect();
+                    let rest: Vec<Formula> = parts[1..].iter().map(strictify).collect();
                     return Formula::or(guards.iter().map(|g| {
                         Formula::exists(
                             vec![x.clone()],
-                            Formula::and(
-                                std::iter::once(g.clone()).chain(rest.iter().cloned()),
-                            ),
+                            Formula::and(std::iter::once(g.clone()).chain(rest.iter().cloned())),
                         )
                     }));
                 }
@@ -131,8 +122,7 @@ fn strictify(f: &Formula) -> Formula {
                 // body = ¬(I0(x) ∨ I1(x)) ∨ ψ, built as ¬guard ∨ ψ
                 if let Some(Formula::Not(inner)) = parts.first() {
                     if let Formula::Or(guards) = inner.as_ref() {
-                        let rest: Vec<Formula> =
-                            parts[1..].iter().map(strictify).collect();
+                        let rest: Vec<Formula> = parts[1..].iter().map(strictify).collect();
                         return Formula::and(guards.iter().map(|g| {
                             Formula::forall(
                                 vec![x.clone()],
@@ -202,7 +192,9 @@ pub fn encode(phi: &Qbf) -> Service {
 pub fn random_qbf(n_vars: usize, n_ops: usize, seed: u64) -> Qbf {
     let mut state = seed | 1;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     fn matrix(rnd: &mut impl FnMut() -> usize, n_vars: usize, budget: usize) -> Qbf {
@@ -249,7 +241,10 @@ mod tests {
         // ∀x0 (x0) — false
         assert!(!Qbf::Forall(0, Box::new(x(0))).truth());
         // ∀x0 (x0 ∨ ¬x0) — true
-        let taut = Qbf::Forall(0, Box::new(Qbf::Or(Box::new(x(0)), Box::new(Qbf::Not(Box::new(x(0)))))));
+        let taut = Qbf::Forall(
+            0,
+            Box::new(Qbf::Or(Box::new(x(0)), Box::new(Qbf::Not(Box::new(x(0)))))),
+        );
         assert!(taut.truth());
         // ∀x0 ∃x1 (x0 ≠ x1 shape): ∀x0 ∃x1 ((x0 ∧ ¬x1) ∨ (¬x0 ∧ x1)) — true
         let xor = Qbf::Or(
@@ -274,16 +269,16 @@ mod tests {
         // The paper's reduction, round-tripped through our Theorem 3.5
         // engine: W_φ error-free ⟺ φ false.
         let cases = [
-            Qbf::Exists(0, Box::new(x(0))),                      // true
-            Qbf::Forall(0, Box::new(x(0))),                      // false
+            Qbf::Exists(0, Box::new(x(0))), // true
+            Qbf::Forall(0, Box::new(x(0))), // false
             Qbf::Forall(
                 0,
                 Box::new(Qbf::Or(Box::new(x(0)), Box::new(Qbf::Not(Box::new(x(0)))))),
-            ),                                                   // true
+            ), // true
             Qbf::Exists(
                 0,
                 Box::new(Qbf::And(Box::new(x(0)), Box::new(Qbf::Not(Box::new(x(0)))))),
-            ),                                                   // false
+            ), // false
         ];
         for phi in &cases {
             let w = encode(phi);

@@ -76,7 +76,10 @@ impl Tm {
         let mut max_head = 0usize;
         for step in 0..max_steps {
             if state == self.halt {
-                return SimOutcome::Halted { steps: step, cells: max_head + 1 };
+                return SimOutcome::Halted {
+                    steps: step,
+                    cells: max_head + 1,
+                };
             }
             let key = (state.clone(), tape[head].clone());
             let Some((q, s, m)) = self.delta.get(&key) else {
@@ -101,7 +104,10 @@ impl Tm {
             max_head = max_head.max(head);
         }
         if state == self.halt {
-            SimOutcome::Halted { steps: max_steps, cells: max_head + 1 }
+            SimOutcome::Halted {
+                steps: max_steps,
+                cells: max_head + 1,
+            }
         } else {
             SimOutcome::Running
         }
@@ -262,15 +268,13 @@ pub fn encode(tm: &Tm) -> Service {
                     vec!["y".into()],
                     Formula::rel("H", vec![v("v0"), v("y"), lit(s), lit(p)]),
                 ));
-                head_inserts.push(Formula::and([
-                    Formula::exists(
-                        vec!["a".into(), "b".into(), "u".into()],
-                        Formula::and([
-                            Formula::rel("H", vec![v("a"), v("b"), lit(s), lit(p)]),
-                            Formula::rel("T", vec![v("v0"), v("a"), v("u"), lit(MARK)]),
-                        ]),
-                    ),
-                ]));
+                head_inserts.push(Formula::and([Formula::exists(
+                    vec!["a".into(), "b".into(), "u".into()],
+                    Formula::and([
+                        Formula::rel("H", vec![v("a"), v("b"), lit(s), lit(p)]),
+                        Formula::rel("T", vec![v("v0"), v("a"), v("u"), lit(MARK)]),
+                    ]),
+                )]));
             }
         }
     }
@@ -294,7 +298,10 @@ pub fn encode(tm: &Tm) -> Service {
         relation: "Max".into(),
         vars: vec!["v0".into()],
         insert: Some(Formula::rel("I", vec![v("v0")])),
-        delete: Some(Formula::and([picked.clone(), Formula::rel("Max", vec![v("v0")])])),
+        delete: Some(Formula::and([
+            picked.clone(),
+            Formula::rel("Max", vec![v("v0")]),
+        ])),
     });
     page.state_rules.push(StateRule {
         relation: "Head".into(),
@@ -348,11 +355,13 @@ pub fn sample_halting() -> Tm {
         ("q0".into(), "b".into()),
         ("q1".into(), "1".into(), Move::R),
     );
-    delta.insert(
-        ("q1".into(), "b".into()),
-        ("h".into(), "1".into(), Move::R),
-    );
-    Tm { start: "q0".into(), halt: "h".into(), blank: "b".into(), delta }
+    delta.insert(("q1".into(), "b".into()), ("h".into(), "1".into(), Move::R));
+    Tm {
+        start: "q0".into(),
+        halt: "h".into(),
+        blank: "b".into(),
+        delta,
+    }
 }
 
 /// A machine that loops forever in place (never halts): bounces between
@@ -367,7 +376,12 @@ pub fn sample_looping() -> Tm {
         ("q1".into(), "b".into()),
         ("q0".into(), "b".into(), Move::L),
     );
-    Tm { start: "q0".into(), halt: "h".into(), blank: "b".into(), delta }
+    Tm {
+        start: "q0".into(),
+        halt: "h".into(),
+        blank: "b".into(),
+        delta,
+    }
 }
 
 #[cfg(test)]
@@ -397,7 +411,9 @@ mod tests {
             "Theorem 3.7 encodings sit outside the decidable class"
         );
         // specifically, the Options_I rule uses a non-ground state atom
-        assert!(violations.iter().any(|(_, rule, _)| rule.contains("Options")));
+        assert!(violations
+            .iter()
+            .any(|(_, rule, _)| rule.contains("Options")));
     }
 
     /// Drives the encoded service: lay out `cells` tape cells, then follow
@@ -416,7 +432,10 @@ mod tests {
             .unwrap();
         for c in 2..=cells as i64 {
             cfg = runner
-                .step(&cfg, &InputChoice::empty().with_tuple("I", Tuple::from_iter([c])))
+                .step(
+                    &cfg,
+                    &InputChoice::empty().with_tuple("I", Tuple::from_iter([c])),
+                )
                 .unwrap();
         }
         // Switch to simulation by picking nothing once; `simul` is set by
@@ -442,7 +461,10 @@ mod tests {
                     .unwrap();
                 opts.get("H").cloned().unwrap_or_default()
             };
-            assert!(h.len() <= 1, "deterministic machine: at most one head option");
+            assert!(
+                h.len() <= 1,
+                "deterministic machine: at most one head option"
+            );
             let choice = match h.into_iter().next() {
                 Some(t) => InputChoice::empty().with_tuple("H", t),
                 None => InputChoice::empty(),
@@ -486,9 +508,6 @@ mod tests {
     fn never_halts_property_shape() {
         let p = never_halts_property(&sample_halting());
         assert!(p.vars.is_empty(), "closed via explicit existential");
-        assert_eq!(
-            p.classify(),
-            wave_logic::temporal::TemporalClass::Ltl
-        );
+        assert_eq!(p.classify(), wave_logic::temporal::TemporalClass::Ltl);
     }
 }

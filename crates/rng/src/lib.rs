@@ -1,0 +1,231 @@
+//! # wave-rng
+//!
+//! A tiny, dependency-free pseudo-random number generator for the
+//! workload generators (`wave-demo::catalog`, `wave-verifier::dbgen`),
+//! the benchmark harness, and the randomized integration tests.
+//!
+//! The repo must build with no network access, so the `rand` crate is
+//! off the table; this module provides the small slice of its API the
+//! codebase actually uses (`gen_range`, `gen_bool`, `seed_from_u64`)
+//! on top of the well-known SplitMix64/xoshiro256** generators. The
+//! generators are deterministic for a given seed across platforms —
+//! exactly what seeded tests and reproducible benchmarks need. They are
+//! **not** cryptographically secure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Splits a 64-bit seed into a stream of 64-bit values (Steele et al.,
+/// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A source of pseudo-random bits plus the derived sampling helpers.
+///
+/// Mirrors the shape of `rand::Rng` for the methods this workspace
+/// uses, so call sites read identically.
+pub trait Rng {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from a half-open range (`start <= x < end`).
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits give a uniform float in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `range`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased uniform integer in `[0, bound)` by rejection (Lemire's
+/// nearly-divisionless method simplified to plain rejection sampling).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Largest multiple of `bound` that fits in u64; reject above it.
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from an empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from an empty range");
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                range.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32 as u32, i64 as u64);
+
+/// The default generator: xoshiro256** (Blackman–Vigna), seeded through
+/// SplitMix64 as its authors recommend. 256 bits of state, period
+/// 2^256 − 1, passes BigCrush.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    s: [u64; 4],
+}
+
+impl SplitMix64 {
+    /// Seeds the generator from a single 64-bit value.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SplitMix64 { s }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A trivially predictable generator for unit tests: starts at `seed`
+/// and advances by `increment` each call (the counterpart of
+/// `rand::rngs::mock::StepRng`).
+#[derive(Clone, Debug)]
+pub struct StepRng {
+    v: u64,
+    step: u64,
+}
+
+impl StepRng {
+    /// A generator yielding `seed`, `seed + step`, `seed + 2·step`, …
+    pub fn new(seed: u64, step: u64) -> Self {
+        StepRng { v: seed, step }
+    }
+}
+
+impl Rng for StepRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.v;
+        self.v = self.v.wrapping_add(self.step);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..4 appear");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        for _ in 0..50 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn step_rng_is_predictable() {
+        let mut r = StepRng::new(10, 3);
+        assert_eq!(r.next_u64(), 10);
+        assert_eq!(r.next_u64(), 13);
+        assert_eq!(r.next_u64(), 16);
+    }
+}

@@ -96,10 +96,7 @@ mod tests {
         assert_eq!(table.len(), 1);
         assert_eq!(
             p,
-            PFormula::and([
-                PFormula::Prop(0),
-                PFormula::eventually(PFormula::Prop(0))
-            ])
+            PFormula::and([PFormula::Prop(0), PFormula::eventually(PFormula::Prop(0))])
         );
     }
 

@@ -42,7 +42,10 @@ pub struct CtlOptions {
 
 impl Default for CtlOptions {
     fn default() -> Self {
-        CtlOptions { fresh_values: 1, state_limit: 100_000 }
+        CtlOptions {
+            fresh_values: 1,
+            state_limit: 100_000,
+        }
     }
 }
 
@@ -171,11 +174,12 @@ pub fn build_kripke(
             return Err(CtlError::StateLimit);
         }
         let from = ids[&cfg];
-        let succs = crate::enumerative::successors_for_kripke(&runner, &cfg, &pool)
-            .map_err(|e| match e {
+        let succs = crate::enumerative::successors_for_kripke(&runner, &cfg, &pool).map_err(
+            |e| match e {
                 EnumError::Step(s) => CtlError::Step(s),
                 EnumError::NotLtl => unreachable!("successor enumeration is logic-free"),
-            })?;
+            },
+        )?;
         for s in succs {
             let to = match ids.get(&s) {
                 Some(&id) => id,
@@ -233,14 +237,16 @@ pub fn verify_ctl(
             let p = to_pformula(property, &mut table);
             let k = build_kripke(service, &db, &table, opts)?;
             max_states = max_states.max(k.len());
-            let ok =
-                ctlstar_mc::check_initial(&k, &p).map_err(|_| CtlError::NotStateFormula)?;
+            let ok = ctlstar_mc::check_initial(&k, &p).map_err(|_| CtlError::NotStateFormula)?;
             if !ok {
                 return Ok(CtlOutcome::Violated { db });
             }
         }
     }
-    Ok(CtlOutcome::Holds { databases, max_states })
+    Ok(CtlOutcome::Holds {
+        databases,
+        max_states,
+    })
 }
 
 #[cfg(test)]

@@ -46,8 +46,7 @@ pub fn enumerate(schema: &Schema, domain: usize, max_instances: Option<usize>) -
         .collect();
 
     // Per-relation choice space: subsets of all tuples, driven by bitmasks.
-    let tuple_spaces: Vec<Vec<Tuple>> =
-        rels.iter().map(|(_, a)| all_tuples(domain, *a)).collect();
+    let tuple_spaces: Vec<Vec<Tuple>> = rels.iter().map(|(_, a)| all_tuples(domain, *a)).collect();
 
     let mut seen = BTreeSet::new();
     let mut out = Vec::new();
@@ -157,7 +156,7 @@ pub fn random_db(
     schema: &Schema,
     domain: usize,
     density: f64,
-    rng: &mut impl rand::Rng,
+    rng: &mut impl wave_rng::Rng,
 ) -> Instance {
     let mut inst = Instance::new();
     for r in schema.relations_of(RelKind::Database) {
@@ -236,7 +235,7 @@ mod tests {
         s.add_relation("e", 2, RelKind::Database).unwrap();
         s.add_relation("state_thing", 1, RelKind::State).unwrap();
         s.add_constant("c", ConstKind::Database).unwrap();
-        let mut rng = rand::rngs::mock::StepRng::new(42, 0x9E3779B97F4A7C15);
+        let mut rng = wave_rng::StepRng::new(42, 0x9E3779B97F4A7C15);
         let db = random_db(&s, 3, 0.5, &mut rng);
         assert_eq!(db.cardinality("state_thing"), 0);
         assert!(db.has_constant("c"));

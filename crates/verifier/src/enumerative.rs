@@ -48,7 +48,10 @@ pub struct EnumOptions {
 
 impl Default for EnumOptions {
     fn default() -> Self {
-        EnumOptions { fresh_values: 2, node_limit: 200_000 }
+        EnumOptions {
+            fresh_values: 2,
+            node_limit: 200_000,
+        }
     }
 }
 
@@ -222,7 +225,9 @@ pub fn verify_ltl_on_db(
             SearchResult::LimitReached { .. } => return Ok(EnumOutcome::LimitReached),
         }
     }
-    Ok(EnumOutcome::Holds { explored: explored_total })
+    Ok(EnumOutcome::Holds {
+        explored: explored_total,
+    })
 }
 
 /// Evaluates one FO component on an observation. Per Definition 3.1's
@@ -234,9 +239,10 @@ fn eval_component(
     adom: &BTreeSet<Value>,
     env: &Env,
 ) -> Result<bool, EnumError> {
-    let grounded = comp.substitute(&|v| env.get(v).map(|val| {
-        wave_logic::formula::Term::Lit(val.clone())
-    }));
+    let grounded = comp.substitute(&|v| {
+        env.get(v)
+            .map(|val| wave_logic::formula::Term::Lit(val.clone()))
+    });
     match eval_closed_with_adom(&grounded, obs, adom) {
         Ok(b) => Ok(b),
         Err(EvalError::UnknownConstant(_)) => Ok(false),
@@ -250,7 +256,15 @@ pub(crate) fn initial_configs(
     pool: &[Value],
 ) -> Result<Vec<Config>, EnumError> {
     let home = runner.service().home.clone();
-    entry_configs(runner, &home, &Instance::new(), &Instance::new(), &Instance::new(), &BTreeMap::new(), pool)
+    entry_configs(
+        runner,
+        &home,
+        &Instance::new(),
+        &Instance::new(),
+        &Instance::new(),
+        &BTreeMap::new(),
+        pool,
+    )
 }
 
 /// All successor configurations of `cfg`: the deterministic transition
@@ -261,7 +275,9 @@ pub(crate) fn successors_for_kripke(
     cfg: &Config,
     pool: &[Value],
 ) -> Result<Vec<Config>, EnumError> {
-    let core = runner.transition_core(cfg).map_err(|e| EnumError::Step(e.to_string()))?;
+    let core = runner
+        .transition_core(cfg)
+        .map_err(|e| EnumError::Step(e.to_string()))?;
     entry_configs(
         runner,
         &core.page,
@@ -299,7 +315,10 @@ fn entry_configs(
 
     // Constant provisioning (skipped when the page re-requests — the
     // semantics ignores the choice then).
-    let rerequest = page.input_constants.iter().any(|c| provided.contains_key(c));
+    let rerequest = page
+        .input_constants
+        .iter()
+        .any(|c| provided.contains_key(c));
     let mut const_assignments: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new()];
     if !rerequest {
         for c in &page.input_constants {
@@ -453,7 +472,11 @@ mod tests {
             .solicit_constant("name")
             .solicit_constant("password")
             .input_rule("button", &["x"], r#"x = "login""#)
-            .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            )
             .target("CP", r#"user(name, password) & button("login")"#)
             .page("CP");
         b.build().unwrap()

@@ -20,7 +20,7 @@ use wave_core::service::Service;
 use wave_logic::formula::Formula;
 use wave_logic::schema::{ConstKind, RelKind};
 
-pub use crate::symbolic::{SymbolicError, SymbolicOptions, VerifyOutcome};
+pub use crate::symbolic::{SymbolicError, SymbolicOptions, Verdict, VerifyOutcome};
 
 /// The name of the catch page added by the transformation.
 pub const CATCH_PAGE: &str = "__Werr";
@@ -54,8 +54,7 @@ pub fn lemma_a5_transform(service: &Service) -> Service {
     let mut out = service.clone();
 
     // Provisioning states.
-    let input_consts: Vec<String> =
-        out.schema.input_constants().map(str::to_string).collect();
+    let input_consts: Vec<String> = out.schema.input_constants().map(str::to_string).collect();
     for c in &input_consts {
         out.schema
             .add_relation(format!("{PROV_PREFIX}{c}"), 0, RelKind::State)
@@ -119,7 +118,10 @@ pub fn lemma_a5_transform(service: &Service) -> Service {
                     .collect::<Vec<_>>(),
             );
             let rereq = Formula::or(
-                page.input_constants.iter().map(|c| prov(c)).collect::<Vec<_>>(),
+                page.input_constants
+                    .iter()
+                    .map(|c| prov(c))
+                    .collect::<Vec<_>>(),
             );
             rho_parts.push(Formula::and([none_fire, rereq]));
         }
@@ -131,7 +133,10 @@ pub fn lemma_a5_transform(service: &Service) -> Service {
         for r in &mut page.target_rules {
             r.body = Formula::and([r.body.clone(), Formula::not(err_cond.clone())]);
         }
-        page.target_rules.push(TargetRule { target: CATCH_PAGE.into(), body: err_cond });
+        page.target_rules.push(TargetRule {
+            target: CATCH_PAGE.into(),
+            body: err_cond,
+        });
 
         // Provisioning bookkeeping.
         for c in &page.input_constants.clone() {
@@ -145,7 +150,10 @@ pub fn lemma_a5_transform(service: &Service) -> Service {
 
     // The catch page loops forever.
     let mut catch = Page::new(CATCH_PAGE);
-    catch.target_rules.push(TargetRule { target: CATCH_PAGE.into(), body: Formula::True });
+    catch.target_rules.push(TargetRule {
+        target: CATCH_PAGE.into(),
+        body: Formula::True,
+    });
     out.pages.insert(CATCH_PAGE.into(), catch);
     out
 }
@@ -186,12 +194,16 @@ mod tests {
         let db = Instance::new();
         // Native: pressing `both` errs (two targets fire).
         let rn = Runner::new(&s, &db);
-        let c0 = rn.initial(&InputChoice::empty().with_prop("both", true)).unwrap();
+        let c0 = rn
+            .initial(&InputChoice::empty().with_prop("both", true))
+            .unwrap();
         let c1 = rn.step(&c0, &InputChoice::empty()).unwrap();
         assert_eq!(c1.page, s.error_page);
         // Transformed: same run lands on the catch page instead.
         let rt = Runner::new(&t, &db);
-        let d0 = rt.initial(&InputChoice::empty().with_prop("both", true)).unwrap();
+        let d0 = rt
+            .initial(&InputChoice::empty().with_prop("both", true))
+            .unwrap();
         let d1 = rt.step(&d0, &InputChoice::empty()).unwrap();
         assert_eq!(d1.page, CATCH_PAGE);
         // ... and loops there.
@@ -267,8 +279,7 @@ mod tests {
         assert!(native.holds());
         let t = lemma_a5_transform(&s);
         let p = wave_logic::parser::parse_property(&format!("G !{CATCH_PAGE}")).unwrap();
-        let via_a5 =
-            crate::symbolic::verify_ltl(&t, &p, &SymbolicOptions::default()).unwrap();
+        let via_a5 = crate::symbolic::verify_ltl(&t, &p, &SymbolicOptions::default()).unwrap();
         assert!(via_a5.holds(), "{via_a5:?}");
     }
 }

@@ -16,11 +16,7 @@ use wave_logic::temporal::TFormula;
 use crate::ctl_prop::{self, CtlError, CtlOptions};
 
 /// Verifies a CTL(\*) property of a fully propositional service.
-pub fn verify(
-    service: &Service,
-    property: &TFormula,
-    opts: &CtlOptions,
-) -> Result<bool, CtlError> {
+pub fn verify(service: &Service, property: &TFormula, opts: &CtlOptions) -> Result<bool, CtlError> {
     if !classify::is_fully_propositional(service) {
         return Err(CtlError::NotPropositional);
     }
@@ -118,7 +114,10 @@ mod tests {
             .insert_rule("s", &[], r#"go & d("k")"#);
         let s = b.build().unwrap();
         let p = parse_temporal("A G true", &[]).unwrap();
-        assert_eq!(verify(&s, &p, &CtlOptions::default()), Err(CtlError::NotPropositional));
+        assert_eq!(
+            verify(&s, &p, &CtlOptions::default()),
+            Err(CtlError::NotPropositional)
+        );
     }
 
     #[test]

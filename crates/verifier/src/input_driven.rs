@@ -114,8 +114,8 @@ impl Encoder {
             // universal ∀x(I(x) → ψ(x)) ≡ ¬picked ∨ ψ[type props], because
             // the input holds at most one tuple.
             Formula::Exists(vars, inner) => {
-                let (var, psi) = split_guard(vars, inner, &self.shape.input_rel, true)
-                    .ok_or_else(|| {
+                let (var, psi) =
+                    split_guard(vars, inner, &self.shape.input_rel, true).ok_or_else(|| {
                         InputDrivenError::Untranslatable(format!(
                             "quantifier not guarded by the input relation: {f}"
                         ))
@@ -164,16 +164,14 @@ impl Encoder {
             )),
             Formula::Rel { name, args } => match args.as_slice() {
                 [] => self.body(service, f),
-                [Term::Var(v)] if v == var => {
-                    match service.schema.relation(name).map(|r| r.kind) {
-                        Some(RelKind::Database) if *name != self.shape.search_rel => {
-                            Ok(PFormula::Prop(self.type_prop(name)))
-                        }
-                        other => Err(InputDrivenError::Untranslatable(format!(
-                            "atom `{name}({var})` has kind {other:?}"
-                        ))),
+                [Term::Var(v)] if v == var => match service.schema.relation(name).map(|r| r.kind) {
+                    Some(RelKind::Database) if *name != self.shape.search_rel => {
+                        Ok(PFormula::Prop(self.type_prop(name)))
                     }
-                }
+                    other => Err(InputDrivenError::Untranslatable(format!(
+                        "atom `{name}({var})` has kind {other:?}"
+                    ))),
+                },
                 _ => Err(InputDrivenError::Untranslatable(format!("{f}"))),
             },
             other => Err(InputDrivenError::Untranslatable(format!("{other}"))),
@@ -208,9 +206,17 @@ fn split_guard(
             if name == input_rel && args.as_slice() == [Term::Var(x.clone())])
     };
     let guard_pos = parts.iter().position(|f| is_guard(f))?;
-    let rest: Vec<Formula> =
-        parts.iter().enumerate().filter(|(i, _)| *i != guard_pos).map(|(_, f)| (*f).clone()).collect();
-    let psi = if existential { Formula::and(rest) } else { Formula::or(rest) };
+    let rest: Vec<Formula> = parts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != guard_pos)
+        .map(|(_, f)| (*f).clone())
+        .collect();
+    let psi = if existential {
+        Formula::and(rest)
+    } else {
+        Formula::or(rest)
+    };
     Some((x.clone(), psi))
 }
 
@@ -221,7 +227,12 @@ fn axiomatize(service: &Service) -> Result<(PFormula, Encoder), InputDrivenError
     let mut registry = PropRegistry::new();
     let picked = registry.intern("picked");
     let err = registry.intern("page:__err__");
-    let mut enc = Encoder { registry, shape, picked, err };
+    let mut enc = Encoder {
+        registry,
+        shape,
+        picked,
+        err,
+    };
 
     let page_names: Vec<String> = service.pages.keys().cloned().collect();
     let state_names: Vec<String> = service
@@ -245,7 +256,10 @@ fn axiomatize(service: &Service) -> Result<(PFormula, Encoder), InputDrivenError
     let mut all_pages: Vec<PropId> = page_props.values().copied().collect();
     all_pages.push(enc.err);
     let mut exclusivity = vec![PFormula::or(
-        all_pages.iter().map(|&p| PFormula::Prop(p)).collect::<Vec<_>>(),
+        all_pages
+            .iter()
+            .map(|&p| PFormula::Prop(p))
+            .collect::<Vec<_>>(),
     )];
     for (i, &a) in all_pages.iter().enumerate() {
         for &b in &all_pages[i + 1..] {
@@ -540,6 +554,9 @@ mod tests {
     fn rejects_ctl_star() {
         let s = navigator();
         let p = parse_temporal("A F (G not_start)", &[]).unwrap();
-        assert!(matches!(verify(&s, &p, 24), Err(InputDrivenError::BadProperty(_))));
+        assert!(matches!(
+            verify(&s, &p, 24),
+            Err(InputDrivenError::BadProperty(_))
+        ));
     }
 }

@@ -28,4 +28,4 @@ pub mod symbolic;
 pub mod trace;
 
 pub use enumerative::{verify_ltl_on_db, EnumOutcome};
-pub use symbolic::{verify_ltl, SymbolicOptions, VerifyOutcome};
+pub use symbolic::{verify_ltl, SearchStats, SymbolicOptions, Verdict, VerifyOutcome};

@@ -9,7 +9,6 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use wave_core::service::Service;
 
-
 use super::state::{Assumption, SymState};
 use super::table::{CSym, CTable, Sym};
 
@@ -18,7 +17,7 @@ use super::table::{CSym, CTable, Sym};
 pub type CFact = (String, Vec<CSym>);
 
 /// A symbolic configuration.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SymConfig {
     /// Current page (or the error page).
     pub page: String,
@@ -89,12 +88,7 @@ impl SymConfig {
     /// conflict. Equality merges re-canonicalize state/action facts and
     /// check that the merge does not contradict previously *computed*
     /// state/action content (two tuples collapsing must have agreed).
-    pub fn assert(
-        &self,
-        table: &CTable,
-        a: &Assumption,
-        val: bool,
-    ) -> Option<SymConfig> {
+    pub fn assert(&self, table: &CTable, a: &Assumption, val: bool) -> Option<SymConfig> {
         let mut next = self.clone();
         next.st.assert(table, a, val).ok()?;
         if let (Assumption::EqC(..), true) = (a, val) {
@@ -142,7 +136,10 @@ impl SymConfig {
                     } else {
                         format!(
                             "{rel}({})",
-                            t.iter().map(|&s| table.render(s)).collect::<Vec<_>>().join(",")
+                            t.iter()
+                                .map(|&s| table.render(s))
+                                .collect::<Vec<_>>()
+                                .join(",")
                         )
                     }
                 })
@@ -189,8 +186,11 @@ fn recanon_facts(
         let old_reps = old.reps();
         let mut preimages: Vec<Vec<CSym>> = vec![Vec::new()];
         for &target in &canon {
-            let cands: Vec<CSym> =
-                old_reps.iter().copied().filter(|&r| new.find(r) == target).collect();
+            let cands: Vec<CSym> = old_reps
+                .iter()
+                .copied()
+                .filter(|&r| new.find(r) == target)
+                .collect();
             let mut next = Vec::with_capacity(preimages.len() * cands.len());
             for p in &preimages {
                 for &c in &cands {
@@ -256,7 +256,10 @@ mod tests {
     fn assert_db_fact_branches_consistently() {
         let (s, t) = setup();
         let c = SymConfig::initial(&s, &t);
-        let a = Assumption::DbFact { rel: "r".into(), args: vec![Sym::C(0)] };
+        let a = Assumption::DbFact {
+            rel: "r".into(),
+            args: vec![Sym::C(0)],
+        };
         let c_true = c.assert(&t, &a, true).unwrap();
         let c_false = c.assert(&t, &a, false).unwrap();
         assert_eq!(c_true.st.fact_status("r", &[Sym::C(0)]), Some(true));

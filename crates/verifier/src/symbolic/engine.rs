@@ -7,9 +7,31 @@
 //! some database and user behaviour produce a violating run; by the
 //! freshness discipline of the symbolic semantics the lasso is always
 //! realizable (soundness).
+//!
+//! # Architecture: interned ids, memoized successors, parallel frontier
+//!
+//! Product nodes `(SymConfig, büchi state)` are hash-consed to dense ids
+//! by the [`wave_automata::interner::Interner`] inside the nested DFS;
+//! successor generation is memoized per node, so the inner (red) DFS
+//! reuses the lists the outer (blue) DFS derived.
+//!
+//! On top of that, the engine memoizes the **expensive half** of
+//! successor generation — `successors(cfg)` composed with the FO-component
+//! letter evaluation — once per *configuration* (shared by every Büchi
+//! state paired with it). With `threads > 1` a parallel frontier phase
+//! warms this memo ahead of the search: `std::thread::scope` workers
+//! expand BFS layers of the configuration graph, deduplicating through a
+//! sharded claim table (plain `std` only — the registry is not always
+//! reachable from CI). The phase is a pure cache: the verdict — including
+//! counterexample lassos — is always produced by the same sequential
+//! nested DFS over the same deterministically ordered successor lists, so
+//! outcomes are **byte-identical for every thread count**.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use wave_core::classify;
 use wave_core::service::Service;
@@ -17,9 +39,11 @@ use wave_logic::bounded::BoundedError;
 use wave_logic::schema::ConstKind;
 use wave_logic::temporal::{Property, TemporalClass};
 
+use wave_automata::interner::Interner;
 use wave_automata::ltl2buchi::translate;
 use wave_automata::props::PropSet;
-use wave_automata::search::{find_accepting_lasso, SearchResult};
+pub use wave_automata::search::SearchStats;
+use wave_automata::search::{find_accepting_lasso_stats, SearchResult};
 
 use crate::abstraction::{to_pnf, FoAbstraction};
 
@@ -31,13 +55,32 @@ use super::table::{CTable, Sym};
 /// Options for the symbolic verifier.
 #[derive(Clone, Debug)]
 pub struct SymbolicOptions {
-    /// Budget on distinct product nodes.
+    /// Budget on distinct product nodes. Exhausting it always surfaces
+    /// as [`Verdict::LimitReached`] — never as a spurious "holds".
     pub node_limit: usize,
+    /// Worker threads for the frontier-warming phase: `1` (the default)
+    /// skips the phase entirely, `0` means one per available core. The
+    /// verdict is byte-identical for every value — threads only
+    /// pre-populate the successor memo.
+    pub threads: usize,
 }
 
 impl Default for SymbolicOptions {
     fn default() -> Self {
-        SymbolicOptions { node_limit: 500_000 }
+        SymbolicOptions {
+            node_limit: 500_000,
+            threads: 1,
+        }
+    }
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
     }
 }
 
@@ -71,9 +114,9 @@ impl fmt::Display for SymbolicError {
 
 impl std::error::Error for SymbolicError {}
 
-/// The verdict.
-#[derive(Clone, Debug)]
-pub enum VerifyOutcome {
+/// The answer of a verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
     /// Every run over every database satisfies the property.
     Holds {
         /// Distinct product nodes explored.
@@ -87,21 +130,37 @@ pub enum VerifyOutcome {
         /// The repeating cycle.
         cycle: Vec<String>,
     },
-    /// The node budget was exhausted before an answer.
+    /// The node budget was exhausted before an answer — the result is
+    /// **inconclusive**, not a proof.
     LimitReached,
+}
+
+/// The verdict together with the search counters.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// The answer. Deterministic: byte-identical for every `threads`
+    /// setting.
+    pub verdict: Verdict,
+    /// Interning / memoization / timing counters for this run. Wall
+    /// times vary run to run; everything else is deterministic.
+    pub stats: SearchStats,
 }
 
 impl VerifyOutcome {
     /// True when the property was verified.
     pub fn holds(&self) -> bool {
-        matches!(self, VerifyOutcome::Holds { .. })
+        matches!(self.verdict, Verdict::Holds { .. })
     }
 
     /// True when a counterexample was found.
     pub fn violated(&self) -> bool {
-        matches!(self, VerifyOutcome::Violated { .. })
+        matches!(self.verdict, Verdict::Violated { .. })
     }
 }
+
+/// Per-configuration memo value: the letter-annotated successor
+/// configurations, shared by every Büchi state.
+type SuccPairs = Vec<(SymConfig, PropSet)>;
 
 /// Verifies an input-bounded LTL-FO property on an input-bounded service,
 /// over **all** databases and runs (Theorem 3.5).
@@ -139,13 +198,18 @@ pub fn verify_ltl(
             )
         })
         .collect();
-    let ctx = Ctx { service, table: &ctable, ephemeral: Vec::new() };
+    let ctx = Ctx {
+        service,
+        table: &ctable,
+        ephemeral: Vec::new(),
+    };
 
     // Letter evaluation with branching: every branch yields a (config,
     // letter) pair. A component mentioning an unprovided input constant is
-    // not satisfied (Definition 3.1's satisfaction condition).
-    let letters = |cfg: &SymConfig| -> Vec<(SymConfig, PropSet)> {
-        let mut acc: Vec<(SymConfig, PropSet)> = vec![(cfg.clone(), PropSet::new())];
+    // not satisfied (Definition 3.1's satisfaction condition). Pure in
+    // `cfg`, so its results can be cached and computed on any thread.
+    let letters = |cfg: &SymConfig| -> SuccPairs {
+        let mut acc: SuccPairs = vec![(cfg.clone(), PropSet::new())];
         for (i, comp) in table.components.iter().enumerate() {
             let mentions_unprovided = comp.constants_used().iter().any(|c| {
                 service.schema.constant(c) == Some(ConstKind::Input)
@@ -175,6 +239,16 @@ pub fn verify_ltl(
         acc
     };
 
+    // The expensive half of product successor generation, memoized per
+    // configuration: raw successors composed with letter branching.
+    let expand = |cfg: &SymConfig| -> SuccPairs {
+        let mut pairs = Vec::new();
+        for s in successors(service, &ctable, cfg) {
+            pairs.extend(letters(&s));
+        }
+        pairs
+    };
+
     // Initial product nodes.
     let mut inits: Vec<(SymConfig, usize)> = Vec::new();
     for c0 in initial_configs(service, &ctable) {
@@ -187,33 +261,138 @@ pub fn verify_ltl(
         }
     }
 
-    let result = find_accepting_lasso(
-        inits,
-        |(cfg, q)| {
-            let mut out = Vec::new();
-            for s in successors(service, &ctable, cfg) {
-                for (s2, letter) in letters(&s) {
-                    for &q2 in &aut.succ[*q] {
-                        if aut.guard[q2].accepts(&letter) {
-                            out.push((s2.clone(), q2));
-                        }
-                    }
+    // Phase 1 (optional): parallel frontier warming of the memo.
+    let threads = resolve_threads(opts.threads);
+    let mut memo: HashMap<SymConfig, SuccPairs> = HashMap::new();
+    let mut frontier_wall = Duration::ZERO;
+    let mut peak_frontier = 0usize;
+    if threads > 1 {
+        let t0 = Instant::now();
+        let seeds: Vec<SymConfig> = inits.iter().map(|(c, _)| c.clone()).collect();
+        (memo, peak_frontier) = warm_memo(seeds, &expand, threads, opts.node_limit);
+        frontier_wall = t0.elapsed();
+    }
+
+    // Phase 2: the verdict-producing sequential nested DFS. Every memo
+    // value is a pure function of the configuration, so warm entries and
+    // cold (lazily computed) entries are interchangeable — the traversal
+    // follows successor-list content order, never id or thread order.
+    let mut warm_hits = 0u64;
+    let succ = |(cfg, q): &(SymConfig, usize)| -> Vec<(SymConfig, usize)> {
+        let pairs = match memo.get(cfg) {
+            Some(p) => {
+                warm_hits += 1;
+                p.clone()
+            }
+            None => {
+                let p = expand(cfg);
+                memo.insert(cfg.clone(), p.clone());
+                p
+            }
+        };
+        let mut out = Vec::new();
+        for (s2, letter) in &pairs {
+            for &q2 in &aut.succ[*q] {
+                if aut.guard[q2].accepts(letter) {
+                    out.push((s2.clone(), q2));
                 }
             }
-            out
-        },
+        }
+        out
+    };
+    let (result, mut stats) = find_accepting_lasso_stats(
+        inits,
+        succ,
         |(_, q)| aut.accepting[*q],
         Some(opts.node_limit),
     );
+    stats.frontier_wall = frontier_wall;
+    stats.peak_frontier = stats.peak_frontier.max(peak_frontier);
+    stats.memo_hits += warm_hits;
 
-    Ok(match result {
-        SearchResult::Empty { explored } => VerifyOutcome::Holds { explored },
-        SearchResult::Lasso { stem, cycle } => VerifyOutcome::Violated {
+    let verdict = match result {
+        SearchResult::Empty { explored } => Verdict::Holds { explored },
+        SearchResult::Lasso { stem, cycle } => Verdict::Violated {
             stem: stem.iter().map(|(c, _)| c.render(&ctable)).collect(),
             cycle: cycle.iter().map(|(c, _)| c.render(&ctable)).collect(),
         },
-        SearchResult::LimitReached { .. } => VerifyOutcome::LimitReached,
-    })
+        SearchResult::LimitReached { .. } => Verdict::LimitReached,
+    };
+    Ok(VerifyOutcome { verdict, stats })
+}
+
+/// Parallel BFS over the configuration graph, computing the per-config
+/// successor memo with `std::thread::scope` workers over a **sharded
+/// claim table**: each shard is a mutex-guarded set of configurations
+/// some worker has taken responsibility for, so no configuration is
+/// expanded twice. Returns the memo and the peak frontier width.
+///
+/// Purely a cache warmer: racy claim order may vary which worker computes
+/// an entry, but every entry's *value* is a pure function of its key.
+fn warm_memo(
+    seeds: Vec<SymConfig>,
+    expand: &(impl Fn(&SymConfig) -> SuccPairs + Sync),
+    threads: usize,
+    node_limit: usize,
+) -> (HashMap<SymConfig, SuccPairs>, usize) {
+    const SHARDS: usize = 64;
+    let claimed: Vec<Mutex<HashSet<SymConfig>>> =
+        (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
+    let shard_of = |cfg: &SymConfig| -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        cfg.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    };
+
+    let mut memo: HashMap<SymConfig, SuccPairs> = HashMap::new();
+    let mut frontier = seeds;
+    let mut peak = 0usize;
+    while !frontier.is_empty() && memo.len() < node_limit {
+        peak = peak.max(frontier.len());
+        let chunk = frontier.len().div_ceil(threads);
+        let results: Vec<Vec<(SymConfig, SuccPairs)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .map(|part| {
+                    let claimed = &claimed;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for cfg in part {
+                            if !claimed[shard_of(cfg)]
+                                .lock()
+                                .expect("claim shard poisoned")
+                                .insert(cfg.clone())
+                            {
+                                continue; // another worker owns it
+                            }
+                            out.push((cfg.clone(), expand(cfg)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut next = Vec::new();
+        let mut queued: HashSet<SymConfig> = HashSet::new();
+        for (cfg, pairs) in results.into_iter().flatten() {
+            memo.insert(cfg, pairs);
+        }
+        for pairs in memo.values() {
+            // Only the newly reachable configs matter; cheap filter below.
+            for (c, _) in pairs {
+                if !memo.contains_key(c) && !queued.contains(c) {
+                    queued.insert(c.clone());
+                    next.push(c.clone());
+                }
+            }
+        }
+        frontier = next;
+    }
+    (memo, peak)
 }
 
 /// Diagnostic: breadth-first exploration of the symbolic configuration
@@ -229,7 +408,12 @@ pub fn explore(service: &Service, property: &Property, limit: usize) -> Vec<Stri
         if !seen.insert(c.clone()) {
             continue;
         }
-        out.push(format!("{} | fresh={} facts={}", c.render(&ctable), c.n_fresh, c.st.persistent_facts()));
+        out.push(format!(
+            "{} | fresh={} facts={}",
+            c.render(&ctable),
+            c.n_fresh,
+            c.st.persistent_facts()
+        ));
         if out.len() >= limit {
             break;
         }
@@ -241,9 +425,12 @@ pub fn explore(service: &Service, property: &Property, limit: usize) -> Vec<Stri
 }
 
 /// Decides error-freeness (Theorem 3.5(i)): is the error page unreachable
-/// on every database and run? Implemented as plain reachability over the
-/// symbolic configuration graph (no automaton needed — "error free" is the
-/// safety property `G ¬W_err`).
+/// on every database and run? Implemented as layered breadth-first
+/// reachability over the symbolic configuration graph (no automaton
+/// needed — "error free" is the safety property `G ¬W_err`). With
+/// `threads > 1` each layer's successor computations are fanned out to
+/// scoped workers; the layers are merged in frontier order, so the
+/// witness path is byte-identical for every thread count.
 pub fn is_error_free(
     service: &Service,
     opts: &SymbolicOptions,
@@ -256,37 +443,120 @@ pub fn is_error_free(
         wave_logic::temporal::TFormula::fo(wave_logic::formula::Formula::True),
     ));
     let ctable = CTable::build(service, &property);
+    let threads = resolve_threads(opts.threads);
+    let t0 = Instant::now();
 
-    // DFS for a configuration on the error page.
-    let mut seen = std::collections::BTreeSet::new();
-    let mut parents: BTreeMap<SymConfig, SymConfig> = BTreeMap::new();
-    let mut stack = initial_configs(service, &ctable);
-    for c in &stack {
-        seen.insert(c.clone());
-    }
-    while let Some(c) = stack.pop() {
-        if c.page == service.error_page {
-            // Reconstruct the witness path.
-            let mut path = vec![c.render(&ctable)];
-            let mut cur = c;
-            while let Some(p) = parents.get(&cur) {
-                path.push(p.render(&ctable));
-                cur = p.clone();
-            }
-            path.reverse();
-            return Ok(VerifyOutcome::Violated { stem: path, cycle: Vec::new() });
-        }
-        if seen.len() > opts.node_limit {
-            return Ok(VerifyOutcome::LimitReached);
-        }
-        for s in successors(service, &ctable, &c) {
-            if seen.insert(s.clone()) {
-                parents.insert(s.clone(), c.clone());
-                stack.push(s);
-            }
+    let mut interner: Interner<SymConfig> = Interner::new();
+    // BFS-tree parent of each interned config (None for initial ones).
+    let mut parent: Vec<Option<u32>> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut expanded = 0usize;
+    for c in initial_configs(service, &ctable) {
+        let (id, new) = interner.intern(c);
+        if new {
+            parent.push(None);
+            frontier.push(id);
         }
     }
-    Ok(VerifyOutcome::Holds { explored: seen.len() })
+    let mut peak = frontier.len();
+
+    let stats = |interner: &Interner<SymConfig>, expanded: usize, peak: usize| SearchStats {
+        nodes_interned: interner.len(),
+        dedup_hits: interner.dedup_hits(),
+        successors_memoized: expanded,
+        memo_hits: 0,
+        peak_frontier: peak,
+        frontier_wall: t0.elapsed(),
+        search_wall: Duration::ZERO,
+    };
+    let witness = |interner: &Interner<SymConfig>, parent: &[Option<u32>], id: u32| {
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(i) = cur {
+            path.push(interner.get(i).render(&ctable));
+            cur = parent[i as usize];
+        }
+        path.reverse();
+        Verdict::Violated {
+            stem: path,
+            cycle: Vec::new(),
+        }
+    };
+
+    // Initial configurations start on the home page, but stay defensive.
+    for &id in &frontier {
+        if interner.get(id).page == service.error_page {
+            return Ok(VerifyOutcome {
+                verdict: witness(&interner, &parent, id),
+                stats: stats(&interner, expanded, peak),
+            });
+        }
+    }
+
+    while !frontier.is_empty() {
+        if interner.len() > opts.node_limit {
+            return Ok(VerifyOutcome {
+                verdict: Verdict::LimitReached,
+                stats: stats(&interner, expanded, peak),
+            });
+        }
+        let nodes: Vec<(u32, SymConfig)> = frontier
+            .iter()
+            .map(|&id| (id, interner.get(id).clone()))
+            .collect();
+        expanded += nodes.len();
+        // Successor computation is pure; fan the layer out to workers and
+        // merge the per-chunk results in frontier order (deterministic).
+        let results: Vec<Vec<(u32, Vec<SymConfig>)>> = if threads > 1 && nodes.len() > 1 {
+            let chunk = nodes.len().div_ceil(threads);
+            let ct = &ctable;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = nodes
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|(id, cfg)| (*id, successors(service, ct, cfg)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        } else {
+            vec![nodes
+                .iter()
+                .map(|(id, cfg)| (*id, successors(service, &ctable, cfg)))
+                .collect()]
+        };
+        let mut next = Vec::new();
+        for (pid, succs) in results.into_iter().flatten() {
+            for s in succs {
+                let (id, new) = interner.intern(s);
+                if new {
+                    parent.push(Some(pid));
+                    if interner.get(id).page == service.error_page {
+                        return Ok(VerifyOutcome {
+                            verdict: witness(&interner, &parent, id),
+                            stats: stats(&interner, expanded, peak),
+                        });
+                    }
+                    next.push(id);
+                }
+            }
+        }
+        peak = peak.max(next.len());
+        frontier = next;
+    }
+    Ok(VerifyOutcome {
+        verdict: Verdict::Holds {
+            explored: interner.len(),
+        },
+        stats: stats(&interner, expanded, peak),
+    })
 }
 
 #[cfg(test)]
@@ -354,7 +624,11 @@ mod tests {
             .solicit_constant("name")
             .solicit_constant("password")
             .input_rule("button", &["x"], r#"x = "login""#)
-            .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            )
             .target("CP", r#"user(name, password) & button("login")"#)
             .page("CP");
         b.build().unwrap()
@@ -426,15 +700,82 @@ mod tests {
             .insert_rule("chosen", &["y"], "pick(y)");
         let s = b.build().unwrap();
         // ∀x: G (chosen(x) → item(x)): anything recorded was a db item.
-        let p = parse_property(
-            "forall x . G (!(exists q . (pick(q) & q = x)) | item(x))",
-        )
-        .unwrap();
+        let p = parse_property("forall x . G (!(exists q . (pick(q) & q = x)) | item(x))").unwrap();
         let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
         assert!(out.holds(), "{out:?}");
         // ∀x: G ¬pick(x) must fail (a pick is possible).
         let q = parse_property("forall x . G !(exists q . (pick(q) & q = x))").unwrap();
         let out2 = verify_ltl(&s, &q, &SymbolicOptions::default()).unwrap();
         assert!(out2.violated(), "{out2:?}");
+    }
+
+    #[test]
+    fn node_limit_never_reports_spurious_holds() {
+        // `F Q` is VIOLATED on the toggle; with a budget of one node the
+        // search cannot finish — the answer must be LimitReached, never
+        // Holds (which would be unsound) and never a crash.
+        let s = toggle();
+        let p = parse_property("F Q").unwrap();
+        let opts = SymbolicOptions {
+            node_limit: 1,
+            ..SymbolicOptions::default()
+        };
+        let out = verify_ltl(&s, &p, &opts).unwrap();
+        assert_eq!(out.verdict, Verdict::LimitReached, "{out:?}");
+        // Same for a property that holds: with budget 1 the engine must
+        // admit it does not know.
+        let q = parse_property("G (P | Q)").unwrap();
+        let out2 = verify_ltl(&s, &q, &opts).unwrap();
+        assert_eq!(out2.verdict, Verdict::LimitReached, "{out2:?}");
+        // And for error-freeness reachability.
+        let ef = is_error_free(&s, &opts).unwrap();
+        assert_eq!(ef.verdict, Verdict::LimitReached, "{ef:?}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let s = login();
+        for prop in ["G (!CP | logged_in)", "G !CP", "F CP"] {
+            let p = parse_property(prop).unwrap();
+            let base = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+            for threads in [2usize, 8] {
+                let opts = SymbolicOptions {
+                    threads,
+                    ..SymbolicOptions::default()
+                };
+                let out = verify_ltl(&s, &p, &opts).unwrap();
+                assert_eq!(
+                    out.verdict, base.verdict,
+                    "threads={threads} diverged on {prop}"
+                );
+            }
+        }
+        let base = is_error_free(&s, &SymbolicOptions::default()).unwrap();
+        for threads in [2usize, 8] {
+            let opts = SymbolicOptions {
+                threads,
+                ..SymbolicOptions::default()
+            };
+            let out = is_error_free(&s, &opts).unwrap();
+            assert_eq!(out.verdict, base.verdict, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let s = toggle();
+        let p = parse_property("G (P | Q)").unwrap();
+        let out = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(out.stats.nodes_interned > 0);
+        assert!(out.stats.successors_memoized > 0);
+        assert!(out.stats.peak_frontier > 0);
+        // Parallel run warms the memo: the search phase should hit it.
+        let opts = SymbolicOptions {
+            threads: 2,
+            ..SymbolicOptions::default()
+        };
+        let warm = verify_ltl(&s, &p, &opts).unwrap();
+        assert_eq!(warm.verdict, out.verdict);
+        assert!(warm.stats.frontier_wall > Duration::ZERO);
     }
 }

@@ -44,12 +44,21 @@ pub enum EvalStop {
 
 type R = Result<bool, EvalStop>;
 
-fn resolve(ctx: &Ctx<'_>, cfg: &SymConfig, env: &BTreeMap<Var, Sym>, t: &Term) -> Result<Sym, EvalStop> {
+fn resolve(
+    ctx: &Ctx<'_>,
+    cfg: &SymConfig,
+    env: &BTreeMap<Var, Sym>,
+    t: &Term,
+) -> Result<Sym, EvalStop> {
     match t {
-        Term::Var(v) => Ok(*env.get(v).unwrap_or_else(|| panic!("unbound variable `{v}`"))),
-        Term::Lit(val) => Ok(Sym::C(ctx.table.literal_sym(val).unwrap_or_else(|| {
-            panic!("literal {val:?} missing from the symbol table")
-        }))),
+        Term::Var(v) => Ok(*env
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound variable `{v}`"))),
+        Term::Lit(val) => {
+            Ok(Sym::C(ctx.table.literal_sym(val).unwrap_or_else(|| {
+                panic!("literal {val:?} missing from the symbol table")
+            })))
+        }
         Term::Const(name) => {
             let c = ctx
                 .table
@@ -163,12 +172,7 @@ pub fn eval(ctx: &Ctx<'_>, cfg: &SymConfig, env: &BTreeMap<Var, Sym>, f: &Formul
 
 /// Componentwise equality of an atom's arguments with the current/previous
 /// input tuple.
-fn tuple_match(
-    ctx: &Ctx<'_>,
-    cfg: &SymConfig,
-    tuple: Option<&Vec<Sym>>,
-    args: &[Sym],
-) -> R {
+fn tuple_match(ctx: &Ctx<'_>, cfg: &SymConfig, tuple: Option<&Vec<Sym>>, args: &[Sym]) -> R {
     let Some(tuple) = tuple else { return Ok(false) };
     if tuple.len() != args.len() {
         return Ok(false);
@@ -252,24 +256,21 @@ fn is_free_witness(ctx: &Ctx<'_>, f: &Formula, var: &str) -> bool {
             return;
         }
         match g {
-            Formula::Eq(a, b)
-                if (a.as_var() == Some(var) || b.as_var() == Some(var)) => {
+            Formula::Eq(a, b) if (a.as_var() == Some(var) || b.as_var() == Some(var)) => {
+                free = false;
+            }
+            Formula::Rel { name, args } if args.iter().any(|t| t.as_var() == Some(var)) => {
+                let kind = ctx.service.schema.relation(name).map(|r| r.kind);
+                if kind != Some(RelKind::Database) {
                     free = false;
                 }
-            Formula::Rel { name, args }
-                if args.iter().any(|t| t.as_var() == Some(var)) => {
-                    let kind = ctx.service.schema.relation(name).map(|r| r.kind);
-                    if kind != Some(RelKind::Database) {
-                        free = false;
-                    }
-                }
+            }
             // An inner quantifier shadowing `var` would make occurrences
             // below refer to the inner binder; formulas here are
             // standardized apart by construction, but stay conservative.
-            Formula::Exists(vs, _) | Formula::Forall(vs, _)
-                if vs.iter().any(|v| v == var) => {
-                    free = false;
-                }
+            Formula::Exists(vs, _) | Formula::Forall(vs, _) if vs.iter().any(|v| v == var) => {
+                free = false;
+            }
             _ => {}
         }
     });
@@ -331,7 +332,11 @@ mod tests {
     }
 
     fn ctx<'a>(s: &'a Service, t: &'a CTable) -> Ctx<'a> {
-        Ctx { service: s, table: t, ephemeral: Vec::new() }
+        Ctx {
+            service: s,
+            table: t,
+            ephemeral: Vec::new(),
+        }
     }
 
     #[test]
@@ -351,7 +356,10 @@ mod tests {
         let (s, t) = setup();
         let mut cfg = SymConfig::initial(&s, &t);
         let c = ctx(&s, &t);
-        assert_eq!(eval(&c, &cfg, &BTreeMap::new(), &parse_fo("P", &[]).unwrap()), Ok(true));
+        assert_eq!(
+            eval(&c, &cfg, &BTreeMap::new(), &parse_fo("P", &[]).unwrap()),
+            Ok(true)
+        );
         assert_eq!(
             eval(&c, &cfg, &BTreeMap::new(), &parse_fo("flag", &[]).unwrap()),
             Ok(false)

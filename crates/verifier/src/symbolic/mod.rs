@@ -45,5 +45,8 @@ mod step;
 mod table;
 
 pub use config::SymConfig;
-pub use engine::{explore, is_error_free, verify_ltl, SymbolicError, SymbolicOptions, VerifyOutcome};
+pub use engine::{
+    explore, is_error_free, verify_ltl, SearchStats, SymbolicError, SymbolicOptions, Verdict,
+    VerifyOutcome,
+};
 pub use table::{CTable, Sym};

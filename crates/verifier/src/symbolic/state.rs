@@ -37,9 +37,16 @@ pub enum Assumption {
 pub struct Conflict;
 
 /// The store of database knowledge.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+///
+/// Stores are compared, ordered, and hashed **structurally** (they key
+/// the search's dedup tables), so the union–find keeps a canonical
+/// representation: after every merge the parent array is fully
+/// compressed — `parent[c]` is the class representative (its smallest
+/// member) for every `c`, regardless of merge order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct SymState {
-    /// Union–find parents over `C` (rep = smallest member).
+    /// Union–find parents over `C` (rep = smallest member; kept fully
+    /// compressed, see the type-level invariant).
     parent: Vec<CSym>,
     /// Disequalities between canonical representatives.
     diseq: BTreeSet<(CSym, CSym)>,
@@ -61,11 +68,38 @@ impl SymState {
     }
 
     /// Canonical representative of a `C`-symbol.
+    ///
+    /// The parent array is kept fully compressed between public calls,
+    /// so this is one hop; the loop only matters transiently inside a
+    /// merge cascade.
     pub fn find(&self, mut c: CSym) -> CSym {
         while self.parent[c as usize] != c {
             c = self.parent[c as usize];
         }
         c
+    }
+
+    /// Canonical representative with **path halving**: every visited
+    /// node is re-pointed at its grandparent, so chains flatten as they
+    /// are traversed and amortized cost is O(α(n)).
+    pub fn find_compress(&mut self, mut c: CSym) -> CSym {
+        while self.parent[c as usize] != c {
+            let gp = self.parent[self.parent[c as usize] as usize];
+            self.parent[c as usize] = gp;
+            c = gp;
+        }
+        c
+    }
+
+    /// Restores the canonical representation: points every symbol
+    /// directly at its class representative. Called after each merge so
+    /// structural equality/hashing of stores coincides with semantic
+    /// equality of their partitions (merge-order independence).
+    fn normalize(&mut self) {
+        for c in 0..self.parent.len() as CSym {
+            let r = self.find_compress(c);
+            self.parent[c as usize] = r;
+        }
     }
 
     /// Canonicalizes a symbolic value.
@@ -78,7 +112,9 @@ impl SymState {
 
     /// The current canonical representatives (one per class).
     pub fn reps(&self) -> Vec<CSym> {
-        (0..self.parent.len() as CSym).filter(|&c| self.find(c) == c).collect()
+        (0..self.parent.len() as CSym)
+            .filter(|&c| self.find(c) == c)
+            .collect()
     }
 
     /// Equality status of two symbolic values: `Some(b)` when decided.
@@ -106,11 +142,7 @@ impl SymState {
     }
 
     /// The literal value of a class, if any member is a literal.
-    fn literal_of<'t>(
-        &self,
-        table: &'t CTable,
-        rep: CSym,
-    ) -> Option<&'t wave_logic::value::Value> {
+    fn literal_of<'t>(&self, table: &'t CTable, rep: CSym) -> Option<&'t wave_logic::value::Value> {
         (0..self.parent.len() as CSym)
             .filter(|&c| self.find(c) == rep)
             .find_map(|c| table.literal(c))
@@ -171,6 +203,7 @@ impl SymState {
         // Merge classes: smaller index becomes the representative.
         let (rep, other) = if x < y { (x, y) } else { (y, x) };
         self.parent[other as usize] = rep;
+        self.normalize();
         // Re-canonicalize disequalities; a pair collapsing to one class is
         // a contradiction (prevented above, but merges can cascade).
         let old_diseq = std::mem::take(&mut self.diseq);
@@ -215,12 +248,7 @@ impl SymState {
     }
 
     /// Records an assumption with the given truth value.
-    pub fn assert(
-        &mut self,
-        table: &CTable,
-        a: &Assumption,
-        val: bool,
-    ) -> Result<(), Conflict> {
+    pub fn assert(&mut self, table: &CTable, a: &Assumption, val: bool) -> Result<(), Conflict> {
         match a {
             Assumption::DbFact { rel, args } => self.assert_fact(rel, args, val),
             Assumption::EqC(x, y) => self.assert_eq_c(table, *x, *y, val),
@@ -370,6 +398,82 @@ mod tests {
         st.retire_fresh(&|i| if i == 1 { Some(0) } else { None });
         assert_eq!(st.fact_status("r", &[Sym::F(0), Sym::C(0)]), Some(false));
         assert_eq!(st.fact_status("r", &[Sym::F(1), Sym::C(0)]), None);
+    }
+
+    /// A table with `n` input constants `k0..k{n-1}` (no literals, so
+    /// merges never conflict) — a playground for union–find stress.
+    fn wide_table(n: usize) -> CTable {
+        let mut b = ServiceBuilder::new("P");
+        for i in 0..n {
+            b.input_constant(&format!("k{i}"));
+        }
+        b.page("P");
+        let s = b.build().unwrap();
+        let p = parse_property("G true").unwrap();
+        CTable::build(&s, &p)
+    }
+
+    #[test]
+    fn long_merge_chain_stays_flat() {
+        // Merge k0=k1, k1=k2, … in the worst order for naive linking; the
+        // parent array must stay fully compressed (every find is one
+        // hop), the O(α) regression for `find`/`find_compress`.
+        let t = wide_table(64);
+        let ks: Vec<CSym> = (0..64)
+            .map(|i| t.const_sym(&format!("k{i}")).unwrap())
+            .collect();
+        let mut st = SymState::new(t.len());
+        for w in ks.windows(2) {
+            st.assert_eq_c(&t, w[1], w[0], true).unwrap();
+        }
+        let root = st.find(ks[0]);
+        for &k in &ks {
+            assert_eq!(st.find(k), root);
+            // Flatness: the parent IS the representative — one hop.
+            assert_eq!(st.parent[k as usize], root, "chain not compressed at {k}");
+        }
+        // find_compress agrees and leaves the array unchanged.
+        let mut st2 = st.clone();
+        for &k in &ks {
+            assert_eq!(st2.find_compress(k), root);
+        }
+        assert_eq!(st, st2);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_representation() {
+        // The stores key dedup tables by structural equality, so two
+        // semantically equal partitions must be byte-identical however
+        // they were built.
+        let t = wide_table(16);
+        let ks: Vec<CSym> = (0..16)
+            .map(|i| t.const_sym(&format!("k{i}")).unwrap())
+            .collect();
+        let mut forward = SymState::new(t.len());
+        for w in ks.windows(2) {
+            forward.assert_eq_c(&t, w[0], w[1], true).unwrap();
+        }
+        let mut backward = SymState::new(t.len());
+        for w in ks.windows(2).rev() {
+            backward.assert_eq_c(&t, w[1], w[0], true).unwrap();
+        }
+        let mut pairs = SymState::new(t.len());
+        for i in (0..15).step_by(2) {
+            pairs.assert_eq_c(&t, ks[i], ks[i + 1], true).unwrap();
+        }
+        for i in (1..15).step_by(2) {
+            pairs.assert_eq_c(&t, ks[i], ks[i + 1], true).unwrap();
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward, pairs);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &SymState| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&forward), h(&backward));
     }
 
     #[test]

@@ -46,9 +46,12 @@ pub fn successors(service: &Service, table: &CTable, cfg: &SymConfig) -> Vec<Sym
 
     // --- targets: branch over rule bodies; ambiguity → error page ---
     // Each branch carries (config-with-knowledge, Some(next page) so far).
-    let mut branches: Vec<(SymConfig, Option<String>, bool)> =
-        vec![(cfg.clone(), None, false)];
-    let ctx = Ctx { service, table, ephemeral: Vec::new() };
+    let mut branches: Vec<(SymConfig, Option<String>, bool)> = vec![(cfg.clone(), None, false)];
+    let ctx = Ctx {
+        service,
+        table,
+        ephemeral: Vec::new(),
+    };
     for rule in &page.target_rules {
         let mut next = Vec::new();
         for (c, target, dead) in branches {
@@ -105,7 +108,11 @@ fn transition_cores(
     cfg: SymConfig,
 ) -> Vec<SymConfig> {
     type Acc = Vec<(String, Vec<CSym>, bool)>; // (relation, pre-step tuple, next-membership)
-    let ctx = Ctx { service, table, ephemeral: Vec::new() };
+    let ctx = Ctx {
+        service,
+        table,
+        ephemeral: Vec::new(),
+    };
     let base_reps = cfg.st.reps();
 
     let mut branches: Vec<(SymConfig, Acc, Acc)> = vec![(cfg.clone(), Vec::new(), Vec::new())];
@@ -361,13 +368,24 @@ fn enter_page(
                     // tuple can be picked.
                     continue;
                 }
-                let Some(rule) = page.input_rule(rel) else { continue };
-                let env: BTreeMap<Var, Sym> =
-                    rule.vars.iter().cloned().zip(tuple.iter().copied()).collect();
+                let Some(rule) = page.input_rule(rel) else {
+                    continue;
+                };
+                let env: BTreeMap<Var, Sym> = rule
+                    .vars
+                    .iter()
+                    .cloned()
+                    .zip(tuple.iter().copied())
+                    .collect();
                 let n_eph = count_quantified(&rule.body);
-                let ephemeral: Vec<Sym> =
-                    (0..n_eph as u16).map(|i| Sym::F(EPHEMERAL_BASE + i)).collect();
-                let ctx = Ctx { service, table, ephemeral };
+                let ephemeral: Vec<Sym> = (0..n_eph as u16)
+                    .map(|i| Sym::F(EPHEMERAL_BASE + i))
+                    .collect();
+                let ctx = Ctx {
+                    service,
+                    table,
+                    ephemeral,
+                };
                 for (c3, ok) in eval_branching(&ctx, &c2, &env, &rule.body).0 {
                     if !ok {
                         continue;
@@ -375,7 +393,8 @@ fn enter_page(
                     let mut c4 = c3;
                     // Ephemeral witnesses die immediately; their database
                     // facts are realizable by globally fresh elements.
-                    c4.st.retire_fresh(&|i| if i < EPHEMERAL_BASE { Some(i) } else { None });
+                    c4.st
+                        .retire_fresh(&|i| if i < EPHEMERAL_BASE { Some(i) } else { None });
                     next.push(c4);
                 }
             }
@@ -491,7 +510,11 @@ mod tests {
             .solicit_constant("name")
             .solicit_constant("password")
             .input_rule("button", &["x"], r#"x = "login""#)
-            .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            )
             .target("CP", r#"user(name, password) & button("login")"#)
             .page("CP");
         let s = b.build().unwrap();
@@ -534,7 +557,10 @@ mod tests {
         let (s, t) = login();
         let inits = initial_configs(&s, &t);
         // Idle on HP: stay → re-entry re-requests name/password.
-        let idle = inits.iter().find(|c| !c.inputs.contains_key("button")).unwrap();
+        let idle = inits
+            .iter()
+            .find(|c| !c.inputs.contains_key("button"))
+            .unwrap();
         let succs = successors(&s, &t, idle);
         let back_home: Vec<_> = succs.iter().filter(|c| c.page == "HP").collect();
         assert!(!back_home.is_empty());

@@ -97,7 +97,10 @@ impl CTable {
 
     /// Looks up the symbol for a literal value.
     pub fn literal_sym(&self, v: &Value) -> Option<CSym> {
-        self.syms.iter().position(|k| matches!(k, CSymKind::Literal(w) if w == v)).map(|i| i as CSym)
+        self.syms
+            .iter()
+            .position(|k| matches!(k, CSymKind::Literal(w) if w == v))
+            .map(|i| i as CSym)
     }
 
     /// Looks up the symbol for a named constant (database or input).

@@ -39,7 +39,10 @@ pub fn check_lasso(
     loop_start: usize,
     property: &Property,
 ) -> Result<Option<Env>, EnumError> {
-    assert!(!configs.is_empty(), "a run needs at least one configuration");
+    assert!(
+        !configs.is_empty(),
+        "a run needs at least one configuration"
+    );
     assert!(loop_start < configs.len(), "loop start must index the run");
     if property.classify() != TemporalClass::Ltl {
         return Err(EnumError::NotLtl);
@@ -79,8 +82,7 @@ pub fn check_lasso(
             adom.extend(dom.iter().cloned());
             let mut set = PropSet::new();
             for (i, comp) in table.components.iter().enumerate() {
-                let grounded = comp
-                    .substitute(&|v| env.get(v).map(|val| Term::Lit(val.clone())));
+                let grounded = comp.substitute(&|v| env.get(v).map(|val| Term::Lit(val.clone())));
                 match eval_closed_with_adom(&grounded, &obs, &adom) {
                     Ok(true) => {
                         set.insert(i as u32);
@@ -137,7 +139,9 @@ mod tests {
         let s = toggle();
         let db = Instance::new();
         let r = Runner::new(&s, &db);
-        let c0 = r.initial(&InputChoice::empty().with_prop("go", true)).unwrap();
+        let c0 = r
+            .initial(&InputChoice::empty().with_prop("go", true))
+            .unwrap();
         let c1 = r.step(&c0, &InputChoice::empty()).unwrap();
         let run = [c0, c1];
         let p = parse_property("G (P | Q)").unwrap();
@@ -156,9 +160,15 @@ mod tests {
         let db = Instance::new();
         let r = Runner::new(&s, &db);
         // P → Q → P, loop over the whole thing: GF Q holds.
-        let c0 = r.initial(&InputChoice::empty().with_prop("go", true)).unwrap();
-        let c1 = r.step(&c0, &InputChoice::empty().with_prop("go", true)).unwrap();
-        let c2 = r.step(&c1, &InputChoice::empty().with_prop("go", true)).unwrap();
+        let c0 = r
+            .initial(&InputChoice::empty().with_prop("go", true))
+            .unwrap();
+        let c1 = r
+            .step(&c0, &InputChoice::empty().with_prop("go", true))
+            .unwrap();
+        let c2 = r
+            .step(&c1, &InputChoice::empty().with_prop("go", true))
+            .unwrap();
         assert_eq!(c2.page, "P");
         let run = [c0, c1, c2];
         let gfq = parse_property("G (F Q)").unwrap();
@@ -232,9 +242,10 @@ mod tests {
         assert_eq!(check_stuttered(&db, &run, &p4).unwrap(), None);
         // A deliberately wrong variant: "conf(name, price) never fires" is
         // violated on this trace (it fired at 999).
-        let never_conf =
-            parse_property("forall price . G !conf(name, price)").unwrap();
-        let w = check_stuttered(&db, &run, &never_conf).unwrap().expect("violated");
+        let never_conf = parse_property("forall price . G !conf(name, price)").unwrap();
+        let w = check_stuttered(&db, &run, &never_conf)
+            .unwrap()
+            .expect("violated");
         assert_eq!(w.get("price"), Some(&wave_logic::value::Value::Int(999)));
     }
 }

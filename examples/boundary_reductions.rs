@@ -21,7 +21,10 @@ fn main() {
         let truth = phi.truth();
         let w = qbf_encode(&phi);
         let out = is_error_free(&w, &SymbolicOptions::default()).unwrap();
-        println!("  seed {seed}: QBF = {truth}, service errs = {}", !out.holds());
+        println!(
+            "  seed {seed}: QBF = {truth}, service errs = {}",
+            !out.holds()
+        );
         assert_eq!(!out.holds(), truth);
     }
 
@@ -43,17 +46,32 @@ fn main() {
 
     // ---- Theorem 3.8: FD/IND implication via state projections ----
     println!("== Theorem 3.8: dependency implication ==");
-    let d1 = Dep::Fd { lhs: vec![0], rhs: 1 };
-    let d2 = Dep::Fd { lhs: vec![1], rhs: 2 };
-    let goal = Dep::Fd { lhs: vec![0], rhs: 2 };
+    let d1 = Dep::Fd {
+        lhs: vec![0],
+        rhs: 1,
+    };
+    let d2 = Dep::Fd {
+        lhs: vec![1],
+        rhs: 2,
+    };
+    let goal = Dep::Fd {
+        lhs: vec![0],
+        rhs: 2,
+    };
     println!(
         "  {{0→1, 1→2}} ⊨ 0→2: {:?}",
         chase_implies(&[d1.clone(), d2], &goal, 3, 100)
     );
     println!("  {{0→1}} ⊨ 0→2: {:?}", chase_implies(&[d1], &goal, 3, 100));
     // A diverging chase (the budget runs out — undecidability in spirit):
-    let ind = Dep::Ind { lhs: vec![0], rhs: vec![1] };
-    let fd = Dep::Fd { lhs: vec![0], rhs: 1 };
+    let ind = Dep::Ind {
+        lhs: vec![0],
+        rhs: vec![1],
+    };
+    let fd = Dep::Fd {
+        lhs: vec![0],
+        rhs: 1,
+    };
     println!(
         "  {{R[0]⊆R[1]}} ⊨ 0→1 within 10 chase steps: {:?} (budget exhausted)",
         chase_implies(std::slice::from_ref(&ind), &fd, 2, 10)

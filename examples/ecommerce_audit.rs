@@ -8,8 +8,6 @@
 //! cargo run --example ecommerce_audit
 //! ```
 
-use rand::SeedableRng;
-
 use wave::core::classify;
 use wave::core::run::{InputChoice, Runner};
 use wave::demo::{catalog, properties, site};
@@ -29,7 +27,7 @@ fn main() {
     );
 
     // ---- replay the running example on a generated catalog ----
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2004);
+    let mut rng = wave_rng::SplitMix64::seed_from_u64(2004);
     let db = catalog::generate(&catalog::CatalogSpec::default(), &mut rng);
     println!(
         "catalog: {} products, {} users",
@@ -47,7 +45,10 @@ fn main() {
         )
         .unwrap();
     let c = r
-        .step(&c, &InputChoice::empty().with_tuple("button", tuple!["laptop"]))
+        .step(
+            &c,
+            &InputChoice::empty().with_tuple("button", tuple!["laptop"]),
+        )
         .unwrap();
     let c = r
         .step(
@@ -58,7 +59,10 @@ fn main() {
         )
         .unwrap();
     let c = r
-        .step(&c, &InputChoice::empty().with_tuple("pickprod", tuple!["p1", 999]))
+        .step(
+            &c,
+            &InputChoice::empty().with_tuple("pickprod", tuple!["p1", 999]),
+        )
         .unwrap();
     println!("scenario: {} after searching and picking p1", c.page);
     assert_eq!(c.page, "PIP");
@@ -67,7 +71,8 @@ fn main() {
     // Property (4), Example 3.4 — well-formed and input-bounded on the
     // full site:
     let p4 = properties::paid_before_ship();
-    p4.check_input_bounded(&full.schema).expect("input-bounded rewrite");
+    p4.check_input_bounded(&full.schema)
+        .expect("input-bounded rewrite");
     println!("property (4) parses and is input-bounded: {p4}");
 
     // The checkout core (same skeleton, small symbol set) is verified

@@ -23,11 +23,19 @@ fn main() {
         .solicit_constant("name")
         .solicit_constant("password")
         .input_rule("button", &["x"], r#"x = "login" | x = "clear""#)
-        .insert_rule("logged_in", &[], r#"user(name, password) & button("login")"#)
+        .insert_rule(
+            "logged_in",
+            &[],
+            r#"user(name, password) & button("login")"#,
+        )
         .target("CP", r#"user(name, password) & button("login")"#)
         .page("CP");
     let service = b.build().expect("valid specification");
-    println!("service: {} pages, home = {}", service.pages.len(), service.home);
+    println!(
+        "service: {} pages, home = {}",
+        service.pages.len(),
+        service.home
+    );
 
     let opts = SymbolicOptions::default();
 
@@ -44,7 +52,7 @@ fn main() {
     let q = parse_property("G !CP").unwrap();
     let out = verify_ltl(&service, &q, &opts).unwrap();
     println!("G !CP: violated = {}", out.violated());
-    if let wave::verifier::symbolic::VerifyOutcome::Violated { stem, cycle } = &out {
+    if let wave::verifier::symbolic::Verdict::Violated { stem, cycle } = &out.verdict {
         println!("  counterexample stem:");
         for s in stem {
             println!("    {s}");

@@ -10,7 +10,9 @@ use wave::automata::pformula::PFormula;
 use wave::automata::props::PropSet;
 
 fn lcg(seed: &mut u64) -> u32 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     (*seed >> 33) as u32
 }
 
@@ -74,11 +76,17 @@ fn model_satisfaction_implies_satisfiability() {
         let states = ctl_mc::check(&k, &f).unwrap();
         if states.iter().any(|&b| b) {
             let r = is_satisfiable(&f, 24).unwrap();
-            assert!(r.is_sat(), "model-checked true somewhere but tableau says unsat: {f:?}");
+            assert!(
+                r.is_sat(),
+                "model-checked true somewhere but tableau says unsat: {f:?}"
+            );
             sat_hits += 1;
         }
     }
-    assert!(sat_hits > 10, "the random family should produce satisfiable cases");
+    assert!(
+        sat_hits > 10,
+        "the random family should produce satisfiable cases"
+    );
 }
 
 #[test]
@@ -86,10 +94,7 @@ fn unsat_formulas_fail_everywhere() {
     let mut seed = 0x1234u64;
     let mut unsat_hits = 0;
     for _ in 0..60 {
-        let f = PFormula::and([
-            random_ctl(&mut seed, 2, 2),
-            random_ctl(&mut seed, 2, 2),
-        ]);
+        let f = PFormula::and([random_ctl(&mut seed, 2, 2), random_ctl(&mut seed, 2, 2)]);
         let r = match is_satisfiable(&f, 24) {
             Ok(r) => r,
             Err(_) => continue, // too large: skip
@@ -106,7 +111,10 @@ fn unsat_formulas_fail_everywhere() {
             }
         }
     }
-    assert!(unsat_hits > 0, "the conjunction family should produce unsat cases");
+    assert!(
+        unsat_hits > 0,
+        "the conjunction family should produce unsat cases"
+    );
 }
 
 #[test]

@@ -17,9 +17,7 @@ fn example_43_navigational_properties() {
     // AG EF HP
     assert!(verify_ctl_on_db(&nav, &db, &properties::always_can_go_home(), &opts).unwrap());
     // AG (HP ∧ login → EF authorize payment)
-    assert!(
-        verify_ctl_on_db(&nav, &db, &properties::login_can_reach_payment(), &opts).unwrap()
-    );
+    assert!(verify_ctl_on_db(&nav, &db, &properties::login_can_reach_payment(), &opts).unwrap());
     // Negative control: AG EF paid is false (paid is never unset... it is
     // set only by authorize; EF paid from HP requires a path — exists, so
     // use AF paid which requires ALL paths).
@@ -43,6 +41,34 @@ fn checkout_core_payment_safety_over_all_databases() {
 }
 
 #[test]
+fn checkout_core_verdicts_are_thread_count_independent() {
+    // The parallel frontier phase must not change anything observable:
+    // byte-identical verdicts — counterexample lassos included — on the
+    // demo properties for every thread count.
+    let core = site::checkout_core();
+    for prop in [
+        "forall p . G (!ship(p) | paid)",
+        "G (!COP | paid)",
+        "G !COP",
+    ] {
+        let p = parse_property(prop).unwrap();
+        let base = verify_ltl(&core, &p, &SymbolicOptions::default()).unwrap();
+        for threads in [2usize, 8] {
+            let opts = SymbolicOptions {
+                threads,
+                ..SymbolicOptions::default()
+            };
+            let out = verify_ltl(&core, &p, &opts).unwrap();
+            assert_eq!(
+                format!("{:?}", out.verdict),
+                format!("{:?}", base.verdict),
+                "threads={threads} diverged on `{prop}`"
+            );
+        }
+    }
+}
+
+#[test]
 fn property_one_on_the_concrete_site() {
     // Example 3.2's property (1) with P = PP (product page), Q = CC: every
     // run visiting the product page eventually sees the cart. False — the
@@ -55,7 +81,10 @@ fn property_one_on_the_concrete_site() {
         &s,
         &db,
         &p,
-        &EnumOptions { fresh_values: 0, node_limit: 400_000 },
+        &EnumOptions {
+            fresh_values: 0,
+            node_limit: 400_000,
+        },
     )
     .unwrap();
     assert!(
@@ -98,7 +127,10 @@ fn full_site_is_not_error_free_but_sessions_are() {
         &s,
         &db,
         &p,
-        &EnumOptions { fresh_values: 0, node_limit: 300_000 },
+        &EnumOptions {
+            fresh_values: 0,
+            node_limit: 300_000,
+        },
     )
     .unwrap();
     assert!(!out.holds(), "HP re-request reaches the error page");

@@ -1,9 +1,14 @@
-//! Property-based tests on the core data structures and logical
-//! invariants (deliverable (c): proptest coverage).
+//! Randomized property tests on the core data structures and logical
+//! invariants (deliverable (c): property-based coverage).
+//!
+//! The generators are hand-rolled over [`wave_rng`] (the registry is not
+//! always reachable, so `proptest` is unavailable); every case is driven
+//! by a seed derived from the case index, so a failure report names the
+//! seed and the run is reproducible with `SEED=<n>`-style debugging.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
+use wave_rng::{Rng, SplitMix64};
 
 use wave::automata::pltl::Pnf;
 use wave::automata::props::PropSet;
@@ -13,62 +18,96 @@ use wave::logic::instance::Instance;
 use wave::logic::normalize::{dnf, nnf, standardize_apart};
 use wave::logic::value::{Tuple, Value};
 
-// ---------- strategies ----------
+// ---------- generators ----------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..5).prop_map(Value::Int),
-        "[a-c]{1,2}".prop_map(Value::str),
-    ]
+fn gen_value(rng: &mut SplitMix64) -> Value {
+    if rng.gen_bool(0.5) {
+        Value::Int(rng.gen_range(0i64..5))
+    } else {
+        let pool = ["a", "b", "c", "ab", "bc", "ca"];
+        Value::str(pool[rng.gen_range(0..pool.len())])
+    }
 }
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0usize..2, arb_value(), arb_value()), 0..8).prop_map(|rows| {
-        let mut i = Instance::new();
-        for (rel, a, b) in rows {
-            let name = ["r", "s"][rel];
-            i.insert(name, Tuple(vec![a, b]));
+fn gen_instance(rng: &mut SplitMix64) -> Instance {
+    let mut i = Instance::new();
+    for _ in 0..rng.gen_range(0usize..8) {
+        let name = ["r", "s"][rng.gen_range(0..2usize)];
+        i.insert(name, Tuple(vec![gen_value(rng), gen_value(rng)]));
+    }
+    i
+}
+
+fn gen_atom(rng: &mut SplitMix64) -> Formula {
+    match rng.gen_range(0..4u32) {
+        0 => Formula::True,
+        1 => Formula::False,
+        _ => {
+            let rel = ["r", "s"][rng.gen_range(0..2usize)];
+            Formula::rel(
+                rel,
+                vec![Term::Lit(gen_value(rng)), Term::Lit(gen_value(rng))],
+            )
         }
-        i
-    })
+    }
 }
 
 /// Closed FO formulas over binary relations r, s with nested quantifiers.
-fn arb_sentence() -> impl Strategy<Value = Formula> {
-    let atom = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (0usize..2, arb_value(), arb_value()).prop_map(|(rel, a, b)| {
-            Formula::rel(["r", "s"][rel], vec![Term::Lit(a), Term::Lit(b)])
-        }),
-    ];
-    atom.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            (0usize..2, inner.clone()).prop_map(|(rel, f)| {
-                // ∃x (R(x,x) ∧/∨ f) — exercises binding
-                Formula::Exists(
-                    vec!["x".into()],
-                    Box::new(Formula::Or(vec![
-                        Formula::rel(
-                            ["r", "s"][rel],
-                            vec![Term::var("x"), Term::var("x")],
-                        ),
-                        f,
-                    ])),
-                )
-            }),
-            inner.prop_map(|f| Formula::Forall(
+fn gen_sentence(rng: &mut SplitMix64, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return gen_atom(rng);
+    }
+    match rng.gen_range(0..5u32) {
+        0 => Formula::Not(Box::new(gen_sentence(rng, depth - 1))),
+        1 => Formula::And(
+            (0..rng.gen_range(1usize..3))
+                .map(|_| gen_sentence(rng, depth - 1))
+                .collect(),
+        ),
+        2 => Formula::Or(
+            (0..rng.gen_range(1usize..3))
+                .map(|_| gen_sentence(rng, depth - 1))
+                .collect(),
+        ),
+        3 => {
+            // ∃x (R(x,x) ∨ f) — exercises binding
+            let rel = ["r", "s"][rng.gen_range(0..2usize)];
+            Formula::Exists(
                 vec!["x".into()],
                 Box::new(Formula::Or(vec![
-                    Formula::neq(Term::var("x"), Term::var("x")),
-                    f
-                ]))
-            )),
-        ]
-    })
+                    Formula::rel(rel, vec![Term::var("x"), Term::var("x")]),
+                    gen_sentence(rng, depth - 1),
+                ])),
+            )
+        }
+        _ => Formula::Forall(
+            vec!["x".into()],
+            Box::new(Formula::Or(vec![
+                Formula::neq(Term::var("x"), Term::var("x")),
+                gen_sentence(rng, depth - 1),
+            ])),
+        ),
+    }
+}
+
+/// Quantifier-free formulas (for the DNF round-trip).
+fn gen_qf(rng: &mut SplitMix64, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return gen_atom(rng);
+    }
+    match rng.gen_range(0..3u32) {
+        0 => Formula::Not(Box::new(gen_qf(rng, depth - 1))),
+        1 => Formula::And(
+            (0..rng.gen_range(1usize..3))
+                .map(|_| gen_qf(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Formula::Or(
+            (0..rng.gen_range(1usize..3))
+                .map(|_| gen_qf(rng, depth - 1))
+                .collect(),
+        ),
+    }
 }
 
 fn adom_of(i: &Instance, f: &Formula) -> BTreeSet<Value> {
@@ -81,153 +120,189 @@ fn adom_of(i: &Instance, f: &Formula) -> BTreeSet<Value> {
 
 // ---------- logic layer ----------
 
-proptest! {
-    #[test]
-    fn nnf_preserves_semantics(f in arb_sentence(), i in arb_instance()) {
+#[test]
+fn nnf_preserves_semantics() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let f = gen_sentence(&mut rng, 3);
+        let i = gen_instance(&mut rng);
         let adom = adom_of(&i, &f);
         let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
         let b = eval_closed_with_adom(&nnf(&f), &i, &adom).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}: nnf changed semantics of {f:?}");
     }
+}
 
-    #[test]
-    fn standardize_apart_preserves_semantics(f in arb_sentence(), i in arb_instance()) {
+#[test]
+fn standardize_apart_preserves_semantics() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(1_000 + seed);
+        let f = gen_sentence(&mut rng, 3);
+        let i = gen_instance(&mut rng);
         let adom = adom_of(&i, &f);
         let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
         let b = eval_closed_with_adom(&standardize_apart(&f), &i, &adom).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}: standardize_apart changed {f:?}");
     }
+}
 
-    #[test]
-    fn dnf_preserves_semantics_of_quantifier_free(
-        f in arb_sentence().prop_filter("qf", |f| f.is_quantifier_free()),
-        i in arb_instance(),
-    ) {
+#[test]
+fn dnf_preserves_semantics_of_quantifier_free() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(2_000 + seed);
+        let f = gen_qf(&mut rng, 3);
+        let i = gen_instance(&mut rng);
         let adom = adom_of(&i, &f);
         let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
         let d = dnf(&f).unwrap();
-        let g = Formula::or(d.into_iter().map(|conj| {
-            Formula::and(conj.into_iter().map(|l| l.to_formula()))
-        }));
+        let g = Formula::or(
+            d.into_iter()
+                .map(|conj| Formula::and(conj.into_iter().map(|l| l.to_formula()))),
+        );
         let b = eval_closed_with_adom(&g, &i, &adom).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}: dnf changed semantics of {f:?}");
     }
+}
 
-    #[test]
-    fn double_negation_is_identity(f in arb_sentence(), i in arb_instance()) {
+#[test]
+fn double_negation_is_identity() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(3_000 + seed);
+        let f = gen_sentence(&mut rng, 3);
+        let i = gen_instance(&mut rng);
         let adom = adom_of(&i, &f);
         let a = eval_closed_with_adom(&f, &i, &adom).unwrap();
-        let nn = Formula::not(Formula::not(f));
+        let nn = Formula::not(Formula::not(f.clone()));
         let b = eval_closed_with_adom(&nn, &i, &adom).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}: ¬¬ changed semantics of {f:?}");
     }
 }
 
 // ---------- PropSet vs a reference set model ----------
 
-proptest! {
-    #[test]
-    fn propset_models_btreeset(ops in proptest::collection::vec((0u32..200, any::<bool>()), 0..60)) {
+#[test]
+fn propset_models_btreeset() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(4_000 + seed);
         let mut ps = PropSet::new();
         let mut model: BTreeSet<u32> = BTreeSet::new();
-        for (id, insert) in ops {
-            if insert {
-                prop_assert_eq!(ps.insert(id), model.insert(id));
+        for _ in 0..rng.gen_range(0usize..60) {
+            let id = rng.gen_range(0u32..200);
+            if rng.gen_bool(0.5) {
+                assert_eq!(ps.insert(id), model.insert(id), "seed {seed}");
             } else {
-                prop_assert_eq!(ps.remove(id), model.remove(&id));
+                assert_eq!(ps.remove(id), model.remove(&id), "seed {seed}");
             }
         }
-        prop_assert_eq!(ps.len(), model.len());
+        assert_eq!(ps.len(), model.len(), "seed {seed}");
         let collected: Vec<u32> = ps.iter().collect();
         let expected: Vec<u32> = model.iter().copied().collect();
-        prop_assert_eq!(collected, expected);
+        assert_eq!(collected, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn propset_subset_matches_model(
-        a in proptest::collection::btree_set(0u32..100, 0..20),
-        b in proptest::collection::btree_set(0u32..100, 0..20),
-    ) {
+#[test]
+fn propset_subset_matches_model() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(5_000 + seed);
+        let a: BTreeSet<u32> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u32..100))
+            .collect();
+        let b: BTreeSet<u32> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u32..100))
+            .collect();
         let pa = PropSet::from_ids(a.iter().copied());
         let pb = PropSet::from_ids(b.iter().copied());
-        prop_assert_eq!(pa.is_subset(&pb), a.is_subset(&b));
-        prop_assert_eq!(pa.is_disjoint(&pb), a.is_disjoint(&b));
+        assert_eq!(pa.is_subset(&pb), a.is_subset(&b), "seed {seed}");
+        assert_eq!(pa.is_disjoint(&pb), a.is_disjoint(&b), "seed {seed}");
     }
 }
 
 // ---------- LTL semantics vs Büchi translation ----------
 
-fn arb_pnf() -> impl Strategy<Value = Pnf> {
-    let atom = prop_oneof![
-        (0u32..3).prop_map(Pnf::prop),
-        (0u32..3).prop_map(Pnf::nprop),
-        Just(Pnf::True),
-    ];
-    atom.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::and([a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::or([a, b])),
-            inner.clone().prop_map(Pnf::next),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::until(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pnf::release(a, b)),
-            inner.clone().prop_map(Pnf::eventually),
-            inner.prop_map(Pnf::always),
-        ]
-    })
+fn gen_pnf(rng: &mut SplitMix64, depth: usize) -> Pnf {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return match rng.gen_range(0..3u32) {
+            0 => Pnf::prop(rng.gen_range(0u32..3)),
+            1 => Pnf::nprop(rng.gen_range(0u32..3)),
+            _ => Pnf::True,
+        };
+    }
+    match rng.gen_range(0..7u32) {
+        0 => Pnf::and([gen_pnf(rng, depth - 1), gen_pnf(rng, depth - 1)]),
+        1 => Pnf::or([gen_pnf(rng, depth - 1), gen_pnf(rng, depth - 1)]),
+        2 => Pnf::next(gen_pnf(rng, depth - 1)),
+        3 => Pnf::until(gen_pnf(rng, depth - 1), gen_pnf(rng, depth - 1)),
+        4 => Pnf::release(gen_pnf(rng, depth - 1), gen_pnf(rng, depth - 1)),
+        5 => Pnf::eventually(gen_pnf(rng, depth - 1)),
+        _ => Pnf::always(gen_pnf(rng, depth - 1)),
+    }
 }
 
-fn arb_word() -> impl Strategy<Value = (Vec<PropSet>, Vec<PropSet>)> {
-    let letter = proptest::collection::btree_set(0u32..3, 0..3)
-        .prop_map(PropSet::from_ids);
-    (
-        proptest::collection::vec(letter.clone(), 0..3),
-        proptest::collection::vec(letter, 1..4),
-    )
+fn gen_word(rng: &mut SplitMix64) -> (Vec<PropSet>, Vec<PropSet>) {
+    let letter = |rng: &mut SplitMix64| {
+        let ids: BTreeSet<u32> = (0..rng.gen_range(0usize..3))
+            .map(|_| rng.gen_range(0u32..3))
+            .collect();
+        PropSet::from_ids(ids)
+    };
+    let stem = (0..rng.gen_range(0usize..3)).map(|_| letter(rng)).collect();
+    let lasso = (0..rng.gen_range(1usize..4)).map(|_| letter(rng)).collect();
+    (stem, lasso)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn buchi_translation_matches_lasso_semantics(
-        f in arb_pnf(),
-        (stem, lasso) in arb_word(),
-    ) {
+#[test]
+fn buchi_translation_matches_lasso_semantics() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(6_000 + seed);
+        let f = gen_pnf(&mut rng, 3);
+        let (stem, lasso) = gen_word(&mut rng);
         let expected = f.eval_lasso(&stem, &lasso);
         let aut = wave::automata::ltl2buchi::translate(&f);
-        prop_assert_eq!(aut.accepts_lasso(&stem, &lasso), expected);
+        assert_eq!(
+            aut.accepts_lasso(&stem, &lasso),
+            expected,
+            "seed {seed}: automaton disagrees with semantics on {f:?}"
+        );
     }
+}
 
-    #[test]
-    fn negation_flips_acceptance(
-        f in arb_pnf(),
-        (stem, lasso) in arb_word(),
-    ) {
+#[test]
+fn negation_flips_acceptance() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(7_000 + seed);
+        let f = gen_pnf(&mut rng, 3);
+        let (stem, lasso) = gen_word(&mut rng);
         let v = f.eval_lasso(&stem, &lasso);
-        prop_assert_eq!(f.negate().eval_lasso(&stem, &lasso), !v);
+        assert_eq!(
+            f.negate().eval_lasso(&stem, &lasso),
+            !v,
+            "seed {seed}: {f:?}"
+        );
     }
 }
 
 // ---------- run semantics determinism ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn transition_core_is_deterministic(seed in 0u64..1000) {
-        use rand::SeedableRng;
-        use wave::core::run::{InputChoice, Runner};
-        let s = wave::demo::site::navigation_abstraction();
-        let db = Instance::new();
-        let r = Runner::new(&s, &db);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        use rand::Rng;
+#[test]
+fn transition_core_is_deterministic() {
+    use wave::core::run::{InputChoice, Runner};
+    let s = wave::demo::site::navigation_abstraction();
+    let db = Instance::new();
+    let r = Runner::new(&s, &db);
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let labels = ["login", "register", "clear"];
         let choice = InputChoice::empty()
-            .with_tuple("button", wave::logic::tuple![labels[rng.gen_range(0..3)]])
+            .with_tuple(
+                "button",
+                wave::logic::tuple![labels[rng.gen_range(0..3usize)]],
+            )
             .with_prop("lookup_ok", rng.gen_bool(0.5))
             .with_prop("is_admin", rng.gen_bool(0.5));
         let c0 = r.initial(&choice).unwrap();
         let a = r.transition_core(&c0).unwrap();
         let b = r.transition_core(&c0).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
 }

@@ -174,6 +174,17 @@ fn until_and_next_combinations() {
 fn node_limit_is_honored() {
     let s = toggle();
     let p = parse_property("G (P | Q)").unwrap();
-    let out = verify_ltl(&s, &p, &SymbolicOptions { node_limit: 1 }).unwrap();
-    assert!(matches!(out, VerifyOutcome::LimitReached));
+    let out = verify_ltl(
+        &s,
+        &p,
+        &SymbolicOptions {
+            node_limit: 1,
+            ..SymbolicOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        out.verdict,
+        wave::verifier::symbolic::Verdict::LimitReached
+    ));
 }
