@@ -1,0 +1,131 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] carries a shared stop flag plus an optional
+//! deadline. Search loops poll [`CancelToken::is_cancelled`] at their
+//! expansion points and unwind with a `Cancelled` outcome — never a
+//! panic — so a verification service can bound every job and keep its
+//! worker pool alive (the paper's WAVE prototype ran exactly such
+//! request-level infrastructure on top of the symbolic search).
+//!
+//! Tokens are cheap to clone (an `Arc` under the hood) and a default /
+//! [`CancelToken::never`] token is entirely free: it carries no
+//! allocation and every poll is a constant `false`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative cancellation handle shared between a controller (the
+/// scheduler, a signal handler, a client disconnect) and a search loop.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that can be cancelled but has no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that is never cancelled. Polling it is free (no shared
+    /// state is consulted). This is the [`Default`].
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A token that auto-cancels once `budget` wall time has elapsed
+    /// (measured from this call). It can additionally be cancelled
+    /// explicitly before the deadline.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            })),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a no-op on [`never`] tokens.
+    ///
+    /// [`never`]: CancelToken::never
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// The configured deadline, if any (for diagnostics).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("armable", &self.inner.is_some())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_is_never_cancelled() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op, must not panic
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn explicit_cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled(), "zero budget expires immediately");
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        far.cancel();
+        assert!(far.is_cancelled(), "explicit cancel beats the deadline");
+    }
+
+    #[test]
+    fn default_is_never() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`buchi`] — Büchi automata and guarded transitions.
 //! * [`interner`] — hash-consing node interner mapping large search nodes
 //!   to dense `u32` ids.
+//! * [`cancel`] — cooperative cancellation tokens (deadline / explicit)
+//!   polled by the search loops.
 //! * [`search`] — accepting-lasso search over implicit product graphs on
 //!   interned ids, as nested DFS and as Tarjan SCC decomposition (the
 //!   engine behind Theorem 3.5's periodic-run check).
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod buchi;
+pub mod cancel;
 pub mod ctl_mc;
 pub mod ctl_sat;
 pub mod ctlstar_mc;
@@ -39,6 +42,7 @@ pub mod props;
 pub mod search;
 
 pub use buchi::Buchi;
+pub use cancel::CancelToken;
 pub use interner::Interner;
 pub use kripke::Kripke;
 pub use pformula::PFormula;

@@ -26,10 +26,11 @@
 use std::hash::Hash;
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::interner::Interner;
 
 /// Counters describing one search (or one verification run).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Distinct nodes interned (discovered, whether or not expanded).
     pub nodes_interned: usize,
@@ -89,6 +90,10 @@ pub enum SearchResult<N> {
         /// The configured budget.
         limit: usize,
     },
+    /// The search was cancelled cooperatively (explicit cancel or
+    /// deadline expiry on the supplied [`CancelToken`]) before an answer
+    /// was reached. Like `LimitReached`, the answer is unknown.
+    Cancelled,
 }
 
 impl<N> SearchResult<N> {
@@ -99,7 +104,7 @@ impl<N> SearchResult<N> {
 }
 
 /// Shared machinery of both searches: the interner, the per-node
-/// successor memo, and the budget.
+/// successor memo, the budget, and the cancellation token.
 struct Core<N, FS> {
     interner: Interner<N>,
     /// Successor ids per node id, computed at most once per node.
@@ -107,6 +112,8 @@ struct Core<N, FS> {
     succ: FS,
     limit: Option<usize>,
     limit_hit: bool,
+    cancel: CancelToken,
+    cancel_hit: bool,
     memo_hits: u64,
     memoized: usize,
 }
@@ -116,13 +123,15 @@ where
     N: Clone + Eq + Hash,
     FS: FnMut(&N) -> Vec<N>,
 {
-    fn new(succ: FS, limit: Option<usize>) -> Self {
+    fn new(succ: FS, limit: Option<usize>, cancel: &CancelToken) -> Self {
         Core {
             interner: Interner::new(),
             memo: Vec::new(),
             succ,
             limit,
             limit_hit: false,
+            cancel: cancel.clone(),
+            cancel_hit: false,
             memo_hits: 0,
             memoized: 0,
         }
@@ -142,8 +151,13 @@ where
     }
 
     /// Successor ids of `id` — memoized, so the red DFS reuses lists the
-    /// blue DFS already derived.
+    /// blue DFS already derived. Expansion is the cancellation point:
+    /// the token is polled once per call.
     fn succs(&mut self, id: u32) -> Vec<u32> {
+        if self.cancel.is_cancelled() {
+            self.cancel_hit = true;
+            return Vec::new();
+        }
         if let Some(v) = &self.memo[id as usize] {
             self.memo_hits += 1;
             return v.clone();
@@ -158,6 +172,11 @@ where
         ids
     }
 
+    /// True when the search must unwind (budget exhausted or cancelled).
+    fn stopped(&self) -> bool {
+        self.limit_hit || self.cancel_hit
+    }
+
     fn stats(&self, peak_frontier: usize, started: Instant) -> SearchStats {
         SearchStats {
             nodes_interned: self.interner.len(),
@@ -170,9 +189,16 @@ where
         }
     }
 
-    fn limit_result<T>(&self) -> SearchResult<T> {
-        SearchResult::LimitReached {
-            limit: self.limit.expect("limit was configured"),
+    /// The outcome to report when [`Core::stopped`] fired. Cancellation
+    /// takes precedence: a cancelled search reports `Cancelled` even if
+    /// the budget was also exhausted.
+    fn stop_result<T>(&self) -> SearchResult<T> {
+        if self.cancel_hit {
+            SearchResult::Cancelled
+        } else {
+            SearchResult::LimitReached {
+                limit: self.limit.expect("limit was configured"),
+            }
         }
     }
 }
@@ -231,16 +257,36 @@ where
     FS: FnMut(&N) -> Vec<N>,
     FA: Fn(&N) -> bool,
 {
+    find_accepting_lasso_stats_with(inits, succ, accepting, limit, &CancelToken::never())
+}
+
+/// [`find_accepting_lasso_stats`] with a cooperative [`CancelToken`]:
+/// the token is polled at every node expansion, and a fired token makes
+/// the search unwind with [`SearchResult::Cancelled`] — an inconclusive
+/// answer, like a budget hit, never a spurious "empty".
+pub fn find_accepting_lasso_stats_with<N, FS, FA>(
+    inits: Vec<N>,
+    succ: FS,
+    accepting: FA,
+    limit: Option<usize>,
+    cancel: &CancelToken,
+) -> (SearchResult<N>, SearchStats)
+where
+    N: Clone + Eq + Hash + std::fmt::Debug,
+    FS: FnMut(&N) -> Vec<N>,
+    FA: Fn(&N) -> bool,
+{
     let started = Instant::now();
-    let mut core = Core::new(succ, limit);
+    let mut core = Core::new(succ, limit, cancel);
     let mut blue: Vec<bool> = Vec::new();
     let mut red: Vec<bool> = Vec::new();
     let mut blue_count = 0usize;
     let mut peak_depth = 0usize;
 
     let init_ids: Vec<u32> = inits.into_iter().map(|n| core.intern(n)).collect();
-    if core.limit_hit {
-        return (core.limit_result(), core.stats(peak_depth, started));
+    if core.stopped() || core.cancel.is_cancelled() {
+        core.cancel_hit |= core.cancel.is_cancelled();
+        return (core.stop_result(), core.stats(peak_depth, started));
     }
 
     for init in init_ids {
@@ -250,8 +296,8 @@ where
         mark(&mut blue, init);
         blue_count += 1;
         let kids = core.succs(init);
-        if core.limit_hit {
-            return (core.limit_result(), core.stats(peak_depth, started));
+        if core.stopped() {
+            return (core.stop_result(), core.stats(peak_depth, started));
         }
         let mut stack = vec![Frame {
             id: init,
@@ -271,8 +317,8 @@ where
                     blue_count += 1;
                     mark(&mut on_stack, child);
                     let kids = core.succs(child);
-                    if core.limit_hit {
-                        return (core.limit_result(), core.stats(peak_depth, started));
+                    if core.stopped() {
+                        return (core.stop_result(), core.stats(peak_depth, started));
                     }
                     stack.push(Frame {
                         id: child,
@@ -293,8 +339,8 @@ where
                                 core.stats(peak_depth, started),
                             );
                         }
-                        RedOutcome::Limit => {
-                            return (core.limit_result(), core.stats(peak_depth, started));
+                        RedOutcome::Stopped => {
+                            return (core.stop_result(), core.stats(peak_depth, started));
                         }
                         RedOutcome::NoCycle => {}
                     }
@@ -315,9 +361,9 @@ where
 enum RedOutcome {
     /// Id path `seed -> … -> t` where `t` is on the outer stack.
     Cycle(Vec<u32>),
-    /// The node budget was exhausted mid-phase — the answer is unknown,
-    /// and must NOT be reported as "no cycle".
-    Limit,
+    /// The node budget was exhausted (or the token cancelled) mid-phase —
+    /// the answer is unknown, and must NOT be reported as "no cycle".
+    Stopped,
     NoCycle,
 }
 
@@ -335,8 +381,8 @@ where
 {
     mark(red, seed);
     let kids = core.succs(seed);
-    if core.limit_hit {
-        return RedOutcome::Limit;
+    if core.stopped() {
+        return RedOutcome::Stopped;
     }
     let mut stack = vec![Frame {
         id: seed,
@@ -356,8 +402,8 @@ where
             if !has(red, child) {
                 mark(red, child);
                 let kids = core.succs(child);
-                if core.limit_hit {
-                    return RedOutcome::Limit;
+                if core.stopped() {
+                    return RedOutcome::Stopped;
                 }
                 stack.push(Frame {
                     id: child,
@@ -429,11 +475,29 @@ where
     FS: FnMut(&N) -> Vec<N>,
     FA: Fn(&N) -> bool,
 {
+    find_accepting_scc_with(inits, succ, accepting, limit, &CancelToken::never())
+}
+
+/// [`find_accepting_scc`] with a cooperative [`CancelToken`] (polled at
+/// every node expansion; a fired token yields [`SearchResult::Cancelled`]).
+pub fn find_accepting_scc_with<N, FS, FA>(
+    inits: Vec<N>,
+    succ: FS,
+    accepting: FA,
+    limit: Option<usize>,
+    cancel: &CancelToken,
+) -> (SearchResult<N>, SearchStats)
+where
+    N: Clone + Eq + Hash + std::fmt::Debug,
+    FS: FnMut(&N) -> Vec<N>,
+    FA: Fn(&N) -> bool,
+{
     let started = Instant::now();
-    let mut core = Core::new(succ, limit);
+    let mut core = Core::new(succ, limit, cancel);
     let init_ids: Vec<u32> = inits.into_iter().map(|n| core.intern(n)).collect();
-    if core.limit_hit {
-        return (core.limit_result(), core.stats(0, started));
+    if core.stopped() || core.cancel.is_cancelled() {
+        core.cancel_hit |= core.cancel.is_cancelled();
+        return (core.stop_result(), core.stats(0, started));
     }
 
     let mut index: Vec<Option<u32>> = Vec::new();
@@ -468,8 +532,8 @@ where
         stk.push(root);
         mark(&mut on_stk, root);
         let kids = core.succs(root);
-        if core.limit_hit {
-            return (core.limit_result(), core.stats(peak_depth, started));
+        if core.stopped() {
+            return (core.stop_result(), core.stats(peak_depth, started));
         }
         let mut frames = vec![Frame {
             id: root,
@@ -491,8 +555,8 @@ where
                         stk.push(w);
                         mark(&mut on_stk, w);
                         let kids = core.succs(w);
-                        if core.limit_hit {
-                            return (core.limit_result(), core.stats(peak_depth, started));
+                        if core.stopped() {
+                            return (core.stop_result(), core.stats(peak_depth, started));
                         }
                         frames.push(Frame {
                             id: w,
@@ -881,5 +945,62 @@ mod tests {
                 "case {case}: adj={adj:?} acc={acc:?}\nnested={a:?}\nscc={b:?}"
             );
         }
+    }
+
+    /// An unbounded chain graph: never terminates without a budget or a
+    /// cancellation, so any non-stop result here would hang the test.
+    fn chain_succ(u: &u64) -> Vec<u64> {
+        vec![u + 1]
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_nested() {
+        let t = CancelToken::new();
+        t.cancel();
+        let (res, _) = find_accepting_lasso_stats_with(vec![0u64], chain_succ, |_| true, None, &t);
+        assert_eq!(res, SearchResult::Cancelled);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_scc() {
+        let t = CancelToken::new();
+        t.cancel();
+        let (res, _) = find_accepting_scc_with(vec![0u64], chain_succ, |_| true, None, &t);
+        assert_eq!(res, SearchResult::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_mid_search() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        let (res, _) = find_accepting_lasso_stats_with(vec![0u64], chain_succ, |_| false, None, &t);
+        assert_eq!(res, SearchResult::Cancelled);
+        let (res, _) = find_accepting_scc_with(vec![0u64], chain_succ, |_| false, None, &t);
+        assert_eq!(res, SearchResult::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_takes_precedence_over_limit() {
+        let t = CancelToken::new();
+        t.cancel();
+        let (res, _) =
+            find_accepting_lasso_stats_with(vec![0u64], chain_succ, |_| false, Some(1), &t);
+        assert_eq!(res, SearchResult::Cancelled);
+    }
+
+    #[test]
+    fn never_token_leaves_results_unchanged() {
+        let adj = [vec![1usize], vec![0]];
+        let acc: BTreeSet<usize> = [1].into_iter().collect();
+        let plain =
+            find_accepting_lasso(vec![0usize], |u| adj[*u].clone(), |u| acc.contains(u), None);
+        let (with, _) = find_accepting_lasso_stats_with(
+            vec![0usize],
+            |u| adj[*u].clone(),
+            |u| acc.contains(u),
+            None,
+            &CancelToken::never(),
+        );
+        assert_eq!(plain, with);
+        assert!(plain.is_lasso());
     }
 }

@@ -1,0 +1,138 @@
+//! EXP-SERVE — machine-readable symbolic-verification benchmark.
+//!
+//! Runs the Fig. 2 payment-safety property (`forall p . G (!ship(p) |
+//! paid)`) on the checkout core through two paths and writes one JSON
+//! report, `BENCH_symbolic.json`, at the repo root:
+//!
+//! 1. **Threads sweep** — direct `verify_ltl` at 1/2/4 worker threads,
+//!    reporting the full `SearchStats` per run (the deterministic
+//!    counters must be identical across thread counts; only wall times
+//!    move).
+//! 2. **Service path** — the same request submitted twice through a
+//!    `wave-serve` engine: the cold run pays for the search, the second
+//!    must be a content-addressed cache hit, so the hit/cold timing
+//!    ratio is the headline number for the result cache.
+//!
+//! Sample count comes from `WAVE_BENCH_SAMPLES` (default 3); the
+//! reported wall time per configuration is the minimum over samples.
+//!
+//! Usage: `cargo run --release -p wave-bench --bin bench_symbolic
+//! [-- --out PATH]`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wave_demo::site;
+use wave_logic::parser::parse_property;
+use wave_serve::codec::{stats_to_json, Mode, VerifyRequest};
+use wave_serve::engine::{Engine, EngineOptions};
+use wave_serve::json::Json;
+use wave_verifier::symbolic::{verify_ltl, SymbolicOptions, Verdict};
+
+const FIG2_PROPERTY: &str = "forall p . G (!ship(p) | paid)";
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn samples() -> usize {
+    std::env::var("WAVE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Repo root at build time; `--out` overrides at run time.
+fn default_out() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_symbolic.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(default_out);
+    let n = samples();
+
+    let core = site::checkout_core();
+    let property = parse_property(FIG2_PROPERTY).expect("Fig. 2 property parses");
+
+    // 1. Threads sweep via the verifier directly.
+    let mut sweep = Vec::new();
+    let mut baseline: Option<Verdict> = None;
+    for threads in THREAD_SWEEP {
+        let opts = SymbolicOptions {
+            threads,
+            ..SymbolicOptions::default()
+        };
+        let mut best_us = u64::MAX;
+        let mut last = None;
+        for _ in 0..n {
+            let t0 = Instant::now();
+            let out = verify_ltl(&core, &property, &opts).expect("verification succeeds");
+            best_us = best_us.min(t0.elapsed().as_micros() as u64);
+            last = Some(out);
+        }
+        let out = last.expect("at least one sample");
+        assert!(out.holds(), "Fig. 2 payment safety must hold");
+        match &baseline {
+            None => baseline = Some(out.verdict.clone()),
+            Some(v) => assert_eq!(v, &out.verdict, "verdict must not depend on threads"),
+        }
+        sweep.push(Json::Obj(vec![
+            ("threads".into(), Json::Int(threads as i64)),
+            ("wall_us_min".into(), Json::Int(best_us as i64)),
+            ("stats".into(), stats_to_json(&out.stats)),
+        ]));
+        eprintln!("threads={threads}: min {best_us} us over {n} samples");
+    }
+
+    // 2. Cold vs. cache-hit timings through the service.
+    let engine = Arc::new(Engine::new(EngineOptions::default()));
+    let req = VerifyRequest {
+        service: "checkout_core".into(),
+        property: FIG2_PROPERTY.into(),
+        mode: Mode::Ltl,
+        node_limit: 0,
+        threads: 1,
+        deadline_us: 0,
+    };
+    let t0 = Instant::now();
+    let cold = engine.submit(&req).expect("cold submit succeeds");
+    let cold_us = t0.elapsed().as_micros() as u64;
+    assert!(!cold.cache_hit, "first submission must miss the cache");
+    let mut hit_us_min = u64::MAX;
+    for _ in 0..n.max(10) {
+        let t0 = Instant::now();
+        let hit = engine.submit(&req).expect("warm submit succeeds");
+        hit_us_min = hit_us_min.min(t0.elapsed().as_micros() as u64);
+        assert!(hit.cache_hit, "repeat submission must hit the cache");
+        assert_eq!(
+            hit.outcome_bytes, cold.outcome_bytes,
+            "cache hit must replay byte-identical outcome"
+        );
+    }
+    eprintln!("service: cold {cold_us} us, best cache hit {hit_us_min} us");
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("symbolic")),
+        ("service".into(), Json::str("checkout_core")),
+        ("property".into(), Json::str(FIG2_PROPERTY)),
+        ("samples".into(), Json::Int(n as i64)),
+        ("threads_sweep".into(), Json::Arr(sweep)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("fingerprint".into(), Json::str(cold.fingerprint.to_hex())),
+                ("cold_us".into(), Json::Int(cold_us as i64)),
+                ("hit_us_min".into(), Json::Int(hit_us_min as i64)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, report.encode() + "\n").expect("write report");
+    println!("wrote {}", out.display());
+}

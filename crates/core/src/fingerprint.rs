@@ -1,0 +1,161 @@
+//! Canonical fingerprints for the Web-service model.
+//!
+//! Extends `wave-logic`'s [`Canonical`] trait to rules, pages and whole
+//! services, so `wave-serve` can key its result cache by *content*:
+//! structurally identical services collide regardless of how they were
+//! constructed.
+//!
+//! **Order invariance.** A page's rule lists (`input_rules`,
+//! `state_rules`, `action_rules`, `target_rules`) are `Vec`s for
+//! ergonomics, but their order is semantically irrelevant: there is at
+//! most one input/state rule per relation, action rules for distinct
+//! relations are independent, and target-rule nondeterminism (several
+//! true targets → error page, Definition 2.3) is a property of the *set*
+//! of rules. They are therefore hashed with
+//! [`canon_unordered`], so two services differing
+//! only in rule order fingerprint identically. Page maps and schemas are
+//! `BTreeMap`-backed and canonical by construction.
+
+use wave_logic::fingerprint::{canon_unordered, Canonical, Fnv128};
+
+use crate::page::Page;
+use crate::rules::{ActionRule, InputRule, StateRule, TargetRule};
+use crate::service::Service;
+
+impl Canonical for InputRule {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x60);
+        h.write_str(&self.relation);
+        h.write_len(self.vars.len());
+        for v in &self.vars {
+            h.write_str(v);
+        }
+        self.body.canon(h);
+    }
+}
+
+impl Canonical for StateRule {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x61);
+        h.write_str(&self.relation);
+        h.write_len(self.vars.len());
+        for v in &self.vars {
+            h.write_str(v);
+        }
+        match &self.insert {
+            None => h.write_u8(0x00),
+            Some(f) => {
+                h.write_u8(0x01);
+                f.canon(h);
+            }
+        }
+        match &self.delete {
+            None => h.write_u8(0x00),
+            Some(f) => {
+                h.write_u8(0x01);
+                f.canon(h);
+            }
+        }
+    }
+}
+
+impl Canonical for ActionRule {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x62);
+        h.write_str(&self.relation);
+        h.write_len(self.vars.len());
+        for v in &self.vars {
+            h.write_str(v);
+        }
+        self.body.canon(h);
+    }
+}
+
+impl Canonical for TargetRule {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x63);
+        h.write_str(&self.target);
+        self.body.canon(h);
+    }
+}
+
+impl Canonical for Page {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x64);
+        h.write_str(&self.name);
+        // Input/constant lists: order is presentation only.
+        let mut inputs: Vec<&String> = self.inputs.iter().collect();
+        inputs.sort();
+        h.write_len(inputs.len());
+        for i in inputs {
+            h.write_str(i);
+        }
+        let mut consts: Vec<&String> = self.input_constants.iter().collect();
+        consts.sort();
+        h.write_len(consts.len());
+        for c in consts {
+            h.write_str(c);
+        }
+        canon_unordered(&self.input_rules, h);
+        canon_unordered(&self.state_rules, h);
+        canon_unordered(&self.action_rules, h);
+        canon_unordered(&self.target_rules, h);
+    }
+}
+
+impl Canonical for Service {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x65);
+        self.schema.canon(h);
+        h.write_len(self.pages.len());
+        for page in self.pages.values() {
+            page.canon(h);
+        }
+        h.write_str(&self.home);
+        h.write_str(&self.error_page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_logic::Formula;
+
+    fn demo_page() -> Page {
+        let mut p = Page::new("P");
+        p.inputs = vec!["button".into(), "pick".into()];
+        p.state_rules = vec![
+            StateRule::insert_only("s1", vec![], Formula::prop("a")),
+            StateRule::insert_only("s2", vec![], Formula::prop("b")),
+        ];
+        p.target_rules = vec![
+            TargetRule {
+                target: "Q".into(),
+                body: Formula::prop("a"),
+            },
+            TargetRule {
+                target: "R".into(),
+                body: Formula::prop("b"),
+            },
+        ];
+        p
+    }
+
+    #[test]
+    fn page_fingerprint_invariant_under_rule_reordering() {
+        let a = demo_page();
+        let mut b = demo_page();
+        b.state_rules.reverse();
+        b.target_rules.reverse();
+        b.inputs.reverse();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn page_fingerprint_sensitive_to_rule_content() {
+        let a = demo_page();
+        let mut b = demo_page();
+        b.state_rules[0].insert = Some(Formula::prop("zzz"));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod builder;
 pub mod classify;
+pub mod fingerprint;
 pub mod page;
 pub mod rules;
 pub mod run;

@@ -1,0 +1,511 @@
+//! Canonical content fingerprinting.
+//!
+//! The verification service (`wave-serve`) caches results by *content*:
+//! two requests whose `Service` + `Property` + options are structurally
+//! identical must collide on the same key, no matter how they were built
+//! or in what order their parts were inserted. This module provides
+//!
+//! * [`Fnv128`] — a hand-rolled 128-bit FNV-1a hasher (std-only, stable
+//!   across platforms and releases);
+//! * [`Fingerprint`] — a 128-bit digest with a fixed 32-hex-digit text
+//!   form, suitable as a cache key and a wire token;
+//! * [`Canonical`] — a trait feeding a value's *canonical serialization*
+//!   into the hasher. Every constructor is domain-separated by a tag
+//!   byte, every variable-length sequence is length-prefixed, and
+//!   strings are hashed as `len || bytes`, so distinct structures cannot
+//!   collide by concatenation tricks.
+//!
+//! Ordered containers (`BTreeMap`/`BTreeSet` inside [`Instance`] and
+//! [`Schema`]) already normalize insertion order; for collections whose
+//! order is semantically irrelevant but representationally free (e.g.
+//! rule lists in `wave-core`), use [`canon_unordered`]: it hashes each
+//! item to a sub-digest, sorts the digests, and folds them, making the
+//! fingerprint invariant under reordering.
+
+use std::fmt;
+
+use crate::formula::{Formula, Term};
+use crate::instance::Instance;
+use crate::schema::{ConstKind, RelKind, Relation, Schema};
+use crate::temporal::{PathQuant, Property, TFormula};
+use crate::value::{Tuple, Value};
+
+/// 128-bit FNV-1a. Chosen over SipHash for simplicity and keylessness:
+/// cache keys here must be *deterministic across processes*, which rules
+/// out `std::collections::hash_map::RandomState`, and adversarial
+/// collision-resistance is not a goal for a result cache.
+#[derive(Clone, Debug)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    /// FNV-1a 128-bit offset basis.
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    /// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv128 {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u128;
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorbs a byte slice (no length prefix — callers add one when the
+    /// slice length is variable).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` as 8 little-endian bytes (two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128` as 16 little-endian bytes.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a length / count (as `u64`, platform-independent).
+    pub fn write_len(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Absorbs a string as `len || utf8 bytes`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
+/// A 128-bit content digest. Displayed (and parsed) as exactly 32
+/// lowercase hex digits, which is also its wire form in `wave-serve`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Parses the 32-hex-digit text form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+
+    /// The fixed-width hex rendering (32 lowercase digits).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+/// Values with a canonical serialization: structurally equal values feed
+/// identical byte streams into the hasher (and semantically equal values
+/// differing only in irrelevant ordering do too, where the impl says so).
+pub trait Canonical {
+    /// Feeds the canonical form into `h`.
+    fn canon(&self, h: &mut Fnv128);
+
+    /// The standalone digest of this value.
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = Fnv128::new();
+        self.canon(&mut h);
+        Fingerprint(h.finish())
+    }
+}
+
+/// Hashes a collection whose order is semantically irrelevant: each item
+/// is hashed to an independent sub-digest, the sub-digests are sorted and
+/// folded in sorted order (with a count prefix). The result is invariant
+/// under any permutation of `items`, including duplicates.
+pub fn canon_unordered<'a, T, I>(items: I, h: &mut Fnv128)
+where
+    T: Canonical + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut digests: Vec<u128> = items
+        .into_iter()
+        .map(|it| {
+            let mut sub = Fnv128::new();
+            it.canon(&mut sub);
+            sub.finish()
+        })
+        .collect();
+    digests.sort_unstable();
+    h.write_len(digests.len());
+    for d in digests {
+        h.write_u128(d);
+    }
+}
+
+impl Canonical for Value {
+    fn canon(&self, h: &mut Fnv128) {
+        match self {
+            Value::Int(i) => {
+                h.write_u8(0x01);
+                h.write_i64(*i);
+            }
+            Value::Str(s) => {
+                h.write_u8(0x02);
+                h.write_str(s);
+            }
+        }
+    }
+}
+
+impl Canonical for Tuple {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x03);
+        h.write_len(self.0.len());
+        for v in &self.0 {
+            v.canon(h);
+        }
+    }
+}
+
+impl Canonical for Instance {
+    fn canon(&self, h: &mut Fnv128) {
+        // BTree containers iterate in key order: canonical for free.
+        h.write_u8(0x04);
+        let rels: Vec<_> = self.relations().collect();
+        h.write_len(rels.len());
+        for (name, tuples) in rels {
+            h.write_str(name);
+            h.write_len(tuples.len());
+            for t in tuples {
+                t.canon(h);
+            }
+        }
+        let consts: Vec<_> = self.constants().collect();
+        h.write_len(consts.len());
+        for (name, v) in consts {
+            h.write_str(name);
+            v.canon(h);
+        }
+    }
+}
+
+impl Canonical for Term {
+    fn canon(&self, h: &mut Fnv128) {
+        match self {
+            Term::Var(v) => {
+                h.write_u8(0x10);
+                h.write_str(v);
+            }
+            Term::Const(c) => {
+                h.write_u8(0x11);
+                h.write_str(c);
+            }
+            Term::Lit(v) => {
+                h.write_u8(0x12);
+                v.canon(h);
+            }
+        }
+    }
+}
+
+impl Canonical for Formula {
+    fn canon(&self, h: &mut Fnv128) {
+        match self {
+            Formula::True => h.write_u8(0x20),
+            Formula::False => h.write_u8(0x21),
+            Formula::Rel { name, args } => {
+                h.write_u8(0x22);
+                h.write_str(name);
+                h.write_len(args.len());
+                for a in args {
+                    a.canon(h);
+                }
+            }
+            Formula::Eq(a, b) => {
+                h.write_u8(0x23);
+                a.canon(h);
+                b.canon(h);
+            }
+            Formula::Not(f) => {
+                h.write_u8(0x24);
+                f.canon(h);
+            }
+            Formula::And(fs) => {
+                h.write_u8(0x25);
+                h.write_len(fs.len());
+                for f in fs {
+                    f.canon(h);
+                }
+            }
+            Formula::Or(fs) => {
+                h.write_u8(0x26);
+                h.write_len(fs.len());
+                for f in fs {
+                    f.canon(h);
+                }
+            }
+            Formula::Exists(vs, f) => {
+                h.write_u8(0x27);
+                h.write_len(vs.len());
+                for v in vs {
+                    h.write_str(v);
+                }
+                f.canon(h);
+            }
+            Formula::Forall(vs, f) => {
+                h.write_u8(0x28);
+                h.write_len(vs.len());
+                for v in vs {
+                    h.write_str(v);
+                }
+                f.canon(h);
+            }
+        }
+    }
+}
+
+impl Canonical for PathQuant {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(match self {
+            PathQuant::E => 0x30,
+            PathQuant::A => 0x31,
+        });
+    }
+}
+
+impl Canonical for TFormula {
+    fn canon(&self, h: &mut Fnv128) {
+        match self {
+            TFormula::Fo(f) => {
+                h.write_u8(0x40);
+                f.canon(h);
+            }
+            TFormula::Not(f) => {
+                h.write_u8(0x41);
+                f.canon(h);
+            }
+            TFormula::And(fs) => {
+                h.write_u8(0x42);
+                h.write_len(fs.len());
+                for f in fs {
+                    f.canon(h);
+                }
+            }
+            TFormula::Or(fs) => {
+                h.write_u8(0x43);
+                h.write_len(fs.len());
+                for f in fs {
+                    f.canon(h);
+                }
+            }
+            TFormula::X(f) => {
+                h.write_u8(0x44);
+                f.canon(h);
+            }
+            TFormula::U(a, b) => {
+                h.write_u8(0x45);
+                a.canon(h);
+                b.canon(h);
+            }
+            TFormula::B(a, b) => {
+                h.write_u8(0x46);
+                a.canon(h);
+                b.canon(h);
+            }
+            TFormula::F(f) => {
+                h.write_u8(0x47);
+                f.canon(h);
+            }
+            TFormula::G(f) => {
+                h.write_u8(0x48);
+                f.canon(h);
+            }
+            TFormula::Path(q, f) => {
+                h.write_u8(0x49);
+                q.canon(h);
+                f.canon(h);
+            }
+        }
+    }
+}
+
+impl Canonical for Property {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x4a);
+        h.write_len(self.vars.len());
+        for v in &self.vars {
+            h.write_str(v);
+        }
+        self.body.canon(h);
+    }
+}
+
+impl Canonical for RelKind {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(match self {
+            RelKind::Database => 0x50,
+            RelKind::State => 0x51,
+            RelKind::Input => 0x52,
+            RelKind::PrevInput => 0x53,
+            RelKind::Action => 0x54,
+            RelKind::Page => 0x55,
+        });
+    }
+}
+
+impl Canonical for ConstKind {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(match self {
+            ConstKind::Database => 0x58,
+            ConstKind::Input => 0x59,
+        });
+    }
+}
+
+impl Canonical for Relation {
+    fn canon(&self, h: &mut Fnv128) {
+        h.write_u8(0x5a);
+        h.write_str(&self.name);
+        h.write_len(self.arity);
+        self.kind.canon(h);
+    }
+}
+
+impl Canonical for Schema {
+    fn canon(&self, h: &mut Fnv128) {
+        // BTree-backed: name order is canonical already.
+        h.write_u8(0x5b);
+        let rels: Vec<_> = self.relations().collect();
+        h.write_len(rels.len());
+        for r in rels {
+            r.canon(h);
+        }
+        let consts: Vec<_> = self.constants().collect();
+        h.write_len(consts.len());
+        for (name, kind) in consts {
+            h.write_str(name);
+            kind.canon(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fo, parse_property};
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Pinned digests: if these change, every persisted cache breaks.
+        let empty = Fnv128::new().finish();
+        assert_eq!(empty, Fnv128::OFFSET);
+        let mut h = Fnv128::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xd228cb696f1a8caf78912b704e4a8964);
+    }
+
+    #[test]
+    fn fingerprint_hex_round_trips() {
+        let fp = Fingerprint(0x00ffeeddccbbaa99_8877665544332211);
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn instance_fingerprint_invariant_under_insertion_order() {
+        let mut a = Instance::new();
+        a.insert("R", Tuple::from_iter([Value::int(1), Value::int(2)]));
+        a.insert("R", Tuple::from_iter([Value::int(3), Value::int(4)]));
+        a.insert("S", Tuple::from_iter([Value::str("x")]));
+        a.set_constant("c", Value::int(7));
+
+        let mut b = Instance::new();
+        b.set_constant("c", Value::int(7));
+        b.insert("S", Tuple::from_iter([Value::str("x")]));
+        b.insert("R", Tuple::from_iter([Value::int(3), Value::int(4)]));
+        b.insert("R", Tuple::from_iter([Value::int(1), Value::int(2)]));
+
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_fingerprints() {
+        assert_ne!(Value::int(1).fingerprint(), Value::int(2).fingerprint());
+        assert_ne!(Value::int(1).fingerprint(), Value::str("1").fingerprint());
+        // Concatenation ambiguity: ("ab","c") vs ("a","bc").
+        let t1 = Tuple::from_iter([Value::str("ab"), Value::str("c")]);
+        let t2 = Tuple::from_iter([Value::str("a"), Value::str("bc")]);
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+    }
+
+    #[test]
+    fn formulas_separate_by_structure() {
+        let f = parse_fo("exists x . (R(x) & S(x))", &[]).unwrap();
+        let g = parse_fo("exists  x .  ( R(x) &  S(x) )", &[]).unwrap();
+        // Same parse (whitespace only) => same fingerprint.
+        assert_eq!(f.fingerprint(), g.fingerprint());
+        let h2 = parse_fo("exists x . (R(x) | S(x))", &[]).unwrap();
+        assert_ne!(f.fingerprint(), h2.fingerprint());
+    }
+
+    #[test]
+    fn property_fingerprint_is_deterministic() {
+        let p1 = parse_property("forall p . G (!ship(p) | paid)").unwrap();
+        let p2 = parse_property("forall p . G (!ship(p) | paid)").unwrap();
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        let q = parse_property("forall p . F (!ship(p) | paid)").unwrap();
+        assert_ne!(p1.fingerprint(), q.fingerprint());
+    }
+
+    #[test]
+    fn canon_unordered_is_permutation_invariant() {
+        let xs = [Value::int(1), Value::int(2), Value::int(3)];
+        let ys = [Value::int(3), Value::int(1), Value::int(2)];
+        let mut ha = Fnv128::new();
+        canon_unordered(xs.iter(), &mut ha);
+        let mut hb = Fnv128::new();
+        canon_unordered(ys.iter(), &mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        // ...but not multiset-blind: duplicates count.
+        let zs = [Value::int(1), Value::int(2)];
+        let mut hc = Fnv128::new();
+        canon_unordered(zs.iter(), &mut hc);
+        assert_ne!(ha.finish(), hc.finish());
+    }
+}

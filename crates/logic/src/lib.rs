@@ -33,6 +33,7 @@
 
 pub mod bounded;
 pub mod eval;
+pub mod fingerprint;
 pub mod formula;
 pub mod instance;
 pub mod normalize;
@@ -43,6 +44,7 @@ pub mod value;
 
 pub use bounded::{check_input_bounded, check_input_rule, BoundedError};
 pub use eval::{eval_closed, satisfying_tuples, Env, EvalError};
+pub use fingerprint::{canon_unordered, Canonical, Fingerprint, Fnv128};
 pub use formula::{Formula, Term, Var};
 pub use instance::Instance;
 pub use schema::{RelKind, Relation, Schema};

@@ -1,0 +1,277 @@
+//! Content-addressed result cache: in-memory LRU with a byte budget,
+//! plus optional on-disk persistence as line-delimited JSON.
+//!
+//! Keys are canonical [`Fingerprint`]s (see `wave_logic::fingerprint`);
+//! values are the **serialized bytes** of a `VerifyOutcome`. Storing the
+//! bytes — not the structure — is what makes cache hits byte-identical
+//! to the cold run that populated them: a hit replays the exact encoding
+//! the miss produced.
+//!
+//! Eviction is least-recently-used (gets and inserts both refresh
+//! recency) and is driven purely by the byte budget: entries are evicted
+//! until the sum of stored value lengths fits. A single oversized value
+//! is never stored.
+//!
+//! Persistence appends one line per insert to a file:
+//! `{"fingerprint":"<32 hex>","outcome":{...}}`. On startup the file is
+//! replayed in order (later lines win), so the persisted file acts as an
+//! append-only journal; it is rewritten compacted on load.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::PathBuf;
+
+use wave_logic::fingerprint::Fingerprint;
+
+use crate::json::Json;
+
+/// LRU cache keyed by fingerprint, bounded by total value bytes.
+pub struct ResultCache {
+    /// fingerprint → (stored bytes, recency tick).
+    map: HashMap<u128, (Vec<u8>, u64)>,
+    /// recency tick → fingerprint (oldest first).
+    recency: BTreeMap<u64, u128>,
+    tick: u64,
+    bytes: usize,
+    budget: usize,
+    evictions: u64,
+    persist: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// An empty cache with the given byte budget and no persistence.
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            budget,
+            evictions: 0,
+            persist: None,
+        }
+    }
+
+    /// Enables persistence: replays `path` if it exists (malformed lines
+    /// are skipped, later duplicates win), rewrites it compacted, and
+    /// appends every future insert to it. I/O failures disable
+    /// persistence rather than failing verification.
+    pub fn with_persistence(mut self, path: PathBuf) -> Self {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Ok(v) = Json::parse(line) else { continue };
+                let Some(fp) = v
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .and_then(Fingerprint::from_hex)
+                else {
+                    continue;
+                };
+                let Some(outcome) = v.get("outcome") else {
+                    continue;
+                };
+                self.insert_in_memory(fp, outcome.encode().into_bytes());
+            }
+        }
+        // Compact: rewrite surviving entries oldest-first.
+        let mut lines = String::new();
+        for fp in self.recency.values() {
+            if let Some((bytes, _)) = self.map.get(fp) {
+                lines.push_str(&persist_line(Fingerprint(*fp), bytes));
+                lines.push('\n');
+            }
+        }
+        if std::fs::write(&path, lines).is_ok() {
+            self.persist = Some(path);
+        }
+        self
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes currently stored.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up a fingerprint, refreshing its recency. Returns the
+    /// stored bytes verbatim.
+    pub fn get(&mut self, fp: Fingerprint) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.entry(fp.0) {
+            Entry::Occupied(mut e) => {
+                let (_, old_tick) = *e.get();
+                let (bytes, t) = e.get_mut();
+                *t = tick;
+                let out = bytes.clone();
+                self.recency.remove(&old_tick);
+                self.recency.insert(tick, fp.0);
+                Some(out)
+            }
+            Entry::Vacant(_) => None,
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting LRU entries to fit the
+    /// budget, and appends to the persistence file when enabled. Values
+    /// larger than the whole budget are not stored.
+    pub fn insert(&mut self, fp: Fingerprint, value: Vec<u8>) {
+        let stored = self.insert_in_memory(fp, value);
+        if stored {
+            if let Some(path) = &self.persist {
+                let (bytes, _) = &self.map[&fp.0];
+                let line = persist_line(fp, bytes);
+                let ok = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{line}"))
+                    .is_ok();
+                if !ok {
+                    self.persist = None;
+                }
+            }
+        }
+    }
+
+    /// In-memory half of [`ResultCache::insert`]; returns whether the
+    /// value was stored.
+    fn insert_in_memory(&mut self, fp: Fingerprint, value: Vec<u8>) -> bool {
+        if value.len() > self.budget {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((old, old_tick)) = self.map.remove(&fp.0) {
+            self.bytes -= old.len();
+            self.recency.remove(&old_tick);
+        }
+        self.bytes += value.len();
+        self.map.insert(fp.0, (value, tick));
+        self.recency.insert(tick, fp.0);
+        while self.bytes > self.budget {
+            let (&oldest_tick, &oldest_fp) = self
+                .recency
+                .iter()
+                .next()
+                .expect("bytes > 0 implies entries");
+            // The entry just inserted is newest; over-budget implies at
+            // least one older entry exists, so we never evict ourselves.
+            self.recency.remove(&oldest_tick);
+            let (old, _) = self.map.remove(&oldest_fp).expect("indexed entry");
+            self.bytes -= old.len();
+            self.evictions += 1;
+        }
+        true
+    }
+}
+
+fn persist_line(fp: Fingerprint, outcome_bytes: &[u8]) -> String {
+    // `outcome_bytes` is the canonical encoding of a JSON object; splice
+    // it in verbatim so the journal stores the exact cached bytes.
+    format!(
+        "{{\"fingerprint\":\"{}\",\"outcome\":{}}}",
+        fp.to_hex(),
+        String::from_utf8_lossy(outcome_bytes),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn get_returns_stored_bytes_verbatim() {
+        let mut c = ResultCache::new(1024);
+        c.insert(fp(1), b"{\"a\":1}".to_vec());
+        assert_eq!(c.get(fp(1)).unwrap(), b"{\"a\":1}".to_vec());
+        assert_eq!(c.get(fp(2)), None);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget_and_recency() {
+        let mut c = ResultCache::new(10);
+        c.insert(fp(1), vec![0; 4]);
+        c.insert(fp(2), vec![0; 4]);
+        assert_eq!(c.bytes(), 8);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(fp(1)).is_some());
+        c.insert(fp(3), vec![0; 4]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(fp(1)).is_some(), "recently used survives");
+        assert!(c.get(fp(2)).is_none(), "LRU evicted");
+        assert!(c.get(fp(3)).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_value_is_not_stored() {
+        let mut c = ResultCache::new(4);
+        c.insert(fp(1), vec![0; 5]);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_bytes() {
+        let mut c = ResultCache::new(100);
+        c.insert(fp(1), vec![0; 10]);
+        c.insert(fp(1), vec![1; 3]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 3);
+        assert_eq!(c.get(fp(1)).unwrap(), vec![1; 3]);
+    }
+
+    #[test]
+    fn persistence_round_trips_across_instances() {
+        let dir =
+            std::env::temp_dir().join(format!("wave-serve-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.ndjson");
+        let _ = std::fs::remove_file(&path);
+
+        let payload = br#"{"verdict":{"kind":"holds","explored":3},"stats":{}}"#.to_vec();
+        {
+            let mut c = ResultCache::new(4096).with_persistence(path.clone());
+            c.insert(fp(0xabc), payload.clone());
+            c.insert(fp(0xdef), b"{}".to_vec());
+        }
+        let mut c2 = ResultCache::new(4096).with_persistence(path.clone());
+        assert_eq!(c2.get(fp(0xabc)).unwrap(), payload);
+        assert_eq!(c2.get(fp(0xdef)).unwrap(), b"{}".to_vec());
+        // Corrupt journal lines are skipped, not fatal.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "not json at all"))
+            .unwrap();
+        let c3 = ResultCache::new(4096).with_persistence(path.clone());
+        assert_eq!(c3.len(), 2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

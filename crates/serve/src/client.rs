@@ -1,0 +1,180 @@
+//! Clients: in-process and TCP.
+//!
+//! [`LocalClient`] drives an [`Engine`] directly through the same
+//! line-level protocol the TCP server speaks, so in-process callers and
+//! remote callers observe byte-identical responses. [`TcpClient`] is a
+//! blocking newline-delimited-JSON session over `std::net::TcpStream`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use wave_logic::fingerprint::Fingerprint;
+use wave_verifier::symbolic::VerifyOutcome;
+
+use crate::codec::{outcome_from_json, Request, VerifyRequest};
+use crate::engine::Engine;
+use crate::json::Json;
+use crate::server::handle_line;
+
+/// A decoded successful `verify` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReply {
+    /// Canonical fingerprint of the request content.
+    pub fingerprint: Fingerprint,
+    /// Whether the cache served the outcome.
+    pub cache_hit: bool,
+    /// The decoded outcome.
+    pub outcome: VerifyOutcome,
+    /// The raw outcome object's canonical encoding (byte-identity
+    /// checks compare this).
+    pub outcome_text: String,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered `ok: false`.
+    Server(String),
+    /// The response line was not valid protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Decodes one response line for a `verify` request.
+fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
+    let v = Json::parse(line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error");
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        None => return Err(ClientError::Protocol("missing \"ok\"".into())),
+    }
+    let fingerprint = v
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(Fingerprint::from_hex)
+        .ok_or_else(|| ClientError::Protocol("missing fingerprint".into()))?;
+    let cache_hit = v
+        .get("cache_hit")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ClientError::Protocol("missing cache_hit".into()))?;
+    let outcome_json = v
+        .get("outcome")
+        .ok_or_else(|| ClientError::Protocol("missing outcome".into()))?;
+    let outcome =
+        outcome_from_json(outcome_json).map_err(|e| ClientError::Protocol(e.to_string()))?;
+    Ok(VerifyReply {
+        fingerprint,
+        cache_hit,
+        outcome,
+        outcome_text: outcome_json.encode(),
+    })
+}
+
+/// In-process client: same protocol, no socket.
+pub struct LocalClient {
+    engine: Arc<Engine>,
+}
+
+impl LocalClient {
+    /// Wraps an engine.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        LocalClient { engine }
+    }
+
+    /// Runs one verify request to completion.
+    pub fn verify(&self, req: &VerifyRequest) -> Result<VerifyReply, ClientError> {
+        let line = Request::Verify(req.clone()).encode();
+        decode_verify_line(&handle_line(&self.engine, &line))
+    }
+
+    /// Fetches the server counters as JSON.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        let line = Request::Stats.encode();
+        let v = Json::parse(&handle_line(&self.engine, &line))
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("missing stats".into()))
+    }
+}
+
+/// A blocking TCP session with a running server.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw line and reads one response line.
+    pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches('\n').to_string())
+    }
+
+    /// Runs one verify request to completion.
+    pub fn verify(&mut self, req: &VerifyRequest) -> Result<VerifyReply, ClientError> {
+        let line = self.round_trip(&Request::Verify(req.clone()).encode())?;
+        decode_verify_line(&line)
+    }
+
+    /// Fetches the server counters as JSON.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let line = self.round_trip(&Request::Stats.encode())?;
+        let v = Json::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error");
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("missing stats".into()))
+    }
+}

@@ -1,0 +1,428 @@
+//! Wire codec: verification requests, responses and outcomes ↔ JSON.
+//!
+//! The wire format (one JSON object per line, both directions):
+//!
+//! Request:
+//! ```json
+//! {"cmd":"verify","service":"checkout_core",
+//!  "property":"forall p . G (!ship(p) | paid)",
+//!  "mode":"ltl","node_limit":0,"threads":1,"deadline_us":0}
+//! {"cmd":"stats"}
+//! ```
+//!
+//! Response:
+//! ```json
+//! {"ok":true,"fingerprint":"<32 hex>","cache_hit":false,
+//!  "outcome":{"verdict":{"kind":"holds","explored":12},
+//!             "stats":{"nodes_interned":12,...,"search_wall_us":1401}}}
+//! {"ok":false,"error":"unknown service: nope"}
+//! ```
+//!
+//! Stability rules:
+//!
+//! * `Duration` fields serialize as **integer microseconds**
+//!   (`frontier_wall_us`, `search_wall_us`) — never floats — so encoded
+//!   outcomes are byte-stable across platforms;
+//! * verdicts are kind-tagged objects (`holds` / `violated` /
+//!   `limit_reached` / `cancelled`), with counterexample lassos as
+//!   `stem` / `cycle` string arrays;
+//! * object key order is fixed by the encoder, so encoding is
+//!   deterministic — the cache replays stored bytes verbatim.
+
+use std::time::Duration;
+
+use wave_verifier::symbolic::{SearchStats, Verdict, VerifyOutcome};
+
+use crate::json::Json;
+
+/// What the engine should decide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// LTL-FO verification of a property (Theorem 3.5(ii)).
+    Ltl,
+    /// Error-page reachability (Theorem 3.5(i)); the request's property
+    /// text is ignored.
+    ErrorFree,
+}
+
+impl Mode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Ltl => "ltl",
+            Mode::ErrorFree => "error_free",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "ltl" => Some(Mode::Ltl),
+            "error_free" => Some(Mode::ErrorFree),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `verify` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyRequest {
+    /// Registry name of the service to verify (see `registry`).
+    pub service: String,
+    /// LTL-FO property text (parsed with `wave_logic::parser`); ignored
+    /// for [`Mode::ErrorFree`].
+    pub property: String,
+    /// What to decide.
+    pub mode: Mode,
+    /// Node budget (`0` = engine default, see `SymbolicOptions`).
+    pub node_limit: usize,
+    /// Frontier-warming threads (`0` = one per core). Excluded from the
+    /// fingerprint: thread count never changes the verdict.
+    pub threads: usize,
+    /// Per-job deadline in microseconds (`0` = none). Excluded from the
+    /// fingerprint for the same reason.
+    pub deadline_us: u64,
+}
+
+/// A request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or replay) a verification.
+    Verify(VerifyRequest),
+    /// Report server counters.
+    Stats,
+}
+
+/// Errors raised while decoding a line into a [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err(msg: impl Into<String>) -> DecodeError {
+    DecodeError(msg.into())
+}
+
+fn get_usize(obj: &Json, key: &str, default: usize) -> Result<usize, DecodeError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let i = v
+                .as_int()
+                .ok_or_else(|| err(format!("{key} must be an integer")))?;
+            usize::try_from(i).map_err(|_| err(format!("{key} must be non-negative")))
+        }
+    }
+}
+
+impl Request {
+    /// Decodes one request line.
+    pub fn decode(line: &str) -> Result<Request, DecodeError> {
+        let v = Json::parse(line).map_err(|e| err(e.to_string()))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing \"cmd\""))?;
+        match cmd {
+            "stats" => Ok(Request::Stats),
+            "verify" => {
+                let service = v
+                    .get("service")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("missing \"service\""))?
+                    .to_string();
+                let mode = match v.get("mode").and_then(Json::as_str) {
+                    None => Mode::Ltl,
+                    Some(m) => Mode::parse(m).ok_or_else(|| err(format!("unknown mode: {m}")))?,
+                };
+                let property = v
+                    .get("property")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                if property.is_empty() && mode == Mode::Ltl {
+                    return Err(err("missing \"property\""));
+                }
+                let deadline = v.get("deadline_us").map_or(Ok(0i64), |d| {
+                    d.as_int()
+                        .ok_or_else(|| err("deadline_us must be an integer"))
+                })?;
+                Ok(Request::Verify(VerifyRequest {
+                    service,
+                    property,
+                    mode,
+                    node_limit: get_usize(&v, "node_limit", 0)?,
+                    threads: get_usize(&v, "threads", 1)?,
+                    deadline_us: u64::try_from(deadline)
+                        .map_err(|_| err("deadline_us must be non-negative"))?,
+                }))
+            }
+            other => Err(err(format!("unknown cmd: {other}"))),
+        }
+    }
+
+    /// Encodes the request as one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Stats => Json::Obj(vec![("cmd".into(), Json::str("stats"))]).encode(),
+            Request::Verify(r) => Json::Obj(vec![
+                ("cmd".into(), Json::str("verify")),
+                ("service".into(), Json::str(&r.service)),
+                ("property".into(), Json::str(&r.property)),
+                ("mode".into(), Json::str(r.mode.as_str())),
+                ("node_limit".into(), Json::Int(r.node_limit as i64)),
+                ("threads".into(), Json::Int(r.threads as i64)),
+                ("deadline_us".into(), Json::Int(r.deadline_us as i64)),
+            ])
+            .encode(),
+        }
+    }
+}
+
+fn duration_to_us(d: Duration) -> i64 {
+    i64::try_from(d.as_micros()).unwrap_or(i64::MAX)
+}
+
+fn us_to_duration(us: i64) -> Duration {
+    Duration::from_micros(us.max(0) as u64)
+}
+
+/// Encodes search counters (durations as integer microseconds).
+pub fn stats_to_json(s: &SearchStats) -> Json {
+    Json::Obj(vec![
+        ("nodes_interned".into(), Json::Int(s.nodes_interned as i64)),
+        ("dedup_hits".into(), Json::Int(s.dedup_hits as i64)),
+        (
+            "successors_memoized".into(),
+            Json::Int(s.successors_memoized as i64),
+        ),
+        ("memo_hits".into(), Json::Int(s.memo_hits as i64)),
+        ("peak_frontier".into(), Json::Int(s.peak_frontier as i64)),
+        (
+            "frontier_wall_us".into(),
+            Json::Int(duration_to_us(s.frontier_wall)),
+        ),
+        (
+            "search_wall_us".into(),
+            Json::Int(duration_to_us(s.search_wall)),
+        ),
+    ])
+}
+
+/// Decodes search counters.
+pub fn stats_from_json(v: &Json) -> Result<SearchStats, DecodeError> {
+    let int = |key: &str| -> Result<i64, DecodeError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .ok_or_else(|| err(format!("stats: missing integer \"{key}\"")))
+    };
+    Ok(SearchStats {
+        nodes_interned: int("nodes_interned")? as usize,
+        dedup_hits: int("dedup_hits")? as u64,
+        successors_memoized: int("successors_memoized")? as usize,
+        memo_hits: int("memo_hits")? as u64,
+        peak_frontier: int("peak_frontier")? as usize,
+        frontier_wall: us_to_duration(int("frontier_wall_us")?),
+        search_wall: us_to_duration(int("search_wall_us")?),
+    })
+}
+
+/// Encodes a verdict as a kind-tagged object.
+pub fn verdict_to_json(v: &Verdict) -> Json {
+    match v {
+        Verdict::Holds { explored } => Json::Obj(vec![
+            ("kind".into(), Json::str("holds")),
+            ("explored".into(), Json::Int(*explored as i64)),
+        ]),
+        Verdict::Violated { stem, cycle } => Json::Obj(vec![
+            ("kind".into(), Json::str("violated")),
+            (
+                "stem".into(),
+                Json::Arr(stem.iter().map(Json::str).collect()),
+            ),
+            (
+                "cycle".into(),
+                Json::Arr(cycle.iter().map(Json::str).collect()),
+            ),
+        ]),
+        Verdict::LimitReached => Json::Obj(vec![("kind".into(), Json::str("limit_reached"))]),
+        Verdict::Cancelled => Json::Obj(vec![("kind".into(), Json::str("cancelled"))]),
+    }
+}
+
+/// Decodes a verdict.
+pub fn verdict_from_json(v: &Json) -> Result<Verdict, DecodeError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("verdict: missing \"kind\""))?;
+    match kind {
+        "holds" => {
+            let explored = v
+                .get("explored")
+                .and_then(Json::as_int)
+                .ok_or_else(|| err("verdict: missing \"explored\""))?;
+            Ok(Verdict::Holds {
+                explored: explored as usize,
+            })
+        }
+        "violated" => {
+            let strings = |key: &str| -> Result<Vec<String>, DecodeError> {
+                v.get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err(format!("verdict: missing array \"{key}\"")))?
+                    .iter()
+                    .map(|j| {
+                        j.as_str()
+                            .map(String::from)
+                            .ok_or_else(|| err(format!("verdict: non-string in \"{key}\"")))
+                    })
+                    .collect()
+            };
+            Ok(Verdict::Violated {
+                stem: strings("stem")?,
+                cycle: strings("cycle")?,
+            })
+        }
+        "limit_reached" => Ok(Verdict::LimitReached),
+        "cancelled" => Ok(Verdict::Cancelled),
+        other => Err(err(format!("verdict: unknown kind {other}"))),
+    }
+}
+
+/// Encodes a full outcome.
+pub fn outcome_to_json(o: &VerifyOutcome) -> Json {
+    Json::Obj(vec![
+        ("verdict".into(), verdict_to_json(&o.verdict)),
+        ("stats".into(), stats_to_json(&o.stats)),
+    ])
+}
+
+/// Decodes a full outcome.
+pub fn outcome_from_json(v: &Json) -> Result<VerifyOutcome, DecodeError> {
+    Ok(VerifyOutcome {
+        verdict: verdict_from_json(v.get("verdict").ok_or_else(|| err("missing verdict"))?)?,
+        stats: stats_from_json(v.get("stats").ok_or_else(|| err("missing stats"))?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcomes() -> Vec<VerifyOutcome> {
+        let stats = SearchStats {
+            nodes_interned: 12,
+            dedup_hits: 3,
+            successors_memoized: 10,
+            memo_hits: 7,
+            peak_frontier: 4,
+            frontier_wall: Duration::from_micros(1500),
+            search_wall: Duration::from_micros(987_654),
+        };
+        vec![
+            VerifyOutcome {
+                verdict: Verdict::Holds { explored: 12 },
+                stats: stats.clone(),
+            },
+            VerifyOutcome {
+                verdict: Verdict::Violated {
+                    stem: vec!["HP".into(), "CP | pick(a)".into()],
+                    cycle: vec!["COP \"weird\\chars\"".into()],
+                },
+                stats: stats.clone(),
+            },
+            VerifyOutcome {
+                verdict: Verdict::LimitReached,
+                stats: stats.clone(),
+            },
+            VerifyOutcome {
+                verdict: Verdict::Cancelled,
+                stats,
+            },
+        ]
+    }
+
+    #[test]
+    fn outcome_round_trips_by_equality() {
+        // Durations above are whole microseconds, so the round trip is
+        // exact — the property the satellite task pins down.
+        for o in sample_outcomes() {
+            let j = outcome_to_json(&o);
+            let text = j.encode();
+            let back = outcome_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, o, "round trip changed the outcome:\n{text}");
+            // And re-encoding is byte-identical (cache guarantee).
+            assert_eq!(outcome_to_json(&back).encode(), text);
+        }
+    }
+
+    #[test]
+    fn sub_microsecond_wall_time_truncates_stably() {
+        let o = VerifyOutcome {
+            verdict: Verdict::Holds { explored: 1 },
+            stats: SearchStats {
+                search_wall: Duration::from_nanos(1999), // 1.999 µs → 1 µs
+                ..SearchStats::default()
+            },
+        };
+        let text = outcome_to_json(&o).encode();
+        let back = outcome_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.stats.search_wall, Duration::from_micros(1));
+        // Idempotent after the first truncation.
+        assert_eq!(outcome_to_json(&back).encode(), text);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            Request::Stats,
+            Request::Verify(VerifyRequest {
+                service: "checkout_core".into(),
+                property: "forall p . G (!ship(p) | paid)".into(),
+                mode: Mode::Ltl,
+                node_limit: 0,
+                threads: 2,
+                deadline_us: 1000,
+            }),
+            Request::Verify(VerifyRequest {
+                service: "full_site".into(),
+                property: String::new(),
+                mode: Mode::ErrorFree,
+                node_limit: 77,
+                threads: 0,
+                deadline_us: 0,
+            }),
+        ];
+        for r in reqs {
+            let line = r.encode();
+            assert_eq!(Request::decode(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn request_defaults_and_errors() {
+        let r =
+            Request::decode(r#"{"cmd":"verify","service":"toggle","property":"G true"}"#).unwrap();
+        match r {
+            Request::Verify(v) => {
+                assert_eq!(v.mode, Mode::Ltl);
+                assert_eq!(v.node_limit, 0);
+                assert_eq!(v.threads, 1);
+                assert_eq!(v.deadline_us, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::decode(r#"{"cmd":"verify","service":"t"}"#).is_err());
+        assert!(Request::decode(r#"{"cmd":"nope"}"#).is_err());
+        assert!(Request::decode("not json").is_err());
+        // error_free may omit the property.
+        assert!(Request::decode(r#"{"cmd":"verify","service":"t","mode":"error_free"}"#).is_ok());
+    }
+}

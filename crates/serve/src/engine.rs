@@ -1,0 +1,375 @@
+//! The service engine: fingerprint → cache → schedule → verify.
+//!
+//! One [`Engine`] owns the result cache and the worker pool. A submit:
+//!
+//! 1. resolves the named service and parses the property;
+//! 2. computes the request's canonical [`Fingerprint`] over the
+//!    *resolved* `Service` structure, the mode, the property and the
+//!    normalized node budget — `threads` and `deadline_us` are excluded
+//!    because they can never change the verdict;
+//! 3. on a cache hit, replays the stored outcome bytes verbatim
+//!    (`cache_hit: true`, byte-identical to the run that stored them);
+//! 4. on a miss, schedules the verification on the worker pool (bounded
+//!    queue — an overloaded engine rejects rather than buffering
+//!    unboundedly), blocks for the result, and caches it — unless the
+//!    job was cancelled, since a deadline-specific non-answer must not
+//!    be replayed to later callers with laxer deadlines.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use wave_core::service::Service;
+use wave_logic::fingerprint::{Canonical, Fingerprint, Fnv128};
+use wave_logic::parser::parse_property;
+use wave_logic::temporal::Property;
+use wave_verifier::symbolic::{is_error_free, verify_ltl, CancelToken, SymbolicOptions, Verdict};
+
+use crate::cache::ResultCache;
+use crate::codec::{outcome_to_json, Mode, VerifyRequest};
+use crate::registry;
+use crate::scheduler::Scheduler;
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Worker threads in the pool (min 1).
+    pub workers: usize,
+    /// Bounded queue capacity (pending jobs; min 1).
+    pub queue_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Optional NDJSON persistence file for the cache.
+    pub persist: Option<PathBuf>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            workers: 2,
+            queue_capacity: 64,
+            cache_bytes: 8 * 1024 * 1024,
+            persist: None,
+        }
+    }
+}
+
+/// Why a submit produced no outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request named a service the registry does not know.
+    UnknownService(String),
+    /// The property text failed to parse.
+    BadProperty(String),
+    /// The bounded queue was at capacity.
+    QueueFull,
+    /// The verifier rejected the request (e.g. not input-bounded).
+    Verifier(String),
+    /// The job died without reporting (worker panic — a bug).
+    Internal(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownService(s) => {
+                write!(
+                    f,
+                    "unknown service: {s} (known: {})",
+                    registry::names().join(", ")
+                )
+            }
+            SubmitError::BadProperty(e) => write!(f, "bad property: {e}"),
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::Verifier(e) => write!(f, "verifier error: {e}"),
+            SubmitError::Internal(e) => write!(f, "internal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A successful submit: the fingerprint, whether the cache served it,
+/// and the outcome's canonical encoding (the bytes the wire carries —
+/// byte-identical between a cold run and every later hit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitResult {
+    /// Canonical fingerprint of the request content.
+    pub fingerprint: Fingerprint,
+    /// True when the outcome was replayed from the cache.
+    pub cache_hit: bool,
+    /// Canonical JSON encoding of the `VerifyOutcome`.
+    pub outcome_bytes: Vec<u8>,
+}
+
+/// Monotonic engine counters (reported by the `stats` command).
+#[derive(Default)]
+pub struct Counters {
+    /// Verify submissions accepted for processing.
+    pub submitted: AtomicU64,
+    /// Submissions answered from the cache.
+    pub cache_hits: AtomicU64,
+    /// Submissions that ran a verification.
+    pub cache_misses: AtomicU64,
+    /// Verifications that ended in `Verdict::Cancelled`.
+    pub cancelled: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub queue_rejections: AtomicU64,
+}
+
+/// The verification service engine.
+pub struct Engine {
+    cache: Mutex<ResultCache>,
+    sched: Scheduler,
+    /// Monotonic counters for the `stats` report.
+    pub counters: Counters,
+}
+
+/// Computes the canonical fingerprint of a request's *content*. The
+/// domain tag versions the scheme: bump it when the canonical form
+/// changes, so stale persisted caches can never serve wrong bytes.
+pub fn request_fingerprint(
+    service: &Service,
+    property: Option<&Property>,
+    mode: Mode,
+    node_limit: usize,
+) -> Fingerprint {
+    let normalized = SymbolicOptions {
+        node_limit,
+        ..SymbolicOptions::default()
+    }
+    .normalized();
+    let mut h = Fnv128::new();
+    h.write_str("wave-serve/fp/v1");
+    service.canon(&mut h);
+    match mode {
+        Mode::Ltl => {
+            h.write_u8(0x01);
+            property.expect("ltl mode carries a property").canon(&mut h);
+        }
+        Mode::ErrorFree => h.write_u8(0x02),
+    }
+    h.write_len(normalized.node_limit);
+    Fingerprint(h.finish())
+}
+
+impl Engine {
+    /// Builds an engine: starts the worker pool and (optionally) loads
+    /// the persisted cache.
+    pub fn new(opts: EngineOptions) -> Engine {
+        let mut cache = ResultCache::new(opts.cache_bytes);
+        if let Some(path) = opts.persist {
+            cache = cache.with_persistence(path);
+        }
+        Engine {
+            cache: Mutex::new(cache),
+            sched: Scheduler::new(opts.workers, opts.queue_capacity),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.sched.workers()
+    }
+
+    /// Current cache entry count and byte usage `(entries, bytes,
+    /// budget, evictions)`.
+    pub fn cache_usage(&self) -> (usize, usize, usize, u64) {
+        let c = self.cache.lock().expect("cache poisoned");
+        (c.len(), c.bytes(), c.budget(), c.evictions())
+    }
+
+    /// Processes one verify request to completion (blocking the calling
+    /// thread; concurrency comes from concurrent callers sharing the
+    /// bounded pool).
+    pub fn submit(&self, req: &VerifyRequest) -> Result<SubmitResult, SubmitError> {
+        let service = registry::resolve(&req.service)
+            .ok_or_else(|| SubmitError::UnknownService(req.service.clone()))?;
+        let property = match req.mode {
+            Mode::ErrorFree => None,
+            Mode::Ltl => Some(
+                parse_property(&req.property)
+                    .map_err(|e| SubmitError::BadProperty(e.to_string()))?,
+            ),
+        };
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let fp = request_fingerprint(&service, property.as_ref(), req.mode, req.node_limit);
+        if let Some(bytes) = self.cache.lock().expect("cache poisoned").get(fp) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(SubmitResult {
+                fingerprint: fp,
+                cache_hit: true,
+                outcome_bytes: bytes,
+            });
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Schedule the verification; the deadline budget is armed when
+        // the job *starts* (queue wait does not consume it).
+        let (tx, rx) = mpsc::channel();
+        let mode = req.mode;
+        let node_limit = req.node_limit;
+        let threads = req.threads;
+        let deadline_us = req.deadline_us;
+        let submitted = self.sched.submit(move || {
+            let cancel = if deadline_us > 0 {
+                CancelToken::with_deadline(Duration::from_micros(deadline_us))
+            } else {
+                CancelToken::never()
+            };
+            let opts = SymbolicOptions {
+                node_limit,
+                threads,
+                cancel,
+            };
+            let result = match mode {
+                Mode::Ltl => verify_ltl(
+                    &service,
+                    property.as_ref().expect("ltl mode carries a property"),
+                    &opts,
+                ),
+                Mode::ErrorFree => is_error_free(&service, &opts),
+            };
+            let _ = tx.send(result);
+        });
+        if submitted.is_err() {
+            self.counters
+                .queue_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+
+        let outcome = rx
+            .recv()
+            .map_err(|_| SubmitError::Internal("verification job died".into()))?
+            .map_err(|e| SubmitError::Verifier(e.to_string()))?;
+
+        let bytes = outcome_to_json(&outcome).encode().into_bytes();
+        if outcome.verdict == Verdict::Cancelled {
+            // A deadline-specific non-answer: do not let it shadow a
+            // future run that might have time to finish.
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(fp, bytes.clone());
+        }
+        Ok(SubmitResult {
+            fingerprint: fp,
+            cache_hit: false,
+            outcome_bytes: bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{outcome_from_json, VerifyRequest};
+    use crate::json::Json;
+
+    fn req(service: &str, property: &str) -> VerifyRequest {
+        VerifyRequest {
+            service: service.into(),
+            property: property.into(),
+            mode: Mode::Ltl,
+            node_limit: 0,
+            threads: 1,
+            deadline_us: 0,
+        }
+    }
+
+    #[test]
+    fn second_submit_is_a_byte_identical_cache_hit() {
+        let e = Engine::new(EngineOptions::default());
+        let r1 = e.submit(&req("toggle", "G (P | Q)")).unwrap();
+        let r2 = e.submit(&req("toggle", "G (P | Q)")).unwrap();
+        assert!(!r1.cache_hit);
+        assert!(r2.cache_hit);
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+        assert_eq!(r1.outcome_bytes, r2.outcome_bytes, "hit must replay bytes");
+        let out = outcome_from_json(
+            &Json::parse(std::str::from_utf8(&r2.outcome_bytes).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn node_limit_zero_and_default_share_a_fingerprint() {
+        let e = Engine::new(EngineOptions::default());
+        let r1 = e.submit(&req("toggle", "F Q")).unwrap();
+        let mut r = req("toggle", "F Q");
+        r.node_limit = 500_000; // the documented default
+        let r2 = e.submit(&r).unwrap();
+        assert!(r2.cache_hit, "normalized budgets must collide");
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+    }
+
+    #[test]
+    fn threads_do_not_split_the_cache() {
+        let e = Engine::new(EngineOptions::default());
+        let r1 = e.submit(&req("login", "G (!CP | logged_in)")).unwrap();
+        let mut r = req("login", "G (!CP | logged_in)");
+        r.threads = 4;
+        let r2 = e.submit(&r).unwrap();
+        assert!(r2.cache_hit, "thread count cannot change the verdict");
+        assert_eq!(r1.outcome_bytes, r2.outcome_bytes);
+    }
+
+    #[test]
+    fn cancelled_runs_are_not_cached() {
+        let e = Engine::new(EngineOptions::default());
+        let mut r = req("full_site", "G (!ship(p) | paid)");
+        r.property = "forall p . G (!ship(p) | paid)".into();
+        r.deadline_us = 1; // 1 µs: cannot finish
+        let r1 = e.submit(&r).unwrap();
+        let out = outcome_from_json(
+            &Json::parse(std::str::from_utf8(&r1.outcome_bytes).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.verdict, Verdict::Cancelled, "{out:?}");
+        // Same request without a deadline must be a miss, not a replay
+        // of the cancelled run.
+        r.deadline_us = 0;
+        r.node_limit = 2_000; // keep the cold run cheap
+        let r2 = e.submit(&r).unwrap();
+        assert!(!r2.cache_hit);
+    }
+
+    #[test]
+    fn unknown_service_and_bad_property_are_reported() {
+        let e = Engine::new(EngineOptions::default());
+        assert!(matches!(
+            e.submit(&req("nope", "G true")),
+            Err(SubmitError::UnknownService(_))
+        ));
+        assert!(matches!(
+            e.submit(&req("toggle", "G (((")),
+            Err(SubmitError::BadProperty(_))
+        ));
+    }
+
+    #[test]
+    fn error_free_mode_ignores_property() {
+        let e = Engine::new(EngineOptions::default());
+        let r = VerifyRequest {
+            service: "toggle".into(),
+            property: String::new(),
+            mode: Mode::ErrorFree,
+            node_limit: 0,
+            threads: 1,
+            deadline_us: 0,
+        };
+        let r1 = e.submit(&r).unwrap();
+        let out = outcome_from_json(
+            &Json::parse(std::str::from_utf8(&r1.outcome_bytes).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(out.holds(), "{out:?}");
+    }
+}

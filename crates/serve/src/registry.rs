@@ -1,0 +1,85 @@
+//! Named service registry.
+//!
+//! Wire requests reference services **by name** rather than shipping a
+//! full specification: the server resolves the name to a `Service` value
+//! and fingerprints the *resolved structure*, so two names bound to
+//! structurally identical services still share cache entries.
+//!
+//! The registry ships the paper's running examples (from `wave-demo`)
+//! plus two small synthetic services used by tests and demos.
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::service::Service;
+
+/// Resolves a service name. Returns `None` for unknown names.
+pub fn resolve(name: &str) -> Option<Service> {
+    match name {
+        "checkout_core" => Some(wave_demo::site::checkout_core()),
+        "full_site" => Some(wave_demo::site::full_site()),
+        "navigation" => Some(wave_demo::site::navigation_abstraction()),
+        "toggle" => Some(toggle()),
+        "login" => Some(login()),
+        _ => None,
+    }
+}
+
+/// All registered names, for error messages and the `stats` report.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "checkout_core",
+        "full_site",
+        "login",
+        "navigation",
+        "toggle",
+    ]
+}
+
+/// Two-page toggle: `go` flips between pages P and Q.
+fn toggle() -> Service {
+    let mut b = ServiceBuilder::new("P");
+    b.input_relation("go", 0)
+        .page("P")
+        .input_prop_on_page("go")
+        .target("Q", "go")
+        .page("Q")
+        .input_prop_on_page("go")
+        .target("P", "go");
+    b.build().expect("toggle service is valid")
+}
+
+/// Login over a user table — the data-dependent mini-example.
+fn login() -> Service {
+    let mut b = ServiceBuilder::new("HP");
+    b.database_relation("user", 2)
+        .input_relation("button", 1)
+        .state_prop("logged_in")
+        .input_constant("name")
+        .input_constant("password")
+        .page("HP")
+        .solicit_constant("name")
+        .solicit_constant("password")
+        .input_rule("button", &["x"], r#"x = "login""#)
+        .insert_rule(
+            "logged_in",
+            &[],
+            r#"user(name, password) & button("login")"#,
+        )
+        .target("CP", r#"user(name, password) & button("login")"#)
+        .page("CP");
+    b.build().expect("login service is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_resolves_and_validates() {
+        for name in names() {
+            let s = resolve(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            s.validate()
+                .unwrap_or_else(|e| panic!("{name} must validate: {e:?}"));
+        }
+        assert!(resolve("no-such-service").is_none());
+    }
+}

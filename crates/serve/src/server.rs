@@ -1,0 +1,192 @@
+//! The TCP wire layer: newline-delimited JSON over `std::net`.
+//!
+//! One connection = one line-oriented session: each request line gets
+//! exactly one response line, in order. Connections are handled on
+//! dedicated threads (cheap — the heavy lifting is bounded by the
+//! engine's worker pool, not by connection count), so a slow client
+//! cannot stall another client's session.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::codec::Request;
+use crate::engine::Engine;
+use crate::json::Json;
+use crate::registry;
+
+/// Computes the single response line (no trailing newline) for one
+/// request line. Shared by the TCP server and the in-process client, so
+/// both speak byte-identical protocol.
+pub fn handle_line(engine: &Engine, line: &str) -> String {
+    match Request::decode(line) {
+        Err(e) => error_line(&e.to_string()),
+        Ok(Request::Stats) => {
+            let (entries, bytes, budget, evictions) = engine.cache_usage();
+            let c = &engine.counters;
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                (
+                    "stats".into(),
+                    Json::Obj(vec![
+                        ("workers".into(), Json::Int(engine.workers() as i64)),
+                        (
+                            "submitted".into(),
+                            Json::Int(c.submitted.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "cache_hits".into(),
+                            Json::Int(c.cache_hits.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "cache_misses".into(),
+                            Json::Int(c.cache_misses.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "cancelled".into(),
+                            Json::Int(c.cancelled.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "queue_rejections".into(),
+                            Json::Int(c.queue_rejections.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("cache_entries".into(), Json::Int(entries as i64)),
+                        ("cache_bytes".into(), Json::Int(bytes as i64)),
+                        ("cache_budget".into(), Json::Int(budget as i64)),
+                        ("cache_evictions".into(), Json::Int(evictions as i64)),
+                        (
+                            "services".into(),
+                            Json::Arr(registry::names().iter().map(|n| Json::str(*n)).collect()),
+                        ),
+                    ]),
+                ),
+            ])
+            .encode()
+        }
+        Ok(Request::Verify(req)) => match engine.submit(&req) {
+            Err(e) => error_line(&e.to_string()),
+            Ok(res) => {
+                // Splice the cached outcome bytes in verbatim: the
+                // response envelope carries `cache_hit`, the outcome
+                // object itself stays byte-identical hit vs. miss.
+                let outcome =
+                    String::from_utf8(res.outcome_bytes).expect("outcome bytes are canonical JSON");
+                format!(
+                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"outcome\":{}}}",
+                    res.fingerprint.to_hex(),
+                    res.cache_hit,
+                    outcome,
+                )
+            }
+        },
+    }
+}
+
+fn error_line(msg: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(msg)),
+    ])
+    .encode()
+}
+
+/// A running TCP server bound to a local address.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The bound address (the actual port when bound ephemerally).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: serves until the process exits. Each connection gets
+    /// its own thread; per-connection I/O errors end that session only.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let engine = Arc::clone(&self.engine);
+            std::thread::Builder::new()
+                .name("wave-serve-conn".into())
+                .spawn(move || serve_connection(stream, &engine))
+                .expect("spawn connection thread");
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, engine: &Engine) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = writer;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(engine, &line);
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+
+    #[test]
+    fn handle_line_speaks_the_protocol() {
+        let e = Engine::new(EngineOptions::default());
+        // Garbage line → structured error.
+        let r = Json::parse(&handle_line(&e, "garbage")).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        // Stats before any work.
+        let r = Json::parse(&handle_line(&e, r#"{"cmd":"stats"}"#)).unwrap();
+        let stats = r.get("stats").unwrap();
+        assert_eq!(stats.get("submitted").unwrap().as_int(), Some(0));
+        assert!(stats.get("workers").unwrap().as_int().unwrap() >= 1);
+        // A verify line.
+        let line = r#"{"cmd":"verify","service":"toggle","property":"G (P | Q)"}"#;
+        let r = Json::parse(&handle_line(&e, line)).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            r.get("outcome")
+                .unwrap()
+                .get("verdict")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("holds")
+        );
+        let fp = r.get("fingerprint").unwrap().as_str().unwrap();
+        assert_eq!(fp.len(), 32);
+        // Replay: same line, cache hit, same fingerprint.
+        let r2 = Json::parse(&handle_line(&e, line)).unwrap();
+        assert_eq!(r2.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(r2.get("fingerprint").unwrap().as_str(), Some(fp));
+        assert_eq!(r.get("outcome"), r2.get("outcome"));
+    }
+}

@@ -31,9 +31,10 @@ use wave_logic::instance::Instance;
 use wave_logic::temporal::Property;
 use wave_logic::value::{Tuple, Value};
 
+use wave_automata::cancel::CancelToken;
 use wave_automata::ltl2buchi::translate;
 use wave_automata::props::PropSet;
-use wave_automata::search::{find_accepting_lasso, SearchResult};
+use wave_automata::search::{find_accepting_lasso_stats_with, SearchResult};
 
 use crate::abstraction::{to_pnf, FoAbstraction};
 
@@ -44,6 +45,10 @@ pub struct EnumOptions {
     pub fresh_values: usize,
     /// Budget on distinct product nodes per witness assignment.
     pub node_limit: usize,
+    /// Cooperative cancellation: polled at node expansions and between
+    /// witness assignments. A fired token surfaces as
+    /// [`EnumOutcome::Cancelled`] — never a panic.
+    pub cancel: CancelToken,
 }
 
 impl Default for EnumOptions {
@@ -51,6 +56,7 @@ impl Default for EnumOptions {
         EnumOptions {
             fresh_values: 2,
             node_limit: 200_000,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -75,6 +81,9 @@ pub enum EnumOutcome {
     },
     /// The node budget was exhausted.
     LimitReached,
+    /// The run was cancelled (explicit cancel or deadline expiry on
+    /// [`EnumOptions::cancel`]) before an answer.
+    Cancelled,
 }
 
 impl EnumOutcome {
@@ -149,6 +158,9 @@ pub fn verify_ltl_on_db(
     }
 
     for witness in witness_envs {
+        if opts.cancel.is_cancelled() {
+            return Ok(EnumOutcome::Cancelled);
+        }
         let env: Env = witness.clone().into_iter().collect();
         let letter = |cfg: &Config| -> Result<PropSet, EnumError> {
             let obs = cfg.observation(db);
@@ -177,7 +189,7 @@ pub fn verify_ltl_on_db(
         }
 
         let mut step_err: Option<EnumError> = None;
-        let result = find_accepting_lasso(
+        let (result, _stats) = find_accepting_lasso_stats_with(
             inits,
             |(cfg, q)| {
                 if step_err.is_some() {
@@ -209,6 +221,7 @@ pub fn verify_ltl_on_db(
             },
             |(_, q)| aut.accepting[*q],
             Some(opts.node_limit),
+            &opts.cancel,
         );
         if let Some(e) = step_err {
             return Err(e);
@@ -223,6 +236,7 @@ pub fn verify_ltl_on_db(
                 });
             }
             SearchResult::LimitReached { .. } => return Ok(EnumOutcome::LimitReached),
+            SearchResult::Cancelled => return Ok(EnumOutcome::Cancelled),
         }
     }
     Ok(EnumOutcome::Holds {
@@ -526,5 +540,20 @@ mod tests {
             verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap_err(),
             EnumError::NotLtl
         );
+    }
+
+    #[test]
+    fn cancelled_token_yields_cancelled_outcome() {
+        let s = toggle_service();
+        let db = Instance::new();
+        let p = parse_property("G (P | Q)").unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let opts = EnumOptions {
+            cancel,
+            ..EnumOptions::default()
+        };
+        let out = verify_ltl_on_db(&s, &db, &p, &opts).unwrap();
+        assert!(matches!(out, EnumOutcome::Cancelled), "{out:?}");
     }
 }

@@ -39,11 +39,12 @@ use wave_logic::bounded::BoundedError;
 use wave_logic::schema::ConstKind;
 use wave_logic::temporal::{Property, TemporalClass};
 
+pub use wave_automata::cancel::CancelToken;
 use wave_automata::interner::Interner;
 use wave_automata::ltl2buchi::translate;
 use wave_automata::props::PropSet;
 pub use wave_automata::search::SearchStats;
-use wave_automata::search::{find_accepting_lasso_stats, SearchResult};
+use wave_automata::search::{find_accepting_lasso_stats_with, SearchResult};
 
 use crate::abstraction::{to_pnf, FoAbstraction};
 
@@ -52,24 +53,60 @@ use super::eval::{eval_branching, Ctx};
 use super::step::{initial_configs, successors};
 use super::table::{CTable, Sym};
 
+/// The node budget used when a caller passes the degenerate
+/// `node_limit == 0` (see [`SymbolicOptions::normalized`]).
+pub const DEFAULT_NODE_LIMIT: usize = 500_000;
+
 /// Options for the symbolic verifier.
 #[derive(Clone, Debug)]
 pub struct SymbolicOptions {
     /// Budget on distinct product nodes. Exhausting it always surfaces
     /// as [`Verdict::LimitReached`] — never as a spurious "holds".
+    /// The degenerate value `0` is normalized to [`DEFAULT_NODE_LIMIT`]
+    /// (a zero-node search could never answer anything).
     pub node_limit: usize,
     /// Worker threads for the frontier-warming phase: `1` (the default)
     /// skips the phase entirely, `0` means one per available core. The
     /// verdict is byte-identical for every value — threads only
     /// pre-populate the successor memo.
     pub threads: usize,
+    /// Cooperative cancellation: polled at every node expansion. A fired
+    /// token surfaces as [`Verdict::Cancelled`] — never a panic. The
+    /// default ([`CancelToken::never`]) costs nothing to poll.
+    pub cancel: CancelToken,
 }
 
 impl Default for SymbolicOptions {
     fn default() -> Self {
         SymbolicOptions {
-            node_limit: 500_000,
+            node_limit: DEFAULT_NODE_LIMIT,
             threads: 1,
+            cancel: CancelToken::never(),
+        }
+    }
+}
+
+impl SymbolicOptions {
+    /// Replaces degenerate settings with their documented meanings:
+    ///
+    /// * `node_limit == 0` → [`DEFAULT_NODE_LIMIT`]. A literal zero
+    ///   budget would report [`Verdict::LimitReached`] before interning a
+    ///   single node, which no caller ever wants; `0` therefore means
+    ///   "default budget".
+    /// * `threads == 0` → one worker per available core (as reported by
+    ///   `std::thread::available_parallelism`, falling back to `1`).
+    ///
+    /// Both entry points ([`verify_ltl`], [`is_error_free`]) normalize on
+    /// entry, so callers never need to pre-sanitize.
+    pub fn normalized(&self) -> SymbolicOptions {
+        SymbolicOptions {
+            node_limit: if self.node_limit == 0 {
+                DEFAULT_NODE_LIMIT
+            } else {
+                self.node_limit
+            },
+            threads: resolve_threads(self.threads),
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -133,10 +170,14 @@ pub enum Verdict {
     /// The node budget was exhausted before an answer — the result is
     /// **inconclusive**, not a proof.
     LimitReached,
+    /// The run was cancelled (explicit cancel or deadline expiry on
+    /// [`SymbolicOptions::cancel`]) before an answer — inconclusive,
+    /// like `LimitReached`.
+    Cancelled,
 }
 
 /// The verdict together with the search counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VerifyOutcome {
     /// The answer. Deterministic: byte-identical for every `threads`
     /// setting.
@@ -169,6 +210,7 @@ pub fn verify_ltl(
     property: &Property,
     opts: &SymbolicOptions,
 ) -> Result<VerifyOutcome, SymbolicError> {
+    let opts = opts.normalized();
     if property.classify() != TemporalClass::Ltl {
         return Err(SymbolicError::NotLtl);
     }
@@ -261,15 +303,17 @@ pub fn verify_ltl(
         }
     }
 
-    // Phase 1 (optional): parallel frontier warming of the memo.
-    let threads = resolve_threads(opts.threads);
+    // Phase 1 (optional): parallel frontier warming of the memo. The
+    // cancel token bounds the warming rounds too — a deadline must not be
+    // spent entirely inside the cache warmer.
+    let threads = opts.threads;
     let mut memo: HashMap<SymConfig, SuccPairs> = HashMap::new();
     let mut frontier_wall = Duration::ZERO;
     let mut peak_frontier = 0usize;
     if threads > 1 {
         let t0 = Instant::now();
         let seeds: Vec<SymConfig> = inits.iter().map(|(c, _)| c.clone()).collect();
-        (memo, peak_frontier) = warm_memo(seeds, &expand, threads, opts.node_limit);
+        (memo, peak_frontier) = warm_memo(seeds, &expand, threads, opts.node_limit, &opts.cancel);
         frontier_wall = t0.elapsed();
     }
 
@@ -300,11 +344,12 @@ pub fn verify_ltl(
         }
         out
     };
-    let (result, mut stats) = find_accepting_lasso_stats(
+    let (result, mut stats) = find_accepting_lasso_stats_with(
         inits,
         succ,
         |(_, q)| aut.accepting[*q],
         Some(opts.node_limit),
+        &opts.cancel,
     );
     stats.frontier_wall = frontier_wall;
     stats.peak_frontier = stats.peak_frontier.max(peak_frontier);
@@ -317,6 +362,7 @@ pub fn verify_ltl(
             cycle: cycle.iter().map(|(c, _)| c.render(&ctable)).collect(),
         },
         SearchResult::LimitReached { .. } => Verdict::LimitReached,
+        SearchResult::Cancelled => Verdict::Cancelled,
     };
     Ok(VerifyOutcome { verdict, stats })
 }
@@ -334,6 +380,7 @@ fn warm_memo(
     expand: &(impl Fn(&SymConfig) -> SuccPairs + Sync),
     threads: usize,
     node_limit: usize,
+    cancel: &CancelToken,
 ) -> (HashMap<SymConfig, SuccPairs>, usize) {
     const SHARDS: usize = 64;
     let claimed: Vec<Mutex<HashSet<SymConfig>>> =
@@ -347,7 +394,7 @@ fn warm_memo(
     let mut memo: HashMap<SymConfig, SuccPairs> = HashMap::new();
     let mut frontier = seeds;
     let mut peak = 0usize;
-    while !frontier.is_empty() && memo.len() < node_limit {
+    while !frontier.is_empty() && memo.len() < node_limit && !cancel.is_cancelled() {
         peak = peak.max(frontier.len());
         let chunk = frontier.len().div_ceil(threads);
         let results: Vec<Vec<(SymConfig, SuccPairs)>> = std::thread::scope(|scope| {
@@ -435,6 +482,7 @@ pub fn is_error_free(
     service: &Service,
     opts: &SymbolicOptions,
 ) -> Result<VerifyOutcome, SymbolicError> {
+    let opts = opts.normalized();
     let violations = classify::input_bounded_violations(service);
     if !violations.is_empty() {
         return Err(SymbolicError::ServiceNotInputBounded(violations));
@@ -443,7 +491,7 @@ pub fn is_error_free(
         wave_logic::temporal::TFormula::fo(wave_logic::formula::Formula::True),
     ));
     let ctable = CTable::build(service, &property);
-    let threads = resolve_threads(opts.threads);
+    let threads = opts.threads;
     let t0 = Instant::now();
 
     let mut interner: Interner<SymConfig> = Interner::new();
@@ -494,6 +542,12 @@ pub fn is_error_free(
     }
 
     while !frontier.is_empty() {
+        if opts.cancel.is_cancelled() {
+            return Ok(VerifyOutcome {
+                verdict: Verdict::Cancelled,
+                stats: stats(&interner, expanded, peak),
+            });
+        }
         if interner.len() > opts.node_limit {
             return Ok(VerifyOutcome {
                 verdict: Verdict::LimitReached,
@@ -730,6 +784,75 @@ mod tests {
         // And for error-freeness reachability.
         let ef = is_error_free(&s, &opts).unwrap();
         assert_eq!(ef.verdict, Verdict::LimitReached, "{ef:?}");
+    }
+
+    #[test]
+    fn zero_node_limit_normalizes_to_default_budget() {
+        // Regression: a literal zero budget used to report LimitReached
+        // before interning a single node. `0` now means "default budget".
+        let s = toggle();
+        let p = parse_property("G (P | Q)").unwrap();
+        let opts = SymbolicOptions {
+            node_limit: 0,
+            ..SymbolicOptions::default()
+        };
+        let out = verify_ltl(&s, &p, &opts).unwrap();
+        assert!(out.holds(), "{out:?}");
+        let ef = is_error_free(&s, &opts).unwrap();
+        assert!(ef.holds(), "{ef:?}");
+        assert_eq!(opts.normalized().node_limit, DEFAULT_NODE_LIMIT);
+    }
+
+    #[test]
+    fn zero_threads_normalizes_to_available_cores() {
+        // Regression: `threads: 0` means one worker per core, and must
+        // produce the same verdict as the sequential default.
+        let s = toggle();
+        let p = parse_property("G (P | Q)").unwrap();
+        let opts = SymbolicOptions {
+            threads: 0,
+            ..SymbolicOptions::default()
+        };
+        assert!(opts.normalized().threads >= 1);
+        let out = verify_ltl(&s, &p, &opts).unwrap();
+        let base = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert_eq!(out.verdict, base.verdict);
+    }
+
+    #[test]
+    fn cancelled_token_yields_cancelled_verdict() {
+        let s = toggle();
+        let p = parse_property("G (P | Q)").unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let opts = SymbolicOptions {
+            cancel,
+            ..SymbolicOptions::default()
+        };
+        let out = verify_ltl(&s, &p, &opts).unwrap();
+        assert_eq!(out.verdict, Verdict::Cancelled, "{out:?}");
+        let ef = is_error_free(&s, &opts).unwrap();
+        assert_eq!(ef.verdict, Verdict::Cancelled, "{ef:?}");
+    }
+
+    #[test]
+    fn expired_deadline_yields_cancelled_verdict() {
+        let s = login();
+        let p = parse_property("G (!CP | logged_in)").unwrap();
+        let opts = SymbolicOptions {
+            cancel: CancelToken::with_deadline(Duration::ZERO),
+            ..SymbolicOptions::default()
+        };
+        let out = verify_ltl(&s, &p, &opts).unwrap();
+        assert_eq!(out.verdict, Verdict::Cancelled, "{out:?}");
+        // A parallel run must respect the deadline too (warm phase).
+        let opts2 = SymbolicOptions {
+            cancel: CancelToken::with_deadline(Duration::ZERO),
+            threads: 2,
+            ..SymbolicOptions::default()
+        };
+        let out2 = verify_ltl(&s, &p, &opts2).unwrap();
+        assert_eq!(out2.verdict, Verdict::Cancelled, "{out2:?}");
     }
 
     #[test]

@@ -75,7 +75,8 @@ fn agree(service: &Service, prop_src: &str) {
                      but the symbolic verifier says it holds"
                 );
             }
-            wave::verifier::enumerative::EnumOutcome::LimitReached => {}
+            wave::verifier::enumerative::EnumOutcome::LimitReached
+            | wave::verifier::enumerative::EnumOutcome::Cancelled => {}
         }
     }
     if sym.holds() {

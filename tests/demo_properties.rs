@@ -84,6 +84,7 @@ fn property_one_on_the_concrete_site() {
         &EnumOptions {
             fresh_values: 0,
             node_limit: 400_000,
+            ..EnumOptions::default()
         },
     )
     .unwrap();
@@ -130,6 +131,7 @@ fn full_site_is_not_error_free_but_sessions_are() {
         &EnumOptions {
             fresh_values: 0,
             node_limit: 300_000,
+            ..EnumOptions::default()
         },
     )
     .unwrap();
