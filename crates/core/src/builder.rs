@@ -30,10 +30,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use wave_logic::parser::{parse_fo, ParseError};
+use wave_logic::parser::{parse_fo_spanned, ParseError};
 use wave_logic::schema::{ConstKind, RelKind, Schema, SchemaError};
 
 use crate::page::Page;
+use crate::provenance::ServiceSources;
 use crate::rules::{ActionRule, InputRule, StateRule, TargetRule};
 use crate::service::{Service, ValidationError};
 
@@ -87,6 +88,7 @@ pub struct ServiceBuilder {
     error_page: String,
     current: Option<String>,
     errors: Vec<BuildError>,
+    sources: ServiceSources,
 }
 
 impl ServiceBuilder {
@@ -101,6 +103,7 @@ impl ServiceBuilder {
             error_page: "__error__".into(),
             current: None,
             errors: Vec::new(),
+            sources: ServiceSources::new(),
         }
     }
 
@@ -196,10 +199,13 @@ impl ServiceBuilder {
     }
 
     fn parse(&mut self, rule: &str, vars: &[&str], src: &str) -> Option<wave_logic::Formula> {
-        match parse_fo(src, vars) {
-            Ok(f) => Some(f),
+        let page = self.current.clone().unwrap_or_default();
+        match parse_fo_spanned(src, vars) {
+            Ok((f, spans)) => {
+                self.sources.record(&page, rule, src, spans);
+                Some(f)
+            }
             Err(err) => {
-                let page = self.current.clone().unwrap_or_default();
                 self.errors.push(BuildError::Parse {
                     page,
                     rule: rule.into(),
@@ -322,6 +328,17 @@ impl ServiceBuilder {
             Err(errors)
         }
     }
+
+    /// Like [`Self::build`], but also returns the rule sources recorded
+    /// during parsing, for span-carrying diagnostics.
+    pub fn build_with_sources(&self) -> Result<(Service, ServiceSources), Vec<BuildError>> {
+        self.build().map(|s| (s, self.sources.clone()))
+    }
+
+    /// The rule sources recorded so far (also available on build failure).
+    pub fn sources(&self) -> &ServiceSources {
+        &self.sources
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +367,32 @@ mod tests {
         let s = b.build().unwrap();
         assert_eq!(s.home, "HP");
         assert!(s.page("HP").unwrap().input_rule("button").is_some());
+    }
+
+    #[test]
+    fn sources_recorded_per_rule() {
+        let mut b = ServiceBuilder::new("HP");
+        b.database_relation("user", 2)
+            .input_relation("button", 1)
+            .state_prop("logged_in")
+            .input_constant("name")
+            .input_constant("password")
+            .page("HP")
+            .solicit_constant("name")
+            .solicit_constant("password")
+            .input_rule("button", &["x"], r#"x = "login""#)
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            );
+        let (_, sources) = b.build_with_sources().unwrap();
+        assert_eq!(sources.len(), 2);
+        let src = sources.rule("HP", "+logged_in").unwrap();
+        assert_eq!(src.text, r#"user(name, password) & button("login")"#);
+        let span = src.spans.atom_span("user").unwrap();
+        assert_eq!(src.snippet(span), "user(name, password)");
+        assert!(sources.rule("HP", "Options_button").is_some());
     }
 
     #[test]

@@ -36,6 +36,19 @@ pub enum ServiceClass {
     Unrestricted,
 }
 
+impl ServiceClass {
+    /// Stable machine-readable name, used on the wire and in JSON
+    /// diagnostics (snake_case, never localized).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            ServiceClass::FullyPropositional => "fully_propositional",
+            ServiceClass::Propositional => "propositional",
+            ServiceClass::InputBounded => "input_bounded",
+            ServiceClass::Unrestricted => "unrestricted",
+        }
+    }
+}
+
 impl fmt::Display for ServiceClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

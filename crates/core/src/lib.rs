@@ -31,6 +31,7 @@ pub mod builder;
 pub mod classify;
 pub mod fingerprint;
 pub mod page;
+pub mod provenance;
 pub mod rules;
 pub mod run;
 pub mod service;
@@ -38,6 +39,7 @@ pub mod service;
 pub use builder::ServiceBuilder;
 pub use classify::{ServiceClass, ServiceClassification};
 pub use page::Page;
+pub use provenance::{RuleSource, ServiceSources};
 pub use rules::{ActionRule, InputRule, StateRule, TargetRule};
 pub use run::{Config, InputChoice, Runner, StepError};
 pub use service::{Service, ValidationError};

@@ -1,0 +1,95 @@
+//! Source provenance for built services.
+//!
+//! [`crate::builder::ServiceBuilder`] parses rule bodies from text; this
+//! module keeps that text (and the parser's [`SpanTable`]) around, keyed
+//! by `(page, rule_label)` — the same labels
+//! [`crate::classify::input_bounded_violations`] tags violations with
+//! (`Options_<rel>`, `+<rel>`, `-<rel>`, the action relation name,
+//! `target <page>`). Diagnostics can then point back into the exact rule
+//! text a formula came from, without the `Service` itself (or its
+//! fingerprint) carrying any source information.
+
+use std::collections::BTreeMap;
+
+use wave_logic::span::{Span, SpanTable};
+
+/// The source text of one rule body plus the spans of its parsed nodes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleSource {
+    /// The rule body exactly as handed to the builder.
+    pub text: String,
+    /// Byte spans of atoms, equalities and quantifiers within `text`.
+    pub spans: SpanTable,
+}
+
+impl RuleSource {
+    /// The source text a span covers.
+    pub fn snippet(&self, span: Span) -> &str {
+        span.snippet(&self.text)
+    }
+}
+
+/// All rule sources of a service, keyed by `(page, rule_label)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSources {
+    rules: BTreeMap<(String, String), RuleSource>,
+}
+
+impl ServiceSources {
+    /// An empty source map.
+    pub fn new() -> ServiceSources {
+        ServiceSources::default()
+    }
+
+    /// Records the source of one rule. Re-recording the same key keeps
+    /// the latest text (matching builder semantics, where a later call
+    /// overwrites an insert/delete body).
+    pub fn record(&mut self, page: &str, rule: &str, text: &str, spans: SpanTable) {
+        self.rules.insert(
+            (page.to_string(), rule.to_string()),
+            RuleSource {
+                text: text.to_string(),
+                spans,
+            },
+        );
+    }
+
+    /// Looks up the source of `(page, rule_label)`.
+    pub fn rule(&self, page: &str, rule: &str) -> Option<&RuleSource> {
+        self.rules.get(&(page.to_string(), rule.to_string()))
+    }
+
+    /// Iterates over `((page, rule_label), source)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &RuleSource)> {
+        self.rules.iter()
+    }
+
+    /// Number of recorded rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rule has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut s = ServiceSources::new();
+        s.record("HP", "+logged_in", "user(name, password)", SpanTable::new());
+        assert_eq!(s.len(), 1);
+        let r = s.rule("HP", "+logged_in").unwrap();
+        assert_eq!(r.text, "user(name, password)");
+        assert!(s.rule("HP", "-logged_in").is_none());
+        // re-recording overwrites
+        s.record("HP", "+logged_in", "true", SpanTable::new());
+        assert_eq!(s.rule("HP", "+logged_in").unwrap().text, "true");
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -33,10 +33,25 @@
 //! | DCP | deletion confirmation |
 
 use wave_core::builder::ServiceBuilder;
+use wave_core::provenance::ServiceSources;
 use wave_core::service::Service;
 
 /// Builds the full Figure 2 site.
 pub fn full_site() -> Service {
+    full_site_builder()
+        .build()
+        .expect("the Figure 2 site must validate")
+}
+
+/// [`full_site`] plus the rule sources recorded during parsing, for
+/// span-carrying diagnostics (`wave-lint`).
+pub fn full_site_with_sources() -> (Service, ServiceSources) {
+    full_site_builder()
+        .build_with_sources()
+        .expect("the Figure 2 site must validate")
+}
+
+fn full_site_builder() -> ServiceBuilder {
     let mut b = ServiceBuilder::new("HP");
     // ---- database schema (see `catalog`) ----
     b.database_relation("user", 2)
@@ -331,7 +346,7 @@ pub fn full_site() -> Service {
         .target("VOP", r#"button("back")"#)
         .target("HP", r#"button("logout")"#);
 
-    b.build().expect("the Figure 2 site must validate")
+    b
 }
 
 /// A trimmed, fast-to-verify *checkout core*: CP → UPP → COP with a
@@ -339,6 +354,19 @@ pub fn full_site() -> Service {
 /// site is also input-bounded, but its symbol set makes the PSPACE search
 /// expensive; see EXPERIMENTS.md).
 pub fn checkout_core() -> Service {
+    checkout_core_builder()
+        .build()
+        .expect("checkout core must validate")
+}
+
+/// [`checkout_core`] plus recorded rule sources.
+pub fn checkout_core_with_sources() -> (Service, ServiceSources) {
+    checkout_core_builder()
+        .build_with_sources()
+        .expect("checkout core must validate")
+}
+
+fn checkout_core_builder() -> ServiceBuilder {
     let mut b = ServiceBuilder::new("CP");
     b.database_relation("prod_prices", 2)
         .input_relation("button", 1)
@@ -373,7 +401,7 @@ pub fn checkout_core() -> Service {
         .input_rule("button", &["x"], r#"x = "continue""#)
         .target("CP", r#"button("continue")"#);
 
-    b.build().expect("checkout core must validate")
+    b
 }
 
 /// The propositional navigation abstraction of Example 4.3: the same page
@@ -382,6 +410,19 @@ pub fn checkout_core() -> Service {
 /// reachable), states propositional. Suitable for the Theorem 4.4 / 4.6
 /// verifiers.
 pub fn navigation_abstraction() -> Service {
+    navigation_abstraction_builder()
+        .build()
+        .expect("navigation abstraction must validate")
+}
+
+/// [`navigation_abstraction`] plus recorded rule sources.
+pub fn navigation_abstraction_with_sources() -> (Service, ServiceSources) {
+    navigation_abstraction_builder()
+        .build_with_sources()
+        .expect("navigation abstraction must validate")
+}
+
+fn navigation_abstraction_builder() -> ServiceBuilder {
     let mut b = ServiceBuilder::new("HP");
     b.input_relation("button", 1)
         .input_relation("lookup_ok", 0)
@@ -468,7 +509,7 @@ pub fn navigation_abstraction() -> Service {
         .target("CP", r#"button("continue")"#)
         .target("HP", r#"button("logout")"#);
 
-    b.build().expect("navigation abstraction must validate")
+    b
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! The diagnostic data model: stable `W0xx` codes, severities, a primary
+//! span with labeled secondary spans, notes, and suggested rewrites.
+//!
+//! Codes are stable identifiers: tools may match on them, so a code is
+//! never reused for a different condition. See [`codes::TABLE`] for the
+//! full registry.
+
+use std::fmt;
+
+use wave_logic::span::Span;
+
+/// The stable code registry. One entry per diagnostic the analyzer can
+/// produce; the table is what DESIGN.md §8 documents.
+pub mod codes {
+    /// Atom over a relation the schema does not declare.
+    pub const UNDECLARED_RELATION: &str = "W001";
+    /// Atom arity disagrees with the schema.
+    pub const ARITY_MISMATCH: &str = "W002";
+    /// Named constant not declared by the schema.
+    pub const UNDECLARED_CONSTANT: &str = "W003";
+    /// Quantifier without an input/prev-input guard (Theorem 3.7).
+    pub const UNGUARDED_QUANTIFIER: &str = "W004";
+    /// Guard atom does not cover every quantified variable (Theorem 3.7).
+    pub const GUARD_MISSING_VARS: &str = "W005";
+    /// State/action atom captures an input-bounded variable (Theorem 3.8).
+    pub const STATE_ATOM_CAPTURES_VAR: &str = "W006";
+    /// Input-option rule is not an ∃FO formula (Theorem 3.9).
+    pub const INPUT_RULE_NOT_EXISTENTIAL: &str = "W007";
+    /// Input-option rule contains a non-ground state atom (Theorem 3.9).
+    pub const INPUT_RULE_STATE_NOT_GROUND: &str = "W008";
+    /// State relation written but never read by any rule body.
+    pub const STATE_NEVER_READ: &str = "W010";
+    /// State relation read but never written: its atoms are always false.
+    pub const STATE_NEVER_WRITTEN: &str = "W011";
+    /// Page unreachable from the home page via target rules.
+    pub const UNREACHABLE_PAGE: &str = "W012";
+    /// Quantifier-free guard that is trivially unsatisfiable.
+    pub const UNSATISFIABLE_GUARD: &str = "W013";
+    /// Property vocabulary absent from the service schema.
+    pub const PROPERTY_UNKNOWN_SYMBOL: &str = "W014";
+    /// Property atom arity disagrees with the service schema.
+    pub const PROPERTY_ARITY_MISMATCH: &str = "W015";
+    /// Property not input-bounded although the service is.
+    pub const PROPERTY_NOT_BOUNDED: &str = "W016";
+    /// Classification summary: class and selected decision procedure.
+    pub const CLASSIFICATION: &str = "W020";
+    /// Why the service is not propositional (Theorem 4.4 blame).
+    pub const WHY_NOT_PROPOSITIONAL: &str = "W021";
+    /// Why the service is not fully propositional (Theorem 4.6 blame).
+    pub const WHY_NOT_FULLY_PROPOSITIONAL: &str = "W022";
+
+    /// `(code, one-line description)` for every registered code.
+    pub const TABLE: &[(&str, &str)] = &[
+        (UNDECLARED_RELATION, "atom over an undeclared relation"),
+        (ARITY_MISMATCH, "atom arity disagrees with the schema"),
+        (UNDECLARED_CONSTANT, "undeclared named constant"),
+        (
+            UNGUARDED_QUANTIFIER,
+            "quantifier without an input/prev-input guard (Thm 3.7)",
+        ),
+        (
+            GUARD_MISSING_VARS,
+            "guard does not cover every quantified variable (Thm 3.7)",
+        ),
+        (
+            STATE_ATOM_CAPTURES_VAR,
+            "state/action atom captures a bound variable (Thm 3.8)",
+        ),
+        (
+            INPUT_RULE_NOT_EXISTENTIAL,
+            "input rule is not an \u{2203}FO formula (Thm 3.9)",
+        ),
+        (
+            INPUT_RULE_STATE_NOT_GROUND,
+            "non-ground state atom in an input rule (Thm 3.9)",
+        ),
+        (STATE_NEVER_READ, "state relation written but never read"),
+        (STATE_NEVER_WRITTEN, "state relation read but never written"),
+        (UNREACHABLE_PAGE, "page unreachable from the home page"),
+        (
+            UNSATISFIABLE_GUARD,
+            "trivially unsatisfiable quantifier-free guard",
+        ),
+        (
+            PROPERTY_UNKNOWN_SYMBOL,
+            "property symbol absent from the service schema",
+        ),
+        (
+            PROPERTY_ARITY_MISMATCH,
+            "property atom arity disagrees with the schema",
+        ),
+        (
+            PROPERTY_NOT_BOUNDED,
+            "property not input-bounded although the service is",
+        ),
+        (CLASSIFICATION, "decidable-class classification summary"),
+        (
+            WHY_NOT_PROPOSITIONAL,
+            "why the service is outside the propositional class",
+        ),
+        (
+            WHY_NOT_FULLY_PROPOSITIONAL,
+            "why the service is outside the fully propositional class",
+        ),
+    ];
+}
+
+/// How serious a diagnostic is. `Error` gates admission; `Warning` and
+/// `Note` are informational.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The service (or property) is outside the decidable fragment or
+    /// malformed; verification will be refused.
+    Error,
+    /// Suspicious but admissible.
+    Warning,
+    /// Purely informational (classification summaries).
+    Note,
+}
+
+impl Severity {
+    /// Stable lower-case name (used in JSON and human output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A labeled secondary span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Label {
+    /// Byte range within the rule's source text.
+    pub span: Span,
+    /// What this range shows.
+    pub message: String,
+}
+
+/// One finding: a coded, located, explained problem (or observation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    /// Error / warning / note.
+    pub severity: Severity,
+    /// One-line description of the finding.
+    pub message: String,
+    /// Page the finding is on (empty for service-level findings).
+    pub page: String,
+    /// Rule label (`Options_<rel>`, `+<rel>`, `-<rel>`, action name,
+    /// `target <page>`); empty for page- or service-level findings.
+    pub rule: String,
+    /// Primary byte range within the rule's source text, when known.
+    pub span: Option<Span>,
+    /// Labeled secondary spans.
+    pub labels: Vec<Label>,
+    /// Longer explanations (paper references, consequences).
+    pub notes: Vec<String>,
+    /// A suggested rewrite that would fix the finding.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no location.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            page: String::new(),
+            rule: String::new(),
+            span: None,
+            labels: Vec::new(),
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Shorthand for an error.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    /// Shorthand for a warning.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    /// Shorthand for a note.
+    pub fn note(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Note, message)
+    }
+
+    /// Attaches the `(page, rule)` context.
+    pub fn at(mut self, page: impl Into<String>, rule: impl Into<String>) -> Diagnostic {
+        self.page = page.into();
+        self.rule = rule.into();
+        self
+    }
+
+    /// Sets the primary span.
+    pub fn with_span(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    /// Adds a labeled secondary span.
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Adds an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Sets the suggested rewrite.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut prev = "";
+        for (code, desc) in codes::TABLE {
+            assert!(seen.insert(*code), "duplicate code {code}");
+            assert!(*code > prev, "table out of order at {code}");
+            assert!(!desc.is_empty());
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn builder_chain() {
+        let d = Diagnostic::error(codes::UNGUARDED_QUANTIFIER, "boom")
+            .at("P", "+s")
+            .with_span(Some(Span::new(0, 5)))
+            .with_label(Span::new(2, 3), "here")
+            .with_note("why")
+            .with_suggestion("fix");
+        assert_eq!(d.code, "W004");
+        assert_eq!(d.severity.as_str(), "error");
+        assert_eq!((d.page.as_str(), d.rule.as_str()), ("P", "+s"));
+        assert_eq!(d.labels.len(), 1);
+        assert_eq!(d.notes, vec!["why"]);
+        assert_eq!(d.suggestion.as_deref(), Some("fix"));
+    }
+}

@@ -1,0 +1,69 @@
+//! A minimal deterministic JSON emitter for machine-readable reports.
+//!
+//! `wave-lint` cannot reuse `wave-serve`'s JSON module (the service
+//! depends on the verifier, which depends on this crate), so diagnostics
+//! carry their own tiny emitter. Output is deterministic by
+//! construction: objects are written in the order fields are pushed,
+//! numbers are plain integers, and string escaping is the minimal JSON
+//! set — so golden tests can compare bytes.
+
+use std::fmt::Write;
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, control characters use
+/// `\n`/`\r`/`\t` or `\u00XX`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON string value (escaped, with quotes).
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A JSON array from pre-encoded element values.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// A JSON object from `(key, pre-encoded value)` pairs, in order.
+pub fn object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape(k), v))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn composition_is_deterministic() {
+        let o = object(&[("b", "1".into()), ("a", array(&[string("x"), "2".into()]))]);
+        assert_eq!(o, r#"{"b":1,"a":["x",2]}"#);
+    }
+}

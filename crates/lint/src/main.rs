@@ -1,0 +1,121 @@
+//! The `wave-lint` binary.
+//!
+//! ```text
+//! wave-lint demo [--json]                      lint every demo service
+//! wave-lint --service NAME [--json]            lint one demo service
+//!           [--property TEXT | --property-file FILE]
+//! wave-lint --codes                            print the code table
+//! ```
+//!
+//! Exit status: 0 — no errors; 1 — at least one error-severity
+//! diagnostic; 2 — usage or input failure.
+
+use std::process::ExitCode;
+
+use wave_core::provenance::ServiceSources;
+use wave_core::service::Service;
+use wave_lint::{codes, lint};
+use wave_logic::parser::parse_property;
+use wave_logic::temporal::Property;
+
+const SERVICES: &[&str] = &["full_site", "checkout_core", "navigation"];
+
+fn resolve(name: &str) -> Option<(Service, ServiceSources)> {
+    match name {
+        "full_site" => Some(wave_demo::site::full_site_with_sources()),
+        "checkout_core" => Some(wave_demo::site::checkout_core_with_sources()),
+        "navigation" => Some(wave_demo::site::navigation_abstraction_with_sources()),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: wave-lint demo [--json]");
+    eprintln!("       wave-lint --service NAME [--json]");
+    eprintln!("                 [--property TEXT | --property-file FILE]");
+    eprintln!("       wave-lint --codes");
+    eprintln!("services: {}", SERVICES.join(", "));
+    ExitCode::from(2)
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--codes") {
+        for (code, desc) in codes::TABLE {
+            println!("{code}  {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let json = args.iter().any(|a| a == "--json");
+
+    let property = match load_property(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let targets: Vec<&str> = if args.first().map(String::as_str) == Some("demo") {
+        SERVICES.to_vec()
+    } else if let Some(name) = flag(&args, "--service") {
+        match resolve(name) {
+            Some(_) => vec![SERVICES.iter().copied().find(|s| *s == name).unwrap()],
+            None => {
+                eprintln!(
+                    "error: unknown service `{name}` (try: {})",
+                    SERVICES.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        return usage();
+    };
+
+    let mut any_errors = false;
+    let mut json_parts = Vec::new();
+    for name in &targets {
+        let (service, sources) = resolve(name).expect("listed service resolves");
+        let report = lint(&service, Some(&sources), property.as_ref());
+        any_errors |= report.has_errors();
+        if json {
+            json_parts.push(format!(
+                "{{\"service\":\"{name}\",\"report\":{}}}",
+                report.to_json()
+            ));
+        } else {
+            println!("== {name} ==");
+            print!("{}", report.render_human(Some(&sources)));
+            println!();
+        }
+    }
+    if json {
+        println!("[{}]", json_parts.join(","));
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_property(args: &[String]) -> Result<Option<Property>, String> {
+    let text = if let Some(t) = flag(args, "--property") {
+        t.to_string()
+    } else if let Some(path) = flag(args, "--property-file") {
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+    } else {
+        return Ok(None);
+    };
+    parse_property(text.trim())
+        .map(Some)
+        .map_err(|e| format!("property: {e}"))
+}

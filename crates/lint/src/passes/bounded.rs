@@ -1,0 +1,157 @@
+//! Pass 1 — input-boundedness with per-violation blame.
+//!
+//! Maps every [`BoundedError`] reported by
+//! [`wave_core::classify::input_bounded_violations`] to a span-carrying
+//! diagnostic: which quantifier, which guard, which captured state atom —
+//! and the guarded rewrite the paper's Section 3 discipline requires.
+//! Theorems 3.7–3.9 are cited on the matching codes: each shows that
+//! relaxing that one restriction makes verification undecidable.
+
+use wave_core::classify::input_bounded_violations;
+use wave_core::provenance::{RuleSource, ServiceSources};
+use wave_core::service::Service;
+use wave_logic::bounded::BoundedError;
+use wave_logic::span::Span;
+
+use crate::diag::{codes, Diagnostic};
+
+/// Runs the pass, appending one diagnostic per violation.
+pub fn run(service: &Service, sources: Option<&ServiceSources>, out: &mut Vec<Diagnostic>) {
+    for (page, rule, err) in input_bounded_violations(service) {
+        let src = sources.and_then(|s| s.rule(&page, &rule));
+        out.push(blame(service, &page, &rule, &err, src));
+    }
+}
+
+/// The whole-rule span, when sources are available.
+fn rule_span(src: Option<&RuleSource>) -> Option<Span> {
+    src.map(|s| Span::new(0, s.text.len()))
+}
+
+/// A plausible guard relation to name in rewrite suggestions: the first
+/// relational input the page solicits, or a placeholder.
+fn guard_candidate(service: &Service, page: &str) -> String {
+    service
+        .pages
+        .get(page)
+        .and_then(|p| p.inputs.first().cloned())
+        .unwrap_or_else(|| "I".into())
+}
+
+fn blame(
+    service: &Service,
+    page: &str,
+    rule: &str,
+    err: &BoundedError,
+    src: Option<&RuleSource>,
+) -> Diagnostic {
+    let d = match err {
+        BoundedError::UnknownRelation(r) => Diagnostic::error(
+            codes::UNDECLARED_RELATION,
+            format!("atom over undeclared relation `{r}`"),
+        )
+        .with_span(src.and_then(|s| s.spans.atom_span(r)))
+        .with_note(
+            "every atom must use a declared relation before the \
+                 input-boundedness discipline can even be checked",
+        ),
+        BoundedError::UnguardedQuantifier { vars } => {
+            let g = guard_candidate(service, page);
+            let vs = vars.join(", ");
+            Diagnostic::error(
+                codes::UNGUARDED_QUANTIFIER,
+                format!("quantifier over {{{vs}}} has no input or prev-input guard atom"),
+            )
+            .with_span(src.and_then(|s| s.spans.quantifier_span(vars)))
+            .with_note(
+                "input-bounded quantification (\u{00a7}3) only admits \
+                 \u{2203}x\u{0304}(\u{03b1} \u{2227} \u{03c6}) and \
+                 \u{2200}x\u{0304}(\u{03b1} \u{2192} \u{03c6}) where \u{03b1} is an \
+                 input or prev-input atom covering x\u{0304}",
+            )
+            .with_note(
+                "Theorem 3.7: with unrestricted quantification, verification \
+                 of LTL-FO properties is undecidable",
+            )
+            .with_suggestion(format!(
+                "guard the quantifier with an input atom covering its variables, \
+                 e.g. `exists {vs} . ({g}({vs}) & \u{2026})` or \
+                 `forall {vs} . ({g}({vs}) -> \u{2026})`"
+            ))
+        }
+        BoundedError::GuardMissingVars { guard, missing } => {
+            let ms = missing.join(", ");
+            let mut d = Diagnostic::error(
+                codes::GUARD_MISSING_VARS,
+                format!("guard `{guard}` does not cover quantified variable(s) {{{ms}}}"),
+            )
+            .with_span(src.and_then(|s| s.spans.atom_span(guard)))
+            .with_note(
+                "the guard atom \u{03b1} must mention every quantified variable \
+                 (x\u{0304} \u{2286} free(\u{03b1}), \u{00a7}3); Theorem 3.7 makes \
+                 the relaxed form undecidable",
+            )
+            .with_suggestion(format!(
+                "extend the guard so `{guard}` mentions {{{ms}}}, or split the \
+                 quantifier so each block is covered by its own input atom"
+            ));
+            if let Some(q) = src.and_then(|s| s.spans.quantifier_span(missing)) {
+                d = d.with_label(q, "quantifier introduced here");
+            }
+            d
+        }
+        BoundedError::StateAtomUsesBoundVar { rel, var } => {
+            let mut d = Diagnostic::error(
+                codes::STATE_ATOM_CAPTURES_VAR,
+                format!("state/action atom `{rel}` captures input-bounded variable `{var}`"),
+            )
+            .with_span(src.and_then(|s| s.spans.atom_with_var_span(rel, var)))
+            .with_note(
+                "input-bounded variables may not occur in state or action atoms \
+                 (x\u{0304} \u{2229} free(\u{03b3}) = \u{2205}, \u{00a7}3)",
+            )
+            .with_note(
+                "Theorem 3.8: allowing state atoms over quantified variables \
+                 makes verification undecidable",
+            )
+            .with_suggestion(format!(
+                "keep `{var}` out of `{rel}`: materialize the needed value into \
+                 `{rel}` through its own input-guarded state rule, or ground the \
+                 atom's argument with a named constant"
+            ));
+            if let Some(q) = src.and_then(|s| s.spans.quantifier_span(std::slice::from_ref(var))) {
+                d = d.with_label(q, format!("`{var}` bound here"));
+            }
+            d
+        }
+        BoundedError::InputRuleNotExistential => Diagnostic::error(
+            codes::INPUT_RULE_NOT_EXISTENTIAL,
+            "input-option rule is not an \u{2203}FO formula".to_string(),
+        )
+        .with_span(rule_span(src))
+        .with_note(
+            "Options rules must be built from atoms, \u{2227}, \u{2228}, \u{00ac} \
+             and \u{2203} only (\u{00a7}3); Theorem 3.9: beyond \u{2203}FO, \
+             verification is undecidable",
+        )
+        .with_suggestion(
+            "remove universal quantification from the rule; if the condition is \
+             genuinely universal, move it into a state rule and read the \
+             resulting proposition here",
+        ),
+        BoundedError::InputRuleStateAtomNotGround { rel } => Diagnostic::error(
+            codes::INPUT_RULE_STATE_NOT_GROUND,
+            format!("input-option rule uses non-ground state atom `{rel}`"),
+        )
+        .with_span(src.and_then(|s| s.spans.atom_span(rel)))
+        .with_note(
+            "state atoms in Options rules must be ground (\u{00a7}3); \
+             Theorem 3.9: non-ground state atoms make verification undecidable",
+        )
+        .with_suggestion(format!(
+            "replace the variable arguments of `{rel}` with named constants, or \
+             move the join with `{rel}` into a state-update rule"
+        )),
+    };
+    d.at(page, rule)
+}

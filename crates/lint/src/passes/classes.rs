@@ -1,0 +1,120 @@
+//! Pass 2 — decidable-class classification, explained.
+//!
+//! Emits a classification summary (`W020`) naming the class and the
+//! decision procedure the verifier will select, plus per-rule blame for
+//! why the service misses the next-more-restrictive class (`W021`,
+//! `W022`): Theorem 4.4 needs propositional states/actions and no `prev`
+//! atoms; Theorem 4.6 additionally needs propositional inputs, no
+//! database access and no constants.
+
+use wave_core::classify::{ServiceClass, ServiceClassification};
+use wave_core::service::Service;
+use wave_logic::schema::{RelKind, Schema};
+
+use crate::diag::{codes, Diagnostic};
+use crate::passes::labeled_rules;
+
+/// Runs the pass.
+pub fn run(service: &Service, cls: &ServiceClassification, out: &mut Vec<Diagnostic>) {
+    let class = cls.class();
+    out.push(summary(class));
+    match class {
+        ServiceClass::InputBounded => out.push(why_not_propositional(service)),
+        ServiceClass::Propositional => out.push(why_not_fully_propositional(service)),
+        _ => {}
+    }
+}
+
+fn summary(class: ServiceClass) -> Diagnostic {
+    let procedure = match class {
+        ServiceClass::FullyPropositional => {
+            "propositional CTL(*) model checking in PSPACE (Theorem 4.6)"
+        }
+        ServiceClass::Propositional => {
+            "propositional abstraction + CTL(*) model checking (Theorem 4.4)"
+        }
+        ServiceClass::InputBounded => {
+            "symbolic input-bounded LTL-FO search, PSPACE for fixed arity (Theorem 3.5)"
+        }
+        ServiceClass::Unrestricted => {
+            "none — verification is undecidable in general (Theorems 3.7\u{2013}3.9, 4.2)"
+        }
+    };
+    Diagnostic::note(codes::CLASSIFICATION, format!("service is {class}"))
+        .with_note(format!("selected procedure: {procedure}"))
+}
+
+/// Relations of `kind` with positive arity, formatted for a note.
+fn wide_relations(schema: &Schema, kinds: &[RelKind]) -> Vec<String> {
+    schema
+        .relations()
+        .filter(|r| kinds.contains(&r.kind) && r.arity > 0)
+        .map(|r| format!("`{}` (arity {})", r.name, r.arity))
+        .collect()
+}
+
+/// Rules whose body mentions a prev-input atom, as `page/rule — rel`.
+fn prev_atom_uses(service: &Service) -> Vec<String> {
+    let mut uses = Vec::new();
+    for (pname, page) in &service.pages {
+        for (rule, body, _) in labeled_rules(page) {
+            for (rel, _) in body.relations_used() {
+                if service.schema.relation(&rel).map(|r| r.kind) == Some(RelKind::PrevInput) {
+                    uses.push(format!("{pname}/{rule} uses `{rel}`"));
+                }
+            }
+        }
+    }
+    uses
+}
+
+fn why_not_propositional(service: &Service) -> Diagnostic {
+    let mut d = Diagnostic::note(
+        codes::WHY_NOT_PROPOSITIONAL,
+        "outside the propositional class (Theorem 4.4)",
+    );
+    let wide = wide_relations(&service.schema, &[RelKind::State, RelKind::Action]);
+    if !wide.is_empty() {
+        d = d.with_note(format!(
+            "state/action relations must be propositional: {}",
+            wide.join(", ")
+        ));
+    }
+    for u in prev_atom_uses(service) {
+        d = d.with_note(format!("prev-input atoms are not allowed: {u}"));
+    }
+    d
+}
+
+fn why_not_fully_propositional(service: &Service) -> Diagnostic {
+    let mut d = Diagnostic::note(
+        codes::WHY_NOT_FULLY_PROPOSITIONAL,
+        "outside the fully propositional class (Theorem 4.6)",
+    );
+    let wide = wide_relations(&service.schema, &[RelKind::Input]);
+    if !wide.is_empty() {
+        d = d.with_note(format!("inputs must be propositional: {}", wide.join(", ")));
+    }
+    let consts: Vec<String> = service
+        .schema
+        .constants()
+        .map(|(c, _)| format!("`{c}`"))
+        .collect();
+    if !consts.is_empty() {
+        d = d.with_note(format!("no constants are allowed: {}", consts.join(", ")));
+    }
+    let mut db_uses = Vec::new();
+    for (pname, page) in &service.pages {
+        for (rule, body, _) in labeled_rules(page) {
+            for (rel, _) in body.relations_used() {
+                if service.schema.relation(&rel).map(|r| r.kind) == Some(RelKind::Database) {
+                    db_uses.push(format!("{pname}/{rule} reads `{rel}`"));
+                }
+            }
+        }
+    }
+    for u in db_uses {
+        d = d.with_note(format!("database access is not allowed: {u}"));
+    }
+    d
+}

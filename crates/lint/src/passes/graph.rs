@@ -1,0 +1,178 @@
+//! Pass 4 — rule-graph analysis.
+//!
+//! Builds the page/target dependency graph and flags pages unreachable
+//! from the home page (`W012`); evaluates quantifier-free guards under a
+//! three-valued abstraction (relational atoms unknown, literal equality
+//! decided) and flags guards that are false under every database and
+//! input (`W013`).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use wave_core::provenance::ServiceSources;
+use wave_core::service::Service;
+use wave_logic::formula::{Formula, Term};
+use wave_logic::span::Span;
+
+use crate::diag::{codes, Diagnostic};
+use crate::passes::labeled_rules;
+
+/// Runs the pass.
+pub fn run(service: &Service, sources: Option<&ServiceSources>, out: &mut Vec<Diagnostic>) {
+    reachability(service, out);
+    unsat_guards(service, sources, out);
+}
+
+/// BFS over target edges from the home page.
+fn reachability(service: &Service, out: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    if service.pages.contains_key(&service.home) {
+        seen.insert(service.home.as_str());
+        queue.push_back(service.home.as_str());
+    }
+    while let Some(p) = queue.pop_front() {
+        if let Some(page) = service.pages.get(p) {
+            for t in page.targets() {
+                if service.pages.contains_key(t) && seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    for pname in service.pages.keys() {
+        if pname == &service.error_page {
+            continue; // reached implicitly on invalid input
+        }
+        if !seen.contains(pname.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::UNREACHABLE_PAGE,
+                    format!(
+                        "page `{pname}` is unreachable from the home page \
+                         `{}` via target rules",
+                        service.home
+                    ),
+                )
+                .at(pname, "")
+                .with_note(
+                    "no sequence of target-rule transitions reaches this page; \
+                     its rules can never fire in a run from the initial \
+                     configuration",
+                ),
+            );
+        }
+    }
+}
+
+/// Three-valued truth under the abstraction: atoms unknown, literal
+/// (in)equality decided, identical terms equal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+fn tri(f: &Formula) -> Tri {
+    match f {
+        Formula::True => Tri::True,
+        Formula::False => Tri::False,
+        Formula::Rel { .. } => Tri::Unknown,
+        Formula::Eq(a, b) => {
+            if a == b {
+                Tri::True
+            } else if let (Term::Lit(x), Term::Lit(y)) = (a, b) {
+                if x == y {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            } else {
+                Tri::Unknown
+            }
+        }
+        Formula::Not(g) => match tri(g) {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        },
+        Formula::And(fs) => {
+            let mut acc = Tri::True;
+            for g in fs {
+                match tri(g) {
+                    Tri::False => return Tri::False,
+                    Tri::Unknown => acc = Tri::Unknown,
+                    Tri::True => {}
+                }
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let mut acc = Tri::False;
+            for g in fs {
+                match tri(g) {
+                    Tri::True => return Tri::True,
+                    Tri::Unknown => acc = Tri::Unknown,
+                    Tri::False => {}
+                }
+            }
+            acc
+        }
+        Formula::Exists(..) | Formula::Forall(..) => Tri::Unknown,
+    }
+}
+
+fn unsat_guards(service: &Service, sources: Option<&ServiceSources>, out: &mut Vec<Diagnostic>) {
+    for (pname, page) in &service.pages {
+        for (rule, body, _) in labeled_rules(page) {
+            if !body.is_quantifier_free() {
+                continue;
+            }
+            if tri(body) == Tri::False {
+                let span = sources
+                    .and_then(|s| s.rule(pname, &rule))
+                    .map(|s| Span::new(0, s.text.len()));
+                out.push(
+                    Diagnostic::warning(
+                        codes::UNSATISFIABLE_GUARD,
+                        "guard is trivially unsatisfiable: it evaluates to false \
+                         for every database and input",
+                    )
+                    .at(pname, &rule)
+                    .with_span(span)
+                    .with_note(
+                        "decided by a three-valued evaluation that treats every \
+                         relational atom as unknown — the falsehood comes from \
+                         the boolean/equality structure alone",
+                    )
+                    .with_suggestion("remove the rule, or fix the contradictory condition"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_logic::formula::Term;
+
+    #[test]
+    fn tri_decides_literal_contradictions() {
+        // x = "a" & x != "a" is Unknown (x is a variable) …
+        let f = Formula::and([
+            Formula::eq(Term::var("x"), Term::lit("a")),
+            Formula::neq(Term::var("x"), Term::lit("a")),
+        ]);
+        assert_eq!(tri(&f), Tri::Unknown);
+        // … but "a" = "b" is decidedly false,
+        let g = Formula::eq(Term::lit("a"), Term::lit("b"));
+        assert_eq!(tri(&g), Tri::False);
+        // and t != t is decidedly false.
+        let h = Formula::neq(Term::var("x"), Term::var("x"));
+        assert_eq!(tri(&h), Tri::False);
+        // conjunction with an unknown atom keeps a decided False
+        let k = Formula::and([Formula::rel("p", vec![]), g.clone()]);
+        assert_eq!(tri(&k), Tri::False);
+    }
+}

@@ -1,0 +1,41 @@
+//! The analysis passes.
+//!
+//! Each pass appends [`Diagnostic`](crate::diag::Diagnostic)s to a shared
+//! vector; the driver ([`crate::report::lint`]) runs them all, dedups and
+//! sorts. Passes never fail: a service the builder accepted is always
+//! analyzable, and missing provenance merely drops spans from the output.
+
+pub mod bounded;
+pub mod classes;
+pub mod graph;
+pub mod property;
+pub mod vocab;
+
+use wave_core::page::Page;
+use wave_logic::formula::Formula;
+
+/// Iterates every rule body of a page with the rule label scheme shared
+/// with `wave_core::classify::input_bounded_violations` and the builder's
+/// provenance keys: `Options_<rel>`, `+<rel>`, `-<rel>`, the action
+/// relation name, `target <page>`.
+pub(crate) fn labeled_rules(page: &Page) -> Vec<(String, &Formula, &[String])> {
+    let mut out: Vec<(String, &Formula, &[String])> = Vec::new();
+    for r in &page.input_rules {
+        out.push((format!("Options_{}", r.relation), &r.body, &r.vars));
+    }
+    for r in &page.state_rules {
+        if let Some(b) = &r.insert {
+            out.push((format!("+{}", r.relation), b, &r.vars));
+        }
+        if let Some(b) = &r.delete {
+            out.push((format!("-{}", r.relation), b, &r.vars));
+        }
+    }
+    for r in &page.action_rules {
+        out.push((r.relation.clone(), &r.body, &r.vars));
+    }
+    for r in &page.target_rules {
+        out.push((format!("target {}", r.target), &r.body, &[]));
+    }
+    out
+}

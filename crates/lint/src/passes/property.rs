@@ -1,0 +1,102 @@
+//! Pass 5 — property–service vocabulary mismatch.
+//!
+//! A property is verified against a specific service: every relation it
+//! mentions must exist in the service's schema with the right arity
+//! (`W014`, `W015`), and — when the service itself is in a decidable
+//! class — the property must be input-bounded too, or Theorem 3.5 does
+//! not apply (`W016`).
+
+use wave_core::classify::ServiceClass;
+use wave_core::service::Service;
+use wave_logic::temporal::Property;
+
+use crate::diag::{codes, Diagnostic};
+
+/// Runs the pass.
+pub fn run(service: &Service, property: &Property, class: ServiceClass, out: &mut Vec<Diagnostic>) {
+    let schema = &service.schema;
+    for (rel, arity) in property.body.relations_used() {
+        // Page symbols are propositions of the runtime vocabulary
+        // (Definition 2.4) even though the schema does not list them.
+        if service.pages.contains_key(&rel) {
+            if arity != 0 {
+                out.push(
+                    Diagnostic::error(
+                        codes::PROPERTY_ARITY_MISMATCH,
+                        format!(
+                            "property atom `{rel}` has {arity} argument(s), \
+                             but `{rel}` is a page symbol — a proposition"
+                        ),
+                    )
+                    .with_suggestion(format!("use `{rel}` with no arguments")),
+                );
+            }
+            continue;
+        }
+        match schema.relation(&rel) {
+            None => out.push(
+                Diagnostic::error(
+                    codes::PROPERTY_UNKNOWN_SYMBOL,
+                    format!("property atom `{rel}` does not occur in the service's schema"),
+                )
+                .with_note(
+                    "properties speak the service's vocabulary: database, state, \
+                     input, action and page symbols (Definition 3.1)",
+                )
+                .with_suggestion(format!(
+                    "fix the relation name, or add `{rel}` to the service schema"
+                )),
+            ),
+            Some(r) if r.arity != arity => out.push(
+                Diagnostic::error(
+                    codes::PROPERTY_ARITY_MISMATCH,
+                    format!(
+                        "property atom `{rel}` has {arity} argument(s), \
+                         the service declares arity {}",
+                        r.arity
+                    ),
+                )
+                .with_suggestion(format!(
+                    "use `{rel}` with {} argument(s), as the schema declares",
+                    r.arity
+                )),
+            ),
+            Some(_) => {}
+        }
+    }
+    for fo in property.body.fo_components() {
+        for c in fo.constants_used() {
+            if schema.constant(&c).is_none() {
+                out.push(
+                    Diagnostic::error(
+                        codes::PROPERTY_UNKNOWN_SYMBOL,
+                        format!("property constant `{c}` is not declared by the service"),
+                    )
+                    .with_suggestion(format!(
+                        "declare `{c}` as a database or input constant, or close \
+                         over it with the property's universal prefix"
+                    )),
+                );
+            }
+        }
+    }
+    if class != ServiceClass::Unrestricted {
+        if let Err(e) = property.check_input_bounded(schema) {
+            out.push(
+                Diagnostic::error(
+                    codes::PROPERTY_NOT_BOUNDED,
+                    format!("property is not input-bounded: {e}"),
+                )
+                .with_note(
+                    "Theorem 3.5 decides input-bounded properties of \
+                     input-bounded services; an unbounded property forfeits the \
+                     guarantee even though the service qualifies",
+                )
+                .with_note(
+                    "guard property quantifiers with input or prev-input atoms, \
+                     exactly as in service rules (\u{00a7}3)",
+                ),
+            );
+        }
+    }
+}

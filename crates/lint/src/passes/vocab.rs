@@ -1,0 +1,142 @@
+//! Pass 3 — vocabulary and arity analysis.
+//!
+//! Checks every rule body against the schema: atoms over undeclared
+//! relations (`W001`), arity mismatches (`W002`), undeclared constants
+//! (`W003`). Also analyses state-relation dataflow across the whole
+//! service: a state written but never read is dead weight (`W010`), a
+//! state read but never written is constant-false (`W011`).
+
+use std::collections::BTreeSet;
+
+use wave_core::provenance::ServiceSources;
+use wave_core::service::Service;
+use wave_logic::schema::RelKind;
+
+use crate::diag::{codes, Diagnostic};
+use crate::passes::labeled_rules;
+
+/// Runs the pass.
+pub fn run(service: &Service, sources: Option<&ServiceSources>, out: &mut Vec<Diagnostic>) {
+    let schema = &service.schema;
+    for (pname, page) in &service.pages {
+        for (rule, body, _) in labeled_rules(page) {
+            let src = sources.and_then(|s| s.rule(pname, &rule));
+            for (rel, arity) in body.relations_used() {
+                match schema.relation(&rel) {
+                    None => out.push(
+                        Diagnostic::error(
+                            codes::UNDECLARED_RELATION,
+                            format!("atom over undeclared relation `{rel}`"),
+                        )
+                        .at(pname, &rule)
+                        .with_span(src.and_then(|s| s.spans.atom_span(&rel)))
+                        .with_suggestion(format!(
+                            "declare `{rel}` in the schema, or fix the relation name"
+                        )),
+                    ),
+                    Some(r) if r.arity != arity => out.push(
+                        Diagnostic::error(
+                            codes::ARITY_MISMATCH,
+                            format!(
+                                "atom `{rel}` has {arity} argument(s), \
+                                 schema declares arity {}",
+                                r.arity
+                            ),
+                        )
+                        .at(pname, &rule)
+                        .with_span(src.and_then(|s| s.spans.atom_span(&rel))),
+                    ),
+                    Some(_) => {}
+                }
+            }
+            for c in body.constants_used() {
+                if schema.constant(&c).is_none() {
+                    out.push(
+                        Diagnostic::error(
+                            codes::UNDECLARED_CONSTANT,
+                            format!("constant `{c}` is not declared"),
+                        )
+                        .at(pname, &rule)
+                        .with_note(
+                            "identifiers in term position that are not bound \
+                             variables denote named constants and must be \
+                             declared (Definition 2.1)",
+                        )
+                        .with_suggestion(format!(
+                            "declare `{c}` as a database or input constant, or \
+                             quantify it if it was meant to be a variable"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+    state_dataflow(service, out);
+}
+
+/// Where a state relation is first written, for pointing `W010` at a rule.
+fn first_writer(service: &Service, rel: &str) -> Option<(String, String)> {
+    for (pname, page) in &service.pages {
+        for r in &page.state_rules {
+            if r.relation == rel {
+                let tag = if r.insert.is_some() { "+" } else { "-" };
+                return Some((pname.clone(), format!("{tag}{rel}")));
+            }
+        }
+    }
+    None
+}
+
+fn state_dataflow(service: &Service, out: &mut Vec<Diagnostic>) {
+    let schema = &service.schema;
+    let mut written: BTreeSet<&str> = BTreeSet::new();
+    let mut read: BTreeSet<String> = BTreeSet::new();
+    for page in service.pages.values() {
+        for r in &page.state_rules {
+            written.insert(r.relation.as_str());
+        }
+        for (_, body, _) in labeled_rules(page) {
+            for (rel, _) in body.relations_used() {
+                if schema.relation(&rel).map(|r| r.kind) == Some(RelKind::State) {
+                    read.insert(rel);
+                }
+            }
+        }
+    }
+    for r in schema.relations_of(RelKind::State) {
+        let w = written.contains(r.name.as_str());
+        let rd = read.contains(&r.name);
+        if w && !rd {
+            let (page, rule) = first_writer(service, &r.name).unwrap_or_default();
+            out.push(
+                Diagnostic::warning(
+                    codes::STATE_NEVER_READ,
+                    format!(
+                        "state relation `{}` is written but never read by any rule",
+                        r.name
+                    ),
+                )
+                .at(page, rule)
+                .with_note(
+                    "only a temporal property can observe it; if nothing does, \
+                     the state and its rules are dead weight for the verifier",
+                ),
+            );
+        } else if rd && !w {
+            out.push(
+                Diagnostic::warning(
+                    codes::STATE_NEVER_WRITTEN,
+                    format!(
+                        "state relation `{}` is read but never written: its atoms \
+                         are false in every run",
+                        r.name
+                    ),
+                )
+                .with_note(
+                    "states start empty (\u{00a7}2), so a never-inserted state \
+                     relation makes every guard reading it unsatisfiable",
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Negative-space regression tests for the input-boundedness frontier.
+//!
+//! Each test relaxes exactly one restriction of the input-bounded
+//! discipline (§3) — the relaxations Theorems 3.7–3.9 prove
+//! undecidable — and pins down the full chain of blame: the exact
+//! [`BoundedError`] from the checker, the `Unrestricted` classification,
+//! and the lint diagnostic (code, span, suggestion) the analyzer
+//! derives from it.
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::classify::{classify, input_bounded_violations, ServiceClass};
+use wave_core::provenance::ServiceSources;
+use wave_core::service::Service;
+use wave_lint::diag::Severity;
+use wave_lint::{codes, lint, Diagnostic};
+use wave_logic::bounded::BoundedError;
+
+/// Builds, asserts `Unrestricted`, lints, and returns the single
+/// error-severity diagnostic the seeded violation must produce.
+fn single_error(service: &Service, sources: &ServiceSources, code: &str) -> Diagnostic {
+    assert_eq!(classify(service).class(), ServiceClass::Unrestricted);
+    let report = lint(service, Some(sources), None);
+    assert_eq!(report.class, ServiceClass::Unrestricted);
+    let errors: Vec<&Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert_eq!(
+        errors.len(),
+        1,
+        "exactly one error: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(errors[0].code, code);
+    errors[0].clone()
+}
+
+/// Theorem 3.7 — quantifier with no input guard at all.
+#[test]
+fn unguarded_existential_is_w004_with_quantifier_span() {
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("d", 1)
+        .state_prop("s")
+        .page("P")
+        .insert_rule("s", &[], "exists x . d(x)");
+    let (service, sources) = b.build_with_sources().expect("vocabulary is valid");
+
+    let violations = input_bounded_violations(&service);
+    assert_eq!(violations.len(), 1);
+    let (page, rule, err) = &violations[0];
+    assert_eq!((page.as_str(), rule.as_str()), ("P", "+s"));
+    assert!(
+        matches!(err, BoundedError::UnguardedQuantifier { vars } if vars.len() == 1),
+        "{err:?}"
+    );
+
+    let d = single_error(&service, &sources, codes::UNGUARDED_QUANTIFIER);
+    assert_eq!((d.page.as_str(), d.rule.as_str()), ("P", "+s"));
+    // The span underlines the whole quantified formula.
+    let span = d.span.expect("quantifier span");
+    assert_eq!((span.start, span.end), (0, "exists x . d(x)".len()));
+    let suggestion = d.suggestion.expect("guarded rewrite");
+    assert!(suggestion.contains("exists x ."), "{suggestion}");
+}
+
+/// Theorem 3.7 — a guard exists but misses a quantified variable.
+#[test]
+fn guard_missing_variable_is_w005_at_the_guard_atom() {
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("d", 2)
+        .input_relation("I", 1)
+        .state_prop("s")
+        .page("P")
+        .input_rule("I", &["x"], "true")
+        .insert_rule("s", &[], "exists x y . (I(x) & d(x, y))");
+    let (service, sources) = b.build_with_sources().expect("vocabulary is valid");
+
+    let violations = input_bounded_violations(&service);
+    assert_eq!(violations.len(), 1);
+    let (_, rule, err) = &violations[0];
+    assert_eq!(rule, "+s");
+    let BoundedError::GuardMissingVars { guard, missing } = err else {
+        panic!("expected GuardMissingVars, got {err:?}");
+    };
+    assert_eq!(guard, "I");
+    assert_eq!(missing.len(), 1);
+
+    let d = single_error(&service, &sources, codes::GUARD_MISSING_VARS);
+    // Primary span: the incomplete guard atom `I(x)`.
+    let body = "exists x y . (I(x) & d(x, y))";
+    let span = d.span.expect("guard span");
+    assert_eq!(&body[span.start..span.end], "I(x)");
+    // Secondary label points back at the quantifier.
+    assert!(!d.labels.is_empty(), "quantifier label expected");
+    assert!(d.suggestion.expect("rewrite").contains("guard"));
+}
+
+/// Theorem 3.8 — a state atom captures an input-bounded variable.
+#[test]
+fn state_atom_capturing_bound_var_is_w006_at_the_atom() {
+    let mut b = ServiceBuilder::new("P");
+    b.input_relation("I", 1)
+        .state_relation("t", 1)
+        .state_prop("s")
+        .page("P")
+        .input_rule("I", &["x"], "true")
+        .insert_rule("s", &[], "exists x . (I(x) & t(x))");
+    let (service, sources) = b.build_with_sources().expect("vocabulary is valid");
+
+    let violations = input_bounded_violations(&service);
+    assert_eq!(violations.len(), 1);
+    let (_, rule, err) = &violations[0];
+    assert_eq!(rule, "+s");
+    let BoundedError::StateAtomUsesBoundVar { rel, .. } = err else {
+        panic!("expected StateAtomUsesBoundVar, got {err:?}");
+    };
+    assert_eq!(rel, "t");
+
+    let d = single_error(&service, &sources, codes::STATE_ATOM_CAPTURES_VAR);
+    let body = "exists x . (I(x) & t(x))";
+    let span = d.span.expect("captured atom span");
+    assert_eq!(&body[span.start..span.end], "t(x)");
+    assert!(d.suggestion.expect("rewrite").contains("t"));
+}
+
+/// Theorem 3.9 — an input-option rule beyond ∃FO.
+#[test]
+fn universal_input_rule_is_w007_over_the_whole_rule() {
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("d", 1)
+        .input_relation("I", 1)
+        .page("P")
+        .input_rule("I", &["x"], "forall y . (!d(y) | x = y)");
+    let (service, sources) = b.build_with_sources().expect("vocabulary is valid");
+
+    let violations = input_bounded_violations(&service);
+    assert_eq!(violations.len(), 1);
+    let (page, rule, err) = &violations[0];
+    assert_eq!((page.as_str(), rule.as_str()), ("P", "Options_I"));
+    assert!(matches!(err, BoundedError::InputRuleNotExistential));
+
+    let d = single_error(&service, &sources, codes::INPUT_RULE_NOT_EXISTENTIAL);
+    assert_eq!(d.rule, "Options_I");
+    let body = "forall y . (!d(y) | x = y)";
+    let span = d.span.expect("whole-rule span");
+    assert_eq!((span.start, span.end), (0, body.len()));
+    assert!(d.suggestion.expect("rewrite").contains("universal"));
+}
+
+/// Theorem 3.9 — a non-ground state atom inside an input-option rule.
+#[test]
+fn non_ground_state_atom_in_input_rule_is_w008() {
+    let mut b = ServiceBuilder::new("P");
+    b.input_relation("I", 1)
+        .state_relation("t", 1)
+        .page("P")
+        .input_rule("I", &["x"], "t(x)");
+    let (service, sources) = b.build_with_sources().expect("vocabulary is valid");
+
+    let violations = input_bounded_violations(&service);
+    assert_eq!(violations.len(), 1);
+    let (_, rule, err) = &violations[0];
+    assert_eq!(rule, "Options_I");
+    let BoundedError::InputRuleStateAtomNotGround { rel } = err else {
+        panic!("expected InputRuleStateAtomNotGround, got {err:?}");
+    };
+    assert_eq!(rel, "t");
+
+    let d = single_error(&service, &sources, codes::INPUT_RULE_STATE_NOT_GROUND);
+    let span = d.span.expect("atom span");
+    assert_eq!((span.start, span.end), (0, "t(x)".len()));
+    assert!(d.suggestion.expect("rewrite").contains("constant"));
+}
+
+/// The demo services stay on the decidable side: zero errors.
+#[test]
+fn demo_services_lint_clean_of_errors() {
+    for (name, (service, sources)) in [
+        ("full_site", wave_demo::site::full_site_with_sources()),
+        (
+            "checkout_core",
+            wave_demo::site::checkout_core_with_sources(),
+        ),
+        (
+            "navigation",
+            wave_demo::site::navigation_abstraction_with_sources(),
+        ),
+    ] {
+        let report = lint(&service, Some(&sources), None);
+        let (errors, _, _) = report.counts();
+        assert_eq!(errors, 0, "{name}: {:#?}", report.diagnostics);
+        assert_ne!(report.class, ServiceClass::Unrestricted, "{name}");
+    }
+}

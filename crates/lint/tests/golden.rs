@@ -1,0 +1,48 @@
+//! Golden-file test: seeded violations must serialize to byte-stable
+//! JSON. Any change to diagnostic wording, ordering, spans or the JSON
+//! shape shows up here as a diff against the checked-in expectation —
+//! deliberate changes update the golden file, accidental ones fail CI.
+
+use wave_core::builder::ServiceBuilder;
+use wave_core::provenance::ServiceSources;
+use wave_core::service::Service;
+use wave_lint::lint;
+use wave_logic::parser::parse_property;
+
+/// A service seeding one finding from every major diagnostic family:
+/// an unguarded quantifier (W004), a non-ground state atom in an input
+/// rule (W008), state-dataflow warnings both ways (W010, W011), an
+/// unreachable page (W012), a property vocabulary error (W014) and the
+/// classification note (W020).
+fn seeded() -> (Service, ServiceSources) {
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("d", 1)
+        .input_relation("I", 1)
+        .state_relation("t", 1)
+        .state_prop("s")
+        .page("P")
+        .input_rule("I", &["x"], "t(x)")
+        .insert_rule("s", &[], "exists x . d(x)")
+        .page("Q");
+    b.build_with_sources().expect("vocabulary is valid")
+}
+
+#[test]
+fn seeded_violations_produce_byte_stable_json() {
+    let (service, sources) = seeded();
+    let property = parse_property("G no_such_relation").expect("parses");
+    let report = lint(&service, Some(&sources), Some(&property));
+    let actual = report.to_json();
+    let expected = include_str!("golden/seeded_violations.json");
+    assert_eq!(
+        actual,
+        expected.trim_end(),
+        "\n--- actual ---\n{actual}\n--- end ---\n\
+         update tests/golden/seeded_violations.json if this change is deliberate"
+    );
+    // Stability: a second run over a freshly built service is
+    // byte-identical (no iteration-order or interning leakage).
+    let (service2, sources2) = seeded();
+    let again = lint(&service2, Some(&sources2), Some(&property)).to_json();
+    assert_eq!(actual, again);
+}

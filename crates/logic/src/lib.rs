@@ -39,6 +39,7 @@ pub mod instance;
 pub mod normalize;
 pub mod parser;
 pub mod schema;
+pub mod span;
 pub mod temporal;
 pub mod value;
 
@@ -48,5 +49,6 @@ pub use fingerprint::{canon_unordered, Canonical, Fingerprint, Fnv128};
 pub use formula::{Formula, Term, Var};
 pub use instance::Instance;
 pub use schema::{RelKind, Relation, Schema};
+pub use span::{NodeId, Span, SpanTable};
 pub use temporal::{PathQuant, TFormula, TemporalClass};
 pub use value::{Tuple, Value};

@@ -31,21 +31,39 @@
 use std::fmt;
 
 use crate::formula::{Formula, Term, Var};
+use crate::span::{line_col, Span, SpanTable};
 use crate::temporal::{Property, TFormula};
 use crate::value::Value;
 
-/// Parse failure with byte position and message.
+/// Parse failure with byte position, `line:column`, and message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
-    /// Byte offset into the source.
+    /// Byte offset into the source (kept for tooling).
     pub pos: usize,
+    /// 1-based line of `pos`.
+    pub line: u32,
+    /// 1-based column of `pos`, counted in characters.
+    pub col: u32,
     /// Human-readable description.
     pub msg: String,
 }
 
+impl ParseError {
+    /// Builds an error at byte `pos` of `src`, computing `line:column`.
+    pub fn at(src: &str, pos: usize, msg: impl Into<String>) -> ParseError {
+        let (line, col) = line_col(src, pos);
+        ParseError {
+            pos,
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
     }
 }
 
@@ -74,10 +92,11 @@ enum Tok {
 
 struct Lexer<'a> {
     src: &'a str,
-    toks: Vec<(usize, Tok)>,
+    /// `(start, end, token)`: half-open byte range of each token.
+    toks: Vec<(usize, usize, Tok)>,
 }
 
-fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+fn lex(src: &str) -> Result<Vec<(usize, usize, Tok)>, ParseError> {
     let bytes = src.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0usize;
@@ -86,45 +105,45 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                toks.push((i, Tok::LParen));
+                toks.push((i, i + 1, Tok::LParen));
                 i += 1;
             }
             ')' => {
-                toks.push((i, Tok::RParen));
+                toks.push((i, i + 1, Tok::RParen));
                 i += 1;
             }
             ',' => {
-                toks.push((i, Tok::Comma));
+                toks.push((i, i + 1, Tok::Comma));
                 i += 1;
             }
             '.' => {
-                toks.push((i, Tok::Dot));
+                toks.push((i, i + 1, Tok::Dot));
                 i += 1;
             }
             '&' => {
-                toks.push((i, Tok::Amp));
+                toks.push((i, i + 1, Tok::Amp));
                 i += 1;
             }
             '|' => {
-                toks.push((i, Tok::Pipe));
+                toks.push((i, i + 1, Tok::Pipe));
                 i += 1;
             }
             '=' => {
-                toks.push((i, Tok::Eq));
+                toks.push((i, i + 1, Tok::Eq));
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push((i, Tok::Neq));
+                    toks.push((i, i + 2, Tok::Neq));
                     i += 2;
                 } else {
-                    toks.push((i, Tok::Bang));
+                    toks.push((i, i + 1, Tok::Bang));
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    toks.push((i, Tok::Arrow));
+                    toks.push((i, i + 2, Tok::Arrow));
                     i += 2;
                 } else if bytes
                     .get(i + 1)
@@ -136,27 +155,20 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
                     }
-                    let n: i64 = src[start..i].parse().map_err(|_| ParseError {
-                        pos: start,
-                        msg: "bad integer".into(),
-                    })?;
-                    toks.push((start, Tok::Int(n)));
+                    let n: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| ParseError::at(src, start, "bad integer"))?;
+                    toks.push((start, i, Tok::Int(n)));
                 } else {
-                    return Err(ParseError {
-                        pos: i,
-                        msg: "unexpected `-`".into(),
-                    });
+                    return Err(ParseError::at(src, i, "unexpected `-`"));
                 }
             }
             '<' => {
                 if src[i..].starts_with("<->") {
-                    toks.push((i, Tok::DArrow));
+                    toks.push((i, i + 3, Tok::DArrow));
                     i += 3;
                 } else {
-                    return Err(ParseError {
-                        pos: i,
-                        msg: "unexpected `<`".into(),
-                    });
+                    return Err(ParseError::at(src, i, "unexpected `<`"));
                 }
             }
             '"' => {
@@ -165,10 +177,7 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(ParseError {
-                            pos: start,
-                            msg: "unterminated string literal".into(),
-                        });
+                        return Err(ParseError::at(src, start, "unterminated string literal"));
                     }
                     match bytes[i] as char {
                         '"' => {
@@ -176,10 +185,11 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                             break;
                         }
                         '\\' => {
-                            let esc = bytes.get(i + 1).copied().ok_or(ParseError {
-                                pos: i,
-                                msg: "dangling escape".into(),
-                            })? as char;
+                            let esc = bytes
+                                .get(i + 1)
+                                .copied()
+                                .ok_or_else(|| ParseError::at(src, i, "dangling escape"))?
+                                as char;
                             s.push(esc);
                             i += 2;
                         }
@@ -189,18 +199,17 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                         }
                     }
                 }
-                toks.push((start, Tok::Str(s)));
+                toks.push((start, i, Tok::Str(s)));
             }
             c if c.is_ascii_digit() => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let n: i64 = src[start..i].parse().map_err(|_| ParseError {
-                    pos: start,
-                    msg: "bad integer".into(),
-                })?;
-                toks.push((start, Tok::Int(n)));
+                let n: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| ParseError::at(src, start, "bad integer"))?;
+                toks.push((start, i, Tok::Int(n)));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -209,13 +218,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 {
                     i += 1;
                 }
-                toks.push((start, Tok::Ident(src[start..i].to_string())));
+                toks.push((start, i, Tok::Ident(src[start..i].to_string())));
             }
             other => {
-                return Err(ParseError {
-                    pos: i,
-                    msg: format!("unexpected `{other}`"),
-                });
+                return Err(ParseError::at(src, i, format!("unexpected `{other}`")));
             }
         }
     }
@@ -226,6 +232,7 @@ struct Parser<'a> {
     lx: Lexer<'a>,
     pos: usize,
     scope: Vec<Var>,
+    spans: SpanTable,
 }
 
 impl<'a> Parser<'a> {
@@ -235,27 +242,37 @@ impl<'a> Parser<'a> {
             lx: Lexer { src, toks },
             pos: 0,
             scope: free.iter().map(|s| s.to_string()).collect(),
+            spans: SpanTable::new(),
         })
     }
 
     fn peek(&self) -> Option<&Tok> {
-        self.lx.toks.get(self.pos).map(|(_, t)| t)
+        self.lx.toks.get(self.pos).map(|(_, _, t)| t)
     }
 
     fn peek2(&self) -> Option<&Tok> {
-        self.lx.toks.get(self.pos + 1).map(|(_, t)| t)
+        self.lx.toks.get(self.pos + 1).map(|(_, _, t)| t)
     }
 
     fn here(&self) -> usize {
         self.lx
             .toks
             .get(self.pos)
-            .map(|(p, _)| *p)
+            .map(|(p, _, _)| *p)
             .unwrap_or(self.lx.src.len())
     }
 
+    /// End byte of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.lx.toks[self.pos - 1].1
+        }
+    }
+
     fn bump(&mut self) -> Option<Tok> {
-        let t = self.lx.toks.get(self.pos).map(|(_, t)| t.clone());
+        let t = self.lx.toks.get(self.pos).map(|(_, _, t)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -272,10 +289,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: String) -> ParseError {
-        ParseError {
-            pos: self.here(),
-            msg,
-        }
+        ParseError::at(self.lx.src, self.here(), msg)
     }
 
     fn parse_temporal(&mut self) -> Result<TFormula, ParseError> {
@@ -358,6 +372,7 @@ impl<'a> Parser<'a> {
                 })
             }
             Some(Tok::Ident(id)) if id == "exists" || id == "forall" => {
+                let start = self.here();
                 self.bump();
                 let mut vars = Vec::new();
                 while let Some(Tok::Ident(v)) = self.peek() {
@@ -378,11 +393,13 @@ impl<'a> Parser<'a> {
                 let fo = to_fo(&body).ok_or_else(|| {
                     self.err("FO quantifier body may not contain temporal operators".into())
                 })?;
-                Ok(TFormula::Fo(if id == "exists" {
+                let q = if id == "exists" {
                     Formula::exists(vars, fo)
                 } else {
                     Formula::forall(vars, fo)
-                }))
+                };
+                self.spans.record(&q, Span::new(start, self.prev_end()));
+                Ok(TFormula::Fo(q))
             }
             _ => self.parse_primary(),
         }
@@ -410,6 +427,7 @@ impl<'a> Parser<'a> {
                 if RESERVED_OPS.contains(&id.as_str()) {
                     return Err(self.err(format!("`{id}` is a reserved operator")));
                 }
+                let start = self.here();
                 // atom, equality, or proposition — decide by lookahead
                 match self.peek2() {
                     Some(Tok::LParen) => {
@@ -427,27 +445,34 @@ impl<'a> Parser<'a> {
                             }
                         }
                         self.expect(&Tok::RParen, "`)` after atom arguments")?;
-                        Ok(TFormula::Fo(Formula::rel(id, args)))
+                        let f = Formula::rel(id, args);
+                        self.spans.record(&f, Span::new(start, self.prev_end()));
+                        Ok(TFormula::Fo(f))
                     }
                     Some(Tok::Eq) | Some(Tok::Neq) => {
                         let lhs = self.parse_term()?;
                         let neq = self.peek() == Some(&Tok::Neq);
                         self.bump();
                         let rhs = self.parse_term()?;
-                        Ok(TFormula::Fo(if neq {
+                        let f = if neq {
                             Formula::neq(lhs, rhs)
                         } else {
                             Formula::eq(lhs, rhs)
-                        }))
+                        };
+                        self.spans.record(&f, Span::new(start, self.prev_end()));
+                        Ok(TFormula::Fo(f))
                     }
                     _ => {
                         self.bump();
-                        Ok(TFormula::Fo(Formula::prop(id)))
+                        let f = Formula::prop(id);
+                        self.spans.record(&f, Span::new(start, self.prev_end()));
+                        Ok(TFormula::Fo(f))
                     }
                 }
             }
             Some(Tok::Str(_)) | Some(Tok::Int(_)) => {
                 // literal must start an equality
+                let start = self.here();
                 let lhs = self.parse_term()?;
                 let neq = match self.peek() {
                     Some(Tok::Eq) => false,
@@ -456,11 +481,13 @@ impl<'a> Parser<'a> {
                 };
                 self.bump();
                 let rhs = self.parse_term()?;
-                Ok(TFormula::Fo(if neq {
+                let f = if neq {
                     Formula::neq(lhs, rhs)
                 } else {
                     Formula::eq(lhs, rhs)
-                }))
+                };
+                self.spans.record(&f, Span::new(start, self.prev_end()));
+                Ok(TFormula::Fo(f))
             }
             other => Err(self.err(format!("unexpected token {other:?}"))),
         }
@@ -537,25 +564,55 @@ fn timplies(a: TFormula, b: TFormula) -> TFormula {
 /// Parses a pure FO formula. Identifiers in `free` (plus quantified names)
 /// are variables; all other identifiers in term position are constants.
 pub fn parse_fo(src: &str, free: &[&str]) -> Result<Formula, ParseError> {
+    parse_fo_spanned(src, free).map(|(f, _)| f)
+}
+
+/// Like [`parse_fo`], but also returns the [`SpanTable`] mapping each
+/// atom, equality and quantifier to its byte range in `src`, plus the
+/// whole formula to the full token range.
+pub fn parse_fo_spanned(src: &str, free: &[&str]) -> Result<(Formula, SpanTable), ParseError> {
     let mut p = Parser::new(src, free)?;
     let f = p.parse_temporal()?;
     if p.pos != p.lx.toks.len() {
         return Err(p.err("trailing input".into()));
     }
-    to_fo(&fuse(f)).ok_or(ParseError {
-        pos: 0,
-        msg: "formula contains temporal operators; use parse_temporal".into(),
-    })
+    let full = full_span(&p);
+    let g = to_fo(&fuse(f)).ok_or_else(|| {
+        ParseError::at(
+            src,
+            0,
+            "formula contains temporal operators; use parse_temporal",
+        )
+    })?;
+    let mut spans = p.spans;
+    spans.record(&g, full);
+    Ok((g, spans))
 }
 
 /// Parses a temporal (LTL-FO / CTL(\*)-FO) formula.
 pub fn parse_temporal(src: &str, free: &[&str]) -> Result<TFormula, ParseError> {
+    parse_temporal_spanned(src, free).map(|(f, _)| f)
+}
+
+/// Like [`parse_temporal`], but also returns the [`SpanTable`] of the
+/// FO atoms, equalities and quantifiers embedded in the formula.
+pub fn parse_temporal_spanned(
+    src: &str,
+    free: &[&str],
+) -> Result<(TFormula, SpanTable), ParseError> {
     let mut p = Parser::new(src, free)?;
     let f = p.parse_temporal()?;
     if p.pos != p.lx.toks.len() {
         return Err(p.err("trailing input".into()));
     }
-    Ok(fuse(f))
+    Ok((fuse(f), p.spans))
+}
+
+/// Byte range covering every token the parser consumed.
+fn full_span(p: &Parser<'_>) -> Span {
+    let start = p.lx.toks.first().map(|(s, _, _)| *s).unwrap_or(0);
+    let end = p.lx.toks.last().map(|(_, e, _)| *e).unwrap_or(0);
+    Span::new(start, end)
 }
 
 /// Parses a property: an optional leading universal closure
@@ -592,7 +649,7 @@ pub fn parse_property(src: &str) -> Result<Property, ParseError> {
             if !vars.is_empty() && vars.iter().all(|v| !KEYWORDS.contains(&v.as_str())) {
                 let refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
                 let body = parse_temporal(&rest[end..], &refs)?;
-                return Property::with_vars(vars, body).map_err(|msg| ParseError { pos: 0, msg });
+                return Property::with_vars(vars, body).map_err(|msg| ParseError::at(src, 0, msg));
             }
         }
     }
@@ -773,6 +830,46 @@ mod tests {
         assert!(parse_fo("exists . p", &[]).is_err());
         assert!(parse_fo("X", &[]).is_err()); // reserved
         assert!(parse_fo("p(%)", &[]).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // `%` sits at byte 2 on line 1 → column 3.
+        let e = parse_fo("p(%)", &[]).unwrap_err();
+        assert_eq!((e.pos, e.line, e.col), (2, 1, 3));
+        assert_eq!(e.to_string(), "parse error at 1:3: unexpected `%`");
+        // Across a newline the line advances and the column resets.
+        let e = parse_fo("p(a) &\n q(%)", &[]).unwrap_err();
+        assert_eq!((e.pos, e.line, e.col), (10, 2, 4));
+        assert!(e.to_string().starts_with("parse error at 2:4:"));
+        // End-of-input errors point one past the last token.
+        let e = parse_fo("a &", &[]).unwrap_err();
+        assert_eq!((e.line, e.col), (1, 4));
+    }
+
+    #[test]
+    fn spans_recorded_for_atoms_equalities_quantifiers() {
+        let src = "exists x . (I(x) & x != min)";
+        let (f, spans) = parse_fo_spanned(src, &[]).unwrap();
+        // the atom `I(x)` covers bytes 12..16
+        assert_eq!(spans.atom_span("I"), Some(crate::span::Span::new(12, 16)));
+        assert_eq!(spans.atom_span("I").unwrap().snippet(src), "I(x)");
+        // the equality `x != min`
+        let eq = Formula::neq(Term::var("x"), Term::cst("min"));
+        assert_eq!(spans.span_of(&eq).unwrap().snippet(src), "x != min");
+        // the quantifier covers the whole formula
+        let q = spans.quantifier_span(&["x".to_string()]).unwrap();
+        assert_eq!(q.snippet(src), src);
+        // the top-level formula is recorded too
+        assert_eq!(spans.span_of(&f), Some(q));
+    }
+
+    #[test]
+    fn spans_recorded_inside_temporal_formulas() {
+        let src = "G (pick(x) -> F ship(x))";
+        let (_, spans) = parse_temporal_spanned(src, &["x"]).unwrap();
+        assert_eq!(spans.atom_span("pick").unwrap().snippet(src), "pick(x)");
+        assert_eq!(spans.atom_span("ship").unwrap().snippet(src), "ship(x)");
     }
 
     #[test]

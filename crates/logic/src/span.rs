@@ -1,0 +1,247 @@
+//! Byte-range provenance for parsed formulas.
+//!
+//! The parser can record, for every atom, equality and quantifier it
+//! builds, the byte range of the source text it came from. Provenance
+//! lives in a **side table** ([`SpanTable`]) keyed by a fresh [`NodeId`]
+//! per recorded node — the [`Formula`] AST itself stays untouched, so
+//! structural hashing, fingerprinting and equality are unaffected.
+//!
+//! Lookups are by formula *value* (the table also remembers the node it
+//! recorded), with a base-name fallback for bound variables that were
+//! renamed by [`crate::normalize::standardize_apart`] (which appends
+//! `_<counter>` to colliding names).
+
+use std::fmt;
+
+use crate::formula::{Formula, Term, Var};
+
+/// A half-open byte range `[start, end)` into some source string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span; `start <= end` is the caller's responsibility.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The source text this span covers (clamped to `src`).
+    pub fn snippet<'a>(&self, src: &'a str) -> &'a str {
+        let start = self.start.min(src.len());
+        let end = self.end.min(src.len()).max(start);
+        &src[start..end]
+    }
+
+    /// 1-based `(line, column)` of the span start, counting columns in
+    /// characters.
+    pub fn line_col(&self, src: &str) -> (u32, u32) {
+        line_col(src, self.start)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// 1-based `(line, column)` for a byte offset into `src`. Columns count
+/// characters, so a multi-byte character advances the column by one.
+pub fn line_col(src: &str, pos: usize) -> (u32, u32) {
+    let pos = pos.min(src.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for (i, c) in src.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Identifies one recorded node inside a [`SpanTable`]. Ids are dense
+/// indices assigned in recording order; they are meaningless across
+/// tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Side table mapping recorded formula nodes to source spans.
+///
+/// Entries keep the recorded formula by value: the parser's smart
+/// constructors flatten and merge nodes, so identity-based keying would
+/// not survive construction. Lookups therefore match structurally, in
+/// recording order (outer-to-inner for quantifiers, left-to-right for
+/// atoms).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    entries: Vec<(Formula, Span)>,
+}
+
+/// Strips a `_<digits>` suffix, the rename scheme of
+/// [`crate::normalize::standardize_apart`].
+fn base_name(v: &str) -> &str {
+    match v.rfind('_') {
+        Some(i) if i + 1 < v.len() && v[i + 1..].bytes().all(|b| b.is_ascii_digit()) => &v[..i],
+        _ => v,
+    }
+}
+
+fn same_var(a: &str, b: &str) -> bool {
+    a == b || base_name(a) == base_name(b)
+}
+
+impl SpanTable {
+    /// An empty table.
+    pub fn new() -> SpanTable {
+        SpanTable::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records `f` as originating from `span`, returning its fresh id.
+    pub fn record(&mut self, f: &Formula, span: Span) -> NodeId {
+        let id = NodeId(self.entries.len() as u32);
+        self.entries.push((f.clone(), span));
+        id
+    }
+
+    /// The formula and span recorded under `id`.
+    pub fn get(&self, id: NodeId) -> Option<(&Formula, Span)> {
+        self.entries.get(id.0 as usize).map(|(f, s)| (f, *s))
+    }
+
+    /// Iterates over `(id, formula, span)` in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Formula, Span)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (f, s))| (NodeId(i as u32), f, *s))
+    }
+
+    /// Span of the first recorded node structurally equal to `f`.
+    pub fn span_of(&self, f: &Formula) -> Option<Span> {
+        self.entries.iter().find(|(g, _)| g == f).map(|(_, s)| *s)
+    }
+
+    /// Span of the first recorded atom over relation `rel`.
+    pub fn atom_span(&self, rel: &str) -> Option<Span> {
+        self.entries.iter().find_map(|(f, s)| match f {
+            Formula::Rel { name, .. } if name == rel => Some(*s),
+            _ => None,
+        })
+    }
+
+    /// Span of the first recorded atom over `rel` mentioning variable
+    /// `var` (up to `standardize_apart` renaming).
+    pub fn atom_with_var_span(&self, rel: &str, var: &Var) -> Option<Span> {
+        self.entries.iter().find_map(|(f, s)| match f {
+            Formula::Rel { name, args } if name == rel => args
+                .iter()
+                .any(|t| matches!(t, Term::Var(v) if same_var(v, var)))
+                .then_some(*s),
+            _ => None,
+        })
+    }
+
+    /// Span of the first recorded quantifier binding all of `vars`
+    /// (up to `standardize_apart` renaming).
+    pub fn quantifier_span(&self, vars: &[Var]) -> Option<Span> {
+        self.entries.iter().find_map(|(f, s)| {
+            let bound = match f {
+                Formula::Exists(vars, _) | Formula::Forall(vars, _) => vars,
+                _ => return None,
+            };
+            vars.iter()
+                .all(|v| bound.iter().any(|b| same_var(b, v)))
+                .then_some(*s)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines_and_chars() {
+        assert_eq!(line_col("abc", 0), (1, 1));
+        assert_eq!(line_col("abc", 2), (1, 3));
+        assert_eq!(line_col("a\nbc", 2), (2, 1));
+        assert_eq!(line_col("a\nbc", 3), (2, 2));
+        // past-the-end clamps
+        assert_eq!(line_col("ab", 99), (1, 3));
+    }
+
+    #[test]
+    fn base_name_strips_counter_suffix() {
+        assert_eq!(base_name("x_3"), "x");
+        assert_eq!(base_name("x_12"), "x");
+        assert_eq!(base_name("order_id"), "order_id"); // not digits
+        assert_eq!(base_name("x_"), "x_"); // nothing after underscore
+        assert_eq!(base_name("x"), "x");
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut t = SpanTable::new();
+        let atom = Formula::rel("p", vec![Term::var("x")]);
+        let id = t.record(&atom, Span::new(4, 8));
+        assert_eq!(t.get(id), Some((&atom, Span::new(4, 8))));
+        assert_eq!(t.span_of(&atom), Some(Span::new(4, 8)));
+        assert_eq!(t.atom_span("p"), Some(Span::new(4, 8)));
+        assert_eq!(t.atom_span("q"), None);
+        assert_eq!(
+            t.atom_with_var_span("p", &"x".to_string()),
+            Some(Span::new(4, 8))
+        );
+        // renamed bound variable still resolves
+        assert_eq!(
+            t.atom_with_var_span("p", &"x_7".to_string()),
+            Some(Span::new(4, 8))
+        );
+    }
+
+    #[test]
+    fn quantifier_lookup_survives_renaming() {
+        let mut t = SpanTable::new();
+        let q = Formula::exists(
+            vec!["x".into(), "y".into()],
+            Formula::rel("p", vec![Term::var("x"), Term::var("y")]),
+        );
+        t.record(&q, Span::new(0, 20));
+        assert_eq!(
+            t.quantifier_span(&["x".to_string()]),
+            Some(Span::new(0, 20))
+        );
+        assert_eq!(
+            t.quantifier_span(&["x_2".to_string(), "y".to_string()]),
+            Some(Span::new(0, 20))
+        );
+        assert_eq!(t.quantifier_span(&["z".to_string()]), None);
+    }
+}

@@ -24,6 +24,10 @@ pub struct VerifyReply {
     pub fingerprint: Fingerprint,
     /// Whether the cache served the outcome.
     pub cache_hit: bool,
+    /// The decidable class admission control reported (wire name, e.g.
+    /// `"input_bounded"`); empty when talking to a server that predates
+    /// the field.
+    pub class: String,
     /// The decoded outcome.
     pub outcome: VerifyOutcome,
     /// The raw outcome object's canonical encoding (byte-identity
@@ -70,7 +74,18 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
                 .get("error")
                 .and_then(Json::as_str)
                 .unwrap_or("unspecified error");
-            return Err(ClientError::Server(msg.to_string()));
+            // Admission refusals attach the lint report; surface its
+            // error count so the message is actionable without the raw
+            // line.
+            let msg = match v
+                .get("lint")
+                .and_then(|l| l.get("errors"))
+                .and_then(Json::as_int)
+            {
+                Some(n) => format!("{msg} ({n} lint error(s); run wave-lint for details)"),
+                None => msg.to_string(),
+            };
+            return Err(ClientError::Server(msg));
         }
         None => return Err(ClientError::Protocol("missing \"ok\"".into())),
     }
@@ -83,6 +98,11 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
         .get("cache_hit")
         .and_then(Json::as_bool)
         .ok_or_else(|| ClientError::Protocol("missing cache_hit".into()))?;
+    let class = v
+        .get("class")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
     let outcome_json = v
         .get("outcome")
         .ok_or_else(|| ClientError::Protocol("missing outcome".into()))?;
@@ -91,6 +111,7 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
     Ok(VerifyReply {
         fingerprint,
         cache_hit,
+        class,
         outcome,
         outcome_text: outcome_json.encode(),
     })

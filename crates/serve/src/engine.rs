@@ -3,13 +3,18 @@
 //! One [`Engine`] owns the result cache and the worker pool. A submit:
 //!
 //! 1. resolves the named service and parses the property;
-//! 2. computes the request's canonical [`Fingerprint`] over the
+//! 2. runs the `wave-lint` admission gate
+//!    ([`wave_verifier::precheck`]): a service outside the decidable
+//!    classes — or a property that fails static analysis — is refused
+//!    here, with the full lint report, before it can consume cache
+//!    space or a worker's verification budget;
+//! 3. computes the request's canonical [`Fingerprint`] over the
 //!    *resolved* `Service` structure, the mode, the property and the
 //!    normalized node budget — `threads` and `deadline_us` are excluded
 //!    because they can never change the verdict;
-//! 3. on a cache hit, replays the stored outcome bytes verbatim
+//! 4. on a cache hit, replays the stored outcome bytes verbatim
 //!    (`cache_hit: true`, byte-identical to the run that stored them);
-//! 4. on a miss, schedules the verification on the worker pool (bounded
+//! 5. on a miss, schedules the verification on the worker pool (bounded
 //!    queue — an overloaded engine rejects rather than buffering
 //!    unboundedly), blocks for the result, and caches it — unless the
 //!    job was cancelled, since a deadline-specific non-answer must not
@@ -20,10 +25,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
+use wave_core::classify::ServiceClass;
 use wave_core::service::Service;
 use wave_logic::fingerprint::{Canonical, Fingerprint, Fnv128};
 use wave_logic::parser::parse_property;
 use wave_logic::temporal::Property;
+use wave_verifier::precheck::precheck;
 use wave_verifier::symbolic::{is_error_free, verify_ltl, CancelToken, SymbolicOptions, Verdict};
 
 use crate::cache::ResultCache;
@@ -62,6 +69,17 @@ pub enum SubmitError {
     UnknownService(String),
     /// The property text failed to parse.
     BadProperty(String),
+    /// Static analysis refused the request before any verification ran:
+    /// the service is outside the decidable classes, or the lint report
+    /// carries error-severity diagnostics.
+    NotAdmissible {
+        /// The class the service was classified into.
+        class: ServiceClass,
+        /// The one-line refusal reason.
+        reason: String,
+        /// The full lint report, serialized as canonical JSON.
+        report_json: String,
+    },
     /// The bounded queue was at capacity.
     QueueFull,
     /// The verifier rejected the request (e.g. not input-bounded).
@@ -81,6 +99,9 @@ impl std::fmt::Display for SubmitError {
                 )
             }
             SubmitError::BadProperty(e) => write!(f, "bad property: {e}"),
+            SubmitError::NotAdmissible { reason, .. } => {
+                write!(f, "not admissible: {reason}")
+            }
             SubmitError::QueueFull => write!(f, "job queue is full"),
             SubmitError::Verifier(e) => write!(f, "verifier error: {e}"),
             SubmitError::Internal(e) => write!(f, "internal error: {e}"),
@@ -99,6 +120,8 @@ pub struct SubmitResult {
     pub fingerprint: Fingerprint,
     /// True when the outcome was replayed from the cache.
     pub cache_hit: bool,
+    /// The decidable class admission control placed the service in.
+    pub class: ServiceClass,
     /// Canonical JSON encoding of the `VerifyOutcome`.
     pub outcome_bytes: Vec<u8>,
 }
@@ -116,6 +139,8 @@ pub struct Counters {
     pub cancelled: AtomicU64,
     /// Submissions rejected because the queue was full.
     pub queue_rejections: AtomicU64,
+    /// Submissions refused by static analysis before any verification.
+    pub admission_rejections: AtomicU64,
 }
 
 /// The verification service engine.
@@ -185,7 +210,7 @@ impl Engine {
     /// thread; concurrency comes from concurrent callers sharing the
     /// bounded pool).
     pub fn submit(&self, req: &VerifyRequest) -> Result<SubmitResult, SubmitError> {
-        let service = registry::resolve(&req.service)
+        let (service, sources) = registry::resolve_with_sources(&req.service)
             .ok_or_else(|| SubmitError::UnknownService(req.service.clone()))?;
         let property = match req.mode {
             Mode::ErrorFree => None,
@@ -196,12 +221,29 @@ impl Engine {
         };
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
 
+        // Admission control: static analysis gates the request *before*
+        // the fingerprint, the cache and the worker pool — an
+        // inadmissible submit never consumes verification budget.
+        let pre = precheck(&service, Some(&sources), property.as_ref());
+        let class = pre.class;
+        if let Some(reason) = pre.refusal() {
+            self.counters
+                .admission_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::NotAdmissible {
+                class,
+                reason,
+                report_json: pre.report.to_json(),
+            });
+        }
+
         let fp = request_fingerprint(&service, property.as_ref(), req.mode, req.node_limit);
         if let Some(bytes) = self.cache.lock().expect("cache poisoned").get(fp) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(SubmitResult {
                 fingerprint: fp,
                 cache_hit: true,
+                class,
                 outcome_bytes: bytes,
             });
         }
@@ -261,6 +303,7 @@ impl Engine {
         Ok(SubmitResult {
             fingerprint: fp,
             cache_hit: false,
+            class,
             outcome_bytes: bytes,
         })
     }
@@ -324,8 +367,10 @@ mod tests {
     #[test]
     fn cancelled_runs_are_not_cached() {
         let e = Engine::new(EngineOptions::default());
-        let mut r = req("full_site", "G (!ship(p) | paid)");
-        r.property = "forall p . G (!ship(p) | paid)".into();
+        // `ship` has arity 2 in full_site; the admission gate (W015)
+        // refuses any property that gets the arity wrong.
+        let mut r = req("full_site", "");
+        r.property = "forall p q . G (!ship(p, q) | paid)".into();
         r.deadline_us = 1; // 1 µs: cannot finish
         let r1 = e.submit(&r).unwrap();
         let out = outcome_from_json(
@@ -339,6 +384,37 @@ mod tests {
         r.node_limit = 2_000; // keep the cold run cheap
         let r2 = e.submit(&r).unwrap();
         assert!(!r2.cache_hit);
+    }
+
+    #[test]
+    fn inadmissible_service_is_refused_without_verification_budget() {
+        let e = Engine::new(EngineOptions::default());
+        let err = e.submit(&req("unrestricted", "G s")).unwrap_err();
+        let SubmitError::NotAdmissible {
+            class,
+            reason,
+            report_json,
+        } = err
+        else {
+            panic!("expected NotAdmissible");
+        };
+        assert_eq!(class, wave_core::classify::ServiceClass::Unrestricted);
+        assert!(reason.contains("undecidable"), "{reason}");
+        assert!(report_json.contains("\"W004\""), "{report_json}");
+        // Refused before the cache and the pool: no miss, no hit, no
+        // queued job — only the admission counter moves.
+        let c = &e.counters;
+        assert_eq!(c.admission_rejections.load(Ordering::Relaxed), 1);
+        assert_eq!(c.cache_misses.load(Ordering::Relaxed), 0);
+        assert_eq!(c.cache_hits.load(Ordering::Relaxed), 0);
+        let (entries, _, _, _) = e.cache_usage();
+        assert_eq!(entries, 0);
+        // An admissible request still works and reports its class.
+        let ok = e.submit(&req("toggle", "G (P | Q)")).unwrap();
+        assert_eq!(
+            ok.class,
+            wave_core::classify::ServiceClass::FullyPropositional
+        );
     }
 
     #[test]

@@ -98,9 +98,10 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut client = TcpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let reply = client.verify(&req).map_err(|e| e.to_string())?;
     println!(
-        "{{\"fingerprint\":\"{}\",\"cache_hit\":{},\"outcome\":{}}}",
+        "{{\"fingerprint\":\"{}\",\"cache_hit\":{},\"class\":\"{}\",\"outcome\":{}}}",
         reply.fingerprint.to_hex(),
         reply.cache_hit,
+        reply.class,
         reply.outcome_text,
     );
     Ok(())

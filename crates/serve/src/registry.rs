@@ -6,19 +6,29 @@
 //! structurally identical services still share cache entries.
 //!
 //! The registry ships the paper's running examples (from `wave-demo`)
-//! plus two small synthetic services used by tests and demos.
+//! plus small synthetic services used by tests and demos — including
+//! one (`unrestricted`) that is deliberately *outside* the decidable
+//! classes, so admission control has something to refuse.
 
 use wave_core::builder::ServiceBuilder;
+use wave_core::provenance::ServiceSources;
 use wave_core::service::Service;
 
 /// Resolves a service name. Returns `None` for unknown names.
 pub fn resolve(name: &str) -> Option<Service> {
+    resolve_with_sources(name).map(|(s, _)| s)
+}
+
+/// Resolves a service name together with its rule-source side table
+/// (enables span-carrying lint diagnostics in admission refusals).
+pub fn resolve_with_sources(name: &str) -> Option<(Service, ServiceSources)> {
     match name {
-        "checkout_core" => Some(wave_demo::site::checkout_core()),
-        "full_site" => Some(wave_demo::site::full_site()),
-        "navigation" => Some(wave_demo::site::navigation_abstraction()),
+        "checkout_core" => Some(wave_demo::site::checkout_core_with_sources()),
+        "full_site" => Some(wave_demo::site::full_site_with_sources()),
+        "navigation" => Some(wave_demo::site::navigation_abstraction_with_sources()),
         "toggle" => Some(toggle()),
         "login" => Some(login()),
+        "unrestricted" => Some(unrestricted()),
         _ => None,
     }
 }
@@ -31,11 +41,12 @@ pub fn names() -> &'static [&'static str] {
         "login",
         "navigation",
         "toggle",
+        "unrestricted",
     ]
 }
 
 /// Two-page toggle: `go` flips between pages P and Q.
-fn toggle() -> Service {
+fn toggle() -> (Service, ServiceSources) {
     let mut b = ServiceBuilder::new("P");
     b.input_relation("go", 0)
         .page("P")
@@ -44,11 +55,24 @@ fn toggle() -> Service {
         .page("Q")
         .input_prop_on_page("go")
         .target("P", "go");
-    b.build().expect("toggle service is valid")
+    b.build_with_sources().expect("toggle service is valid")
+}
+
+/// A vocabulary-correct service that is **not** input-bounded: its
+/// state rule quantifies over the database unguarded, the exact shape
+/// Theorem 3.7 proves undecidable. Admission control must refuse it.
+fn unrestricted() -> (Service, ServiceSources) {
+    let mut b = ServiceBuilder::new("P");
+    b.database_relation("d", 1)
+        .state_prop("s")
+        .page("P")
+        .insert_rule("s", &[], "exists x . d(x)");
+    b.build_with_sources()
+        .expect("unrestricted service has a valid vocabulary")
 }
 
 /// Login over a user table — the data-dependent mini-example.
-fn login() -> Service {
+fn login() -> (Service, ServiceSources) {
     let mut b = ServiceBuilder::new("HP");
     b.database_relation("user", 2)
         .input_relation("button", 1)
@@ -66,7 +90,7 @@ fn login() -> Service {
         )
         .target("CP", r#"user(name, password) & button("login")"#)
         .page("CP");
-    b.build().expect("login service is valid")
+    b.build_with_sources().expect("login service is valid")
 }
 
 #[cfg(test)]

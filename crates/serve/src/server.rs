@@ -51,6 +51,10 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                             "queue_rejections".into(),
                             Json::Int(c.queue_rejections.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "admission_rejections".into(),
+                            Json::Int(c.admission_rejections.load(Ordering::Relaxed) as i64),
+                        ),
                         ("cache_entries".into(), Json::Int(entries as i64)),
                         ("cache_bytes".into(), Json::Int(bytes as i64)),
                         ("cache_budget".into(), Json::Int(budget as i64)),
@@ -65,17 +69,34 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
             .encode()
         }
         Ok(Request::Verify(req)) => match engine.submit(&req) {
+            // An admission refusal carries the whole lint report, so the
+            // client sees the span-level blame, not just a one-liner.
+            Err(e @ crate::engine::SubmitError::NotAdmissible { .. }) => {
+                let crate::engine::SubmitError::NotAdmissible {
+                    class, report_json, ..
+                } = &e
+                else {
+                    unreachable!()
+                };
+                format!(
+                    "{{\"ok\":false,\"error\":{},\"class\":\"{}\",\"lint\":{}}}",
+                    Json::str(e.to_string()).encode(),
+                    class.wire_name(),
+                    report_json,
+                )
+            }
             Err(e) => error_line(&e.to_string()),
             Ok(res) => {
                 // Splice the cached outcome bytes in verbatim: the
-                // response envelope carries `cache_hit`, the outcome
-                // object itself stays byte-identical hit vs. miss.
+                // response envelope carries `cache_hit` and `class`, the
+                // outcome object itself stays byte-identical hit vs. miss.
                 let outcome =
                     String::from_utf8(res.outcome_bytes).expect("outcome bytes are canonical JSON");
                 format!(
-                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"outcome\":{}}}",
+                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"class\":\"{}\",\"outcome\":{}}}",
                     res.fingerprint.to_hex(),
                     res.cache_hit,
+                    res.class.wire_name(),
                     outcome,
                 )
             }
@@ -188,5 +209,34 @@ mod tests {
         assert_eq!(r2.get("cache_hit").unwrap().as_bool(), Some(true));
         assert_eq!(r2.get("fingerprint").unwrap().as_str(), Some(fp));
         assert_eq!(r.get("outcome"), r2.get("outcome"));
+        // The envelope names the decidable class admission found.
+        assert_eq!(
+            r.get("class").unwrap().as_str(),
+            Some("fully_propositional")
+        );
+    }
+
+    #[test]
+    fn inadmissible_submit_returns_the_lint_report() {
+        let e = Engine::new(EngineOptions::default());
+        let line = r#"{"cmd":"verify","service":"unrestricted","property":"G s"}"#;
+        let r = Json::parse(&handle_line(&e, line)).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("class").unwrap().as_str(), Some("unrestricted"));
+        let lint = r.get("lint").unwrap();
+        assert_eq!(lint.get("class").unwrap().as_str(), Some("unrestricted"));
+        assert!(lint.get("errors").unwrap().as_int().unwrap() >= 1);
+        let diags = lint.get("diagnostics").unwrap();
+        let Json::Arr(items) = diags else {
+            panic!("diagnostics must be an array")
+        };
+        assert!(items
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("W004")));
+        // The refusal shows up in stats, not in the cache counters.
+        let s = Json::parse(&handle_line(&e, r#"{"cmd":"stats"}"#)).unwrap();
+        let stats = s.get("stats").unwrap();
+        assert_eq!(stats.get("admission_rejections").unwrap().as_int(), Some(1));
+        assert_eq!(stats.get("cache_misses").unwrap().as_int(), Some(0));
     }
 }

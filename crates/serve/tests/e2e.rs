@@ -19,6 +19,11 @@ use wave_verifier::symbolic::Verdict;
 
 const FIG2_PROPERTY: &str = "forall p . G (!ship(p) | paid)";
 
+/// The same payment-safety shape over the full site, whose `ship`
+/// action relation has arity 2 (product, price) — the admission gate
+/// checks property arities against the schema, per service.
+const FULL_SITE_PROPERTY: &str = "forall p q . G (!ship(p, q) | paid)";
+
 fn request(service: &str, property: &str) -> VerifyRequest {
     VerifyRequest {
         service: service.into(),
@@ -61,6 +66,11 @@ fn fig2_checkout_property_served_then_cached_over_tcp() {
         first.outcome.verdict
     );
 
+    assert_eq!(
+        first.class, "input_bounded",
+        "admission reports the decidable class in the envelope"
+    );
+
     let second = client.verify(&req).expect("second submission");
     assert!(
         second.cache_hit,
@@ -86,7 +96,7 @@ fn millisecond_deadline_cancels_cleanly_and_pool_keeps_serving() {
     // 1 ms is far below what the full site needs: the search loops must
     // notice the armed deadline and return Cancelled — no hang, no
     // panic, no cache pollution.
-    let mut doomed = request("full_site", FIG2_PROPERTY);
+    let mut doomed = request("full_site", FULL_SITE_PROPERTY);
     doomed.deadline_us = 1_000;
     let reply = client.verify(&doomed).expect("cancelled job still replies");
     assert_eq!(reply.outcome.verdict, Verdict::Cancelled);
@@ -109,6 +119,33 @@ fn millisecond_deadline_cancels_cleanly_and_pool_keeps_serving() {
 
     let stats = client.stats().expect("stats");
     assert_eq!(stats.get("cancelled").unwrap().as_int(), Some(1));
+}
+
+#[test]
+fn inadmissible_service_is_refused_over_tcp_with_lint_blame() {
+    let mut client = spawn_server(EngineOptions::default());
+
+    let reply = client.verify(&request("unrestricted", "G s"));
+    let err = reply.expect_err("the unrestricted service must be refused");
+    let msg = err.to_string();
+    assert!(msg.contains("not admissible"), "{msg}");
+    assert!(msg.contains("lint error"), "{msg}");
+
+    // The raw line carries the machine-readable lint report.
+    let line = client
+        .round_trip(r#"{"cmd":"verify","service":"unrestricted","property":"G s"}"#)
+        .expect("round trip");
+    assert!(line.contains("\"class\":\"unrestricted\""), "{line}");
+    assert!(line.contains("\"W004\""), "{line}");
+
+    // No verification budget was consumed; the pool still serves.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("admission_rejections").unwrap().as_int(), Some(2));
+    assert_eq!(stats.get("cache_misses").unwrap().as_int(), Some(0));
+    let alive = client
+        .verify(&request("toggle", "G (P | Q)"))
+        .expect("pool serves after refusals");
+    assert!(matches!(alive.outcome.verdict, Verdict::Holds { .. }));
 }
 
 #[test]

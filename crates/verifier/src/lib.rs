@@ -13,6 +13,7 @@
 //! | [`input_driven`] | Theorem 4.9 | CTL verification of services with input-driven search by reduction to CTL satisfiability |
 //! | [`abstraction`] | §4 | lowering of CTL(\*)-FO formulas to propositional form over their FO components |
 //! | [`trace`] | §2 ("fake loops") | LTL-FO checking on recorded concrete runs |
+//! | [`precheck`] | §3–§4 (syntactic classes) | admission gate: `wave-lint` static analysis decides, before any search, whether a request is in a decidable class |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@ pub mod enumerative;
 pub mod errorfree;
 pub mod fully_prop;
 pub mod input_driven;
+pub mod precheck;
 pub mod symbolic;
 pub mod trace;
 

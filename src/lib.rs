@@ -16,6 +16,8 @@
 //! * [`verifier`] — the decision procedures (Theorems 3.5, 4.4–4.9).
 //! * [`reductions`] — QBF / Turing machine / FD-ID boundary encodings.
 //! * [`demo`] — the paper's running e-commerce example (Figures 1 and 2).
+//! * [`lint`] — the `wave-lint` static analyzer: span-tracked
+//!   diagnostics over the syntactic decidability frontier.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -42,6 +44,7 @@
 pub use wave_automata as automata;
 pub use wave_core as core;
 pub use wave_demo as demo;
+pub use wave_lint as lint;
 pub use wave_logic as logic;
 pub use wave_reductions as reductions;
 pub use wave_verifier as verifier;
