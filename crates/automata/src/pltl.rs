@@ -335,12 +335,51 @@ mod tests {
 
     #[test]
     fn next_wraps_into_loop() {
+        // Pinned position semantics: the word is stem · lasso^ω, indexed
+        // 0..n over stem ++ lasso; the successor of the last position is
+        // `stem.len()` — the cycle START — never position 0. Here:
+        // position 0 = stem {p0}, positions 1,2 = cycle {p1},{p2}.
         let stem = w(&[&[0]]);
         let lasso = w(&[&[1], &[2]]);
         // X p1 at position 0
         assert!(Pnf::next(Pnf::prop(1)).eval_lasso(&stem, &lasso));
-        // XXX: positions 0(stem) 1 2 then wrap to 1 -> labels p1
-        assert!(Pnf::next(Pnf::next(Pnf::next(Pnf::prop(1)))).eval_lasso(&stem, &lasso));
+        // Three steps: 0 → 1 → 2 → wrap; the wrap target is labeled {p1}.
+        let x3 = |p| Pnf::next(Pnf::next(Pnf::next(Pnf::prop(p))));
+        assert!(x3(1).eval_lasso(&stem, &lasso), "wrap lands on cycle start");
+        assert!(
+            !x3(0).eval_lasso(&stem, &lasso),
+            "wrap never re-enters the stem"
+        );
+        assert!(!x3(2).eval_lasso(&stem, &lasso));
+        // Four steps: one position past the wrap, labeled {p2}.
+        assert!(Pnf::next(x3(2)).eval_lasso(&stem, &lasso));
+    }
+
+    #[test]
+    fn lasso_unrolling_is_invariant() {
+        // Stem · lasso^ω and (stem ++ lasso) · lasso^ω denote the same
+        // infinite word, so every formula must agree on the two
+        // representations — this pins the wrap-around labeling to the
+        // cycle start for arbitrary operators, not just X-chains.
+        let stem = w(&[&[0]]);
+        let lasso = w(&[&[1], &[2]]);
+        let mut unrolled = stem.clone();
+        unrolled.extend(lasso.iter().cloned());
+        let fs = [
+            Pnf::next(Pnf::next(Pnf::next(Pnf::prop(1)))),
+            Pnf::until(Pnf::prop(1), Pnf::prop(2)),
+            Pnf::release(Pnf::prop(2), Pnf::prop(1)),
+            Pnf::eventually(Pnf::prop(0)),
+            Pnf::always(Pnf::or([Pnf::prop(1), Pnf::prop(2)])),
+            Pnf::always(Pnf::eventually(Pnf::prop(2))),
+        ];
+        for f in &fs {
+            assert_eq!(
+                f.eval_lasso(&stem, &lasso),
+                f.eval_lasso(&unrolled, &lasso),
+                "unrolling changed the verdict of {f:?}"
+            );
+        }
     }
 
     #[test]

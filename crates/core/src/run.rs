@@ -122,6 +122,86 @@ impl fmt::Display for StepError {
 
 impl std::error::Error for StepError {}
 
+/// Why a claimed run failed to replay under the concrete semantics.
+///
+/// Produced by [`Runner::replay_lasso`], which re-executes a purported
+/// stem+cycle through the interpreter and demands every configuration be
+/// *reproduced exactly* — the trust anchor for counterexamples reported
+/// by the search-based verifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The replayed run is empty (a lasso needs a non-empty cycle).
+    EmptyCycle,
+    /// The first configuration is not on the service's home page.
+    NotAtHome {
+        /// The page the claimed run starts on.
+        page: String,
+    },
+    /// The interpreter rejected the reconstructed move at some step.
+    Rejected {
+        /// Index into stem ++ cycle (the configuration being *entered*;
+        /// `configs.len()` means the wrap-around back to the cycle
+        /// start).
+        step: usize,
+        /// The interpreter's rejection.
+        error: StepError,
+    },
+    /// The interpreter produced a different configuration at some step.
+    Mismatch {
+        /// Index into stem ++ cycle of the unreproduced configuration
+        /// (`configs.len()` = the wrap-around back to the cycle start).
+        step: usize,
+        /// What the interpreter actually produced.
+        got: Box<Config>,
+        /// What the claimed run says.
+        claimed: Box<Config>,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::EmptyCycle => write!(f, "lasso has an empty cycle"),
+            ReplayError::NotAtHome { page } => {
+                write!(f, "run starts on `{page}`, not the home page")
+            }
+            ReplayError::Rejected { step, error } => {
+                write!(f, "step {step}: interpreter rejected the move: {error}")
+            }
+            ReplayError::Mismatch { step, got, claimed } => write!(
+                f,
+                "step {step}: interpreter produced page `{}`, claimed `{}` \
+                 (configurations differ)",
+                got.page, claimed.page
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Reconstructs the user's move that must have produced `next`: its
+/// inputs read back as tuple/prop choices, and the constants newly
+/// provided relative to `before`.
+pub fn choice_for(before: &BTreeMap<String, Value>, next: &Config) -> InputChoice {
+    let mut choice = InputChoice::empty();
+    for (rel, tuples) in next.input.relations() {
+        for t in tuples {
+            if t.arity() == 0 {
+                choice.props.insert(rel.to_string(), true);
+            } else {
+                choice.tuples.insert(rel.to_string(), t.clone());
+            }
+        }
+    }
+    for (c, v) in &next.provided {
+        if !before.contains_key(c) {
+            choice.constants.insert(c.clone(), v.clone());
+        }
+    }
+    choice
+}
+
 /// The deterministic part of one step: everything computed from `σ_i`
 /// before the user acts at the next page.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -446,6 +526,62 @@ impl<'a> Runner<'a> {
             provided,
             err_pending: rerequest || missing,
         })
+    }
+
+    /// Re-executes one claimed step: reconstructs the user's move from
+    /// `next` and demands the interpreter reproduce `next` exactly.
+    pub fn replay_step(&self, cfg: &Config, next: &Config, step: usize) -> Result<(), ReplayError> {
+        let choice = choice_for(&cfg.provided, next);
+        let got = self
+            .step(cfg, &choice)
+            .map_err(|error| ReplayError::Rejected { step, error })?;
+        if &got != next {
+            return Err(ReplayError::Mismatch {
+                step,
+                got: Box::new(got),
+                claimed: Box::new(next.clone()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-executes a claimed lasso `stem · cycle^ω` through the concrete
+    /// run semantics: `σ_0` must be a genuine home-page entry, every
+    /// consecutive pair a genuine step, and the cycle must close (the
+    /// successor of the last cycle configuration is the cycle start).
+    ///
+    /// This is the replay oracle for counterexamples: a lasso that
+    /// passes is, by Definition 2.3, a real run of the service.
+    pub fn replay_lasso(&self, stem: &[Config], cycle: &[Config]) -> Result<(), ReplayError> {
+        if cycle.is_empty() {
+            return Err(ReplayError::EmptyCycle);
+        }
+        let configs: Vec<&Config> = stem.iter().chain(cycle.iter()).collect();
+        let first = configs[0];
+        // σ_0 is produced by entering the home page from nothing.
+        if first.page != self.service.home {
+            return Err(ReplayError::NotAtHome {
+                page: first.page.clone(),
+            });
+        }
+        let choice = choice_for(&BTreeMap::new(), first);
+        let got = self
+            .initial(&choice)
+            .map_err(|error| ReplayError::Rejected { step: 0, error })?;
+        if &got != first {
+            return Err(ReplayError::Mismatch {
+                step: 0,
+                got: Box::new(got),
+                claimed: Box::new(first.clone()),
+            });
+        }
+        for i in 1..configs.len() {
+            self.replay_step(configs[i - 1], configs[i], i)?;
+        }
+        // Wrap-around: the cycle must actually cycle.
+        let last = configs[configs.len() - 1];
+        self.replay_step(last, &cycle[0], configs.len())?;
+        Ok(())
     }
 
     fn rule_tuples(
@@ -821,6 +957,69 @@ mod tests {
             .unwrap();
         let cfg1 = r.step(&cfg0, &InputChoice::empty()).unwrap();
         assert!(!cfg1.state.prop("flag"));
+    }
+
+    #[test]
+    fn replay_accepts_a_genuine_lasso_and_rejects_forgeries() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        // Genuine run: login, land on CP, idle there forever.
+        let c0 = r.initial(&login_as("alice", "pw1")).unwrap();
+        let c1 = r.step(&c0, &InputChoice::empty()).unwrap();
+        let c2 = r.step(&c1, &InputChoice::empty()).unwrap();
+        let c3 = r.step(&c2, &InputChoice::empty()).unwrap();
+        assert_eq!(c1.page, "CP");
+        assert_eq!(c2, c3, "idling on CP is a fixpoint");
+        r.replay_lasso(&[c0.clone(), c1.clone()], std::slice::from_ref(&c2))
+            .expect("a genuine run must replay");
+        // Forgery 1: teleport — claim the run starts on CP.
+        let err = r.replay_lasso(&[], std::slice::from_ref(&c1)).unwrap_err();
+        assert!(matches!(err, ReplayError::NotAtHome { .. }), "{err:?}");
+        // Forgery 2: smuggled state — c1 with a state tuple nobody inserted.
+        let mut forged = c1.clone();
+        forged.state.insert("error", tuple!["made up"]);
+        let err = r
+            .replay_lasso(std::slice::from_ref(&c0), &[forged])
+            .unwrap_err();
+        assert!(
+            matches!(err, ReplayError::Mismatch { step: 1, .. }),
+            "{err:?}"
+        );
+        // Forgery 3: a non-closing "cycle" (c0 does not follow from c1 —
+        // the wrap-around move is rejected or mismatched at index 2).
+        let err = r.replay_lasso(&[], &[c0.clone(), c1.clone()]).unwrap_err();
+        match &err {
+            ReplayError::Rejected { step: 2, .. } | ReplayError::Mismatch { step: 2, .. } => {}
+            other => panic!("expected wrap-around failure, got {other:?}"),
+        }
+        // Forgery 4: an input outside the page's options.
+        let mut forged = c0.clone();
+        forged.input = Instance::new();
+        forged.input.insert("button", tuple!["hack"]);
+        let err = r.replay_lasso(&[forged], &[c1]).unwrap_err();
+        assert!(
+            matches!(err, ReplayError::Rejected { step: 0, .. }),
+            "{err:?}"
+        );
+        // Degenerate lasso shape.
+        assert_eq!(
+            r.replay_lasso(&[c0], &[]).unwrap_err(),
+            ReplayError::EmptyCycle
+        );
+    }
+
+    #[test]
+    fn choice_for_reconstructs_the_move() {
+        let s = login_service();
+        let d = db();
+        let r = Runner::new(&s, &d);
+        let original = login_as("alice", "pw1");
+        let c0 = r.initial(&original).unwrap();
+        let rebuilt = choice_for(&BTreeMap::new(), &c0);
+        assert_eq!(rebuilt, original);
+        // The rebuilt choice re-enters to the identical configuration.
+        assert_eq!(r.initial(&rebuilt).unwrap(), c0);
     }
 
     #[test]

@@ -56,6 +56,29 @@ pub trait Rng {
         let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         x < p
     }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..xs.len()).rev() {
+            let j = uniform_below(self, (i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` when the slice is empty.
+    fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[uniform_below(self, xs.len() as u64) as usize])
+        }
+    }
 }
 
 /// Types that can be sampled uniformly from a `Range`.
@@ -219,6 +242,26 @@ mod tests {
         let mut r = SplitMix64::seed_from_u64(11);
         let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_covers() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..16).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "a permutation");
+        assert_ne!(xs, (0..16).collect::<Vec<_>>(), "seed 3 actually moves");
+
+        let pool = [10u32, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &v = r.choose(&pool).unwrap();
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(r.choose::<u32>(&[]).is_none());
     }
 
     #[test]

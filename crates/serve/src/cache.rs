@@ -15,7 +15,10 @@
 //! Persistence appends one line per insert to a file:
 //! `{"fingerprint":"<32 hex>","outcome":{...}}`. On startup the file is
 //! replayed in order (later lines win), so the persisted file acts as an
-//! append-only journal; it is rewritten compacted on load.
+//! append-only journal; it is rewritten compacted on load, and again
+//! whenever refreshes and evictions have bloated it past ~4× the byte
+//! budget (dead and duplicate lines would otherwise accumulate forever
+//! and dominate the next load).
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
@@ -37,6 +40,10 @@ pub struct ResultCache {
     budget: usize,
     evictions: u64,
     persist: Option<PathBuf>,
+    /// Bytes currently in the journal file (live + dead lines).
+    journal_bytes: usize,
+    /// Journal rewrites triggered by the growth bound.
+    compactions: u64,
 }
 
 impl ResultCache {
@@ -50,6 +57,8 @@ impl ResultCache {
             budget,
             evictions: 0,
             persist: None,
+            journal_bytes: 0,
+            compactions: 0,
         }
     }
 
@@ -75,6 +84,18 @@ impl ResultCache {
             }
         }
         // Compact: rewrite surviving entries oldest-first.
+        let lines = self.compacted_journal();
+        self.journal_bytes = lines.len();
+        if std::fs::write(&path, lines).is_ok() {
+            self.persist = Some(path);
+        }
+        self
+    }
+
+    /// The journal content that exactly reproduces the in-memory state:
+    /// one line per live entry, oldest-first, so a replay rebuilds the
+    /// same LRU order.
+    fn compacted_journal(&self) -> String {
         let mut lines = String::new();
         for fp in self.recency.values() {
             if let Some((bytes, _)) = self.map.get(fp) {
@@ -82,10 +103,26 @@ impl ResultCache {
                 lines.push('\n');
             }
         }
-        if std::fs::write(&path, lines).is_ok() {
-            self.persist = Some(path);
+        lines
+    }
+
+    /// Rewrites the journal compacted when growth (refresh duplicates,
+    /// evicted-but-still-journaled lines) pushed it past ~4× the byte
+    /// budget. An I/O failure disables persistence.
+    fn maybe_compact_journal(&mut self) {
+        let bound = self.budget.saturating_mul(4).max(1);
+        if self.journal_bytes <= bound {
+            return;
         }
-        self
+        let Some(path) = self.persist.clone() else {
+            return;
+        };
+        let lines = self.compacted_journal();
+        self.journal_bytes = lines.len();
+        self.compactions += 1;
+        if std::fs::write(&path, lines).is_err() {
+            self.persist = None;
+        }
     }
 
     /// The configured byte budget.
@@ -111,6 +148,17 @@ impl ResultCache {
     /// Entries evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Journal compactions triggered by the growth bound (not counting
+    /// the compaction-on-load).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Current journal size in bytes (0 without persistence).
+    pub fn journal_bytes(&self) -> usize {
+        self.journal_bytes
     }
 
     /// Looks up a fingerprint, refreshing its recency. Returns the
@@ -147,10 +195,13 @@ impl ResultCache {
                     .open(path)
                     .and_then(|mut f| writeln!(f, "{line}"))
                     .is_ok();
-                if !ok {
+                if ok {
+                    self.journal_bytes += line.len() + 1;
+                } else {
                     self.persist = None;
                 }
             }
+            self.maybe_compact_journal();
         }
     }
 
@@ -244,6 +295,127 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.bytes(), 3);
         assert_eq!(c.get(fp(1)).unwrap(), vec![1; 3]);
+    }
+
+    /// The cache's live entries in LRU order (oldest first).
+    fn lru_order(c: &ResultCache) -> Vec<u128> {
+        c.recency.values().copied().collect()
+    }
+
+    fn temp_path(tag: &str) -> (PathBuf, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("wave-serve-cache-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.ndjson");
+        let _ = std::fs::remove_file(&path);
+        (dir, path)
+    }
+
+    #[test]
+    fn reload_reproduces_state_after_evictions_and_refreshes() {
+        let (dir, path) = temp_path("reload");
+        // Values must be *canonical* JSON (the journal splices them
+        // verbatim and a reload re-encodes the parse).
+        let val = |n: usize| format!("{{\"v\":{}}}", 1000 + n).into_bytes(); // 10 bytes
+        let state = {
+            let mut c = ResultCache::new(35).with_persistence(path.clone());
+            for i in 0..3 {
+                c.insert(fp(i), val(i as usize));
+            }
+            // Refresh 0 so 1 becomes the LRU victim of the next insert.
+            assert!(c.get(fp(0)).is_some());
+            c.insert(fp(3), val(3));
+            assert!(c.get(fp(1)).is_none(), "1 was evicted");
+            // Refresh 2 via reinsert (same bytes).
+            c.insert(fp(2), val(2));
+            (lru_order(&c), c.bytes())
+        };
+        let c2 = ResultCache::new(35).with_persistence(path.clone());
+        assert_eq!(lru_order(&c2), state.0, "reload must rebuild LRU order");
+        assert_eq!(c2.bytes(), state.1);
+        assert!(
+            c2.map.keys().all(|k| state.0.contains(k)),
+            "no dead entries reloaded"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn journal_growth_is_bounded_by_compaction() {
+        let (dir, path) = temp_path("bound");
+        let budget = 1024usize;
+        let mut c = ResultCache::new(budget).with_persistence(path.clone());
+        // Churn: refreshes and evictions would previously append forever.
+        for round in 0..200u128 {
+            let body = format!("{{\"r\":\"{round:0>90}\"}}"); // 98 bytes, canonical
+            c.insert(fp(round % 5), body.into_bytes());
+        }
+        assert!(c.compactions() > 0, "churn must have triggered compaction");
+        let disk = std::fs::metadata(&path).unwrap().len() as usize;
+        assert_eq!(disk, c.journal_bytes(), "tracked size matches the file");
+        // One appended line can overshoot the bound before the rewrite
+        // notices; allow that one line of slack.
+        assert!(
+            disk <= budget * 4 + 256,
+            "journal {disk}B exceeds compaction bound"
+        );
+        // And the compacted journal still reproduces the state.
+        let c2 = ResultCache::new(budget).with_persistence(path.clone());
+        assert_eq!(lru_order(&c2), lru_order(&c));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn property_budget_never_exceeded_and_lru_survives_refresh() {
+        use wave_rng::{Rng, SplitMix64};
+        let mut rng = SplitMix64::seed_from_u64(0x5eed_cafe);
+        for case in 0..50u64 {
+            let budget = rng.gen_range(16usize..80);
+            let mut c = ResultCache::new(budget);
+            // Shadow model: LRU order as a vector of (fp, len).
+            let mut model: Vec<(u128, usize)> = Vec::new();
+            for _ in 0..200 {
+                let key = rng.gen_range(0u64..12) as u128;
+                if rng.gen_bool(0.3) {
+                    // A get refreshes recency iff present.
+                    let hit = c.get(fp(key)).is_some();
+                    let pos = model.iter().position(|(k, _)| *k == key);
+                    assert_eq!(hit, pos.is_some(), "case {case}: model divergence");
+                    if let Some(p) = pos {
+                        let e = model.remove(p);
+                        model.push(e);
+                    }
+                } else {
+                    let len = rng.gen_range(0usize..budget + 8);
+                    c.insert(fp(key), vec![0; len]);
+                    // Oversized values are rejected outright (the existing
+                    // entry, if any, survives untouched).
+                    if len <= budget {
+                        if let Some(p) = model.iter().position(|(k, _)| *k == key) {
+                            model.remove(p);
+                        }
+                        model.push((key, len));
+                        let mut total: usize = model.iter().map(|(_, l)| l).sum();
+                        while total > budget {
+                            let (_, l) = model.remove(0);
+                            total -= l;
+                        }
+                    }
+                }
+                assert!(
+                    c.bytes() <= budget,
+                    "case {case}: {} bytes over budget {budget}",
+                    c.bytes()
+                );
+                assert_eq!(
+                    lru_order(&c),
+                    model.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                    "case {case}: LRU order corrupted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ use wave_logic::fingerprint::{Canonical, Fingerprint, Fnv128};
 use wave_logic::parser::parse_property;
 use wave_logic::temporal::Property;
 use wave_verifier::precheck::precheck;
-use wave_verifier::symbolic::{is_error_free, verify_ltl, CancelToken, SymbolicOptions, Verdict};
+use wave_verifier::symbolic::{
+    is_error_free, verify_ltl, CancelToken, SearchStats, SymbolicOptions, Verdict, VerifyOutcome,
+};
 
 use crate::cache::ResultCache;
 use crate::codec::{outcome_to_json, Mode, VerifyRequest};
@@ -141,6 +143,9 @@ pub struct Counters {
     pub queue_rejections: AtomicU64,
     /// Submissions refused by static analysis before any verification.
     pub admission_rejections: AtomicU64,
+    /// Submissions whose deadline had already expired at submit time:
+    /// answered `Cancelled` without fingerprinting, caching or queueing.
+    pub dead_on_arrival: AtomicU64,
 }
 
 /// The verification service engine.
@@ -221,6 +226,15 @@ impl Engine {
         };
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
 
+        // The deadline budget is armed at submit: the whole pipeline —
+        // admission, fingerprinting, queue wait, verification — runs on
+        // the caller's clock.
+        let cancel = if req.deadline_us > 0 {
+            CancelToken::with_deadline(Duration::from_micros(req.deadline_us))
+        } else {
+            CancelToken::never()
+        };
+
         // Admission control: static analysis gates the request *before*
         // the fingerprint, the cache and the worker pool — an
         // inadmissible submit never consumes verification budget.
@@ -237,6 +251,27 @@ impl Engine {
             });
         }
 
+        // Dead on arrival: a deadline that expired before we even got
+        // here can never produce an answer — refuse to spend a
+        // fingerprint, a cache probe, a queue slot or a worker wakeup on
+        // it. The synthetic outcome is never cached (it carries the
+        // all-zero fingerprint, which no real request content produces).
+        if cancel.is_cancelled() {
+            self.counters
+                .dead_on_arrival
+                .fetch_add(1, Ordering::Relaxed);
+            let outcome = VerifyOutcome {
+                verdict: Verdict::Cancelled,
+                stats: SearchStats::default(),
+            };
+            return Ok(SubmitResult {
+                fingerprint: Fingerprint(0),
+                cache_hit: false,
+                class,
+                outcome_bytes: outcome_to_json(&outcome).encode().into_bytes(),
+            });
+        }
+
         let fp = request_fingerprint(&service, property.as_ref(), req.mode, req.node_limit);
         if let Some(bytes) = self.cache.lock().expect("cache poisoned").get(fp) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -249,19 +284,13 @@ impl Engine {
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-        // Schedule the verification; the deadline budget is armed when
-        // the job *starts* (queue wait does not consume it).
+        // Schedule the verification on the already-armed token: queue
+        // wait consumes the caller's deadline like every other stage.
         let (tx, rx) = mpsc::channel();
         let mode = req.mode;
         let node_limit = req.node_limit;
         let threads = req.threads;
-        let deadline_us = req.deadline_us;
         let submitted = self.sched.submit(move || {
-            let cancel = if deadline_us > 0 {
-                CancelToken::with_deadline(Duration::from_micros(deadline_us))
-            } else {
-                CancelToken::never()
-            };
             let opts = SymbolicOptions {
                 node_limit,
                 threads,
@@ -384,6 +413,36 @@ mod tests {
         r.node_limit = 2_000; // keep the cold run cheap
         let r2 = e.submit(&r).unwrap();
         assert!(!r2.cache_hit);
+    }
+
+    #[test]
+    fn expired_deadline_is_dead_on_arrival() {
+        let e = Engine::new(EngineOptions::default());
+        let mut r = req("full_site", "");
+        r.property = "forall p q . G (!ship(p, q) | paid)".into();
+        r.deadline_us = 1; // expires during parse/admission
+        let r1 = e.submit(&r).unwrap();
+        let out = outcome_from_json(
+            &Json::parse(std::str::from_utf8(&r1.outcome_bytes).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.verdict, Verdict::Cancelled, "{out:?}");
+        assert!(!r1.cache_hit);
+        assert_eq!(r1.fingerprint, Fingerprint(0), "no fingerprint computed");
+        // No cache traffic, no queued job — only the DOA counter moves.
+        let c = &e.counters;
+        assert_eq!(c.dead_on_arrival.load(Ordering::Relaxed), 1);
+        assert_eq!(c.cache_misses.load(Ordering::Relaxed), 0);
+        assert_eq!(c.cache_hits.load(Ordering::Relaxed), 0);
+        let (entries, _, _, _) = e.cache_usage();
+        assert_eq!(entries, 0);
+        // The same request with a sane deadline runs cold: the DOA
+        // answer was never cached.
+        r.deadline_us = 0;
+        r.node_limit = 2_000;
+        let r2 = e.submit(&r).unwrap();
+        assert!(!r2.cache_hit);
+        assert_ne!(r2.fingerprint, Fingerprint(0));
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                             "admission_rejections".into(),
                             Json::Int(c.admission_rejections.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "dead_on_arrival".into(),
+                            Json::Int(c.dead_on_arrival.load(Ordering::Relaxed) as i64),
+                        ),
                         ("cache_entries".into(), Json::Int(entries as i64)),
                         ("cache_bytes".into(), Json::Int(bytes as i64)),
                         ("cache_budget".into(), Json::Int(budget as i64)),

@@ -26,6 +26,7 @@ pub mod errorfree;
 pub mod fully_prop;
 pub mod input_driven;
 pub mod precheck;
+pub mod replay;
 pub mod symbolic;
 pub mod trace;
 

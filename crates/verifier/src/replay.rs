@@ -1,0 +1,174 @@
+//! The replay oracle: counterexamples must survive the concrete
+//! semantics.
+//!
+//! A `Violated` outcome of the enumerative engine carries a lasso of
+//! concrete configurations and a witness assignment. Neither is taken on
+//! faith: [`replay_violation`] re-executes the lasso through the
+//! interpreter of Definition 2.3 ([`Runner::replay_lasso`]) and then
+//! re-evaluates the property under the *reported* witness
+//! ([`crate::trace::check_lasso_with_env`]). A counterexample that fails
+//! either check is, by construction, a bug in the engine that produced
+//! it — this is the semantics-level trust anchor VERIFAS-style systems
+//! use to harden abstract verdicts, and the oracle `wave-qa` drives on
+//! every fuzzing campaign.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wave_core::run::{Config, ReplayError, Runner};
+use wave_core::service::Service;
+use wave_logic::eval::Env;
+use wave_logic::instance::Instance;
+use wave_logic::temporal::Property;
+use wave_logic::value::Value;
+
+use crate::enumerative::{EnumError, EnumOutcome};
+use crate::trace::check_lasso_with_env;
+
+/// Why a claimed counterexample did not stand up to replay.
+#[derive(Clone, Debug)]
+pub enum ReplayFailure {
+    /// The lasso is not a run of the service (Definition 2.3).
+    NotARun(ReplayError),
+    /// The lasso is a genuine run but *satisfies* the property under the
+    /// reported witness — the violation claim is false.
+    NotViolating {
+        /// The witness the engine reported.
+        witness: BTreeMap<String, Value>,
+    },
+    /// Property evaluation itself failed on the replayed run.
+    Check(EnumError),
+}
+
+impl fmt::Display for ReplayFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayFailure::NotARun(e) => write!(f, "lasso is not a run: {e}"),
+            ReplayFailure::NotViolating { witness } => {
+                write!(f, "run does not violate the property under witness {{")?;
+                for (i, (k, v)) in witness.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+            ReplayFailure::Check(e) => write!(f, "property re-evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayFailure {}
+
+/// Validates one claimed violation end-to-end: the lasso must replay as
+/// a genuine run of `service` over `db`, and the run must violate
+/// `property` under the reported `witness`.
+pub fn replay_violation(
+    service: &Service,
+    db: &Instance,
+    property: &Property,
+    witness: &BTreeMap<String, Value>,
+    stem: &[Config],
+    cycle: &[Config],
+) -> Result<(), ReplayFailure> {
+    let runner = Runner::new(service, db);
+    runner
+        .replay_lasso(stem, cycle)
+        .map_err(ReplayFailure::NotARun)?;
+    let configs: Vec<Config> = stem.iter().chain(cycle.iter()).cloned().collect();
+    let env: Env = witness.clone().into_iter().collect();
+    let violating = check_lasso_with_env(db, &configs, stem.len(), property, &env)
+        .map_err(ReplayFailure::Check)?;
+    if !violating {
+        return Err(ReplayFailure::NotViolating {
+            witness: witness.clone(),
+        });
+    }
+    Ok(())
+}
+
+/// Convenience: validates an [`EnumOutcome`] — `Violated` outcomes are
+/// replayed, everything else passes vacuously (there is no witness to
+/// distrust).
+pub fn replay_outcome(
+    service: &Service,
+    db: &Instance,
+    property: &Property,
+    outcome: &EnumOutcome,
+) -> Result<(), ReplayFailure> {
+    match outcome {
+        EnumOutcome::Violated {
+            witness,
+            stem,
+            cycle,
+        } => replay_violation(service, db, property, witness, stem, cycle),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerative::{verify_ltl_on_db, EnumOptions};
+    use wave_core::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+
+    fn toggle() -> Service {
+        let mut b = ServiceBuilder::new("P");
+        b.input_relation("go", 0)
+            .page("P")
+            .input_prop_on_page("go")
+            .target("Q", "go")
+            .page("Q")
+            .input_prop_on_page("go")
+            .target("P", "go");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn engine_counterexamples_replay() {
+        let s = toggle();
+        let db = Instance::new();
+        let p = parse_property("F Q").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(matches!(out, EnumOutcome::Violated { .. }), "{out:?}");
+        replay_outcome(&s, &db, &p, &out).expect("counterexample must replay");
+    }
+
+    #[test]
+    fn non_violations_pass_vacuously() {
+        let s = toggle();
+        let db = Instance::new();
+        let p = parse_property("G (P | Q)").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        assert!(out.holds());
+        replay_outcome(&s, &db, &p, &out).unwrap();
+    }
+
+    #[test]
+    fn forged_witness_is_caught() {
+        let s = toggle();
+        let db = Instance::new();
+        let p = parse_property("F Q").unwrap();
+        let out = verify_ltl_on_db(&s, &db, &p, &EnumOptions::default()).unwrap();
+        let EnumOutcome::Violated {
+            witness,
+            stem,
+            cycle,
+        } = out
+        else {
+            panic!("expected violation");
+        };
+        // Claim the same lasso violates a property it satisfies.
+        let satisfied = parse_property("G !Q").unwrap();
+        let err = replay_violation(&s, &db, &satisfied, &witness, &stem, &cycle).unwrap_err();
+        assert!(matches!(err, ReplayFailure::NotViolating { .. }), "{err}");
+        // Forge the lasso itself: duplicate the cycle into the stem but
+        // corrupt a page name.
+        let mut forged = cycle.clone();
+        forged[0].page = "Q".into();
+        let err = replay_violation(&s, &db, &p, &witness, &stem, &forged).unwrap_err();
+        assert!(matches!(err, ReplayFailure::NotARun(_)), "{err}");
+    }
+}

@@ -75,33 +75,81 @@ pub fn check_lasso(
     }
 
     for env in envs {
-        let mut letters = Vec::with_capacity(configs.len());
-        for cfg in configs {
-            let obs = cfg.observation(db);
-            let mut adom = obs.active_domain();
-            adom.extend(dom.iter().cloned());
-            let mut set = PropSet::new();
-            for (i, comp) in table.components.iter().enumerate() {
-                let grounded = comp.substitute(&|v| env.get(v).map(|val| Term::Lit(val.clone())));
-                match eval_closed_with_adom(&grounded, &obs, &adom) {
-                    Ok(true) => {
-                        set.insert(i as u32);
-                    }
-                    Ok(false) => {}
-                    // Unprovided input constant ⇒ component unsatisfied
-                    // (Definition 3.1's satisfaction condition).
-                    Err(EvalError::UnknownConstant(_)) => {}
-                    Err(e) => return Err(EnumError::Step(e.to_string())),
-                }
-            }
-            letters.push(set);
-        }
-        let (stem, lasso) = letters.split_at(loop_start);
-        if !pnf.eval_lasso(stem, lasso) {
+        if !lasso_satisfies(db, configs, loop_start, &table, &pnf, &dom, &env)? {
             return Ok(Some(env));
         }
     }
     Ok(None)
+}
+
+/// Evaluates the lasso under one witness assignment. Returns whether the
+/// run *satisfies* the property body for that assignment.
+fn lasso_satisfies(
+    db: &Instance,
+    configs: &[Config],
+    loop_start: usize,
+    table: &FoAbstraction,
+    pnf: &wave_automata::pltl::Pnf,
+    dom: &BTreeSet<Value>,
+    env: &Env,
+) -> Result<bool, EnumError> {
+    let mut letters = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let obs = cfg.observation(db);
+        let mut adom = obs.active_domain();
+        adom.extend(dom.iter().cloned());
+        let mut set = PropSet::new();
+        for (i, comp) in table.components.iter().enumerate() {
+            let grounded = comp.substitute(&|v| env.get(v).map(|val| Term::Lit(val.clone())));
+            match eval_closed_with_adom(&grounded, &obs, &adom) {
+                Ok(true) => {
+                    set.insert(i as u32);
+                }
+                Ok(false) => {}
+                // Unprovided input constant ⇒ component unsatisfied
+                // (Definition 3.1's satisfaction condition).
+                Err(EvalError::UnknownConstant(_)) => {}
+                Err(e) => return Err(EnumError::Step(e.to_string())),
+            }
+        }
+        letters.push(set);
+    }
+    let (stem, lasso) = letters.split_at(loop_start);
+    Ok(pnf.eval_lasso(stem, lasso))
+}
+
+/// Checks one *specific* witness assignment on the lasso: returns `true`
+/// when the run **violates** the property body under `env` — the form a
+/// verifier's counterexample claims. Used by the replay oracle to
+/// validate reported witnesses rather than searching for one.
+pub fn check_lasso_with_env(
+    db: &Instance,
+    configs: &[Config],
+    loop_start: usize,
+    property: &Property,
+    env: &Env,
+) -> Result<bool, EnumError> {
+    assert!(
+        !configs.is_empty(),
+        "a run needs at least one configuration"
+    );
+    assert!(loop_start < configs.len(), "loop start must index the run");
+    if property.classify() != TemporalClass::Ltl {
+        return Err(EnumError::NotLtl);
+    }
+    let mut table = FoAbstraction::default();
+    let pnf = to_pnf(&property.body, false, &mut table).ok_or(EnumError::NotLtl)?;
+    let mut dom: BTreeSet<Value> = db.active_domain();
+    for cfg in configs {
+        dom.extend(cfg.observation(db).active_domain());
+    }
+    for comp in &table.components {
+        dom.extend(comp.literals_used());
+    }
+    dom.extend(env.values().cloned());
+    Ok(!lasso_satisfies(
+        db, configs, loop_start, &table, &pnf, &dom, env,
+    )?)
 }
 
 /// Convenience: close the run by repeating its final configuration (the
