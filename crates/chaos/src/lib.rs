@@ -1,0 +1,39 @@
+//! # wave-chaos
+//!
+//! Deterministic fault injection for the `wave-serve` verification
+//! service, and the campaign driver that turns it into a regression
+//! gate.
+//!
+//! The service threads named **hook points** through its hot paths
+//! (`wave_serve::faults`): the cache journal's append and compaction,
+//! the worker run, the queue door, the network read/write, the deadline
+//! clock. This crate supplies the other half:
+//!
+//! * [`plane`] — [`plane::ChaosPlane`], a seeded
+//!   [`wave_serve::FaultInjector`] that rolls a SplitMix64 stream
+//!   against a plan's per-hook probabilities, so a campaign run is
+//!   reproducible from `(seed, plan)`;
+//! * [`plan`] — the named fault plans (`torn-cache`, `rough-net`,
+//!   `panic-storm`, `overload`, and the control plan `none`);
+//! * [`campaign`] — the driver: replay `wave-qa`-generated verification
+//!   cases through a faulted engine and a faulted TCP server, and check
+//!   the **chaos invariant** on every run:
+//!
+//!   > A fault may cause a clean, typed failure. It must never cause a
+//!   > wrong verdict, never a corrupted cache replay, and never a hung
+//!   > client.
+//!
+//! The `wave-chaos` binary (`--seeds N --plans a,b,c --budget SECS
+//! --json`) runs a campaign and exits nonzero on any invariant
+//! violation — it is wired into CI as the `chaos` job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod plan;
+pub mod plane;
+
+pub use campaign::{run_campaign, CampaignOptions, CampaignReport};
+pub use plan::Plan;
+pub use plane::ChaosPlane;

@@ -1,0 +1,124 @@
+//! The `wave-chaos` binary: run a fault-injection campaign against the
+//! verification service and exit nonzero on any invariant violation.
+//!
+//! ```text
+//! wave-chaos [--seeds N] [--start N] [--plans a,b,c] [--budget SECS]
+//!            [--node-limit N] [--no-wire] [--json]
+//! ```
+//!
+//! Default plans: the control plan `none` plus the four canonical fault
+//! plans (`torn-cache`, `rough-net`, `panic-storm`, `overload`).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use wave_chaos::campaign::{run_campaign, CampaignOptions};
+use wave_chaos::plan;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: wave-chaos [--seeds N] [--start N] [--plans a,b,c] [--budget SECS]\n\
+             \x20                 [--node-limit N] [--no-wire] [--json]\n\
+             plans: none torn-cache rough-net panic-storm overload"
+        );
+        return ExitCode::from(2);
+    }
+    // Injected worker panics are contained by the scheduler's
+    // catch_unwind and classified by the campaign; without this hook
+    // every one of them would spray a backtrace into the log. Anything
+    // else panicking is a real bug and keeps the default report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.starts_with("chaos:"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("chaos:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    match run(&args) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let defaults = CampaignOptions::default();
+    let opts = CampaignOptions {
+        seeds: flag_num(args, "--seeds", defaults.seeds)?,
+        start: flag_num(args, "--start", defaults.start)?,
+        plans: match flag(args, "--plans") {
+            None => defaults.plans,
+            Some(list) => plan::parse_list(list)?,
+        },
+        budget: match flag_num(args, "--budget", 0u64)? {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        },
+        wire: !args.iter().any(|a| a == "--no-wire"),
+        node_limit: flag_num(args, "--node-limit", defaults.node_limit)?,
+    };
+    let json = args.iter().any(|a| a == "--json");
+
+    let report = run_campaign(&opts);
+    if json {
+        println!("{}", report.to_json().encode());
+    } else {
+        println!(
+            "chaos campaign: {} runs ({} matches, {} non-answers, {} typed failures), \
+             {} wire calls, {} replay hits, {} faults injected, {} skipped{}",
+            report.runs,
+            report.matches,
+            report.non_answers,
+            report.typed_failures,
+            report.wire_calls,
+            report.replay_hits,
+            report.injected,
+            report.skipped,
+            if report.truncated {
+                " [truncated by budget]"
+            } else {
+                ""
+            },
+        );
+        for v in &report.violations {
+            println!("VIOLATION: {v}");
+        }
+        if report.ok() {
+            println!("invariant upheld: no wrong verdicts, no corrupted replays, no hangs");
+        }
+    }
+    Ok(report.ok())
+}

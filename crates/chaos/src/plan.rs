@@ -1,0 +1,257 @@
+//! Named fault plans: which hooks fire, how often, with what faults.
+//!
+//! A plan is deliberately a small closed enum rather than a config
+//! format: each plan is a *scenario* with a name that appears in CI
+//! logs and EXPERIMENTS.md, and the set must stay reviewable. The
+//! per-hook sampling lives in [`Plan::sample`]; probabilities are
+//! expressed per decision, so a plan composes with any workload.
+
+use std::time::Duration;
+
+use wave_rng::Rng;
+use wave_serve::{Fault, Hook};
+
+/// A named fault scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Control plan: no faults, ever. A campaign run under `none` must
+    /// match the reference run exactly — this is the "faults disabled ⇒
+    /// byte-identical" check.
+    None,
+    /// Storage chaos: torn, dropped and bit-flipped cache journal
+    /// appends, plus compactions killed mid-rewrite.
+    TornCache,
+    /// Network chaos: delayed and dropped reads, delayed, dropped and
+    /// torn writes.
+    RoughNet,
+    /// Worker chaos: jobs panic mid-run (with a sprinkle of stalls), so
+    /// containment, typed `Internal` failures and quarantine all fire.
+    PanicStorm,
+    /// Capacity chaos: forced queue-full bursts, skewed deadlines and
+    /// slowed workers, so shedding, retry-after and cancellation fire.
+    Overload,
+}
+
+impl Plan {
+    /// The four fault-bearing plans CI runs (the control plan `none` is
+    /// not in the set — it is a determinism check, not a fault load).
+    pub const CANONICAL: [Plan; 4] = [
+        Plan::TornCache,
+        Plan::RoughNet,
+        Plan::PanicStorm,
+        Plan::Overload,
+    ];
+
+    /// The plan's wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Plan::None => "none",
+            Plan::TornCache => "torn-cache",
+            Plan::RoughNet => "rough-net",
+            Plan::PanicStorm => "panic-storm",
+            Plan::Overload => "overload",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Plan> {
+        match s {
+            "none" => Some(Plan::None),
+            "torn-cache" => Some(Plan::TornCache),
+            "rough-net" => Some(Plan::RoughNet),
+            "panic-storm" => Some(Plan::PanicStorm),
+            "overload" => Some(Plan::Overload),
+            _ => None,
+        }
+    }
+
+    /// Samples the fault for one decision at `hook`, where `len` is the
+    /// hook's payload size in bytes (journal line, wire line; `0` where
+    /// meaningless). Probabilities are tuned so a campaign both
+    /// exercises the recovery paths *and* completes runs.
+    pub fn sample<R: Rng>(self, hook: Hook, len: usize, rng: &mut R) -> Fault {
+        match (self, hook) {
+            (Plan::None, _) => Fault::None,
+
+            (Plan::TornCache, Hook::JournalAppend) => {
+                if !rng.gen_bool(0.35) {
+                    return Fault::None;
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=4 => Fault::Torn {
+                        keep: rng.gen_range(0..len.max(1)),
+                    },
+                    5..=7 => Fault::Corrupt {
+                        offset: rng.gen_range(0..len.max(1)),
+                        xor: rng.gen_range(1u32..256) as u8,
+                    },
+                    _ => Fault::Drop,
+                }
+            }
+            (Plan::TornCache, Hook::JournalCompact) => {
+                if !rng.gen_bool(0.4) {
+                    return Fault::None;
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=5 => Fault::Torn {
+                        keep: rng.gen_range(0..len.max(1)),
+                    },
+                    6..=7 => Fault::Corrupt {
+                        offset: rng.gen_range(0..len.max(1)),
+                        xor: rng.gen_range(1u32..256) as u8,
+                    },
+                    _ => Fault::Drop,
+                }
+            }
+
+            (Plan::RoughNet, Hook::NetRead) => {
+                if !rng.gen_bool(0.2) {
+                    return Fault::None;
+                }
+                if rng.gen_bool(0.6) {
+                    Fault::Delay(Duration::from_millis(rng.gen_range(5u64..60)))
+                } else {
+                    Fault::Drop
+                }
+            }
+            (Plan::RoughNet, Hook::NetWrite) => {
+                if !rng.gen_bool(0.25) {
+                    return Fault::None;
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=3 => Fault::Delay(Duration::from_millis(rng.gen_range(5u64..60))),
+                    4..=6 => Fault::Torn {
+                        keep: rng.gen_range(0..len.max(1)),
+                    },
+                    _ => Fault::Drop,
+                }
+            }
+
+            (Plan::PanicStorm, Hook::WorkerRun) => {
+                if !rng.gen_bool(0.35) {
+                    return Fault::None;
+                }
+                if rng.gen_bool(0.8) {
+                    Fault::Panic
+                } else {
+                    Fault::Delay(Duration::from_millis(rng.gen_range(5u64..40)))
+                }
+            }
+
+            (Plan::Overload, Hook::QueueSubmit) => {
+                if rng.gen_bool(0.35) {
+                    Fault::QueueFull
+                } else {
+                    Fault::None
+                }
+            }
+            (Plan::Overload, Hook::DeadlineArm) => {
+                if rng.gen_bool(0.3) {
+                    Fault::SkewDeadline {
+                        mul: 1,
+                        div: rng.gen_range(2u32..2_000),
+                    }
+                } else {
+                    Fault::None
+                }
+            }
+            (Plan::Overload, Hook::WorkerRun) => {
+                if rng.gen_bool(0.15) {
+                    Fault::Delay(Duration::from_millis(rng.gen_range(5u64..30)))
+                } else {
+                    Fault::None
+                }
+            }
+
+            _ => Fault::None,
+        }
+    }
+}
+
+/// Parses a comma-separated plan list (e.g.
+/// `torn-cache,rough-net,panic-storm,overload`).
+pub fn parse_list(s: &str) -> Result<Vec<Plan>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| Plan::parse(p).ok_or_else(|| format!("unknown plan: {p}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_rng::SplitMix64;
+
+    #[test]
+    fn names_round_trip() {
+        for p in [
+            Plan::None,
+            Plan::TornCache,
+            Plan::RoughNet,
+            Plan::PanicStorm,
+            Plan::Overload,
+        ] {
+            assert_eq!(Plan::parse(p.name()), Some(p));
+        }
+        assert_eq!(Plan::parse("nope"), None);
+        assert_eq!(Plan::CANONICAL.len(), 4);
+        assert!(!Plan::CANONICAL.contains(&Plan::None));
+    }
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(
+            parse_list("torn-cache, rough-net").unwrap(),
+            vec![Plan::TornCache, Plan::RoughNet]
+        );
+        assert!(parse_list("torn-cache,bogus").is_err());
+    }
+
+    #[test]
+    fn control_plan_never_faults() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        for hook in Hook::ALL {
+            for _ in 0..100 {
+                assert_eq!(Plan::None.sample(hook, 64, &mut rng), Fault::None);
+            }
+        }
+    }
+
+    #[test]
+    fn plans_only_touch_their_hooks() {
+        let mut rng = SplitMix64::seed_from_u64(2);
+        for _ in 0..200 {
+            // Storage chaos never touches the network, and vice versa.
+            assert_eq!(
+                Plan::TornCache.sample(Hook::NetWrite, 64, &mut rng),
+                Fault::None
+            );
+            assert_eq!(
+                Plan::RoughNet.sample(Hook::JournalAppend, 64, &mut rng),
+                Fault::None
+            );
+            assert_eq!(
+                Plan::PanicStorm.sample(Hook::JournalCompact, 64, &mut rng),
+                Fault::None
+            );
+            assert_eq!(
+                Plan::Overload.sample(Hook::JournalAppend, 64, &mut rng),
+                Fault::None
+            );
+        }
+    }
+
+    #[test]
+    fn faulting_plans_actually_fault() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut hits = 0;
+        for _ in 0..200 {
+            if Plan::TornCache.sample(Hook::JournalAppend, 120, &mut rng) != Fault::None {
+                hits += 1;
+            }
+        }
+        // ~35% of 200; anything in a broad band proves the plan is live.
+        assert!((20..=140).contains(&hits), "{hits} faults in 200 draws");
+    }
+}

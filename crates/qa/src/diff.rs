@@ -145,6 +145,7 @@ fn kind(v: &Verdict) -> &'static str {
         Verdict::Violated { .. } => "violated",
         Verdict::LimitReached => "limit",
         Verdict::Cancelled => "cancelled",
+        Verdict::Poisoned => "poisoned",
     }
 }
 

@@ -1,5 +1,5 @@
 //! Content-addressed result cache: in-memory LRU with a byte budget,
-//! plus optional on-disk persistence as line-delimited JSON.
+//! plus optional on-disk persistence as CRC-framed line-delimited JSON.
 //!
 //! Keys are canonical [`Fingerprint`]s (see `wave_logic::fingerprint`);
 //! values are the **serialized bytes** of a `VerifyOutcome`. Storing the
@@ -12,21 +12,45 @@
 //! until the sum of stored value lengths fits. A single oversized value
 //! is never stored.
 //!
-//! Persistence appends one line per insert to a file:
-//! `{"fingerprint":"<32 hex>","outcome":{...}}`. On startup the file is
-//! replayed in order (later lines win), so the persisted file acts as an
-//! append-only journal; it is rewritten compacted on load, and again
-//! whenever refreshes and evictions have bloated it past ~4× the byte
-//! budget (dead and duplicate lines would otherwise accumulate forever
-//! and dominate the next load).
+//! # Journal format and crash tolerance
+//!
+//! Persistence appends one **framed** record per insert:
+//!
+//! ```text
+//! <8 hex crc32> {"fingerprint":"<32 hex>","outcome":{...}}
+//! ```
+//!
+//! The CRC-32 covers the JSON payload, so a torn final line (the write
+//! the crash interrupted), a corrupted byte, or a fragment of two lines
+//! merged by a torn append all fail the frame check and are **skipped
+//! and counted** (`dropped_records`) instead of poisoning the load;
+//! intact records keep loading after the damage (`recovered_records`).
+//! Unframed plain-JSON lines from the v1 format still load. The one
+//! invariant recovery guarantees: a loaded entry's bytes are exactly
+//! the bytes some insert journaled — damage can lose entries, never
+//! alter them (a cache miss is safe; a wrong hit is not).
+//!
+//! The journal is rewritten compacted on load, and again whenever
+//! refreshes and evictions have bloated it past ~4× the byte budget.
+//! Every rewrite is **atomic**: the compacted content goes to a
+//! sibling temp file, is fsynced, and is renamed over the journal, so
+//! a crash at any byte offset of the rewrite leaves the old journal
+//! intact (regression-tested at every offset in
+//! `tests/journal_crash.rs`).
+//!
+//! Fault injection: the [`Hook::JournalAppend`] and
+//! [`Hook::JournalCompact`] hook points let a chaos plane tear, corrupt
+//! or drop exactly these writes; see [`crate::faults`].
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use wave_logic::fingerprint::Fingerprint;
 
+use crate::crc32::crc32;
+use crate::faults::{Fault, Faults, Hook};
 use crate::json::Json;
 
 /// LRU cache keyed by fingerprint, bounded by total value bytes.
@@ -44,6 +68,23 @@ pub struct ResultCache {
     journal_bytes: usize,
     /// Journal rewrites triggered by the growth bound.
     compactions: u64,
+    /// Records successfully loaded from the journal (last load).
+    recovered_records: u64,
+    /// Journal lines rejected on load: torn, corrupted, or malformed.
+    dropped_records: u64,
+    /// Installed fault-injection plane (inert by default).
+    faults: Faults,
+}
+
+/// How an atomic journal rewrite ended.
+enum Rewrite {
+    /// The rename landed; the journal is the new content.
+    Done,
+    /// An injected fault "crashed" the rewrite before the rename; the
+    /// old journal is untouched.
+    Aborted,
+    /// A real I/O error; persistence must be disabled.
+    IoError,
 }
 
 impl ResultCache {
@@ -59,42 +100,63 @@ impl ResultCache {
             persist: None,
             journal_bytes: 0,
             compactions: 0,
+            recovered_records: 0,
+            dropped_records: 0,
+            faults: Faults::none(),
         }
     }
 
-    /// Enables persistence: replays `path` if it exists (malformed lines
-    /// are skipped, later duplicates win), rewrites it compacted, and
-    /// appends every future insert to it. I/O failures disable
-    /// persistence rather than failing verification.
+    /// Installs a fault-injection plane consulted at the journal hook
+    /// points. Call before [`ResultCache::with_persistence`] so the
+    /// load-time compaction is already under the plane.
+    pub fn with_faults(mut self, faults: Faults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables persistence: replays `path` if it exists (damaged lines
+    /// are skipped and counted, later duplicates win), rewrites it
+    /// compacted, and appends every future insert to it. I/O failures
+    /// disable persistence rather than failing verification.
     pub fn with_persistence(mut self, path: PathBuf) -> Self {
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            for line in text.lines() {
-                let Ok(v) = Json::parse(line) else { continue };
-                let Some(fp) = v
-                    .get("fingerprint")
-                    .and_then(Json::as_str)
-                    .and_then(Fingerprint::from_hex)
-                else {
-                    continue;
+        let mut on_disk = 0usize;
+        if let Ok(data) = std::fs::read(&path) {
+            on_disk = data.len();
+            // Process the journal as bytes, line by line: corruption can
+            // produce invalid UTF-8, and one poisoned line must drop
+            // alone instead of discarding the whole journal.
+            for raw in data.split(|&b| b == b'\n') {
+                let raw = match raw {
+                    [head @ .., b'\r'] => head,
+                    other => other,
                 };
-                let Some(outcome) = v.get("outcome") else {
+                if raw.is_empty() {
                     continue;
-                };
-                self.insert_in_memory(fp, outcome.encode().into_bytes());
+                }
+                match std::str::from_utf8(raw).ok().and_then(decode_journal_line) {
+                    Some((fp, bytes)) => {
+                        self.recovered_records += 1;
+                        self.insert_in_memory(fp, bytes);
+                    }
+                    None => self.dropped_records += 1,
+                }
             }
         }
-        // Compact: rewrite surviving entries oldest-first.
+        // Compact: rewrite surviving entries oldest-first, atomically.
+        self.persist = Some(path.clone());
+        self.journal_bytes = on_disk;
         let lines = self.compacted_journal();
-        self.journal_bytes = lines.len();
-        if std::fs::write(&path, lines).is_ok() {
-            self.persist = Some(path);
+        match self.rewrite_journal(&path, &lines) {
+            Rewrite::Done => self.journal_bytes = lines.len(),
+            Rewrite::Aborted => {} // old journal intact, keep appending to it
+            Rewrite::IoError => self.persist = None,
         }
         self
     }
 
     /// The journal content that exactly reproduces the in-memory state:
-    /// one line per live entry, oldest-first, so a replay rebuilds the
-    /// same LRU order.
+    /// one framed line per live entry, oldest-first, so a replay
+    /// rebuilds the same LRU order.
     fn compacted_journal(&self) -> String {
         let mut lines = String::new();
         for fp in self.recency.values() {
@@ -106,6 +168,56 @@ impl ResultCache {
         lines
     }
 
+    /// Atomically replaces the journal with `content`: temp file in the
+    /// same directory, fsync, rename. A crash (or injected tear) at any
+    /// byte offset of the temp write leaves the old journal intact.
+    fn rewrite_journal(&mut self, path: &Path, content: &str) -> Rewrite {
+        let mut payload = content.as_bytes().to_vec();
+        let mut write_len = payload.len();
+        let mut crash_before_rename = false;
+        match self.faults.decide(Hook::JournalCompact, payload.len()) {
+            Fault::None => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Torn { keep } => {
+                write_len = keep.min(payload.len());
+                crash_before_rename = true;
+            }
+            Fault::Corrupt { offset, xor } => {
+                if !payload.is_empty() {
+                    let i = offset % payload.len();
+                    payload[i] ^= xor;
+                }
+            }
+            // A dropped compaction write: the rewrite never happens.
+            Fault::Drop => return Rewrite::Aborted,
+            // Meaningless here.
+            Fault::Panic | Fault::QueueFull | Fault::SkewDeadline { .. } => {}
+        }
+        let tmp = path.with_extension("ndjson.tmp");
+        let write = std::fs::File::create(&tmp).and_then(|mut f| {
+            f.write_all(&payload[..write_len])?;
+            f.sync_all()
+        });
+        if write.is_err() {
+            return Rewrite::IoError;
+        }
+        if crash_before_rename {
+            // Simulated crash mid-rewrite: the temp file holds the torn
+            // prefix, the real journal was never touched.
+            return Rewrite::Aborted;
+        }
+        if std::fs::rename(&tmp, path).is_err() {
+            return Rewrite::IoError;
+        }
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Rewrite::Done
+    }
+
     /// Rewrites the journal compacted when growth (refresh duplicates,
     /// evicted-but-still-journaled lines) pushed it past ~4× the byte
     /// budget. An I/O failure disables persistence.
@@ -114,14 +226,23 @@ impl ResultCache {
         if self.journal_bytes <= bound {
             return;
         }
+        self.compact_now();
+    }
+
+    /// Forces an immediate atomic journal compaction (no-op without
+    /// persistence). Exposed for operational use and crash tests.
+    pub fn compact_now(&mut self) {
         let Some(path) = self.persist.clone() else {
             return;
         };
         let lines = self.compacted_journal();
-        self.journal_bytes = lines.len();
-        self.compactions += 1;
-        if std::fs::write(&path, lines).is_err() {
-            self.persist = None;
+        match self.rewrite_journal(&path, &lines) {
+            Rewrite::Done => {
+                self.journal_bytes = lines.len();
+                self.compactions += 1;
+            }
+            Rewrite::Aborted => {}
+            Rewrite::IoError => self.persist = None,
         }
     }
 
@@ -150,8 +271,8 @@ impl ResultCache {
         self.evictions
     }
 
-    /// Journal compactions triggered by the growth bound (not counting
-    /// the compaction-on-load).
+    /// Journal compactions triggered since construction (growth-bound
+    /// and forced; not counting the compaction-on-load).
     pub fn compactions(&self) -> u64 {
         self.compactions
     }
@@ -159,6 +280,21 @@ impl ResultCache {
     /// Current journal size in bytes (0 without persistence).
     pub fn journal_bytes(&self) -> usize {
         self.journal_bytes
+    }
+
+    /// Records successfully recovered from the journal at load.
+    pub fn recovered_records(&self) -> u64 {
+        self.recovered_records
+    }
+
+    /// Journal lines rejected at load (torn, corrupted or malformed).
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// True when persistence is (still) enabled.
+    pub fn persistent(&self) -> bool {
+        self.persist.is_some()
     }
 
     /// Looks up a fingerprint, refreshing its recency. Returns the
@@ -181,27 +317,53 @@ impl ResultCache {
     }
 
     /// Inserts (or refreshes) an entry, evicting LRU entries to fit the
-    /// budget, and appends to the persistence file when enabled. Values
-    /// larger than the whole budget are not stored.
+    /// budget, and appends a framed record to the journal when enabled.
+    /// Values larger than the whole budget are not stored.
     pub fn insert(&mut self, fp: Fingerprint, value: Vec<u8>) {
         let stored = self.insert_in_memory(fp, value);
         if stored {
-            if let Some(path) = &self.persist {
-                let (bytes, _) = &self.map[&fp.0];
-                let line = persist_line(fp, bytes);
-                let ok = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)
-                    .and_then(|mut f| writeln!(f, "{line}"))
-                    .is_ok();
-                if ok {
-                    self.journal_bytes += line.len() + 1;
-                } else {
-                    self.persist = None;
+            self.append_journal(fp);
+            self.maybe_compact_journal();
+        }
+    }
+
+    /// Appends the freshly stored entry to the journal, subject to the
+    /// [`Hook::JournalAppend`] fault point: a torn append writes a
+    /// newline-less prefix (which the CRC frame quarantines on the next
+    /// load), a corrupted append flips one byte, a dropped append loses
+    /// the record — all survivable, none can alter a *different*
+    /// record.
+    fn append_journal(&mut self, fp: Fingerprint) {
+        let Some(path) = self.persist.clone() else {
+            return;
+        };
+        let (bytes, _) = &self.map[&fp.0];
+        let line = persist_line(fp, bytes);
+        let mut payload = line.into_bytes();
+        payload.push(b'\n');
+        match self.faults.decide(Hook::JournalAppend, payload.len()) {
+            Fault::None => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Drop => return, // record lost, journal consistent
+            Fault::Torn { keep } => payload.truncate(keep.min(payload.len())),
+            Fault::Corrupt { offset, xor } => {
+                if !payload.is_empty() {
+                    let i = offset % payload.len();
+                    payload[i] ^= xor;
                 }
             }
-            self.maybe_compact_journal();
+            Fault::Panic | Fault::QueueFull | Fault::SkewDeadline { .. } => {}
+        }
+        let ok = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(&payload))
+            .is_ok();
+        if ok {
+            self.journal_bytes += payload.len();
+        } else {
+            self.persist = None;
         }
     }
 
@@ -237,19 +399,54 @@ impl ResultCache {
     }
 }
 
+/// One framed journal line (no trailing newline):
+/// `<8 hex crc32> <record json>`, CRC over the JSON payload.
 fn persist_line(fp: Fingerprint, outcome_bytes: &[u8]) -> String {
     // `outcome_bytes` is the canonical encoding of a JSON object; splice
     // it in verbatim so the journal stores the exact cached bytes.
-    format!(
+    let record = format!(
         "{{\"fingerprint\":\"{}\",\"outcome\":{}}}",
         fp.to_hex(),
         String::from_utf8_lossy(outcome_bytes),
-    )
+    );
+    format!("{:08x} {record}", crc32(record.as_bytes()))
+}
+
+/// Decodes one journal line. `None` means the line is damaged (CRC
+/// mismatch, torn frame, malformed JSON) and must be skipped — never
+/// that a damaged line yields altered bytes.
+fn decode_journal_line(line: &str) -> Option<(Fingerprint, Vec<u8>)> {
+    let bytes = line.as_bytes();
+    // Framed: 8 hex digits, a space, then the payload the CRC covers.
+    let framed =
+        bytes.len() > 9 && bytes[8] == b' ' && bytes[..8].iter().all(u8::is_ascii_hexdigit);
+    let record = if framed {
+        let crc = u32::from_str_radix(&line[..8], 16).ok()?;
+        let payload = &line[9..];
+        if crc32(payload.as_bytes()) != crc {
+            return None;
+        }
+        payload
+    } else if bytes.first() == Some(&b'{') {
+        // Legacy v1: unframed plain JSON. Accepted only when it parses
+        // cleanly end to end.
+        line
+    } else {
+        return None;
+    };
+    let v = Json::parse(record).ok()?;
+    let fp = v
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(Fingerprint::from_hex)?;
+    let outcome = v.get("outcome")?;
+    Some((fp, outcome.encode().into_bytes()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn fp(n: u128) -> Fingerprint {
         Fingerprint(n)
@@ -311,6 +508,12 @@ mod tests {
         (dir, path)
     }
 
+    fn cleanup(dir: &Path, path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path.with_extension("ndjson.tmp"));
+        let _ = std::fs::remove_dir(dir);
+    }
+
     #[test]
     fn reload_reproduces_state_after_evictions_and_refreshes() {
         let (dir, path) = temp_path("reload");
@@ -337,8 +540,7 @@ mod tests {
             c2.map.keys().all(|k| state.0.contains(k)),
             "no dead entries reloaded"
         );
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        cleanup(&dir, &path);
     }
 
     #[test]
@@ -363,8 +565,7 @@ mod tests {
         // And the compacted journal still reproduces the state.
         let c2 = ResultCache::new(budget).with_persistence(path.clone());
         assert_eq!(lru_order(&c2), lru_order(&c));
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        cleanup(&dir, &path);
     }
 
     #[test]
@@ -420,12 +621,7 @@ mod tests {
 
     #[test]
     fn persistence_round_trips_across_instances() {
-        let dir =
-            std::env::temp_dir().join(format!("wave-serve-cache-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("cache.ndjson");
-        let _ = std::fs::remove_file(&path);
-
+        let (dir, path) = temp_path("roundtrip");
         let payload = br#"{"verdict":{"kind":"holds","explored":3},"stats":{}}"#.to_vec();
         {
             let mut c = ResultCache::new(4096).with_persistence(path.clone());
@@ -433,9 +629,11 @@ mod tests {
             c.insert(fp(0xdef), b"{}".to_vec());
         }
         let mut c2 = ResultCache::new(4096).with_persistence(path.clone());
+        assert_eq!(c2.recovered_records(), 2);
+        assert_eq!(c2.dropped_records(), 0);
         assert_eq!(c2.get(fp(0xabc)).unwrap(), payload);
         assert_eq!(c2.get(fp(0xdef)).unwrap(), b"{}".to_vec());
-        // Corrupt journal lines are skipped, not fatal.
+        // Corrupt journal lines are skipped and counted, not fatal.
         std::fs::OpenOptions::new()
             .append(true)
             .open(&path)
@@ -443,7 +641,99 @@ mod tests {
             .unwrap();
         let c3 = ResultCache::new(4096).with_persistence(path.clone());
         assert_eq!(c3.len(), 2);
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        assert_eq!(c3.recovered_records(), 2);
+        assert_eq!(c3.dropped_records(), 1);
+        cleanup(&dir, &path);
+    }
+
+    #[test]
+    fn legacy_unframed_journal_lines_still_load() {
+        let (dir, path) = temp_path("legacy");
+        let record = format!(
+            "{{\"fingerprint\":\"{}\",\"outcome\":{{\"v\":7}}}}",
+            Fingerprint(0x77).to_hex()
+        );
+        std::fs::write(&path, format!("{record}\n")).unwrap();
+        let mut c = ResultCache::new(4096).with_persistence(path.clone());
+        assert_eq!(c.recovered_records(), 1);
+        assert_eq!(c.get(fp(0x77)).unwrap(), b"{\"v\":7}".to_vec());
+        // The load-time compaction upgraded the line to the framed form.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.as_bytes()[8] == b' ', "rewritten framed: {text}");
+        cleanup(&dir, &path);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_the_rest_recovered() {
+        let (dir, path) = temp_path("torn");
+        {
+            let mut c = ResultCache::new(4096).with_persistence(path.clone());
+            c.insert(fp(1), b"{\"v\":1}".to_vec());
+            c.insert(fp(2), b"{\"v\":2}".to_vec());
+        }
+        // Tear the last line mid-record, as a crash during append would.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 9);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut c = ResultCache::new(4096).with_persistence(path.clone());
+        assert_eq!(c.recovered_records(), 1);
+        assert_eq!(c.dropped_records(), 1);
+        assert_eq!(c.get(fp(1)).unwrap(), b"{\"v\":1}".to_vec());
+        assert!(c.get(fp(2)).is_none(), "torn record must vanish, not lie");
+        cleanup(&dir, &path);
+    }
+
+    /// A plane that tears exactly the `n`-th journal append (1-based)
+    /// after `keep` bytes; every other hook is clean.
+    struct TearNthAppend {
+        n: u64,
+        keep: usize,
+        count: std::sync::Mutex<u64>,
+    }
+    impl crate::faults::FaultInjector for TearNthAppend {
+        fn decide(&self, hook: Hook, _len: usize) -> Fault {
+            if hook != Hook::JournalAppend {
+                return Fault::None;
+            }
+            let mut c = self.count.lock().unwrap();
+            *c += 1;
+            if *c == self.n {
+                Fault::Torn { keep: self.keep }
+            } else {
+                Fault::None
+            }
+        }
+    }
+
+    #[test]
+    fn injected_torn_append_cannot_corrupt_neighbouring_records() {
+        let (dir, path) = temp_path("tearhook");
+        {
+            // Entry 2's append is torn after 20 bytes (no newline), so
+            // entry 3's line lands glued onto the fragment.
+            let plane = Faults::new(Arc::new(TearNthAppend {
+                n: 2,
+                keep: 20,
+                count: std::sync::Mutex::new(0),
+            }));
+            let mut c = ResultCache::new(4096)
+                .with_faults(plane)
+                .with_persistence(path.clone());
+            c.insert(fp(1), b"{\"v\":1}".to_vec());
+            c.insert(fp(2), b"{\"v\":2}".to_vec());
+            c.insert(fp(3), b"{\"v\":3}".to_vec());
+        }
+        let mut c = ResultCache::new(4096).with_persistence(path.clone());
+        // The fragment merged with entry 3's line fails the frame check:
+        // both damaged records vanish; nothing loads altered bytes.
+        assert_eq!(c.get(fp(1)).unwrap(), b"{\"v\":1}".to_vec());
+        assert!(c.get(fp(2)).is_none(), "the torn record is gone, not wrong");
+        assert!(
+            c.get(fp(3)).is_none(),
+            "the glued record is gone, not wrong"
+        );
+        assert_eq!(c.recovered_records(), 1);
+        assert_eq!(c.dropped_records(), 1, "one merged damaged line");
+        cleanup(&dir, &path);
     }
 }

@@ -3,19 +3,40 @@
 //! [`LocalClient`] drives an [`Engine`] directly through the same
 //! line-level protocol the TCP server speaks, so in-process callers and
 //! remote callers observe byte-identical responses. [`TcpClient`] is a
-//! blocking newline-delimited-JSON session over `std::net::TcpStream`.
+//! blocking newline-delimited-JSON session over `std::net::TcpStream`,
+//! hardened against the network faults chaos testing injects:
+//!
+//! * every read carries a **timeout** (default 120 s): a stalled or
+//!   half-dead server yields a typed [`ClientError::Timeout`], never a
+//!   hung client;
+//! * responses are accumulated **byte-wise** across reads, so a server
+//!   that dribbles a line out in fragments is reassembled correctly —
+//!   and a timeout mid-line never silently discards the partial data
+//!   (the session is marked broken instead, because a late response
+//!   could otherwise desynchronize every subsequent round trip);
+//! * [`TcpClient::verify_with_retry`] reconnects and resubmits under a
+//!   [`RetryPolicy`] (exponential backoff, decorrelated jitter, a total
+//!   sleep budget). Resubmitting is **safe** because verify requests
+//!   are idempotent: the engine keys them by canonical fingerprint, so
+//!   a duplicate submit is a cache hit replaying byte-identical
+//!   outcome bytes, never a second divergent answer.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use wave_logic::fingerprint::Fingerprint;
+use wave_rng::{Rng, SplitMix64};
 use wave_verifier::symbolic::VerifyOutcome;
 
 use crate::codec::{outcome_from_json, Request, VerifyRequest};
 use crate::engine::Engine;
 use crate::json::Json;
 use crate::server::handle_line;
+
+/// Default per-read timeout for TCP sessions.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// A decoded successful `verify` response.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,7 +61,22 @@ pub struct VerifyReply {
 pub enum ClientError {
     /// Transport failure.
     Io(std::io::Error),
-    /// The server answered `ok: false`.
+    /// No complete response line arrived within the read timeout. The
+    /// session is broken afterwards: a late response could desync every
+    /// later round trip, so reconnect (or use
+    /// [`TcpClient::verify_with_retry`], which does).
+    Timeout,
+    /// The server is draining and refused the request (kind
+    /// `draining`). Retrying the same server is pointless until it
+    /// restarts.
+    Draining,
+    /// The server shed the request under load (kind `retry_after`) and
+    /// suggested a backoff.
+    RetryAfter {
+        /// Suggested wait before resubmitting, in milliseconds.
+        after_ms: u64,
+    },
+    /// The server answered `ok: false` (semantic refusal).
     Server(String),
     /// The response line was not valid protocol.
     Protocol(String),
@@ -50,6 +86,11 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Timeout => write!(f, "timed out waiting for a response line"),
+            ClientError::Draining => write!(f, "server is draining; not accepting new jobs"),
+            ClientError::RetryAfter { after_ms } => {
+                write!(f, "server overloaded; retry after {after_ms} ms")
+            }
             ClientError::Server(e) => write!(f, "server: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
         }
@@ -70,6 +111,19 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
     match v.get("ok").and_then(Json::as_bool) {
         Some(true) => {}
         Some(false) => {
+            // Flow-control refusals are kind-tagged: map them to typed
+            // errors so callers can back off or migrate mechanically.
+            match v.get("kind").and_then(Json::as_str) {
+                Some("draining") => return Err(ClientError::Draining),
+                Some("retry_after") => {
+                    let after_ms = v
+                        .get("retry_after_ms")
+                        .and_then(Json::as_int)
+                        .map_or(1_000, |n| n.max(0) as u64);
+                    return Err(ClientError::RetryAfter { after_ms });
+                }
+                _ => {}
+            }
             let msg = v
                 .get("error")
                 .and_then(Json::as_str)
@@ -117,6 +171,22 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
     })
 }
 
+/// Decodes one response line for a `drain` request: whether the server
+/// reached idle within its deadline.
+fn decode_drain_line(line: &str) -> Result<bool, ClientError> {
+    let v = Json::parse(line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified error");
+        return Err(ClientError::Server(msg.to_string()));
+    }
+    v.get("drained")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ClientError::Protocol("missing drained".into()))
+}
+
 /// In-process client: same protocol, no socket.
 pub struct LocalClient {
     engine: Arc<Engine>,
@@ -143,44 +213,205 @@ impl LocalClient {
             .cloned()
             .ok_or_else(|| ClientError::Protocol("missing stats".into()))
     }
+
+    /// Starts a graceful drain and waits up to `deadline` for in-flight
+    /// jobs; returns whether the engine reached idle.
+    pub fn drain(&self, deadline: Duration) -> Result<bool, ClientError> {
+        let line = Request::Drain {
+            deadline_ms: deadline.as_millis().min(u64::MAX as u128) as u64,
+        }
+        .encode();
+        decode_drain_line(&handle_line(&self.engine, &line))
+    }
+}
+
+/// Reconnect-and-resubmit policy for [`TcpClient::verify_with_retry`]:
+/// exponential backoff with decorrelated jitter, bounded by a per-sleep
+/// cap, an attempt count and a total sleep budget.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included; min 1).
+    pub max_attempts: u32,
+    /// First backoff (and the jitter floor).
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Upper bound on *cumulative* backoff sleep: once spent, the next
+    /// failure is final even if attempts remain.
+    pub budget: Duration,
+    /// Seed for the jitter stream — same seed, same sleep sequence, so
+    /// chaos campaigns replay deterministically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            budget: Duration::from_secs(10),
+            seed: 0x7761_7665, // "wave"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Is `err` worth a reconnect-and-resubmit? Transport failures,
+    /// timeouts, garbled lines (a torn write ends the line mid-JSON)
+    /// and explicit retry-after hints are; semantic refusals and a
+    /// draining server are not.
+    fn retryable(err: &ClientError) -> bool {
+        matches!(
+            err,
+            ClientError::Io(_)
+                | ClientError::Timeout
+                | ClientError::Protocol(_)
+                | ClientError::RetryAfter { .. }
+        )
+    }
 }
 
 /// A blocking TCP session with a running server.
 pub struct TcpClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    /// Bytes received but not yet consumed as a complete line — a
+    /// response split across TCP segments reassembles here.
+    pending: Vec<u8>,
+    /// Set after a read timeout: a late response may still arrive, so
+    /// every later round trip on this session could pair a request with
+    /// the *previous* request's answer. Broken sessions refuse to
+    /// continue; reconnect instead.
+    broken: bool,
 }
 
 impl TcpClient {
-    /// Connects to a server.
+    /// Connects to a server with the default read timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        Self::connect_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects with an explicit per-read timeout (`Duration::ZERO` is
+    /// rejected by the OS; use a large value for "effectively none").
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+    ) -> std::io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
+        stream.set_read_timeout(Some(read_timeout))?;
         Ok(TcpClient {
-            reader: BufReader::new(stream),
-            writer,
+            stream,
+            pending: Vec::new(),
+            broken: false,
         })
     }
 
+    /// Adjusts the per-read timeout mid-session.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
     /// Sends one raw line and reads one response line.
-    pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
+    pub fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        if self.broken {
+            return Err(ClientError::Protocol(
+                "session broken by an earlier timeout; reconnect".into(),
             ));
         }
-        Ok(response.trim_end_matches('\n').to_string())
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        loop {
+            // A complete line may already be buffered (servers may batch
+            // multiple responses into one segment).
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line_bytes: Vec<u8> = self.pending.drain(..=pos).collect();
+                line_bytes.pop(); // the newline
+                if line_bytes.last() == Some(&b'\r') {
+                    line_bytes.pop();
+                }
+                return String::from_utf8(line_bytes)
+                    .map_err(|_| ClientError::Protocol("response line is not UTF-8".into()));
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                // Unix reports a read timeout as WouldBlock, Windows as
+                // TimedOut; either way the partial bytes stay buffered
+                // and the session is poisoned.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    self.broken = true;
+                    return Err(ClientError::Timeout);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Runs one verify request to completion.
     pub fn verify(&mut self, req: &VerifyRequest) -> Result<VerifyReply, ClientError> {
         let line = self.round_trip(&Request::Verify(req.clone()).encode())?;
         decode_verify_line(&line)
+    }
+
+    /// Runs one verify request with reconnect-and-resubmit under
+    /// `policy`. Each attempt gets a **fresh connection** (a timed-out
+    /// session is desynchronized and must not be reused); between
+    /// attempts the client sleeps with exponential backoff and
+    /// decorrelated jitter, honouring any server `retry_after_ms` hint.
+    /// Safe to call for the same request repeatedly: submits are
+    /// idempotent by fingerprint.
+    pub fn verify_with_retry(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+        req: &VerifyRequest,
+        policy: &RetryPolicy,
+    ) -> Result<VerifyReply, ClientError> {
+        let mut rng = SplitMix64::seed_from_u64(policy.seed);
+        let mut slept = Duration::ZERO;
+        // Decorrelated jitter state: next sleep is uniform in
+        // [base, prev * 3], capped.
+        let mut prev = policy.base;
+        let attempts = policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            let result = TcpClient::connect_timeout(&addr, read_timeout)
+                .map_err(ClientError::Io)
+                .and_then(|mut c| c.verify(req));
+            let err = match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) => e,
+            };
+            if !RetryPolicy::retryable(&err) || attempt + 1 == attempts {
+                return Err(err);
+            }
+            // Decorrelated jitter (Brooker): sleep ~ U[base, prev*3],
+            // clamped to the cap; a server hint raises the floor.
+            let lo = policy.base.as_millis().max(1) as u64;
+            let hi = prev.as_millis().saturating_mul(3).max(lo as u128 + 1) as u64;
+            let mut sleep_ms = rng.gen_range(lo..hi).min(policy.cap.as_millis() as u64);
+            if let ClientError::RetryAfter { after_ms } = &err {
+                sleep_ms = sleep_ms.max(*after_ms);
+            }
+            let sleep = Duration::from_millis(sleep_ms);
+            if slept + sleep > policy.budget {
+                // Budget exhausted: surface the real failure rather than
+                // sleeping past what the caller allowed.
+                return Err(err);
+            }
+            std::thread::sleep(sleep);
+            slept += sleep;
+            prev = sleep.max(policy.base);
+            last_err = Some(err);
+        }
+        Err(last_err.unwrap_or(ClientError::Timeout))
     }
 
     /// Fetches the server counters as JSON.
@@ -197,5 +428,18 @@ impl TcpClient {
         v.get("stats")
             .cloned()
             .ok_or_else(|| ClientError::Protocol("missing stats".into()))
+    }
+
+    /// Starts a graceful drain on the server and waits (server-side) up
+    /// to `deadline` for in-flight jobs; returns whether the server
+    /// reached idle. The read timeout must exceed the deadline.
+    pub fn drain(&mut self, deadline: Duration) -> Result<bool, ClientError> {
+        let line = self.round_trip(
+            &Request::Drain {
+                deadline_ms: deadline.as_millis().min(u64::MAX as u128) as u64,
+            }
+            .encode(),
+        )?;
+        decode_drain_line(&line)
     }
 }

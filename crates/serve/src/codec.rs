@@ -8,6 +8,7 @@
 //!  "property":"forall p . G (!ship(p) | paid)",
 //!  "mode":"ltl","node_limit":0,"threads":1,"deadline_us":0}
 //! {"cmd":"stats"}
+//! {"cmd":"drain","deadline_ms":5000}
 //! ```
 //!
 //! Response:
@@ -16,6 +17,9 @@
 //!  "outcome":{"verdict":{"kind":"holds","explored":12},
 //!             "stats":{"nodes_interned":12,...,"search_wall_us":1401}}}
 //! {"ok":false,"error":"unknown service: nope"}
+//! {"ok":false,"error":"draining: not accepting new jobs","kind":"draining"}
+//! {"ok":false,"error":"overloaded: retry after 150 ms","kind":"retry_after",
+//!  "retry_after_ms":150}
 //! ```
 //!
 //! Stability rules:
@@ -91,6 +95,13 @@ pub enum Request {
     Verify(VerifyRequest),
     /// Report server counters.
     Stats,
+    /// Start a graceful drain: in-flight jobs finish (bounded by the
+    /// deadline), every new submit is refused with kind `draining`.
+    Drain {
+        /// How long the server may wait for in-flight jobs, in
+        /// milliseconds (`0` = don't wait, just flip the gate).
+        deadline_ms: u64,
+    },
 }
 
 /// Errors raised while decoding a line into a [`Request`].
@@ -131,6 +142,16 @@ impl Request {
             .ok_or_else(|| err("missing \"cmd\""))?;
         match cmd {
             "stats" => Ok(Request::Stats),
+            "drain" => {
+                let deadline = v.get("deadline_ms").map_or(Ok(0i64), |d| {
+                    d.as_int()
+                        .ok_or_else(|| err("deadline_ms must be an integer"))
+                })?;
+                Ok(Request::Drain {
+                    deadline_ms: u64::try_from(deadline)
+                        .map_err(|_| err("deadline_ms must be non-negative"))?,
+                })
+            }
             "verify" => {
                 let service = v
                     .get("service")
@@ -171,6 +192,11 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Request::Stats => Json::Obj(vec![("cmd".into(), Json::str("stats"))]).encode(),
+            Request::Drain { deadline_ms } => Json::Obj(vec![
+                ("cmd".into(), Json::str("drain")),
+                ("deadline_ms".into(), Json::Int(*deadline_ms as i64)),
+            ])
+            .encode(),
             Request::Verify(r) => Json::Obj(vec![
                 ("cmd".into(), Json::str("verify")),
                 ("service".into(), Json::str(&r.service)),
@@ -253,6 +279,7 @@ pub fn verdict_to_json(v: &Verdict) -> Json {
         ]),
         Verdict::LimitReached => Json::Obj(vec![("kind".into(), Json::str("limit_reached"))]),
         Verdict::Cancelled => Json::Obj(vec![("kind".into(), Json::str("cancelled"))]),
+        Verdict::Poisoned => Json::Obj(vec![("kind".into(), Json::str("poisoned"))]),
     }
 }
 
@@ -292,6 +319,7 @@ pub fn verdict_from_json(v: &Json) -> Result<Verdict, DecodeError> {
         }
         "limit_reached" => Ok(Verdict::LimitReached),
         "cancelled" => Ok(Verdict::Cancelled),
+        "poisoned" => Ok(Verdict::Poisoned),
         other => Err(err(format!("verdict: unknown kind {other}"))),
     }
 }
@@ -344,6 +372,10 @@ mod tests {
             },
             VerifyOutcome {
                 verdict: Verdict::Cancelled,
+                stats: stats.clone(),
+            },
+            VerifyOutcome {
+                verdict: Verdict::Poisoned,
                 stats,
             },
         ]
@@ -383,6 +415,7 @@ mod tests {
     fn request_round_trips() {
         let reqs = vec![
             Request::Stats,
+            Request::Drain { deadline_ms: 2500 },
             Request::Verify(VerifyRequest {
                 service: "checkout_core".into(),
                 property: "forall p . G (!ship(p) | paid)".into(),

@@ -1,0 +1,224 @@
+//! Named fault-injection hook points.
+//!
+//! The service layer is threaded with **hooks**: at each point where a
+//! real deployment can fail — a journal write, a worker thread, a
+//! socket, the admission queue, a deadline clock — the code asks an
+//! installed [`FaultInjector`] what should go wrong *right now*. With
+//! no injector installed (the default, and the only production
+//! configuration) every hook is a branch on a `None` and the service
+//! behaves exactly as before.
+//!
+//! The injector itself lives outside this crate: `wave-chaos` provides
+//! a seeded, plan-driven implementation and a campaign driver that
+//! replays `wave-qa` cases under fault plans. This module only defines
+//! the vocabulary — *where* faults can strike ([`Hook`]) and *what*
+//! they can do ([`Fault`]) — so the hook sites stay honest about the
+//! failure model they claim to survive (see DESIGN.md §10 for the
+//! fault → hook → expected-outcome table).
+//!
+//! Faults are **requests, not guarantees**: a hook site applies the
+//! returned fault as far as it is meaningful there (a `Panic` at a
+//! journal-write hook is ignored, a `Torn` write at a worker hook is
+//! ignored). The injector learns what actually fired through its own
+//! accounting, not through this module.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The named places where a fault can be injected.
+///
+/// The wire names (`Hook::name`) are what fault plans and the campaign
+/// driver use; keep them stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hook {
+    /// Appending one record line to the cache journal.
+    JournalAppend,
+    /// Rewriting the journal compacted (the temp-file write, before the
+    /// atomic rename).
+    JournalCompact,
+    /// A worker thread about to run a verification job.
+    WorkerRun,
+    /// Admission of a job to the bounded queue.
+    QueueSubmit,
+    /// The server about to read the next request line from a socket.
+    NetRead,
+    /// The server about to write a response line to a socket.
+    NetWrite,
+    /// Arming a request's deadline from `deadline_us`.
+    DeadlineArm,
+}
+
+impl Hook {
+    /// Every hook point, for iteration in plans and reports.
+    pub const ALL: [Hook; 7] = [
+        Hook::JournalAppend,
+        Hook::JournalCompact,
+        Hook::WorkerRun,
+        Hook::QueueSubmit,
+        Hook::NetRead,
+        Hook::NetWrite,
+        Hook::DeadlineArm,
+    ];
+
+    /// The stable wire name of the hook point.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hook::JournalAppend => "journal.append",
+            Hook::JournalCompact => "journal.compact",
+            Hook::WorkerRun => "worker.run",
+            Hook::QueueSubmit => "queue.submit",
+            Hook::NetRead => "net.read",
+            Hook::NetWrite => "net.write",
+            Hook::DeadlineArm => "deadline.arm",
+        }
+    }
+
+    /// Parses a wire name back into a hook point.
+    pub fn parse(s: &str) -> Option<Hook> {
+        Hook::ALL.into_iter().find(|h| h.name() == s)
+    }
+
+    /// A dense index (for per-hook counters).
+    pub fn index(self) -> usize {
+        Hook::ALL
+            .iter()
+            .position(|h| *h == self)
+            .expect("hook is in ALL")
+    }
+}
+
+/// What a hook site should do, as decided by the injector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Proceed normally.
+    None,
+    /// Write only the first `keep` bytes of the pending payload, then
+    /// behave as if the process died before finishing (torn write). At
+    /// net hooks: write `keep` bytes and drop the connection.
+    Torn {
+        /// Bytes actually written before the tear.
+        keep: usize,
+    },
+    /// Flip the byte at `offset % len` by XOR with `xor` (which the
+    /// injector keeps nonzero) before writing.
+    Corrupt {
+        /// Position of the corrupted byte (reduced modulo the payload
+        /// length by the hook site).
+        offset: usize,
+        /// The XOR mask applied to it.
+        xor: u8,
+    },
+    /// Panic the current thread (worker hooks only — everything else
+    /// ignores it).
+    Panic,
+    /// Sleep this long before proceeding (slow I/O, stalled peer).
+    Delay(Duration),
+    /// Fail the operation outright: a dropped connection at net hooks,
+    /// a lost write at journal hooks.
+    Drop,
+    /// Report the queue as full regardless of actual occupancy
+    /// (queue-full burst).
+    QueueFull,
+    /// Scale the deadline by `mul / div` before arming it (clock skew;
+    /// `div` is kept nonzero by the injector).
+    SkewDeadline {
+        /// Numerator of the scale factor.
+        mul: u32,
+        /// Denominator of the scale factor.
+        div: u32,
+    },
+}
+
+/// The decision interface a chaos plane implements.
+///
+/// `len` is the length in bytes of the payload about to be written (0
+/// at non-write hooks) so the injector can pick meaningful tear points
+/// and corruption offsets.
+pub trait FaultInjector: Send + Sync {
+    /// Decides what (if anything) goes wrong at `hook` this time.
+    fn decide(&self, hook: Hook, len: usize) -> Fault;
+}
+
+/// A cheap, cloneable handle to an optional installed injector.
+///
+/// The default handle is empty and every [`Faults::decide`] through it
+/// is a constant [`Fault::None`] — production code pays one `Option`
+/// branch per hook.
+#[derive(Clone, Default)]
+pub struct Faults(Option<Arc<dyn FaultInjector>>);
+
+impl Faults {
+    /// The empty handle: no faults, ever.
+    pub fn none() -> Faults {
+        Faults(None)
+    }
+
+    /// A handle around an installed injector.
+    pub fn new(injector: Arc<dyn FaultInjector>) -> Faults {
+        Faults(Some(injector))
+    }
+
+    /// True when an injector is installed.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Asks the injector (if any) what goes wrong at `hook`.
+    pub fn decide(&self, hook: Hook, len: usize) -> Fault {
+        match &self.0 {
+            None => Fault::None,
+            Some(inj) => inj.decide(hook, len),
+        }
+    }
+}
+
+impl std::fmt::Debug for Faults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Faults({})",
+            if self.is_active() { "active" } else { "none" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_names_round_trip() {
+        for h in Hook::ALL {
+            assert_eq!(Hook::parse(h.name()), Some(h), "{h:?}");
+        }
+        assert_eq!(Hook::parse("nope"), None);
+        // Dense indices cover 0..ALL.len() exactly once.
+        let mut seen = [false; Hook::ALL.len()];
+        for h in Hook::ALL {
+            assert!(!seen[h.index()]);
+            seen[h.index()] = true;
+        }
+    }
+
+    #[test]
+    fn empty_handle_is_inert() {
+        let f = Faults::none();
+        assert!(!f.is_active());
+        for h in Hook::ALL {
+            assert_eq!(f.decide(h, 100), Fault::None);
+        }
+    }
+
+    #[test]
+    fn installed_injector_is_consulted() {
+        struct AlwaysPanic;
+        impl FaultInjector for AlwaysPanic {
+            fn decide(&self, _hook: Hook, _len: usize) -> Fault {
+                Fault::Panic
+            }
+        }
+        let f = Faults::new(Arc::new(AlwaysPanic));
+        assert!(f.is_active());
+        assert_eq!(f.decide(Hook::WorkerRun, 0), Fault::Panic);
+    }
+}

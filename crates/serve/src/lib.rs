@@ -31,16 +31,19 @@
 pub mod cache;
 pub mod client;
 pub mod codec;
+pub mod crc32;
 pub mod engine;
+pub mod faults;
 pub mod json;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use client::{LocalClient, TcpClient, VerifyReply};
+pub use client::{LocalClient, RetryPolicy, TcpClient, VerifyReply};
 pub use codec::{Mode, Request, VerifyRequest};
 pub use engine::{Engine, EngineOptions, SubmitError, SubmitResult};
+pub use faults::{Fault, FaultInjector, Faults, Hook};
 pub use json::Json;
 pub use scheduler::Scheduler;
 pub use server::Server;

@@ -7,6 +7,7 @@
 //!                   [--mode ltl|error_free] [--node-limit N] [--threads N]
 //!                   [--deadline-us N]
 //! wave-serve stats  [--addr 127.0.0.1:7878]
+//! wave-serve drain  [--addr 127.0.0.1:7878] [--deadline-ms N]
 //! ```
 
 use std::process::ExitCode;
@@ -25,14 +26,16 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("drain") => cmd_drain(&args[1..]),
         _ => {
-            eprintln!("usage: wave-serve <serve|submit|stats> [options]");
+            eprintln!("usage: wave-serve <serve|submit|stats|drain> [options]");
             eprintln!(
                 "  serve  [--addr A] [--workers N] [--queue N] [--cache-bytes N] [--persist FILE]"
             );
             eprintln!("  submit [--addr A] --service NAME --property TEXT [--mode ltl|error_free]");
             eprintln!("         [--node-limit N] [--threads N] [--deadline-us N]");
             eprintln!("  stats  [--addr A]");
+            eprintln!("  drain  [--addr A] [--deadline-ms N]");
             return ExitCode::from(2);
         }
     };
@@ -69,6 +72,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_capacity: flag_num(args, "--queue", EngineOptions::default().queue_capacity)?,
         cache_bytes: flag_num(args, "--cache-bytes", EngineOptions::default().cache_bytes)?,
         persist: flag(args, "--persist").map(Into::into),
+        ..EngineOptions::default()
     };
     let engine = Arc::new(Engine::new(opts));
     let server = Server::bind(addr, engine).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -113,4 +117,22 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let stats = client.stats().map_err(|e| e.to_string())?;
     println!("{}", stats.encode());
     Ok(())
+}
+
+fn cmd_drain(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let deadline_ms: u64 = flag_num(args, "--deadline-ms", 5_000)?;
+    // The read timeout must outlive the server-side drain wait.
+    let timeout = std::time::Duration::from_millis(deadline_ms.saturating_add(30_000));
+    let mut client =
+        TcpClient::connect_timeout(addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    let drained = client
+        .drain(std::time::Duration::from_millis(deadline_ms))
+        .map_err(|e| e.to_string())?;
+    println!("{{\"drained\":{drained}}}");
+    if drained {
+        Ok(())
+    } else {
+        Err("drain deadline elapsed with jobs still in flight".into())
+    }
 }

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -26,6 +27,10 @@ struct Inner {
     state: Mutex<State>,
     available: Condvar,
     capacity: usize,
+    /// Jobs currently executing on a worker (not counting the queue) —
+    /// the live half of the load signal `queued() + running()` the
+    /// engine's shedding and drain logic reads.
+    running: AtomicUsize,
 }
 
 /// The queue was at capacity; the job was not accepted.
@@ -58,6 +63,7 @@ impl Scheduler {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            running: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -100,6 +106,16 @@ impl Scheduler {
             .queue
             .len()
     }
+
+    /// Jobs currently executing on a worker.
+    pub fn running(&self) -> usize {
+        self.inner.running.load(Ordering::Relaxed)
+    }
+
+    /// Total load: queued plus running jobs.
+    pub fn load(&self) -> usize {
+        self.queued() + self.running()
+    }
 }
 
 impl Drop for Scheduler {
@@ -131,7 +147,11 @@ fn worker_loop(inner: &Inner) {
         };
         // A panicking job must not kill the worker: swallow it (the
         // job's result channel is dropped, which its waiter observes).
+        // The running count is panic-safe because catch_unwind contains
+        // the unwind between the increment and the decrement.
+        inner.running.fetch_add(1, Ordering::Relaxed);
         let _ = catch_unwind(AssertUnwindSafe(job));
+        inner.running.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -10,9 +10,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::codec::Request;
 use crate::engine::Engine;
+use crate::faults::{Fault, Hook};
 use crate::json::Json;
 use crate::registry;
 
@@ -22,8 +24,20 @@ use crate::registry;
 pub fn handle_line(engine: &Engine, line: &str) -> String {
     match Request::decode(line) {
         Err(e) => error_line(&e.to_string()),
+        Ok(Request::Drain { deadline_ms }) => {
+            engine.begin_drain();
+            let drained = engine.await_idle(Duration::from_millis(deadline_ms));
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("drained".into(), Json::Bool(drained)),
+                ("in_flight".into(), Json::Int(engine.in_flight() as i64)),
+            ])
+            .encode()
+        }
         Ok(Request::Stats) => {
             let (entries, bytes, budget, evictions) = engine.cache_usage();
+            let (journal_bytes, compactions, recovered, dropped, persistent) =
+                engine.journal_stats();
             let c = &engine.counters;
             Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
@@ -59,10 +73,33 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                             "dead_on_arrival".into(),
                             Json::Int(c.dead_on_arrival.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "worker_panics".into(),
+                            Json::Int(c.worker_panics.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "quarantined".into(),
+                            Json::Int(c.quarantined.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "drain_rejections".into(),
+                            Json::Int(c.drain_rejections.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "load_shed".into(),
+                            Json::Int(c.load_shed.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("draining".into(), Json::Bool(engine.is_draining())),
+                        ("in_flight".into(), Json::Int(engine.in_flight() as i64)),
                         ("cache_entries".into(), Json::Int(entries as i64)),
                         ("cache_bytes".into(), Json::Int(bytes as i64)),
                         ("cache_budget".into(), Json::Int(budget as i64)),
                         ("cache_evictions".into(), Json::Int(evictions as i64)),
+                        ("journal_bytes".into(), Json::Int(journal_bytes as i64)),
+                        ("journal_compactions".into(), Json::Int(compactions as i64)),
+                        ("journal_recovered".into(), Json::Int(recovered as i64)),
+                        ("journal_dropped".into(), Json::Int(dropped as i64)),
+                        ("persistent".into(), Json::Bool(persistent)),
                         (
                             "services".into(),
                             Json::Arr(registry::names().iter().map(|n| Json::str(*n)).collect()),
@@ -89,6 +126,35 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                     report_json,
                 )
             }
+            // Flow-control refusals are kind-tagged so clients can react
+            // mechanically (back off, migrate) without parsing prose.
+            Err(e @ crate::engine::SubmitError::Draining) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::str(e.to_string())),
+                ("kind".into(), Json::str("draining")),
+            ])
+            .encode(),
+            Err(e @ crate::engine::SubmitError::Overloaded { .. }) => {
+                let crate::engine::SubmitError::Overloaded { retry_after_ms } = e else {
+                    unreachable!()
+                };
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    (
+                        "error".into(),
+                        Json::str(format!("overloaded: retry after {retry_after_ms} ms")),
+                    ),
+                    ("kind".into(), Json::str("retry_after")),
+                    ("retry_after_ms".into(), Json::Int(retry_after_ms as i64)),
+                ])
+                .encode()
+            }
+            Err(e @ crate::engine::SubmitError::QueueFull) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::str(e.to_string())),
+                ("kind".into(), Json::str("queue_full")),
+            ])
+            .encode(),
             Err(e) => error_line(&e.to_string()),
             Ok(res) => {
                 // Splice the cached outcome bytes in verbatim: the
@@ -160,12 +226,36 @@ fn serve_connection(stream: TcpStream, engine: &Engine) {
     };
     let mut writer = writer;
     let reader = BufReader::new(stream);
+    let faults = engine.faults().clone();
     for line in reader.lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
             continue;
         }
+        // Read-side hook: chaos can stall the request or cut the
+        // connection after it arrived — the client must observe a typed
+        // timeout or EOF, never a wrong answer.
+        match faults.decide(Hook::NetRead, line.len()) {
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Drop => return,
+            _ => {}
+        }
         let response = handle_line(engine, &line);
+        // Write-side hook: chaos can stall, cut, or tear the response.
+        // A torn response is an incomplete line with the connection
+        // closed — the client sees EOF/garbage, never a plausible but
+        // wrong complete line (the protocol is newline-framed).
+        match faults.decide(Hook::NetWrite, response.len()) {
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Drop => return,
+            Fault::Torn { keep } => {
+                let cut = keep.min(response.len());
+                let _ = writer.write_all(&response.as_bytes()[..cut]);
+                let _ = writer.flush();
+                return;
+            }
+            _ => {}
+        }
         if writeln!(writer, "{response}")
             .and_then(|()| writer.flush())
             .is_err()

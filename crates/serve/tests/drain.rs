@@ -1,0 +1,137 @@
+//! Graceful-drain end-to-end: jobs in flight finish correctly, late
+//! submits get the typed `draining` refusal, the drain reports idle.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wave_serve::client::{ClientError, TcpClient};
+use wave_serve::codec::{Mode, VerifyRequest};
+use wave_serve::engine::{Engine, EngineOptions};
+use wave_serve::faults::{Fault, FaultInjector, Faults, Hook};
+use wave_serve::server::Server;
+use wave_verifier::symbolic::Verdict;
+
+/// Slows every worker job by a fixed delay, so submissions are reliably
+/// in flight when the drain starts.
+struct SlowWorkers(Duration);
+
+impl FaultInjector for SlowWorkers {
+    fn decide(&self, hook: Hook, _len: usize) -> Fault {
+        if hook == Hook::WorkerRun {
+            Fault::Delay(self.0)
+        } else {
+            Fault::None
+        }
+    }
+}
+
+fn spawn_server(engine: Arc<Engine>) -> std::net::SocketAddr {
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    addr
+}
+
+fn toggle_request(node_limit: usize) -> VerifyRequest {
+    VerifyRequest {
+        service: "toggle".into(),
+        property: "G (P | Q)".into(),
+        mode: Mode::Ltl,
+        // Distinct node limits give distinct fingerprints, so every job
+        // is a genuine cache miss occupying a worker.
+        node_limit,
+        threads: 1,
+        deadline_us: 0,
+    }
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_refuses_late_submits() {
+    const JOBS: usize = 4;
+    let engine = Arc::new(Engine::new(EngineOptions {
+        workers: 2,
+        faults: Faults::new(Arc::new(SlowWorkers(Duration::from_millis(400)))),
+        ..EngineOptions::default()
+    }));
+    let addr = spawn_server(Arc::clone(&engine));
+
+    // N concurrent submissions, each slowed 400 ms on the worker.
+    let mut handles = Vec::new();
+    for i in 0..JOBS {
+        handles.push(std::thread::spawn(move || {
+            let mut client = TcpClient::connect(addr).expect("connect");
+            client.verify(&toggle_request(1_000 + i))
+        }));
+    }
+
+    // Wait until all N passed the drain gate (counted as cache misses),
+    // then drain mid-flight. The 400 ms worker delay guarantees work is
+    // still running when the gate flips.
+    use std::sync::atomic::Ordering;
+    for _ in 0..400 {
+        if engine.counters.cache_misses.load(Ordering::Relaxed) >= JOBS as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        engine.counters.cache_misses.load(Ordering::Relaxed),
+        JOBS as u64,
+        "all jobs must be accepted before the drain starts"
+    );
+    assert!(engine.in_flight() >= 1, "drain must start mid-flight");
+
+    let mut drainer = TcpClient::connect(addr).expect("connect drainer");
+    let drained = drainer.drain(Duration::from_secs(20)).expect("drain rpc");
+    assert!(drained, "drain must reach idle within its deadline");
+    assert_eq!(engine.in_flight(), 0);
+
+    // Every accepted job completed with the correct verdict — a drain
+    // finishes promised work, it never aborts it.
+    for h in handles {
+        let reply = h.join().unwrap().expect("accepted job must complete");
+        assert!(
+            matches!(reply.outcome.verdict, Verdict::Holds { .. }),
+            "verdict: {:?}",
+            reply.outcome.verdict
+        );
+        assert!(!reply.cache_hit);
+    }
+
+    // Late submits: the typed draining refusal, over the wire.
+    let mut late = TcpClient::connect(addr).expect("connect late");
+    let err = late.verify(&toggle_request(9_999)).unwrap_err();
+    assert!(matches!(err, ClientError::Draining), "{err:?}");
+
+    // Stats reflect the drained state.
+    let stats = late.stats().expect("stats");
+    assert_eq!(
+        stats.get("draining").and_then(wave_serve::Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        stats.get("in_flight").and_then(wave_serve::Json::as_int),
+        Some(0)
+    );
+    assert!(
+        stats
+            .get("drain_rejections")
+            .and_then(wave_serve::Json::as_int)
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn drain_with_zero_deadline_just_flips_the_gate() {
+    let engine = Arc::new(Engine::new(EngineOptions::default()));
+    let addr = spawn_server(Arc::clone(&engine));
+    let mut client = TcpClient::connect(addr).expect("connect");
+    // Nothing in flight: even a zero deadline reports idle.
+    let drained = client.drain(Duration::ZERO).expect("drain rpc");
+    assert!(drained);
+    let err = client.verify(&toggle_request(0)).unwrap_err();
+    assert!(matches!(err, ClientError::Draining), "{err:?}");
+}

@@ -1,0 +1,120 @@
+//! Journal corruption property test: random bit-flips and truncations
+//! against the CRC-framed cache journal.
+//!
+//! The invariant under arbitrary damage:
+//!
+//! * loading never panics;
+//! * every entry that loads is **verbatim** — a hit's bytes equal the
+//!   bytes originally inserted (damage may lose entries, never alter
+//!   them);
+//! * the recovery accounting is exact: every non-empty line of the
+//!   damaged file is either recovered or dropped, nothing uncounted.
+
+use std::path::PathBuf;
+
+use wave_logic::fingerprint::Fingerprint;
+use wave_rng::{Rng, SplitMix64};
+use wave_serve::cache::ResultCache;
+
+fn tmp_path(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "wave-journal-corrupt-{}-{seed}.ndjson",
+        std::process::id()
+    ))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path.with_extension("ndjson.tmp"));
+}
+
+#[test]
+fn random_damage_never_yields_altered_entries() {
+    let mut total_recovered = 0u64;
+    let mut total_dropped = 0u64;
+
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let path = tmp_path(seed);
+        cleanup(&path);
+
+        // Seed a journal with 3..8 entries of varying payload size.
+        // Payloads are canonical JSON (what the cache actually stores).
+        let n = rng.gen_range(3usize..8);
+        let entries: Vec<(Fingerprint, Vec<u8>)> = (0..n)
+            .map(|i| {
+                let fp = Fingerprint(((seed as u128) << 32) | (i as u128 + 1));
+                let pad = "ab".repeat(rng.gen_range(0usize..40));
+                let bytes = format!("{{\"verdict\":{i},\"pad\":\"{pad}\"}}").into_bytes();
+                (fp, bytes)
+            })
+            .collect();
+        {
+            let mut cache = ResultCache::new(1 << 20).with_persistence(path.clone());
+            for (fp, bytes) in &entries {
+                cache.insert(*fp, bytes.clone());
+            }
+        }
+
+        // Damage: bit-flips, a truncation, or both.
+        let mut data = std::fs::read(&path).expect("journal exists");
+        let style = rng.gen_range(0u32..3);
+        if style != 1 {
+            let flips = rng.gen_range(1usize..5);
+            for _ in 0..flips {
+                if data.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0usize..data.len());
+                let bit = rng.gen_range(0u32..8);
+                data[i] ^= 1 << bit;
+            }
+        }
+        if style != 0 && !data.is_empty() {
+            let cut = rng.gen_range(0usize..data.len());
+            data.truncate(cut);
+        }
+        std::fs::write(&path, &data).unwrap();
+        // Count lines the way the loader does: split on '\n', trim one
+        // trailing '\r', skip empties.
+        let damaged_lines = data
+            .split(|&b| b == b'\n')
+            .map(|l| match l {
+                [head @ .., b'\r'] => head,
+                other => other,
+            })
+            .filter(|l| !l.is_empty())
+            .count() as u64;
+
+        // Load: must not panic, must account for every line, must never
+        // serve altered bytes.
+        let mut cache = ResultCache::new(1 << 20).with_persistence(path.clone());
+        assert_eq!(
+            cache.recovered_records() + cache.dropped_records(),
+            damaged_lines,
+            "seed {seed}: every non-empty damaged line is recovered or dropped"
+        );
+        assert_eq!(
+            cache.len() as u64,
+            cache.recovered_records(),
+            "seed {seed}: distinct fingerprints, so entries == recovered lines"
+        );
+        for (fp, bytes) in &entries {
+            if let Some(got) = cache.get(*fp) {
+                assert_eq!(
+                    got.as_slice(),
+                    bytes.as_slice(),
+                    "seed {seed}: entry {fp:?} must be verbatim or absent"
+                );
+            }
+        }
+        total_recovered += cache.recovered_records();
+        total_dropped += cache.dropped_records();
+        cleanup(&path);
+    }
+
+    // The sweep must actually exercise both outcomes, or the assertions
+    // above prove nothing.
+    assert!(total_recovered > 0, "some entries must survive damage");
+    assert!(total_dropped > 0, "some entries must be damaged away");
+}

@@ -1,0 +1,132 @@
+//! Crash-safety regression: a compaction killed at **every byte
+//! offset** of the rewrite must leave the journal exactly as it was.
+//!
+//! The cache compacts by writing a temp sibling, fsyncing, then
+//! renaming over the journal. The injected `Torn { keep }` fault at the
+//! `journal.compact` hook truncates the temp write at byte `keep` and
+//! "crashes" (skips the rename) — the moral equivalent of `kill -9` at
+//! that instant. For every offset from 0 to the full rewrite length,
+//! reloading must recover every entry verbatim.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use wave_logic::fingerprint::Fingerprint;
+use wave_serve::cache::ResultCache;
+use wave_serve::faults::{Fault, FaultInjector, Faults, Hook};
+
+/// Tears every journal compaction at byte `keep` and crashes before the
+/// rename.
+struct TearCompactAt {
+    keep: usize,
+}
+
+impl FaultInjector for TearCompactAt {
+    fn decide(&self, hook: Hook, _len: usize) -> Fault {
+        if hook == Hook::JournalCompact {
+            Fault::Torn { keep: self.keep }
+        } else {
+            Fault::None
+        }
+    }
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "wave-journal-crash-{}-{tag}.ndjson",
+        std::process::id()
+    ))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path.with_extension("ndjson.tmp"));
+}
+
+/// Entry payloads must be canonical JSON (the journal stores outcome
+/// bytes verbatim and re-encodes through the parser on load).
+fn entry(i: u32) -> (Fingerprint, Vec<u8>) {
+    (
+        Fingerprint(0x1000 + i as u128),
+        format!("{{\"verdict\":{i},\"pad\":\"{:04x}\"}}", i * 7).into_bytes(),
+    )
+}
+
+#[test]
+fn compaction_killed_at_every_byte_offset_loses_nothing() {
+    let path = tmp_path("every-offset");
+    cleanup(&path);
+
+    // Seed a clean journal with five entries.
+    let entries: Vec<_> = (0..5).map(entry).collect();
+    {
+        let mut cache = ResultCache::new(1 << 20).with_persistence(path.clone());
+        for (fp, bytes) in &entries {
+            cache.insert(*fp, bytes.clone());
+        }
+    }
+    let original = std::fs::read(&path).expect("journal exists");
+    assert!(!original.is_empty());
+
+    // The compacted rewrite has the same length as the journal content
+    // (same entries, same framing); kill it at every offset, inclusive
+    // of 0 (nothing written) and the full length (written but never
+    // renamed).
+    for keep in 0..=original.len() {
+        let faults = Faults::new(Arc::new(TearCompactAt { keep }));
+        {
+            // Load (the on-load compaction is torn at `keep`) and then
+            // force another compaction, torn the same way.
+            let mut cache = ResultCache::new(1 << 20)
+                .with_faults(faults)
+                .with_persistence(path.clone());
+            assert_eq!(
+                cache.recovered_records(),
+                entries.len() as u64,
+                "keep={keep}: load must recover everything"
+            );
+            assert_eq!(cache.dropped_records(), 0, "keep={keep}");
+            cache.compact_now();
+        }
+        // The journal file was never touched: byte-identical.
+        let after = std::fs::read(&path).expect("journal still exists");
+        assert_eq!(
+            after, original,
+            "keep={keep}: a killed compaction must leave the journal intact"
+        );
+        // And a clean reload still serves every entry verbatim.
+        let mut clean = ResultCache::new(1 << 20).with_persistence(path.clone());
+        for (fp, bytes) in &entries {
+            assert_eq!(
+                clean.get(*fp).as_deref(),
+                Some(bytes.as_slice()),
+                "keep={keep}: entry {fp:?} must survive verbatim"
+            );
+        }
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn successful_compaction_still_replays_identically() {
+    // Control: without faults, compaction rewrites the journal and a
+    // reload reproduces the same entries (the crash test above would be
+    // vacuous if compaction itself lost data).
+    let path = tmp_path("control");
+    cleanup(&path);
+    let entries: Vec<_> = (0..5).map(entry).collect();
+    {
+        let mut cache = ResultCache::new(1 << 20).with_persistence(path.clone());
+        for (fp, bytes) in &entries {
+            cache.insert(*fp, bytes.clone());
+        }
+        cache.compact_now();
+    }
+    let mut clean = ResultCache::new(1 << 20).with_persistence(path.clone());
+    assert_eq!(clean.recovered_records(), entries.len() as u64);
+    assert_eq!(clean.dropped_records(), 0);
+    for (fp, bytes) in &entries {
+        assert_eq!(clean.get(*fp).as_deref(), Some(bytes.as_slice()));
+    }
+    cleanup(&path);
+}

@@ -174,6 +174,13 @@ pub enum Verdict {
     /// [`SymbolicOptions::cancel`]) before an answer — inconclusive,
     /// like `LimitReached`.
     Cancelled,
+    /// The request is quarantined: repeated worker panics on the same
+    /// fingerprint convicted the job of crashing its worker, so the
+    /// service refuses to run it again and answers with this typed
+    /// verdict instead of eroding the pool. Inconclusive, like
+    /// `LimitReached`; the verifier itself never produces it — only the
+    /// service layer does.
+    Poisoned,
 }
 
 /// The verdict together with the search counters.
