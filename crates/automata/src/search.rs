@@ -43,9 +43,13 @@ pub struct SearchStats {
     /// Peak size of the search frontier (BFS layer width, or the deepest
     /// DFS stack, whichever the phase uses).
     pub peak_frontier: usize,
-    /// Wall time of the parallel frontier / reachability phase (zero when
-    /// that phase did not run).
-    pub frontier_wall: Duration,
+    /// Successor lists computed *ahead of* the search by overlap
+    /// prefetch workers (zero when no workers ran). Scheduling-dependent:
+    /// varies run to run and across thread counts, never the verdict.
+    pub prefetched: usize,
+    /// Search-side successor lookups served by a worker-prefetched entry.
+    /// Scheduling-dependent, like [`SearchStats::prefetched`].
+    pub prefetch_hits: u64,
     /// Wall time of the verdict-producing search phase.
     pub search_wall: Duration,
 }
@@ -55,13 +59,14 @@ impl std::fmt::Display for SearchStats {
         write!(
             f,
             "interned {} (dedup {}), memoized {} (hits {}), peak frontier {}, \
-             frontier {:?}, search {:?}",
+             prefetched {} (hits {}), search {:?}",
             self.nodes_interned,
             self.dedup_hits,
             self.successors_memoized,
             self.memo_hits,
             self.peak_frontier,
-            self.frontier_wall,
+            self.prefetched,
+            self.prefetch_hits,
             self.search_wall,
         )
     }
@@ -184,7 +189,8 @@ where
             successors_memoized: self.memoized,
             memo_hits: self.memo_hits,
             peak_frontier,
-            frontier_wall: Duration::ZERO,
+            prefetched: 0,
+            prefetch_hits: 0,
             search_wall: started.elapsed(),
         }
     }

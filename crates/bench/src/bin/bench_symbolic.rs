@@ -1,23 +1,31 @@
 //! EXP-SERVE — machine-readable symbolic-verification benchmark.
 //!
 //! Runs the Fig. 2 payment-safety property (`forall p . G (!ship(p) |
-//! paid)`) on the checkout core through two paths and writes one JSON
-//! report, `BENCH_symbolic.json`, at the repo root:
+//! paid)`) on the **checkout bench** service — the checkout core scaled
+//! by independent toggle flags to ~16× its state count, large enough
+//! that search time dominates per-run setup — through two paths and
+//! writes one JSON report, `BENCH_symbolic.json`, at the repo root:
 //!
-//! 1. **Threads sweep** — direct `verify_ltl` at 1/2/4 worker threads,
-//!    reporting the full `SearchStats` per run (the deterministic
+//! 1. **Threads sweep** — direct `verify_ltl` at 1/2/4/8 worker
+//!    threads, reporting per entry the sample count, the minimum and
+//!    median wall time, and the full `SearchStats` (the deterministic
 //!    counters must be identical across thread counts; only wall times
-//!    move).
+//!    and prefetch-overlap counters move).
 //! 2. **Service path** — the same request submitted twice through a
 //!    `wave-serve` engine: the cold run pays for the search, the second
 //!    must be a content-addressed cache hit, so the hit/cold timing
 //!    ratio is the headline number for the result cache.
 //!
-//! Sample count comes from `WAVE_BENCH_SAMPLES` (default 3); the
-//! reported wall time per configuration is the minimum over samples.
+//! Sample count comes from `WAVE_BENCH_SAMPLES` (default 3).
 //!
 //! Usage: `cargo run --release -p wave-bench --bin bench_symbolic
-//! [-- --out PATH]`.
+//! [-- --out PATH] [-- --smoke]`.
+//!
+//! `--smoke` is the CI regression tripwire: it sweeps only threads
+//! {1, 4}, skips the service path and the report file, and exits
+//! nonzero if the threads=4 minimum wall exceeds the threads=1 minimum
+//! by more than 10% — the exact regression this benchmark exists to
+//! catch (threads used to make verification strictly slower).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,7 +39,12 @@ use wave_serve::json::Json;
 use wave_verifier::symbolic::{verify_ltl, SymbolicOptions, Verdict};
 
 const FIG2_PROPERTY: &str = "forall p . G (!ship(p) | paid)";
-const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+const SERVICE: &str = "checkout_bench";
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SMOKE_SWEEP: [usize; 2] = [1, 4];
+/// `--smoke` fails when threads=4 is more than this factor over
+/// threads=1 (minimum over samples on both sides).
+const SMOKE_TOLERANCE: f64 = 1.1;
 
 fn samples() -> usize {
     std::env::var("WAVE_BENCH_SAMPLES")
@@ -48,8 +61,59 @@ fn default_out() -> PathBuf {
         .join("BENCH_symbolic.json")
 }
 
+struct SweepEntry {
+    threads: usize,
+    wall_us_min: u64,
+    verdict: Verdict,
+    json: Json,
+}
+
+fn sweep_entry(
+    service: &wave_core::service::Service,
+    property: &wave_logic::temporal::Property,
+    threads: usize,
+    n: usize,
+) -> SweepEntry {
+    let opts = SymbolicOptions {
+        threads,
+        ..SymbolicOptions::default()
+    };
+    let mut walls: Vec<u64> = Vec::with_capacity(n);
+    let mut last = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let out = verify_ltl(service, property, &opts).expect("verification succeeds");
+        walls.push(t0.elapsed().as_micros() as u64);
+        last = Some(out);
+    }
+    let out = last.expect("at least one sample");
+    assert!(out.holds(), "Fig. 2 payment safety must hold");
+    walls.sort_unstable();
+    let wall_us_min = walls[0];
+    let wall_us_median = walls[walls.len() / 2];
+    let json = Json::Obj(vec![
+        ("threads".into(), Json::Int(threads as i64)),
+        ("samples".into(), Json::Int(n as i64)),
+        ("wall_us_min".into(), Json::Int(wall_us_min as i64)),
+        ("wall_us_median".into(), Json::Int(wall_us_median as i64)),
+        ("stats".into(), stats_to_json(&out.stats)),
+    ]);
+    eprintln!(
+        "threads={threads}: min {wall_us_min} us, median {wall_us_median} us over {n} samples \
+         ({} nodes)",
+        out.stats.nodes_interned
+    );
+    SweepEntry {
+        threads,
+        wall_us_min,
+        verdict: out.verdict,
+        json,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -58,43 +122,51 @@ fn main() {
         .unwrap_or_else(default_out);
     let n = samples();
 
-    let core = site::checkout_core();
+    let service = site::checkout_bench();
     let property = parse_property(FIG2_PROPERTY).expect("Fig. 2 property parses");
 
     // 1. Threads sweep via the verifier directly.
+    let plan: &[usize] = if smoke { &SMOKE_SWEEP } else { &THREAD_SWEEP };
     let mut sweep = Vec::new();
-    let mut baseline: Option<Verdict> = None;
-    for threads in THREAD_SWEEP {
-        let opts = SymbolicOptions {
-            threads,
-            ..SymbolicOptions::default()
-        };
-        let mut best_us = u64::MAX;
-        let mut last = None;
-        for _ in 0..n {
-            let t0 = Instant::now();
-            let out = verify_ltl(&core, &property, &opts).expect("verification succeeds");
-            best_us = best_us.min(t0.elapsed().as_micros() as u64);
-            last = Some(out);
+    for &threads in plan {
+        let entry = sweep_entry(&service, &property, threads, n);
+        if let Some(base) = sweep.first() {
+            let base: &SweepEntry = base;
+            assert_eq!(
+                base.verdict, entry.verdict,
+                "verdict must not depend on threads"
+            );
         }
-        let out = last.expect("at least one sample");
-        assert!(out.holds(), "Fig. 2 payment safety must hold");
-        match &baseline {
-            None => baseline = Some(out.verdict.clone()),
-            Some(v) => assert_eq!(v, &out.verdict, "verdict must not depend on threads"),
+        sweep.push(entry);
+    }
+
+    if smoke {
+        let t1 = sweep
+            .iter()
+            .find(|e| e.threads == 1)
+            .expect("threads=1 entry")
+            .wall_us_min as f64;
+        let t4 = sweep
+            .iter()
+            .find(|e| e.threads == 4)
+            .expect("threads=4 entry")
+            .wall_us_min as f64;
+        if t4 > t1 * SMOKE_TOLERANCE {
+            eprintln!(
+                "SMOKE FAIL: threads=4 min wall {t4} us exceeds threads=1 min wall {t1} us \
+                 by more than {:.0}% — the parallel-search regression is back",
+                (SMOKE_TOLERANCE - 1.0) * 100.0
+            );
+            std::process::exit(1);
         }
-        sweep.push(Json::Obj(vec![
-            ("threads".into(), Json::Int(threads as i64)),
-            ("wall_us_min".into(), Json::Int(best_us as i64)),
-            ("stats".into(), stats_to_json(&out.stats)),
-        ]));
-        eprintln!("threads={threads}: min {best_us} us over {n} samples");
+        eprintln!("smoke ok: threads=4 min {t4} us vs threads=1 min {t1} us");
+        return;
     }
 
     // 2. Cold vs. cache-hit timings through the service.
     let engine = Arc::new(Engine::new(EngineOptions::default()));
     let req = VerifyRequest {
-        service: "checkout_core".into(),
+        service: SERVICE.into(),
         property: FIG2_PROPERTY.into(),
         mode: Mode::Ltl,
         node_limit: 0,
@@ -120,10 +192,13 @@ fn main() {
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::str("symbolic")),
-        ("service".into(), Json::str("checkout_core")),
+        ("service".into(), Json::str(SERVICE)),
         ("property".into(), Json::str(FIG2_PROPERTY)),
         ("samples".into(), Json::Int(n as i64)),
-        ("threads_sweep".into(), Json::Arr(sweep)),
+        (
+            "threads_sweep".into(),
+            Json::Arr(sweep.into_iter().map(|e| e.json).collect()),
+        ),
         (
             "cache".into(),
             Json::Obj(vec![

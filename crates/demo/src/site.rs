@@ -404,6 +404,51 @@ fn checkout_core_builder() -> ServiceBuilder {
     b
 }
 
+/// How many independent toggle flags [`checkout_bench`] layers on top of
+/// the checkout core. Each flag doubles the reachable symbolic state
+/// space, so the bench service explores ~2^k× the configurations of
+/// [`checkout_core`] while keeping the same per-node successor shape.
+const BENCH_TOGGLES: usize = 2;
+
+/// A scaled-up checkout for `bench_symbolic`: the [`checkout_core`]
+/// page graph plus [`BENCH_TOGGLES`] independent toggle flags flipped
+/// from CP. The checkout core saturates around 3k interned
+/// configurations — too small for thread-scaling measurements, where
+/// per-run setup dominates the search. The flags multiply the state
+/// space combinatorially without changing the service's decidable class
+/// or the Fig. 2 payment-safety verdict.
+pub fn checkout_bench() -> Service {
+    checkout_bench_builder()
+        .build()
+        .expect("checkout bench must validate")
+}
+
+/// [`checkout_bench`] plus recorded rule sources.
+pub fn checkout_bench_with_sources() -> (Service, ServiceSources) {
+    checkout_bench_builder()
+        .build_with_sources()
+        .expect("checkout bench must validate")
+}
+
+fn checkout_bench_builder() -> ServiceBuilder {
+    let mut b = checkout_core_builder();
+    let toggles: Vec<(String, String)> = (0..BENCH_TOGGLES)
+        .map(|i| (format!("tog{i}"), format!("flag{i}")))
+        .collect();
+    for (tog, flag) in &toggles {
+        b.input_relation(tog, 0).state_prop(flag);
+    }
+    // Re-open CP: each visit may flip any subset of the flags, so the
+    // reachable state space gains a full 2^k propositional cube.
+    b.page("CP");
+    for (tog, flag) in &toggles {
+        b.input_prop_on_page(tog)
+            .insert_rule(flag, &[], &format!("{tog} & !{flag}"))
+            .delete_rule(flag, &[], &format!("{tog} & {flag}"));
+    }
+    b
+}
+
 /// The propositional navigation abstraction of Example 4.3: the same page
 /// graph with all non-input atoms abstracted away (database lookups
 /// replaced by a free `lookup_ok` input proposition, so both outcomes stay
@@ -529,6 +574,14 @@ mod tests {
             violations.is_empty(),
             "the reconstruction is input-bounded: {violations:?}"
         );
+    }
+
+    #[test]
+    fn checkout_bench_is_input_bounded_and_keeps_the_core_shape() {
+        let s = checkout_bench();
+        assert!(classify::input_bounded_violations(&s).is_empty());
+        // Same page graph as the core, plus the toggle vocabulary.
+        assert_eq!(s.pages.len(), checkout_core().pages.len());
     }
 
     #[test]

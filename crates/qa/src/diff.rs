@@ -14,6 +14,12 @@
 //!   verdict on that database.
 //! * **thread counts**: the symbolic verdict is documented to be
 //!   byte-identical for `threads ∈ {1, 2, 8}` — demanded, not assumed.
+//!   The threaded legs run with `force_overlap` so prefetch workers are
+//!   genuinely spawned even on single-core machines, and the structural
+//!   [`SearchStats`] counters
+//!   (`nodes_interned`, `dedup_hits`, `successors_memoized`,
+//!   `memo_hits`, `peak_frontier`) must also match the sequential base;
+//!   only wall-clock and prefetch-overlap counters may differ.
 //! * **metamorphic permutations**: shuffling rules, declarations, pages
 //!   and database facts must keep the service's canonical
 //!   [`Fingerprint`](wave_logic::fingerprint::Fingerprint) *and* the
@@ -40,7 +46,7 @@ use wave_verifier::dbgen;
 use wave_verifier::enumerative::{verify_ltl_on_db, EnumOptions, EnumOutcome};
 use wave_verifier::precheck::precheck;
 use wave_verifier::replay::replay_outcome;
-use wave_verifier::symbolic::{verify_ltl, SymbolicOptions, Verdict};
+use wave_verifier::symbolic::{verify_ltl, SearchStats, SymbolicOptions, Verdict};
 
 use crate::spec::{rename_idents, ServiceSpec};
 
@@ -85,6 +91,8 @@ pub enum FlawKind {
     EngineError,
     /// Symbolic verdicts differ across thread counts.
     ThreadDivergence,
+    /// Deterministic search counters differ across thread counts.
+    StatsDivergence,
     /// A rule/declaration/fact permutation changed the fingerprint.
     PermutedFingerprint,
     /// A permutation changed a verdict.
@@ -278,22 +286,49 @@ pub fn run_case(seed: u64, spec: &ServiceSpec, opts: &DiffOptions) -> CaseReport
         report.inconclusive = true;
     }
 
-    // Thread counts: byte-identical verdicts demanded.
+    // Thread counts: byte-identical verdicts demanded, and the
+    // deterministic structural counters must survive the overlapped
+    // prefetch too — `force_overlap` spawns real workers even when the
+    // machine has one core, so the concurrent path is always exercised.
     for &threads in &opts.threads {
         let t_opts = SymbolicOptions {
             threads,
+            force_overlap: true,
             ..sym_opts.clone()
         };
         match verify_ltl(&service, &property, &t_opts) {
-            Ok(out) if out.verdict == base.verdict => {}
-            Ok(out) => flaw(
-                &mut report,
-                FlawKind::ThreadDivergence,
-                format!(
-                    "threads={threads}: {:?} vs sequential {:?}",
-                    out.verdict, base.verdict
-                ),
-            ),
+            Ok(out) => {
+                if out.verdict != base.verdict {
+                    flaw(
+                        &mut report,
+                        FlawKind::ThreadDivergence,
+                        format!(
+                            "threads={threads}: {:?} vs sequential {:?}",
+                            out.verdict, base.verdict
+                        ),
+                    );
+                }
+                let structural = |s: &SearchStats| {
+                    (
+                        s.nodes_interned,
+                        s.dedup_hits,
+                        s.successors_memoized,
+                        s.memo_hits,
+                        s.peak_frontier,
+                    )
+                };
+                if structural(&out.stats) != structural(&base.stats) {
+                    flaw(
+                        &mut report,
+                        FlawKind::StatsDivergence,
+                        format!(
+                            "threads={threads}: structural stats {:?} vs sequential {:?}",
+                            structural(&out.stats),
+                            structural(&base.stats)
+                        ),
+                    );
+                }
+            }
             Err(e) => flaw(
                 &mut report,
                 FlawKind::EngineError,

@@ -25,8 +25,8 @@
 //! Stability rules:
 //!
 //! * `Duration` fields serialize as **integer microseconds**
-//!   (`frontier_wall_us`, `search_wall_us`) — never floats — so encoded
-//!   outcomes are byte-stable across platforms;
+//!   (`search_wall_us`) — never floats — so encoded outcomes are
+//!   byte-stable across platforms;
 //! * verdicts are kind-tagged objects (`holds` / `violated` /
 //!   `limit_reached` / `cancelled`), with counterexample lassos as
 //!   `stem` / `cycle` string arrays;
@@ -230,10 +230,8 @@ pub fn stats_to_json(s: &SearchStats) -> Json {
         ),
         ("memo_hits".into(), Json::Int(s.memo_hits as i64)),
         ("peak_frontier".into(), Json::Int(s.peak_frontier as i64)),
-        (
-            "frontier_wall_us".into(),
-            Json::Int(duration_to_us(s.frontier_wall)),
-        ),
+        ("prefetched".into(), Json::Int(s.prefetched as i64)),
+        ("prefetch_hits".into(), Json::Int(s.prefetch_hits as i64)),
         (
             "search_wall_us".into(),
             Json::Int(duration_to_us(s.search_wall)),
@@ -254,7 +252,8 @@ pub fn stats_from_json(v: &Json) -> Result<SearchStats, DecodeError> {
         successors_memoized: int("successors_memoized")? as usize,
         memo_hits: int("memo_hits")? as u64,
         peak_frontier: int("peak_frontier")? as usize,
-        frontier_wall: us_to_duration(int("frontier_wall_us")?),
+        prefetched: int("prefetched")? as usize,
+        prefetch_hits: int("prefetch_hits")? as u64,
         search_wall: us_to_duration(int("search_wall_us")?),
     })
 }
@@ -351,7 +350,8 @@ mod tests {
             successors_memoized: 10,
             memo_hits: 7,
             peak_frontier: 4,
-            frontier_wall: Duration::from_micros(1500),
+            prefetched: 6,
+            prefetch_hits: 5,
             search_wall: Duration::from_micros(987_654),
         };
         vec![

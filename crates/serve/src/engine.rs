@@ -555,6 +555,7 @@ impl Engine {
                 node_limit,
                 threads,
                 cancel,
+                ..SymbolicOptions::default()
             };
             let result = match mode {
                 Mode::Ltl => verify_ltl(

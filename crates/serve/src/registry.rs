@@ -23,6 +23,7 @@ pub fn resolve(name: &str) -> Option<Service> {
 /// (enables span-carrying lint diagnostics in admission refusals).
 pub fn resolve_with_sources(name: &str) -> Option<(Service, ServiceSources)> {
     match name {
+        "checkout_bench" => Some(wave_demo::site::checkout_bench_with_sources()),
         "checkout_core" => Some(wave_demo::site::checkout_core_with_sources()),
         "full_site" => Some(wave_demo::site::full_site_with_sources()),
         "navigation" => Some(wave_demo::site::navigation_abstraction_with_sources()),
@@ -36,6 +37,7 @@ pub fn resolve_with_sources(name: &str) -> Option<(Service, ServiceSources)> {
 /// All registered names, for error messages and the `stats` report.
 pub fn names() -> &'static [&'static str] {
     &[
+        "checkout_bench",
         "checkout_core",
         "full_site",
         "login",

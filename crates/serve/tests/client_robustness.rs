@@ -19,7 +19,8 @@ fn canned_response() -> String {
         "\"cache_hit\":false,\"class\":\"fully_propositional\",",
         "\"outcome\":{\"verdict\":{\"kind\":\"limit_reached\"},",
         "\"stats\":{\"nodes_interned\":1,\"dedup_hits\":0,\"successors_memoized\":1,",
-        "\"memo_hits\":0,\"peak_frontier\":1,\"frontier_wall_us\":10,\"search_wall_us\":20}}}"
+        "\"memo_hits\":0,\"peak_frontier\":1,\"prefetched\":0,\"prefetch_hits\":0,",
+        "\"search_wall_us\":20}}}"
     )
     .to_string()
 }

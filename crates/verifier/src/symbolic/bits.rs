@@ -1,0 +1,118 @@
+//! A packed bitset over `C`-symbol indices.
+//!
+//! [`SymConfig`](super::config::SymConfig) keys the search's dedup tables,
+//! so its membership sets are compared, ordered, and hashed on every
+//! interning probe. Packing the monotone `provided` set into machine
+//! words turns those probes (and the per-letter provision checks in the
+//! engine's hot loop) into word operations instead of `BTreeSet` walks.
+//!
+//! # Canonical representation
+//!
+//! Equality, ordering, and hashing derive from the word vector, so the
+//! representation must be a pure function of the *content*: the vector
+//! never carries trailing zero words (it grows only when a set bit needs
+//! the room, and bits are never cleared — the sets packed here are
+//! monotone). Two `CBits` with the same members are therefore always
+//! byte-identical.
+
+use super::table::CSym;
+
+/// A set of `C`-symbol indices packed into 64-bit words.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CBits {
+    /// Little-endian words; invariant: the last word (if any) is nonzero.
+    words: Vec<u64>,
+}
+
+impl CBits {
+    /// The empty set.
+    pub fn new() -> CBits {
+        CBits::default()
+    }
+
+    /// Inserts a symbol index.
+    pub fn insert(&mut self, c: CSym) {
+        let (w, b) = (c as usize / 64, c as usize % 64);
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << b;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: CSym) -> bool {
+        let (w, b) = (c as usize / 64, c as usize % 64);
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    /// True when no symbol is a member.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = CSym> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| (w * 64 + b) as CSym)
+        })
+    }
+}
+
+impl FromIterator<CSym> for CBits {
+    fn from_iter<I: IntoIterator<Item = CSym>>(iter: I) -> CBits {
+        let mut s = CBits::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut s = CBits::new();
+        assert!(s.is_empty());
+        for c in [0u16, 3, 63, 64, 130] {
+            assert!(!s.contains(c));
+            s.insert(c);
+            assert!(s.contains(c));
+        }
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 63, 64, 130]);
+        // Re-insertion is idempotent.
+        let before = s.clone();
+        s.insert(63);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // Same members, different insertion orders: byte-identical.
+        let a: CBits = [5u16, 70, 1].into_iter().collect();
+        let b: CBits = [70u16, 1, 5].into_iter().collect();
+        assert_eq!(a, b);
+        let h = |s: &CBits| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        // A set that only ever saw low bits carries no high words, so it
+        // compares equal to one built the same way from scratch.
+        let mut low = CBits::new();
+        low.insert(2);
+        let low2: CBits = [2u16].into_iter().collect();
+        assert_eq!(low, low2);
+        assert!(low < a || a < low); // total order is defined
+    }
+}

@@ -9,6 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use wave_core::service::Service;
 
+use super::bits::CBits;
 use super::state::{Assumption, SymState};
 use super::table::{CSym, CTable, Sym};
 
@@ -21,8 +22,9 @@ pub type CFact = (String, Vec<CSym>);
 pub struct SymConfig {
     /// Current page (or the error page).
     pub page: String,
-    /// Input constants provided so far (original symbol ids).
-    pub provided: BTreeSet<CSym>,
+    /// Input constants provided so far (original symbol ids), packed into
+    /// a bitset: the set is monotone and probed on every letter check.
+    pub provided: CBits,
     /// State facts over `C` (canonical).
     pub state: BTreeSet<CFact>,
     /// Action facts over `C` (canonical), triggered at the previous step.
@@ -46,7 +48,7 @@ impl SymConfig {
     pub fn initial(service: &Service, table: &CTable) -> SymConfig {
         SymConfig {
             page: service.home.clone(),
-            provided: BTreeSet::new(),
+            provided: CBits::new(),
             state: BTreeSet::new(),
             action: BTreeSet::new(),
             inputs: BTreeMap::new(),
@@ -111,7 +113,7 @@ impl SymConfig {
     /// Whether an input constant has been provided, by *any* symbol of its
     /// equality class (provision is by name, so identity suffices).
     pub fn is_provided(&self, c: CSym) -> bool {
-        self.provided.contains(&c)
+        self.provided.contains(c)
     }
 
     /// Checks the structural precondition of formula evaluation at this

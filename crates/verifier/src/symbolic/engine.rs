@@ -8,7 +8,7 @@
 //! freshness discipline of the symbolic semantics the lasso is always
 //! realizable (soundness).
 //!
-//! # Architecture: interned ids, memoized successors, parallel frontier
+//! # Architecture: interned ids, memoized successors, overlapped prefetch
 //!
 //! Product nodes `(SymConfig, büchi state)` are hash-consed to dense ids
 //! by the [`wave_automata::interner::Interner`] inside the nested DFS;
@@ -18,19 +18,28 @@
 //! On top of that, the engine memoizes the **expensive half** of
 //! successor generation — `successors(cfg)` composed with the FO-component
 //! letter evaluation — once per *configuration* (shared by every Büchi
-//! state paired with it). With `threads > 1` a parallel frontier phase
-//! warms this memo ahead of the search: `std::thread::scope` workers
-//! expand BFS layers of the configuration graph, deduplicating through a
-//! sharded claim table (plain `std` only — the registry is not always
-//! reachable from CI). The phase is a pure cache: the verdict — including
-//! counterexample lassos — is always produced by the same sequential
-//! nested DFS over the same deterministically ordered successor lists, so
-//! outcomes are **byte-identical for every thread count**.
+//! state paired with it). With `threads > 1` this memo is populated
+//! **concurrently with the search**: `std::thread::scope` prefetch
+//! workers expand the configuration graph ahead of the nested DFS,
+//! publishing entries into a sharded table (plain `std` only — no
+//! external registry is required from CI). There is **no phase barrier**:
+//! the search starts immediately, never waits for a worker, and computes
+//! any entry it needs before the prefetchers reach it. (An earlier design
+//! warmed the *entire* memo behind a barrier before the search started,
+//! which made threads strictly slower — the warming phase rebuilt the
+//! whole graph even when the search needed a fraction of it.)
+//!
+//! The prefetch is a pure cache: every memo value is a pure function of
+//! its configuration, and the verdict — including counterexample lassos —
+//! is always produced by the same sequential nested DFS over the same
+//! deterministically ordered successor lists, so outcomes are
+//! **byte-identical for every thread count**.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use wave_core::classify;
@@ -65,11 +74,21 @@ pub struct SymbolicOptions {
     /// The degenerate value `0` is normalized to [`DEFAULT_NODE_LIMIT`]
     /// (a zero-node search could never answer anything).
     pub node_limit: usize,
-    /// Worker threads for the frontier-warming phase: `1` (the default)
-    /// skips the phase entirely, `0` means one per available core. The
-    /// verdict is byte-identical for every value — threads only
-    /// pre-populate the successor memo.
+    /// Total threads for the run, search thread included: `1` (the
+    /// default) runs purely sequentially, `0` means one per available
+    /// core, `n > 1` lets up to `n - 1` prefetch workers warm the
+    /// successor memo **concurrently with** the search (capped at the
+    /// machine's available parallelism unless
+    /// [`SymbolicOptions::force_overlap`] is set — oversubscribing a
+    /// smaller machine only adds scheduling overhead). The verdict is
+    /// byte-identical for every value — workers only pre-populate the
+    /// successor memo.
     pub threads: usize,
+    /// Spawn `threads - 1` prefetch workers even when the machine reports
+    /// fewer available cores. The default (`false`) is right for
+    /// production; tests and the differential oracle set it so the
+    /// concurrent machinery is genuinely exercised on any machine.
+    pub force_overlap: bool,
     /// Cooperative cancellation: polled at every node expansion. A fired
     /// token surfaces as [`Verdict::Cancelled`] — never a panic. The
     /// default ([`CancelToken::never`]) costs nothing to poll.
@@ -81,6 +100,7 @@ impl Default for SymbolicOptions {
         SymbolicOptions {
             node_limit: DEFAULT_NODE_LIMIT,
             threads: 1,
+            force_overlap: false,
             cancel: CancelToken::never(),
         }
     }
@@ -93,7 +113,7 @@ impl SymbolicOptions {
     ///   budget would report [`Verdict::LimitReached`] before interning a
     ///   single node, which no caller ever wants; `0` therefore means
     ///   "default budget".
-    /// * `threads == 0` → one worker per available core (as reported by
+    /// * `threads == 0` → one per available core (as reported by
     ///   `std::thread::available_parallelism`, falling back to `1`).
     ///
     /// Both entry points ([`verify_ltl`], [`is_error_free`]) normalize on
@@ -105,20 +125,34 @@ impl SymbolicOptions {
             } else {
                 self.node_limit
             },
-            threads: resolve_threads(self.threads),
+            threads: if self.threads == 0 {
+                available_cores()
+            } else {
+                self.threads
+            },
+            force_overlap: self.force_overlap,
             cancel: self.cancel.clone(),
         }
     }
+
+    /// Effective prefetch worker count for normalized options: one less
+    /// than the thread budget (the search thread takes the first slot),
+    /// capped at the machine's parallelism unless `force_overlap`.
+    fn overlap_workers(&self) -> usize {
+        if self.threads <= 1 {
+            return 0;
+        }
+        if self.force_overlap {
+            return self.threads - 1;
+        }
+        self.threads.min(available_cores()).saturating_sub(1)
+    }
 }
 
-fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Why verification could not start.
@@ -310,40 +344,11 @@ pub fn verify_ltl(
         }
     }
 
-    // Phase 1 (optional): parallel frontier warming of the memo. The
-    // cancel token bounds the warming rounds too — a deadline must not be
-    // spent entirely inside the cache warmer.
-    let threads = opts.threads;
-    let mut memo: HashMap<SymConfig, SuccPairs> = HashMap::new();
-    let mut frontier_wall = Duration::ZERO;
-    let mut peak_frontier = 0usize;
-    if threads > 1 {
-        let t0 = Instant::now();
-        let seeds: Vec<SymConfig> = inits.iter().map(|(c, _)| c.clone()).collect();
-        (memo, peak_frontier) = warm_memo(seeds, &expand, threads, opts.node_limit, &opts.cancel);
-        frontier_wall = t0.elapsed();
-    }
-
-    // Phase 2: the verdict-producing sequential nested DFS. Every memo
-    // value is a pure function of the configuration, so warm entries and
-    // cold (lazily computed) entries are interchangeable — the traversal
-    // follows successor-list content order, never id or thread order.
-    let mut warm_hits = 0u64;
-    let succ = |(cfg, q): &(SymConfig, usize)| -> Vec<(SymConfig, usize)> {
-        let pairs = match memo.get(cfg) {
-            Some(p) => {
-                warm_hits += 1;
-                p.clone()
-            }
-            None => {
-                let p = expand(cfg);
-                memo.insert(cfg.clone(), p.clone());
-                p
-            }
-        };
+    // Büchi product expansion of a memoized successor list.
+    let product = |pairs: &SuccPairs, q: usize| -> Vec<(SymConfig, usize)> {
         let mut out = Vec::new();
-        for (s2, letter) in &pairs {
-            for &q2 in &aut.succ[*q] {
+        for (s2, letter) in pairs {
+            for &q2 in &aut.succ[q] {
                 if aut.guard[q2].accepts(letter) {
                     out.push((s2.clone(), q2));
                 }
@@ -351,16 +356,67 @@ pub fn verify_ltl(
         }
         out
     };
-    let (result, mut stats) = find_accepting_lasso_stats_with(
-        inits,
-        succ,
-        |(_, q)| aut.accepting[*q],
-        Some(opts.node_limit),
-        &opts.cancel,
-    );
-    stats.frontier_wall = frontier_wall;
-    stats.peak_frontier = stats.peak_frontier.max(peak_frontier);
-    stats.memo_hits += warm_hits;
+
+    // The search, with the per-configuration memo populated either lazily
+    // on the search thread alone (`workers == 0`) or concurrently by
+    // prefetch workers racing ahead of it. No phase barrier in either
+    // case: the nested DFS starts immediately and never waits on a
+    // worker — a missing entry is computed on the spot. Every memo value
+    // is a pure function of the configuration, so prefetched and
+    // search-computed entries are interchangeable and the traversal
+    // (successor-list content order, never id or thread order) is
+    // byte-identical for every worker count.
+    let workers = opts.overlap_workers();
+    let accepting = |&(_, q): &(SymConfig, usize)| aut.accepting[q];
+    let (result, stats) = if workers == 0 {
+        let mut memo: HashMap<SymConfig, Arc<SuccPairs>> = HashMap::new();
+        let succ = |(cfg, q): &(SymConfig, usize)| -> Vec<(SymConfig, usize)> {
+            let pairs = match memo.get(cfg) {
+                Some(p) => p.clone(),
+                None => {
+                    let p = Arc::new(expand(cfg));
+                    memo.insert(cfg.clone(), p.clone());
+                    p
+                }
+            };
+            product(&pairs, *q)
+        };
+        find_accepting_lasso_stats_with(inits, succ, accepting, Some(opts.node_limit), &opts.cancel)
+    } else {
+        let shared = PrefetchShared::new(opts.node_limit);
+        {
+            let mut q = shared.queue.lock().expect("prefetch queue poisoned");
+            q.extend(inits.iter().map(|(c, _)| c.clone()));
+        }
+        let mut prefetch_hits = 0u64;
+        let (result, mut stats) = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| shared.worker(&expand, &opts.cancel));
+            }
+            let succ = |(cfg, q): &(SymConfig, usize)| -> Vec<(SymConfig, usize)> {
+                let (pairs, by_worker) = shared.fetch_or_compute(cfg, &expand);
+                if by_worker {
+                    prefetch_hits += 1;
+                }
+                // Feed the discovered frontier to the prefetchers.
+                shared.enqueue_fresh(&pairs);
+                product(&pairs, *q)
+            };
+            let out = find_accepting_lasso_stats_with(
+                inits,
+                succ,
+                accepting,
+                Some(opts.node_limit),
+                &opts.cancel,
+            );
+            // Release the workers before the scope joins them.
+            shared.shutdown();
+            out
+        });
+        stats.prefetched = shared.prefetched.load(Ordering::Relaxed);
+        stats.prefetch_hits = prefetch_hits;
+        (result, stats)
+    };
 
     let verdict = match result {
         SearchResult::Empty { explored } => Verdict::Holds { explored },
@@ -374,79 +430,165 @@ pub fn verify_ltl(
     Ok(VerifyOutcome { verdict, stats })
 }
 
-/// Parallel BFS over the configuration graph, computing the per-config
-/// successor memo with `std::thread::scope` workers over a **sharded
-/// claim table**: each shard is a mutex-guarded set of configurations
-/// some worker has taken responsibility for, so no configuration is
-/// expanded twice. Returns the memo and the peak frontier width.
-///
-/// Purely a cache warmer: racy claim order may vary which worker computes
-/// an entry, but every entry's *value* is a pure function of its key.
-fn warm_memo(
-    seeds: Vec<SymConfig>,
-    expand: &(impl Fn(&SymConfig) -> SuccPairs + Sync),
-    threads: usize,
-    node_limit: usize,
-    cancel: &CancelToken,
-) -> (HashMap<SymConfig, SuccPairs>, usize) {
-    const SHARDS: usize = 64;
-    let claimed: Vec<Mutex<HashSet<SymConfig>>> =
-        (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
-    let shard_of = |cfg: &SymConfig| -> usize {
+/// Number of shards in the prefetch memo (and claim) table.
+const SHARDS: usize = 64;
+
+/// One shard of the shared prefetch memo.
+#[derive(Default)]
+struct Shard {
+    /// Configurations some thread has taken responsibility for, so no
+    /// successor list is computed twice by the *workers* (the search
+    /// thread deliberately never waits on an in-flight claim — it
+    /// recomputes, which is wasted work but never wasted wall time).
+    claimed: HashSet<SymConfig>,
+    /// Published successor lists; the flag records whether a prefetch
+    /// worker (true) or the search thread (false) computed the entry.
+    ready: HashMap<SymConfig, (Arc<SuccPairs>, bool)>,
+}
+
+/// State shared between the verdict-producing search thread and the
+/// prefetch workers. Purely a cache: racy claim order may vary *which*
+/// thread computes an entry, but every entry's value is a pure function
+/// of its key, so the search is oblivious to the race.
+struct PrefetchShared {
+    shards: Vec<Mutex<Shard>>,
+    /// Work queue of configurations worth prefetching, fed by both the
+    /// search thread (its discovered frontier) and the workers (their
+    /// expansions' successors).
+    queue: Mutex<VecDeque<SymConfig>>,
+    /// Wakes idle workers on new work or shutdown.
+    wake: Condvar,
+    /// Set once the search has its answer; workers drain out.
+    done: AtomicBool,
+    /// Expansion tickets claimed by workers; bounded by the node limit so
+    /// prefetching can never outrun the budget of the search it serves.
+    tickets: AtomicUsize,
+    ticket_limit: usize,
+    /// Successor lists computed by workers (the `prefetched` stat).
+    prefetched: AtomicUsize,
+}
+
+impl PrefetchShared {
+    fn new(ticket_limit: usize) -> PrefetchShared {
+        PrefetchShared {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            done: AtomicBool::new(false),
+            tickets: AtomicUsize::new(0),
+            ticket_limit,
+            prefetched: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(&self, cfg: &SymConfig) -> &Mutex<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         cfg.hash(&mut h);
-        (h.finish() as usize) % SHARDS
-    };
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
 
-    let mut memo: HashMap<SymConfig, SuccPairs> = HashMap::new();
-    let mut frontier = seeds;
-    let mut peak = 0usize;
-    while !frontier.is_empty() && memo.len() < node_limit && !cancel.is_cancelled() {
-        peak = peak.max(frontier.len());
-        let chunk = frontier.len().div_ceil(threads);
-        let results: Vec<Vec<(SymConfig, SuccPairs)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = frontier
-                .chunks(chunk)
-                .map(|part| {
-                    let claimed = &claimed;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for cfg in part {
-                            if !claimed[shard_of(cfg)]
-                                .lock()
-                                .expect("claim shard poisoned")
-                                .insert(cfg.clone())
-                            {
-                                continue; // another worker owns it
-                            }
-                            out.push((cfg.clone(), expand(cfg)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        let mut next = Vec::new();
-        let mut queued: HashSet<SymConfig> = HashSet::new();
-        for (cfg, pairs) in results.into_iter().flatten() {
-            memo.insert(cfg, pairs);
+    /// Search-thread lookup: returns the published successor list, or
+    /// computes it **immediately** (never blocking on an in-flight
+    /// worker). The flag reports whether a worker supplied the entry.
+    fn fetch_or_compute(
+        &self,
+        cfg: &SymConfig,
+        expand: &(impl Fn(&SymConfig) -> SuccPairs + Sync),
+    ) -> (Arc<SuccPairs>, bool) {
+        if let Some(hit) = self
+            .shard_of(cfg)
+            .lock()
+            .expect("prefetch shard poisoned")
+            .ready
+            .get(cfg)
+        {
+            return hit.clone();
         }
-        for pairs in memo.values() {
-            // Only the newly reachable configs matter; cheap filter below.
-            for (c, _) in pairs {
-                if !memo.contains_key(c) && !queued.contains(c) {
-                    queued.insert(c.clone());
-                    next.push(c.clone());
-                }
+        let pairs = Arc::new(expand(cfg));
+        let mut shard = self.shard_of(cfg).lock().expect("prefetch shard poisoned");
+        shard.claimed.insert(cfg.clone());
+        // A worker may have published meanwhile; both values are
+        // identical (pure function of the key), keep the first.
+        let entry = shard
+            .ready
+            .entry(cfg.clone())
+            .or_insert((pairs, false))
+            .clone();
+        entry
+    }
+
+    /// Queues the configurations of a successor list that no thread has
+    /// claimed or published yet, and wakes the workers.
+    fn enqueue_fresh(&self, pairs: &SuccPairs) {
+        let mut fresh = Vec::new();
+        for (c, _) in pairs {
+            let shard = self.shard_of(c).lock().expect("prefetch shard poisoned");
+            if !shard.claimed.contains(c) && !shard.ready.contains_key(c) {
+                fresh.push(c.clone());
             }
         }
-        frontier = next;
+        if !fresh.is_empty() {
+            let mut q = self.queue.lock().expect("prefetch queue poisoned");
+            q.extend(fresh);
+            self.wake.notify_all();
+        }
     }
-    (memo, peak)
+
+    /// Signals the workers to exit (called by the search thread once the
+    /// verdict is in, *before* the surrounding scope joins them — so a
+    /// scoped worker can never wedge the scope).
+    fn shutdown(&self) {
+        self.done.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    /// Worker loop: claim a queued configuration, expand it, publish the
+    /// list, queue its successors. Exits on shutdown, cancellation, or
+    /// ticket exhaustion; the condvar wait is bounded so a missed wakeup
+    /// degrades to a short poll, never a hang.
+    fn worker(&self, expand: &(impl Fn(&SymConfig) -> SuccPairs + Sync), cancel: &CancelToken) {
+        loop {
+            if self.done.load(Ordering::Acquire) || cancel.is_cancelled() {
+                return;
+            }
+            let job = {
+                let mut q = self.queue.lock().expect("prefetch queue poisoned");
+                loop {
+                    if self.done.load(Ordering::Acquire) || cancel.is_cancelled() {
+                        return;
+                    }
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self
+                        .wake
+                        .wait_timeout(q, Duration::from_millis(5))
+                        .expect("prefetch queue poisoned")
+                        .0;
+                }
+            };
+            {
+                let mut shard = self.shard_of(&job).lock().expect("prefetch shard poisoned");
+                if shard.ready.contains_key(&job) || !shard.claimed.insert(job.clone()) {
+                    continue; // another thread owns it
+                }
+            }
+            // Budget: claim a ticket; exactly `ticket_limit` succeed, so
+            // prefetching cannot intern-storm past the search's limit.
+            if self.tickets.fetch_add(1, Ordering::Relaxed) >= self.ticket_limit {
+                return;
+            }
+            let pairs = Arc::new(expand(&job));
+            self.enqueue_fresh(&pairs);
+            self.shard_of(&job)
+                .lock()
+                .expect("prefetch shard poisoned")
+                .ready
+                .entry(job)
+                .or_insert((pairs, true));
+            self.prefetched.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Diagnostic: breadth-first exploration of the symbolic configuration
@@ -498,7 +640,14 @@ pub fn is_error_free(
         wave_logic::temporal::TFormula::fo(wave_logic::formula::Formula::True),
     ));
     let ctable = CTable::build(service, &property);
-    let threads = opts.threads;
+    // Layer fan-out width: oversubscribing a smaller machine only adds
+    // scheduling overhead, so cap at the available cores unless the
+    // caller insists (tests exercising the concurrent path).
+    let threads = if opts.force_overlap {
+        opts.threads
+    } else {
+        opts.threads.min(available_cores())
+    };
     let t0 = Instant::now();
 
     let mut interner: Interner<SymConfig> = Interner::new();
@@ -506,11 +655,18 @@ pub fn is_error_free(
     let mut parent: Vec<Option<u32>> = Vec::new();
     let mut frontier: Vec<u32> = Vec::new();
     let mut expanded = 0usize;
+    let mut init_limit_hit = false;
     for c in initial_configs(service, &ctable) {
         let (id, new) = interner.intern(c);
         if new {
             parent.push(None);
             frontier.push(id);
+            // Clamp here too: a service with a very wide entry fan-out
+            // must not intern past the budget before the loop starts.
+            if interner.len() > opts.node_limit {
+                init_limit_hit = true;
+                break;
+            }
         }
     }
     let mut peak = frontier.len();
@@ -521,8 +677,9 @@ pub fn is_error_free(
         successors_memoized: expanded,
         memo_hits: 0,
         peak_frontier: peak,
-        frontier_wall: t0.elapsed(),
-        search_wall: Duration::ZERO,
+        prefetched: 0,
+        prefetch_hits: 0,
+        search_wall: t0.elapsed(),
     };
     let witness = |interner: &Interner<SymConfig>, parent: &[Option<u32>], id: u32| {
         let mut path = Vec::new();
@@ -546,6 +703,17 @@ pub fn is_error_free(
                 stats: stats(&interner, expanded, peak),
             });
         }
+    }
+    if init_limit_hit {
+        let verdict = if opts.cancel.is_cancelled() {
+            Verdict::Cancelled
+        } else {
+            Verdict::LimitReached
+        };
+        return Ok(VerifyOutcome {
+            verdict,
+            stats: stats(&interner, expanded, peak),
+        });
     }
 
     while !frontier.is_empty() {
@@ -599,9 +767,27 @@ pub fn is_error_free(
                 let (id, new) = interner.intern(s);
                 if new {
                     parent.push(Some(pid));
+                    // The witness check outranks the budget: an error
+                    // page reached by the very node that exhausts the
+                    // limit is still a definite answer.
                     if interner.get(id).page == service.error_page {
                         return Ok(VerifyOutcome {
                             verdict: witness(&interner, &parent, id),
+                            stats: stats(&interner, expanded, peak),
+                        });
+                    }
+                    // Clamp *within* the layer: a wide layer must not
+                    // intern arbitrarily far past the budget before the
+                    // per-layer check at the top of the loop would fire.
+                    // Cancellation outranks the budget, as everywhere.
+                    if interner.len() > opts.node_limit {
+                        let verdict = if opts.cancel.is_cancelled() {
+                            Verdict::Cancelled
+                        } else {
+                            Verdict::LimitReached
+                        };
+                        return Ok(VerifyOutcome {
+                            verdict,
                             stats: stats(&interner, expanded, peak),
                         });
                     }
@@ -852,10 +1038,11 @@ mod tests {
         };
         let out = verify_ltl(&s, &p, &opts).unwrap();
         assert_eq!(out.verdict, Verdict::Cancelled, "{out:?}");
-        // A parallel run must respect the deadline too (warm phase).
+        // A run with prefetch workers must respect the deadline too.
         let opts2 = SymbolicOptions {
             cancel: CancelToken::with_deadline(Duration::ZERO),
             threads: 2,
+            force_overlap: true,
             ..SymbolicOptions::default()
         };
         let out2 = verify_ltl(&s, &p, &opts2).unwrap();
@@ -863,7 +1050,70 @@ mod tests {
     }
 
     #[test]
+    fn cancel_fired_mid_search_with_workers_in_flight() {
+        // A token cancelled while prefetch workers are live must yield
+        // Cancelled (taking precedence over LimitReached), join every
+        // scoped worker (the call returning at all proves no wedge), and
+        // leave nothing behind that poisons a later clean run.
+        let s = login();
+        let p = parse_property("G (!CP | logged_in)").unwrap();
+        let cancel = CancelToken::new();
+        let canceller = {
+            let token = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                token.cancel();
+            })
+        };
+        let opts = SymbolicOptions {
+            threads: 4,
+            force_overlap: true,
+            node_limit: 1, // also exhausted: Cancelled must still win
+            cancel,
+        };
+        let out = verify_ltl(&s, &p, &opts).unwrap();
+        canceller.join().unwrap();
+        assert!(
+            matches!(out.verdict, Verdict::Cancelled | Verdict::LimitReached),
+            "{out:?}"
+        );
+        // If the token fired before the budget tripped, Cancelled won; we
+        // can't control the interleaving, but a *pre-fired* token always
+        // outranks the (already exhausted) budget:
+        let fired = CancelToken::new();
+        fired.cancel();
+        let opts2 = SymbolicOptions {
+            threads: 4,
+            force_overlap: true,
+            node_limit: 1,
+            cancel: fired,
+        };
+        let out2 = verify_ltl(&s, &p, &opts2).unwrap();
+        assert_eq!(out2.verdict, Verdict::Cancelled, "{out2:?}");
+        // The memo is per-run state: a clean run afterwards is unaffected
+        // by the cancelled ones.
+        let clean = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        assert!(clean.holds(), "{clean:?}");
+        let clean_par = verify_ltl(
+            &s,
+            &p,
+            &SymbolicOptions {
+                threads: 4,
+                force_overlap: true,
+                ..SymbolicOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(clean_par.verdict, clean.verdict);
+    }
+
+    #[test]
     fn thread_count_does_not_change_the_outcome() {
+        // The determinism contract: verdict AND lasso bytes (Verdict's
+        // equality covers the rendered stem/cycle) identical for every
+        // thread count, with the concurrent machinery genuinely running
+        // (force_overlap) regardless of the host's core count. The
+        // structural stats are part of the contract too.
         let s = login();
         for prop in ["G (!CP | logged_in)", "G !CP", "F CP"] {
             let p = parse_property(prop).unwrap();
@@ -871,6 +1121,7 @@ mod tests {
             for threads in [2usize, 8] {
                 let opts = SymbolicOptions {
                     threads,
+                    force_overlap: true,
                     ..SymbolicOptions::default()
                 };
                 let out = verify_ltl(&s, &p, &opts).unwrap();
@@ -878,17 +1129,85 @@ mod tests {
                     out.verdict, base.verdict,
                     "threads={threads} diverged on {prop}"
                 );
+                assert_eq!(
+                    out.stats.nodes_interned, base.stats.nodes_interned,
+                    "threads={threads} interned differently on {prop}"
+                );
+                assert_eq!(
+                    out.stats.successors_memoized, base.stats.successors_memoized,
+                    "threads={threads} memoized differently on {prop}"
+                );
+                assert_eq!(out.stats.dedup_hits, base.stats.dedup_hits);
+                assert_eq!(out.stats.memo_hits, base.stats.memo_hits);
+                assert_eq!(out.stats.peak_frontier, base.stats.peak_frontier);
             }
         }
         let base = is_error_free(&s, &SymbolicOptions::default()).unwrap();
         for threads in [2usize, 8] {
             let opts = SymbolicOptions {
                 threads,
+                force_overlap: true,
                 ..SymbolicOptions::default()
             };
             let out = is_error_free(&s, &opts).unwrap();
             assert_eq!(out.verdict, base.verdict, "threads={threads} diverged");
+            assert_eq!(out.stats.nodes_interned, base.stats.nodes_interned);
         }
+    }
+
+    #[test]
+    fn error_free_limit_clamps_within_a_layer() {
+        // The home page of the login service fans out into a wide first
+        // layer. A tiny budget must stop interning *within* the layer —
+        // at most one node past the limit (the one that trips the check),
+        // never the rest of the layer. (A definite witness found before
+        // the trip still outranks the budget, so only Violated may ever
+        // replace LimitReached here.)
+        let s = login();
+        for limit in [1usize, 2, 3] {
+            let opts = SymbolicOptions {
+                node_limit: limit,
+                ..SymbolicOptions::default()
+            };
+            let out = is_error_free(&s, &opts).unwrap();
+            assert!(
+                matches!(
+                    out.verdict,
+                    Verdict::LimitReached | Verdict::Violated { .. }
+                ),
+                "limit={limit} {out:?}"
+            );
+            assert!(
+                out.stats.nodes_interned <= limit + 1,
+                "limit={limit} overshot: interned {}",
+                out.stats.nodes_interned
+            );
+        }
+        // Exact-limit behavior on an error-free service: a budget of
+        // exactly the reachable graph size suffices for the full answer;
+        // one node less is LimitReached.
+        let t = toggle();
+        let full = is_error_free(&t, &SymbolicOptions::default()).unwrap();
+        assert!(full.holds(), "{full:?}");
+        let n = full.stats.nodes_interned;
+        let exact = is_error_free(
+            &t,
+            &SymbolicOptions {
+                node_limit: n,
+                ..SymbolicOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.verdict, full.verdict, "exact budget {n} must suffice");
+        let short = is_error_free(
+            &t,
+            &SymbolicOptions {
+                node_limit: n - 1,
+                ..SymbolicOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(short.verdict, Verdict::LimitReached);
     }
 
     #[test]
@@ -899,13 +1218,24 @@ mod tests {
         assert!(out.stats.nodes_interned > 0);
         assert!(out.stats.successors_memoized > 0);
         assert!(out.stats.peak_frontier > 0);
-        // Parallel run warms the memo: the search phase should hit it.
+        // A sequential run reports no prefetch activity.
+        assert_eq!(out.stats.prefetched, 0);
+        assert_eq!(out.stats.prefetch_hits, 0);
+        // A run with prefetch workers: same verdict, same structural
+        // counters; only the overlap counters may differ (and they are
+        // scheduling-dependent, so no exact value is pinned).
         let opts = SymbolicOptions {
             threads: 2,
+            force_overlap: true,
             ..SymbolicOptions::default()
         };
         let warm = verify_ltl(&s, &p, &opts).unwrap();
         assert_eq!(warm.verdict, out.verdict);
-        assert!(warm.stats.frontier_wall > Duration::ZERO);
+        assert_eq!(warm.stats.nodes_interned, out.stats.nodes_interned);
+        assert_eq!(
+            warm.stats.successors_memoized,
+            out.stats.successors_memoized
+        );
+        assert_eq!(warm.stats.memo_hits, out.stats.memo_hits);
     }
 }

@@ -37,6 +37,7 @@
 //! cross-checked against the enumerative verifier in the integration
 //! tests.
 
+mod bits;
 mod config;
 mod engine;
 mod eval;

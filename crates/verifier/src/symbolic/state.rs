@@ -142,10 +142,14 @@ impl SymState {
     }
 
     /// The literal value of a class, if any member is a literal.
+    ///
+    /// O(1): literals occupy the table prefix and the representative is
+    /// the smallest member of its class, so a class contains a literal
+    /// iff its representative *is* one. (Two distinct literals in one
+    /// class is a [`Conflict`] rejected at merge time, so the
+    /// representative's value is *the* value.)
     fn literal_of<'t>(&self, table: &'t CTable, rep: CSym) -> Option<&'t wave_logic::value::Value> {
-        (0..self.parent.len() as CSym)
-            .filter(|&c| self.find(c) == rep)
-            .find_map(|c| table.literal(c))
+        table.literal(rep)
     }
 
     /// Status of a database literal: `Some(b)` when recorded.
@@ -233,8 +237,9 @@ impl SymState {
             }
         }
         // Literal classes must not carry two distinct literal values.
+        // Only the literal prefix of the table can contribute.
         let mut values: BTreeMap<CSym, &wave_logic::value::Value> = BTreeMap::new();
-        for c in 0..self.parent.len() as CSym {
+        for c in 0..table.n_literals() as CSym {
             if let Some(v) = table.literal(c) {
                 let r = self.find(c);
                 if let Some(prev) = values.insert(r, v) {

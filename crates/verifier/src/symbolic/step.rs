@@ -418,11 +418,12 @@ fn cfg_err_pending_blocks_options(c: &SymConfig) -> bool {
 /// representative, an existing live fresh symbol, or a new fresh symbol
 /// (numbered in restricted-growth fashion so patterns are canonical).
 fn component_choices(cfg: &SymConfig, arity: usize) -> Vec<Vec<Sym>> {
+    let reps = cfg.st.reps();
     let mut out: Vec<(Vec<Sym>, u16)> = vec![(Vec::new(), cfg.n_fresh)];
     for _ in 0..arity {
         let mut next = Vec::new();
         for (t, next_new) in &out {
-            for &r in &cfg.st.reps() {
+            for &r in &reps {
                 let mut u = t.clone();
                 u.push(Sym::C(r));
                 next.push((u, *next_new));

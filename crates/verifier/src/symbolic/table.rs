@@ -1,6 +1,6 @@
 //! The symbol set `C` of the Local-Run Lemma and the symbolic values.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use wave_core::service::Service;
@@ -38,9 +38,26 @@ pub enum CSymKind {
 }
 
 /// The designated symbol set `C`.
+///
+/// # Layout invariant: literals first
+///
+/// The literal symbols occupy the **prefix** `0..n_literals()` of the
+/// table. Combined with the union–find convention that a class
+/// representative is its smallest member, this makes "does this class
+/// contain a literal, and which?" an O(1) question: a class contains a
+/// literal iff its representative is one (see
+/// [`SymState::eq_status`](super::state::SymState::eq_status)).
 #[derive(Clone, Debug, Default)]
 pub struct CTable {
     syms: Vec<CSymKind>,
+    /// Literals occupy `syms[0..n_literals]` (see the type-level
+    /// invariant).
+    n_literals: usize,
+    /// Lookup indices: the `syms` scan they replace sits on the
+    /// successor-generation hot path (every term resolution).
+    by_literal: BTreeMap<Value, CSym>,
+    by_const: BTreeMap<String, CSym>,
+    by_witness: BTreeMap<String, CSym>,
 }
 
 impl CTable {
@@ -60,6 +77,7 @@ impl CTable {
         for v in literals {
             syms.push(CSymKind::Literal(v));
         }
+        let n_literals = syms.len();
         for (name, kind) in service.schema.constants() {
             match kind {
                 ConstKind::Database => syms.push(CSymKind::DbConst(name.to_string())),
@@ -69,7 +87,34 @@ impl CTable {
         for v in &property.vars {
             syms.push(CSymKind::Witness(v.clone()));
         }
-        CTable { syms }
+        let mut by_literal = BTreeMap::new();
+        let mut by_const = BTreeMap::new();
+        let mut by_witness = BTreeMap::new();
+        for (i, kind) in syms.iter().enumerate() {
+            match kind {
+                CSymKind::Literal(v) => {
+                    by_literal.insert(v.clone(), i as CSym);
+                }
+                CSymKind::DbConst(n) | CSymKind::InputConst(n) => {
+                    by_const.insert(n.clone(), i as CSym);
+                }
+                CSymKind::Witness(v) => {
+                    by_witness.insert(v.clone(), i as CSym);
+                }
+            }
+        }
+        CTable {
+            syms,
+            n_literals,
+            by_literal,
+            by_const,
+            by_witness,
+        }
+    }
+
+    /// Number of literal symbols; they occupy indices `0..n_literals()`.
+    pub fn n_literals(&self) -> usize {
+        self.n_literals
     }
 
     /// Number of symbols in `C`.
@@ -97,29 +142,17 @@ impl CTable {
 
     /// Looks up the symbol for a literal value.
     pub fn literal_sym(&self, v: &Value) -> Option<CSym> {
-        self.syms
-            .iter()
-            .position(|k| matches!(k, CSymKind::Literal(w) if w == v))
-            .map(|i| i as CSym)
+        self.by_literal.get(v).copied()
     }
 
     /// Looks up the symbol for a named constant (database or input).
     pub fn const_sym(&self, name: &str) -> Option<CSym> {
-        self.syms
-            .iter()
-            .position(|k| match k {
-                CSymKind::DbConst(n) | CSymKind::InputConst(n) => n == name,
-                _ => false,
-            })
-            .map(|i| i as CSym)
+        self.by_const.get(name).copied()
     }
 
     /// Looks up the witness symbol for a property variable.
     pub fn witness_sym(&self, var: &str) -> Option<CSym> {
-        self.syms
-            .iter()
-            .position(|k| matches!(k, CSymKind::Witness(v) if v == var))
-            .map(|i| i as CSym)
+        self.by_witness.get(var).copied()
     }
 
     /// True when the symbol is an input constant.
