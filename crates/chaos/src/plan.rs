@@ -30,6 +30,11 @@ pub enum Plan {
     /// Capacity chaos: forced queue-full bursts, skewed deadlines and
     /// slowed workers, so shedding, retry-after and cancellation fire.
     Overload,
+    /// Fleet chaos: forwards between router and nodes, and journal
+    /// shipments between nodes, are dropped or delayed — a soft
+    /// partition. The fleet must answer through failover and retry, and
+    /// replication must converge once the partition heals.
+    Partition,
 }
 
 impl Plan {
@@ -50,6 +55,7 @@ impl Plan {
             Plan::RoughNet => "rough-net",
             Plan::PanicStorm => "panic-storm",
             Plan::Overload => "overload",
+            Plan::Partition => "partition",
         }
     }
 
@@ -61,6 +67,7 @@ impl Plan {
             "rough-net" => Some(Plan::RoughNet),
             "panic-storm" => Some(Plan::PanicStorm),
             "overload" => Some(Plan::Overload),
+            "partition" => Some(Plan::Partition),
             _ => None,
         }
     }
@@ -163,6 +170,27 @@ impl Plan {
                 }
             }
 
+            (Plan::Partition, Hook::FleetForward) => {
+                if !rng.gen_bool(0.2) {
+                    return Fault::None;
+                }
+                if rng.gen_bool(0.5) {
+                    Fault::Drop
+                } else {
+                    Fault::Delay(Duration::from_millis(rng.gen_range(5u64..50)))
+                }
+            }
+            (Plan::Partition, Hook::FleetShip) => {
+                if !rng.gen_bool(0.3) {
+                    return Fault::None;
+                }
+                if rng.gen_bool(0.6) {
+                    Fault::Drop
+                } else {
+                    Fault::Delay(Duration::from_millis(rng.gen_range(5u64..50)))
+                }
+            }
+
             _ => Fault::None,
         }
     }
@@ -191,6 +219,7 @@ mod tests {
             Plan::RoughNet,
             Plan::PanicStorm,
             Plan::Overload,
+            Plan::Partition,
         ] {
             assert_eq!(Plan::parse(p.name()), Some(p));
         }
@@ -239,7 +268,32 @@ mod tests {
                 Plan::Overload.sample(Hook::JournalAppend, 64, &mut rng),
                 Fault::None
             );
+            // Partition only disturbs the fleet hooks.
+            assert_eq!(
+                Plan::Partition.sample(Hook::WorkerRun, 64, &mut rng),
+                Fault::None
+            );
+            assert_eq!(
+                Plan::Partition.sample(Hook::JournalAppend, 64, &mut rng),
+                Fault::None
+            );
         }
+    }
+
+    #[test]
+    fn partition_plan_faults_only_with_drops_and_delays() {
+        let mut rng = SplitMix64::seed_from_u64(4);
+        let mut hits = 0;
+        for _ in 0..200 {
+            for hook in [Hook::FleetForward, Hook::FleetShip] {
+                match Plan::Partition.sample(hook, 64, &mut rng) {
+                    Fault::None => {}
+                    Fault::Drop | Fault::Delay(_) => hits += 1,
+                    other => panic!("partition must only drop or delay, got {other:?}"),
+                }
+            }
+        }
+        assert!(hits > 20, "{hits} faults in 400 draws");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The front-end router: fingerprint → owning node → forward.
+//!
+//! Routing is **content-addressed**: the router computes the same
+//! canonical fingerprint the engine computes (same resolution, same
+//! normalization), so every identical request lands on the same node —
+//! which is what turns per-node request coalescing into *fleet-wide*
+//! coalescing: one hot property means one owner, one leader, one
+//! verification, however many clients stampede.
+//!
+//! # Failure model
+//!
+//! A forward that fails at the transport level (dead socket, timeout,
+//! EOF mid-frame) is retried once on a fresh connection; if the node
+//! still does not answer it is **marked dead**: removed from the ring
+//! (epoch bump), its journal replayed to the survivors (every completed
+//! result it had persisted is re-installed through the validating
+//! replication path), and the request fails over to the new owner.
+//! Typed refusals (admission, bad property, overload with retry-after)
+//! are relayed to the caller — they are answers, not failures.
+//!
+//! The [`Hook::FleetForward`] fault point lets `wave-chaos` drop or
+//! delay forwards (a soft partition): a dropped forward fails over for
+//! that request only, without declaring the owner dead.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use wave_logic::fingerprint::Fnv128;
+use wave_serve::client::{ClientError, RetryPolicy, TcpClient, VerifyReply};
+use wave_serve::codec::{Mode, VerifyRequest};
+use wave_serve::engine::request_fingerprint;
+use wave_serve::faults::{Fault, Faults, Hook};
+use wave_serve::registry;
+
+use crate::ring::Ring;
+use crate::shipper::tail_lines;
+
+/// One fleet member as the router sees it.
+#[derive(Clone, Debug)]
+pub struct NodeHandle {
+    /// Shard id (also the engine's `shard` and the ring id).
+    pub id: u32,
+    /// Where the node's wave-serve protocol listens.
+    pub addr: SocketAddr,
+    /// The node's cache journal, when the router can read it — enables
+    /// journal replay after a kill. `None` for remote nodes.
+    pub journal: Option<PathBuf>,
+}
+
+/// Monotonic router counters.
+#[derive(Default)]
+pub struct RouterCounters {
+    /// Requests forwarded to an owner node.
+    pub forwards: AtomicU64,
+    /// Requests re-routed to a successor (dropped forward or dead
+    /// owner).
+    pub failovers: AtomicU64,
+    /// Nodes declared dead after failed forwards (or by a kill drill).
+    pub nodes_marked_dead: AtomicU64,
+    /// Journal records replayed to survivors after node deaths.
+    pub replayed_records: AtomicU64,
+}
+
+struct RouterState {
+    ring: Ring,
+    nodes: HashMap<u32, NodeHandle>,
+}
+
+/// The fleet front end.
+pub struct Router {
+    state: Mutex<RouterState>,
+    faults: Faults,
+    read_timeout: Duration,
+    retry: RetryPolicy,
+    /// Monotonic counters for fleet stats.
+    pub counters: RouterCounters,
+}
+
+/// The fingerprint a request routes by: identical to the engine's
+/// canonical fingerprint for well-formed requests, so router placement
+/// and engine caching agree. Content that cannot be resolved (unknown
+/// service, unparsable property) routes by raw text — any node can
+/// produce the typed refusal.
+pub fn routing_fingerprint(req: &VerifyRequest) -> u128 {
+    if let Some(service) = registry::resolve(&req.service) {
+        let property = match req.mode {
+            Mode::ErrorFree => None,
+            Mode::Ltl => wave_logic::parser::parse_property(&req.property).ok(),
+        };
+        if property.is_some() || req.mode == Mode::ErrorFree {
+            return request_fingerprint(&service, property.as_ref(), req.mode, req.node_limit).0;
+        }
+    }
+    let mut h = Fnv128::new();
+    h.write_str("wave-fleet/unroutable/v1");
+    h.write_str(&req.service);
+    h.write_str(&req.property);
+    h.finish()
+}
+
+impl Router {
+    /// A router over the given nodes, with a fault plane for the
+    /// forward/ship hook points (pass [`Faults::none`] in production).
+    pub fn new(nodes: Vec<NodeHandle>, faults: Faults) -> Router {
+        let ring = Ring::new(nodes.iter().map(|n| n.id));
+        let nodes = nodes.into_iter().map(|n| (n.id, n)).collect();
+        Router {
+            state: Mutex::new(RouterState { ring, nodes }),
+            faults,
+            read_timeout: Duration::from_secs(30),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(200),
+                budget: Duration::from_secs(2),
+                seed: 0x666c_6565, // "flee(t)"
+            },
+            counters: RouterCounters::default(),
+        }
+    }
+
+    /// Live node handles, ascending by id.
+    pub fn nodes(&self) -> Vec<NodeHandle> {
+        let st = self.state.lock().expect("router poisoned");
+        let mut out: Vec<NodeHandle> = st.nodes.values().cloned().collect();
+        out.sort_by_key(|n| n.id);
+        out
+    }
+
+    /// The current ring epoch (bumped by every death).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().expect("router poisoned").ring.epoch()
+    }
+
+    /// The node a request would be forwarded to right now.
+    pub fn owner_of(&self, req: &VerifyRequest) -> Option<u32> {
+        let st = self.state.lock().expect("router poisoned");
+        if st.ring.is_empty() {
+            return None;
+        }
+        Some(st.ring.owner(routing_fingerprint(req)))
+    }
+
+    /// Routes one request to completion: forward to the owner, fail
+    /// over past dropped forwards and dead nodes, relay the answer.
+    pub fn submit(&self, req: &VerifyRequest) -> Result<VerifyReply, ClientError> {
+        let fp = routing_fingerprint(req);
+        // Nodes this *request* must skip (dropped forwards), on top of
+        // ring membership (which deaths shrink as we go).
+        let mut skip: Vec<u32> = Vec::new();
+        loop {
+            let target = {
+                let st = self.state.lock().expect("router poisoned");
+                match st.ring.owner_excluding(fp, &skip) {
+                    Some(id) => st.nodes[&id].clone(),
+                    None => {
+                        return Err(ClientError::Protocol(
+                            "no live node can take this request".into(),
+                        ))
+                    }
+                }
+            };
+            match self.faults.decide(Hook::FleetForward, 0) {
+                Fault::Delay(d) => std::thread::sleep(d),
+                Fault::Drop => {
+                    // Soft partition: this forward is lost. Fail over for
+                    // this request only; the owner is not declared dead.
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    skip.push(target.id);
+                    continue;
+                }
+                _ => {}
+            }
+            self.counters.forwards.fetch_add(1, Ordering::Relaxed);
+            match TcpClient::verify_with_retry(target.addr, self.read_timeout, req, &self.retry) {
+                Ok(reply) => return Ok(reply),
+                // Transport-dead after retries: declare the node dead,
+                // replay its journal, fail over to the successor.
+                Err(ClientError::Io(_)) | Err(ClientError::Timeout) => {
+                    self.mark_dead(target.id);
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    skip.retain(|id| *id != target.id); // now off the ring
+                }
+                // Everything else is an answer (refusal, protocol
+                // violation worth surfacing), not a dead node.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Declares a node dead: off the ring, journal replayed to the
+    /// survivors. Idempotent; also the entry point for kill drills.
+    pub fn mark_dead(&self, id: u32) {
+        let (handle, survivors) = {
+            let mut st = self.state.lock().expect("router poisoned");
+            let Some(handle) = st.nodes.remove(&id) else {
+                return;
+            };
+            st.ring.remove_node(id);
+            let survivors: Vec<NodeHandle> = st.nodes.values().cloned().collect();
+            (handle, survivors)
+        };
+        self.counters
+            .nodes_marked_dead
+            .fetch_add(1, Ordering::Relaxed);
+        self.replay_journal(&handle, &survivors);
+    }
+
+    /// Replays a dead node's persisted journal to every survivor via
+    /// the validating replication path. Only complete CRC-framed lines
+    /// ship; the receivers re-validate every frame, so a torn or
+    /// corrupted journal can lose records but never install wrong ones.
+    fn replay_journal(&self, dead: &NodeHandle, survivors: &[NodeHandle]) {
+        let Some(path) = &dead.journal else {
+            return;
+        };
+        let (lines, _) = tail_lines(path, 0);
+        if lines.is_empty() || survivors.is_empty() {
+            return;
+        }
+        let payload: usize = lines.iter().map(String::len).sum();
+        for peer in survivors {
+            match self.faults.decide(Hook::FleetShip, payload) {
+                Fault::Delay(d) => std::thread::sleep(d),
+                // A dropped replay loses cached results, never answers:
+                // the new owner re-verifies cold. Safe to skip.
+                Fault::Drop => continue,
+                _ => {}
+            }
+            if let Ok(mut c) = TcpClient::connect_timeout(peer.addr, self.read_timeout) {
+                if let Ok((applied, _, _)) = c.replicate(&lines) {
+                    self.counters
+                        .replayed_records
+                        .fetch_add(applied, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Per-node `stats` replies plus router counters, as JSON text:
+    /// `{"router":{...},"nodes":[{"id":0,"stats":{...}},...]}`.
+    pub fn fleet_stats(&self) -> String {
+        use wave_serve::json::Json;
+        let mut nodes = Vec::new();
+        for handle in self.nodes() {
+            let stats = TcpClient::connect_timeout(handle.addr, self.read_timeout)
+                .ok()
+                .and_then(|mut c| c.stats().ok())
+                .unwrap_or(Json::Null);
+            nodes.push(Json::Obj(vec![
+                ("id".into(), Json::Int(handle.id as i64)),
+                ("stats".into(), stats),
+            ]));
+        }
+        let c = &self.counters;
+        Json::Obj(vec![
+            (
+                "router".into(),
+                Json::Obj(vec![
+                    (
+                        "forwards".into(),
+                        Json::Int(c.forwards.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "failovers".into(),
+                        Json::Int(c.failovers.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "nodes_marked_dead".into(),
+                        Json::Int(c.nodes_marked_dead.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "replayed_records".into(),
+                        Json::Int(c.replayed_records.load(Ordering::Relaxed) as i64),
+                    ),
+                    ("epoch".into(), Json::Int(self.epoch() as i64)),
+                ]),
+            ),
+            ("nodes".into(), Json::Arr(nodes)),
+        ])
+        .encode()
+    }
+}

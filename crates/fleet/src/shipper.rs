@@ -1,0 +1,189 @@
+//! Journal shipping: replicating completed results across the fleet.
+//!
+//! Every node persists its completed verifications as CRC-framed NDJSON
+//! journal lines (see `wave_serve::cache`). The shipper tails each
+//! node's journal by byte offset and ships new **complete** lines to
+//! every other live node over the wire protocol's `replicate` command.
+//! Receivers re-validate every frame (CRC, canonical re-encode,
+//! cacheable verdict) and skip byte-identical records, so shipping is
+//! idempotent: re-sending a window, crossing a compaction, or racing a
+//! concurrent writer can duplicate work but never corrupt a cache.
+//!
+//! Offsets are tracked per `(source, peer)` pair and only advance after
+//! a successful ship to that peer, so a peer that misses a round (drop
+//! fault, dead socket) catches up on the next tick instead of silently
+//! losing the window.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wave_serve::client::TcpClient;
+use wave_serve::faults::{Fault, Faults, Hook};
+
+use crate::router::Router;
+
+/// Reads the complete (newline-terminated) journal lines at or after
+/// byte offset `from`, returning them with the offset just past the
+/// last complete line. A file shorter than `from` (compaction rewrote
+/// it) restarts from 0. Partial trailing lines — a writer mid-append,
+/// or a crash mid-write — are left for the next call.
+pub fn tail_lines(path: &Path, from: usize) -> (Vec<String>, usize) {
+    let Ok(bytes) = fs::read(path) else {
+        return (Vec::new(), from);
+    };
+    let from = if from > bytes.len() { 0 } else { from };
+    let mut lines = Vec::new();
+    let mut at = from;
+    let mut line_start = from;
+    while at < bytes.len() {
+        if bytes[at] == b'\n' {
+            let raw = &bytes[line_start..at];
+            let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+            if !raw.is_empty() {
+                if let Ok(s) = std::str::from_utf8(raw) {
+                    lines.push(s.to_string());
+                }
+            }
+            line_start = at + 1;
+        }
+        at += 1;
+    }
+    (lines, line_start)
+}
+
+/// A background replication pump over a router's node set.
+pub struct Shipper {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    shipped: Arc<AtomicU64>,
+}
+
+impl Shipper {
+    /// Starts shipping every node's journal to every other live node,
+    /// once per `interval`. Faults at [`Hook::FleetShip`] drop or delay
+    /// individual ship rounds.
+    pub fn start(router: Arc<Router>, faults: Faults, interval: Duration) -> Shipper {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shipped = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let shipped2 = Arc::clone(&shipped);
+        let handle = std::thread::Builder::new()
+            .name("fleet-shipper".into())
+            .spawn(move || {
+                // Offset per (source node, peer node): a peer only
+                // advances past bytes it has acknowledged.
+                let mut offsets: HashMap<(u32, u32), usize> = HashMap::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    Shipper::tick(&router, &faults, &mut offsets, &shipped2);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn fleet-shipper");
+        Shipper {
+            stop,
+            handle: Some(handle),
+            shipped,
+        }
+    }
+
+    /// Journal lines successfully shipped (summed over peers).
+    pub fn shipped(&self) -> u64 {
+        self.shipped.load(Ordering::Relaxed)
+    }
+
+    fn tick(
+        router: &Router,
+        faults: &Faults,
+        offsets: &mut HashMap<(u32, u32), usize>,
+        shipped: &AtomicU64,
+    ) {
+        let nodes = router.nodes();
+        for source in &nodes {
+            let Some(journal) = &source.journal else {
+                continue;
+            };
+            for peer in &nodes {
+                if peer.id == source.id {
+                    continue;
+                }
+                let key = (source.id, peer.id);
+                let from = *offsets.get(&key).unwrap_or(&0);
+                let (lines, next) = tail_lines(journal, from);
+                if lines.is_empty() {
+                    offsets.insert(key, next);
+                    continue;
+                }
+                let payload: usize = lines.iter().map(String::len).sum();
+                match faults.decide(Hook::FleetShip, payload) {
+                    Fault::Delay(d) => std::thread::sleep(d),
+                    // Dropped round: offset stays put, next tick
+                    // re-ships the same window (idempotent receiver).
+                    Fault::Drop => continue,
+                    _ => {}
+                }
+                let ok = TcpClient::connect_timeout(peer.addr, Duration::from_secs(10))
+                    .ok()
+                    .and_then(|mut c| c.replicate(&lines).ok())
+                    .is_some();
+                if ok {
+                    offsets.insert(key, next);
+                    shipped.fetch_add(lines.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_returns_only_complete_lines_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("wave-fleet-tail-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ndjson");
+
+        fs::write(&path, "alpha\nbeta\npartial").unwrap();
+        let (lines, off) = tail_lines(&path, 0);
+        assert_eq!(lines, vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(off, "alpha\nbeta\n".len());
+
+        // The partial line completes, plus one more full line appears.
+        fs::write(&path, "alpha\nbeta\npartial-done\r\ngamma\n").unwrap();
+        let (lines, off2) = tail_lines(&path, off);
+        assert_eq!(
+            lines,
+            vec!["partial-done".to_string(), "gamma".to_string()],
+            "CR must be stripped, resume must not re-read old lines"
+        );
+        assert_eq!(off2, "alpha\nbeta\npartial-done\r\ngamma\n".len());
+
+        // Compaction shrinks the file below our offset: restart at 0.
+        fs::write(&path, "small\n").unwrap();
+        let (lines, off3) = tail_lines(&path, off2);
+        assert_eq!(lines, vec!["small".to_string()]);
+        assert_eq!(off3, "small\n".len());
+
+        // Missing file: no lines, offset preserved.
+        let (lines, off4) = tail_lines(&dir.join("absent"), 17);
+        assert!(lines.is_empty());
+        assert_eq!(off4, 17);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,260 @@
+//! Fleet end-to-end drills: routing determinism, fleet-wide
+//! at-most-once cold verification, journal-shipped replication, node
+//! kill/retire survival, and soft-partition chaos.
+//!
+//! The invariant hierarchy under test: a fleet may lose *cached* work
+//! (it re-verifies cold), but it must never serve a wrong verdict,
+//! install a corrupted replay, or hang a client.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wave_chaos::plan::Plan;
+use wave_chaos::plane::ChaosPlane;
+use wave_fleet::local::{FleetOptions, LocalFleet, ProcessFleet};
+use wave_serve::codec::{Mode, VerifyRequest};
+use wave_serve::faults::Faults;
+
+/// Structurally distinct LTL properties over the `toggle` service's
+/// propositions — each is one distinct content fingerprint.
+fn formulas() -> Vec<&'static str> {
+    vec![
+        "G (P | Q)",
+        "F P",
+        "F Q",
+        "G F P",
+        "G F Q",
+        "F G P",
+        "X P",
+        "X Q",
+        "P U Q",
+        "Q U P",
+        "G (P -> X Q)",
+        "G (Q -> X P)",
+    ]
+}
+
+fn request(property: &str) -> VerifyRequest {
+    VerifyRequest {
+        service: "toggle".into(),
+        property: property.into(),
+        mode: Mode::Ltl,
+        node_limit: 0,
+        threads: 1,
+        deadline_us: 0,
+    }
+}
+
+/// Total cold verifications across every engine in the fleet.
+fn fleet_cache_misses(fleet: &LocalFleet) -> u64 {
+    fleet
+        .engines()
+        .iter()
+        .map(|e| e.counters.cache_misses.load(Ordering::Relaxed))
+        .sum()
+}
+
+#[test]
+fn distinct_cold_fingerprints_verify_at_most_once_fleet_wide() {
+    let fleet = LocalFleet::launch(3, FleetOptions::default()).expect("launch");
+    let router = fleet.router();
+
+    // Three rounds over the same 12 formulas: the router must send each
+    // fingerprint to one deterministic owner, so rounds 2 and 3 are
+    // cache hits and the fleet runs exactly 12 cold verifications.
+    let mut first: Vec<String> = Vec::new();
+    for round in 0..3 {
+        for (i, f) in formulas().iter().enumerate() {
+            let reply = router.submit(&request(f)).expect("routed verify");
+            if round == 0 {
+                first.push(reply.outcome_text.clone());
+                assert!(!reply.cache_hit, "round 0 must be cold: {f}");
+            } else {
+                assert!(reply.cache_hit, "round {round} must hit: {f}");
+                assert_eq!(
+                    reply.outcome_text, first[i],
+                    "repeat of {f} must be byte-identical"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        fleet_cache_misses(&fleet),
+        formulas().len() as u64,
+        "each distinct fingerprint verifies at most once fleet-wide"
+    );
+
+    // A thundering herd on one *new* formula: 8 concurrent clients,
+    // still exactly one more cold verification (deterministic routing
+    // lands them on one node; that node's engine coalesces or serves
+    // from cache).
+    let herd_formula = "G (P <-> ! Q)";
+    let router = Arc::clone(router);
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || router.submit(&request(herd_formula)).expect("herd verify"))
+        })
+        .collect();
+    let herd: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for reply in &herd {
+        assert_eq!(reply.outcome_text, herd[0].outcome_text);
+    }
+    assert_eq!(
+        fleet_cache_misses(&fleet),
+        formulas().len() as u64 + 1,
+        "a herd of 8 on one hot fingerprint costs exactly one verification"
+    );
+    assert_eq!(router.epoch(), 0, "no membership change in this drill");
+}
+
+#[test]
+fn replication_ships_results_and_a_retired_node_s_verdicts_survive() {
+    let fleet = LocalFleet::launch(
+        3,
+        FleetOptions {
+            ship_interval: Duration::from_millis(25),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("launch");
+    let router = fleet.router();
+
+    let mut first: Vec<String> = Vec::new();
+    for f in formulas() {
+        first.push(router.submit(&request(f)).expect("verify").outcome_text);
+    }
+
+    // Every completed result ships to both peers: wait until each of
+    // the 12 results has been applied twice, fleet-wide.
+    let want = formulas().len() as u64 * 2;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let applied: u64 = fleet
+            .engines()
+            .iter()
+            .map(|e| e.counters.replicated_applied.load(Ordering::Relaxed))
+            .sum();
+        if applied >= want {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication stalled: {applied}/{want} applied"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Retire each node in turn... but one is enough to prove survival:
+    // every verdict the dead node owned must now be a warm hit on its
+    // successor, byte-identical — zero re-verification.
+    let cold_before = fleet_cache_misses(&fleet);
+    fleet.retire(1);
+    assert_eq!(router.epoch(), 1, "death must bump the ring epoch");
+    for (i, f) in formulas().iter().enumerate() {
+        let reply = router.submit(&request(f)).expect("post-retire verify");
+        assert!(reply.cache_hit, "{f} must replay from the replicated cache");
+        assert_eq!(reply.outcome_text, first[i], "{f} changed across the kill");
+        assert_ne!(reply.shard, 1, "the dead node must not answer");
+    }
+    assert_eq!(
+        fleet_cache_misses(&fleet),
+        cold_before,
+        "no verdict may be re-verified after a death with replication"
+    );
+    assert!(fleet.shipper().shipped() > 0, "the shipper must have run");
+}
+
+#[test]
+fn sigkill_mid_campaign_yields_no_wrong_verdicts_and_no_hangs() {
+    let bin = std::path::Path::new(env!("CARGO_BIN_EXE_wave-fleet"));
+    let mut fleet = ProcessFleet::spawn(
+        bin,
+        3,
+        FleetOptions {
+            ship_interval: Duration::from_millis(25),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("spawn process fleet");
+    let started = Instant::now();
+
+    // Ground truth: one warm pass over every formula.
+    let mut first: Vec<String> = Vec::new();
+    for f in formulas() {
+        let reply = fleet.router().submit(&request(f)).expect("verify");
+        first.push(reply.outcome_text);
+    }
+    // Let at least one ship round land so the kill loses no verdicts.
+    std::thread::sleep(Duration::from_millis(250));
+
+    // SIGKILL one node (a real dead process: sockets reset, journal
+    // frozen mid-life), then re-run the whole campaign plus new work.
+    assert!(fleet.kill(0), "node 0 must exist to be killed");
+    for (i, f) in formulas().iter().enumerate() {
+        let reply = fleet
+            .router()
+            .submit(&request(f))
+            .expect("post-kill verify");
+        assert_eq!(
+            reply.outcome_text, first[i],
+            "{f} changed its verdict across a SIGKILL"
+        );
+        assert_ne!(reply.shard, 0, "the killed node must not answer");
+    }
+    let fresh = fleet
+        .router()
+        .submit(&request("F (P & X Q)"))
+        .expect("cold verify after the kill");
+    assert!(!fresh.outcome_text.is_empty());
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "the drill must complete on a bounded clock"
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn soft_partition_chaos_never_changes_a_verdict() {
+    // Dropped and delayed forwards/ships at the fleet hooks: requests
+    // may fail over to non-owners (extra cold runs are allowed), but
+    // every answer must still be the correct, byte-identical verdict.
+    let plane = Arc::new(ChaosPlane::new(Plan::Partition, 0xF1EE7));
+    let fleet = LocalFleet::launch(
+        3,
+        FleetOptions {
+            fleet_faults: Faults::new(plane.clone()),
+            ship_interval: Duration::from_millis(25),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("launch");
+
+    let mut first: Vec<String> = Vec::new();
+    for round in 0..3 {
+        for (i, f) in formulas().iter().enumerate() {
+            let reply = fleet
+                .router()
+                .submit(&request(f))
+                .expect("partitioned verify must still answer");
+            if round == 0 {
+                first.push(reply.outcome_text.clone());
+            } else {
+                assert_eq!(
+                    reply.outcome_text, first[i],
+                    "{f} verdict drifted under partition chaos"
+                );
+            }
+        }
+    }
+    assert!(
+        plane.decisions() > 0,
+        "the partition plan must actually be consulted at the fleet hooks"
+    );
+    assert_eq!(
+        fleet.router().epoch(),
+        0,
+        "soft partitions must not be escalated to node deaths"
+    );
+}

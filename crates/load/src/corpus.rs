@@ -1,0 +1,94 @@
+//! The formula corpus: structurally distinct LTL properties over the
+//! `toggle` service, each a distinct **content fingerprint**.
+//!
+//! Distinctness is guaranteed the same way the fleet routes: candidate
+//! formulas are deduplicated by their canonical routing fingerprint
+//! (parse → normalize → hash), not by text, so two spellings of one
+//! property never masquerade as two corpus entries — the campaign's
+//! "each distinct fingerprint verifies at most once" check would be
+//! meaningless otherwise.
+
+use std::collections::HashSet;
+
+use wave_fleet::router::routing_fingerprint;
+use wave_serve::codec::{Mode, VerifyRequest};
+
+/// The service every corpus formula targets: `toggle` is the smallest
+/// registry service (two pages flipping `P`/`Q`), so verification cost
+/// is dominated by serving overhead — which is what a load harness
+/// should measure.
+pub const SERVICE: &str = "toggle";
+
+/// The verify request for one corpus formula.
+pub fn request(property: &str) -> VerifyRequest {
+    VerifyRequest {
+        service: SERVICE.into(),
+        property: property.into(),
+        mode: Mode::Ltl,
+        node_limit: 0,
+        threads: 1,
+        deadline_us: 0,
+    }
+}
+
+/// Builds `n` formulas with `n` distinct canonical fingerprints.
+/// Deterministic: the same `n` always yields the same corpus.
+///
+/// Panics if the candidate space (several thousand formulas) cannot
+/// supply `n` distinct fingerprints.
+pub fn corpus(n: usize) -> Vec<String> {
+    let unaries = ["", "G ", "F ", "X ", "G F ", "F G ", "X X ", "X F "];
+    let atoms = ["P", "Q", "(P | Q)", "(P & Q)", "(P -> Q)", "(P <-> Q)"];
+    let ops = [" | ", " & ", " -> ", " U "];
+    let mut out = Vec::with_capacity(n);
+    let mut seen: HashSet<u128> = HashSet::with_capacity(n);
+    for u1 in unaries {
+        for op in ops {
+            for a1 in atoms {
+                for u2 in unaries {
+                    for a2 in atoms {
+                        if out.len() == n {
+                            return out;
+                        }
+                        let text = format!("{u1}({a1}{op}{u2}{a2})");
+                        if wave_logic::parser::parse_property(&text).is_err() {
+                            continue;
+                        }
+                        let fp = routing_fingerprint(&request(&text));
+                        if seen.insert(fp) {
+                            out.push(text);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    panic!(
+        "corpus candidate space exhausted at {} of {n} formulas",
+        out.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_fingerprints_are_distinct_and_deterministic() {
+        let c = corpus(150);
+        assert_eq!(c.len(), 150);
+        let fps: HashSet<u128> = c.iter().map(|f| routing_fingerprint(&request(f))).collect();
+        assert_eq!(
+            fps.len(),
+            150,
+            "every formula must be a distinct fingerprint"
+        );
+        assert_eq!(corpus(150), c, "corpus must be deterministic");
+        for f in &c {
+            assert!(
+                wave_logic::parser::parse_property(f).is_ok(),
+                "corpus formula must parse: {f}"
+            );
+        }
+    }
+}

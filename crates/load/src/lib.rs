@@ -1,0 +1,25 @@
+//! wave-load: an open-loop load generator for the verification fleet.
+//!
+//! The harness answers one question: what does a wave-fleet *serve*
+//! under realistic content popularity — throughput, tail latency, and
+//! does the verification economy hold (each distinct fingerprint
+//! verified at most once fleet-wide)?
+//!
+//! Three pieces:
+//!
+//! - [`corpus`]: ≥100 structurally distinct LTL formulas over the
+//!   `toggle` service, deduplicated by canonical fingerprint — the
+//!   distinct-content axis.
+//! - [`zipf`]: seeded Zipf popularity over corpus ranks — the hot/cold
+//!   mix axis (a few formulas take most traffic; the tail stays cold).
+//! - [`campaign`]: the open-loop runner — submissions are due on a
+//!   fixed schedule, latency is measured from the due time (so queueing
+//!   delay is charged to the fleet, not hidden by a slow sender), and a
+//!   `BENCH_serve.json` report is produced at the end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod zipf;

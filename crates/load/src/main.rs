@@ -1,0 +1,95 @@
+//! The `wave-load` binary: run an open-loop campaign against a
+//! self-hosted fleet and emit `BENCH_serve.json`.
+//!
+//! ```text
+//! wave-load run [--nodes 3] [--submissions 6000] [--rps 600]
+//!               [--corpus 120] [--zipf-s 1.1] [--workers 24]
+//!               [--seed N] [--deadline-fraction 0.1] [--retire-mid]
+//!               [--out FILE] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the campaign to a seconds-scale sanity run (CI
+//! uses it); `--retire-mid` retires one node halfway through the
+//! schedule to measure the cost of a death under load.
+
+use std::process::ExitCode;
+
+use wave_load::campaign::{run, CampaignOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: wave-load run [options]");
+            eprintln!("  --nodes N --submissions N --rps F --corpus N --zipf-s F");
+            eprintln!("  --workers N --seed N --deadline-fraction F --retire-mid");
+            eprintln!("  --out FILE --smoke");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Minimal `--flag value` parser: returns the value after `flag`.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let base = if smoke {
+        CampaignOptions {
+            nodes: 2,
+            submissions: 600,
+            rps: 1_200.0,
+            corpus_size: 60,
+            workers: 12,
+            ..CampaignOptions::default()
+        }
+    } else {
+        CampaignOptions::default()
+    };
+    let opts = CampaignOptions {
+        nodes: flag_num(args, "--nodes", base.nodes)?,
+        submissions: flag_num(args, "--submissions", base.submissions)?,
+        rps: flag_num(args, "--rps", base.rps)?,
+        corpus_size: flag_num(args, "--corpus", base.corpus_size)?,
+        zipf_s: flag_num(args, "--zipf-s", base.zipf_s)?,
+        workers: flag_num(args, "--workers", base.workers)?,
+        seed: flag_num(args, "--seed", base.seed)?,
+        deadline_fraction: flag_num(args, "--deadline-fraction", base.deadline_fraction)?,
+        retire_mid: args.iter().any(|a| a == "--retire-mid") || base.retire_mid,
+        ..base
+    };
+    let report = run(&opts);
+    let json = report.encode();
+    println!("{json}");
+    if let Some(path) = flag(args, "--out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if report.errors > 0 {
+        return Err(format!("{} submissions failed", report.errors));
+    }
+    if !report.single_verification_ok {
+        return Err("verification economy violated: more cold runs than distinct content".into());
+    }
+    Ok(())
+}

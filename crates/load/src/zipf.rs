@@ -1,0 +1,92 @@
+//! A seeded Zipf(s) popularity sampler over ranks `0..n`.
+//!
+//! Rank `r` (0-based) is drawn with probability proportional to
+//! `1/(r+1)^s` — the classic web-content popularity curve: a few hot
+//! fingerprints take most of the traffic, a long tail stays cold. The
+//! sampler precomputes the CDF once and draws by binary search, so a
+//! campaign's schedule builds in O(K log n).
+
+use wave_rng::Rng;
+
+/// A precomputed Zipf distribution over `0..n`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf(s) distribution over ranks `0..n`. `s = 0` is uniform;
+    /// `s ≈ 1` is the classic web curve; larger is spikier.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|c| *c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_rng::SplitMix64;
+
+    #[test]
+    fn ranks_are_monotonically_popular_and_cover_the_tail() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = SplitMix64::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[50],
+            "popularity must decay with rank: {:?}",
+            &counts[..12]
+        );
+        let covered = counts.iter().filter(|c| **c > 0).count();
+        assert!(
+            covered >= 95,
+            "50k draws over 100 ranks must hit nearly every rank, got {covered}"
+        );
+        // Rank 0 of Zipf(1.1) over 100 ranks carries ~20% of traffic.
+        let hot = counts[0] as f64 / draws as f64;
+        assert!((0.1..0.35).contains(&hot), "hot-rank share {hot:.3}");
+    }
+
+    #[test]
+    fn s_zero_is_close_to_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (r, c) in counts.iter().enumerate() {
+            let dev = (*c as f64 - 2000.0).abs() / 2000.0;
+            assert!(
+                dev < 0.1,
+                "rank {r} count {c} deviates {dev:.3} from uniform"
+            );
+        }
+    }
+}

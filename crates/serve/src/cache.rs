@@ -297,6 +297,53 @@ impl ResultCache {
         self.persist.is_some()
     }
 
+    /// True when `fp` is cached with exactly `bytes` — without
+    /// refreshing recency. The fleet replication path uses this to make
+    /// journal shipping idempotent: a record a node already holds
+    /// verbatim is a no-op, not a re-insert that would re-journal (and
+    /// re-ship) it forever.
+    pub fn peek_identical(&self, fp: Fingerprint, bytes: &[u8]) -> bool {
+        self.map
+            .get(&fp.0)
+            .is_some_and(|(stored, _)| stored.as_slice() == bytes)
+    }
+
+    /// Complete (newline-terminated) journal lines starting at byte
+    /// offset `from_byte`, plus the offset just past the last complete
+    /// line — the fleet shipper's incremental tail. An offset past the
+    /// end of the file (compaction shrank the journal) restarts from
+    /// zero. Without persistence, synthesizes the compacted journal and
+    /// reports its full length as the offset, so an unchanged cache
+    /// ships nothing twice.
+    pub fn export_journal_lines(&self, from_byte: usize) -> (Vec<String>, usize) {
+        let data = match &self.persist {
+            Some(path) => match std::fs::read(path) {
+                Ok(d) => d,
+                Err(_) => return (Vec::new(), 0),
+            },
+            None => self.compacted_journal().into_bytes(),
+        };
+        let mut at = if from_byte > data.len() { 0 } else { from_byte };
+        let mut lines = Vec::new();
+        while let Some(pos) = data[at..].iter().position(|&b| b == b'\n') {
+            let raw = &data[at..at + pos];
+            at += pos + 1;
+            let raw = match raw {
+                [head @ .., b'\r'] => head,
+                other => other,
+            };
+            if raw.is_empty() {
+                continue;
+            }
+            // Damaged (non-UTF-8) lines are skipped here and fail the
+            // CRC frame on the receiver anyway.
+            if let Ok(s) = std::str::from_utf8(raw) {
+                lines.push(s.to_string());
+            }
+        }
+        (lines, at)
+    }
+
     /// Looks up a fingerprint, refreshing its recency. Returns the
     /// stored bytes verbatim.
     pub fn get(&mut self, fp: Fingerprint) -> Option<Vec<u8>> {
@@ -400,8 +447,9 @@ impl ResultCache {
 }
 
 /// One framed journal line (no trailing newline):
-/// `<8 hex crc32> <record json>`, CRC over the JSON payload.
-fn persist_line(fp: Fingerprint, outcome_bytes: &[u8]) -> String {
+/// `<8 hex crc32> <record json>`, CRC over the JSON payload. Public
+/// because the fleet ships these exact frames between nodes.
+pub fn persist_line(fp: Fingerprint, outcome_bytes: &[u8]) -> String {
     // `outcome_bytes` is the canonical encoding of a JSON object; splice
     // it in verbatim so the journal stores the exact cached bytes.
     let record = format!(
@@ -414,8 +462,10 @@ fn persist_line(fp: Fingerprint, outcome_bytes: &[u8]) -> String {
 
 /// Decodes one journal line. `None` means the line is damaged (CRC
 /// mismatch, torn frame, malformed JSON) and must be skipped — never
-/// that a damaged line yields altered bytes.
-fn decode_journal_line(line: &str) -> Option<(Fingerprint, Vec<u8>)> {
+/// that a damaged line yields altered bytes. Public because the fleet
+/// replication receiver validates shipped frames with the same code
+/// that guards the local journal.
+pub fn decode_journal_line(line: &str) -> Option<(Fingerprint, Vec<u8>)> {
     let bytes = line.as_bytes();
     // Framed: 8 hex digits, a space, then the payload the CRC covers.
     let framed =

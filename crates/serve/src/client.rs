@@ -49,6 +49,13 @@ pub struct VerifyReply {
     /// `"input_bounded"`); empty when talking to a server that predates
     /// the field.
     pub class: String,
+    /// The shard id of the node that answered (`0` standalone, or when
+    /// the server predates the field).
+    pub shard: u32,
+    /// Submissions that shared this verification run (see
+    /// `SubmitResult::coalesced_waiters`; `0` when the server predates
+    /// the field).
+    pub coalesced_waiters: u64,
     /// The decoded outcome.
     pub outcome: VerifyOutcome,
     /// The raw outcome object's canonical encoding (byte-identity
@@ -157,6 +164,14 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
         .and_then(Json::as_str)
         .unwrap_or_default()
         .to_string();
+    let shard = v
+        .get("shard")
+        .and_then(Json::as_int)
+        .map_or(0, |n| n.max(0) as u32);
+    let coalesced_waiters = v
+        .get("coalesced_waiters")
+        .and_then(Json::as_int)
+        .map_or(0, |n| n.max(0) as u64);
     let outcome_json = v
         .get("outcome")
         .ok_or_else(|| ClientError::Protocol("missing outcome".into()))?;
@@ -166,6 +181,8 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
         fingerprint,
         cache_hit,
         class,
+        shard,
+        coalesced_waiters,
         outcome,
         outcome_text: outcome_json.encode(),
     })
@@ -272,6 +289,55 @@ impl RetryPolicy {
     }
 }
 
+/// The shared reconnect loop behind [`TcpClient::verify_with_retry`]
+/// and [`TcpClient::verify_with_failover`]: exponential backoff with
+/// decorrelated jitter, a per-sleep cap, an attempt count and a total
+/// sleep budget. `migrate_on_draining` additionally treats a `Draining`
+/// refusal as retryable (sound only when attempts rotate across nodes).
+fn retry_loop(
+    policy: &RetryPolicy,
+    migrate_on_draining: bool,
+    mut attempt_once: impl FnMut(u32) -> Result<VerifyReply, ClientError>,
+) -> Result<VerifyReply, ClientError> {
+    let mut rng = SplitMix64::seed_from_u64(policy.seed);
+    let mut slept = Duration::ZERO;
+    // Decorrelated jitter state: next sleep is uniform in
+    // [base, prev * 3], capped.
+    let mut prev = policy.base;
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        let err = match attempt_once(attempt) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => e,
+        };
+        let retryable = RetryPolicy::retryable(&err)
+            || (migrate_on_draining && matches!(err, ClientError::Draining));
+        if !retryable || attempt + 1 == attempts {
+            return Err(err);
+        }
+        // Decorrelated jitter (Brooker): sleep ~ U[base, prev*3],
+        // clamped to the cap; a server hint raises the floor.
+        let lo = policy.base.as_millis().max(1) as u64;
+        let hi = prev.as_millis().saturating_mul(3).max(lo as u128 + 1) as u64;
+        let mut sleep_ms = rng.gen_range(lo..hi).min(policy.cap.as_millis() as u64);
+        if let ClientError::RetryAfter { after_ms } = &err {
+            sleep_ms = sleep_ms.max(*after_ms);
+        }
+        let sleep = Duration::from_millis(sleep_ms);
+        if slept + sleep > policy.budget {
+            // Budget exhausted: surface the real failure rather than
+            // sleeping past what the caller allowed.
+            return Err(err);
+        }
+        std::thread::sleep(sleep);
+        slept += sleep;
+        prev = sleep.max(policy.base);
+        last_err = Some(err);
+    }
+    Err(last_err.unwrap_or(ClientError::Timeout))
+}
+
 /// A blocking TCP session with a running server.
 pub struct TcpClient {
     stream: TcpStream,
@@ -374,44 +440,62 @@ impl TcpClient {
         req: &VerifyRequest,
         policy: &RetryPolicy,
     ) -> Result<VerifyReply, ClientError> {
-        let mut rng = SplitMix64::seed_from_u64(policy.seed);
-        let mut slept = Duration::ZERO;
-        // Decorrelated jitter state: next sleep is uniform in
-        // [base, prev * 3], capped.
-        let mut prev = policy.base;
-        let attempts = policy.max_attempts.max(1);
-        let mut last_err = None;
-        for attempt in 0..attempts {
-            let result = TcpClient::connect_timeout(&addr, read_timeout)
+        retry_loop(policy, false, |_| {
+            TcpClient::connect_timeout(&addr, read_timeout)
                 .map_err(ClientError::Io)
-                .and_then(|mut c| c.verify(req));
-            let err = match result {
-                Ok(reply) => return Ok(reply),
-                Err(e) => e,
-            };
-            if !RetryPolicy::retryable(&err) || attempt + 1 == attempts {
-                return Err(err);
-            }
-            // Decorrelated jitter (Brooker): sleep ~ U[base, prev*3],
-            // clamped to the cap; a server hint raises the floor.
-            let lo = policy.base.as_millis().max(1) as u64;
-            let hi = prev.as_millis().saturating_mul(3).max(lo as u128 + 1) as u64;
-            let mut sleep_ms = rng.gen_range(lo..hi).min(policy.cap.as_millis() as u64);
-            if let ClientError::RetryAfter { after_ms } = &err {
-                sleep_ms = sleep_ms.max(*after_ms);
-            }
-            let sleep = Duration::from_millis(sleep_ms);
-            if slept + sleep > policy.budget {
-                // Budget exhausted: surface the real failure rather than
-                // sleeping past what the caller allowed.
-                return Err(err);
-            }
-            std::thread::sleep(sleep);
-            slept += sleep;
-            prev = sleep.max(policy.base);
-            last_err = Some(err);
+                .and_then(|mut c| c.verify(req))
+        })
+    }
+
+    /// Like [`TcpClient::verify_with_retry`], but across a **list of
+    /// nodes**: attempt `i` targets `addrs[i % addrs.len()]` on a fresh
+    /// connection, so a node that dies mid-frame (EOF, torn line,
+    /// timeout) fails the request over to the next node instead of
+    /// retrying a corpse — and a `Draining` refusal migrates too, since
+    /// another node can still answer. A desynced session is never
+    /// reused: every attempt starts clean, and resubmitting is safe
+    /// because verifies are idempotent by fingerprint.
+    pub fn verify_with_failover(
+        addrs: &[std::net::SocketAddr],
+        read_timeout: Duration,
+        req: &VerifyRequest,
+        policy: &RetryPolicy,
+    ) -> Result<VerifyReply, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Protocol("no addresses to fail over".into()));
         }
-        Err(last_err.unwrap_or(ClientError::Timeout))
+        retry_loop(policy, addrs.len() > 1, |attempt| {
+            let addr = addrs[attempt as usize % addrs.len()];
+            TcpClient::connect_timeout(addr, read_timeout)
+                .map_err(ClientError::Io)
+                .and_then(|mut c| c.verify(req))
+        })
+    }
+
+    /// Ships CRC-framed journal lines to the server's replication
+    /// endpoint; returns `(applied, refreshed, dropped)` counts.
+    pub fn replicate(&mut self, lines: &[String]) -> Result<(u64, u64, u64), ClientError> {
+        let line = self.round_trip(
+            &Request::Replicate {
+                lines: lines.to_vec(),
+            }
+            .encode(),
+        )?;
+        let v = Json::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error");
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        let count = |key: &str| -> Result<u64, ClientError> {
+            v.get(key)
+                .and_then(Json::as_int)
+                .map(|n| n.max(0) as u64)
+                .ok_or_else(|| ClientError::Protocol(format!("missing {key}")))
+        };
+        Ok((count("applied")?, count("refreshed")?, count("dropped")?))
     }
 
     /// Fetches the server counters as JSON.

@@ -102,6 +102,14 @@ pub enum Request {
         /// milliseconds (`0` = don't wait, just flip the gate).
         deadline_ms: u64,
     },
+    /// Install journal records shipped from another fleet node. Each
+    /// line is a CRC-framed journal frame (see `cache::persist_line`);
+    /// the receiver validates every frame and reports how many were
+    /// applied, refreshed (already held verbatim) and dropped.
+    Replicate {
+        /// CRC-framed journal lines, newline-free.
+        lines: Vec<String>,
+    },
 }
 
 /// Errors raised while decoding a line into a [`Request`].
@@ -142,6 +150,23 @@ impl Request {
             .ok_or_else(|| err("missing \"cmd\""))?;
         match cmd {
             "stats" => Ok(Request::Stats),
+            "replicate" => {
+                let lines = v
+                    .get("lines")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err("missing \"lines\""))?
+                    .iter()
+                    .map(|j| {
+                        j.as_str()
+                            .map(String::from)
+                            .ok_or_else(|| err("replicate: non-string line"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if lines.iter().any(|l| l.contains('\n')) {
+                    return Err(err("replicate: lines must be newline-free"));
+                }
+                Ok(Request::Replicate { lines })
+            }
             "drain" => {
                 let deadline = v.get("deadline_ms").map_or(Ok(0i64), |d| {
                     d.as_int()
@@ -195,6 +220,14 @@ impl Request {
             Request::Drain { deadline_ms } => Json::Obj(vec![
                 ("cmd".into(), Json::str("drain")),
                 ("deadline_ms".into(), Json::Int(*deadline_ms as i64)),
+            ])
+            .encode(),
+            Request::Replicate { lines } => Json::Obj(vec![
+                ("cmd".into(), Json::str("replicate")),
+                (
+                    "lines".into(),
+                    Json::Arr(lines.iter().map(Json::str).collect()),
+                ),
             ])
             .encode(),
             Request::Verify(r) => Json::Obj(vec![
@@ -432,6 +465,15 @@ mod tests {
                 threads: 0,
                 deadline_us: 0,
             }),
+            Request::Replicate { lines: Vec::new() },
+            Request::Replicate {
+                lines: vec![
+                    "deadbeef {\"fingerprint\":\"00000000000000000000000000000001\",\
+                     \"outcome\":{}}"
+                        .into(),
+                    "cafef00d {\"quote\\\"s\":1}".into(),
+                ],
+            },
         ];
         for r in reqs {
             let line = r.encode();
@@ -455,6 +497,10 @@ mod tests {
         assert!(Request::decode(r#"{"cmd":"verify","service":"t"}"#).is_err());
         assert!(Request::decode(r#"{"cmd":"nope"}"#).is_err());
         assert!(Request::decode("not json").is_err());
+        // replicate: lines must be an array of newline-free strings.
+        assert!(Request::decode(r#"{"cmd":"replicate"}"#).is_err());
+        assert!(Request::decode(r#"{"cmd":"replicate","lines":[7]}"#).is_err());
+        assert!(Request::decode("{\"cmd\":\"replicate\",\"lines\":[\"a\\nb\"]}").is_err());
         // error_free may omit the property.
         assert!(Request::decode(r#"{"cmd":"verify","service":"t","mode":"error_free"}"#).is_ok());
     }

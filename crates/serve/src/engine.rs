@@ -17,11 +17,27 @@
 //!    because they can never change the verdict;
 //! 5. on a cache hit, replays the stored outcome bytes verbatim
 //!    (`cache_hit: true`, byte-identical to the run that stored them);
-//! 6. on a miss, schedules the verification on the worker pool (bounded
+//! 6. on a miss, **coalesces** with any identical in-flight
+//!    fingerprint: the first submission (the *leader*) runs the
+//!    verification, every concurrent duplicate (a *follower*) blocks on
+//!    the leader's slot and is answered with the same outcome bytes — a
+//!    thundering herd on one hot property costs exactly one
+//!    verification ([`SubmitResult::coalesced_waiters`] reports how
+//!    many submissions shared the run);
+//! 7. the leader schedules the verification on the worker pool (bounded
 //!    queue — an overloaded engine rejects rather than buffering
 //!    unboundedly), blocks for the result, and caches it — unless the
 //!    job was cancelled, since a deadline-specific non-answer must not
 //!    be replayed to later callers with laxer deadlines.
+//!
+//! # Fleet participation
+//!
+//! An engine can serve as one **shard** of a multi-node fleet
+//! (`wave-fleet`): [`EngineOptions::shard`] names the node in every
+//! reply, and [`Engine::apply_replicated`] installs a result shipped
+//! from another node's journal — after validating that the bytes decode
+//! to a cacheable outcome and re-encode byte-identically, so a replica
+//! can never replay corrupted or non-canonical bytes.
 //!
 //! # Failure hardening
 //!
@@ -36,10 +52,11 @@
 //! door and the worker run so `wave-chaos` can drive all of this
 //! deterministically.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use wave_core::classify::ServiceClass;
@@ -85,6 +102,9 @@ pub struct EngineOptions {
     /// Fault-injection plane consulted at every hook point (inert by
     /// default; installed by `wave-chaos`).
     pub faults: Faults,
+    /// This node's shard id in a fleet (reported in every reply; `0`
+    /// for a standalone engine).
+    pub shard: u32,
 }
 
 impl Default for EngineOptions {
@@ -97,6 +117,7 @@ impl Default for EngineOptions {
             soft_load_limit: 0,
             shed_memory_bytes: 0,
             faults: Faults::none(),
+            shard: 0,
         }
     }
 }
@@ -175,6 +196,12 @@ pub struct SubmitResult {
     pub cache_hit: bool,
     /// The decidable class admission control placed the service in.
     pub class: ServiceClass,
+    /// The engine's shard id (see [`EngineOptions::shard`]).
+    pub shard: u32,
+    /// How many submissions shared one verification run: for the leader
+    /// and every follower of a coalesced run, the final follower count;
+    /// `0` when nothing coalesced.
+    pub coalesced_waiters: u64,
     /// Canonical JSON encoding of the `VerifyOutcome`.
     pub outcome_bytes: Vec<u8>,
 }
@@ -206,6 +233,85 @@ pub struct Counters {
     pub drain_rejections: AtomicU64,
     /// Submissions shed with `Overloaded` under the soft budgets.
     pub load_shed: AtomicU64,
+    /// Submissions answered by joining an identical in-flight run
+    /// instead of verifying (followers of a coalesced run).
+    pub coalesced: AtomicU64,
+    /// Replicated results installed into the cache from another node's
+    /// shipped journal.
+    pub replicated_applied: AtomicU64,
+    /// Replicated results that matched cached bytes exactly (no-op).
+    pub replicated_refreshed: AtomicU64,
+    /// Replicated results rejected by validation (corrupt, non-canonical
+    /// or non-cacheable bytes).
+    pub replicated_dropped: AtomicU64,
+}
+
+/// State of one in-flight verification slot.
+enum SlotState {
+    /// The leader is still running.
+    Pending,
+    /// The leader finished; followers clone this.
+    Done(Result<Vec<u8>, SubmitError>),
+}
+
+/// One in-flight verification, shared between its leader and the
+/// followers coalescing onto it.
+struct RunSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+    /// Followers that joined this run (final once the slot is published,
+    /// because joining and publishing both hold the runs-map lock).
+    waiters: AtomicU64,
+}
+
+impl RunSlot {
+    fn new() -> Arc<RunSlot> {
+        Arc::new(RunSlot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+            waiters: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Publishes the leader's slot on drop, whatever the exit path: the
+/// happy path publishes the real result first, so the drop fallback
+/// only fires on an unexpected unwind — where it turns would-be-hung
+/// followers into typed `Internal` errors.
+struct LeaderGuard<'a> {
+    engine: &'a Engine,
+    fp: Fingerprint,
+    slot: Arc<RunSlot>,
+    published: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Removes the slot from the runs map (under the map lock, so no
+    /// further follower can join), then wakes every follower with the
+    /// result. Returns the final follower count.
+    fn publish(&mut self, result: Result<Vec<u8>, SubmitError>) -> u64 {
+        self.published = true;
+        self.engine
+            .runs
+            .lock()
+            .expect("runs poisoned")
+            .remove(&self.fp.0);
+        let waiters = self.slot.waiters.load(Ordering::SeqCst);
+        let mut state = self.slot.state.lock().expect("slot poisoned");
+        *state = SlotState::Done(result);
+        self.slot.cv.notify_all();
+        waiters
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish(Err(SubmitError::Internal(
+                "coalescing leader unwound without publishing".into(),
+            )));
+        }
+    }
 }
 
 /// The verification service engine.
@@ -222,6 +328,12 @@ pub struct Engine {
     idle: Condvar,
     /// Worker panics per fingerprint, for quarantine.
     panics: Mutex<HashMap<u128, u32>>,
+    /// In-flight verification runs, keyed by fingerprint: the coalesce
+    /// point where duplicate submissions join a leader instead of
+    /// re-verifying.
+    runs: Mutex<HashMap<u128, Arc<RunSlot>>>,
+    /// This node's shard id (reported in every reply).
+    shard: u32,
     /// Monotonic counters for the `stats` report.
     pub counters: Counters,
 }
@@ -291,6 +403,8 @@ impl Engine {
             inflight: Mutex::new(0),
             idle: Condvar::new(),
             panics: Mutex::new(HashMap::new()),
+            runs: Mutex::new(HashMap::new()),
+            shard: opts.shard,
             counters: Counters::default(),
         }
     }
@@ -298,6 +412,21 @@ impl Engine {
     /// Number of pool workers.
     pub fn workers(&self) -> usize {
         self.sched.workers()
+    }
+
+    /// This node's shard id (0 for a standalone engine).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Jobs waiting in the scheduler queue.
+    pub fn queued(&self) -> usize {
+        self.sched.queued()
+    }
+
+    /// Jobs currently occupying a worker.
+    pub fn running(&self) -> usize {
+        self.sched.running()
     }
 
     /// The installed fault plane (inert unless chaos is driving).
@@ -491,6 +620,8 @@ impl Engine {
                 fingerprint: Fingerprint(0),
                 cache_hit: false,
                 class,
+                shard: self.shard,
+                coalesced_waiters: 0,
                 outcome_bytes: outcome_to_json(&outcome).encode().into_bytes(),
             });
         }
@@ -502,6 +633,8 @@ impl Engine {
                 fingerprint: fp,
                 cache_hit: true,
                 class,
+                shard: self.shard,
+                coalesced_waiters: 0,
                 outcome_bytes: bytes,
             });
         }
@@ -520,11 +653,135 @@ impl Engine {
                 fingerprint: fp,
                 cache_hit: false,
                 class,
+                shard: self.shard,
+                coalesced_waiters: 0,
                 outcome_bytes: outcome_to_json(&outcome).encode().into_bytes(),
             });
         }
-        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
 
+        // Coalesce point: an identical fingerprint already in flight
+        // means this submission becomes a follower of that run instead
+        // of verifying again. Joining increments the slot's waiter count
+        // *under the runs-map lock*; publishing removes the slot under
+        // the same lock first — so the count a publish reads is final.
+        let slot = {
+            let mut runs = self.runs.lock().expect("runs poisoned");
+            match runs.entry(fp.0) {
+                Entry::Occupied(o) => {
+                    let slot = Arc::clone(o.get());
+                    slot.waiters.fetch_add(1, Ordering::SeqCst);
+                    drop(runs);
+                    return self.wait_coalesced(fp, class, &cancel, &slot);
+                }
+                Entry::Vacant(v) => {
+                    let slot = RunSlot::new();
+                    v.insert(Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        let mut leader = LeaderGuard {
+            engine: self,
+            fp,
+            slot: Arc::clone(&slot),
+            published: false,
+        };
+
+        // Leader re-check: between our cache miss and winning the slot,
+        // a previous leader may have finished and cached this very
+        // fingerprint. Serving from the cache here closes the race that
+        // would otherwise verify one cold fingerprint twice.
+        if let Some(bytes) = self.cache.lock().expect("cache poisoned").get(fp) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let waiters = leader.publish(Ok(bytes.clone()));
+            return Ok(SubmitResult {
+                fingerprint: fp,
+                cache_hit: true,
+                class,
+                shard: self.shard,
+                coalesced_waiters: waiters,
+                outcome_bytes: bytes,
+            });
+        }
+
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.run_cold(service, property, req, cancel, fp);
+        let waiters = leader.publish(result.clone());
+        let bytes = result?;
+        Ok(SubmitResult {
+            fingerprint: fp,
+            cache_hit: false,
+            class,
+            shard: self.shard,
+            coalesced_waiters: waiters,
+            outcome_bytes: bytes,
+        })
+    }
+
+    /// Blocks a follower on the leader's slot until the run publishes or
+    /// the follower's own deadline expires. A follower that gives up is
+    /// answered with a synthetic `Cancelled` (never cached) — its clock
+    /// is its own; the leader keeps running for everyone else.
+    fn wait_coalesced(
+        &self,
+        fp: Fingerprint,
+        class: ServiceClass,
+        cancel: &CancelToken,
+        slot: &Arc<RunSlot>,
+    ) -> Result<SubmitResult, SubmitError> {
+        let mut state = slot.state.lock().expect("slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Done(result) => {
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let bytes = result.clone()?;
+                    return Ok(SubmitResult {
+                        fingerprint: fp,
+                        cache_hit: false,
+                        class,
+                        shard: self.shard,
+                        coalesced_waiters: slot.waiters.load(Ordering::SeqCst),
+                        outcome_bytes: bytes,
+                    });
+                }
+                SlotState::Pending => {
+                    if cancel.is_cancelled() {
+                        // Our deadline, not the run's: leave quietly.
+                        slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                        self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        let outcome = VerifyOutcome {
+                            verdict: Verdict::Cancelled,
+                            stats: SearchStats::default(),
+                        };
+                        return Ok(SubmitResult {
+                            fingerprint: fp,
+                            cache_hit: false,
+                            class,
+                            shard: self.shard,
+                            coalesced_waiters: 0,
+                            outcome_bytes: outcome_to_json(&outcome).encode().into_bytes(),
+                        });
+                    }
+                    let (guard, _) = slot
+                        .cv
+                        .wait_timeout(state, Duration::from_millis(10))
+                        .expect("slot poisoned");
+                    state = guard;
+                }
+            }
+        }
+    }
+
+    /// The cold path: schedules the verification on the worker pool,
+    /// blocks for the result, and caches it (unless cancelled).
+    fn run_cold(
+        &self,
+        service: Service,
+        property: Option<Property>,
+        req: &VerifyRequest,
+        cancel: CancelToken,
+        fp: Fingerprint,
+    ) -> Result<Vec<u8>, SubmitError> {
         // Queue-full burst hook: chaos can slam the door exactly here.
         if self.faults.decide(Hook::QueueSubmit, 0) == Fault::QueueFull {
             self.counters
@@ -599,12 +856,73 @@ impl Engine {
                 .expect("cache poisoned")
                 .insert(fp, bytes.clone());
         }
-        Ok(SubmitResult {
-            fingerprint: fp,
-            cache_hit: false,
-            class,
-            outcome_bytes: bytes,
-        })
+        Ok(bytes)
+    }
+
+    /// Installs a result shipped from another node's journal.
+    ///
+    /// The bytes are validated before touching the cache: they must
+    /// decode to a `VerifyOutcome`, carry a cacheable verdict (never
+    /// `Cancelled` or `Poisoned` — those are deadline- or node-specific
+    /// non-answers) and re-encode byte-identically (so a replica can
+    /// never replay non-canonical bytes). Bytes already cached verbatim
+    /// are a no-op refresh — which also keeps journal shipping
+    /// idempotent: re-shipping a line a node already holds does not
+    /// re-journal it into a ship-back loop.
+    ///
+    /// Returns `true` when the result was newly installed.
+    pub fn apply_replicated(&self, fp: Fingerprint, bytes: &[u8]) -> Result<bool, String> {
+        let drop_it = |why: String| {
+            self.counters
+                .replicated_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            Err(why)
+        };
+        if fp == Fingerprint(0) {
+            return drop_it("replicated record carries the null fingerprint".into());
+        }
+        let text = match std::str::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(e) => return drop_it(format!("replicated bytes are not utf-8: {e}")),
+        };
+        let json = match crate::json::Json::parse(text) {
+            Ok(j) => j,
+            Err(e) => return drop_it(format!("replicated bytes are not json: {e}")),
+        };
+        let outcome = match crate::codec::outcome_from_json(&json) {
+            Ok(o) => o,
+            Err(e) => return drop_it(format!("replicated bytes are not an outcome: {e}")),
+        };
+        if matches!(outcome.verdict, Verdict::Cancelled | Verdict::Poisoned) {
+            return drop_it(format!(
+                "replicated verdict {:?} is not cacheable",
+                outcome.verdict
+            ));
+        }
+        if outcome_to_json(&outcome).encode().as_bytes() != bytes {
+            return drop_it("replicated bytes are not canonical".into());
+        }
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        if cache.peek_identical(fp, bytes) {
+            self.counters
+                .replicated_refreshed
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        cache.insert(fp, bytes.to_vec());
+        self.counters
+            .replicated_applied
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Snapshot of the cache journal's complete CRC-framed lines, for
+    /// the fleet shipper. `from_byte` skips an already-shipped prefix;
+    /// returns the lines plus the new offset. A `from_byte` past the
+    /// current journal size (compaction shrank it) restarts from zero.
+    pub fn export_journal(&self, from_byte: usize) -> (Vec<String>, usize) {
+        let cache = self.cache.lock().expect("cache poisoned");
+        cache.export_journal_lines(from_byte)
     }
 }
 
@@ -899,6 +1217,116 @@ mod tests {
         assert!(hint >= 100, "hint {hint} carries a usable backoff");
         assert!(e.counters.load_shed.load(Ordering::Relaxed) >= 1);
         let _ = handle.join().unwrap();
+    }
+
+    /// Delays every worker job by a fixed window, giving a herd of
+    /// followers time to pile onto the leader's slot.
+    struct DelayEveryJob(Duration);
+    impl crate::faults::FaultInjector for DelayEveryJob {
+        fn decide(&self, hook: Hook, _len: usize) -> Fault {
+            if hook == Hook::WorkerRun {
+                Fault::Delay(self.0)
+            } else {
+                Fault::None
+            }
+        }
+    }
+
+    #[test]
+    fn thundering_herd_coalesces_into_one_verification() {
+        let e = Arc::new(Engine::new(EngineOptions {
+            workers: 4,
+            shard: 2,
+            faults: Faults::new(Arc::new(DelayEveryJob(Duration::from_millis(600)))),
+            ..EngineOptions::default()
+        }));
+        // Leader first; wait until it is verifiably in flight (past the
+        // coalesce point), then release the herd.
+        let leader = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || e.submit(&req("toggle", "G (P | Q)")))
+        };
+        for _ in 0..400 {
+            if e.in_flight() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(e.in_flight() >= 1, "leader never went in flight");
+        const HERD: usize = 4;
+        let followers: Vec<_> = (0..HERD)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || e.submit(&req("toggle", "G (P | Q)")))
+            })
+            .collect();
+        let lead = leader.join().unwrap().unwrap();
+        let herd: Vec<_> = followers
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        // One verification total; every follower joined it and saw the
+        // same bytes, fingerprint and final waiter count.
+        let c = &e.counters;
+        assert_eq!(c.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(c.coalesced.load(Ordering::Relaxed), HERD as u64);
+        assert_eq!(c.cache_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(lead.coalesced_waiters, HERD as u64);
+        assert_eq!(lead.shard, 2);
+        for f in &herd {
+            assert_eq!(f.outcome_bytes, lead.outcome_bytes, "bytes must be shared");
+            assert_eq!(f.fingerprint, lead.fingerprint);
+            assert_eq!(f.coalesced_waiters, HERD as u64);
+            assert_eq!(f.shard, 2);
+            assert!(!f.cache_hit);
+        }
+        // The slot is gone: a later submit is a plain cache hit.
+        let after = e.submit(&req("toggle", "G (P | Q)")).unwrap();
+        assert!(after.cache_hit);
+        assert_eq!(after.coalesced_waiters, 0);
+    }
+
+    #[test]
+    fn apply_replicated_validates_installs_and_refreshes() {
+        let src = Engine::new(EngineOptions::default());
+        let r = src.submit(&req("toggle", "G (P | Q)")).unwrap();
+        let (fp, bytes) = (r.fingerprint, r.outcome_bytes);
+
+        let dst = Engine::new(EngineOptions::default());
+        // First ship installs, second is an idempotent refresh.
+        assert_eq!(dst.apply_replicated(fp, &bytes), Ok(true));
+        assert_eq!(dst.apply_replicated(fp, &bytes), Ok(false));
+        let c = &dst.counters;
+        assert_eq!(c.replicated_applied.load(Ordering::Relaxed), 1);
+        assert_eq!(c.replicated_refreshed.load(Ordering::Relaxed), 1);
+        // The replica now answers the same request as a byte-identical
+        // cache hit — no verification ran here.
+        let hit = dst.submit(&req("toggle", "G (P | Q)")).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.outcome_bytes, bytes);
+        assert_eq!(c.cache_misses.load(Ordering::Relaxed), 0);
+
+        // Rejections: null fingerprint, garbage, non-canonical bytes,
+        // non-cacheable verdicts.
+        assert!(dst.apply_replicated(Fingerprint(0), &bytes).is_err());
+        assert!(dst.apply_replicated(Fingerprint(9), b"not json").is_err());
+        let mut padded = b" ".to_vec();
+        padded.extend_from_slice(&bytes);
+        assert!(
+            dst.apply_replicated(Fingerprint(9), &padded).is_err(),
+            "non-canonical bytes must be dropped"
+        );
+        for verdict in [Verdict::Cancelled, Verdict::Poisoned] {
+            let o = VerifyOutcome {
+                verdict,
+                stats: SearchStats::default(),
+            };
+            let enc = outcome_to_json(&o).encode().into_bytes();
+            assert!(dst.apply_replicated(Fingerprint(9), &enc).is_err());
+        }
+        assert_eq!(c.replicated_dropped.load(Ordering::Relaxed), 5);
+        let (entries, _, _, _) = dst.cache_usage();
+        assert_eq!(entries, 1, "only the valid record was installed");
     }
 
     /// A plane that skews every armed deadline to zero time.

@@ -46,11 +46,15 @@ pub enum Hook {
     NetWrite,
     /// Arming a request's deadline from `deadline_us`.
     DeadlineArm,
+    /// The fleet router about to forward a request to an owning node.
+    FleetForward,
+    /// The fleet shipper about to replicate journal lines to a peer.
+    FleetShip,
 }
 
 impl Hook {
     /// Every hook point, for iteration in plans and reports.
-    pub const ALL: [Hook; 7] = [
+    pub const ALL: [Hook; 9] = [
         Hook::JournalAppend,
         Hook::JournalCompact,
         Hook::WorkerRun,
@@ -58,6 +62,8 @@ impl Hook {
         Hook::NetRead,
         Hook::NetWrite,
         Hook::DeadlineArm,
+        Hook::FleetForward,
+        Hook::FleetShip,
     ];
 
     /// The stable wire name of the hook point.
@@ -70,6 +76,8 @@ impl Hook {
             Hook::NetRead => "net.read",
             Hook::NetWrite => "net.write",
             Hook::DeadlineArm => "deadline.arm",
+            Hook::FleetForward => "fleet.forward",
+            Hook::FleetShip => "fleet.ship",
         }
     }
 

@@ -45,6 +45,7 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                     "stats".into(),
                     Json::Obj(vec![
                         ("workers".into(), Json::Int(engine.workers() as i64)),
+                        ("shard".into(), Json::Int(engine.shard() as i64)),
                         (
                             "submitted".into(),
                             Json::Int(c.submitted.load(Ordering::Relaxed) as i64),
@@ -89,8 +90,26 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                             "load_shed".into(),
                             Json::Int(c.load_shed.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "coalesced".into(),
+                            Json::Int(c.coalesced.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "replicated_applied".into(),
+                            Json::Int(c.replicated_applied.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "replicated_refreshed".into(),
+                            Json::Int(c.replicated_refreshed.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "replicated_dropped".into(),
+                            Json::Int(c.replicated_dropped.load(Ordering::Relaxed) as i64),
+                        ),
                         ("draining".into(), Json::Bool(engine.is_draining())),
                         ("in_flight".into(), Json::Int(engine.in_flight() as i64)),
+                        ("queued".into(), Json::Int(engine.queued() as i64)),
+                        ("running".into(), Json::Int(engine.running() as i64)),
                         ("cache_entries".into(), Json::Int(entries as i64)),
                         ("cache_bytes".into(), Json::Int(bytes as i64)),
                         ("cache_budget".into(), Json::Int(budget as i64)),
@@ -106,6 +125,35 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                         ),
                     ]),
                 ),
+            ])
+            .encode()
+        }
+        Ok(Request::Replicate { lines }) => {
+            // Validate every shipped frame with the same CRC check that
+            // guards the local journal: a corrupted line is dropped and
+            // counted, never installed.
+            let (mut applied, mut refreshed, mut dropped) = (0i64, 0i64, 0i64);
+            for line in &lines {
+                match crate::cache::decode_journal_line(line) {
+                    None => {
+                        engine
+                            .counters
+                            .replicated_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                        dropped += 1;
+                    }
+                    Some((fp, bytes)) => match engine.apply_replicated(fp, &bytes) {
+                        Ok(true) => applied += 1,
+                        Ok(false) => refreshed += 1,
+                        Err(_) => dropped += 1,
+                    },
+                }
+            }
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("applied".into(), Json::Int(applied)),
+                ("refreshed".into(), Json::Int(refreshed)),
+                ("dropped".into(), Json::Int(dropped)),
             ])
             .encode()
         }
@@ -163,10 +211,13 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                 let outcome =
                     String::from_utf8(res.outcome_bytes).expect("outcome bytes are canonical JSON");
                 format!(
-                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"class\":\"{}\",\"outcome\":{}}}",
+                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"class\":\"{}\",\
+                     \"shard\":{},\"coalesced_waiters\":{},\"outcome\":{}}}",
                     res.fingerprint.to_hex(),
                     res.cache_hit,
                     res.class.wire_name(),
+                    res.shard,
+                    res.coalesced_waiters,
                     outcome,
                 )
             }
@@ -308,6 +359,82 @@ mod tests {
             r.get("class").unwrap().as_str(),
             Some("fully_propositional")
         );
+    }
+
+    #[test]
+    fn stats_reply_exposes_journal_coalescing_and_scheduler_fields() {
+        // Pins the wire names: `journal_compactions` and
+        // `journal_dropped` (tracked internally long before they were
+        // guaranteed on the wire), the coalescing/replication counters,
+        // the scheduler gauges and the shard id.
+        let e = Engine::new(EngineOptions {
+            shard: 3,
+            ..EngineOptions::default()
+        });
+        let r = Json::parse(&handle_line(&e, r#"{"cmd":"stats"}"#)).unwrap();
+        let stats = r.get("stats").unwrap();
+        for key in [
+            "journal_compactions",
+            "journal_dropped",
+            "journal_recovered",
+            "journal_bytes",
+            "coalesced",
+            "replicated_applied",
+            "replicated_refreshed",
+            "replicated_dropped",
+            "queued",
+            "running",
+        ] {
+            assert_eq!(
+                stats.get(key).and_then(Json::as_int),
+                Some(0),
+                "stats must carry integer \"{key}\""
+            );
+        }
+        assert_eq!(stats.get("shard").and_then(Json::as_int), Some(3));
+    }
+
+    #[test]
+    fn replicate_installs_valid_frames_and_drops_damaged_ones() {
+        use crate::cache::persist_line;
+        use wave_logic::fingerprint::Fingerprint;
+
+        // Source engine: run one verification cold, export its journal
+        // frame by re-encoding the cached outcome.
+        let src = Engine::new(EngineOptions::default());
+        let line = r#"{"cmd":"verify","service":"toggle","property":"G (P | Q)"}"#;
+        let r = Json::parse(&handle_line(&src, line)).unwrap();
+        let fp = Fingerprint::from_hex(r.get("fingerprint").unwrap().as_str().unwrap()).unwrap();
+        let outcome_bytes = r.get("outcome").unwrap().encode().into_bytes();
+        let frame = persist_line(fp, &outcome_bytes);
+
+        // Destination: valid frame applies, re-ship refreshes, damage
+        // and a non-cacheable verdict drop.
+        let dst = Engine::new(EngineOptions::default());
+        let mut corrupted = frame.clone();
+        corrupted.replace_range(0..1, if &frame[0..1] == "f" { "e" } else { "f" });
+        let cancelled = persist_line(
+            Fingerprint(7),
+            br#"{"verdict":{"kind":"cancelled"},"stats":{}}"#,
+        );
+        let req = Request::Replicate {
+            lines: vec![frame.clone(), corrupted, cancelled],
+        }
+        .encode();
+        let reply = Json::parse(&handle_line(&dst, &req)).unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(reply.get("applied").unwrap().as_int(), Some(1));
+        assert_eq!(reply.get("dropped").unwrap().as_int(), Some(2));
+
+        // Idempotent: the same frame again is a refresh, not a re-apply.
+        let req = Request::Replicate { lines: vec![frame] }.encode();
+        let reply = Json::parse(&handle_line(&dst, &req)).unwrap();
+        assert_eq!(reply.get("refreshed").unwrap().as_int(), Some(1));
+
+        // The replicated result now serves as a byte-identical cache hit.
+        let r2 = Json::parse(&handle_line(&dst, line)).unwrap();
+        assert_eq!(r2.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("outcome"), r2.get("outcome"));
     }
 
     #[test]

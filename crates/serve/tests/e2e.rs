@@ -90,6 +90,40 @@ fn fig2_checkout_property_served_then_cached_over_tcp() {
 }
 
 #[test]
+fn reply_envelope_carries_shard_and_coalescing_fields() {
+    let mut client = spawn_server(EngineOptions {
+        shard: 5,
+        ..EngineOptions::default()
+    });
+
+    // The decoded reply surfaces both fleet observability fields…
+    let reply = client
+        .verify(&request("toggle", "G (P | Q)"))
+        .expect("submission");
+    assert_eq!(reply.shard, 5);
+    assert_eq!(reply.coalesced_waiters, 0, "nothing coalesced here");
+
+    // …and the raw wire line names them, before the outcome object, so
+    // the outcome bytes stay byte-identical hit vs. miss regardless of
+    // how many submissions shared a run.
+    let line = client
+        .round_trip(r#"{"cmd":"verify","service":"toggle","property":"G (P | Q)"}"#)
+        .expect("round trip");
+    assert!(line.contains("\"shard\":5"), "{line}");
+    assert!(line.contains("\"coalesced_waiters\":0"), "{line}");
+    let envelope_end = line.find("\"outcome\"").expect("outcome key");
+    assert!(
+        line[..envelope_end].contains("\"shard\""),
+        "shard belongs to the envelope, not the outcome: {line}"
+    );
+
+    // Stats report the shard too.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("shard").unwrap().as_int(), Some(5));
+    assert_eq!(stats.get("coalesced").unwrap().as_int(), Some(0));
+}
+
+#[test]
 fn millisecond_deadline_cancels_cleanly_and_pool_keeps_serving() {
     let mut client = spawn_server(EngineOptions::default());
 
