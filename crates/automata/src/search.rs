@@ -52,6 +52,11 @@ pub struct SearchStats {
     pub prefetch_hits: u64,
     /// Wall time of the verdict-producing search phase.
     pub search_wall: Duration,
+    /// Rules removed by the cone-of-influence slicer before the search
+    /// (zero when slicing was off, refused, or not applicable).
+    pub sliced_rules: usize,
+    /// Schema relations removed by the cone-of-influence slicer.
+    pub sliced_relations: usize,
 }
 
 impl std::fmt::Display for SearchStats {
@@ -59,7 +64,7 @@ impl std::fmt::Display for SearchStats {
         write!(
             f,
             "interned {} (dedup {}), memoized {} (hits {}), peak frontier {}, \
-             prefetched {} (hits {}), search {:?}",
+             prefetched {} (hits {}), sliced {} rules / {} relations, search {:?}",
             self.nodes_interned,
             self.dedup_hits,
             self.successors_memoized,
@@ -67,6 +72,8 @@ impl std::fmt::Display for SearchStats {
             self.peak_frontier,
             self.prefetched,
             self.prefetch_hits,
+            self.sliced_rules,
+            self.sliced_relations,
             self.search_wall,
         )
     }
@@ -192,6 +199,8 @@ where
             prefetched: 0,
             prefetch_hits: 0,
             search_wall: started.elapsed(),
+            sliced_rules: 0,
+            sliced_relations: 0,
         }
     }
 

@@ -10,8 +10,17 @@
 //!    threads, reporting per entry the sample count, the minimum and
 //!    median wall time, and the full `SearchStats` (the deterministic
 //!    counters must be identical across thread counts; only wall times
-//!    and prefetch-overlap counters move).
-//! 2. **Service path** — the same request submitted twice through a
+//!    and prefetch-overlap counters move). The sweep pins `slice:
+//!    false`: cone-of-influence slicing (on by default) removes the
+//!    very toggle flags that scale this service up, and the thread
+//!    measurements need the full search.
+//! 2. **Slice sweep** — the same request at threads=1 with slicing on
+//!    vs off. The Fig. 2 property's cone excludes every toggle flag, so
+//!    the sliced search collapses back to roughly the checkout core;
+//!    the entry records the node-count and wall-time reduction (the
+//!    headline numbers for the slicer) and asserts the verdict is
+//!    unchanged.
+//! 3. **Service path** — the same request submitted twice through a
 //!    `wave-serve` engine: the cold run pays for the search, the second
 //!    must be a content-addressed cache hit, so the hit/cold timing
 //!    ratio is the headline number for the result cache.
@@ -36,7 +45,7 @@ use wave_logic::parser::parse_property;
 use wave_serve::codec::{stats_to_json, Mode, VerifyRequest};
 use wave_serve::engine::{Engine, EngineOptions};
 use wave_serve::json::Json;
-use wave_verifier::symbolic::{verify_ltl, SymbolicOptions, Verdict};
+use wave_verifier::symbolic::{verify_ltl, SearchStats, SymbolicOptions, Verdict};
 
 const FIG2_PROPERTY: &str = "forall p . G (!ship(p) | paid)";
 const SERVICE: &str = "checkout_bench";
@@ -65,6 +74,7 @@ struct SweepEntry {
     threads: usize,
     wall_us_min: u64,
     verdict: Verdict,
+    stats: SearchStats,
     json: Json,
 }
 
@@ -73,9 +83,11 @@ fn sweep_entry(
     property: &wave_logic::temporal::Property,
     threads: usize,
     n: usize,
+    slice: bool,
 ) -> SweepEntry {
     let opts = SymbolicOptions {
         threads,
+        slice,
         ..SymbolicOptions::default()
     };
     let mut walls: Vec<u64> = Vec::with_capacity(n);
@@ -107,6 +119,7 @@ fn sweep_entry(
         threads,
         wall_us_min,
         verdict: out.verdict,
+        stats: out.stats,
         json,
     }
 }
@@ -125,11 +138,12 @@ fn main() {
     let service = site::checkout_bench();
     let property = parse_property(FIG2_PROPERTY).expect("Fig. 2 property parses");
 
-    // 1. Threads sweep via the verifier directly.
+    // 1. Threads sweep via the verifier directly, slicing off: the
+    // measurement needs the full toggle-scaled search.
     let plan: &[usize] = if smoke { &SMOKE_SWEEP } else { &THREAD_SWEEP };
     let mut sweep = Vec::new();
     for &threads in plan {
-        let entry = sweep_entry(&service, &property, threads, n);
+        let entry = sweep_entry(&service, &property, threads, n, false);
         if let Some(base) = sweep.first() {
             let base: &SweepEntry = base;
             assert_eq!(
@@ -163,7 +177,83 @@ fn main() {
         return;
     }
 
-    // 2. Cold vs. cache-hit timings through the service.
+    // 2. Slicing on vs off at threads=1. The cone of `forall p . G
+    // (!ship(p) | paid)` reaches ship, paid, pick_pid and their feeding
+    // inputs but none of the bench toggle flags, so the sliced search
+    // is the checkout core's — the reduction is the slicer's headline.
+    let full = sweep
+        .iter()
+        .find(|e| e.threads == 1)
+        .expect("threads=1 entry");
+    let sliced = sweep_entry(&service, &property, 1, n, true);
+    // Kind identity, not structural equality: `Holds` carries the
+    // explored-node count, which slicing legitimately shrinks.
+    assert!(
+        matches!(full.verdict, Verdict::Holds { .. })
+            && matches!(sliced.verdict, Verdict::Holds { .. }),
+        "slicing must preserve the Fig. 2 verdict"
+    );
+    assert!(
+        sliced.stats.nodes_interned < full.stats.nodes_interned,
+        "slicing must shrink the search on the toggle-scaled service"
+    );
+    let pct = |part: u64, whole: u64| -> i64 {
+        part.saturating_mul(100)
+            .checked_div(whole)
+            .unwrap_or_default() as i64
+    };
+    let node_reduction_pct = 100
+        - pct(
+            sliced.stats.nodes_interned as u64,
+            full.stats.nodes_interned as u64,
+        );
+    let wall_reduction_pct = 100 - pct(sliced.wall_us_min, full.wall_us_min);
+    eprintln!(
+        "slice: {} -> {} nodes (-{node_reduction_pct}%), {} -> {} us min wall \
+         (-{wall_reduction_pct}%), {} rules / {} relations sliced",
+        full.stats.nodes_interned,
+        sliced.stats.nodes_interned,
+        full.wall_us_min,
+        sliced.wall_us_min,
+        sliced.stats.sliced_rules,
+        sliced.stats.sliced_relations
+    );
+    let slice_report = Json::Obj(vec![
+        ("threads".into(), Json::Int(1)),
+        ("samples".into(), Json::Int(n as i64)),
+        (
+            "off".into(),
+            Json::Obj(vec![
+                ("wall_us_min".into(), Json::Int(full.wall_us_min as i64)),
+                (
+                    "nodes_interned".into(),
+                    Json::Int(full.stats.nodes_interned as i64),
+                ),
+            ]),
+        ),
+        (
+            "on".into(),
+            Json::Obj(vec![
+                ("wall_us_min".into(), Json::Int(sliced.wall_us_min as i64)),
+                (
+                    "nodes_interned".into(),
+                    Json::Int(sliced.stats.nodes_interned as i64),
+                ),
+                (
+                    "sliced_rules".into(),
+                    Json::Int(sliced.stats.sliced_rules as i64),
+                ),
+                (
+                    "sliced_relations".into(),
+                    Json::Int(sliced.stats.sliced_relations as i64),
+                ),
+            ]),
+        ),
+        ("node_reduction_pct".into(), Json::Int(node_reduction_pct)),
+        ("wall_reduction_pct".into(), Json::Int(wall_reduction_pct)),
+    ]);
+
+    // 3. Cold vs. cache-hit timings through the service.
     let engine = Arc::new(Engine::new(EngineOptions::default()));
     let req = VerifyRequest {
         service: SERVICE.into(),
@@ -197,8 +287,9 @@ fn main() {
         ("samples".into(), Json::Int(n as i64)),
         (
             "threads_sweep".into(),
-            Json::Arr(sweep.into_iter().map(|e| e.json).collect()),
+            Json::Arr(sweep.iter().map(|e| e.json.clone()).collect()),
         ),
+        ("slice_sweep".into(), slice_report),
         (
             "cache".into(),
             Json::Obj(vec![

@@ -35,6 +35,8 @@ pub mod provenance;
 pub mod rules;
 pub mod run;
 pub mod service;
+pub mod slice;
+pub mod spec;
 
 pub use builder::ServiceBuilder;
 pub use classify::{ServiceClass, ServiceClassification};
@@ -43,3 +45,5 @@ pub use provenance::{RuleSource, ServiceSources};
 pub use rules::{ActionRule, InputRule, StateRule, TargetRule};
 pub use run::{Config, InputChoice, Runner, StepError};
 pub use service::{Service, ValidationError};
+pub use slice::{cone_digests, reachable_pages, slice, SliceReport, SliceResult};
+pub use spec::{PageSpec, RuleSpec, ServiceSpec};

@@ -1,0 +1,646 @@
+//! wave-slice: property-directed cone-of-influence slicing.
+//!
+//! Given a service and an LTL-FO property, compute the **cone of
+//! influence** — the set of relation symbols whose contents can affect
+//! either the property's truth value or the service's control flow
+//! (page transitions and error-page entry) — and emit a reduced
+//! [`Service`] containing only the rules, pages and schema symbols
+//! inside that cone. The reduction is *verdict-preserving* for the
+//! decidable classes the verifier admits (the argument is written out
+//! in DESIGN.md §12 and enforced dynamically by wave-qa's
+//! `SliceDivergence` differential leg).
+//!
+//! The analysis has three parts:
+//!
+//! 1. **Page reachability** — a BFS from the home page over target-rule
+//!    edges. Pages no target rule can ever name are dead: no run visits
+//!    them, so their rules are dropped wholesale.
+//! 2. **A relation dependency digraph** over the reachable pages: each
+//!    rule contributes edges from its head symbol to every relation its
+//!    body reads (`S → rels(φ⁺) ∪ rels(φ⁻)`, `A → rels(φ)`,
+//!    `I → rels(Options_I)`), plus `prev_I → I` for the derived
+//!    previous-input relations.
+//! 3. **Backward fixpoint closure** seeded from (a) the property's
+//!    vocabulary, (b) every relation read by a target rule of a
+//!    reachable page (the *control cone* — targets decide both the next
+//!    page and the ambiguous/dead error transitions), and (c) the head
+//!    of every rule whose body mentions an *input constant* (such rules
+//!    must survive because error-entry condition (i) of Definition 2.3
+//!    scans all rule bodies of the entered page for unprovided input
+//!    constants — dropping one could turn an error run into a live
+//!    one).
+//!
+//! Everything outside the closure is certifiably invisible: dropped
+//! state/action rules write relations no retained body or property
+//! reads, dropped inputs are never read (and the "no pick" branch
+//! always exists, so every sliced run lifts to a full run choosing "no
+//! pick" for them), and target rules, input-constant solicitations and
+//! the constant vocabulary are kept verbatim, pinning the page/error
+//! dynamics. The slicer *refuses* (returns the service unchanged, with
+//! the reason recorded) whenever the argument does not apply: non-LTL
+//! properties (path quantifiers see branching the slice may prune),
+//! structurally invalid services, or properties whose vocabulary does
+//! not type-check against the schema. As a belt-and-braces guard it
+//! also validates its own output and falls back to the identity slice
+//! if that ever fails.
+//!
+//! [`cone_digests`] additionally exposes a per-symbol digest of each
+//! relation's cone (built on the order-insensitive canonical hashing),
+//! the substrate incremental verification needs: an edit that leaves
+//! `cone_digest(r)` unchanged provably cannot affect any property whose
+//! vocabulary is `{r}`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use wave_logic::fingerprint::{Canonical, Fingerprint, Fnv128};
+use wave_logic::schema::{prev_name, ConstKind, RelKind, Schema, PREV_PREFIX};
+use wave_logic::temporal::{Property, TemporalClass};
+
+use crate::page::Page;
+use crate::service::Service;
+
+/// Domain tag mixed into every per-symbol cone digest.
+const CONE_DIGEST_DOMAIN: &str = "wave-slice/cone/v1";
+
+/// What the slicer did, in deterministic, render-ready form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SliceReport {
+    /// `Some(reason)` when the slicer refused and returned the service
+    /// unchanged (non-LTL property, invalid service, vocabulary
+    /// mismatch). A refusal is not an error: verification proceeds on
+    /// the full service.
+    pub refused: Option<String>,
+    /// Pages reachable from the home page over target edges.
+    pub reachable_pages: BTreeSet<String>,
+    /// Pages dropped because no target chain reaches them.
+    pub dropped_pages: Vec<String>,
+    /// Dropped rules as `(page, label)`, labels matching wave-lint's
+    /// scheme: `Options_<rel>`, `+<rel>`, `-<rel>`, the action relation
+    /// name, or `target <page>`.
+    pub dropped_rules: Vec<(String, String)>,
+    /// Schema relations dropped (includes auto-derived `prev_*`).
+    pub dropped_relations: Vec<String>,
+    /// The relation cone: every relation symbol retained because the
+    /// property or the control flow can observe it.
+    pub cone: BTreeSet<String>,
+    /// Rule count of the original service (insert/delete bodies count
+    /// separately, matching wave-lint's rule labelling).
+    pub original_rules: usize,
+    /// Rule count of the sliced service.
+    pub retained_rules: usize,
+    /// Relation count of the original schema.
+    pub original_relations: usize,
+    /// Relation count of the sliced schema.
+    pub retained_relations: usize,
+}
+
+impl SliceReport {
+    /// Rules removed by the slice.
+    pub fn sliced_rules(&self) -> usize {
+        self.original_rules - self.retained_rules
+    }
+
+    /// Schema relations removed by the slice.
+    pub fn sliced_relations(&self) -> usize {
+        self.original_relations - self.retained_relations
+    }
+
+    /// True when the slice changed nothing (refused or already minimal).
+    pub fn is_identity(&self) -> bool {
+        self.sliced_rules() == 0 && self.sliced_relations() == 0 && self.dropped_pages.is_empty()
+    }
+}
+
+/// A sliced service together with the report describing the reduction.
+#[derive(Clone, Debug)]
+pub struct SliceResult {
+    /// The reduced (or, on refusal, original) service.
+    pub service: Service,
+    /// What was removed and why.
+    pub report: SliceReport,
+}
+
+/// Slices `service` down to the cone of influence of `property`.
+///
+/// Refusals (see module docs) return the service unchanged with
+/// `report.refused` set; callers need not special-case them.
+pub fn slice(service: &Service, property: &Property) -> SliceResult {
+    if property.classify() != TemporalClass::Ltl {
+        return identity(
+            service,
+            "property has path quantifiers (CTL/CTL*): slicing is \
+             defined for LTL-FO only",
+        );
+    }
+    if service.validate().is_err() {
+        return identity(service, "service fails structural validation");
+    }
+    let mut vocab = BTreeSet::new();
+    for (name, arity) in property.body.relations_used() {
+        match service.schema.relation(&name) {
+            None => {
+                return identity(
+                    service,
+                    format!("property mentions undeclared relation `{name}`"),
+                );
+            }
+            Some(r) if r.arity != arity => {
+                return identity(
+                    service,
+                    format!(
+                        "property uses `{name}` with arity {arity} but it \
+                         is declared with arity {}",
+                        r.arity
+                    ),
+                );
+            }
+            Some(_) => {
+                vocab.insert(name);
+            }
+        }
+    }
+    let result = slice_for_seeds(service, &vocab);
+    // Certification guard: a slice that does not validate would change
+    // semantics; never ship one.
+    if result.service.validate().is_err() {
+        return identity(service, "internal: sliced service failed validation");
+    }
+    result
+}
+
+/// Pages reachable from the home page over target-rule edges (the error
+/// page has no schema and is excluded by construction).
+pub fn reachable_pages(service: &Service) -> BTreeSet<String> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    if service.pages.contains_key(&service.home) {
+        seen.insert(service.home.clone());
+        queue.push_back(service.home.clone());
+    }
+    while let Some(name) = queue.pop_front() {
+        let page = &service.pages[&name];
+        for t in page.targets() {
+            if service.pages.contains_key(t) && seen.insert(t.to_string()) {
+                queue.push_back(t.to_string());
+            }
+        }
+    }
+    seen
+}
+
+/// Per-symbol cone digests: for every non-`prev_*` relation symbol, the
+/// canonical fingerprint of the service sliced to that symbol's cone.
+/// An edit leaving `cone_digest(r)` unchanged cannot affect any
+/// property whose vocabulary is `{r}` — the keying substrate for
+/// incremental re-verification (ROADMAP item 3).
+///
+/// Returns an empty map for structurally invalid services.
+pub fn cone_digests(service: &Service) -> BTreeMap<String, Fingerprint> {
+    let mut out = BTreeMap::new();
+    if service.validate().is_err() {
+        return out;
+    }
+    for rel in service.schema.relations() {
+        if rel.kind == RelKind::PrevInput {
+            continue;
+        }
+        let seeds = BTreeSet::from([rel.name.clone()]);
+        let sliced = slice_for_seeds(service, &seeds);
+        let mut h = Fnv128::new();
+        h.write_str(CONE_DIGEST_DOMAIN);
+        h.write_str(&rel.name);
+        sliced.service.canon(&mut h);
+        out.insert(rel.name.clone(), Fingerprint(h.finish()));
+    }
+    out
+}
+
+fn identity(service: &Service, reason: impl Into<String>) -> SliceResult {
+    let rules = service.pages.values().map(rule_units).sum();
+    let rels = service.schema.len();
+    SliceResult {
+        service: service.clone(),
+        report: SliceReport {
+            refused: Some(reason.into()),
+            reachable_pages: service.pages.keys().cloned().collect(),
+            dropped_pages: Vec::new(),
+            dropped_rules: Vec::new(),
+            dropped_relations: Vec::new(),
+            cone: service.schema.relations().map(|r| r.name.clone()).collect(),
+            original_rules: rules,
+            retained_rules: rules,
+            original_relations: rels,
+            retained_relations: rels,
+        },
+    }
+}
+
+/// Rule count in wave-lint labelling units (insert and delete bodies of
+/// one `StateRule` count separately).
+fn rule_units(page: &Page) -> usize {
+    page.input_rules.len()
+        + page
+            .state_rules
+            .iter()
+            .map(|r| usize::from(r.insert.is_some()) + usize::from(r.delete.is_some()))
+            .sum::<usize>()
+        + page.action_rules.len()
+        + page.target_rules.len()
+}
+
+/// All rule labels of a page, for dropped-rule reporting.
+fn rule_labels(page: &Page) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in &page.input_rules {
+        out.push(format!("Options_{}", r.relation));
+    }
+    for r in &page.state_rules {
+        if r.insert.is_some() {
+            out.push(format!("+{}", r.relation));
+        }
+        if r.delete.is_some() {
+            out.push(format!("-{}", r.relation));
+        }
+    }
+    for r in &page.action_rules {
+        out.push(r.relation.clone());
+    }
+    for r in &page.target_rules {
+        out.push(format!("target {}", r.target));
+    }
+    out
+}
+
+/// True when `body` mentions an input constant — such rules pin error
+/// condition (i) of Definition 2.3 and must survive every slice.
+fn mentions_input_constant(service: &Service, body: &wave_logic::Formula) -> bool {
+    body.constants_used()
+        .iter()
+        .any(|c| service.schema.constant(c) == Some(ConstKind::Input))
+}
+
+/// Core slicer: closure over explicit relation seeds. Assumes the
+/// service validates.
+fn slice_for_seeds(service: &Service, seeds: &BTreeSet<String>) -> SliceResult {
+    let reachable = reachable_pages(service);
+
+    // Dependency edges head → body relations, plus control/const seeds.
+    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut worklist: Vec<String> = seeds.iter().cloned().collect();
+    let add_edge =
+        |edges: &mut BTreeMap<String, BTreeSet<String>>, head: &str, body: &wave_logic::Formula| {
+            let deps = edges.entry(head.to_string()).or_default();
+            for (rel, _) in body.relations_used() {
+                deps.insert(rel);
+            }
+        };
+    for name in &reachable {
+        let page = &service.pages[name];
+        for r in &page.input_rules {
+            add_edge(&mut edges, &r.relation, &r.body);
+            if mentions_input_constant(service, &r.body) {
+                worklist.push(r.relation.clone());
+            }
+        }
+        for r in &page.state_rules {
+            for body in r.insert.iter().chain(r.delete.iter()) {
+                add_edge(&mut edges, &r.relation, body);
+                if mentions_input_constant(service, body) {
+                    worklist.push(r.relation.clone());
+                }
+            }
+        }
+        for r in &page.action_rules {
+            add_edge(&mut edges, &r.relation, &r.body);
+            if mentions_input_constant(service, &r.body) {
+                worklist.push(r.relation.clone());
+            }
+        }
+        // Target rules are always retained: their bodies seed the cone
+        // directly (the control cone).
+        for r in &page.target_rules {
+            for (rel, _) in r.body.relations_used() {
+                worklist.push(rel);
+            }
+        }
+    }
+    // prev_I is derived from I: reading the previous input requires the
+    // input itself.
+    for r in service.schema.relations_of(RelKind::PrevInput) {
+        edges
+            .entry(r.name.clone())
+            .or_default()
+            .insert(r.name[PREV_PREFIX.len()..].to_string());
+    }
+
+    // Backward fixpoint closure.
+    let mut cone: BTreeSet<String> = BTreeSet::new();
+    while let Some(rel) = worklist.pop() {
+        if !cone.insert(rel.clone()) {
+            continue;
+        }
+        if let Some(deps) = edges.get(&rel) {
+            worklist.extend(deps.iter().cloned());
+        }
+    }
+
+    let keep_input = |rel: &str| cone.contains(rel) || cone.contains(prev_name(rel).as_str());
+
+    // Rebuild the pages: reachable only, rules filtered to the cone.
+    let mut pages = BTreeMap::new();
+    let mut dropped_pages = Vec::new();
+    let mut dropped_rules = Vec::new();
+    for (name, page) in &service.pages {
+        if !reachable.contains(name) {
+            dropped_pages.push(name.clone());
+            for label in rule_labels(page) {
+                dropped_rules.push((name.clone(), label));
+            }
+            continue;
+        }
+        let mut p = Page::new(name.clone());
+        p.input_constants = page.input_constants.clone();
+        p.inputs = page
+            .inputs
+            .iter()
+            .filter(|i| keep_input(i))
+            .cloned()
+            .collect();
+        for r in &page.input_rules {
+            if keep_input(&r.relation) {
+                p.input_rules.push(r.clone());
+            } else {
+                dropped_rules.push((name.clone(), format!("Options_{}", r.relation)));
+            }
+        }
+        for r in &page.state_rules {
+            if cone.contains(&r.relation) {
+                p.state_rules.push(r.clone());
+            } else {
+                if r.insert.is_some() {
+                    dropped_rules.push((name.clone(), format!("+{}", r.relation)));
+                }
+                if r.delete.is_some() {
+                    dropped_rules.push((name.clone(), format!("-{}", r.relation)));
+                }
+            }
+        }
+        for r in &page.action_rules {
+            if cone.contains(&r.relation) {
+                p.action_rules.push(r.clone());
+            } else {
+                dropped_rules.push((name.clone(), r.relation.clone()));
+            }
+        }
+        p.target_rules = page.target_rules.clone();
+        pages.insert(name.clone(), p);
+    }
+
+    // Rebuild the schema: cone relations, Page relations of retained
+    // pages (plus any the seeds name — e.g. a property observing a dead
+    // page's proposition must stay well-typed), and all constants
+    // (input-constant provisioning drives error conditions (i)/(ii)).
+    let mut schema = Schema::new();
+    let mut dropped_relations = Vec::new();
+    for r in service.schema.relations() {
+        let keep = match r.kind {
+            // Auto-derived when the owning input relation is added.
+            RelKind::PrevInput => continue,
+            RelKind::Database | RelKind::State | RelKind::Action => cone.contains(&r.name),
+            RelKind::Input => keep_input(&r.name),
+            RelKind::Page => {
+                pages.contains_key(&r.name)
+                    || seeds.contains(&r.name)
+                    || r.name == service.home
+                    || r.name == service.error_page
+            }
+        };
+        if keep {
+            schema
+                .add_relation(&r.name, r.arity, r.kind)
+                .expect("subset of a valid schema cannot clash");
+        }
+    }
+    for r in service.schema.relations() {
+        if schema.relation(&r.name).is_none() {
+            dropped_relations.push(r.name.clone());
+        }
+    }
+    for (c, kind) in service.schema.constants() {
+        schema
+            .add_constant(c, kind)
+            .expect("constants copied verbatim cannot conflict");
+    }
+
+    let sliced = Service {
+        schema,
+        pages,
+        home: service.home.clone(),
+        error_page: service.error_page.clone(),
+    };
+    let report = SliceReport {
+        refused: None,
+        reachable_pages: reachable,
+        dropped_pages,
+        dropped_rules,
+        dropped_relations,
+        cone,
+        original_rules: service.pages.values().map(rule_units).sum(),
+        retained_rules: sliced.pages.values().map(rule_units).sum(),
+        original_relations: service.schema.len(),
+        retained_relations: sliced.schema.len(),
+    };
+    SliceResult {
+        service: sliced,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ServiceBuilder;
+    use wave_logic::parser::parse_property;
+
+    /// Login site with deliberate dead logic: an unreachable admin
+    /// page, a write-only audit state, and an unread `noise` input.
+    fn dead_logic_service() -> Service {
+        let mut b = ServiceBuilder::new("HP");
+        b.database_relation("user", 2)
+            .input_relation("button", 1)
+            .input_relation("noise", 1)
+            .state_prop("logged_in")
+            .state_prop("audited")
+            .action_prop("greet")
+            .input_constant("name")
+            .input_constant("password")
+            .page("HP")
+            .solicit_constant("name")
+            .solicit_constant("password")
+            .input_rule("button", &["x"], r#"x = "login" | x = "clear""#)
+            .input_rule("noise", &["x"], r#"x = "hum""#)
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            )
+            .insert_rule("audited", &[], r#"button("clear")"#)
+            .action_rule("greet", &[], "logged_in")
+            .target("CP", r#"user(name, password) & button("login")"#)
+            .target("HP", r#"!user(name, password)"#)
+            .page("CP")
+            .target("HP", "true")
+            .page("ADMIN")
+            .insert_rule("audited", &[], "true")
+            .target("HP", "true");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_excludes_orphan_pages() {
+        let s = dead_logic_service();
+        let reach = reachable_pages(&s);
+        assert_eq!(reach, BTreeSet::from(["HP".to_string(), "CP".to_string()]));
+    }
+
+    #[test]
+    fn slice_drops_dead_logic() {
+        let s = dead_logic_service();
+        let p = parse_property("G (!greet | logged_in)").unwrap();
+        let r = slice(&s, &p);
+        assert_eq!(r.report.refused, None);
+        assert_eq!(r.report.dropped_pages, vec!["ADMIN".to_string()]);
+        // `audited` is write-only: no retained body or property reads it.
+        assert!(!r.report.cone.contains("audited"));
+        assert!(r.service.schema.relation("audited").is_none());
+        // `noise` is never read: its options rule and prev go too.
+        assert!(r.service.schema.relation("noise").is_none());
+        assert!(r.service.schema.relation("prev_noise").is_none());
+        assert!(!r.service.pages["HP"].inputs.contains(&"noise".to_string()));
+        // The login flow survives intact.
+        assert!(r.service.schema.relation("logged_in").is_some());
+        assert!(r.service.schema.relation("button").is_some());
+        assert!(r.report.sliced_rules() > 0);
+        assert!(r.report.sliced_relations() > 0);
+        assert_eq!(r.service.validate(), Ok(()));
+        // Target rules are never dropped on reachable pages.
+        assert_eq!(r.service.pages["HP"].target_rules.len(), 2);
+    }
+
+    #[test]
+    fn control_cone_retains_target_dependencies() {
+        let s = dead_logic_service();
+        // Property observes nothing the rules write, but `user` and
+        // `button` feed target rules: they stay.
+        let p = parse_property("G true").unwrap();
+        let r = slice(&s, &p);
+        assert!(r.report.cone.contains("user"));
+        assert!(r.report.cone.contains("button"));
+        assert!(!r.report.cone.contains("greet"));
+    }
+
+    #[test]
+    fn input_constant_rules_survive() {
+        // A state rule mentioning an input constant pins error
+        // condition (i): it must survive even when nothing reads it.
+        let mut b = ServiceBuilder::new("P");
+        b.database_relation("user", 1)
+            .state_prop("shadow")
+            .input_constant("token")
+            .page("P")
+            .insert_rule("shadow", &[], "user(token)")
+            .target("P", "true");
+        let s = b.build().unwrap();
+        let p = parse_property("G true").unwrap();
+        let r = slice(&s, &p);
+        assert!(r.report.cone.contains("shadow"));
+        assert_eq!(r.service.pages["P"].state_rules.len(), 1);
+    }
+
+    #[test]
+    fn property_vocabulary_is_seeded() {
+        let s = dead_logic_service();
+        let p = parse_property("F audited").unwrap();
+        let r = slice(&s, &p);
+        // Now `audited` is observed: its rules (on reachable pages) stay.
+        assert!(r.report.cone.contains("audited"));
+        assert!(r.service.schema.relation("audited").is_some());
+        assert_eq!(r.service.pages["HP"].state_rules.len(), 2);
+        // The unreachable ADMIN page is still dead.
+        assert_eq!(r.report.dropped_pages, vec!["ADMIN".to_string()]);
+    }
+
+    #[test]
+    fn refuses_non_ltl_and_bad_vocabulary() {
+        let s = dead_logic_service();
+        let ctl = parse_property("A (G logged_in)").unwrap();
+        let r = slice(&s, &ctl);
+        assert!(r.report.refused.is_some());
+        assert_eq!(r.service, s);
+        let unknown = parse_property("G mystery_rel").unwrap();
+        let r = slice(&s, &unknown);
+        assert!(r.report.refused.as_deref().unwrap().contains("mystery_rel"));
+        assert_eq!(r.service, s);
+        assert!(r.report.is_identity());
+    }
+
+    #[test]
+    fn property_on_dead_page_proposition_stays_well_typed() {
+        let s = dead_logic_service();
+        let p = parse_property("G !ADMIN").unwrap();
+        let r = slice(&s, &p);
+        assert_eq!(r.report.refused, None);
+        // The page schema is dropped but the Page relation survives so
+        // the property still type-checks against the sliced schema.
+        assert!(!r.service.pages.contains_key("ADMIN"));
+        assert!(r.service.schema.relation("ADMIN").is_some());
+        assert_eq!(r.service.validate(), Ok(()));
+    }
+
+    #[test]
+    fn cone_digests_are_edit_sensitive_inside_and_stable_outside() {
+        let s = dead_logic_service();
+        let base = cone_digests(&s);
+        assert!(base.contains_key("logged_in"));
+        assert!(!base.contains_key("prev_button"));
+
+        // Edit *inside* the cone of `logged_in`: its digest moves.
+        let mut edited = s.clone();
+        edited
+            .pages
+            .get_mut("HP")
+            .unwrap()
+            .state_rules
+            .iter_mut()
+            .find(|r| r.relation == "logged_in")
+            .unwrap()
+            .insert = Some(wave_logic::Formula::prop("audited"));
+        let after = cone_digests(&edited);
+        assert_ne!(base["logged_in"], after["logged_in"]);
+
+        // Edit *outside* the cone of `user` (the audited rule): the
+        // digest of `user` is unchanged.
+        let mut edited = s.clone();
+        edited
+            .pages
+            .get_mut("HP")
+            .unwrap()
+            .state_rules
+            .retain(|r| r.relation != "audited");
+        let after = cone_digests(&edited);
+        assert_eq!(base["user"], after["user"]);
+        assert_eq!(base["button"], after["button"]);
+        // ...but the digest of `audited` itself moves.
+        assert_ne!(base["audited"], after["audited"]);
+    }
+
+    #[test]
+    fn slice_is_idempotent() {
+        let s = dead_logic_service();
+        let p = parse_property("G (!greet | logged_in)").unwrap();
+        let once = slice(&s, &p);
+        let twice = slice(&once.service, &p);
+        assert_eq!(once.service, twice.service);
+        assert!(twice.report.is_identity());
+    }
+}

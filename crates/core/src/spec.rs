@@ -1,0 +1,404 @@
+//! A data-level, text-round-trippable service specification.
+//!
+//! A [`ServiceSpec`] holds declarations, pages, rules (bodies kept as
+//! surface-syntax source text), concrete database facts, and a property.
+//! It round-trips through a line-oriented text form
+//! ([`ServiceSpec::to_source`] / [`ServiceSpec::parse`]) — the format
+//! wave-qa's shrunk repros print as and the wave-lint CLI's
+//! `--service <file>` mode reads — and it lowers to a real [`Service`]
+//! through the ordinary [`ServiceBuilder`] path, the same front door
+//! every other client uses.
+
+use crate::builder::{BuildError, ServiceBuilder};
+use crate::provenance::ServiceSources;
+use crate::service::Service;
+use wave_logic::instance::Instance;
+use wave_logic::value::{Tuple, Value};
+
+/// One rule: `rel(vars) :- body`, with the body as source text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSpec {
+    /// The head relation.
+    pub rel: String,
+    /// The head variables (empty for propositional rules).
+    pub vars: Vec<String>,
+    /// The body, in the FO surface syntax.
+    pub body: String,
+}
+
+impl RuleSpec {
+    /// `rel(v1, v2) :- body` (or `rel :- body` at arity 0).
+    fn render(&self) -> String {
+        if self.vars.is_empty() {
+            format!("{} :- {}", self.rel, self.body)
+        } else {
+            format!("{}({}) :- {}", self.rel, self.vars.join(", "), self.body)
+        }
+    }
+
+    fn parse(s: &str) -> Option<RuleSpec> {
+        let (head, body) = s.split_once(":-")?;
+        let head = head.trim();
+        let body = body.trim().to_string();
+        let (rel, vars) = match head.split_once('(') {
+            None => (head.to_string(), Vec::new()),
+            Some((rel, rest)) => {
+                let inner = rest.strip_suffix(')')?;
+                let vars = inner
+                    .split(',')
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                (rel.trim().to_string(), vars)
+            }
+        };
+        Some(RuleSpec { rel, vars, body })
+    }
+}
+
+/// One page: what it solicits, its rules, and its navigation targets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageSpec {
+    /// The page name.
+    pub name: String,
+    /// Arity-0 input relations solicited on this page.
+    pub solicits: Vec<String>,
+    /// Input options rules.
+    pub input_rules: Vec<RuleSpec>,
+    /// State insertion rules.
+    pub inserts: Vec<RuleSpec>,
+    /// State deletion rules.
+    pub deletes: Vec<RuleSpec>,
+    /// `(target page, guard source)` pairs.
+    pub targets: Vec<(String, String)>,
+}
+
+/// A complete fuzz case: vocabulary, pages, database, property.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSpec {
+    /// The home page.
+    pub home: String,
+    /// Database relations `(name, arity)`.
+    pub db_rels: Vec<(String, usize)>,
+    /// Arity-0 state relations.
+    pub state_props: Vec<String>,
+    /// Positive-arity state relations.
+    pub state_rels: Vec<(String, usize)>,
+    /// Arity-0 input relations.
+    pub input_props: Vec<String>,
+    /// Positive-arity input relations.
+    pub input_rels: Vec<(String, usize)>,
+    /// The pages, in declaration order.
+    pub pages: Vec<PageSpec>,
+    /// Concrete database facts `(relation, tuple of string values)`.
+    pub facts: Vec<(String, Vec<String>)>,
+    /// The property under test, in the surface syntax.
+    pub property: String,
+}
+
+impl ServiceSpec {
+    /// Lowers the spec to a [`Service`] with provenance, through the
+    /// ordinary builder path.
+    pub fn build(&self) -> Result<(Service, ServiceSources), Vec<BuildError>> {
+        let mut b = ServiceBuilder::new(&self.home);
+        for (r, a) in &self.db_rels {
+            b.database_relation(r, *a);
+        }
+        for s in &self.state_props {
+            b.state_prop(s);
+        }
+        for (r, a) in &self.state_rels {
+            b.state_relation(r, *a);
+        }
+        for p in &self.input_props {
+            b.input_relation(p, 0);
+        }
+        for (r, a) in &self.input_rels {
+            b.input_relation(r, *a);
+        }
+        for page in &self.pages {
+            b.page(&page.name);
+            for s in &page.solicits {
+                b.input_prop_on_page(s);
+            }
+            for r in &page.input_rules {
+                let vars: Vec<&str> = r.vars.iter().map(|v| v.as_str()).collect();
+                b.input_rule(&r.rel, &vars, &r.body);
+            }
+            for r in &page.inserts {
+                let vars: Vec<&str> = r.vars.iter().map(|v| v.as_str()).collect();
+                b.insert_rule(&r.rel, &vars, &r.body);
+            }
+            for r in &page.deletes {
+                let vars: Vec<&str> = r.vars.iter().map(|v| v.as_str()).collect();
+                b.delete_rule(&r.rel, &vars, &r.body);
+            }
+            for (t, guard) in &page.targets {
+                b.target(t, guard);
+            }
+        }
+        b.build_with_sources()
+    }
+
+    /// The concrete database instance carried by the spec.
+    pub fn db_instance(&self) -> Instance {
+        let mut db = Instance::new();
+        for (rel, vals) in &self.facts {
+            let t = Tuple(vals.iter().map(|v| Value::str(v.clone())).collect());
+            db.insert(rel, t);
+        }
+        db
+    }
+
+    /// The line-oriented text form. Parseable by [`ServiceSpec::parse`];
+    /// this is what shrunk repros print as.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!("home {}", self.home));
+        for (r, a) in &self.db_rels {
+            line(format!("db {r} {a}"));
+        }
+        for s in &self.state_props {
+            line(format!("stateprop {s}"));
+        }
+        for (r, a) in &self.state_rels {
+            line(format!("state {r} {a}"));
+        }
+        for s in &self.input_props {
+            line(format!("inputprop {s}"));
+        }
+        for (r, a) in &self.input_rels {
+            line(format!("input {r} {a}"));
+        }
+        for p in &self.pages {
+            line(format!("page {}", p.name));
+            for s in &p.solicits {
+                line(format!("  solicit {s}"));
+            }
+            for r in &p.input_rules {
+                line(format!("  options {}", r.render()));
+            }
+            for r in &p.inserts {
+                line(format!("  insert {}", r.render()));
+            }
+            for r in &p.deletes {
+                line(format!("  delete {}", r.render()));
+            }
+            for (t, g) in &p.targets {
+                line(format!("  goto {t} when {g}"));
+            }
+        }
+        for (rel, vals) in &self.facts {
+            line(format!("fact {} {}", rel, vals.join(" ")));
+        }
+        line(format!("property {}", self.property));
+        out
+    }
+
+    /// Parses the text form back into a spec. Inverse of
+    /// [`ServiceSpec::to_source`] up to whitespace.
+    pub fn parse(src: &str) -> Result<ServiceSpec, String> {
+        let mut spec = ServiceSpec::default();
+        for (n, raw) in src.lines().enumerate() {
+            let lineno = n + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (kw, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let rest = rest.trim();
+            let err = |m: &str| Err(format!("line {lineno}: {m}: `{raw}`"));
+            match kw {
+                "home" => spec.home = rest.to_string(),
+                "db" | "state" | "input" => {
+                    let Some((name, arity)) = rest.rsplit_once(' ') else {
+                        return err("expected `<name> <arity>`");
+                    };
+                    let Ok(a) = arity.trim().parse::<usize>() else {
+                        return err("bad arity");
+                    };
+                    let entry = (name.trim().to_string(), a);
+                    match kw {
+                        "db" => spec.db_rels.push(entry),
+                        "state" => spec.state_rels.push(entry),
+                        _ => spec.input_rels.push(entry),
+                    }
+                }
+                "stateprop" => spec.state_props.push(rest.to_string()),
+                "inputprop" => spec.input_props.push(rest.to_string()),
+                "page" => spec.pages.push(PageSpec {
+                    name: rest.to_string(),
+                    ..PageSpec::default()
+                }),
+                "solicit" | "options" | "insert" | "delete" | "goto" => {
+                    let Some(page) = spec.pages.last_mut() else {
+                        return err("rule before any `page`");
+                    };
+                    match kw {
+                        "solicit" => page.solicits.push(rest.to_string()),
+                        "goto" => {
+                            let Some((t, g)) = rest.split_once(" when ") else {
+                                return err("expected `goto <page> when <guard>`");
+                            };
+                            page.targets
+                                .push((t.trim().to_string(), g.trim().to_string()));
+                        }
+                        _ => {
+                            let Some(rule) = RuleSpec::parse(rest) else {
+                                return err("bad rule");
+                            };
+                            match kw {
+                                "options" => page.input_rules.push(rule),
+                                "insert" => page.inserts.push(rule),
+                                _ => page.deletes.push(rule),
+                            }
+                        }
+                    }
+                }
+                "fact" => {
+                    let mut parts = rest.split_whitespace();
+                    let Some(rel) = parts.next() else {
+                        return err("expected `fact <rel> <values...>`");
+                    };
+                    spec.facts
+                        .push((rel.to_string(), parts.map(str::to_string).collect()));
+                }
+                "property" => spec.property = rest.to_string(),
+                _ => return err("unknown keyword"),
+            }
+        }
+        if spec.home.is_empty() {
+            return Err("missing `home` line".into());
+        }
+        if spec.property.is_empty() {
+            return Err("missing `property` line".into());
+        }
+        Ok(spec)
+    }
+}
+
+/// Replaces whole identifier tokens of `src` according to `map`. Used by
+/// the renaming metamorphosis: bodies are source text, so renaming a
+/// variable is a token-level substitution.
+pub fn rename_idents(src: &str, map: &dyn Fn(&str) -> Option<String>) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let mut end = start + c.len_utf8();
+            while let Some(&(i, d)) = chars.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    end = i + d.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let ident = &src[start..end];
+            match map(ident) {
+                Some(repl) => out.push_str(&repl),
+                None => out.push_str(ident),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn picker_spec() -> ServiceSpec {
+        ServiceSpec {
+            home: "P0".into(),
+            db_rels: vec![("r0".into(), 1)],
+            state_props: vec!["s0".into()],
+            state_rels: vec![("st".into(), 1)],
+            input_props: vec!["g0".into()],
+            input_rels: vec![("pick".into(), 1)],
+            pages: vec![
+                PageSpec {
+                    name: "P0".into(),
+                    solicits: vec!["g0".into()],
+                    input_rules: vec![RuleSpec {
+                        rel: "pick".into(),
+                        vars: vec!["y".into()],
+                        body: "r0(y)".into(),
+                    }],
+                    inserts: vec![
+                        RuleSpec {
+                            rel: "st".into(),
+                            vars: vec!["y".into()],
+                            body: "pick(y)".into(),
+                        },
+                        RuleSpec {
+                            rel: "s0".into(),
+                            vars: vec![],
+                            body: "g0".into(),
+                        },
+                    ],
+                    deletes: vec![RuleSpec {
+                        rel: "st".into(),
+                        vars: vec!["y".into()],
+                        body: "st(y) & !pick(y)".into(),
+                    }],
+                    targets: vec![("P1".into(), "g0".into())],
+                },
+                PageSpec {
+                    name: "P1".into(),
+                    solicits: vec!["g0".into()],
+                    targets: vec![("P0".into(), "g0".into())],
+                    ..PageSpec::default()
+                },
+            ],
+            facts: vec![
+                ("r0".into(), vec!["a".into()]),
+                ("r0".into(), vec!["b".into()]),
+            ],
+            property: "G (P0 | P1)".into(),
+        }
+    }
+
+    #[test]
+    fn source_round_trips() {
+        let spec = picker_spec();
+        let text = spec.to_source();
+        let back = ServiceSpec::parse(&text).expect("parses");
+        assert_eq!(back, spec);
+        // And the text form is stable under a second round trip.
+        assert_eq!(back.to_source(), text);
+    }
+
+    #[test]
+    fn builds_a_real_service_with_db() {
+        let spec = picker_spec();
+        let (service, _sources) = spec.build().expect("valid");
+        assert_eq!(service.home, "P0");
+        let db = spec.db_instance();
+        assert_eq!(db.active_domain().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_blame() {
+        let err = ServiceSpec::parse("home P\nfrobnicate Q\nproperty G P").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = ServiceSpec::parse("solicit g0").unwrap_err();
+        assert!(err.contains("before any `page`"), "{err}");
+        assert!(ServiceSpec::parse("home P\n").is_err(), "missing property");
+    }
+
+    #[test]
+    fn rename_is_token_level() {
+        let renamed = rename_idents("pick(y) & !picky & y = x_y", &|id| match id {
+            "y" => Some("w".into()),
+            _ => None,
+        });
+        assert_eq!(renamed, "pick(w) & !picky & w = x_y");
+    }
+}

@@ -449,6 +449,78 @@ fn checkout_bench_builder() -> ServiceBuilder {
     b
 }
 
+/// A deliberately flawed *audit site*: a working login → dashboard flow
+/// carrying intentional dead logic, hand-modeled as the slicing/lint
+/// exercise (first entry of the flawed-service corpus, ROADMAP item 4).
+///
+/// The dead logic, all invisible to any property over the live flow:
+///
+/// * an `ADMIN` page no target rule reaches (W012/W023) — its rules,
+///   including a `grant` action, can never fire;
+/// * a write-only `audited` state relation recording logins and
+///   dashboard refreshes that no rule body reads (W010/W024);
+/// * a `reason` input solicited only on the dead admin page (W025).
+///
+/// The service is input-bounded, so the symbolic engine admits it, and
+/// property-directed slicing removes all three families wholesale.
+pub fn audit_site() -> Service {
+    audit_site_builder()
+        .build()
+        .expect("audit site must validate")
+}
+
+/// [`audit_site`] plus recorded rule sources.
+pub fn audit_site_with_sources() -> (Service, ServiceSources) {
+    audit_site_builder()
+        .build_with_sources()
+        .expect("audit site must validate")
+}
+
+fn audit_site_builder() -> ServiceBuilder {
+    let mut b = ServiceBuilder::new("HP");
+    b.database_relation("user", 2)
+        .input_relation("button", 1)
+        .input_relation("reason", 1)
+        .state_prop("logged_in")
+        .state_prop("audited")
+        .action_prop("greet")
+        .action_prop("grant")
+        .input_constant("name")
+        .input_constant("password");
+
+    b.page("HP")
+        .solicit_constant("name")
+        .solicit_constant("password")
+        .input_rule("button", &["x"], r#"x = "login" | x = "clear""#)
+        .insert_rule(
+            "logged_in",
+            &[],
+            r#"user(name, password) & button("login")"#,
+        )
+        // Audit every login attempt — but nothing ever reads `audited`.
+        .insert_rule("audited", &[], r#"button("login")"#)
+        .target("DASH", r#"user(name, password) & button("login")"#)
+        .target("HP", r#"!user(name, password)"#);
+
+    b.page("DASH")
+        .input_rule("button", &["x"], r#"x = "refresh" | x = "logout""#)
+        .insert_rule("audited", &[], r#"button("refresh")"#)
+        .delete_rule("logged_in", &[], r#"button("logout")"#)
+        .action_rule("greet", &[], "logged_in")
+        .target("HP", r#"button("logout")"#)
+        .target("DASH", r#"button("refresh")"#);
+
+    // The admin page exists in the spec but no target rule points at it:
+    // every rule below is dead, and `reason` is never consumable.
+    b.page("ADMIN")
+        .input_rule("reason", &["x"], r#"x = "maintenance" | x = "ban""#)
+        .delete_rule("audited", &[], r#"reason("maintenance")"#)
+        .action_rule("grant", &[], "logged_in")
+        .target("HP", "true");
+
+    b
+}
+
 /// The propositional navigation abstraction of Example 4.3: the same page
 /// graph with all non-input atoms abstracted away (database lookups
 /// replaced by a free `lookup_ok` input proposition, so both outcomes stay

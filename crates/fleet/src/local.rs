@@ -137,11 +137,13 @@ impl LocalFleet {
         &self.dir
     }
 
-    /// Simulates a node death without killing the accept loop: the
-    /// router re-ranges and replays the journal exactly as it would for
-    /// a real crash. (For real `SIGKILL`, use [`ProcessFleet`].)
+    /// Gracefully retires a node: pre-ships its journal to the peers,
+    /// then re-ranges — a decommission, not a crash, so re-routed
+    /// requests find the cached outcomes already installed. (For real
+    /// `SIGKILL`, use [`ProcessFleet`]; for crash semantics, call
+    /// `router().mark_dead(id)` directly.)
     pub fn retire(&self, id: u32) {
-        self.router.mark_dead(id);
+        self.router.retire(id);
     }
 }
 

@@ -192,6 +192,32 @@ impl Router {
         }
     }
 
+    /// Gracefully retires a live node: its journal is replayed to the
+    /// peers **before** the ring re-ranges, so a request re-routed to
+    /// the successor always finds the cached outcome — administrative
+    /// decommission never costs a re-verification (the wave-load
+    /// retire-mid drill pins `cold_runs ≤ distinct + cancelled +
+    /// failovers` across it). [`mark_dead`](Router::mark_dead) replays
+    /// only *after* removal — correct for a crash, where the node is
+    /// already gone, but a window where re-routed requests re-verify
+    /// cold if the node was alive. The second replay inside
+    /// `mark_dead` then catches any line the node appended between the
+    /// pre-ship and the re-range (receivers skip byte-identical
+    /// records, so replaying twice is idempotent).
+    pub fn retire(&self, id: u32) {
+        let (handle, peers) = {
+            let st = self.state.lock().expect("router poisoned");
+            let Some(handle) = st.nodes.get(&id).cloned() else {
+                return;
+            };
+            let peers: Vec<NodeHandle> =
+                st.nodes.values().filter(|n| n.id != id).cloned().collect();
+            (handle, peers)
+        };
+        self.replay_journal(&handle, &peers);
+        self.mark_dead(id);
+    }
+
     /// Declares a node dead: off the ring, journal replayed to the
     /// survivors. Idempotent; also the entry point for kill drills.
     pub fn mark_dead(&self, id: u32) {

@@ -48,6 +48,15 @@ pub mod codes {
     pub const WHY_NOT_PROPOSITIONAL: &str = "W021";
     /// Why the service is not fully propositional (Theorem 4.6 blame).
     pub const WHY_NOT_FULLY_PROPOSITIONAL: &str = "W022";
+    /// Rule on a page no target chain reaches: it can never fire.
+    pub const DEAD_RULE: &str = "W023";
+    /// State relation written on reachable pages but read by no rule
+    /// body (or property, when one is supplied).
+    pub const WRITE_ONLY_RELATION: &str = "W024";
+    /// Input solicited only on unreachable pages: never consumable.
+    pub const UNCONSUMABLE_INPUT: &str = "W025";
+    /// Cone-of-influence summary for the supplied property.
+    pub const CONE_SUMMARY: &str = "W026";
 
     /// `(code, one-line description)` for every registered code.
     pub const TABLE: &[(&str, &str)] = &[
@@ -102,6 +111,16 @@ pub mod codes {
             WHY_NOT_FULLY_PROPOSITIONAL,
             "why the service is outside the fully propositional class",
         ),
+        (DEAD_RULE, "rule on an unreachable page can never fire"),
+        (
+            WRITE_ONLY_RELATION,
+            "state relation written but observed by no rule or property",
+        ),
+        (
+            UNCONSUMABLE_INPUT,
+            "input solicited only on unreachable pages",
+        ),
+        (CONE_SUMMARY, "property cone-of-influence summary"),
     ];
 }
 

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! wave-lint demo [--json]                      lint every demo service
-//! wave-lint --service NAME [--json]            lint one demo service
-//!           [--property TEXT | --property-file FILE]
+//! wave-lint --service NAME|FILE [--json]       lint one service: a demo
+//!           [--property TEXT|FILE              name, or a ServiceSpec
+//!            | --property-file FILE]           text file
 //! wave-lint --codes                            print the code table
 //! ```
+//!
+//! With a property, the report is followed by the **cone/slice report**:
+//! what `wave_core::slice` would remove for that property — the same
+//! reduction the symbolic engine applies between admission and search —
+//! so the slicer is inspectable on corpus files without the engine.
 //!
 //! Exit status: 0 — no errors; 1 — at least one error-severity
 //! diagnostic; 2 — usage or input failure.
@@ -14,16 +20,19 @@ use std::process::ExitCode;
 
 use wave_core::provenance::ServiceSources;
 use wave_core::service::Service;
-use wave_lint::{codes, lint};
+use wave_core::slice;
+use wave_core::spec::ServiceSpec;
+use wave_lint::{codes, json, lint};
 use wave_logic::parser::parse_property;
 use wave_logic::temporal::Property;
 
-const SERVICES: &[&str] = &["full_site", "checkout_core", "navigation"];
+const SERVICES: &[&str] = &["audit_site", "checkout_core", "full_site", "navigation"];
 
 fn resolve(name: &str) -> Option<(Service, ServiceSources)> {
     match name {
-        "full_site" => Some(wave_demo::site::full_site_with_sources()),
+        "audit_site" => Some(wave_demo::site::audit_site_with_sources()),
         "checkout_core" => Some(wave_demo::site::checkout_core_with_sources()),
+        "full_site" => Some(wave_demo::site::full_site_with_sources()),
         "navigation" => Some(wave_demo::site::navigation_abstraction_with_sources()),
         _ => None,
     }
@@ -31,10 +40,10 @@ fn resolve(name: &str) -> Option<(Service, ServiceSources)> {
 
 fn usage() -> ExitCode {
     eprintln!("usage: wave-lint demo [--json]");
-    eprintln!("       wave-lint --service NAME [--json]");
-    eprintln!("                 [--property TEXT | --property-file FILE]");
+    eprintln!("       wave-lint --service NAME|FILE [--json]");
+    eprintln!("                 [--property TEXT|FILE | --property-file FILE]");
     eprintln!("       wave-lint --codes");
-    eprintln!("services: {}", SERVICES.join(", "));
+    eprintln!("services: {} (or a ServiceSpec file)", SERVICES.join(", "));
     ExitCode::from(2)
 }
 
@@ -45,6 +54,53 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// One service to lint: how it was named, the service, its sources, and
+/// the property text its spec file carried (file mode only).
+struct Target {
+    name: String,
+    service: Service,
+    sources: ServiceSources,
+    spec_property: Option<String>,
+}
+
+/// Resolves `--service`: a registry name first, a `ServiceSpec` text
+/// file second. A spec file without a `property` line still lints (a
+/// synthetic `G true` satisfies the parser and is then discarded).
+fn load_service(arg: &str) -> Result<Target, String> {
+    if let Some((service, sources)) = resolve(arg) {
+        return Ok(Target {
+            name: arg.to_string(),
+            service,
+            sources,
+            spec_property: None,
+        });
+    }
+    let text = std::fs::read_to_string(arg).map_err(|e| {
+        format!(
+            "`{arg}` is neither a known service (try: {}) nor a readable \
+             file: {e}",
+            SERVICES.join(", ")
+        )
+    })?;
+    let had_property = text
+        .lines()
+        .any(|l| l.trim_start().starts_with("property "));
+    let mut src = text;
+    if !had_property {
+        src.push_str("\nproperty G true\n");
+    }
+    let spec = ServiceSpec::parse(&src).map_err(|e| format!("{arg}: {e}"))?;
+    let (service, sources) = spec
+        .build()
+        .map_err(|es| format!("{arg}: build failed: {es:?}"))?;
+    Ok(Target {
+        name: arg.to_string(),
+        service,
+        sources,
+        spec_property: had_property.then(|| spec.property.clone()),
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--codes") {
@@ -53,9 +109,9 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let json = args.iter().any(|a| a == "--json");
+    let json_mode = args.iter().any(|a| a == "--json");
 
-    let property = match load_property(&args) {
+    let cli_property = match load_property(&args) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -63,16 +119,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let targets: Vec<&str> = if args.first().map(String::as_str) == Some("demo") {
-        SERVICES.to_vec()
-    } else if let Some(name) = flag(&args, "--service") {
-        match resolve(name) {
-            Some(_) => vec![SERVICES.iter().copied().find(|s| *s == name).unwrap()],
-            None => {
-                eprintln!(
-                    "error: unknown service `{name}` (try: {})",
-                    SERVICES.join(", ")
-                );
+    let targets: Vec<Target> = if args.first().map(String::as_str) == Some("demo") {
+        SERVICES
+            .iter()
+            .map(|n| load_service(n).expect("listed service resolves"))
+            .collect()
+    } else if let Some(arg) = flag(&args, "--service") {
+        match load_service(arg) {
+            Ok(t) => vec![t],
+            Err(e) => {
+                eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -82,22 +138,48 @@ fn main() -> ExitCode {
 
     let mut any_errors = false;
     let mut json_parts = Vec::new();
-    for name in &targets {
-        let (service, sources) = resolve(name).expect("listed service resolves");
-        let report = lint(&service, Some(&sources), property.as_ref());
+    for t in &targets {
+        // The CLI property wins; a spec file's own `property` line is
+        // the fallback, so corpus files slice self-contained.
+        let property = match (&cli_property, &t.spec_property) {
+            (Some((p, text)), _) => Some((p.clone(), text.clone())),
+            (None, Some(text)) => match parse_property(text.trim()) {
+                Ok(p) => Some((p, text.clone())),
+                Err(e) => {
+                    eprintln!("error: {}: spec property: {e}", t.name);
+                    return ExitCode::from(2);
+                }
+            },
+            (None, None) => None,
+        };
+        let report = lint(
+            &t.service,
+            Some(&t.sources),
+            property.as_ref().map(|(p, _)| p),
+        );
         any_errors |= report.has_errors();
-        if json {
-            json_parts.push(format!(
-                "{{\"service\":\"{name}\",\"report\":{}}}",
-                report.to_json()
-            ));
+        let slice_json = property
+            .as_ref()
+            .map(|(p, text)| slice_report_json(&t.service, p, text));
+        if json_mode {
+            let mut fields = vec![
+                ("service", json::string(&t.name)),
+                ("report", report.to_json()),
+            ];
+            if let Some(s) = &slice_json {
+                fields.push(("slice", s.clone()));
+            }
+            json_parts.push(json::object(&fields));
         } else {
-            println!("== {name} ==");
-            print!("{}", report.render_human(Some(&sources)));
+            println!("== {} ==", t.name);
+            print!("{}", report.render_human(Some(&t.sources)));
+            if let Some((p, text)) = &property {
+                print!("{}", slice_report_human(&t.service, p, text));
+            }
             println!();
         }
     }
-    if json {
+    if json_mode {
         println!("[{}]", json_parts.join(","));
     }
     if any_errors {
@@ -107,15 +189,113 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_property(args: &[String]) -> Result<Option<Property>, String> {
+/// Renders the cone/slice report for a terminal.
+fn slice_report_human(service: &Service, property: &Property, text: &str) -> String {
+    let r = slice::slice(service, property).report;
+    let mut out = format!("-- slice report (property: {}) --\n", text.trim());
+    if let Some(reason) = &r.refused {
+        out.push_str(&format!("  refused: {reason}\n"));
+        return out;
+    }
+    let list = |items: &[String]| items.join(", ");
+    out.push_str(&format!(
+        "  reachable pages ({}): {}\n",
+        r.reachable_pages.len(),
+        r.reachable_pages
+            .iter()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  cone ({} of {} relations): {}\n",
+        r.cone.len(),
+        r.original_relations,
+        r.cone.iter().cloned().collect::<Vec<_>>().join(", ")
+    ));
+    if !r.dropped_pages.is_empty() {
+        out.push_str(&format!(
+            "  dropped pages ({}): {}\n",
+            r.dropped_pages.len(),
+            list(&r.dropped_pages)
+        ));
+    }
+    if !r.dropped_rules.is_empty() {
+        let rules: Vec<String> = r
+            .dropped_rules
+            .iter()
+            .map(|(p, l)| format!("{p}/{l}"))
+            .collect();
+        out.push_str(&format!(
+            "  dropped rules ({}): {}\n",
+            rules.len(),
+            rules.join(", ")
+        ));
+    }
+    if !r.dropped_relations.is_empty() {
+        out.push_str(&format!(
+            "  dropped relations ({}): {}\n",
+            r.dropped_relations.len(),
+            list(&r.dropped_relations)
+        ));
+    }
+    out.push_str(&format!(
+        "  reduction: {} of {} rules, {} of {} relations\n",
+        r.sliced_rules(),
+        r.original_rules,
+        r.sliced_relations(),
+        r.original_relations
+    ));
+    out
+}
+
+/// The cone/slice report as deterministic JSON.
+fn slice_report_json(service: &Service, property: &Property, text: &str) -> String {
+    let r = slice::slice(service, property).report;
+    let strings =
+        |items: &[String]| json::array(&items.iter().map(|s| json::string(s)).collect::<Vec<_>>());
+    let refused = match &r.refused {
+        Some(reason) => json::string(reason),
+        None => "null".to_string(),
+    };
+    let dropped_rules: Vec<String> = r
+        .dropped_rules
+        .iter()
+        .map(|(p, l)| json::object(&[("page", json::string(p)), ("rule", json::string(l))]))
+        .collect();
+    json::object(&[
+        ("property", json::string(text.trim())),
+        ("refused", refused),
+        (
+            "reachable_pages",
+            strings(&r.reachable_pages.iter().cloned().collect::<Vec<_>>()),
+        ),
+        ("cone", strings(&r.cone.iter().cloned().collect::<Vec<_>>())),
+        ("dropped_pages", strings(&r.dropped_pages)),
+        ("dropped_rules", json::array(&dropped_rules)),
+        ("dropped_relations", strings(&r.dropped_relations)),
+        ("original_rules", r.original_rules.to_string()),
+        ("retained_rules", r.retained_rules.to_string()),
+        ("original_relations", r.original_relations.to_string()),
+        ("retained_relations", r.retained_relations.to_string()),
+    ])
+}
+
+/// `--property` takes inline text or (when the value names a readable
+/// file) a property file; `--property-file` is always a file.
+fn load_property(args: &[String]) -> Result<Option<(Property, String)>, String> {
     let text = if let Some(t) = flag(args, "--property") {
-        t.to_string()
+        if std::path::Path::new(t).is_file() {
+            std::fs::read_to_string(t).map_err(|e| format!("read {t}: {e}"))?
+        } else {
+            t.to_string()
+        }
     } else if let Some(path) = flag(args, "--property-file") {
         std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
     } else {
         return Ok(None);
     };
     parse_property(text.trim())
-        .map(Some)
+        .map(|p| Some((p, text)))
         .map_err(|e| format!("property: {e}"))
 }

@@ -1,0 +1,247 @@
+//! Pass 5 — slice-backed dead-logic analysis.
+//!
+//! Reuses the `wave-slice` cone machinery (`wave_core::slice`) to flag
+//! logic that can never matter: rules on pages no target chain reaches
+//! (`W023`), state relations written on reachable pages but observed by
+//! no rule body or property (`W024`), inputs solicited only on
+//! unreachable pages (`W025`), and — when a property is supplied — a
+//! cone-of-influence summary of what slicing would remove (`W026`).
+//!
+//! Everything here is a warning or a note: dead logic is admissible,
+//! just wasted search space the slicer will prune anyway.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wave_core::provenance::ServiceSources;
+use wave_core::service::Service;
+use wave_core::slice;
+use wave_logic::schema::{RelKind, PREV_PREFIX};
+use wave_logic::span::Span;
+use wave_logic::temporal::Property;
+
+use crate::diag::{codes, Diagnostic};
+use crate::passes::labeled_rules;
+
+/// Runs the pass.
+pub fn run(
+    service: &Service,
+    sources: Option<&ServiceSources>,
+    property: Option<&Property>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let reachable = slice::reachable_pages(service);
+    dead_rules(service, sources, &reachable, out);
+    write_only_relations(service, property, &reachable, out);
+    unconsumable_inputs(service, &reachable, out);
+    if let Some(p) = property {
+        cone_summary(service, p, out);
+    }
+}
+
+/// `W023`: every rule on an unreachable page is individually dead —
+/// rule-level companions to the page-level `W012`, each with a concrete
+/// deletion suggestion.
+fn dead_rules(
+    service: &Service,
+    sources: Option<&ServiceSources>,
+    reachable: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (pname, page) in &service.pages {
+        if reachable.contains(pname) {
+            continue;
+        }
+        for (rule, _, _) in labeled_rules(page) {
+            let span = sources
+                .and_then(|s| s.rule(pname, &rule))
+                .map(|s| Span::new(0, s.text.len()));
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_RULE,
+                    format!(
+                        "rule can never fire: page `{pname}` is unreachable \
+                         from the home page `{}`",
+                        service.home
+                    ),
+                )
+                .at(pname, &rule)
+                .with_span(span)
+                .with_note(
+                    "the slicer drops this rule from every property cone; \
+                     it contributes nothing to any verdict",
+                )
+                .with_suggestion(format!(
+                    "delete this rule, or add a target rule linking \
+                     `{pname}` into the page graph"
+                )),
+            );
+        }
+    }
+}
+
+/// The relations a body observes, with `prev_I` reads counted as reads
+/// of `I` (a rule observing last step's input observes the input).
+fn observed(
+    service: &Service,
+    rels: impl IntoIterator<Item = (String, usize)>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (name, _) in rels {
+        if let Some(base) = name.strip_prefix(PREV_PREFIX) {
+            let is_prev = service
+                .schema
+                .relation(&name)
+                .is_some_and(|r| r.kind == RelKind::PrevInput);
+            if is_prev {
+                out.insert(base.to_string());
+            }
+        }
+        out.insert(name);
+    }
+    out
+}
+
+/// `W024`: a state relation written by reachable rules that no reachable
+/// rule body — and no property, when one is supplied — ever reads. Its
+/// writes burn search space without influencing anything observable.
+fn write_only_relations(
+    service: &Service,
+    property: Option<&Property>,
+    reachable: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut reads: BTreeSet<String> = BTreeSet::new();
+    for pname in reachable {
+        let Some(page) = service.pages.get(pname) else {
+            continue;
+        };
+        for (body, _) in page.all_bodies() {
+            reads.extend(observed(service, body.relations_used()));
+        }
+    }
+    if let Some(p) = property {
+        reads.extend(observed(service, p.body.relations_used()));
+    }
+    // Write sites per relation, over reachable pages only (writes on
+    // unreachable pages are already fully covered by W023).
+    let mut writes: BTreeMap<&str, Vec<(String, String)>> = BTreeMap::new();
+    for pname in reachable {
+        let Some(page) = service.pages.get(pname) else {
+            continue;
+        };
+        for r in &page.state_rules {
+            let mut site = |label: String| {
+                writes
+                    .entry(r.relation.as_str())
+                    .or_default()
+                    .push((pname.clone(), label));
+            };
+            if r.insert.is_some() {
+                site(format!("+{}", r.relation));
+            }
+            if r.delete.is_some() {
+                site(format!("-{}", r.relation));
+            }
+        }
+    }
+    for (rel, sites) in writes {
+        if reads.contains(rel) {
+            continue;
+        }
+        let (page, rule) = sites[0].clone();
+        let all: Vec<String> = sites.iter().map(|(p, l)| format!("{p}/{l}")).collect();
+        out.push(
+            Diagnostic::warning(
+                codes::WRITE_ONLY_RELATION,
+                format!(
+                    "state relation `{rel}` is write-only: updated on \
+                     reachable pages but read by no rule body{}",
+                    if property.is_some() {
+                        " or property"
+                    } else {
+                        ""
+                    }
+                ),
+            )
+            .at(page, rule)
+            .with_note(format!("write sites: {}", all.join(", ")))
+            .with_note(
+                "outside every property cone that does not name it; the \
+                 slicer removes these updates wholesale",
+            )
+            .with_suggestion(format!(
+                "delete the `+{rel}`/`-{rel}` rules, or add a rule or \
+                 property that reads `{rel}`"
+            )),
+        );
+    }
+}
+
+/// `W025`: an input solicited only on unreachable pages can never be
+/// provided in any run, so its options and `prev_` shadow stay empty
+/// forever.
+fn unconsumable_inputs(service: &Service, reachable: &BTreeSet<String>, out: &mut Vec<Diagnostic>) {
+    // Soliciting pages per input, in page order for determinism.
+    let mut solicits: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (pname, page) in &service.pages {
+        for i in &page.inputs {
+            solicits.entry(i.as_str()).or_default().push(pname.as_str());
+        }
+    }
+    for (input, pages) in solicits {
+        if pages.iter().any(|p| reachable.contains(*p)) {
+            continue;
+        }
+        out.push(
+            Diagnostic::warning(
+                codes::UNCONSUMABLE_INPUT,
+                format!(
+                    "input `{input}` is solicited only on unreachable \
+                     pages ({}): no run can ever provide it",
+                    pages.join(", ")
+                ),
+            )
+            .at(pages[0], "")
+            .with_note(format!(
+                "`{PREV_PREFIX}{input}` stays empty in every reachable \
+                 configuration"
+            ))
+            .with_suggestion(format!(
+                "delete the input `{input}` and its options rules, or \
+                 make a soliciting page reachable"
+            )),
+        );
+    }
+}
+
+/// `W026`: what property-directed slicing would remove — the same
+/// reduction the engine applies between admission and search.
+fn cone_summary(service: &Service, property: &Property, out: &mut Vec<Diagnostic>) {
+    let r = slice::slice(service, property).report;
+    if r.refused.is_some() || r.is_identity() {
+        return;
+    }
+    let mut d = Diagnostic::note(
+        codes::CONE_SUMMARY,
+        format!(
+            "property cone covers {} of {} relations: slicing drops {} of \
+             {} rules and {} of {} relations",
+            r.cone.len(),
+            r.original_relations,
+            r.sliced_rules(),
+            r.original_rules,
+            r.sliced_relations(),
+            r.original_relations,
+        ),
+    );
+    if !r.dropped_pages.is_empty() {
+        d = d.with_note(format!("dropped pages: {}", r.dropped_pages.join(", ")));
+    }
+    if !r.dropped_relations.is_empty() {
+        d = d.with_note(format!(
+            "dropped relations: {}",
+            r.dropped_relations.join(", ")
+        ));
+    }
+    out.push(d);
+}

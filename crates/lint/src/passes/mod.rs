@@ -7,6 +7,7 @@
 
 pub mod bounded;
 pub mod classes;
+pub mod dead;
 pub mod graph;
 pub mod property;
 pub mod vocab;

@@ -41,6 +41,7 @@ pub fn lint(
     passes::bounded::run(service, sources, &mut out);
     passes::vocab::run(service, sources, &mut out);
     passes::graph::run(service, sources, &mut out);
+    passes::dead::run(service, sources, property, &mut out);
     passes::classes::run(service, &cls, &mut out);
     if let Some(p) = property {
         passes::property::run(service, p, class, &mut out);

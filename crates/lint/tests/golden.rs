@@ -12,18 +12,26 @@ use wave_logic::parser::parse_property;
 /// A service seeding one finding from every major diagnostic family:
 /// an unguarded quantifier (W004), a non-ground state atom in an input
 /// rule (W008), state-dataflow warnings both ways (W010, W011), an
-/// unreachable page (W012), a property vocabulary error (W014) and the
-/// classification note (W020).
+/// unreachable page (W012), a property vocabulary error (W014), the
+/// classification note (W020), and the dead-logic family — dead rules
+/// on the unreachable page (W023), a write-only state relation on the
+/// reachable page (W024) and an input solicited only on the unreachable
+/// page (W025). The cone summary (W026) cannot fire here — the property
+/// deliberately misses the vocabulary, so the slicer refuses — and is
+/// covered by the audit-site golden below.
 fn seeded() -> (Service, ServiceSources) {
     let mut b = ServiceBuilder::new("P");
     b.database_relation("d", 1)
         .input_relation("I", 1)
+        .input_relation("J", 1)
         .state_relation("t", 1)
         .state_prop("s")
         .page("P")
         .input_rule("I", &["x"], "t(x)")
         .insert_rule("s", &[], "exists x . d(x)")
-        .page("Q");
+        .page("Q")
+        .input_rule("J", &["x"], "d(x)")
+        .insert_rule("s", &[], "exists x . J(x)");
     b.build_with_sources().expect("vocabulary is valid")
 }
 
@@ -45,4 +53,64 @@ fn seeded_violations_produce_byte_stable_json() {
     let (service2, sources2) = seeded();
     let again = lint(&service2, Some(&sources2), Some(&property)).to_json();
     assert_eq!(actual, again);
+}
+
+/// The deliberately flawed demo service, linted with a property whose
+/// vocabulary is valid: the slicer runs (no refusal), so the cone
+/// summary (W026) appears alongside the dead-logic warnings.
+#[test]
+fn audit_site_report_is_byte_stable() {
+    let (service, sources) = wave_demo::site::audit_site_with_sources();
+    let property = parse_property("G (!greet | logged_in)").expect("parses");
+    let report = lint(&service, Some(&sources), Some(&property));
+    let actual = report.to_json();
+    let expected = include_str!("golden/audit_site.json");
+    assert_eq!(
+        actual,
+        expected.trim_end(),
+        "\n--- actual ---\n{actual}\n--- end ---\n\
+         update tests/golden/audit_site.json if this change is deliberate"
+    );
+    assert!(
+        ["W023", "W024", "W025", "W026"]
+            .iter()
+            .all(|c| actual.contains(&format!("\"{c}\""))),
+        "the audit site must exercise the whole dead-logic family"
+    );
+}
+
+/// Two runs over every registry service produce byte-identical reports
+/// — JSON and human rendering — with and without a property. Covers the
+/// slice-backed dead-logic pass, whose fixpoint must not leak any
+/// iteration order into the output.
+#[test]
+fn registry_reports_are_byte_identical_across_runs() {
+    let registry: &[(&str, fn() -> (Service, ServiceSources))] = &[
+        ("audit_site", wave_demo::site::audit_site_with_sources),
+        ("checkout_core", wave_demo::site::checkout_core_with_sources),
+        ("full_site", wave_demo::site::full_site_with_sources),
+        (
+            "navigation",
+            wave_demo::site::navigation_abstraction_with_sources,
+        ),
+    ];
+    let property = parse_property("G true").expect("parses");
+    for (name, build) in registry {
+        for prop in [None, Some(&property)] {
+            let (s1, src1) = build();
+            let (s2, src2) = build();
+            let r1 = lint(&s1, Some(&src1), prop);
+            let r2 = lint(&s2, Some(&src2), prop);
+            assert_eq!(
+                r1.to_json(),
+                r2.to_json(),
+                "{name}: JSON report must be deterministic"
+            );
+            assert_eq!(
+                r1.render_human(Some(&src1)),
+                r2.render_human(Some(&src2)),
+                "{name}: human report must be deterministic"
+            );
+        }
+    }
 }

@@ -20,6 +20,15 @@
 //!   (`nodes_interned`, `dedup_hits`, `successors_memoized`,
 //!   `memo_hits`, `peak_frontier`) must also match the sequential base;
 //!   only wall-clock and prefetch-overlap counters may differ.
+//! * **slice vs full**: the cone-of-influence slicer
+//!   ([`wave_core::slice`]) is on by default in the symbolic engine, so
+//!   the base run is sliced; a `slice: false` leg re-verifies the full
+//!   service sequentially and at every diffed thread count. Both
+//!   conclusive verdicts must agree in kind — the certified-reduction
+//!   claim (DESIGN.md §12) demanded on every generated case — and the
+//!   slice-off threaded runs must stay byte-identical to the slice-off
+//!   sequential run. Counterexamples are replayed against the **full**
+//!   service regardless (the enumerative sweep below never slices).
 //! * **metamorphic permutations**: shuffling rules, declarations, pages
 //!   and database facts must keep the service's canonical
 //!   [`Fingerprint`](wave_logic::fingerprint::Fingerprint) *and* the
@@ -107,6 +116,8 @@ pub enum FlawKind {
     CtlPathDisagree,
     /// An enumerative counterexample failed concrete replay.
     ReplayFailed,
+    /// Cone-of-influence slicing changed a symbolic verdict.
+    SliceDivergence,
 }
 
 /// One confirmed cross-engine disagreement (or oracle failure).
@@ -335,6 +346,70 @@ pub fn run_case(seed: u64, spec: &ServiceSpec, opts: &DiffOptions) -> CaseReport
                 format!("threads={threads}: {e}"),
             ),
         }
+    }
+
+    // Slice-vs-full: the base run above slices (cone-of-influence
+    // reduction is on by default), so re-running with `slice: false`
+    // checks the certified-reduction claim end to end — the full,
+    // unsliced service must reach the same verdict *kind* whenever both
+    // runs are conclusive (witness lassos may differ textually between
+    // the sliced and full state spaces, and either side may exhaust its
+    // node budget first, so only conclusive-kind identity is claimed).
+    // The check repeats at every diffed thread count with forced
+    // overlap, and those slice-off threaded legs must also stay
+    // byte-identical to the slice-off sequential run — the determinism
+    // contract holds in both slicing modes.
+    let full_opts = SymbolicOptions {
+        slice: false,
+        ..sym_opts.clone()
+    };
+    match verify_ltl(&service, &property, &full_opts) {
+        Ok(full) => {
+            if conclusive(&full.verdict)
+                && conclusive(&base.verdict)
+                && kind(&full.verdict) != kind(&base.verdict)
+            {
+                flaw(
+                    &mut report,
+                    FlawKind::SliceDivergence,
+                    format!(
+                        "sliced verdict {} vs full {} (slice dropped {} rules, {} relations)",
+                        kind(&base.verdict),
+                        kind(&full.verdict),
+                        base.stats.sliced_rules,
+                        base.stats.sliced_relations
+                    ),
+                );
+            }
+            for &threads in &opts.threads {
+                let t_opts = SymbolicOptions {
+                    threads,
+                    force_overlap: true,
+                    ..full_opts.clone()
+                };
+                match verify_ltl(&service, &property, &t_opts) {
+                    Ok(out) if out.verdict == full.verdict => {}
+                    Ok(out) => flaw(
+                        &mut report,
+                        FlawKind::SliceDivergence,
+                        format!(
+                            "slice off, threads={threads}: {:?} vs sequential {:?}",
+                            out.verdict, full.verdict
+                        ),
+                    ),
+                    Err(e) => flaw(
+                        &mut report,
+                        FlawKind::EngineError,
+                        format!("slice off, threads={threads}: {e}"),
+                    ),
+                }
+            }
+        }
+        Err(e) => flaw(
+            &mut report,
+            FlawKind::EngineError,
+            format!("slice off: {e}"),
+        ),
     }
 
     // Permutation metamorphosis: same fingerprint, same verdict kind.
@@ -624,6 +699,39 @@ mod tests {
         assert!(report.clean(), "{:?}", report.flaws);
         assert_eq!(report.sym, "violated", "needs a database with r0(\"k\")");
         assert_eq!(report.class, "FullyPropositional", "rules never touch r0");
+    }
+
+    /// A spec with deliberate dead logic — an unreachable page writing a
+    /// state prop nothing reads — must slice (the base run drops rules)
+    /// and still come back clean: the slice-off leg agrees in kind and
+    /// in its own thread determinism.
+    #[test]
+    fn dead_logic_case_slices_and_stays_clean() {
+        let mut spec = toggle_spec();
+        spec.state_props = vec!["audit".into()];
+        spec.pages.push(PageSpec {
+            name: "P2".into(),
+            solicits: vec!["g0".into()],
+            inserts: vec![RuleSpec {
+                rel: "audit".into(),
+                vars: vec![],
+                body: "g0".into(),
+            }],
+            targets: vec![("P0".into(), "g0".into())],
+            ..PageSpec::default()
+        });
+        let opts = DiffOptions::default();
+        let report = run_case(0, &spec, &opts);
+        assert!(report.clean(), "{:?}", report.flaws);
+        assert_eq!(report.sym, "holds");
+        // The base run really sliced: P2's rules and `audit` are outside
+        // the property cone, so the differential leg compared two
+        // genuinely different searches.
+        let (service, _) = spec.build().unwrap();
+        let property = parse_property(&spec.property).unwrap();
+        let out = verify_ltl(&service, &property, &SymbolicOptions::default()).unwrap();
+        assert!(out.stats.sliced_rules > 0, "expected a non-identity slice");
+        assert!(out.stats.sliced_relations > 0);
     }
 
     #[test]

@@ -265,6 +265,11 @@ pub fn stats_to_json(s: &SearchStats) -> Json {
         ("peak_frontier".into(), Json::Int(s.peak_frontier as i64)),
         ("prefetched".into(), Json::Int(s.prefetched as i64)),
         ("prefetch_hits".into(), Json::Int(s.prefetch_hits as i64)),
+        ("sliced_rules".into(), Json::Int(s.sliced_rules as i64)),
+        (
+            "sliced_relations".into(),
+            Json::Int(s.sliced_relations as i64),
+        ),
         (
             "search_wall_us".into(),
             Json::Int(duration_to_us(s.search_wall)),
@@ -287,6 +292,8 @@ pub fn stats_from_json(v: &Json) -> Result<SearchStats, DecodeError> {
         peak_frontier: int("peak_frontier")? as usize,
         prefetched: int("prefetched")? as usize,
         prefetch_hits: int("prefetch_hits")? as u64,
+        sliced_rules: int("sliced_rules")? as usize,
+        sliced_relations: int("sliced_relations")? as usize,
         search_wall: us_to_duration(int("search_wall_us")?),
     })
 }
@@ -385,6 +392,8 @@ mod tests {
             peak_frontier: 4,
             prefetched: 6,
             prefetch_hits: 5,
+            sliced_rules: 2,
+            sliced_relations: 1,
             search_wall: Duration::from_micros(987_654),
         };
         vec![

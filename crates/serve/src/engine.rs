@@ -244,6 +244,13 @@ pub struct Counters {
     /// Replicated results rejected by validation (corrupt, non-canonical
     /// or non-cacheable bytes).
     pub replicated_dropped: AtomicU64,
+    /// Rules removed by property-directed slicing, summed over every
+    /// cold verification this node ran (cache hits replay the stored
+    /// outcome and do not re-count).
+    pub sliced_rules_total: AtomicU64,
+    /// Relations removed by property-directed slicing, summed over
+    /// every cold verification this node ran.
+    pub sliced_relations_total: AtomicU64,
 }
 
 /// State of one in-flight verification slot.
@@ -353,7 +360,9 @@ pub fn request_fingerprint(
     }
     .normalized();
     let mut h = Fnv128::new();
-    h.write_str("wave-serve/fp/v1");
+    // v2: outcome stats gained sliced_rules/sliced_relations, so bytes
+    // persisted under v1 no longer decode — never replay them.
+    h.write_str("wave-serve/fp/v2");
     service.canon(&mut h);
     match mode {
         Mode::Ltl => {
@@ -844,6 +853,13 @@ impl Engine {
             }
             Ok(r) => r.map_err(|e| SubmitError::Verifier(e.to_string()))?,
         };
+
+        self.counters
+            .sliced_rules_total
+            .fetch_add(outcome.stats.sliced_rules as u64, Ordering::Relaxed);
+        self.counters
+            .sliced_relations_total
+            .fetch_add(outcome.stats.sliced_relations as u64, Ordering::Relaxed);
 
         let bytes = outcome_to_json(&outcome).encode().into_bytes();
         if outcome.verdict == Verdict::Cancelled {

@@ -23,6 +23,7 @@ pub fn resolve(name: &str) -> Option<Service> {
 /// (enables span-carrying lint diagnostics in admission refusals).
 pub fn resolve_with_sources(name: &str) -> Option<(Service, ServiceSources)> {
     match name {
+        "audit_site" => Some(wave_demo::site::audit_site_with_sources()),
         "checkout_bench" => Some(wave_demo::site::checkout_bench_with_sources()),
         "checkout_core" => Some(wave_demo::site::checkout_core_with_sources()),
         "full_site" => Some(wave_demo::site::full_site_with_sources()),
@@ -37,6 +38,7 @@ pub fn resolve_with_sources(name: &str) -> Option<(Service, ServiceSources)> {
 /// All registered names, for error messages and the `stats` report.
 pub fn names() -> &'static [&'static str] {
     &[
+        "audit_site",
         "checkout_bench",
         "checkout_core",
         "full_site",

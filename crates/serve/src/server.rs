@@ -106,6 +106,14 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                             "replicated_dropped".into(),
                             Json::Int(c.replicated_dropped.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "sliced_rules_total".into(),
+                            Json::Int(c.sliced_rules_total.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "sliced_relations_total".into(),
+                            Json::Int(c.sliced_relations_total.load(Ordering::Relaxed) as i64),
+                        ),
                         ("draining".into(), Json::Bool(engine.is_draining())),
                         ("in_flight".into(), Json::Int(engine.in_flight() as i64)),
                         ("queued".into(), Json::Int(engine.queued() as i64)),
@@ -382,6 +390,8 @@ mod tests {
             "replicated_applied",
             "replicated_refreshed",
             "replicated_dropped",
+            "sliced_rules_total",
+            "sliced_relations_total",
             "queued",
             "running",
         ] {

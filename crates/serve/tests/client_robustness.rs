@@ -20,7 +20,7 @@ fn canned_response() -> String {
         "\"outcome\":{\"verdict\":{\"kind\":\"limit_reached\"},",
         "\"stats\":{\"nodes_interned\":1,\"dedup_hits\":0,\"successors_memoized\":1,",
         "\"memo_hits\":0,\"peak_frontier\":1,\"prefetched\":0,\"prefetch_hits\":0,",
-        "\"search_wall_us\":20}}}"
+        "\"sliced_rules\":0,\"sliced_relations\":0,\"search_wall_us\":20}}}"
     )
     .to_string()
 }

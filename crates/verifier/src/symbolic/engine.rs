@@ -93,6 +93,14 @@ pub struct SymbolicOptions {
     /// token surfaces as [`Verdict::Cancelled`] — never a panic. The
     /// default ([`CancelToken::never`]) costs nothing to poll.
     pub cancel: CancelToken,
+    /// Run the cone-of-influence slicer (`wave_core::slice`) between
+    /// admission and search: rules, pages and relations the property and
+    /// the control flow provably cannot observe are removed before the
+    /// state space is built. Verdict-preserving (DESIGN.md §12, enforced
+    /// by wave-qa's `SliceDivergence` leg); on by default. The slicer
+    /// refuses by itself where its argument does not apply, so disabling
+    /// this is only useful for differential testing.
+    pub slice: bool,
 }
 
 impl Default for SymbolicOptions {
@@ -102,6 +110,7 @@ impl Default for SymbolicOptions {
             threads: 1,
             force_overlap: false,
             cancel: CancelToken::never(),
+            slice: true,
         }
     }
 }
@@ -132,6 +141,7 @@ impl SymbolicOptions {
             },
             force_overlap: self.force_overlap,
             cancel: self.cancel.clone(),
+            slice: self.slice,
         }
     }
 
@@ -262,6 +272,26 @@ pub fn verify_ltl(
     property
         .check_input_bounded(&service.schema)
         .map_err(SymbolicError::PropertyNotInputBounded)?;
+
+    // Cone-of-influence slicing, after admission (so refusals and blame
+    // always speak about the service as submitted) and before the state
+    // space is built. Dropping rules can only *remove* input-boundedness
+    // violations, so the sliced service stays admitted. The slicer
+    // refuses (identity slice) wherever its soundness argument does not
+    // apply — see `wave_core::slice` and DESIGN.md §12.
+    let sliced = if opts.slice {
+        Some(wave_core::slice::slice(service, property))
+    } else {
+        None
+    };
+    let (service, sliced_rules, sliced_relations) = match &sliced {
+        Some(r) => (
+            &r.service,
+            r.report.sliced_rules(),
+            r.report.sliced_relations(),
+        ),
+        None => (service, 0, 0),
+    };
 
     // ¬φ as a Büchi automaton over FO components.
     let mut table = FoAbstraction::default();
@@ -427,6 +457,9 @@ pub fn verify_ltl(
         SearchResult::LimitReached { .. } => Verdict::LimitReached,
         SearchResult::Cancelled => Verdict::Cancelled,
     };
+    let mut stats = stats;
+    stats.sliced_rules = sliced_rules;
+    stats.sliced_relations = sliced_relations;
     Ok(VerifyOutcome { verdict, stats })
 }
 
@@ -680,6 +713,11 @@ pub fn is_error_free(
         prefetched: 0,
         prefetch_hits: 0,
         search_wall: t0.elapsed(),
+        // Error-freeness is never sliced: every rule can influence the
+        // error conditions (ambiguous/dead targets, constant provision),
+        // so the cone is the whole service by definition.
+        sliced_rules: 0,
+        sliced_relations: 0,
     };
     let witness = |interner: &Interner<SymConfig>, parent: &[Option<u32>], id: u32| {
         let mut path = Vec::new();
@@ -1070,6 +1108,7 @@ mod tests {
             force_overlap: true,
             node_limit: 1, // also exhausted: Cancelled must still win
             cancel,
+            slice: true,
         };
         let out = verify_ltl(&s, &p, &opts).unwrap();
         canceller.join().unwrap();
@@ -1087,6 +1126,7 @@ mod tests {
             force_overlap: true,
             node_limit: 1,
             cancel: fired,
+            slice: true,
         };
         let out2 = verify_ltl(&s, &p, &opts2).unwrap();
         assert_eq!(out2.verdict, Verdict::Cancelled, "{out2:?}");
@@ -1237,5 +1277,107 @@ mod tests {
             out.stats.successors_memoized
         );
         assert_eq!(warm.stats.memo_hits, out.stats.memo_hits);
+    }
+
+    /// The login service plus dead logic nothing observes: an unreachable
+    /// admin page, a write-only audit state, and an unread noise input.
+    fn login_with_dead_logic() -> Service {
+        let mut b = ServiceBuilder::new("HP");
+        b.database_relation("user", 2)
+            .input_relation("button", 1)
+            .input_relation("noise", 0)
+            .state_prop("logged_in")
+            .state_prop("audited")
+            .input_constant("name")
+            .input_constant("password")
+            .page("HP")
+            .solicit_constant("name")
+            .solicit_constant("password")
+            .input_rule("button", &["x"], r#"x = "login""#)
+            .input_prop_on_page("noise")
+            .insert_rule(
+                "logged_in",
+                &[],
+                r#"user(name, password) & button("login")"#,
+            )
+            .insert_rule("audited", &[], "noise")
+            .target("CP", r#"user(name, password) & button("login")"#)
+            .page("CP")
+            .page("ADMIN")
+            .insert_rule("audited", &[], "true")
+            .target("HP", "true");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn slicing_preserves_verdicts_and_shrinks_the_search() {
+        let s = login_with_dead_logic();
+        let off = SymbolicOptions {
+            slice: false,
+            ..SymbolicOptions::default()
+        };
+        for prop in ["G (!CP | logged_in)", "G !CP", "F CP"] {
+            let p = parse_property(prop).unwrap();
+            let sliced = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+            let full = verify_ltl(&s, &p, &off).unwrap();
+            assert_eq!(
+                std::mem::discriminant(&sliced.verdict),
+                std::mem::discriminant(&full.verdict),
+                "slice changed the verdict on {prop}: {sliced:?} vs {full:?}"
+            );
+            assert!(sliced.stats.sliced_rules > 0, "{prop}: nothing sliced");
+            assert!(sliced.stats.sliced_relations > 0);
+            assert_eq!(full.stats.sliced_rules, 0);
+            assert!(
+                sliced.stats.nodes_interned < full.stats.nodes_interned,
+                "{prop}: slicing did not shrink the space \
+                 ({} vs {})",
+                sliced.stats.nodes_interned,
+                full.stats.nodes_interned
+            );
+        }
+    }
+
+    #[test]
+    fn slicing_keeps_observed_dead_logic() {
+        // A property observing the "dead" audit state keeps it in the
+        // cone — and both configurations agree it can become true via
+        // the noise input.
+        let s = login_with_dead_logic();
+        let p = parse_property("G !audited").unwrap();
+        let sliced = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        let full = verify_ltl(
+            &s,
+            &p,
+            &SymbolicOptions {
+                slice: false,
+                ..SymbolicOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(sliced.violated(), "{sliced:?}");
+        assert!(full.violated(), "{full:?}");
+    }
+
+    #[test]
+    fn slicing_is_identity_on_minimal_services() {
+        // Every symbol of the toggle is in the cone of `G (P | Q)`:
+        // slicing must change nothing, including the structural stats.
+        let s = toggle();
+        let p = parse_property("G (P | Q)").unwrap();
+        let sliced = verify_ltl(&s, &p, &SymbolicOptions::default()).unwrap();
+        let full = verify_ltl(
+            &s,
+            &p,
+            &SymbolicOptions {
+                slice: false,
+                ..SymbolicOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sliced.verdict, full.verdict);
+        assert_eq!(sliced.stats.nodes_interned, full.stats.nodes_interned);
+        assert_eq!(sliced.stats.sliced_rules, 0);
+        assert_eq!(sliced.stats.sliced_relations, 0);
     }
 }
