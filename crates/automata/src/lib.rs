@@ -16,6 +16,8 @@
 //! * [`search`] — accepting-lasso search over implicit product graphs on
 //!   interned ids, as nested DFS and as Tarjan SCC decomposition (the
 //!   engine behind Theorem 3.5's periodic-run check).
+//! * [`store`] — a keyed cache of LTL→Büchi translations with a
+//!   deterministic byte codec, for incremental re-verification hosts.
 //! * [`kripke`] — explicit Kripke structures (Definition A.4).
 //! * [`pformula`] — propositional CTL\* syntax.
 //! * [`ctl_mc`] — the standard CTL labeling model checker (Lemma A.12 /
@@ -40,6 +42,7 @@ pub mod pformula;
 pub mod pltl;
 pub mod props;
 pub mod search;
+pub mod store;
 
 pub use buchi::Buchi;
 pub use cancel::CancelToken;

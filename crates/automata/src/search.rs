@@ -57,6 +57,12 @@ pub struct SearchStats {
     pub sliced_rules: usize,
     /// Schema relations removed by the cone-of-influence slicer.
     pub sliced_relations: usize,
+    /// True when the verdict was replayed from a digest-keyed
+    /// incremental tier instead of being searched for: the submitted
+    /// property's cone-sliced service matched a previously verified
+    /// one, so the prior verdict bytes were returned without consuming
+    /// any search budget (every search counter above is zero).
+    pub incremental: bool,
 }
 
 impl std::fmt::Display for SearchStats {
@@ -64,7 +70,7 @@ impl std::fmt::Display for SearchStats {
         write!(
             f,
             "interned {} (dedup {}), memoized {} (hits {}), peak frontier {}, \
-             prefetched {} (hits {}), sliced {} rules / {} relations, search {:?}",
+             prefetched {} (hits {}), sliced {} rules / {} relations, search {:?}{}",
             self.nodes_interned,
             self.dedup_hits,
             self.successors_memoized,
@@ -75,6 +81,11 @@ impl std::fmt::Display for SearchStats {
             self.sliced_rules,
             self.sliced_relations,
             self.search_wall,
+            if self.incremental {
+                " [incremental replay]"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -201,6 +212,7 @@ where
             search_wall: started.elapsed(),
             sliced_rules: 0,
             sliced_relations: 0,
+            incremental: false,
         }
     }
 

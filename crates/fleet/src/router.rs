@@ -244,7 +244,7 @@ impl Router {
         let Some(path) = &dead.journal else {
             return;
         };
-        let (lines, _) = tail_lines(path, 0);
+        let (lines, _) = tail_lines(path, wave_serve::cache::JournalCursor::default());
         if lines.is_empty() || survivors.is_empty() {
             return;
         }

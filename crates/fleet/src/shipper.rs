@@ -9,10 +9,19 @@
 //! idempotent: re-sending a window, crossing a compaction, or racing a
 //! concurrent writer can duplicate work but never corrupt a cache.
 //!
-//! Offsets are tracked per `(source, peer)` pair and only advance after
-//! a successful ship to that peer, so a peer that misses a round (drop
-//! fault, dead socket) catches up on the next tick instead of silently
-//! losing the window.
+//! Cursors (journal generation + byte offset, see
+//! [`JournalCursor`](wave_serve::cache::JournalCursor)) are tracked per
+//! `(source, peer)` pair and only advance after a successful ship to
+//! that peer, so a peer that misses a round (drop fault, dead socket)
+//! catches up on the next tick instead of silently losing the window.
+//! The generation stamp — bumped by every journal compaction, read from
+//! the `.gen` sidecar next to the journal — is what makes resuming
+//! sound: a compaction rewrites the file, so a stale byte offset points
+//! into different content, and when later appends regrow the file past
+//! the old offset a length check alone would resume mid-stream and
+//! silently skip every record between the rewrite start and the stale
+//! offset. A generation mismatch restarts at byte 0 instead; the
+//! receiver skips byte-identical records, so over-shipping is free.
 
 use std::collections::HashMap;
 use std::fs;
@@ -22,21 +31,27 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use wave_serve::cache::{read_generation, JournalCursor};
 use wave_serve::client::TcpClient;
 use wave_serve::faults::{Fault, Faults, Hook};
 
 use crate::router::Router;
 
 /// Reads the complete (newline-terminated) journal lines at or after
-/// byte offset `from`, returning them with the offset just past the
-/// last complete line. A file shorter than `from` (compaction rewrote
-/// it) restarts from 0. Partial trailing lines — a writer mid-append,
-/// or a crash mid-write — are left for the next call.
-pub fn tail_lines(path: &Path, from: usize) -> (Vec<String>, usize) {
+/// the cursor, returning them with the cursor just past the last
+/// complete line. The cursor restarts at byte 0 when the journal's
+/// generation stamp (the `.gen` sidecar) no longer matches — a
+/// compaction rewrote the file, whatever its current length — or, for
+/// journals without a sidecar, when the file is shorter than the
+/// offset. Partial trailing lines — a writer mid-append, or a crash
+/// mid-write — are left for the next call.
+pub fn tail_lines(path: &Path, cursor: JournalCursor) -> (Vec<String>, JournalCursor) {
     let Ok(bytes) = fs::read(path) else {
-        return (Vec::new(), from);
+        return (Vec::new(), cursor);
     };
-    let from = if from > bytes.len() { 0 } else { from };
+    let generation = read_generation(path);
+    let stale = cursor.generation != generation || cursor.offset > bytes.len();
+    let from = if stale { 0 } else { cursor.offset };
     let mut lines = Vec::new();
     let mut at = from;
     let mut line_start = from;
@@ -53,7 +68,13 @@ pub fn tail_lines(path: &Path, from: usize) -> (Vec<String>, usize) {
         }
         at += 1;
     }
-    (lines, line_start)
+    (
+        lines,
+        JournalCursor {
+            generation,
+            offset: line_start,
+        },
+    )
 }
 
 /// A background replication pump over a router's node set.
@@ -75,9 +96,9 @@ impl Shipper {
         let handle = std::thread::Builder::new()
             .name("fleet-shipper".into())
             .spawn(move || {
-                // Offset per (source node, peer node): a peer only
+                // Cursor per (source node, peer node): a peer only
                 // advances past bytes it has acknowledged.
-                let mut offsets: HashMap<(u32, u32), usize> = HashMap::new();
+                let mut offsets: HashMap<(u32, u32), JournalCursor> = HashMap::new();
                 while !stop2.load(Ordering::Relaxed) {
                     Shipper::tick(&router, &faults, &mut offsets, &shipped2);
                     std::thread::sleep(interval);
@@ -99,7 +120,7 @@ impl Shipper {
     fn tick(
         router: &Router,
         faults: &Faults,
-        offsets: &mut HashMap<(u32, u32), usize>,
+        offsets: &mut HashMap<(u32, u32), JournalCursor>,
         shipped: &AtomicU64,
     ) {
         let nodes = router.nodes();
@@ -112,7 +133,7 @@ impl Shipper {
                     continue;
                 }
                 let key = (source.id, peer.id);
-                let from = *offsets.get(&key).unwrap_or(&0);
+                let from = offsets.get(&key).copied().unwrap_or_default();
                 let (lines, next) = tail_lines(journal, from);
                 if lines.is_empty() {
                     offsets.insert(key, next);
@@ -159,30 +180,112 @@ mod tests {
         let path = dir.join("journal.ndjson");
 
         fs::write(&path, "alpha\nbeta\npartial").unwrap();
-        let (lines, off) = tail_lines(&path, 0);
+        let (lines, cur) = tail_lines(&path, JournalCursor::default());
         assert_eq!(lines, vec!["alpha".to_string(), "beta".to_string()]);
-        assert_eq!(off, "alpha\nbeta\n".len());
+        assert_eq!(cur.offset, "alpha\nbeta\n".len());
 
         // The partial line completes, plus one more full line appears.
         fs::write(&path, "alpha\nbeta\npartial-done\r\ngamma\n").unwrap();
-        let (lines, off2) = tail_lines(&path, off);
+        let (lines, cur2) = tail_lines(&path, cur);
         assert_eq!(
             lines,
             vec!["partial-done".to_string(), "gamma".to_string()],
             "CR must be stripped, resume must not re-read old lines"
         );
-        assert_eq!(off2, "alpha\nbeta\npartial-done\r\ngamma\n".len());
+        assert_eq!(cur2.offset, "alpha\nbeta\npartial-done\r\ngamma\n".len());
 
         // Compaction shrinks the file below our offset: restart at 0.
         fs::write(&path, "small\n").unwrap();
-        let (lines, off3) = tail_lines(&path, off2);
+        let (lines, cur3) = tail_lines(&path, cur2);
         assert_eq!(lines, vec!["small".to_string()]);
-        assert_eq!(off3, "small\n".len());
+        assert_eq!(cur3.offset, "small\n".len());
 
-        // Missing file: no lines, offset preserved.
-        let (lines, off4) = tail_lines(&dir.join("absent"), 17);
+        // Missing file: no lines, cursor preserved.
+        let absent = JournalCursor {
+            generation: 0,
+            offset: 17,
+        };
+        let (lines, cur4) = tail_lines(&dir.join("absent"), absent);
         assert!(lines.is_empty());
-        assert_eq!(off4, 17);
+        assert_eq!(cur4, absent);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The replication-gap regression: a compaction shrinks the journal,
+    /// later appends regrow it PAST a shipper's stale offset, and the
+    /// length-only staleness check would resume mid-stream — silently
+    /// skipping every record between the rewrite start and the stale
+    /// offset. The generation stamp must force a restart so zero records
+    /// are skipped.
+    #[test]
+    fn compact_then_regrow_ships_every_record() {
+        use std::collections::HashSet;
+        use wave_logic::fingerprint::Fingerprint;
+        use wave_serve::cache::{decode_journal_line, ResultCache};
+
+        let dir = std::env::temp_dir().join(format!("wave-fleet-regrow-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node-0.ndjson");
+        let _ = fs::remove_file(&path);
+
+        let val = |n: usize| format!("{{\"v\":{}}}", 1000 + n).into_bytes();
+        let mut cache = ResultCache::new(64 * 1024).with_persistence(path.clone());
+
+        // Round 1: insert and refresh (the refresh lines are dead
+        // duplicates that the next compaction will drop).
+        for i in 0..6u128 {
+            cache.insert(Fingerprint(i), val(i as usize));
+        }
+        for i in 0..6u128 {
+            cache.insert(Fingerprint(i), val(i as usize));
+        }
+        let mut shipped: HashSet<u128> = HashSet::new();
+        let (lines, cursor) = tail_lines(&path, JournalCursor::default());
+        shipped.extend(
+            lines
+                .iter()
+                .filter_map(|l| decode_journal_line(l))
+                .map(|(fp, _)| fp.0),
+        );
+
+        // Compaction drops the dead lines: the file shrinks below the
+        // shipper's offset...
+        cache.compact_now();
+        let shrunk = fs::metadata(&path).unwrap().len() as usize;
+        assert!(
+            shrunk < cursor.offset,
+            "compaction must shrink below the stale offset ({shrunk} vs {})",
+            cursor.offset
+        );
+        // ...and fresh inserts regrow it past the stale offset, the
+        // exact shape a length check cannot distinguish from "nothing
+        // happened".
+        for i in 6..20u128 {
+            cache.insert(Fingerprint(i), val(i as usize));
+        }
+        assert!(
+            fs::metadata(&path).unwrap().len() as usize > cursor.offset,
+            "appends must regrow the journal past the stale offset"
+        );
+
+        let (lines, cursor2) = tail_lines(&path, cursor);
+        shipped.extend(
+            lines
+                .iter()
+                .filter_map(|l| decode_journal_line(l))
+                .map(|(fp, _)| fp.0),
+        );
+        for i in 0..20u128 {
+            assert!(shipped.contains(&i), "record {i} was silently skipped");
+        }
+        assert!(
+            cursor2.generation > cursor.generation,
+            "compaction must be visible to the tailer as a generation bump"
+        );
+        // Steady state: a repeat tail from the fresh cursor ships nothing.
+        let (lines, _) = tail_lines(&path, cursor2);
+        assert!(lines.is_empty(), "no re-shipping once caught up");
 
         let _ = fs::remove_dir_all(&dir);
     }

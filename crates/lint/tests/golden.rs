@@ -85,7 +85,8 @@ fn audit_site_report_is_byte_stable() {
 /// iteration order into the output.
 #[test]
 fn registry_reports_are_byte_identical_across_runs() {
-    let registry: &[(&str, fn() -> (Service, ServiceSources))] = &[
+    type NamedBuilder = (&'static str, fn() -> (Service, ServiceSources));
+    let registry: &[NamedBuilder] = &[
         ("audit_site", wave_demo::site::audit_site_with_sources),
         ("checkout_core", wave_demo::site::checkout_core_with_sources),
         ("full_site", wave_demo::site::full_site_with_sources),

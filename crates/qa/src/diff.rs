@@ -118,6 +118,9 @@ pub enum FlawKind {
     ReplayFailed,
     /// Cone-of-influence slicing changed a symbolic verdict.
     SliceDivergence,
+    /// A warm engine's digest-keyed incremental answer differed from a
+    /// cold run of the edited service (or a no-op edit searched at all).
+    IncrementalDivergence,
 }
 
 /// One confirmed cross-engine disagreement (or oracle failure).

@@ -193,6 +193,21 @@ fn candidate(rng: &mut SplitMix64) -> ServiceSpec {
     spec
 }
 
+/// A fresh random property over `spec`'s vocabulary — the mutation the
+/// incremental leg ([`crate::inc`]) uses for its property-swap edit.
+/// Assumes the generator's page naming (`P0..Pn`); on a hand-written
+/// spec the result may be inadmissible, which callers must tolerate.
+pub fn random_property(spec: &ServiceSpec, rng: &mut SplitMix64) -> String {
+    property(
+        rng,
+        spec,
+        spec.pages.len(),
+        spec.input_props.len(),
+        spec.state_props.len(),
+        !spec.input_rels.is_empty(),
+    )
+}
+
 /// A random property: mostly a small LTL tree over the propositional
 /// vocabulary; occasionally a quantified data template (Example 3.4
 /// style) when the service carries data flow.

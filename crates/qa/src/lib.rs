@@ -17,6 +17,9 @@
 //! * [`diff`] — the differential driver: every applicable engine, three
 //!   thread counts, permutation and renaming metamorphoses, and
 //!   concrete replay of every counterexample;
+//! * [`inc`] — the incremental leg: seeded edit sequences replayed
+//!   through a warm `wave-serve` engine, demanding byte-identical
+//!   verdicts against cold runs and zero search on no-op edits;
 //! * [`shrink`] — greedy minimization of anything that trips;
 //! * [`spec`] — the data-level service representation with a parseable
 //!   text form, so shrunk repros can be checked in as regression tests.
@@ -30,6 +33,7 @@
 
 pub mod diff;
 pub mod gen;
+pub mod inc;
 pub mod shrink;
 pub mod spec;
 
@@ -51,6 +55,13 @@ pub fn run_seed(seed: u64, opts: &DiffOptions) -> (diff::CaseReport, Option<Serv
     };
     let min = shrink::shrink(&case.spec, &still_fails);
     (report, Some(min))
+}
+
+/// Generates and runs one seed through the incremental leg (no shrink:
+/// the seed itself reproduces the edit sequence exactly).
+pub fn run_inc_seed(seed: u64, opts: &inc::IncOptions) -> inc::IncReport {
+    let case = gen::generate(seed);
+    inc::run_incremental_case(seed, &case.spec, opts)
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The `wave-qa` campaign driver.
 //!
 //! ```text
-//! wave-qa [--seeds N] [--start S] [--budget SECS] [--json]
+//! wave-qa [--seeds N] [--start S] [--budget SECS] [--json] [--incremental]
 //! ```
 //!
 //! Runs seeds `S .. S+N` through the differential oracle until the seed
@@ -10,18 +10,25 @@
 //! the same cases. On any flaw the shrunk repro is printed in the
 //! parseable spec syntax and the exit code is 1 — this is what the CI
 //! `qa-fuzz` job gates on.
+//!
+//! `--incremental` switches to the warm-engine edit-sequence campaign
+//! ([`wave_qa::inc`]): each seed's spec is pushed through a fresh
+//! `wave-serve` engine, then mutated repeatedly, demanding every warm
+//! answer match a cold run byte for byte (the CI `qa-inc` job).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use wave_qa::diff::DiffOptions;
-use wave_qa::run_seed;
+use wave_qa::inc::IncOptions;
+use wave_qa::{run_inc_seed, run_seed};
 
 struct Args {
     seeds: u64,
     start: u64,
     budget_secs: u64,
     json: bool,
+    incremental: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         start: 0,
         budget_secs: 60,
         json: false,
+        incremental: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,14 +52,77 @@ fn parse_args() -> Result<Args, String> {
             "--start" => args.start = num("--start")?,
             "--budget" => args.budget_secs = num("--budget")?,
             "--json" => args.json = true,
+            "--incremental" => args.incremental = true,
             "--help" | "-h" => {
-                println!("usage: wave-qa [--seeds N] [--start S] [--budget SECS] [--json]");
+                println!(
+                    "usage: wave-qa [--seeds N] [--start S] [--budget SECS] [--json] \
+                     [--incremental]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// The `--incremental` campaign loop.
+fn run_incremental(args: &Args) -> ExitCode {
+    let opts = IncOptions::default();
+    let t0 = Instant::now();
+    let mut cases = 0u64;
+    let mut edits = 0u64;
+    let mut skipped = 0u64;
+    let mut cache_hits = 0u64;
+    let mut tier_hits = 0u64;
+    let mut cold_runs = 0u64;
+    let mut flawed: Vec<u64> = Vec::new();
+    let mut out_of_budget = false;
+    for seed in args.start..args.start.saturating_add(args.seeds) {
+        if t0.elapsed().as_secs() >= args.budget_secs {
+            out_of_budget = true;
+            break;
+        }
+        let report = run_inc_seed(seed, &opts);
+        cases += 1;
+        edits += report.edits as u64;
+        skipped += report.skipped as u64;
+        cache_hits += report.cache_hits as u64;
+        tier_hits += report.incremental_hits as u64;
+        cold_runs += report.cold_runs as u64;
+        if !report.clean() {
+            flawed.push(seed);
+            eprintln!(
+                "== seed {seed}: {} incremental flaw(s) ==",
+                report.flaws.len()
+            );
+            for f in &report.flaws {
+                eprintln!("  [{:?}] {}", f.kind, f.detail);
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    if args.json {
+        println!(
+            "{{\"cases\": {cases}, \"edits\": {edits}, \"skipped\": {skipped}, \
+             \"cache_hits\": {cache_hits}, \"tier_hits\": {tier_hits}, \
+             \"cold_runs\": {cold_runs}, \"flawed_seeds\": {flawed:?}, \
+             \"out_of_budget\": {out_of_budget}, \"elapsed_s\": {elapsed:.3}}}"
+        );
+    } else {
+        println!(
+            "wave-qa --incremental: {cases} case(s), {edits} edit(s) ({skipped} skipped); \
+             {cache_hits} cache / {tier_hits} tier / {cold_runs} cold; {} flaw(s); \
+             {elapsed:.1}s{}",
+            flawed.len(),
+            if out_of_budget { " (budget hit)" } else { "" }
+        );
+    }
+    if flawed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -62,6 +133,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.incremental {
+        return run_incremental(&args);
+    }
     let opts = DiffOptions::default();
     let t0 = Instant::now();
     let mut cases = 0u64;

@@ -66,6 +66,11 @@ pub struct ResultCache {
     persist: Option<PathBuf>,
     /// Bytes currently in the journal file (live + dead lines).
     journal_bytes: usize,
+    /// Journal generation: bumped on every compaction rewrite (load-time
+    /// and growth/forced), stamped into a sidecar file so shippers that
+    /// tail the journal from outside this process can detect a rewrite
+    /// even when later appends regrow the file past their stale offset.
+    generation: u64,
     /// Journal rewrites triggered by the growth bound.
     compactions: u64,
     /// Records successfully loaded from the journal (last load).
@@ -99,6 +104,7 @@ impl ResultCache {
             evictions: 0,
             persist: None,
             journal_bytes: 0,
+            generation: 0,
             compactions: 0,
             recovered_records: 0,
             dropped_records: 0,
@@ -145,9 +151,16 @@ impl ResultCache {
         // Compact: rewrite surviving entries oldest-first, atomically.
         self.persist = Some(path.clone());
         self.journal_bytes = on_disk;
+        // Adopt the on-disk generation so a cursor taken against the old
+        // process stays comparable; the load-time rewrite below bumps it.
+        self.generation = read_generation(&path);
         let lines = self.compacted_journal();
         match self.rewrite_journal(&path, &lines) {
-            Rewrite::Done => self.journal_bytes = lines.len(),
+            Rewrite::Done => {
+                self.journal_bytes = lines.len();
+                self.generation += 1;
+                write_generation(&path, self.generation);
+            }
             Rewrite::Aborted => {} // old journal intact, keep appending to it
             Rewrite::IoError => self.persist = None,
         }
@@ -240,6 +253,8 @@ impl ResultCache {
             Rewrite::Done => {
                 self.journal_bytes = lines.len();
                 self.compactions += 1;
+                self.generation += 1;
+                write_generation(&path, self.generation);
             }
             Rewrite::Aborted => {}
             Rewrite::IoError => self.persist = None,
@@ -308,22 +323,53 @@ impl ResultCache {
             .is_some_and(|(stored, _)| stored.as_slice() == bytes)
     }
 
-    /// Complete (newline-terminated) journal lines starting at byte
-    /// offset `from_byte`, plus the offset just past the last complete
-    /// line — the fleet shipper's incremental tail. An offset past the
-    /// end of the file (compaction shrank the journal) restarts from
-    /// zero. Without persistence, synthesizes the compacted journal and
-    /// reports its full length as the offset, so an unchanged cache
-    /// ships nothing twice.
-    pub fn export_journal_lines(&self, from_byte: usize) -> (Vec<String>, usize) {
-        let data = match &self.persist {
+    /// The current journal generation (bumped on every compaction
+    /// rewrite; 0 before the first one).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Every cached entry, in unspecified order, without refreshing
+    /// recency. The incremental tier store uses this to seed in-memory
+    /// indices (e.g. the automaton cache) from a freshly loaded journal.
+    pub fn entries(&self) -> impl Iterator<Item = (Fingerprint, &[u8])> {
+        self.map
+            .iter()
+            .map(|(fp, (bytes, _))| (Fingerprint(*fp), bytes.as_slice()))
+    }
+
+    /// Complete (newline-terminated) journal lines starting at the
+    /// cursor, plus the cursor just past the last complete line — the
+    /// fleet shipper's incremental tail. A cursor from an older
+    /// generation restarts from byte zero: compaction rewrote the file,
+    /// so a byte offset into the old content is meaningless even when
+    /// later appends have regrown the file past it (resuming there
+    /// would silently skip the records between the rewrite start and
+    /// the stale offset). An offset past the end of the file also
+    /// restarts — a belt-and-braces guard for journals without a
+    /// generation sidecar. Without persistence, synthesizes the
+    /// compacted journal, stamped with the mutation tick as its
+    /// generation: any get/insert reorders the synthetic content, so
+    /// any change restarts the export (over-shipping is idempotent on
+    /// the receiver; skipping is not).
+    pub fn export_journal_lines(&self, cursor: JournalCursor) -> (Vec<String>, JournalCursor) {
+        let (data, generation) = match &self.persist {
             Some(path) => match std::fs::read(path) {
-                Ok(d) => d,
-                Err(_) => return (Vec::new(), 0),
+                Ok(d) => (d, self.generation),
+                Err(_) => {
+                    return (
+                        Vec::new(),
+                        JournalCursor {
+                            generation: self.generation,
+                            offset: 0,
+                        },
+                    )
+                }
             },
-            None => self.compacted_journal().into_bytes(),
+            None => (self.compacted_journal().into_bytes(), self.tick),
         };
-        let mut at = if from_byte > data.len() { 0 } else { from_byte };
+        let stale = cursor.generation != generation || cursor.offset > data.len();
+        let mut at = if stale { 0 } else { cursor.offset };
         let mut lines = Vec::new();
         while let Some(pos) = data[at..].iter().position(|&b| b == b'\n') {
             let raw = &data[at..at + pos];
@@ -341,7 +387,13 @@ impl ResultCache {
                 lines.push(s.to_string());
             }
         }
-        (lines, at)
+        (
+            lines,
+            JournalCursor {
+                generation,
+                offset: at,
+            },
+        )
     }
 
     /// Looks up a fingerprint, refreshing its recency. Returns the
@@ -415,7 +467,11 @@ impl ResultCache {
     }
 
     /// In-memory half of [`ResultCache::insert`]; returns whether the
-    /// value was stored.
+    /// value was stored. A same-fingerprint reinsert subtracts the old
+    /// entry's length before adding the new one, so `bytes` is always
+    /// the exact sum of stored value lengths — pinned against a
+    /// reference model (including varying-size same-key overwrites) by
+    /// `property_budget_never_exceeded_and_lru_survives_refresh`.
     fn insert_in_memory(&mut self, fp: Fingerprint, value: Vec<u8>) -> bool {
         if value.len() > self.budget {
             return false;
@@ -443,6 +499,53 @@ impl ResultCache {
             self.evictions += 1;
         }
         true
+    }
+}
+
+/// A shipper's resume point into a journal: the byte `offset` is valid
+/// only while the journal is still at `generation`. Every compaction
+/// rewrites the file and bumps the generation; a cursor carrying an
+/// older generation restarts at byte 0. Restarting over-ships (safe —
+/// the replication receiver skips byte-identical records), whereas
+/// resuming a stale offset into rewritten content silently skips every
+/// record between the new start and the old offset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalCursor {
+    /// Journal generation the offset was taken against.
+    pub generation: u64,
+    /// Byte offset just past the last complete line consumed.
+    pub offset: usize,
+}
+
+/// The sidecar path holding `journal`'s generation stamp (the journal
+/// path with `.gen` appended). A sidecar — not an in-file header —
+/// because shippers forward journal lines verbatim to the replication
+/// receiver, and a header line would arrive there as a permanently
+/// re-shipped undecodable frame.
+pub fn generation_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".gen");
+    PathBuf::from(os)
+}
+
+/// The generation stamped next to `journal`; 0 when the sidecar is
+/// absent or unreadable (pre-stamp journals tail with the length-check
+/// fallback only).
+pub fn read_generation(journal: &Path) -> u64 {
+    std::fs::read_to_string(generation_path(journal))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Atomically (write-temp-then-rename) stamps `generation` next to
+/// `journal`. Best effort: a failed stamp leaves the old one, which
+/// only makes tailing shippers restart from zero — never skip.
+fn write_generation(journal: &Path, generation: u64) {
+    let target = generation_path(journal);
+    let tmp = target.with_extension("gen.tmp");
+    if std::fs::write(&tmp, format!("{generation}\n")).is_ok() {
+        let _ = std::fs::rename(&tmp, &target);
     }
 }
 
@@ -561,6 +664,8 @@ mod tests {
     fn cleanup(dir: &Path, path: &Path) {
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(path.with_extension("ndjson.tmp"));
+        let _ = std::fs::remove_file(generation_path(path));
+        let _ = std::fs::remove_file(generation_path(path).with_extension("gen.tmp"));
         let _ = std::fs::remove_dir(dir);
     }
 
@@ -627,8 +732,18 @@ mod tests {
             let mut c = ResultCache::new(budget);
             // Shadow model: LRU order as a vector of (fp, len).
             let mut model: Vec<(u128, usize)> = Vec::new();
+            let mut last_key: u128 = 0;
             for _ in 0..200 {
-                let key = rng.gen_range(0u64..12) as u128;
+                // Bias towards the previous key so same-fingerprint
+                // reinserts with different-length bytes (the accounting
+                // path that subtracts the old entry before adding the
+                // new) are exercised back to back, not just by chance.
+                let key = if rng.gen_bool(0.25) {
+                    last_key
+                } else {
+                    rng.gen_range(0u64..12) as u128
+                };
+                last_key = key;
                 if rng.gen_bool(0.3) {
                     // A get refreshes recency iff present.
                     let hit = c.get(fp(key)).is_some();
@@ -661,12 +776,73 @@ mod tests {
                     c.bytes()
                 );
                 assert_eq!(
+                    c.bytes(),
+                    model.iter().map(|(_, l)| *l).sum::<usize>(),
+                    "case {case}: byte accounting drifted from the model"
+                );
+                assert_eq!(
                     lru_order(&c),
                     model.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
                     "case {case}: LRU order corrupted"
                 );
             }
         }
+    }
+
+    #[test]
+    fn export_cursor_restarts_after_compaction_even_when_file_regrows() {
+        let (dir, path) = temp_path("gencursor");
+        let val = |n: usize| format!("{{\"v\":{}}}", 1000 + n).into_bytes(); // 10 bytes
+        let mut c = ResultCache::new(4096).with_persistence(path.clone());
+        // Insert then refresh every entry: the journal holds 8 lines, 4
+        // of them dead duplicates.
+        for i in 0..4 {
+            c.insert(fp(i), val(i as usize));
+        }
+        for i in 0..4 {
+            c.insert(fp(i), val(i as usize));
+        }
+        // Tail to the end: the cursor now sits past the dead lines.
+        let (first, cur) = c.export_journal_lines(JournalCursor::default());
+        assert_eq!(first.len(), 8);
+        assert_eq!(cur.generation, c.generation());
+        // Compact (drops the 4 dead lines, shrinking below the cursor),
+        // then insert enough fresh entries to regrow the file PAST the
+        // stale offset — the exact shape the length-only check missed.
+        c.compact_now();
+        let shrunk = std::fs::metadata(&path).unwrap().len() as usize;
+        assert!(
+            shrunk < cur.offset,
+            "compaction must shrink below the cursor"
+        );
+        for i in 4..12 {
+            c.insert(fp(i), val(i as usize));
+        }
+        assert!(
+            std::fs::metadata(&path).unwrap().len() as usize > cur.offset,
+            "appends must regrow the file past the stale offset"
+        );
+        // The stale cursor must restart at zero: every live record ships.
+        let (again, cur2) = c.export_journal_lines(cur);
+        let shipped: std::collections::HashSet<u128> = again
+            .iter()
+            .filter_map(|l| decode_journal_line(l))
+            .map(|(f, _)| f.0)
+            .collect();
+        for i in 0..12u128 {
+            assert!(shipped.contains(&i), "record {i} skipped after compaction");
+        }
+        assert_eq!(cur2.generation, c.generation());
+        assert!(
+            cur2.generation > cur.generation,
+            "compaction bumps generation"
+        );
+        // And the sidecar agrees, so out-of-process tailers see it too.
+        assert_eq!(read_generation(&path), c.generation());
+        // A repeat tail from the fresh cursor ships nothing twice.
+        let (nothing, _) = c.export_journal_lines(cur2);
+        assert!(nothing.is_empty());
+        cleanup(&dir, &path);
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct VerifyReply {
     pub fingerprint: Fingerprint,
     /// Whether the cache served the outcome.
     pub cache_hit: bool,
+    /// Whether the verdict replayed from the incremental tier (a
+    /// digest-keyed reuse across an out-of-cone edit; `false` when the
+    /// server predates the field).
+    pub incremental: bool,
     /// The decidable class admission control reported (wire name, e.g.
     /// `"input_bounded"`); empty when talking to a server that predates
     /// the field.
@@ -159,6 +163,10 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
         .get("cache_hit")
         .and_then(Json::as_bool)
         .ok_or_else(|| ClientError::Protocol("missing cache_hit".into()))?;
+    let incremental = v
+        .get("incremental")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
     let class = v
         .get("class")
         .and_then(Json::as_str)
@@ -180,6 +188,7 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
     Ok(VerifyReply {
         fingerprint,
         cache_hit,
+        incremental,
         class,
         shard,
         coalesced_waiters,
@@ -317,17 +326,26 @@ fn retry_loop(
             return Err(err);
         }
         // Decorrelated jitter (Brooker): sleep ~ U[base, prev*3],
-        // clamped to the cap; a server hint raises the floor.
+        // clamped to the cap; a server hint raises the floor (a
+        // shedding server knows its own recovery time, so the hint may
+        // legitimately exceed the per-sleep cap).
         let lo = policy.base.as_millis().max(1) as u64;
         let hi = prev.as_millis().saturating_mul(3).max(lo as u128 + 1) as u64;
         let mut sleep_ms = rng.gen_range(lo..hi).min(policy.cap.as_millis() as u64);
         if let ClientError::RetryAfter { after_ms } = &err {
             sleep_ms = sleep_ms.max(*after_ms);
         }
-        let sleep = Duration::from_millis(sleep_ms);
-        if slept + sleep > policy.budget {
-            // Budget exhausted: surface the real failure rather than
-            // sleeping past what the caller allowed.
+        // Clamp every sleep — hint-driven or jittered — to the budget
+        // that is actually left. Without the clamp a `retry_after_ms`
+        // hint larger than the remaining budget would either sleep the
+        // client past its own deadline or (checked up front) burn the
+        // whole remaining budget deciding not to sleep; with it, the
+        // client sleeps at most what the caller allowed and spends the
+        // final slice on one last attempt. When nothing is left, fail
+        // fast with the real error instead of a zero-length sleep loop.
+        let remaining = policy.budget.saturating_sub(slept);
+        let sleep = Duration::from_millis(sleep_ms).min(remaining);
+        if sleep.is_zero() {
             return Err(err);
         }
         std::thread::sleep(sleep);

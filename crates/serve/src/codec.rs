@@ -274,6 +274,7 @@ pub fn stats_to_json(s: &SearchStats) -> Json {
             "search_wall_us".into(),
             Json::Int(duration_to_us(s.search_wall)),
         ),
+        ("incremental".into(), Json::Bool(s.incremental)),
     ])
 }
 
@@ -295,6 +296,10 @@ pub fn stats_from_json(v: &Json) -> Result<SearchStats, DecodeError> {
         sliced_rules: int("sliced_rules")? as usize,
         sliced_relations: int("sliced_relations")? as usize,
         search_wall: us_to_duration(int("search_wall_us")?),
+        incremental: v
+            .get("incremental")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| err("stats: missing boolean \"incremental\""))?,
     })
 }
 
@@ -395,6 +400,7 @@ mod tests {
             sliced_rules: 2,
             sliced_relations: 1,
             search_wall: Duration::from_micros(987_654),
+            incremental: true,
         };
         vec![
             VerifyOutcome {

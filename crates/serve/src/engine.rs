@@ -24,7 +24,11 @@
 //!    thundering herd on one hot property costs exactly one
 //!    verification ([`SubmitResult::coalesced_waiters`] reports how
 //!    many submissions shared the run);
-//! 7. the leader schedules the verification on the worker pool (bounded
+//! 7. before running cold, the leader probes the **incremental verdict
+//!    tier** ([`crate::tiers`]): when the property's cone-sliced
+//!    service matches a prior run, the stored verdict replays without a
+//!    search (`incremental: true` in the reply, zero search counters);
+//! 8. the leader schedules the verification on the worker pool (bounded
 //!    queue — an overloaded engine rejects rather than buffering
 //!    unboundedly), blocks for the result, and caches it — unless the
 //!    job was cancelled, since a deadline-specific non-answer must not
@@ -194,6 +198,12 @@ pub struct SubmitResult {
     pub fingerprint: Fingerprint,
     /// True when the outcome was replayed from the cache.
     pub cache_hit: bool,
+    /// True when the verdict was replayed from the digest-keyed
+    /// incremental tier (see [`crate::tiers`]): the submission was a
+    /// cold miss on its full fingerprint, but the property's cone-sliced
+    /// service matched a prior run, so the stored verdict was reused
+    /// without a search.
+    pub incremental: bool,
     /// The decidable class admission control placed the service in.
     pub class: ServiceClass,
     /// The engine's shard id (see [`EngineOptions::shard`]).
@@ -251,6 +261,12 @@ pub struct Counters {
     /// Relations removed by property-directed slicing, summed over
     /// every cold verification this node ran.
     pub sliced_relations_total: AtomicU64,
+    /// Submissions answered from the incremental verdict tier: the
+    /// cone-sliced service matched a prior run, so the verdict replayed
+    /// without consuming any search budget.
+    pub incremental_hits: AtomicU64,
+    /// Cold LTL runs that probed the verdict tier and missed.
+    pub incremental_misses: AtomicU64,
 }
 
 /// State of one in-flight verification slot.
@@ -341,6 +357,10 @@ pub struct Engine {
     runs: Mutex<HashMap<u128, Arc<RunSlot>>>,
     /// This node's shard id (reported in every reply).
     shard: u32,
+    /// Digest-keyed incremental tiers: per-property verdicts keyed by
+    /// the cone-sliced service, plus the shared LTL→Büchi automaton
+    /// cache (see [`crate::tiers`]).
+    tiers: crate::tiers::TierStore,
     /// Monotonic counters for the `stats` report.
     pub counters: Counters,
 }
@@ -360,9 +380,10 @@ pub fn request_fingerprint(
     }
     .normalized();
     let mut h = Fnv128::new();
-    // v2: outcome stats gained sliced_rules/sliced_relations, so bytes
-    // persisted under v1 no longer decode — never replay them.
-    h.write_str("wave-serve/fp/v2");
+    // v3: outcome stats gained the `incremental` flag (v2 added
+    // sliced_rules/sliced_relations), so bytes persisted under earlier
+    // schemes no longer decode — never replay them.
+    h.write_str("wave-serve/fp/v3");
     service.canon(&mut h);
     match mode {
         Mode::Ltl => {
@@ -394,6 +415,11 @@ impl Engine {
     /// the persisted cache.
     pub fn new(opts: EngineOptions) -> Engine {
         let mut cache = ResultCache::new(opts.cache_bytes).with_faults(opts.faults.clone());
+        // The tiers journal to siblings of the result journal and stay
+        // outside the fault plane: chaos campaigns target the result
+        // journal's write counts, and a broken tier can only cost a
+        // cold run anyway.
+        let tiers = crate::tiers::TierStore::new(opts.cache_bytes, opts.persist.as_deref());
         if let Some(path) = opts.persist {
             cache = cache.with_persistence(path);
         }
@@ -414,8 +440,14 @@ impl Engine {
             panics: Mutex::new(HashMap::new()),
             runs: Mutex::new(HashMap::new()),
             shard: opts.shard,
+            tiers,
             counters: Counters::default(),
         }
+    }
+
+    /// The incremental tier store (verdict tier + automaton cache).
+    pub fn tiers(&self) -> &crate::tiers::TierStore {
+        &self.tiers
     }
 
     /// Number of pool workers.
@@ -628,6 +660,7 @@ impl Engine {
             return Ok(SubmitResult {
                 fingerprint: Fingerprint(0),
                 cache_hit: false,
+                incremental: false,
                 class,
                 shard: self.shard,
                 coalesced_waiters: 0,
@@ -641,6 +674,7 @@ impl Engine {
             return Ok(SubmitResult {
                 fingerprint: fp,
                 cache_hit: true,
+                incremental: false,
                 class,
                 shard: self.shard,
                 coalesced_waiters: 0,
@@ -661,6 +695,7 @@ impl Engine {
             return Ok(SubmitResult {
                 fingerprint: fp,
                 cache_hit: false,
+                incremental: false,
                 class,
                 shard: self.shard,
                 coalesced_waiters: 0,
@@ -706,6 +741,7 @@ impl Engine {
             return Ok(SubmitResult {
                 fingerprint: fp,
                 cache_hit: true,
+                incremental: false,
                 class,
                 shard: self.shard,
                 coalesced_waiters: waiters,
@@ -713,13 +749,69 @@ impl Engine {
             });
         }
 
+        // Incremental tier probe (LTL only — `is_error_free` never
+        // slices, so it never uses the tiers): key the verdict tier by
+        // exactly the cone-sliced service the search would consume. An
+        // edit the property cannot observe leaves the slice — and the
+        // key — unchanged, so the prior verdict replays here without
+        // consuming any search budget. The synthesized outcome carries
+        // the fresh slice report and `incremental: true`; it is cached
+        // under the submission's own *full* fingerprint, so later
+        // identical submissions are plain cache hits and fleet
+        // replication ships it like any cold result. Probed after
+        // admission: precheck already refused anything the verifier
+        // would.
+        let tier = property.as_ref().map(|p| {
+            let sliced = wave_core::slice::slice(&service, p);
+            (
+                crate::tiers::verdict_tier_key(&sliced.service, p, req.node_limit),
+                sliced.report,
+            )
+        });
+        if let Some((key, report)) = &tier {
+            if let Some(verdict) = self.tiers.probe_verdict(*key) {
+                self.counters
+                    .incremental_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                let outcome = VerifyOutcome {
+                    verdict,
+                    stats: SearchStats {
+                        sliced_rules: report.sliced_rules(),
+                        sliced_relations: report.sliced_relations(),
+                        incremental: true,
+                        ..SearchStats::default()
+                    },
+                };
+                let bytes = outcome_to_json(&outcome).encode().into_bytes();
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(fp, bytes.clone());
+                let waiters = leader.publish(Ok(bytes.clone()));
+                return Ok(SubmitResult {
+                    fingerprint: fp,
+                    cache_hit: false,
+                    incremental: true,
+                    class,
+                    shard: self.shard,
+                    coalesced_waiters: waiters,
+                    outcome_bytes: bytes,
+                });
+            }
+            self.counters
+                .incremental_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let result = self.run_cold(service, property, req, cancel, fp);
+        let tier_key = tier.map(|(key, _)| key);
+        let result = self.run_cold(service, property, req, cancel, fp, tier_key);
         let waiters = leader.publish(result.clone());
         let bytes = result?;
         Ok(SubmitResult {
             fingerprint: fp,
             cache_hit: false,
+            incremental: false,
             class,
             shard: self.shard,
             coalesced_waiters: waiters,
@@ -747,6 +839,7 @@ impl Engine {
                     return Ok(SubmitResult {
                         fingerprint: fp,
                         cache_hit: false,
+                        incremental: false,
                         class,
                         shard: self.shard,
                         coalesced_waiters: slot.waiters.load(Ordering::SeqCst),
@@ -765,6 +858,7 @@ impl Engine {
                         return Ok(SubmitResult {
                             fingerprint: fp,
                             cache_hit: false,
+                            incremental: false,
                             class,
                             shard: self.shard,
                             coalesced_waiters: 0,
@@ -782,7 +876,11 @@ impl Engine {
     }
 
     /// The cold path: schedules the verification on the worker pool,
-    /// blocks for the result, and caches it (unless cancelled).
+    /// blocks for the result, and caches it (unless cancelled). A
+    /// conclusive verdict also populates the incremental verdict tier
+    /// under `tier_key`, and any automaton translated during the run is
+    /// journaled — even for cancelled runs, since the translation is a
+    /// pure function of the formula.
     fn run_cold(
         &self,
         service: Service,
@@ -790,6 +888,7 @@ impl Engine {
         req: &VerifyRequest,
         cancel: CancelToken,
         fp: Fingerprint,
+        tier_key: Option<Fingerprint>,
     ) -> Result<Vec<u8>, SubmitError> {
         // Queue-full burst hook: chaos can slam the door exactly here.
         if self.faults.decide(Hook::QueueSubmit, 0) == Fault::QueueFull {
@@ -810,6 +909,7 @@ impl Engine {
         let node_limit = req.node_limit;
         let threads = req.threads;
         let job_faults = self.faults.clone();
+        let automata = self.tiers.automata();
         let submitted = self.sched.submit(move || {
             // Worker hook: chaos can panic or stall the job mid-run.
             match job_faults.decide(Hook::WorkerRun, 0) {
@@ -821,6 +921,7 @@ impl Engine {
                 node_limit,
                 threads,
                 cancel,
+                automata: Some(automata),
                 ..SymbolicOptions::default()
             };
             let result = match mode {
@@ -860,6 +961,14 @@ impl Engine {
         self.counters
             .sliced_relations_total
             .fetch_add(outcome.stats.sliced_relations as u64, Ordering::Relaxed);
+
+        // Populate the incremental tiers. The verdict tier refuses
+        // inconclusive verdicts itself; the automaton journal takes the
+        // run's translations regardless of how the search ended.
+        if let Some(key) = tier_key {
+            self.tiers.store_verdict(key, &outcome.verdict);
+        }
+        self.tiers.persist_pending_automata();
 
         let bytes = outcome_to_json(&outcome).encode().into_bytes();
         if outcome.verdict == Verdict::Cancelled {
@@ -933,12 +1042,16 @@ impl Engine {
     }
 
     /// Snapshot of the cache journal's complete CRC-framed lines, for
-    /// the fleet shipper. `from_byte` skips an already-shipped prefix;
-    /// returns the lines plus the new offset. A `from_byte` past the
-    /// current journal size (compaction shrank it) restarts from zero.
-    pub fn export_journal(&self, from_byte: usize) -> (Vec<String>, usize) {
+    /// the fleet shipper. The cursor skips an already-shipped prefix;
+    /// returns the lines plus the advanced cursor. A cursor from an
+    /// older journal generation (compaction rewrote the file) restarts
+    /// from byte zero — see [`crate::cache::JournalCursor`].
+    pub fn export_journal(
+        &self,
+        cursor: crate::cache::JournalCursor,
+    ) -> (Vec<String>, crate::cache::JournalCursor) {
         let cache = self.cache.lock().expect("cache poisoned");
-        cache.export_journal_lines(from_byte)
+        cache.export_journal_lines(cursor)
     }
 }
 
@@ -1374,5 +1487,112 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.verdict, Verdict::Cancelled, "{out:?}");
+    }
+
+    fn decode(bytes: &[u8]) -> VerifyOutcome {
+        outcome_from_json(&Json::parse(std::str::from_utf8(bytes).unwrap()).unwrap()).unwrap()
+    }
+
+    const FIG2: &str = "forall p . G (!ship(p) | paid)";
+
+    #[test]
+    fn out_of_cone_edit_replays_the_verdict_from_the_tier() {
+        let e = Engine::new(EngineOptions::default());
+        let (service, sources) =
+            registry::resolve_with_sources("checkout_bench").expect("registered");
+        let r = req("checkout_bench", FIG2);
+
+        let cold = e
+            .submit_service(service.clone(), sources.clone(), &r)
+            .unwrap();
+        assert!(!cold.cache_hit && !cold.incremental);
+        let cold_out = decode(&cold.outcome_bytes);
+        assert!(cold_out.holds(), "{cold_out:?}");
+
+        // One-rule edit the property cannot observe: the CP page's
+        // `flag0` toggle rules are outside the Fig. 2 cone (no target,
+        // action or property relation reads a flag). Dropping the
+        // deletion half changes the full-service fingerprint but not the
+        // cone-sliced service.
+        let mut edited = service.clone();
+        let cp = edited.pages.get_mut("CP").expect("CP page");
+        let rule = cp
+            .state_rules
+            .iter_mut()
+            .find(|s| s.relation == "flag0")
+            .expect("flag0 state rule");
+        assert!(rule.delete.take().is_some());
+
+        let warm = e
+            .submit_service(edited.clone(), sources.clone(), &r)
+            .unwrap();
+        assert_ne!(
+            warm.fingerprint, cold.fingerprint,
+            "the edit must change the submission fingerprint"
+        );
+        assert!(!warm.cache_hit, "tier replay is not a whole-submission hit");
+        assert!(warm.incremental, "unchanged cone must replay from the tier");
+        let warm_out = decode(&warm.outcome_bytes);
+        // Byte-identical *verdict* — and zero search spend: the replay
+        // consumed no nodes, no memo entries, no wall time.
+        assert_eq!(warm_out.verdict, cold_out.verdict);
+        assert!(warm_out.stats.incremental);
+        assert_eq!(warm_out.stats.nodes_interned, 0);
+        assert_eq!(warm_out.stats.search_wall.as_micros(), 0);
+        assert!(
+            warm_out.stats.sliced_rules > 0,
+            "slice report is still real"
+        );
+        assert_eq!(e.counters.incremental_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(e.counters.cache_misses.load(Ordering::Relaxed), 1);
+
+        // The synthesized outcome was installed in the result cache
+        // under the edited submission's fingerprint: a resubmit is a
+        // plain byte-identical hit, eligible for fleet replication.
+        let again = e.submit_service(edited, sources, &r).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.outcome_bytes, warm.outcome_bytes);
+    }
+
+    #[test]
+    fn in_cone_edit_misses_the_tier_and_searches_cold() {
+        let e = Engine::new(EngineOptions::default());
+        let (service, sources) =
+            registry::resolve_with_sources("checkout_bench").expect("registered");
+        let r = req("checkout_bench", FIG2);
+        let cold = e
+            .submit_service(service.clone(), sources.clone(), &r)
+            .unwrap();
+        assert!(decode(&cold.outcome_bytes).holds());
+
+        // Removing the `ship` action rule is squarely inside the cone —
+        // `ship` is the property's own relation — so the sliced service
+        // changes and the tier must refuse to answer.
+        let mut edited = service.clone();
+        edited
+            .pages
+            .get_mut("UPP")
+            .expect("UPP page")
+            .action_rules
+            .clear();
+        let res = e.submit_service(edited, sources, &r).unwrap();
+        assert!(!res.cache_hit && !res.incremental);
+        let out = decode(&res.outcome_bytes);
+        assert!(!out.stats.incremental);
+        assert!(out.stats.nodes_interned > 0, "a real search ran");
+        assert_eq!(e.counters.incremental_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(e.counters.incremental_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn error_free_mode_never_touches_the_tiers() {
+        let e = Engine::new(EngineOptions::default());
+        let mut r = req("checkout_bench", "");
+        r.mode = Mode::ErrorFree;
+        let res = e.submit(&r).unwrap();
+        assert!(!res.cache_hit && !res.incremental);
+        assert_eq!(e.counters.incremental_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(e.counters.incremental_misses.load(Ordering::Relaxed), 0);
+        assert_eq!(e.tiers().verdict_hits() + e.tiers().verdict_misses(), 0);
     }
 }

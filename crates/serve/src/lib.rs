@@ -21,6 +21,10 @@
 //!   `std::net::TcpListener`, plus an in-process [`client::LocalClient`]
 //!   speaking the identical protocol.
 //! * [`registry`] — named services (the paper's running examples).
+//! * [`tiers`] — digest-keyed incremental re-verification: a verdict
+//!   tier keyed by the property's cone-sliced service and an LTL→Büchi
+//!   automaton tier keyed by the formula, so an edit the property
+//!   cannot observe replays the prior verdict without a search.
 //!
 //! The `wave-serve` binary exposes `serve` / `submit` / `stats`
 //! subcommands; see the README quickstart.
@@ -38,6 +42,7 @@ pub mod json;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod tiers;
 
 pub use cache::ResultCache;
 pub use client::{LocalClient, RetryPolicy, TcpClient, VerifyReply};

@@ -114,6 +114,22 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                             "sliced_relations_total".into(),
                             Json::Int(c.sliced_relations_total.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "incremental_hits".into(),
+                            Json::Int(c.incremental_hits.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "incremental_misses".into(),
+                            Json::Int(c.incremental_misses.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "automaton_hits".into(),
+                            Json::Int(engine.tiers().automaton_hits() as i64),
+                        ),
+                        (
+                            "automaton_misses".into(),
+                            Json::Int(engine.tiers().automaton_misses() as i64),
+                        ),
                         ("draining".into(), Json::Bool(engine.is_draining())),
                         ("in_flight".into(), Json::Int(engine.in_flight() as i64)),
                         ("queued".into(), Json::Int(engine.queued() as i64)),
@@ -219,10 +235,11 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
                 let outcome =
                     String::from_utf8(res.outcome_bytes).expect("outcome bytes are canonical JSON");
                 format!(
-                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"class\":\"{}\",\
-                     \"shard\":{},\"coalesced_waiters\":{},\"outcome\":{}}}",
+                    "{{\"ok\":true,\"fingerprint\":\"{}\",\"cache_hit\":{},\"incremental\":{},\
+                     \"class\":\"{}\",\"shard\":{},\"coalesced_waiters\":{},\"outcome\":{}}}",
                     res.fingerprint.to_hex(),
                     res.cache_hit,
+                    res.incremental,
                     res.class.wire_name(),
                     res.shard,
                     res.coalesced_waiters,
@@ -392,6 +409,10 @@ mod tests {
             "replicated_dropped",
             "sliced_rules_total",
             "sliced_relations_total",
+            "incremental_hits",
+            "incremental_misses",
+            "automaton_hits",
+            "automaton_misses",
             "queued",
             "running",
         ] {

@@ -20,7 +20,8 @@ fn canned_response() -> String {
         "\"outcome\":{\"verdict\":{\"kind\":\"limit_reached\"},",
         "\"stats\":{\"nodes_interned\":1,\"dedup_hits\":0,\"successors_memoized\":1,",
         "\"memo_hits\":0,\"peak_frontier\":1,\"prefetched\":0,\"prefetch_hits\":0,",
-        "\"sliced_rules\":0,\"sliced_relations\":0,\"search_wall_us\":20}}}"
+        "\"sliced_rules\":0,\"sliced_relations\":0,\"search_wall_us\":20,",
+        "\"incremental\":false}}}"
     )
     .to_string()
 }
@@ -287,6 +288,57 @@ fn failover_with_every_node_dead_yields_a_typed_error() {
     .unwrap_err();
     assert!(matches!(err, ClientError::Io(_)), "{err:?}");
     assert!(started.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn retry_hint_exceeding_the_budget_is_clamped_not_slept() {
+    // A shedding server whose retry-after hint (30 s) dwarfs the
+    // client's total sleep budget (300 ms). The old behaviour honoured
+    // the hint as a sleep floor and only then compared against the
+    // budget — with the budget check first that meant an instant
+    // failure that never used the remaining budget, and without it the
+    // client would sleep 30 s past its own deadline. The clamp must do
+    // neither: sleep at most the remaining budget, spend it on one more
+    // attempt, then fail fast with the typed overload error.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            read_line(&mut stream);
+            stream
+                .write_all(
+                    b"{\"ok\":false,\"error\":\"overloaded\",\"kind\":\"retry_after\",\
+                      \"retry_after_ms\":30000}\n",
+                )
+                .unwrap();
+        }
+    });
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(50),
+        budget: Duration::from_millis(300),
+        seed: 23,
+    };
+    let started = Instant::now();
+    let err = TcpClient::verify_with_retry(addr, Duration::from_secs(2), &any_request(), &policy)
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, ClientError::RetryAfter { after_ms: 30000 }),
+        "{err:?}"
+    );
+    // The clamp admits at most `budget` of total sleep: well under the
+    // 30 s hint, and enough over the bare budget only for connect and
+    // round-trip overhead.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "client slept towards the hint instead of clamping: {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(300),
+        "the remaining budget should be spent on a final attempt, not skipped: {elapsed:?}"
+    );
 }
 
 #[test]

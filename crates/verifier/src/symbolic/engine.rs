@@ -101,6 +101,16 @@ pub struct SymbolicOptions {
     /// refuses by itself where its argument does not apply, so disabling
     /// this is only useful for differential testing.
     pub slice: bool,
+    /// Shared LTL→Büchi translation cache: when set, [`verify_ltl`]
+    /// looks the negated property's automaton up by the property's
+    /// canonical fingerprint before running the GPVW translation, and
+    /// publishes fresh translations back. Sound because the translation
+    /// is a deterministic pure function of the property (the FO
+    /// abstraction table is built from the property alone, never the
+    /// service), and its effect on the outcome is byte-invisible: a hit
+    /// skips reconstruction work, nothing else. `None` (the default)
+    /// translates every time.
+    pub automata: Option<Arc<wave_automata::store::AutomatonCache>>,
 }
 
 impl Default for SymbolicOptions {
@@ -111,6 +121,7 @@ impl Default for SymbolicOptions {
             force_overlap: false,
             cancel: CancelToken::never(),
             slice: true,
+            automata: None,
         }
     }
 }
@@ -142,6 +153,7 @@ impl SymbolicOptions {
             force_overlap: self.force_overlap,
             cancel: self.cancel.clone(),
             slice: self.slice,
+            automata: self.automata.clone(),
         }
     }
 
@@ -254,6 +266,18 @@ impl VerifyOutcome {
 /// configurations, shared by every Büchi state.
 type SuccPairs = Vec<(SymConfig, PropSet)>;
 
+/// The automaton-tier key for a property: a domain-tagged canonical
+/// fingerprint of exactly what the LTL→Büchi translation consumes.
+/// Public so hosts persisting the automaton tier (wave-serve) seed
+/// recovered entries under the same key [`verify_ltl`] will look up.
+pub fn buchi_key(property: &Property) -> u128 {
+    use wave_logic::fingerprint::{Canonical, Fnv128};
+    let mut h = Fnv128::new();
+    h.write_str("wave-inc/buchi/v1");
+    property.canon(&mut h);
+    h.finish()
+}
+
 /// Verifies an input-bounded LTL-FO property on an input-bounded service,
 /// over **all** databases and runs (Theorem 3.5).
 pub fn verify_ltl(
@@ -293,10 +317,16 @@ pub fn verify_ltl(
         None => (service, 0, 0),
     };
 
-    // ¬φ as a Büchi automaton over FO components.
+    // ¬φ as a Büchi automaton over FO components. The abstraction table
+    // and the PNF are pure functions of the property — never the
+    // service — so a shared automaton cache keyed by the property's
+    // canonical fingerprint can skip the GPVW translation entirely.
     let mut table = FoAbstraction::default();
     let pnf = to_pnf(&property.body, true, &mut table).ok_or(SymbolicError::NotLtl)?;
-    let aut = translate(&pnf);
+    let aut = match &opts.automata {
+        Some(cache) => cache.get_or_insert(buchi_key(property), || translate(&pnf)),
+        None => Arc::new(translate(&pnf)),
+    };
 
     let ctable = CTable::build(service, property);
     // Witness environment: each universally quantified variable maps to
@@ -715,9 +745,11 @@ pub fn is_error_free(
         search_wall: t0.elapsed(),
         // Error-freeness is never sliced: every rule can influence the
         // error conditions (ambiguous/dead targets, constant provision),
-        // so the cone is the whole service by definition.
+        // so the cone is the whole service by definition — and for the
+        // same reason it never replays from the incremental tier.
         sliced_rules: 0,
         sliced_relations: 0,
+        incremental: false,
     };
     let witness = |interner: &Interner<SymConfig>, parent: &[Option<u32>], id: u32| {
         let mut path = Vec::new();
@@ -1108,7 +1140,7 @@ mod tests {
             force_overlap: true,
             node_limit: 1, // also exhausted: Cancelled must still win
             cancel,
-            slice: true,
+            ..SymbolicOptions::default()
         };
         let out = verify_ltl(&s, &p, &opts).unwrap();
         canceller.join().unwrap();
@@ -1126,7 +1158,7 @@ mod tests {
             force_overlap: true,
             node_limit: 1,
             cancel: fired,
-            slice: true,
+            ..SymbolicOptions::default()
         };
         let out2 = verify_ltl(&s, &p, &opts2).unwrap();
         assert_eq!(out2.verdict, Verdict::Cancelled, "{out2:?}");
