@@ -133,6 +133,7 @@ fn session() -> SessionResult {
         node_limit: 0,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     };
 
     let t0 = Instant::now();

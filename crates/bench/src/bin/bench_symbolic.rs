@@ -262,6 +262,7 @@ fn main() {
         node_limit: 0,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     };
     let t0 = Instant::now();
     let cold = engine.submit(&req).expect("cold submit succeeds");

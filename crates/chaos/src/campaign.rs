@@ -167,6 +167,7 @@ fn chaos_request(property: &str, node_limit: usize) -> VerifyRequest {
         // A generous real deadline, so the overload plan's skew hook has
         // something to crush.
         deadline_us: 5_000_000,
+        check_owner: false,
     }
 }
 
@@ -345,6 +346,7 @@ fn wire_sweep(plan: Plan, seed: u64, report: &mut CampaignReport) {
             node_limit: 0,
             threads: 1,
             deadline_us: 0,
+            check_owner: false,
         };
         let res = clean.submit(&req).expect("registry reference must verify");
         let (_, verdict_bytes) = verdict_of(&res.outcome_bytes).expect("decodable");
@@ -422,6 +424,16 @@ fn wire_sweep(plan: Plan, seed: u64, report: &mut CampaignReport) {
                     } else {
                         report.typed_failures += 1;
                     }
+                }
+                // The sweep never sets check_owner, so a wrong_shard
+                // refusal here is a protocol violation, not weather.
+                Err(e @ ClientError::WrongShard { .. }) => {
+                    report.violations.push(format!(
+                        "plan {} round {round}: unchecked request refused: {e} for {} / {}",
+                        plan.name(),
+                        req.service,
+                        req.property
+                    ));
                 }
             }
         }

@@ -35,6 +35,12 @@ pub enum Plan {
     /// partition. The fleet must answer through failover and retry, and
     /// replication must converge once the partition heals.
     Partition,
+    /// Membership chaos: heartbeat probes are dropped, delayed or
+    /// corrupted while the flap driver kills and re-joins nodes
+    /// repeatedly. The mesh must never execute a healthy node for a
+    /// lossy probe path (confirm-before-kill), never lose a journaled
+    /// verdict across a re-join, and never change a verdict.
+    Flapping,
 }
 
 impl Plan {
@@ -56,6 +62,7 @@ impl Plan {
             Plan::PanicStorm => "panic-storm",
             Plan::Overload => "overload",
             Plan::Partition => "partition",
+            Plan::Flapping => "flapping",
         }
     }
 
@@ -68,6 +75,7 @@ impl Plan {
             "panic-storm" => Some(Plan::PanicStorm),
             "overload" => Some(Plan::Overload),
             "partition" => Some(Plan::Partition),
+            "flapping" => Some(Plan::Flapping),
             _ => None,
         }
     }
@@ -191,6 +199,23 @@ impl Plan {
                 }
             }
 
+            (Plan::Flapping, Hook::FleetHealth) => {
+                // A lossy probe plane only: beats vanish, dawdle or
+                // arrive garbled, but the node behind them is fine —
+                // the exact confusion confirm-before-kill must absorb.
+                if !rng.gen_bool(0.3) {
+                    return Fault::None;
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=4 => Fault::Drop,
+                    5..=7 => Fault::Delay(Duration::from_millis(rng.gen_range(5u64..50))),
+                    _ => Fault::Corrupt {
+                        offset: rng.gen_range(0..len.max(1)),
+                        xor: rng.gen_range(1u32..256) as u8,
+                    },
+                }
+            }
+
             _ => Fault::None,
         }
     }
@@ -220,6 +245,7 @@ mod tests {
             Plan::PanicStorm,
             Plan::Overload,
             Plan::Partition,
+            Plan::Flapping,
         ] {
             assert_eq!(Plan::parse(p.name()), Some(p));
         }
@@ -268,7 +294,9 @@ mod tests {
                 Plan::Overload.sample(Hook::JournalAppend, 64, &mut rng),
                 Fault::None
             );
-            // Partition only disturbs the fleet hooks.
+            // Partition only disturbs the fleet hooks — and NOT the
+            // heartbeat probes, which is what keeps the soft-partition
+            // e2e drill's "epoch stays 0" assertion sound.
             assert_eq!(
                 Plan::Partition.sample(Hook::WorkerRun, 64, &mut rng),
                 Fault::None
@@ -277,7 +305,40 @@ mod tests {
                 Plan::Partition.sample(Hook::JournalAppend, 64, &mut rng),
                 Fault::None
             );
+            assert_eq!(
+                Plan::Partition.sample(Hook::FleetHealth, 64, &mut rng),
+                Fault::None
+            );
+            // Flapping only disturbs the probe plane: the request path
+            // and storage stay clean, so any lost verdict in the flap
+            // campaign is the mesh's fault, not collateral noise.
+            assert_eq!(
+                Plan::Flapping.sample(Hook::FleetForward, 64, &mut rng),
+                Fault::None
+            );
+            assert_eq!(
+                Plan::Flapping.sample(Hook::FleetShip, 64, &mut rng),
+                Fault::None
+            );
+            assert_eq!(
+                Plan::Flapping.sample(Hook::JournalAppend, 64, &mut rng),
+                Fault::None
+            );
         }
+    }
+
+    #[test]
+    fn flapping_plan_faults_only_the_probe_plane() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut hits = 0;
+        for _ in 0..200 {
+            match Plan::Flapping.sample(Hook::FleetHealth, 64, &mut rng) {
+                Fault::None => {}
+                Fault::Drop | Fault::Delay(_) | Fault::Corrupt { .. } => hits += 1,
+                other => panic!("flapping must only drop/delay/corrupt probes, got {other:?}"),
+            }
+        }
+        assert!((20..=120).contains(&hits), "{hits} faults in 200 draws");
     }
 
     #[test]

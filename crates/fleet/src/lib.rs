@@ -27,12 +27,27 @@
 //! Fleets come in two shapes: [`local::LocalFleet`] (in-process nodes,
 //! for benchmarks and counter-level tests) and [`local::ProcessFleet`]
 //! (child processes, for real-`SIGKILL` drills). The `wave-fleet`
-//! binary exposes `node` (one fleet member) and `up` (boot a whole
-//! fleet behind one front-end port).
+//! binary exposes `node` (one fleet member), `up` (boot a whole fleet
+//! behind one front-end port), and `flap` (the kill/restart chaos
+//! campaign).
+//!
+//! Membership is a **heartbeat plane** ([`heartbeat::Heartbeat`]): the
+//! router probes every member's cheap `health` command on a jittered
+//! interval, suspects after K missed beats, and confirms with one
+//! direct probe before any kill. Restarted nodes re-enter through
+//! [`router::Router::join`] — peers' journals replay in *before* the
+//! ring re-ranges, so a re-join never loses a verdict and never
+//! re-verifies already-paid content. The epoch-tagged
+//! [`wave_serve::view::MemberView`] the router pushes to every node is
+//! the full routing input, which is what lets
+//! [`wave_serve::client::RoutedClient`] compute placement locally and
+//! survive the router's death entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flap;
+pub mod heartbeat;
 pub mod local;
 pub mod ring;
 pub mod router;

@@ -16,6 +16,7 @@ use wave_serve::engine::{Engine, EngineOptions};
 use wave_serve::faults::Faults;
 use wave_serve::server::Server;
 
+use crate::heartbeat::{Heartbeat, HeartbeatOptions};
 use crate::router::{NodeHandle, Router};
 use crate::shipper::Shipper;
 
@@ -34,6 +35,9 @@ pub struct FleetOptions {
     pub ship_interval: Duration,
     /// Journal directory; a fresh temp dir when `None`.
     pub dir: Option<PathBuf>,
+    /// Heartbeat prober tuning; `None` disables the membership plane
+    /// (drills that drive `mark_dead`/`join` by hand).
+    pub heartbeat: Option<HeartbeatOptions>,
 }
 
 impl Default for FleetOptions {
@@ -45,6 +49,7 @@ impl Default for FleetOptions {
             node_faults: Faults::none(),
             ship_interval: Duration::from_millis(100),
             dir: None,
+            heartbeat: Some(HeartbeatOptions::default()),
         }
     }
 }
@@ -67,7 +72,9 @@ pub fn journal_path(dir: &Path, id: u32) -> PathBuf {
 pub struct LocalFleet {
     router: Arc<Router>,
     shipper: Shipper,
+    heartbeat: Option<Heartbeat>,
     engines: Vec<Arc<Engine>>,
+    opts: FleetOptions,
     dir: PathBuf,
 }
 
@@ -104,15 +111,22 @@ impl LocalFleet {
             engines.push(engine);
         }
         let router = Arc::new(Router::new(handles, opts.fleet_faults.clone()));
+        router.push_view();
         let shipper = Shipper::start(
             Arc::clone(&router),
             opts.fleet_faults.clone(),
             opts.ship_interval,
         );
+        let heartbeat = opts
+            .heartbeat
+            .clone()
+            .map(|hb| Heartbeat::start(Arc::clone(&router), opts.fleet_faults.clone(), hb));
         Ok(LocalFleet {
             router,
             shipper,
+            heartbeat,
             engines,
+            opts,
             dir,
         })
     }
@@ -145,6 +159,47 @@ impl LocalFleet {
     pub fn retire(&self, id: u32) {
         self.router.retire(id);
     }
+
+    /// The heartbeat prober, when the membership plane is on.
+    pub fn heartbeat(&self) -> Option<&Heartbeat> {
+        self.heartbeat.as_ref()
+    }
+
+    /// Re-joins a previously retired/dead node: a fresh engine restarts
+    /// from the **same on-disk journal** (everything it paid for before
+    /// the death is warm again), then [`Router::join`] replays the
+    /// peers' journals into it before re-ranging the ring — so the
+    /// re-join never costs a verdict and never re-verifies paid
+    /// content.
+    pub fn rejoin(&mut self, id: u32) -> io::Result<()> {
+        let journal = journal_path(&self.dir, id);
+        let engine = Arc::new(Engine::new(EngineOptions {
+            workers: self.opts.workers_per_node,
+            cache_bytes: self.opts.cache_bytes,
+            persist: Some(journal.clone()),
+            faults: self.opts.node_faults.clone(),
+            shard: id,
+            ..EngineOptions::default()
+        }));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine))?;
+        let addr = server.local_addr()?;
+        std::thread::Builder::new()
+            .name(format!("fleet-node-{id}-rejoin"))
+            .spawn(move || {
+                let _ = server.run();
+            })?;
+        self.router.join(NodeHandle {
+            id,
+            addr,
+            journal: Some(journal),
+        });
+        if let Some(slot) = self.engines.get_mut(id as usize) {
+            *slot = engine;
+        } else {
+            self.engines.push(engine);
+        }
+        Ok(())
+    }
 }
 
 /// A child-process fleet: each node is a `wave-fleet node` process,
@@ -152,7 +207,10 @@ impl LocalFleet {
 pub struct ProcessFleet {
     router: Arc<Router>,
     shipper: Option<Shipper>,
+    heartbeat: Option<Heartbeat>,
     children: HashMap<u32, Child>,
+    bin: PathBuf,
+    workers: usize,
     dir: PathBuf,
 }
 
@@ -177,15 +235,23 @@ impl ProcessFleet {
             children.insert(id, child);
         }
         let router = Arc::new(Router::new(handles, opts.fleet_faults.clone()));
+        router.push_view();
         let shipper = Shipper::start(
             Arc::clone(&router),
             opts.fleet_faults.clone(),
             opts.ship_interval,
         );
+        let heartbeat = opts
+            .heartbeat
+            .clone()
+            .map(|hb| Heartbeat::start(Arc::clone(&router), opts.fleet_faults.clone(), hb));
         Ok(ProcessFleet {
             router,
             shipper: Some(shipper),
+            heartbeat,
             children,
+            bin: bin.to_path_buf(),
+            workers: opts.workers_per_node,
             dir,
         })
     }
@@ -213,8 +279,43 @@ impl ProcessFleet {
         true
     }
 
-    /// Stops the shipper and kills every remaining node.
+    /// `SIGKILL`s node `id` **without** telling the router — the
+    /// heartbeat-detection drill: the membership plane, not the test,
+    /// must notice the death. Returns false if already gone.
+    pub fn kill_silent(&mut self, id: u32) -> bool {
+        let Some(mut child) = self.children.remove(&id) else {
+            return false;
+        };
+        let _ = child.kill();
+        let _ = child.wait();
+        true
+    }
+
+    /// The heartbeat prober, when the membership plane is on.
+    pub fn heartbeat(&self) -> Option<&Heartbeat> {
+        self.heartbeat.as_ref()
+    }
+
+    /// Restarts a killed node from its **on-disk journal** and re-joins
+    /// it through [`Router::join`]: peers' journals replay in first,
+    /// then the ring re-ranges, then the view pushes — the node comes
+    /// back warm and the fleet never re-verifies paid content.
+    pub fn restart(&mut self, id: u32) -> io::Result<()> {
+        let journal = journal_path(&self.dir, id);
+        let (child, addr) = spawn_node(&self.bin, id, &journal, self.workers)?;
+        self.children.insert(id, child);
+        self.router.join(NodeHandle {
+            id,
+            addr,
+            journal: Some(journal),
+        });
+        Ok(())
+    }
+
+    /// Stops the membership plane and shipper, then kills every
+    /// remaining node.
     pub fn shutdown(mut self) {
+        self.heartbeat.take(); // drop joins the prober thread
         self.shipper.take(); // drop joins the pump thread
         for (_, mut child) in self.children.drain() {
             let _ = child.kill();
@@ -225,6 +326,7 @@ impl ProcessFleet {
 
 impl Drop for ProcessFleet {
     fn drop(&mut self) {
+        self.heartbeat.take();
         self.shipper.take();
         for (_, child) in self.children.iter_mut() {
             let _ = child.kill();

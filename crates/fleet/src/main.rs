@@ -1,4 +1,5 @@
-//! The `wave-fleet` binary: `node`, `up` and `stats` subcommands.
+//! The `wave-fleet` binary: `node`, `up`, `stats` and `flap`
+//! subcommands.
 //!
 //! ```text
 //! wave-fleet node  --shard N [--addr 127.0.0.1:0] [--journal FILE]
@@ -6,13 +7,17 @@
 //! wave-fleet up    [--nodes 3] [--addr 127.0.0.1:7979] [--base-dir D]
 //!                  [--workers N] [--ship-interval-ms 100]
 //! wave-fleet stats [--addr 127.0.0.1:7979]
+//! wave-fleet flap  [--seeds 100] [--nodes 3] [--json]
 //! ```
 //!
 //! `node` runs one fleet member (a full wave-serve engine + listener
 //! with a shard id and a journal). `up` spawns N `node` children from
 //! this same binary, then serves the wave-serve wire protocol on a
-//! front-end port, routing each `verify` by content fingerprint and
-//! answering `stats` with the aggregated fleet view.
+//! front-end port, routing each `verify` by content fingerprint,
+//! answering `stats` with the aggregated fleet view and `members` with
+//! the epoch-tagged membership view (which is how self-routing clients
+//! bootstrap). `flap` runs the kill/restart chaos campaign under
+//! heartbeat-probe faults.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -35,13 +40,15 @@ fn main() -> ExitCode {
         Some("node") => cmd_node(&args[1..]),
         Some("up") => cmd_up(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("flap") => cmd_flap(&args[1..]),
         _ => {
-            eprintln!("usage: wave-fleet <node|up|stats> [options]");
+            eprintln!("usage: wave-fleet <node|up|stats|flap> [options]");
             eprintln!("  node  --shard N [--addr A] [--journal FILE] [--workers N]");
             eprintln!("        [--queue N] [--cache-bytes N]");
             eprintln!("  up    [--nodes 3] [--addr A] [--base-dir D] [--workers N]");
             eprintln!("        [--ship-interval-ms 100]");
             eprintln!("  stats [--addr A]");
+            eprintln!("  flap  [--seeds 100] [--nodes 3] [--json]");
             return ExitCode::from(2);
         }
     };
@@ -147,8 +154,14 @@ fn serve_front_conn(stream: TcpStream, router: &Router) {
                 Err(e) => error_reply(&e),
             },
             Ok(Request::Stats) => format!("{{\"ok\":true,\"stats\":{}}}", router.fleet_stats()),
+            // Self-routing clients bootstrap placement here (or from
+            // any node): the view is the full routing input.
+            Ok(Request::Members) => format!(
+                "{{\"ok\":true,\"view\":{}}}",
+                router.member_view().to_json().encode()
+            ),
             Ok(_) => {
-                "{\"ok\":false,\"error\":\"front end supports verify and stats\",\"kind\":\"bad_request\"}"
+                "{\"ok\":false,\"error\":\"front end supports verify, stats and members\",\"kind\":\"bad_request\"}"
                     .to_string()
             }
             Err(e) => format!(
@@ -175,6 +188,13 @@ fn error_reply(e: &ClientError) -> String {
         ClientError::Io(_) | ClientError::Timeout => ("unavailable", e.to_string()),
         ClientError::Server(m) => ("error", m.clone()),
         ClientError::Protocol(m) => ("unavailable", m.clone()),
+        // The router never sets check_owner, so a wrong_shard refusal
+        // reaching it means a node is ahead of us; surface it as-is.
+        ClientError::WrongShard { epoch, owner } => {
+            return format!(
+                "{{\"ok\":false,\"error\":\"wrong shard\",\"kind\":\"wrong_shard\",\"epoch\":{epoch},\"owner\":{owner}}}"
+            )
+        }
     };
     format!(
         "{{\"ok\":false,\"error\":{},\"kind\":\"{kind}\"}}",
@@ -189,4 +209,22 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let stats = client.stats().map_err(|e| e.to_string())?;
     println!("{}", stats.encode());
     Ok(())
+}
+
+/// Runs the flapping-membership chaos campaign and prints the summary.
+fn cmd_flap(args: &[String]) -> Result<(), String> {
+    let seeds: u64 = flag_num(args, "--seeds", 100u64)?;
+    let nodes: usize = flag_num(args, "--nodes", 3usize)?;
+    let json = args.iter().any(|a| a == "--json");
+    let report = wave_fleet::flap::run_campaign(seeds, nodes);
+    if json {
+        println!("{}", report.to_json().encode());
+    } else {
+        println!("{}", report.summary());
+    }
+    if report.failures == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} of {} seeds failed", report.failures, seeds))
+    }
 }

@@ -1,194 +1,8 @@
-//! Consistent-hash ring over the 128-bit content-fingerprint space.
-//!
-//! Every node owns a set of **virtual points** on the `u128` circle;
-//! a fingerprint is owned by the node whose first virtual point lies at
-//! or clockwise-after it. Virtual points (128 per node by default)
-//! smooth the per-node share toward uniform, and mean that adding or
-//! removing one node remaps only the arcs adjacent to that node's
-//! points — ~K/n of K keys — instead of reshuffling everything, so a
-//! node kill invalidates almost none of the fleet's cache placement.
-//!
-//! Placement is a pure function of `(node id, vnode index)` under a
-//! versioned domain tag: every router, test and future process computes
-//! the identical ring for the same node set, with no coordination.
+//! Re-export of the consistent-hash ring, which moved to
+//! [`wave_serve::ring`] when client-side routing landed: placement must
+//! be computable by routers, nodes *and* clients, and `wave-serve`
+//! cannot depend on this crate. Fleet-side callers keep their
+//! `wave_fleet::ring::Ring` imports; the implementation (and the
+//! versioned `wave-fleet/ring/v1` domain tag) is unchanged.
 
-use wave_logic::fingerprint::Fnv128;
-
-/// Virtual points per node. Relative spread of per-node shares shrinks
-/// like `1/sqrt(VNODES_PER_NODE)`: 512 points holds every node within
-/// ~13% of uniform (worst tail) at the fleet sizes this crate targets
-/// (2–64 nodes), at a memory cost of 24 KiB per node — trivial next to
-/// one cached verification outcome.
-pub const VNODES_PER_NODE: usize = 512;
-
-/// The versioned placement domain: bump when the point function
-/// changes, so mixed-version fleets fail loudly instead of split-brain
-/// routing.
-const RING_DOMAIN: &str = "wave-fleet/ring/v1";
-
-/// A full-avalanche 128-bit finalizer (xorshift-multiply, murmur
-/// style). FNV-1a diffuses each input byte through a single multiply,
-/// which is too weak for ring points: consecutive vnode indices differ
-/// only in trailing bytes, and without this mix their points cluster
-/// badly enough to skew per-node shares by ~50%.
-fn mix128(mut x: u128) -> u128 {
-    x ^= x >> 67;
-    x = x.wrapping_mul(0x2d35_8dcc_aa6c_78a5_fd70_80d3_06b0_8d1d);
-    x ^= x >> 71;
-    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
-    x ^= x >> 64;
-    x
-}
-
-/// The hash point of one virtual node.
-fn vnode_point(node: u32, vnode: usize) -> u128 {
-    let mut h = Fnv128::new();
-    h.write_str(RING_DOMAIN);
-    h.write_u64(node as u64);
-    h.write_len(vnode);
-    mix128(h.finish())
-}
-
-/// A consistent-hash ring mapping fingerprints to node ids.
-#[derive(Clone, Debug)]
-pub struct Ring {
-    /// `(point, node)` sorted by point.
-    points: Vec<(u128, u32)>,
-    /// Live node ids, sorted.
-    nodes: Vec<u32>,
-    /// Bumped on every membership change, so cached routing decisions
-    /// can be detected as stale.
-    epoch: u64,
-}
-
-impl Ring {
-    /// A ring over the given node ids (duplicates are ignored).
-    pub fn new(node_ids: impl IntoIterator<Item = u32>) -> Ring {
-        let mut ring = Ring {
-            points: Vec::new(),
-            nodes: Vec::new(),
-            epoch: 0,
-        };
-        for id in node_ids {
-            ring.add_node(id);
-        }
-        ring.epoch = 0;
-        ring
-    }
-
-    /// Live node ids, ascending.
-    pub fn nodes(&self) -> &[u32] {
-        &self.nodes
-    }
-
-    /// Number of live nodes.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// True when no node is live.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// The membership epoch: bumped by every add/remove.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Adds a node (no-op if present). O(V log V) in total points.
-    pub fn add_node(&mut self, id: u32) {
-        if self.nodes.contains(&id) {
-            return;
-        }
-        self.nodes.push(id);
-        self.nodes.sort_unstable();
-        for v in 0..VNODES_PER_NODE {
-            self.points.push((vnode_point(id, v), id));
-        }
-        // Sort by point; break the (cosmically unlikely) point collision
-        // by node id so the ring is a pure function of the member set.
-        self.points.sort_unstable();
-        self.epoch += 1;
-    }
-
-    /// Removes a node (no-op if absent).
-    pub fn remove_node(&mut self, id: u32) {
-        if !self.nodes.contains(&id) {
-            return;
-        }
-        self.nodes.retain(|n| *n != id);
-        self.points.retain(|(_, n)| *n != id);
-        self.epoch += 1;
-    }
-
-    /// The node owning fingerprint `fp`: the first virtual point at or
-    /// clockwise-after it (wrapping). Panics on an empty ring.
-    pub fn owner(&self, fp: u128) -> u32 {
-        assert!(!self.points.is_empty(), "routing on an empty ring");
-        let i = self.points.partition_point(|(p, _)| *p < fp);
-        let (_, node) = self.points[i % self.points.len()];
-        node
-    }
-
-    /// The first owner clockwise-after `fp` that is **not** in
-    /// `exclude` — where a request fails over when the owner is dead
-    /// but the ring has not been re-ranged yet. `None` when every node
-    /// is excluded.
-    pub fn owner_excluding(&self, fp: u128, exclude: &[u32]) -> Option<u32> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let start = self.points.partition_point(|(p, _)| *p < fp);
-        let n = self.points.len();
-        for step in 0..n {
-            let (_, node) = self.points[(start + step) % n];
-            if !exclude.contains(&node) {
-                return Some(node);
-            }
-        }
-        None
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn owner_is_deterministic_and_membership_pure() {
-        let a = Ring::new([3, 1, 2]);
-        let b = Ring::new([2, 3, 1]);
-        for fp in [0u128, 1, u128::MAX, 0xdead_beef, 1 << 90] {
-            assert_eq!(a.owner(fp), b.owner(fp), "order of adds must not matter");
-        }
-        assert_eq!(a.nodes(), &[1, 2, 3]);
-    }
-
-    #[test]
-    fn epoch_tracks_membership_changes() {
-        let mut r = Ring::new([0, 1]);
-        assert_eq!(r.epoch(), 0);
-        r.add_node(1); // no-op
-        assert_eq!(r.epoch(), 0);
-        r.add_node(2);
-        assert_eq!(r.epoch(), 1);
-        r.remove_node(0);
-        assert_eq!(r.epoch(), 2);
-        r.remove_node(0); // no-op
-        assert_eq!(r.epoch(), 2);
-        assert_eq!(r.nodes(), &[1, 2]);
-    }
-
-    #[test]
-    fn owner_excluding_skips_dead_nodes() {
-        let r = Ring::new([0, 1, 2]);
-        for fp in (0..64u128).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
-            let owner = r.owner(fp);
-            let next = r.owner_excluding(fp, &[owner]).unwrap();
-            assert_ne!(next, owner, "successor must differ from the dead owner");
-            assert_eq!(r.owner_excluding(fp, &[]), Some(owner));
-        }
-        assert_eq!(r.owner_excluding(7, &[0, 1, 2]), None);
-    }
-}
+pub use wave_serve::ring::{Ring, VNODES_PER_NODE};

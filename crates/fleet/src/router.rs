@@ -21,23 +21,39 @@
 //! The [`Hook::FleetForward`] fault point lets `wave-chaos` drop or
 //! delay forwards (a soft partition): a dropped forward fails over for
 //! that request only, without declaring the owner dead.
+//!
+//! # Membership (wave-mesh)
+//!
+//! The router is the **authority** for the epoch-tagged
+//! [`MemberView`]: every membership change (death, retire, re-join)
+//! bumps the ring epoch and pushes the new view to the surviving nodes
+//! (`install_view`), so nodes can answer `members` and police
+//! `check_owner` requests, and routed clients can bootstrap placement
+//! from any member. The heartbeat plane ([`crate::heartbeat`]) feeds
+//! suspicion in ([`Router::set_suspect`]) and executes deaths through
+//! [`Router::mark_dead`]; a restarted or new node comes back through
+//! [`Router::join`], which replays the existing members' journals into
+//! the joiner **before** re-ranging the ring — the inverse of the death
+//! path, and the order is what guarantees a re-join never costs a
+//! verdict: by the time any arc moves onto the joiner, every outcome
+//! the fleet persisted for that arc is already installed there.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use wave_logic::fingerprint::Fnv128;
 use wave_serve::client::{ClientError, RetryPolicy, TcpClient, VerifyReply};
-use wave_serve::codec::{Mode, VerifyRequest};
-use wave_serve::engine::request_fingerprint;
+use wave_serve::codec::VerifyRequest;
 use wave_serve::faults::{Fault, Faults, Hook};
-use wave_serve::registry;
+use wave_serve::view::{MemberInfo, MemberView};
 
 use crate::ring::Ring;
 use crate::shipper::tail_lines;
+
+pub use wave_serve::view::routing_fingerprint;
 
 /// One fleet member as the router sees it.
 #[derive(Clone, Debug)]
@@ -63,11 +79,21 @@ pub struct RouterCounters {
     pub nodes_marked_dead: AtomicU64,
     /// Journal records replayed to survivors after node deaths.
     pub replayed_records: AtomicU64,
+    /// Nodes that joined (or re-joined) a running fleet.
+    pub rejoins: AtomicU64,
+    /// Membership views pushed to nodes (`install_view` calls made).
+    pub view_pushes: AtomicU64,
 }
 
 struct RouterState {
     ring: Ring,
     nodes: HashMap<u32, NodeHandle>,
+    /// Missed-heartbeat counts for members under suspicion. Alive
+    /// members are absent; a member is only ever *executed* through
+    /// `mark_dead`, after the confirm probe also fails.
+    suspects: HashMap<u32, u32>,
+    /// Members declared dead and not (yet) re-joined.
+    dead: HashSet<u32>,
 }
 
 /// The fleet front end.
@@ -80,28 +106,6 @@ pub struct Router {
     pub counters: RouterCounters,
 }
 
-/// The fingerprint a request routes by: identical to the engine's
-/// canonical fingerprint for well-formed requests, so router placement
-/// and engine caching agree. Content that cannot be resolved (unknown
-/// service, unparsable property) routes by raw text — any node can
-/// produce the typed refusal.
-pub fn routing_fingerprint(req: &VerifyRequest) -> u128 {
-    if let Some(service) = registry::resolve(&req.service) {
-        let property = match req.mode {
-            Mode::ErrorFree => None,
-            Mode::Ltl => wave_logic::parser::parse_property(&req.property).ok(),
-        };
-        if property.is_some() || req.mode == Mode::ErrorFree {
-            return request_fingerprint(&service, property.as_ref(), req.mode, req.node_limit).0;
-        }
-    }
-    let mut h = Fnv128::new();
-    h.write_str("wave-fleet/unroutable/v1");
-    h.write_str(&req.service);
-    h.write_str(&req.property);
-    h.finish()
-}
-
 impl Router {
     /// A router over the given nodes, with a fault plane for the
     /// forward/ship hook points (pass [`Faults::none`] in production).
@@ -109,7 +113,12 @@ impl Router {
         let ring = Ring::new(nodes.iter().map(|n| n.id));
         let nodes = nodes.into_iter().map(|n| (n.id, n)).collect();
         Router {
-            state: Mutex::new(RouterState { ring, nodes }),
+            state: Mutex::new(RouterState {
+                ring,
+                nodes,
+                suspects: HashMap::new(),
+                dead: HashSet::new(),
+            }),
             faults,
             read_timeout: Duration::from_secs(30),
             retry: RetryPolicy {
@@ -131,9 +140,181 @@ impl Router {
         out
     }
 
-    /// The current ring epoch (bumped by every death).
+    /// The current ring epoch (bumped by every membership change).
     pub fn epoch(&self) -> u64 {
         self.state.lock().expect("router poisoned").ring.epoch()
+    }
+
+    /// The epoch-tagged membership view: the full routing input. A
+    /// client (or node) holding this view computes the same placement
+    /// the router does — the ring is a pure function of it.
+    pub fn member_view(&self) -> MemberView {
+        let st = self.state.lock().expect("router poisoned");
+        let mut members: Vec<MemberInfo> = st
+            .nodes
+            .values()
+            .map(|n| MemberInfo {
+                id: n.id,
+                addr: n.addr,
+            })
+            .collect();
+        members.sort_by_key(|m| m.id);
+        MemberView {
+            epoch: st.ring.epoch(),
+            members,
+        }
+    }
+
+    /// Pushes the current view to every member. Best-effort: a node
+    /// that misses a push serves `wrong_shard` refusals from a stale
+    /// epoch until the next heartbeat notices and re-pushes.
+    pub fn push_view(&self) {
+        let view = self.member_view();
+        for handle in self.nodes() {
+            self.push_view_handle(&handle, &view);
+        }
+    }
+
+    /// Pushes the current view to one member (heartbeat re-sync path).
+    pub fn push_view_to(&self, id: u32) {
+        let handle = {
+            let st = self.state.lock().expect("router poisoned");
+            st.nodes.get(&id).cloned()
+        };
+        if let Some(handle) = handle {
+            let view = self.member_view();
+            self.push_view_handle(&handle, &view);
+        }
+    }
+
+    fn push_view_handle(&self, handle: &NodeHandle, view: &MemberView) {
+        if let Ok(mut c) = TcpClient::connect_timeout(handle.addr, self.read_timeout) {
+            if c.install_view(view).is_ok() {
+                self.counters.view_pushes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records `missed` consecutive missed heartbeats for a member.
+    /// Suspicion is bookkeeping only: the member stays on the ring and
+    /// keeps serving until [`mark_dead`](Router::mark_dead).
+    pub fn set_suspect(&self, id: u32, missed: u32) {
+        let mut st = self.state.lock().expect("router poisoned");
+        if st.nodes.contains_key(&id) {
+            st.suspects.insert(id, missed);
+        }
+    }
+
+    /// Clears suspicion after a successful heartbeat or confirm probe.
+    pub fn clear_suspect(&self, id: u32) {
+        let mut st = self.state.lock().expect("router poisoned");
+        st.suspects.remove(&id);
+    }
+
+    /// Members currently under heartbeat suspicion.
+    pub fn suspect_count(&self) -> usize {
+        self.state.lock().expect("router poisoned").suspects.len()
+    }
+
+    /// The ring successors a node ships its journal to, as live
+    /// handles. Deterministic in the member set, so replication
+    /// converges: the R=1 successor relation is a single cycle over the
+    /// members, and receivers re-journal what they install.
+    pub fn successors_of(&self, id: u32, r: usize) -> Vec<NodeHandle> {
+        let st = self.state.lock().expect("router poisoned");
+        st.ring
+            .successors(id, r)
+            .into_iter()
+            .filter_map(|s| st.nodes.get(&s).cloned())
+            .collect()
+    }
+
+    /// Admits a node (new, or restarted after a death) into the fleet.
+    ///
+    /// Order matters and is the whole correctness argument:
+    ///
+    /// 1. **Replay first.** Every current member's journal is tailed
+    ///    and replicated into the joiner through the validating path,
+    ///    recording the cursor reached per peer. The joiner restarts
+    ///    from its own on-disk journal too, so nothing it paid for
+    ///    before the crash is lost either.
+    /// 2. **Then re-range.** The ring adds the node (epoch bump); arcs
+    ///    move onto the joiner only now, when every persisted verdict
+    ///    for those arcs is already installed there.
+    /// 3. **Delta replay.** Lines the peers appended during step 1 are
+    ///    shipped from the recorded cursors — the race window between
+    ///    replay and re-range is closed by a second, idempotent pass.
+    /// 4. **Push the view** so every member (joiner included) can
+    ///    police `check_owner` requests at the new epoch.
+    ///
+    /// Idempotent for an already-present member (refreshes the handle's
+    /// address and re-pushes the view without an epoch bump).
+    pub fn join(&self, handle: NodeHandle) {
+        let (already, peers) = {
+            let st = self.state.lock().expect("router poisoned");
+            let peers: Vec<NodeHandle> = st
+                .nodes
+                .values()
+                .filter(|n| n.id != handle.id)
+                .cloned()
+                .collect();
+            (st.nodes.contains_key(&handle.id), peers)
+        };
+        // Step 1: replay every peer's journal into the joiner, keeping
+        // the cursor each replay reached.
+        let mut cursors: Vec<(PathBuf, wave_serve::cache::JournalCursor)> = Vec::new();
+        for peer in &peers {
+            if let Some(path) = &peer.journal {
+                let (lines, cursor) = tail_lines(path, wave_serve::cache::JournalCursor::default());
+                self.ship_lines(&handle, &lines);
+                cursors.push((path.clone(), cursor));
+            }
+        }
+        // Step 2: re-range. The epoch bumps exactly once per join.
+        {
+            let mut st = self.state.lock().expect("router poisoned");
+            if already {
+                st.nodes.insert(handle.id, handle.clone());
+            } else {
+                st.ring.add_node(handle.id);
+                st.nodes.insert(handle.id, handle.clone());
+            }
+            st.dead.remove(&handle.id);
+            st.suspects.remove(&handle.id);
+        }
+        // Step 3: delta replay from the recorded cursors (receivers
+        // skip byte-identical records, so overlap is harmless).
+        for (path, cursor) in cursors {
+            let (lines, _) = tail_lines(&path, cursor);
+            self.ship_lines(&handle, &lines);
+        }
+        if !already {
+            self.counters.rejoins.fetch_add(1, Ordering::Relaxed);
+        }
+        // Step 4: everyone learns the new epoch.
+        self.push_view();
+    }
+
+    /// Ships journal lines to one node through the validating
+    /// replication path, honoring the `FleetShip` fault hook.
+    fn ship_lines(&self, to: &NodeHandle, lines: &[String]) {
+        if lines.is_empty() {
+            return;
+        }
+        let payload: usize = lines.iter().map(String::len).sum();
+        match self.faults.decide(Hook::FleetShip, payload) {
+            Fault::Delay(d) => std::thread::sleep(d),
+            // A dropped replay loses cached results, never answers.
+            Fault::Drop => return,
+            _ => {}
+        }
+        if let Ok(mut c) = TcpClient::connect_timeout(to.addr, self.read_timeout) {
+            if let Ok((applied, _, _)) = c.replicate(lines) {
+                self.counters
+                    .replayed_records
+                    .fetch_add(applied, Ordering::Relaxed);
+            }
+        }
     }
 
     /// The node a request would be forwarded to right now.
@@ -227,6 +408,8 @@ impl Router {
                 return;
             };
             st.ring.remove_node(id);
+            st.suspects.remove(&id);
+            st.dead.insert(id);
             let survivors: Vec<NodeHandle> = st.nodes.values().cloned().collect();
             (handle, survivors)
         };
@@ -234,6 +417,10 @@ impl Router {
             .nodes_marked_dead
             .fetch_add(1, Ordering::Relaxed);
         self.replay_journal(&handle, &survivors);
+        // Survivors (and routed clients bootstrapping off them) must
+        // learn the new epoch, or checked requests for the dead node's
+        // arcs would bounce off stale `wrong_shard` refusals.
+        self.push_view();
     }
 
     /// Replays a dead node's persisted journal to every survivor via
@@ -283,6 +470,15 @@ impl Router {
             ]));
         }
         let c = &self.counters;
+        let (alive, suspect, dead, ring_epoch) = {
+            let st = self.state.lock().expect("router poisoned");
+            (
+                st.nodes.len().saturating_sub(st.suspects.len()),
+                st.suspects.len(),
+                st.dead.len(),
+                st.ring.epoch(),
+            )
+        };
         Json::Obj(vec![
             (
                 "router".into(),
@@ -303,7 +499,19 @@ impl Router {
                         "replayed_records".into(),
                         Json::Int(c.replayed_records.load(Ordering::Relaxed) as i64),
                     ),
-                    ("epoch".into(), Json::Int(self.epoch() as i64)),
+                    (
+                        "rejoins".into(),
+                        Json::Int(c.rejoins.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "view_pushes".into(),
+                        Json::Int(c.view_pushes.load(Ordering::Relaxed) as i64),
+                    ),
+                    ("members_alive".into(), Json::Int(alive as i64)),
+                    ("members_suspect".into(), Json::Int(suspect as i64)),
+                    ("members_dead".into(), Json::Int(dead as i64)),
+                    ("ring_epoch".into(), Json::Int(ring_epoch as i64)),
+                    ("epoch".into(), Json::Int(ring_epoch as i64)),
                 ]),
             ),
             ("nodes".into(), Json::Arr(nodes)),

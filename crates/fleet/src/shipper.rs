@@ -3,11 +3,22 @@
 //! Every node persists its completed verifications as CRC-framed NDJSON
 //! journal lines (see `wave_serve::cache`). The shipper tails each
 //! node's journal by byte offset and ships new **complete** lines to
-//! every other live node over the wire protocol's `replicate` command.
-//! Receivers re-validate every frame (CRC, canonical re-encode,
-//! cacheable verdict) and skip byte-identical records, so shipping is
-//! idempotent: re-sending a window, crossing a compaction, or racing a
-//! concurrent writer can duplicate work but never corrupt a cache.
+//! the node's [`SHIP_FANOUT`] **ring successors** over the wire
+//! protocol's `replicate` command. Receivers re-validate every frame
+//! (CRC, canonical re-encode, cacheable verdict) and skip
+//! byte-identical records, so shipping is idempotent: re-sending a
+//! window, crossing a compaction, or racing a concurrent writer can
+//! duplicate work but never corrupt a cache.
+//!
+//! Successor shipping replaces the original all-pairs fan-out (O(n²)
+//! connections per tick) with O(n·R). Replication still converges
+//! fleet-wide because the pieces compose into gossip: placement and
+//! successor sets are pure functions of the member set, the R=1
+//! successor relation is a single cycle over the members (see
+//! [`Ring::successors`](crate::ring::Ring::successors)), and a receiver
+//! **re-journals** what it installs (`apply_replicated` persists to the
+//! receiver's own journal) — so a record hops successor-to-successor
+//! around the circle, one tick per hop, until every member holds it.
 //!
 //! Cursors (journal generation + byte offset, see
 //! [`JournalCursor`](wave_serve::cache::JournalCursor)) are tracked per
@@ -36,6 +47,11 @@ use wave_serve::client::TcpClient;
 use wave_serve::faults::{Fault, Faults, Hook};
 
 use crate::router::Router;
+
+/// Ring successors each node ships its journal to per tick. R=2 means
+/// one failure never strands a record: the other successor already has
+/// it (or receives it next tick) and gossips it onward.
+pub const SHIP_FANOUT: usize = 2;
 
 /// Reads the complete (newline-terminated) journal lines at or after
 /// the cursor, returning them with the cursor just past the last
@@ -85,9 +101,9 @@ pub struct Shipper {
 }
 
 impl Shipper {
-    /// Starts shipping every node's journal to every other live node,
-    /// once per `interval`. Faults at [`Hook::FleetShip`] drop or delay
-    /// individual ship rounds.
+    /// Starts shipping every node's journal to its [`SHIP_FANOUT`] ring
+    /// successors, once per `interval`. Faults at [`Hook::FleetShip`]
+    /// drop or delay individual ship rounds.
     pub fn start(router: Arc<Router>, faults: Faults, interval: Duration) -> Shipper {
         let stop = Arc::new(AtomicBool::new(false));
         let shipped = Arc::new(AtomicU64::new(0));
@@ -128,10 +144,7 @@ impl Shipper {
             let Some(journal) = &source.journal else {
                 continue;
             };
-            for peer in &nodes {
-                if peer.id == source.id {
-                    continue;
-                }
+            for peer in router.successors_of(source.id, SHIP_FANOUT) {
                 let key = (source.id, peer.id);
                 let from = offsets.get(&key).copied().unwrap_or_default();
                 let (lines, next) = tail_lines(journal, from);

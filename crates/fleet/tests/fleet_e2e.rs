@@ -1,10 +1,13 @@
 //! Fleet end-to-end drills: routing determinism, fleet-wide
 //! at-most-once cold verification, journal-shipped replication, node
-//! kill/retire survival, and soft-partition chaos.
+//! kill/retire survival, re-join and ring re-expansion, heartbeat
+//! death detection, router-less client-side routing, and
+//! soft-partition chaos.
 //!
 //! The invariant hierarchy under test: a fleet may lose *cached* work
 //! (it re-verifies cold), but it must never serve a wrong verdict,
-//! install a corrupted replay, or hang a client.
+//! install a corrupted replay, or hang a client — and a re-join must
+//! never lose a journaled verdict or re-verify already-paid content.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -12,7 +15,9 @@ use std::time::{Duration, Instant};
 
 use wave_chaos::plan::Plan;
 use wave_chaos::plane::ChaosPlane;
+use wave_fleet::heartbeat::HeartbeatOptions;
 use wave_fleet::local::{FleetOptions, LocalFleet, ProcessFleet};
+use wave_serve::client::{RoutedClient, TcpClient};
 use wave_serve::codec::{Mode, VerifyRequest};
 use wave_serve::faults::Faults;
 
@@ -43,6 +48,7 @@ fn request(property: &str) -> VerifyRequest {
         node_limit: 0,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     }
 }
 
@@ -213,6 +219,248 @@ fn sigkill_mid_campaign_yields_no_wrong_verdicts_and_no_hangs() {
         "the drill must complete on a bounded clock"
     );
     fleet.shutdown();
+}
+
+/// The re-join drill from the mesh acceptance bar: SIGKILL a node
+/// mid-campaign, restart it from its on-disk journal, re-join it, and
+/// run a 3-round campaign — zero re-verifications of journaled
+/// fingerprints, byte-identical verdicts throughout.
+#[test]
+fn sigkill_restart_and_rejoin_never_reverifies_journaled_content() {
+    let bin = std::path::Path::new(env!("CARGO_BIN_EXE_wave-fleet"));
+    let mut fleet = ProcessFleet::spawn(
+        bin,
+        3,
+        FleetOptions {
+            ship_interval: Duration::from_millis(25),
+            heartbeat: None, // this drill drives membership by hand
+            ..FleetOptions::default()
+        },
+    )
+    .expect("spawn process fleet");
+
+    // Ground truth plus journal warm-up.
+    let mut first: Vec<String> = Vec::new();
+    for f in formulas() {
+        first.push(
+            fleet
+                .router()
+                .submit(&request(f))
+                .expect("verify")
+                .outcome_text,
+        );
+    }
+    std::thread::sleep(Duration::from_millis(250));
+
+    // SIGKILL mid-campaign, then restart from the same on-disk journal
+    // and re-join: peers replay in *before* the ring re-ranges.
+    assert!(fleet.kill(0), "node 0 must exist to be killed");
+    let epoch_after_kill = fleet.router().epoch();
+    fleet.restart(0).expect("restart from on-disk journal");
+    assert!(
+        fleet.router().epoch() > epoch_after_kill,
+        "re-join must bump the ring epoch"
+    );
+    assert_eq!(fleet.router().nodes().len(), 3, "full strength restored");
+
+    // Per-node cold-run baseline *after* the re-join: three full rounds
+    // must not add a single cold verification anywhere in the fleet.
+    let misses = |fleet: &ProcessFleet| -> u64 {
+        fleet
+            .router()
+            .nodes()
+            .iter()
+            .map(|n| {
+                TcpClient::connect_timeout(n.addr, Duration::from_secs(5))
+                    .ok()
+                    .and_then(|mut c| c.stats().ok())
+                    .and_then(|s| s.get("cache_misses").and_then(|v| v.as_int()))
+                    .unwrap_or(0) as u64
+            })
+            .sum()
+    };
+    let baseline = misses(&fleet);
+    for _round in 0..3 {
+        for (i, f) in formulas().iter().enumerate() {
+            let reply = fleet
+                .router()
+                .submit(&request(f))
+                .expect("post-rejoin verify");
+            assert!(reply.cache_hit, "{f} must hit after the re-join");
+            assert_eq!(
+                reply.outcome_text, first[i],
+                "{f} changed its verdict across kill + re-join"
+            );
+        }
+    }
+    assert_eq!(
+        misses(&fleet),
+        baseline,
+        "zero re-verifications of journaled fingerprints after a re-join"
+    );
+
+    // The restarted node is a full member again: it answers health with
+    // the current epoch (the join pushed the view).
+    let node0 = fleet
+        .router()
+        .nodes()
+        .into_iter()
+        .find(|n| n.id == 0)
+        .expect("node 0 re-joined");
+    let health = TcpClient::connect_timeout(node0.addr, Duration::from_secs(5))
+        .expect("connect")
+        .health()
+        .expect("health");
+    assert_eq!(health.shard, 0);
+    assert_eq!(health.epoch, fleet.router().epoch());
+    fleet.shutdown();
+}
+
+/// Client-side routing as router failover: with the view pushed, a
+/// `RoutedClient` bootstrapped off the *nodes* completes every request
+/// with byte-identical verdicts while the router is never on the
+/// request path — and keeps working across a membership change.
+#[test]
+fn routed_client_survives_without_the_router() {
+    let bin = std::path::Path::new(env!("CARGO_BIN_EXE_wave-fleet"));
+    let mut fleet = ProcessFleet::spawn(
+        bin,
+        3,
+        FleetOptions {
+            ship_interval: Duration::from_millis(25),
+            heartbeat: None, // membership driven by hand below
+            ..FleetOptions::default()
+        },
+    )
+    .expect("spawn process fleet");
+
+    // Warm the fleet through the router once (ground truth).
+    let mut first: Vec<String> = Vec::new();
+    for f in formulas() {
+        first.push(
+            fleet
+                .router()
+                .submit(&request(f))
+                .expect("verify")
+                .outcome_text,
+        );
+    }
+
+    // From here on the router is dead as far as requests are concerned:
+    // the client talks straight to owner nodes.
+    let bootstrap: Vec<std::net::SocketAddr> =
+        fleet.router().nodes().iter().map(|n| n.addr).collect();
+    let mut client = RoutedClient::new(bootstrap).with_read_timeout(Duration::from_secs(10));
+    for (i, f) in formulas().iter().enumerate() {
+        let reply = client.verify(&request(f)).expect("routed verify");
+        assert!(reply.cache_hit, "{f} must be served from the owner's cache");
+        assert_eq!(
+            reply.outcome_text, first[i],
+            "{f} verdict drifted through client-side routing"
+        );
+    }
+    assert_eq!(
+        client.view_epoch(),
+        fleet.router().epoch(),
+        "the client must hold the fleet's current view"
+    );
+
+    // Membership changes mid-stream: a node really dies (SIGKILL), the
+    // epoch bumps, the client recovers by protocol (dead socket or
+    // wrong_shard → refresh) — every request still completes, still
+    // byte-identical, with the router never on the request path.
+    assert!(fleet.kill(1), "node 1 must exist to be killed");
+    for (i, f) in formulas().iter().enumerate() {
+        let reply = client
+            .verify(&request(f))
+            .expect("post-death routed verify");
+        assert_eq!(
+            reply.outcome_text, first[i],
+            "{f} verdict drifted across a death under client-side routing"
+        );
+        assert_ne!(reply.shard, 1, "the dead node must not answer");
+    }
+    fleet.shutdown();
+}
+
+/// The membership plane detects a *real* death on its own: a silent
+/// SIGKILL (the router is not told) must be noticed by heartbeat,
+/// confirmed, and executed — epoch bump, member off the ring.
+#[test]
+fn heartbeat_detects_a_silent_sigkill() {
+    let bin = std::path::Path::new(env!("CARGO_BIN_EXE_wave-fleet"));
+    let mut fleet = ProcessFleet::spawn(
+        bin,
+        3,
+        FleetOptions {
+            ship_interval: Duration::from_millis(25),
+            heartbeat: Some(HeartbeatOptions {
+                interval: Duration::from_millis(25),
+                k_missed: 3,
+                probe_timeout: Duration::from_millis(250),
+                seed: 0xDEAD,
+            }),
+            ..FleetOptions::default()
+        },
+    )
+    .expect("spawn process fleet");
+
+    for f in formulas().iter().take(4) {
+        fleet.router().submit(&request(f)).expect("verify");
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    let epoch_before = fleet.router().epoch();
+    assert!(fleet.kill_silent(2), "node 2 must exist to be killed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fleet.router().epoch() == epoch_before {
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat never detected the silent kill"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(
+        fleet.router().nodes().len(),
+        2,
+        "the corpse is off the ring"
+    );
+    assert!(
+        fleet.router().nodes().iter().all(|n| n.id != 2),
+        "node 2 must be the one removed"
+    );
+    // The fleet still answers everything, byte-stable, after the
+    // autonomous death.
+    for f in formulas().iter().take(4) {
+        let reply = fleet
+            .router()
+            .submit(&request(f))
+            .expect("post-detection verify");
+        assert_ne!(reply.shard, 2);
+    }
+    fleet.shutdown();
+}
+
+/// `health` and `members` round-trip over live TCP against real node
+/// processes: cheap liveness plus the epoch-tagged view any member can
+/// serve to bootstrapping clients.
+#[test]
+fn health_and_members_round_trip_over_live_tcp() {
+    let fleet = LocalFleet::launch(3, FleetOptions::default()).expect("launch");
+    let view = fleet.router().member_view();
+    assert_eq!(view.members.len(), 3);
+    for node in fleet.router().nodes() {
+        let mut c = TcpClient::connect_timeout(node.addr, Duration::from_secs(5)).expect("connect");
+        let health = c.health().expect("health");
+        assert_eq!(health.shard, node.id);
+        assert_eq!(health.epoch, view.epoch, "launch must push the view");
+        let served = c.members().expect("members");
+        assert_eq!(served.epoch, view.epoch);
+        assert_eq!(
+            served.members.iter().map(|m| m.id).collect::<Vec<_>>(),
+            view.members.iter().map(|m| m.id).collect::<Vec<_>>(),
+        );
+    }
 }
 
 #[test]

@@ -49,6 +49,10 @@ pub struct CampaignOptions {
     /// Retire one node halfway through the schedule (a mid-campaign
     /// death drill).
     pub retire_mid: bool,
+    /// Churn drill: retire **and re-join** one node at the schedule
+    /// midpoint, and report tail latency inside the churn window
+    /// against steady state.
+    pub churn: bool,
 }
 
 impl Default for CampaignOptions {
@@ -64,8 +68,28 @@ impl Default for CampaignOptions {
             deadline_fraction: 0.1,
             deadline_us: (20_000, 200_000),
             retire_mid: false,
+            churn: false,
         }
     }
+}
+
+/// Tail latency through a kill + re-join window, next to steady state.
+#[derive(Debug)]
+pub struct ChurnReport {
+    /// The node killed and re-joined.
+    pub node: u32,
+    /// Window start, microseconds after campaign start.
+    pub window_start_us: u64,
+    /// Window end (re-join complete), microseconds after start.
+    pub window_end_us: u64,
+    /// p99 latency of submissions due inside the window.
+    pub p99_churn_us: u64,
+    /// p99 latency of submissions due outside the window.
+    pub p99_steady_us: u64,
+    /// Submissions due inside the window.
+    pub samples_churn: usize,
+    /// Submissions due outside the window.
+    pub samples_steady: usize,
 }
 
 /// What a campaign measured. Serialized as `BENCH_serve.json`.
@@ -116,6 +140,8 @@ pub struct CampaignReport {
     pub single_verification_ok: bool,
     /// The node retired mid-campaign, if the drill was on.
     pub retired_node: Option<u32>,
+    /// The churn drill's window measurements, if the drill was on.
+    pub churn: Option<ChurnReport>,
 }
 
 impl CampaignReport {
@@ -130,7 +156,7 @@ impl CampaignReport {
                 "\"errors\":{},\"cold_runs\":{},\"cache_hits\":{},",
                 "\"coalesced\":{},\"cancelled\":{},\"replicated_applied\":{},",
                 "\"failovers\":{},\"single_verification_ok\":{},",
-                "\"retired_node\":{}}}"
+                "\"retired_node\":{},\"churn\":{}}}"
             ),
             self.nodes,
             self.submissions,
@@ -154,6 +180,23 @@ impl CampaignReport {
             self.single_verification_ok,
             match self.retired_node {
                 Some(id) => id.to_string(),
+                None => "null".to_string(),
+            },
+            match &self.churn {
+                Some(c) => format!(
+                    concat!(
+                        "{{\"node\":{},\"window_start_us\":{},\"window_end_us\":{},",
+                        "\"p99_churn_us\":{},\"p99_steady_us\":{},",
+                        "\"samples_churn\":{},\"samples_steady\":{}}}"
+                    ),
+                    c.node,
+                    c.window_start_us,
+                    c.window_end_us,
+                    c.p99_churn_us,
+                    c.p99_steady_us,
+                    c.samples_churn,
+                    c.samples_steady,
+                ),
                 None => "null".to_string(),
             },
         )
@@ -182,7 +225,7 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 pub fn run(opts: &CampaignOptions) -> CampaignReport {
     assert!(opts.submissions > 0 && opts.workers > 0 && opts.rps > 0.0);
     let formulas = Arc::new(corpus(opts.corpus_size));
-    let fleet = LocalFleet::launch(
+    let mut fleet = LocalFleet::launch(
         opts.nodes,
         FleetOptions {
             ship_interval: Duration::from_millis(50),
@@ -232,7 +275,9 @@ pub fn run(opts: &CampaignOptions) -> CampaignReport {
         let cursor = Arc::clone(&cursor);
         let router = Arc::clone(fleet.router());
         handles.push(std::thread::spawn(move || {
-            let mut latencies: Vec<u64> = Vec::new();
+            // Each sample keeps its scheduled due time so the churn
+            // drill can slice tail latency by window afterwards.
+            let mut samples: Vec<(u64, u64)> = Vec::new();
             let mut errors = 0u64;
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -246,18 +291,18 @@ pub fn run(opts: &CampaignOptions) -> CampaignReport {
                 req.deadline_us = slot.deadline_us;
                 match router.submit(&req) {
                     Ok(_) => {
-                        latencies.push(due.elapsed().as_micros() as u64);
+                        samples.push((slot.offset_us, due.elapsed().as_micros() as u64));
                     }
                     Err(_) => errors += 1,
                 }
             }
-            (latencies, errors)
+            (samples, errors)
         }));
     }
 
     // The mid-campaign death drill: retire the last node when the
     // schedule is half due.
-    let retired_node = if opts.retire_mid {
+    let retired_node = if opts.retire_mid || opts.churn {
         let half = schedule[opts.submissions / 2].offset_us;
         let now_us = start.elapsed().as_micros() as u64;
         if now_us < half {
@@ -269,15 +314,48 @@ pub fn run(opts: &CampaignOptions) -> CampaignReport {
     } else {
         None
     };
+    // The churn drill continues where the retirement left off: the
+    // node re-joins mid-load, and the window from kill to completed
+    // re-join is measured against steady state.
+    let churn_window = match (opts.churn, retired_node) {
+        (true, Some(id)) => {
+            let window_start_us = schedule[opts.submissions / 2].offset_us;
+            fleet.rejoin(id).expect("mid-campaign re-join");
+            Some((id, window_start_us, start.elapsed().as_micros() as u64))
+        }
+        _ => None,
+    };
 
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut samples: Vec<(u64, u64)> = Vec::new();
     let mut errors = 0u64;
     for h in handles {
-        let (lat, err) = h.join().expect("campaign worker panicked");
-        latencies.extend(lat);
+        let (s, err) = h.join().expect("campaign worker panicked");
+        samples.extend(s);
         errors += err;
     }
     let wall_s = start.elapsed().as_secs_f64();
+    let churn = churn_window.map(|(node, w0, w1)| {
+        let (mut in_window, mut steady): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+        for (due_us, lat) in &samples {
+            if *due_us >= w0 && *due_us < w1 {
+                in_window.push(*lat);
+            } else {
+                steady.push(*lat);
+            }
+        }
+        in_window.sort_unstable();
+        steady.sort_unstable();
+        ChurnReport {
+            node,
+            window_start_us: w0,
+            window_end_us: w1,
+            p99_churn_us: percentile(&in_window, 0.99),
+            p99_steady_us: percentile(&steady, 0.99),
+            samples_churn: in_window.len(),
+            samples_steady: steady.len(),
+        }
+    });
+    let mut latencies: Vec<u64> = samples.into_iter().map(|(_, lat)| lat).collect();
     latencies.sort_unstable();
 
     let sum = |f: fn(&wave_serve::engine::Counters) -> u64| -> u64 {
@@ -308,6 +386,7 @@ pub fn run(opts: &CampaignOptions) -> CampaignReport {
         failovers,
         single_verification_ok: cold_runs <= distinct as u64 + cancelled + failovers,
         retired_node,
+        churn,
     }
 }
 
@@ -360,5 +439,35 @@ mod tests {
         );
         assert_eq!(report.retired_node, Some(2));
         assert!(report.single_verification_ok, "{report:?}");
+    }
+
+    #[test]
+    fn churn_drill_rejoins_mid_load_and_reports_the_window() {
+        let report = run(&CampaignOptions {
+            nodes: 3,
+            submissions: 400,
+            rps: 1_000.0,
+            corpus_size: 40,
+            zipf_s: 1.0,
+            workers: 8,
+            seed: 0xC4021,
+            deadline_fraction: 0.0,
+            churn: true,
+            ..CampaignOptions::default()
+        });
+        assert_eq!(
+            report.errors, 0,
+            "kill + re-join must never cost a client: {report:?}"
+        );
+        assert!(report.single_verification_ok, "{report:?}");
+        let churn = report.churn.as_ref().expect("churn section");
+        assert_eq!(churn.node, 2);
+        assert!(churn.window_end_us > churn.window_start_us);
+        assert!(
+            churn.samples_churn + churn.samples_steady == report.submissions,
+            "every submission lands in exactly one window: {report:?}"
+        );
+        let json = report.encode();
+        assert!(json.contains("\"churn\":{\"node\":2,"), "{json}");
     }
 }

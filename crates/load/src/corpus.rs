@@ -28,6 +28,7 @@ pub fn request(property: &str) -> VerifyRequest {
         node_limit: 0,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     }
 }
 

@@ -5,12 +5,14 @@
 //! wave-load run [--nodes 3] [--submissions 6000] [--rps 600]
 //!               [--corpus 120] [--zipf-s 1.1] [--workers 24]
 //!               [--seed N] [--deadline-fraction 0.1] [--retire-mid]
-//!               [--out FILE] [--smoke]
+//!               [--churn] [--out FILE] [--smoke]
 //! ```
 //!
 //! `--smoke` shrinks the campaign to a seconds-scale sanity run (CI
 //! uses it); `--retire-mid` retires one node halfway through the
-//! schedule to measure the cost of a death under load.
+//! schedule to measure the cost of a death under load; `--churn` goes
+//! further and re-joins the node mid-load, reporting p99 inside the
+//! churn window against steady state.
 
 use std::process::ExitCode;
 
@@ -30,7 +32,7 @@ fn main() -> ExitCode {
             eprintln!("usage: wave-load run [options]");
             eprintln!("  --nodes N --submissions N --rps F --corpus N --zipf-s F");
             eprintln!("  --workers N --seed N --deadline-fraction F --retire-mid");
-            eprintln!("  --out FILE --smoke");
+            eprintln!("  --churn --out FILE --smoke");
             ExitCode::from(2)
         }
     }
@@ -77,6 +79,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         seed: flag_num(args, "--seed", base.seed)?,
         deadline_fraction: flag_num(args, "--deadline-fraction", base.deadline_fraction)?,
         retire_mid: args.iter().any(|a| a == "--retire-mid") || base.retire_mid,
+        churn: args.iter().any(|a| a == "--churn") || base.churn,
         ..base
     };
     let report = run(&opts);

@@ -176,6 +176,7 @@ fn submit_and_diff(
         node_limit: opts.node_limit,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     };
     let res = match engine.submit_service(service.clone(), sources, &req) {
         Ok(r) => r,

@@ -87,6 +87,16 @@ pub enum ClientError {
         /// Suggested wait before resubmitting, in milliseconds.
         after_ms: u64,
     },
+    /// The node's membership view places this request on another node
+    /// (kind `wrong_shard`; only possible for `check_owner` requests).
+    /// The fix is a view refresh, not a backoff: the refusing node's
+    /// `members` reply carries the fresher view.
+    WrongShard {
+        /// The refusing node's view epoch.
+        epoch: u64,
+        /// The owner that node's view computes.
+        owner: u32,
+    },
     /// The server answered `ok: false` (semantic refusal).
     Server(String),
     /// The response line was not valid protocol.
@@ -101,6 +111,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Draining => write!(f, "server is draining; not accepting new jobs"),
             ClientError::RetryAfter { after_ms } => {
                 write!(f, "server overloaded; retry after {after_ms} ms")
+            }
+            ClientError::WrongShard { epoch, owner } => {
+                write!(
+                    f,
+                    "wrong shard: owner is node {owner} at view epoch {epoch}"
+                )
             }
             ClientError::Server(e) => write!(f, "server: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
@@ -132,6 +148,17 @@ fn decode_verify_line(line: &str) -> Result<VerifyReply, ClientError> {
                         .and_then(Json::as_int)
                         .map_or(1_000, |n| n.max(0) as u64);
                     return Err(ClientError::RetryAfter { after_ms });
+                }
+                Some("wrong_shard") => {
+                    let epoch = v
+                        .get("epoch")
+                        .and_then(Json::as_int)
+                        .map_or(0, |n| n.max(0) as u64);
+                    let owner = v
+                        .get("owner")
+                        .and_then(Json::as_int)
+                        .map_or(0, |n| n.max(0) as u32);
+                    return Err(ClientError::WrongShard { epoch, owner });
                 }
                 _ => {}
             }
@@ -543,5 +570,233 @@ impl TcpClient {
             .encode(),
         )?;
         decode_drain_line(&line)
+    }
+
+    /// Probes the cheap liveness endpoint.
+    pub fn health(&mut self) -> Result<HealthReply, ClientError> {
+        let line = self.round_trip(&Request::Health.encode())?;
+        let v = Json::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error");
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        let int = |key: &str| -> Result<i64, ClientError> {
+            v.get(key)
+                .and_then(Json::as_int)
+                .ok_or_else(|| ClientError::Protocol(format!("health: missing {key}")))
+        };
+        Ok(HealthReply {
+            shard: int("shard")?.max(0) as u32,
+            epoch: int("epoch")?.max(0) as u64,
+            journal_bytes: int("journal_bytes")?.max(0) as u64,
+            generation: int("generation")?.max(0) as u64,
+        })
+    }
+
+    /// Fetches the node's installed membership view.
+    pub fn members(&mut self) -> Result<crate::view::MemberView, ClientError> {
+        let line = self.round_trip(&Request::Members.encode())?;
+        let v = Json::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error");
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        let view = v
+            .get("view")
+            .ok_or_else(|| ClientError::Protocol("members: missing view".into()))?;
+        crate::view::MemberView::from_json(view).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Pushes a membership view to the node; returns the epoch now in
+    /// force there (higher when the node already held a fresher view).
+    pub fn install_view(&mut self, view: &crate::view::MemberView) -> Result<u64, ClientError> {
+        let line = self.round_trip(&Request::InstallView { view: view.clone() }.encode())?;
+        let v = Json::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error");
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        v.get("epoch")
+            .and_then(Json::as_int)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| ClientError::Protocol("install_view: missing epoch".into()))
+    }
+}
+
+/// A decoded `health` reply — the heartbeat plane's observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthReply {
+    /// The answering node's shard id.
+    pub shard: u32,
+    /// Its installed view epoch (`0` before any push).
+    pub epoch: u64,
+    /// Its cache journal size in bytes.
+    pub journal_bytes: u64,
+    /// Its journal generation stamp (the `.gen` sidecar value).
+    pub generation: u64,
+}
+
+/// How many consecutive stale-view refusals a [`RoutedClient`] absorbs
+/// before giving up on checked routing and failing over unchecked.
+const MAX_STALE_RETRIES: usize = 4;
+
+/// A self-routing client: holds an epoch-tagged membership view,
+/// computes ring placement locally, and talks **straight to owner
+/// nodes** — no router on the request path, so a dead router costs
+/// routed clients nothing.
+///
+/// Staleness is handled by protocol, not by coordination: requests go
+/// out with `check_owner` set, and a node whose view disagrees refuses
+/// with `wrong_shard`, at which point the client refetches the view
+/// (the refusing node itself serves the fresher one) and retries. If no
+/// fresh-enough view can be obtained — or the computed owner is
+/// unreachable — the client falls back to **unchecked failover** across
+/// every member it knows: any node computes correct verdicts, ownership
+/// only concentrates the cache, so availability never hinges on view
+/// agreement.
+pub struct RoutedClient {
+    /// Addresses tried for view fetches when no member is known (or
+    /// none is reachable): typically the initial node list, optionally
+    /// including the router front end.
+    bootstrap: Vec<std::net::SocketAddr>,
+    read_timeout: Duration,
+    retry: RetryPolicy,
+    view: Option<(crate::view::MemberView, crate::ring::Ring)>,
+}
+
+impl RoutedClient {
+    /// A routed client bootstrapping its view from `bootstrap`.
+    pub fn new(bootstrap: Vec<std::net::SocketAddr>) -> RoutedClient {
+        RoutedClient {
+            bootstrap,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            retry: RetryPolicy::default(),
+            view: None,
+        }
+    }
+
+    /// Sets the per-read timeout used for every connection.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> RoutedClient {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the retry policy used by the unchecked-failover fallback.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> RoutedClient {
+        self.retry = policy;
+        self
+    }
+
+    /// The epoch of the held view (`0` before the first fetch).
+    pub fn view_epoch(&self) -> u64 {
+        self.view.as_ref().map_or(0, |(v, _)| v.epoch)
+    }
+
+    /// Refetches the membership view from every known member plus the
+    /// bootstrap list, keeping the **highest epoch** seen — so one
+    /// reachable up-to-date node (e.g. the one that just refused us
+    /// with `wrong_shard`) is enough to catch up, router dead or not.
+    pub fn refresh_view(&mut self) -> Result<u64, ClientError> {
+        let mut candidates: Vec<std::net::SocketAddr> = Vec::new();
+        if let Some((view, _)) = &self.view {
+            candidates.extend(view.members.iter().map(|m| m.addr));
+        }
+        for addr in &self.bootstrap {
+            if !candidates.contains(addr) {
+                candidates.push(*addr);
+            }
+        }
+        let mut best: Option<crate::view::MemberView> = None;
+        let mut last_err = ClientError::Protocol("no membership source configured".into());
+        for addr in candidates {
+            match TcpClient::connect_timeout(addr, self.read_timeout)
+                .map_err(ClientError::Io)
+                .and_then(|mut c| c.members())
+            {
+                Ok(view) => {
+                    if best.as_ref().is_none_or(|b| view.epoch > b.epoch) {
+                        best = Some(view);
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        match best {
+            Some(view) => {
+                let epoch = view.epoch;
+                let ring = view.ring();
+                self.view = Some((view, ring));
+                Ok(epoch)
+            }
+            None => Err(last_err),
+        }
+    }
+
+    /// Routes one verify request to completion without a router:
+    /// checked attempt at the locally-computed owner, view refresh on
+    /// `wrong_shard`, unchecked failover across all known members when
+    /// checked routing cannot converge or the owner is unreachable.
+    pub fn verify(&mut self, req: &VerifyRequest) -> Result<VerifyReply, ClientError> {
+        if self.view.is_none() {
+            self.refresh_view()?;
+        }
+        let mut checked = req.clone();
+        checked.check_owner = true;
+        let fp = crate::view::routing_fingerprint(req);
+        for _ in 0..MAX_STALE_RETRIES {
+            let Some((view, ring)) = &self.view else {
+                break;
+            };
+            if ring.is_empty() {
+                break;
+            }
+            let owner = ring.owner(fp);
+            let Some(addr) = view.addr_of(owner) else {
+                break;
+            };
+            let held_epoch = view.epoch;
+            match TcpClient::connect_timeout(addr, self.read_timeout)
+                .map_err(ClientError::Io)
+                .and_then(|mut c| c.verify(&checked))
+            {
+                Ok(reply) => return Ok(reply),
+                Err(ClientError::WrongShard { epoch, .. }) => {
+                    // The refuser's view disagrees with ours. Refreshing
+                    // keeps the highest epoch reachable — including the
+                    // refuser's. If that still is not fresher than what
+                    // we already routed by, views genuinely disagree at
+                    // our freshest knowledge; stop checking and fail
+                    // over unchecked.
+                    let refreshed = self.refresh_view()?;
+                    if refreshed <= held_epoch && refreshed < epoch {
+                        break;
+                    }
+                }
+                Err(ClientError::Io(_) | ClientError::Timeout) => {
+                    // Owner unreachable: the membership may have moved
+                    // on without us. Refresh best-effort, then fail over
+                    // unchecked — a request must not hang on one corpse.
+                    let _ = self.refresh_view();
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let addrs: Vec<std::net::SocketAddr> = match &self.view {
+            Some((view, _)) if !view.members.is_empty() => {
+                view.members.iter().map(|m| m.addr).collect()
+            }
+            _ => self.bootstrap.clone(),
+        };
+        TcpClient::verify_with_failover(&addrs, self.read_timeout, req, &self.retry)
     }
 }

@@ -38,6 +38,7 @@ use std::time::Duration;
 use wave_verifier::symbolic::{SearchStats, Verdict, VerifyOutcome};
 
 use crate::json::Json;
+use crate::view::MemberView;
 
 /// What the engine should decide.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,6 +87,15 @@ pub struct VerifyRequest {
     /// Per-job deadline in microseconds (`0` = none). Excluded from the
     /// fingerprint for the same reason.
     pub deadline_us: u64,
+    /// When set, the node verifies only if its installed membership
+    /// view says it owns this request's fingerprint; otherwise it
+    /// refuses with kind `wrong_shard` (carrying its view epoch and the
+    /// owner it computes). Set by clients routing on their own view —
+    /// the refusal is how a stale client learns to refetch. The router
+    /// never sets it: router failover deliberately lands requests on
+    /// non-owners. Absent on the wire means `false`, so old clients
+    /// are unaffected. Excluded from the fingerprint.
+    pub check_owner: bool,
 }
 
 /// A request line.
@@ -109,6 +119,19 @@ pub enum Request {
     Replicate {
         /// CRC-framed journal lines, newline-free.
         lines: Vec<String>,
+    },
+    /// Cheap liveness probe: replies with the node's view epoch,
+    /// journal length and cache generation without touching the
+    /// scheduler, so the heartbeat plane can probe under full load.
+    Health,
+    /// Report the node's installed membership view (epoch-tagged), so
+    /// clients can bootstrap placement from any member.
+    Members,
+    /// Install a membership view pushed by the routing authority. The
+    /// node keeps the higher-epoch view.
+    InstallView {
+        /// The pushed view.
+        view: MemberView,
     },
 }
 
@@ -150,6 +173,14 @@ impl Request {
             .ok_or_else(|| err("missing \"cmd\""))?;
         match cmd {
             "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
+            "members" => Ok(Request::Members),
+            "install_view" => {
+                let view = v.get("view").ok_or_else(|| err("missing \"view\""))?;
+                Ok(Request::InstallView {
+                    view: MemberView::from_json(view)?,
+                })
+            }
             "replicate" => {
                 let lines = v
                     .get("lines")
@@ -199,6 +230,12 @@ impl Request {
                     d.as_int()
                         .ok_or_else(|| err("deadline_us must be an integer"))
                 })?;
+                let check_owner = match v.get("check_owner") {
+                    None => false,
+                    Some(b) => b
+                        .as_bool()
+                        .ok_or_else(|| err("check_owner must be a boolean"))?,
+                };
                 Ok(Request::Verify(VerifyRequest {
                     service,
                     property,
@@ -207,6 +244,7 @@ impl Request {
                     threads: get_usize(&v, "threads", 1)?,
                     deadline_us: u64::try_from(deadline)
                         .map_err(|_| err("deadline_us must be non-negative"))?,
+                    check_owner,
                 }))
             }
             other => Err(err(format!("unknown cmd: {other}"))),
@@ -217,6 +255,13 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Request::Stats => Json::Obj(vec![("cmd".into(), Json::str("stats"))]).encode(),
+            Request::Health => Json::Obj(vec![("cmd".into(), Json::str("health"))]).encode(),
+            Request::Members => Json::Obj(vec![("cmd".into(), Json::str("members"))]).encode(),
+            Request::InstallView { view } => Json::Obj(vec![
+                ("cmd".into(), Json::str("install_view")),
+                ("view".into(), view.to_json()),
+            ])
+            .encode(),
             Request::Drain { deadline_ms } => Json::Obj(vec![
                 ("cmd".into(), Json::str("drain")),
                 ("deadline_ms".into(), Json::Int(*deadline_ms as i64)),
@@ -230,16 +275,23 @@ impl Request {
                 ),
             ])
             .encode(),
-            Request::Verify(r) => Json::Obj(vec![
-                ("cmd".into(), Json::str("verify")),
-                ("service".into(), Json::str(&r.service)),
-                ("property".into(), Json::str(&r.property)),
-                ("mode".into(), Json::str(r.mode.as_str())),
-                ("node_limit".into(), Json::Int(r.node_limit as i64)),
-                ("threads".into(), Json::Int(r.threads as i64)),
-                ("deadline_us".into(), Json::Int(r.deadline_us as i64)),
-            ])
-            .encode(),
+            Request::Verify(r) => {
+                let mut fields = vec![
+                    ("cmd".into(), Json::str("verify")),
+                    ("service".into(), Json::str(&r.service)),
+                    ("property".into(), Json::str(&r.property)),
+                    ("mode".into(), Json::str(r.mode.as_str())),
+                    ("node_limit".into(), Json::Int(r.node_limit as i64)),
+                    ("threads".into(), Json::Int(r.threads as i64)),
+                    ("deadline_us".into(), Json::Int(r.deadline_us as i64)),
+                ];
+                // Emitted only when set, so requests from non-routing
+                // callers stay byte-identical to the pre-mesh wire.
+                if r.check_owner {
+                    fields.push(("check_owner".into(), Json::Bool(true)));
+                }
+                Json::Obj(fields).encode()
+            }
         }
     }
 }
@@ -463,6 +515,17 @@ mod tests {
     fn request_round_trips() {
         let reqs = vec![
             Request::Stats,
+            Request::Health,
+            Request::Members,
+            Request::InstallView {
+                view: crate::view::MemberView {
+                    epoch: 9,
+                    members: vec![crate::view::MemberInfo {
+                        id: 4,
+                        addr: "127.0.0.1:4004".parse().unwrap(),
+                    }],
+                },
+            },
             Request::Drain { deadline_ms: 2500 },
             Request::Verify(VerifyRequest {
                 service: "checkout_core".into(),
@@ -471,6 +534,7 @@ mod tests {
                 node_limit: 0,
                 threads: 2,
                 deadline_us: 1000,
+                check_owner: false,
             }),
             Request::Verify(VerifyRequest {
                 service: "full_site".into(),
@@ -479,6 +543,7 @@ mod tests {
                 node_limit: 77,
                 threads: 0,
                 deadline_us: 0,
+                check_owner: true,
             }),
             Request::Replicate { lines: Vec::new() },
             Request::Replicate {
@@ -506,9 +571,21 @@ mod tests {
                 assert_eq!(v.node_limit, 0);
                 assert_eq!(v.threads, 1);
                 assert_eq!(v.deadline_us, 0);
+                assert!(!v.check_owner, "absent check_owner must decode false");
             }
             other => panic!("{other:?}"),
         }
+        // A non-boolean check_owner is a decode error, and a view push
+        // with a malformed member list is refused.
+        assert!(Request::decode(
+            r#"{"cmd":"verify","service":"t","property":"G true","check_owner":1}"#
+        )
+        .is_err());
+        assert!(Request::decode(r#"{"cmd":"install_view"}"#).is_err());
+        assert!(Request::decode(
+            r#"{"cmd":"install_view","view":{"epoch":1,"members":[{"id":0}]}}"#
+        )
+        .is_err());
         assert!(Request::decode(r#"{"cmd":"verify","service":"t"}"#).is_err());
         assert!(Request::decode(r#"{"cmd":"nope"}"#).is_err());
         assert!(Request::decode("not json").is_err());

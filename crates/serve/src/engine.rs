@@ -361,6 +361,10 @@ pub struct Engine {
     /// the cone-sliced service, plus the shared LTL→Büchi automaton
     /// cache (see [`crate::tiers`]).
     tiers: crate::tiers::TierStore,
+    /// The installed membership view and the ring it induces, pushed by
+    /// the routing authority (`install_view`). `None` for standalone
+    /// engines — ownership is then unverifiable and never refused.
+    view: Mutex<Option<(crate::view::MemberView, crate::ring::Ring)>>,
     /// Monotonic counters for the `stats` report.
     pub counters: Counters,
 }
@@ -441,6 +445,7 @@ impl Engine {
             runs: Mutex::new(HashMap::new()),
             shard: opts.shard,
             tiers,
+            view: Mutex::new(None),
             counters: Counters::default(),
         }
     }
@@ -493,6 +498,67 @@ impl Engine {
             c.dropped_records(),
             c.persistent(),
         )
+    }
+
+    /// The cache journal's generation stamp (the `.gen` sidecar value;
+    /// bumped by compaction). Part of the `health` reply so the probe
+    /// plane can see journal turnover without reading the file.
+    pub fn journal_generation(&self) -> u64 {
+        self.cache.lock().expect("cache poisoned").generation()
+    }
+
+    /// Installs a membership view if it is fresher (higher epoch) than
+    /// the one held; returns the epoch now in force. Equal-epoch pushes
+    /// re-install (the member set at one epoch is unique anyway).
+    pub fn install_view(&self, view: crate::view::MemberView) -> u64 {
+        let mut slot = self.view.lock().expect("view poisoned");
+        match slot.as_ref() {
+            Some((held, _)) if held.epoch > view.epoch => held.epoch,
+            _ => {
+                let epoch = view.epoch;
+                let ring = view.ring();
+                *slot = Some((view, ring));
+                epoch
+            }
+        }
+    }
+
+    /// The installed membership view, if any.
+    pub fn member_view(&self) -> Option<crate::view::MemberView> {
+        self.view
+            .lock()
+            .expect("view poisoned")
+            .as_ref()
+            .map(|(v, _)| v.clone())
+    }
+
+    /// The epoch of the installed view (`0` when none is installed).
+    pub fn view_epoch(&self) -> u64 {
+        self.view
+            .lock()
+            .expect("view poisoned")
+            .as_ref()
+            .map_or(0, |(v, _)| v.epoch)
+    }
+
+    /// Ownership check for `check_owner` requests: `Some((epoch,
+    /// owner))` when this node's installed view says another member
+    /// owns the request's fingerprint — the caller refuses with
+    /// `wrong_shard` so a stale self-routing client refetches. With no
+    /// view installed (standalone engine) ownership is unverifiable
+    /// and never refused: any node computes correct verdicts, ownership
+    /// only concentrates the cache.
+    pub fn wrong_shard(&self, req: &VerifyRequest) -> Option<(u64, u32)> {
+        if !req.check_owner {
+            return None;
+        }
+        let slot = self.view.lock().expect("view poisoned");
+        let (view, ring) = slot.as_ref()?;
+        if ring.is_empty() {
+            return None;
+        }
+        let owner = ring.owner(crate::view::routing_fingerprint(req));
+        (owner != self.shard).then_some((view.epoch, owner))
     }
 
     /// Starts a graceful drain: in-flight jobs finish, every subsequent
@@ -1070,7 +1136,57 @@ mod tests {
             node_limit: 0,
             threads: 1,
             deadline_us: 0,
+            check_owner: false,
         }
+    }
+
+    #[test]
+    fn view_install_keeps_freshest_and_gates_ownership() {
+        use crate::view::{MemberInfo, MemberView};
+        let shard_two = Engine::new(EngineOptions {
+            shard: 2,
+            ..EngineOptions::default()
+        });
+        let mut r = req("toggle", "G (P | Q)");
+        // No view installed: check_owner is unverifiable, never refused.
+        r.check_owner = true;
+        assert_eq!(shard_two.wrong_shard(&r), None);
+        let members = vec![
+            MemberInfo {
+                id: 2,
+                addr: "127.0.0.1:1".parse().unwrap(),
+            },
+            MemberInfo {
+                id: 5,
+                addr: "127.0.0.1:2".parse().unwrap(),
+            },
+        ];
+        assert_eq!(
+            shard_two.install_view(MemberView {
+                epoch: 3,
+                members: members.clone()
+            }),
+            3
+        );
+        // A stale (lower-epoch) push is ignored.
+        assert_eq!(
+            shard_two.install_view(MemberView {
+                epoch: 1,
+                members: members.clone()
+            }),
+            3
+        );
+        assert_eq!(shard_two.view_epoch(), 3);
+        let ring = crate::ring::Ring::new([2u32, 5]);
+        let owner = ring.owner(crate::view::routing_fingerprint(&r));
+        if owner == 2 {
+            assert_eq!(shard_two.wrong_shard(&r), None);
+        } else {
+            assert_eq!(shard_two.wrong_shard(&r), Some((3, owner)));
+        }
+        // Without check_owner the same request is always accepted.
+        r.check_owner = false;
+        assert_eq!(shard_two.wrong_shard(&r), None);
     }
 
     #[test]
@@ -1217,6 +1333,7 @@ mod tests {
             node_limit: 0,
             threads: 1,
             deadline_us: 0,
+            check_owner: false,
         };
         let r1 = e.submit(&r).unwrap();
         let out = outcome_from_json(

@@ -50,11 +50,16 @@ pub enum Hook {
     FleetForward,
     /// The fleet shipper about to replicate journal lines to a peer.
     FleetShip,
+    /// The heartbeat plane about to probe a member's `health` command.
+    /// Faults here model a lossy *probe path* (dropped or delayed
+    /// beats, corrupted replies) — the member itself stays healthy,
+    /// which is exactly the confusion confirm-before-kill must survive.
+    FleetHealth,
 }
 
 impl Hook {
     /// Every hook point, for iteration in plans and reports.
-    pub const ALL: [Hook; 9] = [
+    pub const ALL: [Hook; 10] = [
         Hook::JournalAppend,
         Hook::JournalCompact,
         Hook::WorkerRun,
@@ -64,6 +69,7 @@ impl Hook {
         Hook::DeadlineArm,
         Hook::FleetForward,
         Hook::FleetShip,
+        Hook::FleetHealth,
     ];
 
     /// The stable wire name of the hook point.
@@ -78,6 +84,7 @@ impl Hook {
             Hook::DeadlineArm => "deadline.arm",
             Hook::FleetForward => "fleet.forward",
             Hook::FleetShip => "fleet.ship",
+            Hook::FleetHealth => "fleet.health",
         }
     }
 

@@ -98,6 +98,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         node_limit: flag_num(args, "--node-limit", 0usize)?,
         threads: flag_num(args, "--threads", 1usize)?,
         deadline_us: flag_num(args, "--deadline-us", 0u64)?,
+        check_owner: false,
     };
     let mut client = TcpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let reply = client.verify(&req).map_err(|e| e.to_string())?;

@@ -1,0 +1,232 @@
+//! The epoch-tagged membership view.
+//!
+//! A [`MemberView`] is the full routing input: the member list plus the
+//! epoch at which it was published. Because ring placement is a pure
+//! function of the member set ([`Ring`]), any process holding a view —
+//! router, node, or client — computes identical placement, and the
+//! epoch lets two holders decide *whose* view is fresher without any
+//! other coordination. Three parties consume it:
+//!
+//! * the **router** is the view's authority: every membership change
+//!   (death, retire, re-join) bumps the epoch and pushes the new view
+//!   to the surviving nodes;
+//! * each **node** holds the last view it was pushed, answers the
+//!   `members` wire command with it, and — when a request arrives with
+//!   `check_owner` set — refuses fingerprints it does not own with a
+//!   `wrong_shard` error carrying its epoch, so a stale client learns
+//!   to refetch;
+//! * a **routed client** bootstraps a view from any member (or the
+//!   router), computes placement locally, and talks straight to owner
+//!   nodes — which is what removes the router as a single point of
+//!   failure for reads.
+//!
+//! The view also carries the fingerprint function requests route by:
+//! [`routing_fingerprint`] is the engine's canonical content
+//! fingerprint, so placement and caching always agree.
+
+use std::net::SocketAddr;
+
+use wave_logic::fingerprint::Fnv128;
+
+use crate::codec::{DecodeError, Mode, VerifyRequest};
+use crate::engine::request_fingerprint;
+use crate::json::Json;
+use crate::registry;
+use crate::ring::Ring;
+
+/// One fleet member as published in a view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// Shard id (the engine's `shard` and the ring id).
+    pub id: u32,
+    /// Where the member's wave-serve protocol listens.
+    pub addr: SocketAddr,
+}
+
+/// An epoch-tagged member list — the complete routing input.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MemberView {
+    /// The membership epoch this view was published at. Monotonic at
+    /// the authority; a holder replaces its view only with a higher
+    /// epoch.
+    pub epoch: u64,
+    /// Live members, ascending by id.
+    pub members: Vec<MemberInfo>,
+}
+
+impl MemberView {
+    /// The ring this view induces (pure function of the member ids).
+    pub fn ring(&self) -> Ring {
+        Ring::new(self.members.iter().map(|m| m.id))
+    }
+
+    /// The address of a member, if present.
+    pub fn addr_of(&self, id: u32) -> Option<SocketAddr> {
+        self.members.iter().find(|m| m.id == id).map(|m| m.addr)
+    }
+
+    /// Member ids, ascending.
+    pub fn ids(&self) -> Vec<u32> {
+        self.members.iter().map(|m| m.id).collect()
+    }
+
+    /// Encodes as the wire object
+    /// `{"epoch":3,"members":[{"id":0,"addr":"127.0.0.1:4000"},...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("epoch".into(), Json::Int(self.epoch as i64)),
+            (
+                "members".into(),
+                Json::Arr(
+                    self.members
+                        .iter()
+                        .map(|m| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::Int(m.id as i64)),
+                                ("addr".into(), Json::str(m.addr.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes the wire object; members are re-sorted by id so equal
+    /// views compare equal regardless of publication order.
+    pub fn from_json(v: &Json) -> Result<MemberView, DecodeError> {
+        let fail = |msg: &str| DecodeError(format!("view: {msg}"));
+        let epoch = v
+            .get("epoch")
+            .and_then(Json::as_int)
+            .ok_or_else(|| fail("missing integer \"epoch\""))?;
+        let mut members = Vec::new();
+        for m in v
+            .get("members")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("missing array \"members\""))?
+        {
+            let id = m
+                .get("id")
+                .and_then(Json::as_int)
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| fail("member id must be a u32"))?;
+            let addr = m
+                .get("addr")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse::<SocketAddr>().ok())
+                .ok_or_else(|| fail("member addr must be a socket address"))?;
+            members.push(MemberInfo { id, addr });
+        }
+        members.sort_by_key(|m| m.id);
+        Ok(MemberView {
+            epoch: u64::try_from(epoch).map_err(|_| fail("epoch must be non-negative"))?,
+            members,
+        })
+    }
+}
+
+/// The fingerprint a request routes by: identical to the engine's
+/// canonical fingerprint for well-formed requests, so placement and
+/// caching agree everywhere a request can land. Content that cannot be
+/// resolved (unknown service, unparsable property) routes by raw text —
+/// any node can produce the typed refusal, the route just has to be
+/// deterministic.
+pub fn routing_fingerprint(req: &VerifyRequest) -> u128 {
+    if let Some(service) = registry::resolve(&req.service) {
+        let property = match req.mode {
+            Mode::ErrorFree => None,
+            Mode::Ltl => wave_logic::parser::parse_property(&req.property).ok(),
+        };
+        if property.is_some() || req.mode == Mode::ErrorFree {
+            return request_fingerprint(&service, property.as_ref(), req.mode, req.node_limit).0;
+        }
+    }
+    let mut h = Fnv128::new();
+    h.write_str("wave-fleet/unroutable/v1");
+    h.write_str(&req.service);
+    h.write_str(&req.property);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> MemberView {
+        MemberView {
+            epoch: 7,
+            members: vec![
+                MemberInfo {
+                    id: 0,
+                    addr: "127.0.0.1:4000".parse().unwrap(),
+                },
+                MemberInfo {
+                    id: 2,
+                    addr: "127.0.0.1:4002".parse().unwrap(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn view_round_trips_and_sorts_members() {
+        let v = view();
+        let text = v.to_json().encode();
+        assert_eq!(
+            text,
+            "{\"epoch\":7,\"members\":[{\"id\":0,\"addr\":\"127.0.0.1:4000\"},\
+             {\"id\":2,\"addr\":\"127.0.0.1:4002\"}]}"
+                .replace(" ", "")
+        );
+        let back = MemberView::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, v);
+        // Publication order must not matter.
+        let shuffled = "{\"epoch\":7,\"members\":[{\"id\":2,\"addr\":\"127.0.0.1:4002\"},\
+                        {\"id\":0,\"addr\":\"127.0.0.1:4000\"}]}"
+            .replace(" ", "");
+        let resorted = MemberView::from_json(&Json::parse(&shuffled).unwrap()).unwrap();
+        assert_eq!(resorted, v);
+    }
+
+    #[test]
+    fn view_rejects_malformed_members() {
+        for bad in [
+            "{\"members\":[]}",
+            "{\"epoch\":1}",
+            "{\"epoch\":-1,\"members\":[]}",
+            "{\"epoch\":1,\"members\":[{\"id\":-3,\"addr\":\"127.0.0.1:1\"}]}",
+            "{\"epoch\":1,\"members\":[{\"id\":0,\"addr\":\"not-an-addr\"}]}",
+        ] {
+            assert!(
+                MemberView::from_json(&Json::parse(bad).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn view_ring_matches_direct_ring() {
+        let v = view();
+        let ring = v.ring();
+        assert_eq!(ring.nodes(), &[0, 2]);
+        let direct = Ring::new([0, 2]);
+        for fp in [0u128, 42, u128::MAX] {
+            assert_eq!(ring.owner(fp), direct.owner(fp));
+        }
+    }
+
+    #[test]
+    fn unroutable_requests_still_route_deterministically() {
+        let req = VerifyRequest {
+            service: "no_such_service".into(),
+            property: "G true".into(),
+            mode: Mode::Ltl,
+            node_limit: 0,
+            threads: 1,
+            deadline_us: 0,
+            check_owner: false,
+        };
+        assert_eq!(routing_fingerprint(&req), routing_fingerprint(&req));
+    }
+}

@@ -34,6 +34,7 @@ fn any_request() -> VerifyRequest {
         node_limit: 0,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     }
 }
 

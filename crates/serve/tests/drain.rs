@@ -44,6 +44,7 @@ fn toggle_request(node_limit: usize) -> VerifyRequest {
         node_limit,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     }
 }
 

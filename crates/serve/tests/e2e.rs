@@ -32,6 +32,7 @@ fn request(service: &str, property: &str) -> VerifyRequest {
         node_limit: 0,
         threads: 1,
         deadline_us: 0,
+        check_owner: false,
     }
 }
 
